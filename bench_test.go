@@ -1,0 +1,189 @@
+package hyperap
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (see
+// DESIGN.md §3). Each benchmark regenerates its experiment through
+// internal/bench and reports the headline quantities as custom metrics,
+// so `go test -bench=. -benchmem` reproduces the whole evaluation.
+// Compiled executables are cached across benchmarks, so the first
+// iteration carries the compilation cost.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperap/internal/bench"
+	"hyperap/internal/compile"
+	"hyperap/internal/tech"
+	"hyperap/internal/workload"
+)
+
+func runExperiment(b *testing.B, id string) *bench.Table {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// parseCell converts a table cell like "592", "3.3x" to a float.
+func parseCell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkFig2TraditionalAdd1 and BenchmarkFig5HyperAdd1: the 1-bit
+// addition operation counts (14 vs 6 operations).
+func BenchmarkFig2TraditionalAdd1(b *testing.B) {
+	tbl := runExperiment(b, "fig2")
+	b.ReportMetric(parseCell(b, tbl.Rows[0][3]), "ops")
+}
+
+func BenchmarkFig5HyperAdd1(b *testing.B) {
+	tbl := runExperiment(b, "fig5")
+	b.ReportMetric(parseCell(b, tbl.Rows[1][3]), "ops")
+}
+
+// BenchmarkTab1ISA regenerates Table I.
+func BenchmarkTab1ISA(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkTab2Config regenerates Table II.
+func BenchmarkTab2Config(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkFig12Optimisations regenerates the merging/embedding example
+// counts.
+func BenchmarkFig12Optimisations(b *testing.B) {
+	tbl := runExperiment(b, "fig12")
+	b.ReportMetric(parseCell(b, tbl.Rows[0][1]), "merged-searches")
+	b.ReportMetric(parseCell(b, tbl.Rows[1][1]), "embedded-searches")
+}
+
+// BenchmarkFig13TwoBitAdd regenerates the compiled 2-bit addition.
+func BenchmarkFig13TwoBitAdd(b *testing.B) { runExperiment(b, "fig13") }
+
+// benchArithmetic reports one operation's Fig. 15/16 row.
+func benchArithmetic(b *testing.B, op string, width int) {
+	src, opsPerPass, err := bench.ArithmeticSource(op, width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ex *compile.Executable
+	for i := 0; i < b.N; i++ {
+		ex, err = bench.CompileCached(op+strconv.Itoa(width), src, compile.HyperTarget())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	chip := tech.HyperAPChip()
+	lat := ex.LatencyNS()
+	b.ReportMetric(lat, "latency-ns")
+	b.ReportMetric(chip.Throughput(lat, opsPerPass), "GOPS")
+	b.ReportMetric(float64(ex.Stats.Searches), "searches")
+	b.ReportMetric(float64(ex.Stats.Writes), "writes")
+}
+
+// Fig. 15: 32-bit operations.
+func BenchmarkFig15Add32(b *testing.B)  { benchArithmetic(b, "Add", 32) }
+func BenchmarkFig15Mul32(b *testing.B)  { benchArithmetic(b, "Mul", 32) }
+func BenchmarkFig15Div32(b *testing.B)  { benchArithmetic(b, "Div", 32) }
+func BenchmarkFig15Sqrt32(b *testing.B) { benchArithmetic(b, "Sqrt", 32) }
+func BenchmarkFig15Exp32(b *testing.B)  { benchArithmetic(b, "Exp", 32) }
+
+// Fig. 16: 16-bit operations (flexible-precision advantage).
+func BenchmarkFig16Add16(b *testing.B)  { benchArithmetic(b, "Add", 16) }
+func BenchmarkFig16Mul16(b *testing.B)  { benchArithmetic(b, "Mul", 16) }
+func BenchmarkFig16Div16(b *testing.B)  { benchArithmetic(b, "Div", 16) }
+func BenchmarkFig16Sqrt16(b *testing.B) { benchArithmetic(b, "Sqrt", 16) }
+func BenchmarkFig16Exp16(b *testing.B)  { benchArithmetic(b, "Exp", 16) }
+
+// Fig. 17: operation merging and operand embedding.
+func BenchmarkFig17MultiAdd(b *testing.B) { benchArithmetic(b, "Multi_Add", 32) }
+func BenchmarkFig17AddImm(b *testing.B)   { benchArithmetic(b, "Add_i", 32) }
+func BenchmarkFig17MulImm(b *testing.B)   { benchArithmetic(b, "Mul_i", 32) }
+func BenchmarkFig17DivImm(b *testing.B)   { benchArithmetic(b, "Div_i", 32) }
+
+// Fig. 18: the kernel study; one benchmark per kernel plus the summary.
+func benchKernel(b *testing.B, name string) {
+	k, err := workload.KernelByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r bench.KernelResult
+	for i := 0; i < b.N; i++ {
+		r, err = bench.EvaluateKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.HyperSpeedup, "speedup-vs-gpu")
+	b.ReportMetric(r.HyperVsIMP, "speedup-vs-imp")
+	b.ReportMetric(r.EnergyReductionIMP, "energy-reduction-vs-imp")
+}
+
+func BenchmarkFig18Backprop(b *testing.B)      { benchKernel(b, "backprop") }
+func BenchmarkFig18Kmeans(b *testing.B)        { benchKernel(b, "kmeans") }
+func BenchmarkFig18Hotspot(b *testing.B)       { benchKernel(b, "hotspot") }
+func BenchmarkFig18Pathfinder(b *testing.B)    { benchKernel(b, "pathfinder") }
+func BenchmarkFig18Srad(b *testing.B)          { benchKernel(b, "srad") }
+func BenchmarkFig18Streamcluster(b *testing.B) { benchKernel(b, "streamcluster") }
+func BenchmarkFig18NW(b *testing.B)            { benchKernel(b, "nw") }
+func BenchmarkFig18LUD(b *testing.B)           { benchKernel(b, "lud") }
+
+// Fig. 19a: Hyper-AP vs traditional AP on both technologies.
+func BenchmarkFig19aTraditionalComparison(b *testing.B) {
+	tbl := runExperiment(b, "fig19a")
+	b.ReportMetric(parseCell(b, tbl.Rows[1][5]), "rram-improvement")
+	b.ReportMetric(parseCell(b, tbl.Rows[3][5]), "cmos-improvement")
+}
+
+// Fig. 19b: mechanism breakdown.
+func BenchmarkFig19bBreakdown(b *testing.B) { runExperiment(b, "fig19b") }
+
+// Ablations beyond the paper.
+func BenchmarkAblAlpha(b *testing.B) { runExperiment(b, "abl-alpha") }
+func BenchmarkAblK(b *testing.B)     { runExperiment(b, "abl-k") }
+func BenchmarkAblPair(b *testing.B)  { runExperiment(b, "abl-pair") }
+func BenchmarkAblArray(b *testing.B) { runExperiment(b, "abl-array") }
+
+// BenchmarkSimulatorSearch measures the raw simulator: one multi-pattern
+// search over a full 256×256 PE.
+func BenchmarkSimulatorSearch(b *testing.B) {
+	am, err := NewAssociativeMemory(256, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < 256; r++ {
+		am.Store(r, uint64(r)*2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		am.Search(uint64(i), 0xFFFF)
+	}
+}
+
+// BenchmarkCompileAdd32 measures compilation throughput itself.
+func BenchmarkCompileAdd32(b *testing.B) {
+	src, _, _ := bench.ArithmeticSource("Add", 32)
+	for i := 0; i < b.N; i++ {
+		if _, err := compile.CompileSource(src, compile.HyperTarget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extra ablations.
+func BenchmarkAblCluster(b *testing.B) { runExperiment(b, "abl-cluster") }
+func BenchmarkAblMargin(b *testing.B)  { runExperiment(b, "abl-margin") }

@@ -1,0 +1,51 @@
+// Command hyperap-asm disassembles a binary Hyper-AP program (the Table I
+// instruction encoding produced by `hyperap-compile -bin`) back into a
+// readable listing with cycle accounting.
+//
+// Usage:
+//
+//	hyperap-asm program.bin
+//	hyperap-compile -bin p.bin p.hap && hyperap-asm p.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperap/internal/isa"
+)
+
+func main() {
+	cmosFlag := flag.Bool("cmos", false, "report cycles with the CMOS write latency")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hyperap-asm [flags] program.bin")
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.DecodeProgram(buf)
+	if err != nil {
+		fatal(err)
+	}
+	cp := isa.DefaultCycleParams()
+	if *cmosFlag {
+		cp.TCAMBitWriteCycles = 1
+	}
+	var cycle int64
+	for pc, in := range prog {
+		fmt.Printf("%5d  [t=%6d]  %s\n", pc, cycle, in)
+		cycle += int64(in.Cycles(cp))
+	}
+	fmt.Printf("\n%d instructions, %d bytes, %d cycles\n", len(prog), prog.TotalBytes(), cycle)
+	fmt.Printf("searches: %d   writes: %d   setkeys: %d\n",
+		prog.CountOp(isa.OpSearch), prog.CountOp(isa.OpWrite), prog.CountOp(isa.OpSetKey))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperap-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command hyperap-bench regenerates the paper's evaluation: every table
+// and figure of §VI plus the extra ablations (DESIGN.md §3).
+//
+// Usage:
+//
+//	hyperap-bench                 # everything except the heavy figures
+//	hyperap-bench -all            # everything (32-bit div/exp compile for ~1 min)
+//	hyperap-bench -exp fig15      # one experiment
+//	hyperap-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hyperap/internal/bench"
+)
+
+func main() {
+	expID := flag.String("exp", "", "run a single experiment by id")
+	all := flag.Bool("all", false, "include the heavy experiments (32-bit op suite, kernels)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%s%s\n", e.ID, heavy)
+		}
+		return
+	}
+	if *expID != "" {
+		e, err := bench.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		run(e)
+		return
+	}
+	seen := map[string]bool{}
+	for _, e := range bench.Experiments() {
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		if e.Heavy && !*all {
+			fmt.Printf("== %s: skipped (heavy; use -all or -exp %s) ==\n\n", e.ID, e.ID)
+			continue
+		}
+		run(e)
+	}
+}
+
+func run(e bench.Experiment) {
+	start := time.Now()
+	tbl, err := e.Run()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", e.ID, err))
+	}
+	tbl.Render(os.Stdout)
+	fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperap-bench:", err)
+	os.Exit(1)
+}

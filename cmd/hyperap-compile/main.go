@@ -1,0 +1,107 @@
+// Command hyperap-compile compiles a program in the Hyper-AP C-like
+// language and prints the generated instruction stream, the compilation
+// statistics and (optionally) the binary encoding.
+//
+// Usage:
+//
+//	hyperap-compile [flags] program.hap
+//
+// Flags:
+//
+//	-traditional   target the traditional AP execution model
+//	-cmos          target the CMOS TCAM technology
+//	-k N           lookup-table input limit (2..12, default 12)
+//	-bin file      also write the Table I binary encoding to a file
+//	-q             print statistics only (no disassembly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/isa"
+	"hyperap/internal/lut"
+	"hyperap/internal/tech"
+)
+
+func main() {
+	traditional := flag.Bool("traditional", false, "target the traditional AP execution model")
+	cmos := flag.Bool("cmos", false, "target the CMOS TCAM technology")
+	k := flag.Int("k", lut.MaxInputs, "lookup-table input limit (2..12)")
+	binOut := flag.String("bin", "", "write the binary instruction encoding to this file")
+	quiet := flag.Bool("q", false, "print statistics only")
+	luts := flag.Bool("luts", false, "print a lookup-table size histogram")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hyperap-compile [flags] program.hap")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	tgt := compile.HyperTarget()
+	if *cmos {
+		tgt.Tech = tech.CMOS()
+	}
+	if *traditional {
+		tgt = compile.TraditionalTarget(tgt.Tech)
+	}
+	tgt.K = *k
+
+	ex, err := compile.CompileSource(string(src), tgt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		fmt.Print(ex.Prog.String())
+		fmt.Println()
+	}
+	s := ex.Stats
+	fmt.Printf("target:        %s %s (alpha=%.0f)\n", tgt.Tech.Name, modeName(tgt), tgt.Tech.Alpha())
+	fmt.Printf("searches:      %d\n", s.Searches)
+	fmt.Printf("writes:        %d (%d encoded pairs)\n", s.Writes, s.EncodedWrites)
+	fmt.Printf("lookup tables: %d (%d patterns total)\n", s.LUTs, s.Patterns)
+	fmt.Printf("cycles:        %d (%.1f ns at %s)\n", s.Cycles, ex.LatencyNS(), tgt.Tech.Name)
+	fmt.Printf("columns used:  %d of %d\n", s.PeakColumns, tgt.WordBits)
+	fmt.Printf("program size:  %d bytes\n", ex.Prog.TotalBytes())
+
+	if *luts {
+		hist := map[int]int{}
+		pats := map[int]int{}
+		for _, l := range ex.LUTs {
+			hist[l.Inputs]++
+			pats[l.Inputs] += l.Patterns
+		}
+		fmt.Println("lookup tables by input count:")
+		for k := 1; k <= 12; k++ {
+			if hist[k] > 0 {
+				fmt.Printf("  %2d inputs: %4d tables, %5d patterns\n", k, hist[k], pats[k])
+			}
+		}
+	}
+	if *binOut != "" {
+		if err := os.WriteFile(*binOut, isa.EncodeProgram(ex.Prog), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("binary:        %s\n", *binOut)
+	}
+}
+
+func modeName(t compile.Target) string {
+	if t.Mode == lut.ModeTraditional {
+		return "traditional-AP"
+	}
+	return "Hyper-AP"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperap-compile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command hyperap-run compiles a program and executes it on the
+// simulated Hyper-AP hardware for input values supplied on the command
+// line or as CSV lines on stdin (one SIMD slot per line).
+//
+// Usage:
+//
+//	hyperap-run program.hap 3,4 31,31
+//	echo "3,4" | hyperap-run program.hap
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/compile"
+	"hyperap/internal/tech"
+)
+
+func main() {
+	cmos := flag.Bool("cmos", false, "target the CMOS TCAM technology")
+	verify := flag.Bool("verify", true, "cross-check the simulator against the reference evaluator")
+	trace := flag.Bool("trace", false, "print one line per executed instruction with the tag population")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hyperap-run [flags] program.hap [inputs...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tgt := compile.HyperTarget()
+	if *cmos {
+		tgt.Tech = tech.CMOS()
+	}
+	ex, err := compile.CompileSource(string(src), tgt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var lines []string
+	if flag.NArg() > 1 {
+		lines = flag.Args()[1:]
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if s := strings.TrimSpace(sc.Text()); s != "" {
+				lines = append(lines, s)
+			}
+		}
+	}
+	if len(lines) == 0 {
+		fatal(fmt.Errorf("no input slots given"))
+	}
+	var inputs [][]uint64
+	for _, ln := range lines {
+		fields := strings.Split(ln, ",")
+		if len(fields) != len(ex.Inputs) {
+			fatal(fmt.Errorf("slot %q has %d values; program takes %d (%s)",
+				ln, len(fields), len(ex.Inputs), inputList(ex)))
+		}
+		vals := make([]uint64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("slot %q: %v", ln, err))
+			}
+			vals[i] = v
+		}
+		inputs = append(inputs, vals)
+	}
+
+	if *verify {
+		if err := ex.CheckAgainstReference(inputs); err != nil {
+			fatal(fmt.Errorf("simulator/reference mismatch: %v", err))
+		}
+	}
+	var outs [][]uint64
+	if *trace {
+		chip := ex.NewChip(len(inputs))
+		chip.TraceFn = func(ev arch.TraceEvent) {
+			fmt.Printf("trace %4d  +%2dcy  tags=%-3d  %s\n", ev.PC, ev.Cycles, ev.TaggedRows0, ev.Instr)
+		}
+		pe := chip.PE(0)
+		for r, vals := range inputs {
+			if err := ex.Load(pe, r, vals); err != nil {
+				fatal(err)
+			}
+		}
+		if err := chip.Execute(ex.Prog); err != nil {
+			fatal(err)
+		}
+		for r := range inputs {
+			o, err := ex.ReadRow(pe, r)
+			if err != nil {
+				fatal(err)
+			}
+			outs = append(outs, o)
+		}
+	} else {
+		var err error
+		outs, _, err = ex.Run(inputs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for r, o := range outs {
+		parts := make([]string, len(o))
+		for i, v := range o {
+			parts[i] = fmt.Sprintf("%s=%d", ex.Outputs[i].Name, v)
+		}
+		fmt.Printf("slot %d: %s\n", r, strings.Join(parts, " "))
+	}
+	fmt.Printf("(%d slots, %d searches, %d writes, %.1f ns per pass)\n",
+		len(outs), ex.Stats.Searches, ex.Stats.Writes, ex.LatencyNS())
+}
+
+func inputList(ex *compile.Executable) string {
+	names := make([]string, len(ex.Inputs))
+	for i, c := range ex.Inputs {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Width)
+	}
+	return strings.Join(names, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperap-run:", err)
+	os.Exit(1)
+}

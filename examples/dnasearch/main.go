@@ -1,0 +1,80 @@
+// DNA k-mer search: the classic associative-processing workload (the
+// paper cites resistive CAM DNA aligners [30][35] as motivating
+// applications). A reference library of 8-mers is stored in the
+// associative memory — including degenerate positions stored as the
+// ternary X state — and query patterns are matched against every entry
+// in a single search operation, with the reduction tree counting hits
+// and returning the first match.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperap"
+)
+
+// 2-bit base encoding.
+var baseCode = map[byte]uint64{'A': 0, 'C': 1, 'G': 2, 'T': 3}
+
+// encode packs an 8-mer into 16 bits; 'N' marks a degenerate position
+// (returned in the dontCare mask).
+func encode(kmer string) (value, dontCare uint64) {
+	for i := 0; i < len(kmer); i++ {
+		shift := uint(2 * i)
+		if kmer[i] == 'N' {
+			dontCare |= 0b11 << shift
+			continue
+		}
+		value |= baseCode[kmer[i]] << shift
+	}
+	return value, dontCare
+}
+
+func main() {
+	library := []string{
+		"ACGTACGT",
+		"TTGACCAA",
+		"ACGTTGCA",
+		"GGGGCCCC",
+		"ACNTACGT", // degenerate: matches ACATACGT, ACCTACGT, ...
+		"TTGACCAA",
+		"CATGCATG",
+		"ACGTACGT",
+	}
+	am, err := hyperap.NewAssociativeMemory(len(library), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for row, kmer := range library {
+		v, dc := encode(kmer)
+		am.StoreTernary(row, v, dc)
+	}
+
+	queries := []string{"ACGTACGT", "ACCTACGT", "TTGACCAA", "AAAAAAAA"}
+	for _, q := range queries {
+		v, _ := encode(q)
+		am.Search(v, 0xFFFF) // compare against every entry in parallel
+		fmt.Printf("query %s: %d hits", q, am.Count())
+		if idx := am.Index(); idx >= 0 {
+			fmt.Printf(", first at row %d (%s)", idx, library[idx])
+		}
+		fmt.Printf("  rows=%v\n", am.Matches())
+	}
+
+	// Prefix search with the mask register: all 8-mers starting "ACGT".
+	prefix, _ := encode("ACGTAAAA")
+	am.Search(prefix, 0x00FF)
+	fmt.Printf("prefix ACGT*: %d entries, rows %v\n", am.Count(), am.Matches())
+
+	// Associative write: rewrite the last base of every "ACGTACGT" entry
+	// to A, in all tagged rows with one parallel write per bit column.
+	exact, _ := encode("ACGTACGT")
+	am.Search(exact, 0xFFFF)
+	am.WriteTagged(0, 0b11<<14)
+	v, _ := am.Load(7)
+	fmt.Printf("after parallel rewrite, row 7 holds %04x (ACGTACGA)\n", v)
+
+	s, w := am.Ops()
+	fmt.Printf("total: %d searches, %d associative writes\n", s, w)
+}

@@ -1,0 +1,43 @@
+// Quickstart: compile the paper's Fig. 8 program and run it on the
+// simulated Hyper-AP hardware, one data element per SIMD slot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperap"
+)
+
+const program = `
+// A program that adds two 5-bit variables (paper Fig. 8).
+unsigned int(6) main(unsigned int(5) a, unsigned int(5) b) {
+	unsigned int(6) c;
+	c = a + b;
+	return c;
+}`
+
+func main() {
+	ex, err := hyperap.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One instruction stream, many data streams: each row of inputs is
+	// one SIMD slot, all processed by the same search/write sequence.
+	inputs := [][]uint64{{3, 4}, {31, 31}, {17, 5}, {0, 0}}
+	outputs, err := ex.Run(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, in := range inputs {
+		fmt.Printf("slot %d: %2d + %2d = %2d\n", i, in[0], in[1], outputs[i][0])
+	}
+
+	s := ex.Stats()
+	fmt.Printf("\ncompiled to %d searches + %d writes (%d lookup tables)\n",
+		s.Searches, s.Writes, s.LUTs)
+	fmt.Printf("per-pass latency: %.0f ns on the RRAM Hyper-AP\n", ex.LatencyNS())
+	fmt.Println("\ninstruction stream:")
+	fmt.Print(ex.Disassemble())
+}

@@ -1,0 +1,3 @@
+module hyperap
+
+go 1.22

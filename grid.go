@@ -1,0 +1,86 @@
+package hyperap
+
+import (
+	"fmt"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/grid"
+	"hyperap/internal/isa"
+)
+
+// Dir selects an inter-PE shift direction on the chip's local data path
+// (the MovR instruction, §IV-A.6).
+type Dir int
+
+// Shift directions.
+const (
+	Up Dir = iota
+	Left
+	Right
+	Down
+)
+
+func (d Dir) isa() isa.Dir {
+	switch d {
+	case Up:
+		return isa.DirUp
+	case Left:
+		return isa.DirLeft
+	case Right:
+		return isa.DirRight
+	default:
+		return isa.DirDown
+	}
+}
+
+// WithGridLayout compiles for iterative multi-PE execution: inputs are
+// stored as plain bits in stable columns so the inter-PE communication
+// macros can refill them between passes. Required by NewGrid's
+// ShiftColumns.
+func WithGridLayout() Option {
+	return func(t *compile.Target) { t.SingleBitInputs = true }
+}
+
+// Grid runs a compiled program over a chain of PEs with neighbour
+// exchange on the local links — the execution style behind the paper's
+// stencil and dynamic-programming kernels (§VI-D).
+type Grid struct {
+	g *grid.Grid
+}
+
+// NewGrid builds a grid of numPEs × rows elements for the executable
+// (compile it with WithGridLayout if you intend to use ShiftColumns).
+func NewGrid(e *Executable, numPEs, rows int) (*Grid, error) {
+	g, err := grid.New(e.ex, numPEs, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{g: g}, nil
+}
+
+// Elements returns the grid capacity.
+func (g *Grid) Elements() int { return g.g.Elements() }
+
+// Load stores element idx's input values (idx = pe*rows + row).
+func (g *Grid) Load(idx int, vals []uint64) error { return g.g.Load(idx, vals) }
+
+// Run executes one pass of the program on every element in parallel.
+func (g *Grid) Run() error { return g.g.Run() }
+
+// Read returns element idx's outputs.
+func (g *Grid) Read(idx int) ([]uint64, error) { return g.g.Read(idx) }
+
+// ShiftColumns ships output src into input dst of each PE's neighbour in
+// the given direction, for all row lanes at once; edge PEs receive zero.
+func (g *Grid) ShiftColumns(src, dst string, d Dir) error {
+	return g.g.ShiftColumns(src, dst, d.isa())
+}
+
+// Cycles returns the total simulated cycles so far (compute passes plus
+// communication macros).
+func (g *Grid) Cycles() int64 { return g.g.Report().Cycles }
+
+// String describes the grid.
+func (g *Grid) String() string {
+	return fmt.Sprintf("grid %d PEs × %d rows (%d elements)", g.g.PEs, g.g.Rows, g.Elements())
+}

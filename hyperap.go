@@ -1,0 +1,297 @@
+// Package hyperap is the public API of this repository: a full-stack
+// reproduction of "Hyper-AP: Enhancing Associative Processing Through A
+// Full-Stack Optimization" (Zha & Li, ISCA 2020).
+//
+// The package wraps the internal layers — the 2D2R TCAM substrate, the
+// Hyper-AP abstract machine and micro-architecture simulator, and the
+// compilation framework for the constrained C-like language — behind two
+// entry points:
+//
+//   - Compile turns a C-like program (§V-A of the paper) into an
+//     Executable for a chosen machine configuration; Executable.Run
+//     executes it SIMD-style, one data element per word row, on the
+//     simulated hardware.
+//   - NewAssociativeMemory exposes the raw associative primitives
+//     (multi-pattern search, tag accumulation, associative write,
+//     population count, priority index) for content-addressable
+//     workloads that need no compiler.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured evaluation.
+package hyperap
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/encoding"
+	"hyperap/internal/isa"
+	"hyperap/internal/lut"
+	"hyperap/internal/model"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// Option configures compilation.
+type Option func(*compile.Target)
+
+// WithCMOS targets the CMOS TCAM technology (Twrite/Tsearch = 1) instead
+// of the default RRAM (= 10).
+func WithCMOS() Option {
+	return func(t *compile.Target) { t.Tech = tech.CMOS() }
+}
+
+// WithTraditionalAP targets the traditional associative processor:
+// Single-Search-Single-Pattern, Single-Search-Single-Write, monolithic
+// array design (the paper's baseline execution model, Fig. 2).
+func WithTraditionalAP() Option {
+	return func(t *compile.Target) {
+		t.Mode = lut.ModeTraditional
+		t.Monolithic = true
+	}
+}
+
+// WithLUTInputs overrides the lookup-table input limit (default 12, the
+// paper's choice in §V-B.4; 2..12).
+func WithLUTInputs(k int) Option {
+	return func(t *compile.Target) { t.K = k }
+}
+
+// WithMonolithicArray uses the traditional single-crossbar TCAM array
+// (writes take twice as long; the Fig. 19b ablation).
+func WithMonolithicArray() Option {
+	return func(t *compile.Target) { t.Monolithic = true }
+}
+
+// WithoutAccumulation disables the accumulation unit so every search is
+// followed by a write (the Fig. 19b ablation).
+func WithoutAccumulation() Option {
+	return func(t *compile.Target) { t.NoAccumulation = true }
+}
+
+// Stats are the compilation statistics (searches, writes, cycles …).
+type Stats = compile.Stats
+
+// Executable is a compiled Hyper-AP program.
+type Executable struct {
+	ex *compile.Executable
+}
+
+// Compile builds a program written in the constrained C-like language
+// (Fig. 8): arbitrary-width unsigned int(N)/int(N), bool, structs,
+// fixed-size arrays, compile-time-unrollable loops, both-branch
+// conditionals, and the sqrt/exp/abs/min/max intrinsics.
+func Compile(src string, opts ...Option) (*Executable, error) {
+	tgt := compile.HyperTarget()
+	for _, o := range opts {
+		o(&tgt)
+	}
+	ex, err := compile.CompileSource(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{ex: ex}, nil
+}
+
+// Run executes the program for a batch of data elements (at most 256, one
+// per word row of a PE) on the simulated hardware and returns each
+// element's outputs.
+func (e *Executable) Run(inputs [][]uint64) ([][]uint64, error) {
+	outs, _, err := e.ex.Run(inputs)
+	return outs, err
+}
+
+// RunReport is the full result of an execution: outputs plus the
+// simulator's physical accounting.
+type RunReport struct {
+	Outputs [][]uint64
+	// Cycles is the program's execution time in clock cycles (Table I
+	// costs); multiply by the clock period for wall time.
+	Cycles int64
+	// EnergyJ is the energy of this one-PE execution (search, write,
+	// control, V/3 sneak leakage).
+	EnergyJ float64
+	// MaxCellWrites is the largest number of programming pulses any
+	// single RRAM cell received — the endurance-relevant quantity that
+	// Multi-Search-Single-Write keeps low.
+	MaxCellWrites uint32
+}
+
+// Report executes the program like Run and additionally returns the
+// physical accounting.
+func (e *Executable) Report(inputs [][]uint64) (*RunReport, error) {
+	outs, chip, err := e.ex.Run(inputs)
+	if err != nil {
+		return nil, err
+	}
+	r := chip.Report()
+	return &RunReport{
+		Outputs:       outs,
+		Cycles:        r.Cycles,
+		EnergyJ:       r.Energy.TotalJ(),
+		MaxCellWrites: chip.PE(0).M.TCAM().WearReport().MaxPulses,
+	}, nil
+}
+
+// Verify runs the program on the simulator and cross-checks every output
+// against the reference evaluator.
+func (e *Executable) Verify(inputs [][]uint64) error {
+	return e.ex.CheckAgainstReference(inputs)
+}
+
+// Reference evaluates the program's dataflow graph directly (the golden
+// model), without simulating the hardware.
+func (e *Executable) Reference(input []uint64) []uint64 {
+	return e.ex.Reference(input)
+}
+
+// Stats returns the compilation statistics.
+func (e *Executable) Stats() Stats { return e.ex.Stats }
+
+// LatencyNS returns the per-pass latency on the target technology.
+func (e *Executable) LatencyNS() float64 { return e.ex.LatencyNS() }
+
+// Disassemble returns the generated instruction stream as text.
+func (e *Executable) Disassemble() string { return e.ex.Prog.String() }
+
+// Binary returns the program encoded in the binary instruction format of
+// Table I.
+func (e *Executable) Binary() []byte { return isa.EncodeProgram(e.ex.Prog) }
+
+// InputNames returns the declared inputs in order.
+func (e *Executable) InputNames() []string {
+	names := make([]string, len(e.ex.Inputs))
+	for i, c := range e.ex.Inputs {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Width)
+	}
+	return names
+}
+
+// AssociativeMemory exposes the raw Hyper-AP machine: a ternary CAM with
+// the extended two-bit-encoding search keys, the accumulation unit, and
+// the reduction tree. Words are stored as plain bit patterns (one TCAM
+// bit per data bit).
+type AssociativeMemory struct {
+	m     *model.HyperAP
+	width int
+}
+
+// NewAssociativeMemory builds a rows × width associative memory on the
+// separated-array TCAM design.
+func NewAssociativeMemory(rows, width int) (*AssociativeMemory, error) {
+	if rows <= 0 || rows > tech.PERows || width <= 0 || width > tech.PEBits {
+		return nil, fmt.Errorf("hyperap: memory must be within %d rows × %d bits", tech.PERows, tech.PEBits)
+	}
+	return &AssociativeMemory{
+		m:     model.NewHyperAP(tcam.NewSeparated(rows, width, tcam.DefaultParams())),
+		width: width,
+	}, nil
+}
+
+// Store writes a word into a row (host load path).
+func (a *AssociativeMemory) Store(row int, value uint64) {
+	for b := 0; b < a.width; b++ {
+		a.m.LoadBit(row, b, value>>uint(b)&1 == 1)
+	}
+}
+
+// StoreTernary writes a word with don't-care positions: maskedBits
+// positions hold the X state and match any query bit.
+func (a *AssociativeMemory) StoreTernary(row int, value, dontCare uint64) {
+	for b := 0; b < a.width; b++ {
+		if dontCare>>uint(b)&1 == 1 {
+			a.m.Load(row, b, bits.SX)
+		} else {
+			a.m.LoadBit(row, b, value>>uint(b)&1 == 1)
+		}
+	}
+}
+
+// Search compares value (restricted to the positions set in mask) against
+// every stored word in parallel, replacing the tags.
+func (a *AssociativeMemory) Search(value, mask uint64) {
+	a.m.Search(a.keys(value, mask), false)
+}
+
+// SearchAccumulate ORs the match results into the tags
+// (Multi-Search-Single-Write's accumulation, Fig. 4c).
+func (a *AssociativeMemory) SearchAccumulate(value, mask uint64) {
+	a.m.Search(a.keys(value, mask), true)
+}
+
+func (a *AssociativeMemory) keys(value, mask uint64) []bits.Key {
+	ks := make([]bits.Key, a.width)
+	for b := 0; b < a.width; b++ {
+		switch {
+		case mask>>uint(b)&1 == 0:
+			ks[b] = bits.KDC
+		case value>>uint(b)&1 == 1:
+			ks[b] = bits.K1
+		default:
+			ks[b] = bits.K0
+		}
+	}
+	return ks
+}
+
+// Count returns the number of tagged words (the Count instruction's
+// population count).
+func (a *AssociativeMemory) Count() int { return a.m.Count() }
+
+// Index returns the first tagged word's row, or -1 (the Index
+// instruction's priority encoding).
+func (a *AssociativeMemory) Index() int { return a.m.Index() }
+
+// Matches returns all tagged rows.
+func (a *AssociativeMemory) Matches() []int {
+	var out []int
+	tags := a.m.Tags()
+	for r := 0; r < tags.Len(); r++ {
+		if tags.Get(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteTagged writes the given bits (restricted to mask) into every
+// tagged word in parallel (the associative write, Fig. 1c).
+func (a *AssociativeMemory) WriteTagged(value, mask uint64) {
+	for b := 0; b < a.width; b++ {
+		if mask>>uint(b)&1 == 1 {
+			a.m.Write(b, bits.KeyForBit(value>>uint(b)&1 == 1))
+		}
+	}
+}
+
+// Load reads a stored word back; don't-care bits read as 0 with their
+// position reported in dontCare.
+func (a *AssociativeMemory) Load(row int) (value, dontCare uint64) {
+	for b := 0; b < a.width; b++ {
+		switch a.m.TCAM().State(row, b) {
+		case bits.S1:
+			value |= 1 << uint(b)
+		case bits.SX:
+			dontCare |= 1 << uint(b)
+		}
+	}
+	return value, dontCare
+}
+
+// Ops returns the search/write operation counts accumulated so far.
+func (a *AssociativeMemory) Ops() (searches, writes int64) {
+	return a.m.Ops.Searches, a.m.Ops.Writes
+}
+
+// PairSubsetKey demonstrates the Single-Search-Multi-Pattern mechanism at
+// the API level: it returns the two-position ternary key that matches
+// exactly the given subset of a two-bit value's four possibilities
+// (Fig. 5c); ok is false only for the empty subset.
+func PairSubsetKey(subset uint8) (string, bool) {
+	k1, k0, ok := encoding.KeyForPairSubset(encoding.Subset(subset))
+	if !ok {
+		return "", false
+	}
+	return encoding.PairKeyString(k1, k0), true
+}

@@ -1,0 +1,189 @@
+package hyperap
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCompileRunQuickstart(t *testing.T) {
+	ex, err := Compile(`
+		unsigned int(6) main(unsigned int(5) a, unsigned int(5) b) {
+			unsigned int(6) c;
+			c = a + b;
+			return c;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ex.Run([][]uint64{{3, 4}, {31, 31}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{7, 62, 0}
+	for i, o := range outs {
+		if o[0] != want[i] {
+			t.Errorf("slot %d = %d, want %d", i, o[0], want[i])
+		}
+	}
+	if ex.Stats().Searches == 0 || ex.LatencyNS() <= 0 {
+		t.Error("stats missing")
+	}
+	if !strings.Contains(ex.Disassemble(), "Search") {
+		t.Error("disassembly missing searches")
+	}
+	if len(ex.Binary()) == 0 {
+		t.Error("binary encoding empty")
+	}
+	if len(ex.InputNames()) != 2 {
+		t.Error("input names wrong")
+	}
+}
+
+func TestVerifyAndReference(t *testing.T) {
+	ex, err := Compile(`unsigned int(16) main(unsigned int(8) a, unsigned int(8) b){ return a * b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var inputs [][]uint64
+	for i := 0; i < 32; i++ {
+		inputs = append(inputs, []uint64{rng.Uint64() & 255, rng.Uint64() & 255})
+	}
+	if err := ex.Verify(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Reference([]uint64{12, 11}); got[0] != 132 {
+		t.Errorf("reference = %d", got[0])
+	}
+}
+
+func TestOptions(t *testing.T) {
+	src := `unsigned int(5) main(unsigned int(4) a, unsigned int(4) b){ return a + b; }`
+	hyper, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trad, err := Compile(src, WithTraditionalAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trad.Stats().Searches <= hyper.Stats().Searches {
+		t.Error("traditional AP must need more searches")
+	}
+	cmos, err := Compile(src, WithCMOS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmos.Stats().Cycles >= hyper.Stats().Cycles {
+		t.Error("CMOS writes are cheap; cycles must drop")
+	}
+	small, err := Compile(src, WithLUTInputs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats().LUTs < hyper.Stats().LUTs {
+		t.Error("smaller tables cannot reduce the table count")
+	}
+	mono, err := Compile(src, WithMonolithicArray())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Stats().Cycles <= hyper.Stats().Cycles {
+		t.Error("monolithic array must be slower")
+	}
+	noacc, err := Compile(src, WithoutAccumulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noacc.Stats().Writes <= hyper.Stats().Writes {
+		t.Error("disabling accumulation must add writes")
+	}
+	if err := noacc.Verify([][]uint64{{7, 9}, {15, 15}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociativeMemory(t *testing.T) {
+	am, err := NewAssociativeMemory(16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []uint64{0xABC, 0x123, 0xA00, 0xABC, 0xFFF}
+	for i, w := range words {
+		am.Store(i, w)
+	}
+	// Erased rows hold the all-X state and would match every query;
+	// initialise the rest like a real deployment would.
+	for i := len(words); i < 16; i++ {
+		am.Store(i, 0)
+	}
+	// Exact match.
+	am.Search(0xABC, 0xFFF)
+	if am.Count() != 2 || am.Index() != 0 {
+		t.Errorf("exact search: count=%d index=%d", am.Count(), am.Index())
+	}
+	// Masked search: high nibble A.
+	am.Search(0xA00, 0xF00)
+	if am.Count() != 3 {
+		t.Errorf("masked search count = %d, want 3", am.Count())
+	}
+	if got := am.Matches(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("matches = %v", got)
+	}
+	// Accumulation.
+	am.Search(0x123, 0xFFF)
+	am.SearchAccumulate(0xFFF, 0xFFF)
+	if am.Count() != 2 {
+		t.Errorf("accumulated count = %d, want 2", am.Count())
+	}
+	// Associative write: set bit 0 of all tagged rows.
+	am.WriteTagged(1, 1)
+	if v, _ := am.Load(1); v != 0x123|1 {
+		t.Errorf("write-tagged result %x", v)
+	}
+	// Ternary storage.
+	am.StoreTernary(5, 0x0F0, 0xF00) // high nibble don't-care
+	am.Search(0xAF0, 0xFFF)
+	found := false
+	for _, m := range am.Matches() {
+		if m == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ternary word should match any high nibble")
+	}
+	if _, dc := am.Load(5); dc != 0xF00 {
+		t.Errorf("don't-care mask = %x", dc)
+	}
+	if s, w := am.Ops(); s == 0 || w == 0 {
+		t.Error("ops not counted")
+	}
+	if _, err := NewAssociativeMemory(0, 8); err == nil {
+		t.Error("invalid geometry must error")
+	}
+}
+
+func TestPairSubsetKey(t *testing.T) {
+	// Subset {01,10} (XOR) must be a single key (Fig. 5c).
+	k, ok := PairSubsetKey(0b0110)
+	if !ok || k == "" {
+		t.Fatal("subset key missing")
+	}
+	if _, ok := PairSubsetKey(0); ok {
+		t.Error("empty subset must fail")
+	}
+	// All 15 subsets achievable.
+	for s := uint8(1); s <= 0xF; s++ {
+		if _, ok := PairSubsetKey(s); !ok {
+			t.Errorf("subset %04b missing", s)
+		}
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile(`nope`); err == nil {
+		t.Error("bad program must error")
+	}
+}

@@ -1,0 +1,292 @@
+// Package aig implements the and-inverter graph used by the compilation
+// framework (paper §V-B.3): every cluster of the dataflow graph is
+// rewritten into a netlist of 2-input AND gates and inverters by the RTL
+// library, and the lookup-table generation step then covers this graph
+// with ≤12-input LUTs.
+//
+// Literals are node indices with a complement flag in the low bit, as in
+// standard AIG packages. Structural hashing and constant folding keep the
+// graph canonical, which is what makes the compiler's operand-embedding
+// optimisation (constant propagation, Fig. 12b) fall out for free.
+package aig
+
+import "fmt"
+
+// Lit is a literal: node index << 1 | complement.
+type Lit uint32
+
+// Const0 and Const1 are the constant literals (node 0).
+const (
+	Const0 Lit = 0
+	Const1 Lit = 1
+)
+
+// MakeLit builds a literal from a node index and complement flag.
+func MakeLit(node int, compl bool) Lit {
+	l := Lit(node << 1)
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the literal's node index.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Compl reports whether the literal is complemented.
+func (l Lit) Compl() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// IsConst reports whether the literal is one of the two constants.
+func (l Lit) IsConst() bool { return l.Node() == 0 }
+
+func (l Lit) String() string {
+	if l == Const0 {
+		return "0"
+	}
+	if l == Const1 {
+		return "1"
+	}
+	s := fmt.Sprintf("n%d", l.Node())
+	if l.Compl() {
+		s = "!" + s
+	}
+	return s
+}
+
+type node struct {
+	f0, f1 Lit // fanins; inputs have f0 == f1 == invalidLit
+}
+
+const invalidLit = ^Lit(0)
+
+// Graph is an and-inverter graph. Node 0 is the constant; nodes 1..NumPIs
+// are the primary inputs.
+type Graph struct {
+	nodes []node
+	pis   []int
+	hash  map[[2]Lit]int
+}
+
+// New returns an empty graph containing only the constant node.
+func New() *Graph {
+	g := &Graph{hash: make(map[[2]Lit]int)}
+	g.nodes = append(g.nodes, node{invalidLit, invalidLit}) // constant node
+	return g
+}
+
+// NumNodes returns the total node count (constant + PIs + ANDs).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumPIs returns the number of primary inputs.
+func (g *Graph) NumPIs() int { return len(g.pis) }
+
+// NumAnds returns the number of AND nodes.
+func (g *Graph) NumAnds() int { return len(g.nodes) - 1 - len(g.pis) }
+
+// NewPI adds a primary input and returns its (positive) literal.
+func (g *Graph) NewPI() Lit {
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{invalidLit, invalidLit})
+	g.pis = append(g.pis, idx)
+	return MakeLit(idx, false)
+}
+
+// PIs returns the positive literals of all primary inputs.
+func (g *Graph) PIs() []Lit {
+	out := make([]Lit, len(g.pis))
+	for i, n := range g.pis {
+		out[i] = MakeLit(n, false)
+	}
+	return out
+}
+
+// IsPI reports whether the node is a primary input.
+func (g *Graph) IsPI(nodeIdx int) bool {
+	if nodeIdx <= 0 || nodeIdx >= len(g.nodes) {
+		return false
+	}
+	return g.nodes[nodeIdx].f0 == invalidLit
+}
+
+// Fanins returns the fanin literals of an AND node.
+func (g *Graph) Fanins(nodeIdx int) (Lit, Lit) {
+	n := g.nodes[nodeIdx]
+	if n.f0 == invalidLit {
+		panic(fmt.Sprintf("aig: node %d is not an AND", nodeIdx))
+	}
+	return n.f0, n.f1
+}
+
+// And returns a literal for a & b with constant folding and structural
+// hashing.
+func (g *Graph) And(a, b Lit) Lit {
+	// Constant and trivial cases.
+	if a == Const0 || b == Const0 {
+		return Const0
+	}
+	if a == Const1 {
+		return b
+	}
+	if b == Const1 {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a == b.Not() {
+		return Const0
+	}
+	// Canonical order.
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if idx, ok := g.hash[key]; ok {
+		return MakeLit(idx, false)
+	}
+	idx := len(g.nodes)
+	g.nodes = append(g.nodes, node{a, b})
+	g.hash[key] = idx
+	return MakeLit(idx, false)
+}
+
+// Or returns a | b.
+func (g *Graph) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a ^ b.
+func (g *Graph) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Mux returns sel ? t : f.
+func (g *Graph) Mux(sel, t, f Lit) Lit {
+	return g.Or(g.And(sel, t), g.And(sel.Not(), f))
+}
+
+// ConstLit returns the constant literal for b.
+func ConstLit(b bool) Lit {
+	if b {
+		return Const1
+	}
+	return Const0
+}
+
+// Eval evaluates the graph for one assignment of the primary inputs and
+// returns the value of every node (indexed by node). piVals must have
+// NumPIs entries in PI creation order.
+func (g *Graph) Eval(piVals []bool) []bool {
+	if len(piVals) != len(g.pis) {
+		panic(fmt.Sprintf("aig: %d PI values for %d PIs", len(piVals), len(g.pis)))
+	}
+	vals := make([]bool, len(g.nodes))
+	vals[0] = false // constant node holds 0; Const1 is its complement
+	piPos := make(map[int]int, len(g.pis))
+	for i, n := range g.pis {
+		piPos[n] = i
+	}
+	for idx := 1; idx < len(g.nodes); idx++ {
+		n := g.nodes[idx]
+		if n.f0 == invalidLit {
+			vals[idx] = piVals[piPos[idx]]
+			continue
+		}
+		vals[idx] = g.litVal(vals, n.f0) && g.litVal(vals, n.f1)
+	}
+	return vals
+}
+
+func (g *Graph) litVal(vals []bool, l Lit) bool {
+	v := vals[l.Node()]
+	if l.Compl() {
+		return !v
+	}
+	return v
+}
+
+// LitValue extracts a literal's value from an Eval result.
+func (g *Graph) LitValue(vals []bool, l Lit) bool { return g.litVal(vals, l) }
+
+// EvalLits is a convenience wrapper evaluating a set of output literals.
+func (g *Graph) EvalLits(piVals []bool, outs []Lit) []bool {
+	vals := g.Eval(piVals)
+	res := make([]bool, len(outs))
+	for i, l := range outs {
+		res[i] = g.litVal(vals, l)
+	}
+	return res
+}
+
+// Support returns the set of primary-input node indices in the transitive
+// fanin of the given literals.
+func (g *Graph) Support(outs []Lit) []int {
+	seen := make(map[int]bool)
+	var pis []int
+	var visit func(idx int)
+	visit = func(idx int) {
+		if seen[idx] || idx == 0 {
+			return
+		}
+		seen[idx] = true
+		n := g.nodes[idx]
+		if n.f0 == invalidLit {
+			pis = append(pis, idx)
+			return
+		}
+		visit(n.f0.Node())
+		visit(n.f1.Node())
+	}
+	for _, l := range outs {
+		visit(l.Node())
+	}
+	return pis
+}
+
+// ConeNodes returns, in topological order, the AND nodes in the transitive
+// fanin of the outputs.
+func (g *Graph) ConeNodes(outs []Lit) []int {
+	seen := make(map[int]bool)
+	var order []int
+	var visit func(idx int)
+	visit = func(idx int) {
+		if seen[idx] || idx == 0 {
+			return
+		}
+		seen[idx] = true
+		n := g.nodes[idx]
+		if n.f0 == invalidLit {
+			return
+		}
+		visit(n.f0.Node())
+		visit(n.f1.Node())
+		order = append(order, idx)
+	}
+	for _, l := range outs {
+		visit(l.Node())
+	}
+	return order
+}
+
+// Depends reports whether literal out depends (transitively) on the node
+// `on`.
+func (g *Graph) Depends(out Lit, on int) bool {
+	seen := make(map[int]bool)
+	var visit func(idx int) bool
+	visit = func(idx int) bool {
+		if idx == on {
+			return true
+		}
+		if seen[idx] || idx == 0 {
+			return false
+		}
+		seen[idx] = true
+		n := g.nodes[idx]
+		if n.f0 == invalidLit {
+			return false
+		}
+		return visit(n.f0.Node()) || visit(n.f1.Node())
+	}
+	return visit(out.Node())
+}

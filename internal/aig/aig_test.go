@@ -1,0 +1,185 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConstantFolding(t *testing.T) {
+	g := New()
+	a := g.NewPI()
+	if g.And(a, Const0) != Const0 || g.And(Const0, a) != Const0 {
+		t.Error("x & 0 must fold to 0")
+	}
+	if g.And(a, Const1) != a || g.And(Const1, a) != a {
+		t.Error("x & 1 must fold to x")
+	}
+	if g.And(a, a) != a {
+		t.Error("x & x must fold to x")
+	}
+	if g.And(a, a.Not()) != Const0 {
+		t.Error("x & !x must fold to 0")
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("folding created %d AND nodes", g.NumAnds())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New()
+	a, b := g.NewPI(), g.NewPI()
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Error("commuted AND must hash to the same node")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("%d AND nodes, want 1", g.NumAnds())
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MakeLit(5, true)
+	if l.Node() != 5 || !l.Compl() || l.Not().Compl() {
+		t.Error("Lit accessors wrong")
+	}
+	if !Const0.IsConst() || !Const1.IsConst() {
+		t.Error("IsConst wrong")
+	}
+	if Const0.String() != "0" || Const1.String() != "1" {
+		t.Error("const String wrong")
+	}
+	if MakeLit(3, true).String() != "!n3" {
+		t.Errorf("String = %s", MakeLit(3, true).String())
+	}
+	if ConstLit(true) != Const1 || ConstLit(false) != Const0 {
+		t.Error("ConstLit wrong")
+	}
+}
+
+func TestEvalGates(t *testing.T) {
+	g := New()
+	a, b, c := g.NewPI(), g.NewPI(), g.NewPI()
+	and := g.And(a, b)
+	or := g.Or(a, b)
+	xor := g.Xor(a, b)
+	mux := g.Mux(c, a, b)
+	for v := 0; v < 8; v++ {
+		av, bv, cv := v&1 == 1, v&2 == 2, v&4 == 4
+		res := g.EvalLits([]bool{av, bv, cv}, []Lit{and, or, xor, mux})
+		if res[0] != (av && bv) || res[1] != (av || bv) || res[2] != (av != bv) {
+			t.Fatalf("gate eval wrong at %03b", v)
+		}
+		want := bv
+		if cv {
+			want = av
+		}
+		if res[3] != want {
+			t.Fatalf("mux eval wrong at %03b", v)
+		}
+	}
+}
+
+func TestSupportAndCone(t *testing.T) {
+	g := New()
+	a, b, c := g.NewPI(), g.NewPI(), g.NewPI()
+	_ = c
+	x := g.And(a, b)
+	y := g.Xor(x, a)
+	sup := g.Support([]Lit{y})
+	if len(sup) != 2 {
+		t.Errorf("support = %v, want a and b only", sup)
+	}
+	cone := g.ConeNodes([]Lit{y})
+	// Topological: every node's fanins appear earlier (or are PIs).
+	pos := map[int]int{}
+	for i, n := range cone {
+		pos[n] = i
+	}
+	for i, n := range cone {
+		f0, f1 := g.Fanins(n)
+		for _, f := range []Lit{f0, f1} {
+			if g.IsPI(f.Node()) || f.Node() == 0 {
+				continue
+			}
+			if p, ok := pos[f.Node()]; !ok || p >= i {
+				t.Fatalf("cone not topological at node %d", n)
+			}
+		}
+	}
+}
+
+func TestDepends(t *testing.T) {
+	g := New()
+	a, b := g.NewPI(), g.NewPI()
+	x := g.And(a, b)
+	if !g.Depends(x, a.Node()) || !g.Depends(x, b.Node()) {
+		t.Error("x must depend on its fanins")
+	}
+	c := g.NewPI()
+	if g.Depends(x, c.Node()) {
+		t.Error("x must not depend on unrelated input")
+	}
+}
+
+func TestFaninsPanicsOnPI(t *testing.T) {
+	g := New()
+	a := g.NewPI()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Fanins(a.Node())
+}
+
+// TestRandomEquivalence builds random expressions two ways and checks the
+// hash-consing never changes semantics.
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	const nPI = 6
+	var pis []Lit
+	for i := 0; i < nPI; i++ {
+		pis = append(pis, g.NewPI())
+	}
+	pool := append([]Lit{}, pis...)
+	type ref func(v []bool) bool
+	refs := make([]ref, nPI)
+	for i := range refs {
+		i := i
+		refs[i] = func(v []bool) bool { return v[i] }
+	}
+	for step := 0; step < 200; step++ {
+		i, j := rng.Intn(len(pool)), rng.Intn(len(pool))
+		a, b := pool[i], pool[j]
+		ra, rb := refs[i], refs[j]
+		if rng.Intn(2) == 0 {
+			a, ra = a.Not(), func(v []bool) bool { return !refs[i](v) }
+		}
+		var l Lit
+		var r ref
+		switch rng.Intn(3) {
+		case 0:
+			l, r = g.And(a, b), func(v []bool) bool { return ra(v) && rb(v) }
+		case 1:
+			l, r = g.Or(a, b), func(v []bool) bool { return ra(v) || rb(v) }
+		default:
+			l, r = g.Xor(a, b), func(v []bool) bool { return ra(v) != rb(v) }
+		}
+		pool = append(pool, l)
+		refs = append(refs, r)
+	}
+	for trial := 0; trial < 64; trial++ {
+		v := make([]bool, nPI)
+		for i := range v {
+			v[i] = rng.Intn(2) == 0
+		}
+		vals := g.Eval(v)
+		for i, l := range pool {
+			if g.LitValue(vals, l) != refs[i](v) {
+				t.Fatalf("node %d diverged", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package arch implements the Hyper-AP micro-architecture (paper §IV,
+// Figs. 6-7): a hierarchical chip of banks → subarrays → PEs, where each
+// PE is a 256×256-word SIMD associative unit built from two RRAM crossbar
+// arrays, and subarrays share key/mask registers through their local
+// controller. Banks are assigned to instruction groups; groups execute
+// independent streams (MIMD) and synchronise with Wait, while the
+// Broadcast instruction selects which groups receive the following
+// instructions.
+//
+// The simulator executes ISA programs with the cycle costs of Table I and
+// produces an operation/energy report. Full-chip scale (131,072 PEs) is
+// extrapolated analytically by the bench harness; the simulator instance
+// is typically configured with a handful of PEs, which is enough to
+// verify functional behaviour row-for-row.
+package arch
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/isa"
+	"hyperap/internal/model"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// Config sizes a simulated chip.
+type Config struct {
+	Banks            int
+	SubarraysPerBank int
+	PEsPerSubarray   int
+	Rows             int // word rows per PE (256 on the real chip)
+	Bits             int // TCAM bit columns per word (256 on the real chip)
+	Groups           int // instruction groups; banks are assigned round-robin
+	Tech             tech.Tech
+	Monolithic       bool // use the traditional monolithic array design (Fig. 19b ablation)
+}
+
+// DefaultSmallConfig returns a functional-verification-sized chip: one
+// group, one bank, one subarray of two full-size PEs.
+func DefaultSmallConfig() Config {
+	return Config{
+		Banks:            1,
+		SubarraysPerBank: 1,
+		PEsPerSubarray:   2,
+		Rows:             tech.PERows,
+		Bits:             tech.PEBits,
+		Groups:           1,
+		Tech:             tech.RRAM(),
+	}
+}
+
+// PE is one processing element (Fig. 6d / Fig. 7): the associative
+// datapath plus a 512-bit data register connected to the inter-PE links.
+type PE struct {
+	M    *model.HyperAP
+	Data *bits.Vec // 512-bit data register
+
+	CountResult int // last Count reduction
+	IndexResult int // last Index reduction
+}
+
+// Subarray groups PEs behind one local controller with shared key/mask
+// registers (Fig. 6c).
+type Subarray struct {
+	PEs  []*PE
+	Keys []bits.Key // shared key/mask register contents
+}
+
+// Bank is a set of subarrays (Fig. 6b).
+type Bank struct {
+	Subarrays []*Subarray
+	Group     int
+}
+
+// Group is an instruction group: banks executing the same stream.
+type Group struct {
+	Banks  []*Bank
+	Cycles int64
+}
+
+// Chip is the simulated machine.
+type Chip struct {
+	Config Config
+
+	GroupList []*Group
+	banks     []*Bank
+	pes       []*PE // linear order: bank-major, then subarray, then PE
+
+	gridW, gridH int // PE grid for MovR: width = PEs per bank, height = banks
+
+	groupMask  uint8
+	DataBuffer []byte // top-level controller data buffer (ReadR destination)
+
+	// TraceFn, when set, receives one event per executed instruction —
+	// the simulator's debugging hook (hyperap-run -trace).
+	TraceFn func(TraceEvent)
+
+	report Report
+}
+
+// TraceEvent describes one executed instruction.
+type TraceEvent struct {
+	PC          int
+	Instr       isa.Instruction
+	Cycles      int
+	TaggedRows0 int // tag population of PE 0 after the instruction
+}
+
+// Report summarises one or more Execute calls.
+type Report struct {
+	Cycles      int64 // critical path: max over groups
+	GroupCycles []int64
+	Instr       map[isa.Op]int64
+	// PE-level associative operation counts (per active PE, summed).
+	Searches, Writes int64
+	Energy           tech.EnergyLedger
+}
+
+// New builds a chip.
+func New(cfg Config) *Chip {
+	if cfg.Groups <= 0 || cfg.Banks <= 0 || cfg.SubarraysPerBank <= 0 || cfg.PEsPerSubarray <= 0 {
+		panic("arch: non-positive configuration")
+	}
+	if cfg.Banks%cfg.Groups != 0 {
+		panic("arch: banks must divide evenly into groups")
+	}
+	c := &Chip{Config: cfg, groupMask: 0xFF}
+	c.GroupList = make([]*Group, cfg.Groups)
+	for g := range c.GroupList {
+		c.GroupList[g] = &Group{}
+	}
+	params := tcam.DefaultParams()
+	for b := 0; b < cfg.Banks; b++ {
+		bank := &Bank{Group: b % cfg.Groups}
+		for s := 0; s < cfg.SubarraysPerBank; s++ {
+			sub := &Subarray{Keys: make([]bits.Key, cfg.Bits)}
+			for i := range sub.Keys {
+				sub.Keys[i] = bits.KDC
+			}
+			for p := 0; p < cfg.PEsPerSubarray; p++ {
+				var d tcam.Design
+				if cfg.Monolithic {
+					d = tcam.NewMonolithic(cfg.Rows, cfg.Bits, params)
+				} else {
+					d = tcam.NewSeparated(cfg.Rows, cfg.Bits, params)
+				}
+				pe := &PE{M: model.NewHyperAP(d), Data: bits.NewVec(512)}
+				sub.PEs = append(sub.PEs, pe)
+				c.pes = append(c.pes, pe)
+			}
+			bank.Subarrays = append(bank.Subarrays, sub)
+		}
+		c.banks = append(c.banks, bank)
+		c.GroupList[bank.Group].Banks = append(c.GroupList[bank.Group].Banks, bank)
+	}
+	c.gridW = cfg.SubarraysPerBank * cfg.PEsPerSubarray
+	c.gridH = cfg.Banks
+	c.report = Report{Instr: make(map[isa.Op]int64), GroupCycles: make([]int64, cfg.Groups)}
+	return c
+}
+
+// NumPEs returns the number of processing elements.
+func (c *Chip) NumPEs() int { return len(c.pes) }
+
+// PE returns the processing element with the given linear address (the
+// 17-bit <addr> of ReadR/WriteR).
+func (c *Chip) PE(addr int) *PE {
+	if addr < 0 || addr >= len(c.pes) {
+		panic(fmt.Sprintf("arch: PE address %d out of range [0,%d)", addr, len(c.pes)))
+	}
+	return c.pes[addr]
+}
+
+// Report returns the accumulated execution report (energy assembled from
+// the crossbar statistics).
+func (c *Chip) Report() Report {
+	r := c.report
+	r.GroupCycles = append([]int64(nil), c.report.GroupCycles...)
+	r.Cycles = 0
+	for _, gc := range r.GroupCycles {
+		if gc > r.Cycles {
+			r.Cycles = gc
+		}
+	}
+	r.Energy = c.energy()
+	return r
+}
+
+func (c *Chip) energy() tech.EnergyLedger {
+	t := c.Config.Tech
+	var st tcam.Stats
+	var peSearches int64
+	for _, pe := range c.pes {
+		s := pe.M.TCAM().Stats()
+		st.SearchedCells += s.SearchedCells
+		st.CellWrites += s.CellWrites
+		st.HalfSelected += s.HalfSelected
+		peSearches += pe.M.Ops.Searches
+	}
+	var l tech.EnergyLedger
+	l.SearchJ = float64(st.SearchedCells)*t.ESearchPerDrivenCellJ +
+		float64(peSearches)*float64(c.Config.Rows)*t.ESearchSAJ
+	l.WriteJ = float64(st.CellWrites) * t.EWritePerCellJ
+	l.HalfSelectJ = float64(st.HalfSelected) * t.EHalfSelectJ
+	var instr int64
+	for _, n := range c.report.Instr {
+		instr += n
+	}
+	// One decode per subarray local controller per instruction (Fig. 6c).
+	nsub := float64(len(c.banks) * c.Config.SubarraysPerBank)
+	l.ControlJ = float64(instr) * nsub * t.EInstrJ
+	l.MoveJ = float64(c.report.Instr[isa.OpMovR]) * float64(len(c.pes)) * t.EMovRJ
+	l.ReductionJ = float64(c.report.Instr[isa.OpCount]+c.report.Instr[isa.OpIndex]) *
+		float64(len(c.pes)) * t.EReductionJ
+	return l
+}
+
+// CycleParams returns the Table I cycle constants for this chip's
+// technology and array design.
+func (c *Chip) CycleParams() isa.CycleParams {
+	w := c.Config.Tech.TCAMBitWriteCycles
+	if c.Config.Monolithic {
+		w *= 2
+	}
+	return isa.CycleParams{TCAMBitWriteCycles: w, DataMoveCycles: 20}
+}
+
+// activeGroups returns the groups selected by the current group mask.
+func (c *Chip) activeGroups() []*Group {
+	var gs []*Group
+	for i, g := range c.GroupList {
+		if i < 8 && c.groupMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// Execute runs a program. Instructions are dispatched to the groups
+// enabled by the group mask (all groups initially); Broadcast changes the
+// mask; Wait charges idle cycles to the active groups. The report
+// accumulates across calls.
+func (c *Chip) Execute(prog isa.Program) error {
+	cp := c.CycleParams()
+	for pc, in := range prog {
+		if err := c.step(in, cp); err != nil {
+			return fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
+		}
+		if c.TraceFn != nil {
+			c.TraceFn(TraceEvent{
+				PC:          pc,
+				Instr:       in,
+				Cycles:      in.Cycles(cp),
+				TaggedRows0: c.pes[0].M.Count(),
+			})
+		}
+	}
+	return nil
+}
+
+func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
+	c.report.Instr[in.Op]++
+	cycles := int64(in.Cycles(cp))
+
+	if in.Op == isa.OpBroadcast {
+		c.groupMask = in.GroupMask
+		// The broadcast itself is issued by the top-level controller and
+		// charged to every group.
+		for gi := range c.GroupList {
+			c.report.GroupCycles[gi] += cycles
+		}
+		return nil
+	}
+
+	groups := c.activeGroups()
+	for _, g := range groups {
+		gi := c.groupIndex(g)
+		c.report.GroupCycles[gi] += cycles
+	}
+
+	switch in.Op {
+	case isa.OpWait:
+		return nil // cycles already charged
+	case isa.OpMovR:
+		c.movR(in.Direction, groups)
+		return nil
+	case isa.OpReadR:
+		pe := c.PE(int(in.Addr))
+		c.DataBuffer = vecToBytes(pe.Data)
+		return nil
+	case isa.OpWriteR:
+		pe := c.PE(int(in.Addr))
+		bytesToVec(in.Imm, pe.Data)
+		return nil
+	}
+
+	// Per-PE instructions, applied to every PE of every active group.
+	for _, g := range groups {
+		for _, bank := range g.Banks {
+			for _, sub := range bank.Subarrays {
+				if err := c.stepSubarray(in, sub); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Chip) stepSubarray(in isa.Instruction, sub *Subarray) error {
+	switch in.Op {
+	case isa.OpSetKey:
+		copy(sub.Keys, in.Keys[:c.Config.Bits])
+		return nil
+	case isa.OpSearch:
+		for _, pe := range sub.PEs {
+			pe.M.Search(sub.Keys, in.Acc)
+			if in.Encode {
+				pe.M.LatchForEncode()
+			}
+		}
+		c.report.Searches += int64(len(sub.PEs))
+		return nil
+	case isa.OpWrite:
+		col := int(in.Col)
+		if col >= c.Config.Bits || (in.Encode && col+1 >= c.Config.Bits) {
+			return fmt.Errorf("write column %d out of range", col)
+		}
+		for _, pe := range sub.PEs {
+			if in.Encode {
+				pe.M.WriteEncodedPair(col)
+			} else {
+				k := sub.Keys[col]
+				if k == bits.KDC {
+					return fmt.Errorf("write with masked key at column %d", col)
+				}
+				pe.M.Write(col, k)
+			}
+		}
+		c.report.Writes += int64(len(sub.PEs))
+		return nil
+	case isa.OpCount:
+		for _, pe := range sub.PEs {
+			pe.CountResult = pe.M.Count()
+		}
+		return nil
+	case isa.OpIndex:
+		for _, pe := range sub.PEs {
+			pe.IndexResult = pe.M.Index()
+		}
+		return nil
+	case isa.OpSetTag:
+		for _, pe := range sub.PEs {
+			v := bits.NewVec(c.Config.Rows)
+			for i := 0; i < c.Config.Rows; i++ {
+				v.Set(i, pe.Data.Get(i))
+			}
+			pe.M.SetTags(v)
+		}
+		return nil
+	case isa.OpReadTag:
+		for _, pe := range sub.PEs {
+			for i := 0; i < c.Config.Rows; i++ {
+				pe.Data.Set(i, pe.M.Tags().Get(i))
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled opcode %v", in.Op)
+}
+
+func (c *Chip) groupIndex(g *Group) int {
+	for i, gg := range c.GroupList {
+		if gg == g {
+			return i
+		}
+	}
+	panic("arch: unknown group")
+}
+
+// movR shifts every active PE's data register to/from its grid neighbour
+// simultaneously: each PE receives the register of the neighbour opposite
+// to the move direction (a move "right" makes pe[x] read pe[x-1]).
+// Registers at the incoming edge are cleared.
+func (c *Chip) movR(dir isa.Dir, groups []*Group) {
+	active := make(map[*PE]bool)
+	for _, g := range groups {
+		for _, b := range g.Banks {
+			for _, s := range b.Subarrays {
+				for _, pe := range s.PEs {
+					active[pe] = true
+				}
+			}
+		}
+	}
+	old := make([]*bits.Vec, len(c.pes))
+	for i, pe := range c.pes {
+		old[i] = pe.Data.Clone()
+	}
+	for i, pe := range c.pes {
+		if !active[pe] {
+			continue
+		}
+		x, y := i%c.gridW, i/c.gridW
+		sx, sy := x, y
+		switch dir {
+		case isa.DirRight:
+			sx = x - 1
+		case isa.DirLeft:
+			sx = x + 1
+		case isa.DirDown:
+			sy = y - 1
+		case isa.DirUp:
+			sy = y + 1
+		}
+		if sx < 0 || sx >= c.gridW || sy < 0 || sy >= c.gridH {
+			pe.Data.SetAll(false)
+			continue
+		}
+		pe.Data.CopyFrom(old[sy*c.gridW+sx])
+	}
+}
+
+func vecToBytes(v *bits.Vec) []byte {
+	out := make([]byte, (v.Len()+7)/8)
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+func bytesToVec(b []byte, v *bits.Vec) {
+	for i := 0; i < v.Len(); i++ {
+		bit := false
+		if i/8 < len(b) {
+			bit = b[i/8]&(1<<uint(i%8)) != 0
+		}
+		v.Set(i, bit)
+	}
+}

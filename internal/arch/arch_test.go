@@ -1,0 +1,337 @@
+package arch
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/isa"
+	"hyperap/internal/tech"
+)
+
+func smallChip() *Chip {
+	cfg := DefaultSmallConfig()
+	cfg.Rows = 8
+	cfg.Bits = 16
+	return New(cfg)
+}
+
+func fullKeys(pairs map[int]bits.Key) []bits.Key {
+	ks := make([]bits.Key, isa.KeyWidth)
+	for i := range ks {
+		ks[i] = bits.KDC
+	}
+	for c, k := range pairs {
+		ks[c] = k
+	}
+	return ks
+}
+
+// TestExecuteFig5dProgram runs the Fig. 5d 1-bit addition as a real ISA
+// program on the simulated chip and checks results in every PE.
+func TestExecuteFig5dProgram(t *testing.T) {
+	c := smallChip()
+	for p := 0; p < c.NumPEs(); p++ {
+		pe := c.PE(p)
+		for row := 0; row < 8; row++ {
+			a, b, ci := row&1 != 0, row&2 != 0, row&4 != 0
+			pe.M.LoadPair(row, 0, a, b)
+			pe.M.LoadBit(row, 2, ci)
+			pe.M.LoadBit(row, 3, false)
+			pe.M.LoadBit(row, 4, false)
+		}
+	}
+	k := func(s string, cols ...int) isa.Instruction {
+		parsed, err := bits.ParseKeys(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int]bits.Key{}
+		for i, col := range cols {
+			m[col] = parsed[i]
+		}
+		return isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(m)}
+	}
+	prog := isa.Program{
+		k("010", 0, 1, 2), isa.Search(false, false),
+		k("101", 0, 1, 2), isa.Search(true, false),
+		k("1", 3), isa.Write(3, false),
+		k("-11", 0, 1, 2), isa.Search(false, false),
+		k("1Z0", 0, 1, 2), isa.Search(true, false),
+		k("1", 4), isa.Write(4, false),
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < c.NumPEs(); p++ {
+		pe := c.PE(p)
+		for row := 0; row < 8; row++ {
+			a, b, ci := row&1, row>>1&1, row>>2&1
+			sum, cout := (a+b+ci)&1 == 1, (a+b+ci)>>1 == 1
+			if got, err := pe.M.ReadBit(row, 3); err != nil || got != sum {
+				t.Errorf("PE %d row %d: sum = %v (%v)", p, row, got, err)
+			}
+			if got, err := pe.M.ReadBit(row, 4); err != nil || got != cout {
+				t.Errorf("PE %d row %d: cout = %v (%v)", p, row, got, err)
+			}
+		}
+	}
+	r := c.Report()
+	// 6 SetKey (1 cycle each) + 4 searches (1 each) + 2 writes (12 each).
+	if want := int64(6 + 4 + 2*12); r.Cycles != want {
+		t.Errorf("cycles = %d, want %d", r.Cycles, want)
+	}
+	if r.Searches != 4*int64(c.NumPEs()) || r.Writes != 2*int64(c.NumPEs()) {
+		t.Errorf("ops = %dS/%dW", r.Searches, r.Writes)
+	}
+	if r.Energy.TotalJ() <= 0 {
+		t.Error("energy not accounted")
+	}
+}
+
+func TestMonolithicWriteCycles(t *testing.T) {
+	cfg := DefaultSmallConfig()
+	cfg.Rows, cfg.Bits = 4, 8
+	cfg.Monolithic = true
+	c := New(cfg)
+	prog := isa.Program{
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(map[int]bits.Key{0: bits.K1})},
+		isa.Search(false, false), // match all (key 1 matches X in erased array)
+		isa.Write(0, false),
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Write = 1 + 1 + 20 with the monolithic design.
+	if want := int64(1 + 1 + 22); c.Report().Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Report().Cycles, want)
+	}
+}
+
+func TestCountIndexSetTagReadTag(t *testing.T) {
+	c := smallChip()
+	pe := c.PE(0)
+	for row := 0; row < 8; row++ {
+		pe.M.LoadBit(row, 0, row%2 == 1)
+	}
+	prog := isa.Program{
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(map[int]bits.Key{0: bits.K1})},
+		isa.Search(false, false),
+		isa.Instruction{Op: isa.OpCount},
+		isa.Instruction{Op: isa.OpIndex},
+		isa.Instruction{Op: isa.OpReadTag},
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	if pe.CountResult != 4 {
+		t.Errorf("count = %d, want 4", pe.CountResult)
+	}
+	if pe.IndexResult != 1 {
+		t.Errorf("index = %d, want 1", pe.IndexResult)
+	}
+	if !pe.Data.Get(1) || pe.Data.Get(0) {
+		t.Error("ReadTag did not copy tags to data register")
+	}
+	// Round-trip back through SetTag.
+	pe.Data.Set(0, true)
+	if err := c.Execute(isa.Program{{Op: isa.OpSetTag}}); err != nil {
+		t.Fatal(err)
+	}
+	if !pe.M.Tags().Get(0) || !pe.M.Tags().Get(1) {
+		t.Error("SetTag did not restore tags")
+	}
+}
+
+func TestMovRShiftsAcrossPEs(t *testing.T) {
+	cfg := DefaultSmallConfig()
+	cfg.PEsPerSubarray = 4
+	cfg.Rows, cfg.Bits = 4, 8
+	c := New(cfg)
+	for p := 0; p < 4; p++ {
+		c.PE(p).Data.Set(p, true) // PE p holds a 1 at position p
+	}
+	if err := c.Execute(isa.Program{isa.MovR(isa.DirRight)}); err != nil {
+		t.Fatal(err)
+	}
+	// PE p now holds PE p-1's register; PE 0 is cleared.
+	if c.PE(0).Data.OnesCount() != 0 {
+		t.Error("edge PE not cleared")
+	}
+	for p := 1; p < 4; p++ {
+		if !c.PE(p).Data.Get(p-1) || c.PE(p).Data.OnesCount() != 1 {
+			t.Errorf("PE %d register wrong after MovR right", p)
+		}
+	}
+	if err := c.Execute(isa.Program{isa.MovR(isa.DirLeft)}); err != nil {
+		t.Fatal(err)
+	}
+	// Shifting back: PE p holds what PE p+1 had.
+	for p := 0; p < 3; p++ {
+		if !c.PE(p).Data.Get(p) && p != 3 {
+			if p != 0 { // PE0 receives PE1's (which held PE0's original)
+				t.Errorf("PE %d register wrong after MovR left", p)
+			}
+		}
+	}
+}
+
+func TestMovRVertical(t *testing.T) {
+	cfg := DefaultSmallConfig()
+	cfg.Banks = 2
+	cfg.Rows, cfg.Bits = 4, 8
+	cfg.PEsPerSubarray = 1
+	c := New(cfg)
+	c.PE(0).Data.Set(5, true)
+	if err := c.Execute(isa.Program{isa.MovR(isa.DirDown)}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.PE(1).Data.Get(5) {
+		t.Error("MovR down did not cross banks")
+	}
+	if c.PE(0).Data.OnesCount() != 0 {
+		t.Error("top edge not cleared")
+	}
+}
+
+func TestReadRWriteR(t *testing.T) {
+	c := smallChip()
+	imm := make([]byte, 64)
+	imm[0] = 0b1010
+	prog := isa.Program{
+		{Op: isa.OpWriteR, Addr: 1, Imm: imm},
+		{Op: isa.OpReadR, Addr: 1},
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	pe := c.PE(1)
+	if pe.Data.Get(0) || !pe.Data.Get(1) || pe.Data.Get(2) || !pe.Data.Get(3) {
+		t.Error("WriteR contents wrong")
+	}
+	if len(c.DataBuffer) != 64 || c.DataBuffer[0] != 0b1010 {
+		t.Errorf("ReadR buffer = %v...", c.DataBuffer[:2])
+	}
+}
+
+func TestGroupsBroadcastWait(t *testing.T) {
+	cfg := DefaultSmallConfig()
+	cfg.Banks = 2
+	cfg.Groups = 2
+	cfg.Rows, cfg.Bits = 4, 8
+	cfg.PEsPerSubarray = 1
+	c := New(cfg)
+	prog := isa.Program{
+		isa.Broadcast(0b01), // group 0 only
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(map[int]bits.Key{0: bits.K1})},
+		isa.Search(false, false),
+		isa.Write(0, false),
+		isa.Broadcast(0b10), // group 1 only
+		isa.Wait(14),        // let group 1 catch up (setkey+search+write = 14)
+		isa.Broadcast(0b11),
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.GroupCycles[0] != r.GroupCycles[1] {
+		t.Errorf("groups out of sync: %v", r.GroupCycles)
+	}
+	// Group 1's PE must not have been written.
+	if _, err := c.PE(1).M.ReadBit(0, 0); err == nil {
+		t.Error("group 1 executed a group-0 instruction")
+	}
+	if b, err := c.PE(0).M.ReadBit(0, 0); err != nil || !b {
+		t.Error("group 0 write missing")
+	}
+}
+
+func TestWriteMaskedKeyErrors(t *testing.T) {
+	c := smallChip()
+	prog := isa.Program{
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(nil)},
+		isa.Search(false, false),
+		isa.Write(0, false),
+	}
+	if err := c.Execute(prog); err == nil {
+		t.Error("write with masked key should error")
+	}
+}
+
+func TestWriteColumnOutOfRange(t *testing.T) {
+	cfg := DefaultSmallConfig()
+	cfg.Rows, cfg.Bits = 4, 8
+	c := New(cfg)
+	if err := c.Execute(isa.Program{isa.Write(200, false)}); err == nil {
+		t.Error("out-of-range column should error")
+	}
+}
+
+func TestEncodedWriteProgram(t *testing.T) {
+	c := smallChip()
+	pe0 := c.PE(0)
+	for row := 0; row < 8; row++ {
+		pe0.M.LoadBit(row, 0, row&1 != 0)
+	}
+	prog := isa.Program{
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(map[int]bits.Key{0: bits.K0})},
+		isa.Search(false, true), // lo = ¬bit0, latch
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(map[int]bits.Key{0: bits.K1})},
+		isa.Search(false, true), // hi = bit0, latch
+		isa.Write(4, true),
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 8; row++ {
+		b := row&1 != 0
+		hi, lo, err := pe0.M.ReadPair(row, 4)
+		if err != nil || hi != b || lo == b {
+			t.Errorf("row %d: pair (%v,%v) err %v", row, hi, lo, err)
+		}
+	}
+	// Encoded write costs 23 cycles.
+	if want := int64(1 + 1 + 1 + 1 + 23); c.Report().Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Report().Cycles, want)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Banks: 3, Groups: 2, SubarraysPerBank: 1, PEsPerSubarray: 1, Rows: 4, Bits: 4, Tech: tech.RRAM()})
+}
+
+func TestPEAddressBounds(t *testing.T) {
+	c := smallChip()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.PE(99)
+}
+
+func TestTraceHook(t *testing.T) {
+	c := smallChip()
+	var events []TraceEvent
+	c.TraceFn = func(ev TraceEvent) { events = append(events, ev) }
+	prog := isa.Program{
+		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(nil)},
+		isa.Search(false, false),
+	}
+	if err := c.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("traced %d events, want 2", len(events))
+	}
+	if events[1].Instr.Op != isa.OpSearch || events[1].TaggedRows0 != 8 {
+		t.Errorf("trace event wrong: %+v", events[1])
+	}
+	if events[0].PC != 0 || events[1].PC != 1 || events[0].Cycles != 1 {
+		t.Errorf("trace bookkeeping wrong: %+v", events)
+	}
+}

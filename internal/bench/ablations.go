@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"hyperap/internal/aig"
+	"hyperap/internal/compile"
+	"hyperap/internal/lut"
+	"hyperap/internal/rtl"
+	"hyperap/internal/tech"
+)
+
+// AblAlpha sweeps the Eq. 2 α (write/search latency ratio): higher α
+// steers the lookup-table generation toward fewer writes, trading search
+// count — the knob that retargets the compiler between CMOS and RRAM
+// (§V-B.4).
+func AblAlpha() (*Table, error) {
+	t := &Table{
+		ID:     "abl-alpha",
+		Title:  "Eq. 2 α sweep on 16-bit addition",
+		Header: []string{"alpha", "searches", "writes", "LUTs", "cycles@alpha"},
+	}
+	src, _, _ := ArithmeticSource("Add", 16)
+	for _, alpha := range []int{1, 2, 5, 10, 20} {
+		tgt := compile.HyperTarget()
+		tgt.Tech.TCAMBitWriteCycles = alpha // sets both α and the write cycles
+		ex, err := CompileCached(fmt.Sprintf("abl-alpha-%d", alpha), src, tgt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", alpha),
+			fmt.Sprintf("%d", ex.Stats.Searches),
+			fmt.Sprintf("%d", ex.Stats.Writes),
+			fmt.Sprintf("%d", ex.Stats.LUTs),
+			fmt.Sprintf("%d", ex.Stats.Cycles),
+		})
+	}
+	return t, nil
+}
+
+// AblK sweeps the lookup-table input limit (the paper fixes it at 12:
+// larger tables barely help but explode compile time and weaken sensing
+// robustness, §V-B.4).
+func AblK() (*Table, error) {
+	t := &Table{
+		ID:     "abl-k",
+		Title:  "lookup-table input limit sweep on 8-bit multiplication",
+		Header: []string{"K", "searches", "writes", "LUTs", "cycles"},
+	}
+	src, _, _ := ArithmeticSource("Mul", 8)
+	for _, k := range []int{4, 6, 8, 10, 12} {
+		tgt := compile.HyperTarget()
+		tgt.K = k
+		ex, err := CompileCached(fmt.Sprintf("abl-k-%d", k), src, tgt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", ex.Stats.Searches),
+			fmt.Sprintf("%d", ex.Stats.Writes),
+			fmt.Sprintf("%d", ex.Stats.LUTs),
+			fmt.Sprintf("%d", ex.Stats.Cycles),
+		})
+	}
+	return t, nil
+}
+
+// AblPair compares the optimal bit pairing (Fig. 11's enumeration)
+// against naive adjacent pairing over the lookup tables of an 8-bit
+// adder.
+func AblPair() (*Table, error) {
+	g := aig.New()
+	a := make(rtl.BV, 8)
+	b := make(rtl.BV, 8)
+	for i := range a {
+		a[i] = g.NewPI()
+	}
+	for i := range b {
+		b[i] = g.NewPI()
+	}
+	sum := rtl.Add(g, a, b)
+	mp, err := lut.Map(g, sum, lut.DefaultOptions(tech.RRAM().Alpha()))
+	if err != nil {
+		return nil, err
+	}
+	optimal, adjacent := 0, 0
+	for _, l := range mp.LUTs {
+		free := make([]int, len(l.Leaves))
+		for i := range free {
+			free[i] = i
+		}
+		best := lut.ChooseCover(l.Truth, len(l.Leaves), lut.StorageClass{Free: free})
+		optimal += best.Searches()
+
+		var fixed [][2]int
+		var leftover []int
+		for i := 0; i+1 < len(l.Leaves); i += 2 {
+			fixed = append(fixed, [2]int{i, i + 1})
+		}
+		if len(l.Leaves)%2 == 1 {
+			leftover = append(leftover, len(l.Leaves)-1)
+		}
+		adj := lut.ChooseCover(l.Truth, len(l.Leaves), lut.StorageClass{FixedPairs: fixed, Singles: leftover})
+		adjacent += adj.Searches()
+	}
+	t := &Table{
+		ID:     "abl-pair",
+		Title:  "bit-pairing optimisation (Fig. 11) on the 8-bit adder's tables",
+		Header: []string{"pairing", "total searches"},
+		Rows: [][]string{
+			{"optimal (enumerated)", fmt.Sprintf("%d", optimal)},
+			{"adjacent (naive)", fmt.Sprintf("%d", adjacent)},
+		},
+	}
+	if optimal > adjacent {
+		return nil, fmt.Errorf("bench: pairing optimisation made things worse (%d > %d)", optimal, adjacent)
+	}
+	return t, nil
+}
+
+// AblArray compares the logical-unified-physical-separated TCAM design
+// against the monolithic array on the 32-bit addition: the separated
+// design halves write latency (§IV-B).
+func AblArray() (*Table, error) {
+	t := &Table{
+		ID:     "abl-array",
+		Title:  "TCAM array design: separated vs monolithic (32-bit add)",
+		Header: []string{"design", "cycles", "latency ns"},
+	}
+	src, _, _ := ArithmeticSource("Add", 32)
+	sep, err := CompileCached("Add32", src, compile.HyperTarget())
+	if err != nil {
+		return nil, err
+	}
+	tgt := compile.HyperTarget()
+	tgt.Monolithic = true
+	mono, err := CompileCached("abl-array-mono", src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"separated (Hyper-AP)", fmt.Sprintf("%d", sep.Stats.Cycles), f1(sep.LatencyNS())},
+		[]string{"monolithic (previous works)", fmt.Sprintf("%d", mono.Stats.Cycles), f1(mono.LatencyNS())},
+	)
+	return t, nil
+}

@@ -1,0 +1,123 @@
+// Package bench is the evaluation harness: it regenerates every table and
+// figure of the paper's §VI from the simulator, the compiler and the
+// baseline models (see DESIGN.md §3 for the experiment index). Each
+// experiment returns a Table that the hyperap-bench command renders as
+// text; testing.B benchmarks in the repository root wrap the same entry
+// points.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/tech"
+)
+
+// compiled caches executables across experiments (32-bit division takes
+// tens of seconds to compile; every figure reuses the same five ops).
+var compiled sync.Map // string → *compile.Executable
+
+// CompileCached compiles a source once per (key, target) pair.
+func CompileCached(key, src string, tgt compile.Target) (*compile.Executable, error) {
+	ck := fmt.Sprintf("%s|%s|%d|%v|%v|%d|%d", key, tgt.Tech.Name, tgt.Tech.TCAMBitWriteCycles,
+		tgt.Mode, tgt.Monolithic, boolToInt(tgt.NoAccumulation), tgt.K)
+	if v, ok := compiled.Load(ck); ok {
+		return v.(*compile.Executable), nil
+	}
+	ex, err := compile.CompileSource(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	compiled.Store(ck, ex)
+	return ex, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ArithmeticSource returns the benchmark program for one representative
+// operation at a given unsigned-integer width (the first synthetic
+// benchmark set, §VI-A.1: single operations in one SIMD slot).
+func ArithmeticSource(op string, width int) (src string, opsPerPass float64, err error) {
+	w := width
+	switch op {
+	case "Add":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a + b; }`, w+1, w, w), 1, nil
+	case "Mul":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a * b; }`, 2*w, w, w), 1, nil
+	case "Div":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a / b; }`, w, w, w), 1, nil
+	case "Sqrt":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a){ return sqrt(a); }`, (w+1)/2, w), 1, nil
+	case "Exp":
+		ow := w
+		if ow < 18 {
+			ow = 18
+		}
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a){ return exp(a); }`, ow, w), 1, nil
+	case "Multi_Add":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b, unsigned int(%d) c, unsigned int(%d) d){ return a + b + c + d; }`,
+			w+2, w, w, w, w), 3, nil
+	case "Add_i":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a){ return a + 19088743; }`, w+1, w), 1, nil
+	case "Mul_i":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a){ return a * 2654435; }`, 2*w, w), 1, nil
+	case "Div_i":
+		return fmt.Sprintf(`unsigned int(%d) main(unsigned int(%d) a){ return a / 12345; }`, w, w), 1, nil
+	}
+	return "", 0, fmt.Errorf("bench: unknown operation %q", op)
+}
+
+// Row is one system's measurement for one operation (the four panels of
+// Figs. 15-17).
+type Row struct {
+	System         string
+	LatencyNS      float64
+	ThroughputGOPS float64
+	PowerEffGOPSW  float64
+	AreaEffGOPSmm2 float64
+}
+
+// hyperMetrics turns a compiled executable into the Fig. 15 metrics:
+// latency from the cycle-accurate instruction stream, throughput as
+// slots × ops / latency, power from the energy model extrapolated to the
+// full chip, area efficiency against the die area.
+func hyperMetrics(ex *compile.Executable, chip tech.Chip, opsPerPass float64) (Row, error) {
+	lat := ex.LatencyNS()
+	tp := chip.Throughput(lat, opsPerPass)
+	perPE, err := ex.EnergyPerPE(tech.PERows)
+	if err != nil {
+		return Row{}, err
+	}
+	watts := ChipPower(perPE, lat, chip)
+	return Row{
+		System:         chip.Name,
+		LatencyNS:      lat,
+		ThroughputGOPS: tp,
+		PowerEffGOPSW:  tech.PowerEfficiency(tp, watts),
+		AreaEffGOPSmm2: chip.AreaEfficiency(tp),
+	}, nil
+}
+
+// PEsPerSubarray on the real chip: subarray local controllers amortise
+// instruction decode over this many PEs (§IV-B).
+const PEsPerSubarray = 32
+
+// ChipPower extrapolates a single-PE energy ledger to full-chip average
+// power: data-path energy scales with the PE count, control energy with
+// the subarray count.
+func ChipPower(perPE tech.EnergyLedger, latencyNS float64, chip tech.Chip) float64 {
+	if latencyNS <= 0 {
+		return 0
+	}
+	pes := float64(chip.PEs())
+	ctrl := perPE.ControlJ * pes / PEsPerSubarray
+	data := perPE.TotalJ() - perPE.ControlJ
+	totalJ := data*pes + ctrl
+	return totalJ / (latencyNS * 1e-9)
+}

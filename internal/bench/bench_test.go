@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), tbl.Title) {
+		t.Errorf("%s: render missing title", id)
+	}
+	return tbl
+}
+
+func cellInt(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q not an integer: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2Fig5Counts(t *testing.T) {
+	tbl := runExp(t, "fig2")
+	// Row 0: traditional 7S 7W 14; row 1: Hyper-AP 4S 2W 6.
+	if tbl.Rows[0][3] != "14" {
+		t.Errorf("traditional ops = %s, want 14", tbl.Rows[0][3])
+	}
+	if tbl.Rows[1][3] != "6" {
+		t.Errorf("Hyper-AP ops = %s, want 6", tbl.Rows[1][3])
+	}
+}
+
+func TestTab1Tab2(t *testing.T) {
+	t1 := runExp(t, "tab1")
+	if len(t1.Rows) != 12 {
+		t.Errorf("Table I has %d rows, want 12 instructions", len(t1.Rows))
+	}
+	t2 := runExp(t, "tab2")
+	found := false
+	for _, r := range t2.Rows {
+		if r[0] == "SIMD slots" && r[3] == "33554432" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Table II missing the Hyper-AP slot count")
+	}
+}
+
+func TestFig12Optimisations(t *testing.T) {
+	tbl := runExp(t, "fig12")
+	merged := cellInt(t, tbl.Rows[0][1])
+	embedded := cellInt(t, tbl.Rows[1][1])
+	generic := cellInt(t, tbl.Rows[2][1])
+	if merged > 7 {
+		t.Errorf("merged searches = %d, want ≤ 7 (paper: 6)", merged)
+	}
+	if embedded >= generic {
+		t.Errorf("embedding (%d searches) must beat generic (%d)", embedded, generic)
+	}
+}
+
+func TestFig13Listing(t *testing.T) {
+	tbl := runExp(t, "fig13")
+	foundSearch, foundWrite := false, false
+	for _, r := range tbl.Rows {
+		if strings.HasPrefix(r[1], "Search") {
+			foundSearch = true
+		}
+		if strings.HasPrefix(r[1], "Write") {
+			foundWrite = true
+		}
+	}
+	if !foundSearch || !foundWrite {
+		t.Error("listing must contain search and write instructions")
+	}
+}
+
+func TestFig19aShape(t *testing.T) {
+	tbl := runExp(t, "fig19a")
+	// Row order: R-AP, R-Hyper-AP, C-AP, C-Hyper-AP.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+		if err != nil {
+			t.Fatalf("bad factor %q", s)
+		}
+		return v
+	}
+	rImpr := parse(tbl.Rows[1][5])
+	cImpr := parse(tbl.Rows[3][5])
+	if rImpr <= cImpr {
+		t.Errorf("RRAM improvement (%.1fx) must exceed CMOS (%.1fx) — §VI-E", rImpr, cImpr)
+	}
+	if rImpr < 4 {
+		t.Errorf("RRAM improvement %.1fx implausibly small", rImpr)
+	}
+}
+
+func TestFig19bShares(t *testing.T) {
+	tbl := runExp(t, "fig19b")
+	share := func(cell string) float64 {
+		pct := strings.SplitN(cell, "%", 2)[0]
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			t.Fatalf("bad share cell %q", cell)
+		}
+		return v
+	}
+	for _, r := range tbl.Rows {
+		keys, acc, arr := share(r[1]), share(r[2]), share(r[3])
+		// The ordering claim of Fig. 19b: the extended search keys are the
+		// largest contributor and the accumulation unit benefits from the
+		// multi-pattern reduction; the array design only matters for
+		// writes. (Our measured shares are flatter than the paper's
+		// 83/15/2 because our traditional baseline shares the optimised
+		// ISOP tables — see EXPERIMENTS.md.)
+		if keys < arr {
+			t.Errorf("%s: search keys (%.0f%%) should outweigh the array design (%.0f%%)", r[0], keys, arr)
+		}
+		if keys+acc < 50 {
+			t.Errorf("%s: execution-model contributions (%.0f%%+%.0f%%) should dominate", r[0], keys, acc)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	alpha := runExp(t, "abl-alpha")
+	// Endpoint comparison (the heuristic mapper is not strictly
+	// monotonic): a large α must not use more writes than α = 1, and it
+	// must cost more cycles (writes are slower).
+	first, last := alpha.Rows[0], alpha.Rows[len(alpha.Rows)-1]
+	if cellInt(t, last[2]) > cellInt(t, first[2]) {
+		t.Errorf("writes at high α (%s) exceed writes at α=1 (%s)", last[2], first[2])
+	}
+	if cellInt(t, last[4]) <= cellInt(t, first[4]) {
+		t.Error("cycles must grow with the write/search latency ratio")
+	}
+	runExp(t, "abl-k")
+	pair := runExp(t, "abl-pair")
+	if cellInt(t, pair.Rows[0][1]) > cellInt(t, pair.Rows[1][1]) {
+		t.Error("optimal pairing must not lose to adjacent pairing")
+	}
+	arr := runExp(t, "abl-array")
+	if cellInt(t, arr.Rows[0][1]) >= cellInt(t, arr.Rows[1][1]) {
+		t.Error("separated design must be faster than monolithic")
+	}
+}
+
+// TestHeavyFigures regenerates the arithmetic and kernel figures; this
+// compiles the 32-bit operation suite, so it is skipped in -short mode.
+func TestHeavyFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure regeneration skipped in -short mode")
+	}
+	f15 := runExp(t, "fig15")
+	if len(f15.Rows) != 15 { // 5 ops × 3 systems
+		t.Errorf("fig15 rows = %d, want 15", len(f15.Rows))
+	}
+	f16 := runExp(t, "fig16")
+	// Precision scaling: 16-bit Hyper-AP add must be faster than 32-bit.
+	lat32 := f15.Rows[2][2]
+	lat16 := f16.Rows[2][2]
+	v32, _ := strconv.ParseFloat(lat32, 64)
+	v16, _ := strconv.ParseFloat(lat16, 64)
+	if v16 >= v32 {
+		t.Errorf("16-bit add latency %v must beat 32-bit %v (Fig. 16)", v16, v32)
+	}
+	runExp(t, "fig17")
+	f18 := runExp(t, "fig18")
+	if len(f18.Rows) != 8 {
+		t.Errorf("fig18 rows = %d, want 8 kernels", len(f18.Rows))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestAblClusterAndMargin(t *testing.T) {
+	cl := runExp(t, "abl-cluster")
+	if len(cl.Rows) != 8 {
+		t.Errorf("cluster table rows = %d, want 8 kernels", len(cl.Rows))
+	}
+	mg := runExp(t, "abl-margin")
+	// The margin must be positive for LUT-sized searches and collapse for
+	// absurd widths.
+	if mg.Rows[1][2] != "yes" {
+		t.Error("12-cell search must be robust")
+	}
+	if mg.Rows[len(mg.Rows)-1][2] != "NO" {
+		t.Error("8192-cell search must not be robust")
+	}
+}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/gpu"
+	"hyperap/internal/imp"
+	"hyperap/internal/tech"
+	"hyperap/internal/workload"
+)
+
+var arithmeticOps = []string{"Add", "Mul", "Div", "Sqrt", "Exp"}
+
+// ArithmeticFigure regenerates Fig. 15 (width 32) or Fig. 16 (width 16):
+// latency, throughput, power efficiency and area efficiency for the five
+// representative operations on GPU, IMP and Hyper-AP.
+func ArithmeticFigure(width int) (*Table, error) {
+	id := "fig15"
+	if width == 16 {
+		id = "fig16"
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%d-bit arithmetic operations (latency ns / GOPS / GOPS/W / GOPS/mm²)", width),
+		Header: []string{"op", "system", "latency", "thruput", "pwr-eff", "area-eff", "vs IMP (lat/tp/pe/ae)"},
+	}
+	chip := tech.HyperAPChip()
+	impChip := imp.Default()
+	gpuChip := gpu.Default()
+	for _, op := range arithmeticOps {
+		src, opsPerPass, err := ArithmeticSource(op, width)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := CompileCached(fmt.Sprintf("%s%d", op, width), src, compile.HyperTarget())
+		if err != nil {
+			return nil, err
+		}
+		hy, err := hyperMetrics(ex, chip, opsPerPass)
+		if err != nil {
+			return nil, err
+		}
+		ip, err := impChip.Arithmetic(imp.Op(op), width)
+		if err != nil {
+			return nil, err
+		}
+		gp, err := gpuChip.Arithmetic(op, width)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows,
+			[]string{op, "GPU", f1(gp.LatencyNS), f1(gp.ThroughputGOPS), f1(gp.PowerEffGOPSW), f1(gp.AreaEffGOPSmm2), ""},
+			[]string{"", "IMP", f1(ip.LatencyNS), f1(ip.ThroughputGOPS), f1(ip.PowerEffGOPSW), f1(ip.AreaEffGOPSmm2), ""},
+			[]string{"", "Hyper-AP", f1(hy.LatencyNS), f1(hy.ThroughputGOPS), f1(hy.PowerEffGOPSW), f1(hy.AreaEffGOPSmm2),
+				fmt.Sprintf("%s/%s/%s/%s",
+					fx(ip.LatencyNS/hy.LatencyNS), fx(hy.ThroughputGOPS/ip.ThroughputGOPS),
+					fx(hy.PowerEffGOPSW/ip.PowerEffGOPSW), fx(hy.AreaEffGOPSmm2/ip.AreaEffGOPSmm2))},
+		)
+	}
+	t.Notes = append(t.Notes,
+		"Hyper-AP rows are measured on the simulator; GPU and IMP rows are the calibrated reference models (see internal/imp, internal/gpu).")
+	return t, nil
+}
+
+// Fig17 regenerates the operation-merging and operand-embedding study:
+// three consecutive additions (Multi_Add) and operations with immediate
+// operands (Add_i, Mul_i, Div_i) at 32 bits.
+func Fig17() (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "operation merging and operand embedding, 32-bit (Fig. 17)",
+		Header: []string{"op", "system", "latency", "thruput", "pwr-eff", "area-eff", "vs IMP (tp)"},
+	}
+	chip := tech.HyperAPChip()
+	impChip := imp.Default()
+	cases := []struct {
+		name string
+		impP func() (imp.Perf, error)
+	}{
+		{"Multi_Add", func() (imp.Perf, error) { return impChip.MergedAdds(3), nil }},
+		{"Add_i", func() (imp.Perf, error) { return impChip.ImmediateOp(imp.OpAdd) }},
+		{"Mul_i", func() (imp.Perf, error) { return impChip.ImmediateOp(imp.OpMul) }},
+		{"Div_i", func() (imp.Perf, error) { return impChip.ImmediateOp(imp.OpDiv) }},
+	}
+	for _, c := range cases {
+		src, opsPerPass, err := ArithmeticSource(c.name, 32)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := CompileCached(c.name+"32", src, compile.HyperTarget())
+		if err != nil {
+			return nil, err
+		}
+		hy, err := hyperMetrics(ex, chip, opsPerPass)
+		if err != nil {
+			return nil, err
+		}
+		ip, err := c.impP()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows,
+			[]string{c.name, "IMP", f1(ip.LatencyNS), f1(ip.ThroughputGOPS), f1(ip.PowerEffGOPSW), f1(ip.AreaEffGOPSmm2), ""},
+			[]string{"", "Hyper-AP", f1(hy.LatencyNS), f1(hy.ThroughputGOPS), f1(hy.PowerEffGOPSW), f1(hy.AreaEffGOPSmm2),
+				fx(hy.ThroughputGOPS / ip.ThroughputGOPS)},
+		)
+	}
+	return t, nil
+}
+
+// Hyper-AP inter-PE link parameters (§VI-D: 10 ns latency, 51.2 Gb/s).
+const (
+	linkLatencyNS = 10.0
+	linkEnergyPJ  = 20.0
+)
+
+// KernelResult is one Fig. 18 measurement.
+type KernelResult struct {
+	Name               string
+	GPUTimeNS          float64
+	IMPTimeNS          float64
+	HyperTimeNS        float64
+	IMPSpeedup         float64 // vs GPU
+	HyperSpeedup       float64 // vs GPU
+	HyperVsIMP         float64
+	GPUEnergyJ         float64
+	IMPEnergyJ         float64
+	HyperEnergyJ       float64
+	EnergyReductionIMP float64 // IMP energy / Hyper energy
+}
+
+// EvaluateKernel produces one kernel's three-system comparison.
+func EvaluateKernel(k *workload.Kernel) (KernelResult, error) {
+	ex, err := CompileCached("kernel-"+k.Name, k.Source, compile.HyperTarget())
+	if err != nil {
+		return KernelResult{}, err
+	}
+	chip := tech.HyperAPChip()
+	lat := ex.LatencyNS() + k.MovesPerElement*linkLatencyNS
+	waves := math.Ceil(float64(k.Elements) / float64(chip.SIMDSlots))
+	hyperTime := lat * waves
+
+	perPE, err := ex.EnergyPerPE(tech.PERows)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	perElemJ := perPE.TotalJ()/tech.PERows + k.MovesPerElement*linkEnergyPJ*1e-12
+	hyperEnergy := perElemJ * float64(k.Elements)
+
+	ik := k.IMP
+	ik.Elements = k.Elements
+	impTime, impEnergy := imp.Default().Evaluate(ik)
+
+	gk := k.GPU
+	gk.Elements = k.Elements
+	gpuTime, gpuEnergy := gpu.Default().Evaluate(gk)
+
+	return KernelResult{
+		Name:               k.Name,
+		GPUTimeNS:          gpuTime,
+		IMPTimeNS:          impTime,
+		HyperTimeNS:        hyperTime,
+		IMPSpeedup:         gpuTime / impTime,
+		HyperSpeedup:       gpuTime / hyperTime,
+		HyperVsIMP:         impTime / hyperTime,
+		GPUEnergyJ:         gpuEnergy,
+		IMPEnergyJ:         impEnergy,
+		HyperEnergyJ:       hyperEnergy,
+		EnergyReductionIMP: impEnergy / hyperEnergy,
+	}, nil
+}
+
+// Fig18 regenerates the application study: kernel speedups over the GPU
+// and energy normalised to the GPU, for IMP and Hyper-AP.
+func Fig18() (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "Rodinia kernels: speedup over GPU and normalised energy (Fig. 18)",
+		Header: []string{"kernel", "IMP speedup", "Hyper speedup", "Hyper/IMP", "IMP energy", "Hyper energy", "IMP/Hyper energy"},
+	}
+	geoSpeed, geoEnergy := 1.0, 1.0
+	ks := workload.Kernels()
+	for _, k := range ks {
+		r, err := EvaluateKernel(k)
+		if err != nil {
+			return nil, err
+		}
+		geoSpeed *= r.HyperVsIMP
+		geoEnergy *= r.EnergyReductionIMP
+		t.Rows = append(t.Rows, []string{
+			r.Name, fx(r.IMPSpeedup), fx(r.HyperSpeedup), fx(r.HyperVsIMP),
+			f1(r.IMPEnergyJ / r.GPUEnergyJ), f1(r.HyperEnergyJ / r.GPUEnergyJ), fx(r.EnergyReductionIMP),
+		})
+	}
+	n := float64(len(ks))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geometric mean vs IMP: %.2fx speedup, %.1fx energy reduction (paper: 3.3x and 23.8x averages)",
+			math.Pow(geoSpeed, 1/n), math.Pow(geoEnergy, 1/n)))
+	return t, nil
+}
+
+// fig19System measures the 32-bit addition on one machine configuration.
+func fig19System(name string, tgt compile.Target, chip tech.Chip) (Row, error) {
+	src, _, _ := ArithmeticSource("Add", 32)
+	ex, err := CompileCached("f19-"+name, src, tgt)
+	if err != nil {
+		return Row{}, err
+	}
+	r, err := hyperMetrics(ex, chip, 1)
+	if err != nil {
+		return Row{}, err
+	}
+	r.System = name
+	return r, nil
+}
+
+// Fig19a regenerates the traditional-AP comparison: 32-bit addition on
+// RRAM-based and CMOS-based traditional AP and Hyper-AP.
+func Fig19a() (*Table, error) {
+	t := &Table{
+		ID:     "fig19a",
+		Title:  "Hyper-AP vs traditional AP, 32-bit addition (Fig. 19a)",
+		Header: []string{"system", "latency", "thruput", "pwr-eff", "area-eff", "improvement (lat)"},
+	}
+	rChip, cChip := tech.HyperAPChip(), tech.CMOSHyperAPChip()
+	rAP, err := fig19System("R-AP", compile.TraditionalTarget(tech.RRAM()), rChip)
+	if err != nil {
+		return nil, err
+	}
+	rHy, err := fig19System("R-Hyper-AP", compile.HyperTarget(), rChip)
+	if err != nil {
+		return nil, err
+	}
+	cAP, err := fig19System("C-AP", compile.TraditionalTarget(tech.CMOS()), cChip)
+	if err != nil {
+		return nil, err
+	}
+	cHy, err := fig19System("C-Hyper-AP", compile.HyperCMOSTarget(), cChip)
+	if err != nil {
+		return nil, err
+	}
+	row := func(r Row, impr float64) []string {
+		cell := ""
+		if impr > 0 {
+			cell = fx(impr)
+		}
+		return []string{r.System, f1(r.LatencyNS), f1(r.ThroughputGOPS), f1(r.PowerEffGOPSW), f1(r.AreaEffGOPSmm2), cell}
+	}
+	t.Rows = append(t.Rows,
+		row(rAP, 0),
+		row(rHy, rAP.LatencyNS/rHy.LatencyNS),
+		row(cAP, 0),
+		row(cHy, cAP.LatencyNS/cHy.LatencyNS),
+	)
+	t.Notes = append(t.Notes,
+		"paper: RRAM improvement 36x, CMOS improvement 13x — RRAM benefits more because write reduction outweighs search reduction and Twrite/Tsearch = 10.")
+	return t, nil
+}
+
+// Fig19b decomposes the RRAM and CMOS throughput improvements into the
+// three mechanisms (additional search keys, accumulation unit, TCAM array
+// design) by enabling them stepwise; the multiplicative factors are
+// converted to log shares, matching the paper's percentage breakdown.
+func Fig19b() (*Table, error) {
+	t := &Table{
+		ID:     "fig19b",
+		Title:  "throughput-improvement breakdown (Fig. 19b)",
+		Header: []string{"technology", "search keys", "accumulation", "array design", "total"},
+	}
+	for _, tc := range []struct {
+		name string
+		tech tech.Tech
+	}{{"RRAM", tech.RRAM()}, {"CMOS", tech.CMOS()}} {
+		base := compile.TraditionalTarget(tc.tech) // T0: traditional, monolithic
+
+		t1 := compile.Target{Tech: tc.tech, Monolithic: true, Mode: 0, K: base.K, CutsPerNode: base.CutsPerNode, WordBits: base.WordBits, NoAccumulation: true}
+		t2 := t1
+		t2.NoAccumulation = false
+		t3 := t2
+		t3.Monolithic = false
+
+		cyc := func(tgt compile.Target, key string) (float64, error) {
+			src, _, _ := ArithmeticSource("Add", 32)
+			ex, err := CompileCached("f19b-"+tc.name+key, src, tgt)
+			if err != nil {
+				return 0, err
+			}
+			return float64(ex.Stats.Cycles), nil
+		}
+		c0, err := cyc(base, "T0")
+		if err != nil {
+			return nil, err
+		}
+		c1, err := cyc(t1, "T1")
+		if err != nil {
+			return nil, err
+		}
+		c2, err := cyc(t2, "T2")
+		if err != nil {
+			return nil, err
+		}
+		c3, err := cyc(t3, "T3")
+		if err != nil {
+			return nil, err
+		}
+		fKeys, fAcc, fArr := c0/c1, c1/c2, c2/c3
+		total := c0 / c3
+		lt := math.Log(total)
+		t.Rows = append(t.Rows, []string{
+			tc.name,
+			fmt.Sprintf("%.0f%% (%.1fx)", 100*math.Log(fKeys)/lt, fKeys),
+			fmt.Sprintf("%.0f%% (%.2fx)", 100*math.Log(fAcc)/lt, fAcc),
+			fmt.Sprintf("%.0f%% (%.1fx)", 100*math.Log(fArr)/lt, fArr),
+			fx(total),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: search keys dominate (83%/88%), then array design (15%/11%), then accumulation (2%/1%).")
+	return t, nil
+}

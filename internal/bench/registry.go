@@ -1,0 +1,45 @@
+package bench
+
+import "fmt"
+
+// Experiment is one regenerable table/figure.
+type Experiment struct {
+	ID    string
+	Run   func() (*Table, error)
+	Heavy bool // compiles 32-bit div/exp (tens of seconds)
+}
+
+// Experiments returns the full index (DESIGN.md §3), in presentation
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig2", Run: Fig2Fig5},
+		{ID: "fig5", Run: Fig2Fig5},
+		{ID: "tab1", Run: Tab1},
+		{ID: "tab2", Run: Tab2},
+		{ID: "fig12", Run: Fig12},
+		{ID: "fig13", Run: Fig13},
+		{ID: "fig15", Run: func() (*Table, error) { return ArithmeticFigure(32) }, Heavy: true},
+		{ID: "fig16", Run: func() (*Table, error) { return ArithmeticFigure(16) }, Heavy: true},
+		{ID: "fig17", Run: Fig17, Heavy: true},
+		{ID: "fig18", Run: Fig18, Heavy: true},
+		{ID: "fig19a", Run: Fig19a},
+		{ID: "fig19b", Run: Fig19b},
+		{ID: "abl-alpha", Run: AblAlpha},
+		{ID: "abl-k", Run: AblK},
+		{ID: "abl-pair", Run: AblPair},
+		{ID: "abl-array", Run: AblArray},
+		{ID: "abl-cluster", Run: AblCluster},
+		{ID: "abl-margin", Run: AblMargin},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (see DESIGN.md §3)", id)
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/gpu"
+	"hyperap/internal/imp"
+	"hyperap/internal/isa"
+	"hyperap/internal/model"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// Tab1 regenerates Table I: the ISA with cycle costs and instruction
+// lengths, for the RRAM constants.
+func Tab1() (*Table, error) {
+	t := &Table{
+		ID:     "tab1",
+		Title:  "instruction set architecture (Table I, RRAM constants)",
+		Header: []string{"category", "opcode", "cycles", "length (bytes)"},
+	}
+	cp := isa.DefaultCycleParams()
+	rows := []struct {
+		cat string
+		in  isa.Instruction
+		cyc string
+	}{
+		{"Compute", isa.Search(false, false), ""},
+		{"Compute", isa.Write(0, false), "12/23"},
+		{"Compute", isa.SetKey(nil), ""},
+		{"", isa.Instruction{Op: isa.OpCount}, ""},
+		{"", isa.Instruction{Op: isa.OpIndex}, ""},
+		{"", isa.MovR(isa.DirUp), ""},
+		{"Data Manipulate", isa.Instruction{Op: isa.OpReadR}, "variable"},
+		{"Data Manipulate", isa.Instruction{Op: isa.OpWriteR, Imm: make([]byte, 64)}, "variable"},
+		{"", isa.Instruction{Op: isa.OpSetTag}, ""},
+		{"", isa.Instruction{Op: isa.OpReadTag}, ""},
+		{"Control", isa.Broadcast(0), ""},
+		{"Control", isa.Wait(0), "variable"},
+	}
+	for _, r := range rows {
+		cyc := r.cyc
+		if cyc == "" {
+			cyc = fmt.Sprintf("%d", r.in.Cycles(cp))
+		}
+		t.Rows = append(t.Rows, []string{r.cat, r.in.Op.String(), cyc, fmt.Sprintf("%d", r.in.Length())})
+	}
+	return t, nil
+}
+
+// Tab2 regenerates Table II: the three compared systems.
+func Tab2() (*Table, error) {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "system configurations (Table II)",
+		Header: []string{"parameter", "GPU (1-card)", "IMP", "Hyper-AP"},
+	}
+	g, i, h := gpu.Default(), imp.Default(), tech.HyperAPChip()
+	t.Rows = append(t.Rows,
+		[]string{"SIMD slots", fmt.Sprintf("%d", g.SIMDSlots), fmt.Sprintf("%d", i.SIMDSlots), fmt.Sprintf("%d", h.SIMDSlots)},
+		[]string{"frequency", "1.58 GHz", "20 MHz", "1 GHz"},
+		[]string{"area (mm²)", f1(g.AreaMM2), f1(i.AreaMM2), f1(h.AreaMM2)},
+		[]string{"TDP (W)", f1(g.TDPWatts), f1(i.TDPWatts), f1(h.TDPWatts)},
+		[]string{"memory", "3MB L2 + 12GB DRAM", "1GB RRAM", "1GB RRAM"},
+	)
+	return t, nil
+}
+
+// Fig2Fig5 replays the 1-bit-addition example on both abstract machines
+// and reports the operation counts of Figs. 2 and 5d.
+func Fig2Fig5() (*Table, error) {
+	t := &Table{
+		ID:     "fig2+fig5",
+		Title:  "1-bit addition with carry on both execution models (Figs. 2, 5d)",
+		Header: []string{"machine", "searches", "writes", "total ops"},
+	}
+	// Traditional AP, Fig. 2: columns A=0 B=1 Cin=2 Sum=3 Cout=4.
+	trad := model.NewTraditionalAP(8, 5)
+	for row := 0; row < 8; row++ {
+		trad.SetBit(row, 0, row&1 != 0)
+		trad.SetBit(row, 1, row&2 != 0)
+		trad.SetBit(row, 2, row&4 != 0)
+	}
+	trad.RunLUT(fullAdderLUT())
+	t.Rows = append(t.Rows, []string{"traditional AP (Fig. 2c)",
+		fmt.Sprintf("%d", trad.Ops.Searches), fmt.Sprintf("%d", trad.Ops.Writes), fmt.Sprintf("%d", trad.Ops.Total())})
+
+	// Hyper-AP, Fig. 5d.
+	hy := model.NewHyperAP(tcam.NewSeparated(8, 5, tcam.DefaultParams()))
+	for row := 0; row < 8; row++ {
+		hy.LoadPair(row, 0, row&1 != 0, row&2 != 0)
+		hy.LoadBit(row, 2, row&4 != 0)
+		hy.LoadBit(row, 3, false)
+		hy.LoadBit(row, 4, false)
+	}
+	key := func(s string, cols ...int) []bits.Key {
+		ks, err := bits.ParseKeys(s)
+		if err != nil {
+			panic(err)
+		}
+		out := make([]bits.Key, 5)
+		for i := range out {
+			out[i] = bits.KDC
+		}
+		for i, c := range cols {
+			out[c] = ks[i]
+		}
+		return out
+	}
+	hy.Search(key("010", 0, 1, 2), false)
+	hy.Search(key("101", 0, 1, 2), true)
+	hy.Write(3, bits.K1)
+	hy.Search(key("-11", 0, 1, 2), false)
+	hy.Search(key("1Z0", 0, 1, 2), true)
+	hy.Write(4, bits.K1)
+	t.Rows = append(t.Rows, []string{"Hyper-AP (Fig. 5d)",
+		fmt.Sprintf("%d", hy.Ops.Searches), fmt.Sprintf("%d", hy.Ops.Writes), fmt.Sprintf("%d", hy.Ops.Total())})
+	t.Notes = append(t.Notes, "paper: 14 operations vs 6 operations (2.3x fewer)")
+	return t, nil
+}
+
+func fullAdderLUT() []model.LUTEntry {
+	return []model.LUTEntry{
+		{Inputs: []model.ColBit{{Col: 0, Bit: true}, {Col: 1, Bit: false}, {Col: 2, Bit: false}}, Outputs: []model.ColBit{{Col: 3, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 0, Bit: false}, {Col: 1, Bit: true}, {Col: 2, Bit: false}}, Outputs: []model.ColBit{{Col: 3, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 0, Bit: false}, {Col: 1, Bit: false}, {Col: 2, Bit: true}}, Outputs: []model.ColBit{{Col: 3, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 0, Bit: true}, {Col: 1, Bit: true}, {Col: 2, Bit: true}}, Outputs: []model.ColBit{{Col: 3, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 0, Bit: true}, {Col: 1, Bit: true}}, Outputs: []model.ColBit{{Col: 4, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 0, Bit: true}, {Col: 2, Bit: true}}, Outputs: []model.ColBit{{Col: 4, Bit: true}}},
+		{Inputs: []model.ColBit{{Col: 1, Bit: true}, {Col: 2, Bit: true}}, Outputs: []model.ColBit{{Col: 4, Bit: true}}},
+	}
+}
+
+// Fig12 regenerates the compiler-optimisation examples: operation merging
+// (Fig. 12a) and operand embedding (Fig. 12b).
+func Fig12() (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "compiler optimisations (Fig. 12)",
+		Header: []string{"program", "searches", "writes", "patterns", "LUTs"},
+	}
+	cases := []struct {
+		name, src string
+	}{
+		{"merged g=a+b+c+d (12a)", `
+			unsigned int(3) main(unsigned int(1) a, unsigned int(1) b, unsigned int(1) c, unsigned int(1) d) {
+				unsigned int(2) e;
+				unsigned int(2) f;
+				e = a + b;
+				f = c + d;
+				return e + f;
+			}`},
+		{"embedded a+2 (12b)", `
+			unsigned int(3) main(unsigned int(2) a) {
+				unsigned int(2) b;
+				b = 2;
+				return a + b;
+			}`},
+		{"generic a+b (12b baseline)", `
+			unsigned int(3) main(unsigned int(2) a, unsigned int(2) b) {
+				return a + b;
+			}`},
+	}
+	for _, c := range cases {
+		ex, err := CompileCached("fig12-"+c.name, c.src, compile.HyperTarget())
+		if err != nil {
+			return nil, err
+		}
+		s := ex.Stats
+		t.Rows = append(t.Rows, []string{c.name,
+			fmt.Sprintf("%d", s.Searches), fmt.Sprintf("%d", s.Writes),
+			fmt.Sprintf("%d", s.Patterns), fmt.Sprintf("%d", s.LUTs)})
+	}
+	t.Notes = append(t.Notes,
+		"paper: merging 8S/7W → 6S/3W; embedding 5S → 3S (searches include column-initialisation match-alls)")
+	return t, nil
+}
+
+// Fig13 compiles the 2-bit addition of Fig. 13a and disassembles the
+// generated search/write sequence.
+func Fig13() (*Table, error) {
+	ex, err := CompileCached("fig13", `
+		unsigned int(3) main(unsigned int(2) a, unsigned int(2) b) {
+			unsigned int(3) c;
+			c = a + b;
+			return c;
+		}`, compile.HyperTarget())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig13",
+		Title:  "compiled 2-bit addition (Fig. 13a)",
+		Header: []string{"pc", "instruction"},
+	}
+	for i, in := range ex.Prog {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", i), in.String()})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d searches, %d writes (paper example with 3-input tables: 6 searches)",
+		ex.Stats.Searches, ex.Stats.Writes))
+	return t, nil
+}

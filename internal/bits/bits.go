@@ -1,0 +1,185 @@
+// Package bits provides the low-level bit and ternary-state vocabulary
+// shared by the TCAM substrate, the encoding layer and the machine models.
+//
+// Two alphabets appear throughout the Hyper-AP paper and therefore
+// throughout this repository:
+//
+//   - stored TCAM states: 0, 1 and the don't-care state X (Fig. 4b);
+//   - search-key inputs: 0, 1, the Z input that matches only X (Fig. 4c),
+//     and "masked off" (the mask register bit is 0, so the position takes
+//     no part in the search or write).
+//
+// The package also provides a dense bit vector used for tag registers and
+// data registers.
+package bits
+
+import "fmt"
+
+// State is the content of one TCAM bit (two RRAM cells, one in each of the
+// PE's crossbar arrays).
+type State uint8
+
+const (
+	S0 State = iota // stores logic 0
+	S1              // stores logic 1
+	SX              // don't care: matches both 0 and 1 inputs
+)
+
+// String returns the figure notation used in the paper: "0", "1", "X".
+func (s State) String() string {
+	switch s {
+	case S0:
+		return "0"
+	case S1:
+		return "1"
+	case SX:
+		return "X"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether s is one of the three defined TCAM states.
+func (s State) Valid() bool { return s <= SX }
+
+// Key is one position of the ternary key register combined with its mask
+// bit. KDC (don't care / masked) positions participate in neither search
+// nor write.
+type Key uint8
+
+const (
+	K0  Key = iota // match stored 0 or X; write 0
+	K1             // match stored 1 or X; write 1
+	KZ             // match stored X only; write X
+	KDC            // masked off (mask register bit = 0)
+)
+
+// String returns the paper's notation: "0", "1", "Z", "-".
+func (k Key) String() string {
+	switch k {
+	case K0:
+		return "0"
+	case K1:
+		return "1"
+	case KZ:
+		return "Z"
+	case KDC:
+		return "-"
+	}
+	return fmt.Sprintf("Key(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the four defined key inputs.
+func (k Key) Valid() bool { return k <= KDC }
+
+// Match implements the single-position match rule of the Hyper-AP abstract
+// machine model (Fig. 4b-c):
+//
+//	key 0 matches stored 0 and X,
+//	key 1 matches stored 1 and X,
+//	key Z matches stored X only,
+//	a masked position matches everything.
+func (k Key) Match(s State) bool {
+	switch k {
+	case K0:
+		return s == S0 || s == SX
+	case K1:
+		return s == S1 || s == SX
+	case KZ:
+		return s == SX
+	case KDC:
+		return true
+	}
+	return false
+}
+
+// WriteState is the TCAM state an associative write with key k deposits
+// (Fig. 4d: input Z writes state X). Writing with a masked key position is
+// not meaningful; WriteState panics on KDC so the caller catches layout
+// bugs early.
+func (k Key) WriteState() State {
+	switch k {
+	case K0:
+		return S0
+	case K1:
+		return S1
+	case KZ:
+		return SX
+	}
+	panic("bits: WriteState on masked key position")
+}
+
+// KeyForBit returns K1 for true and K0 for false.
+func KeyForBit(b bool) Key {
+	if b {
+		return K1
+	}
+	return K0
+}
+
+// StateForBit returns S1 for true and S0 for false.
+func StateForBit(b bool) State {
+	if b {
+		return S1
+	}
+	return S0
+}
+
+// ParseKeys converts paper notation ("0", "1", "Z", "-") into a key slice.
+// Spaces are ignored. It is used heavily by tests that transcribe the
+// paper's figures verbatim.
+func ParseKeys(s string) ([]Key, error) {
+	out := make([]Key, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			out = append(out, K0)
+		case '1':
+			out = append(out, K1)
+		case 'Z', 'z':
+			out = append(out, KZ)
+		case '-', '.':
+			out = append(out, KDC)
+		case ' ', '\t':
+		default:
+			return nil, fmt.Errorf("bits: invalid key character %q", r)
+		}
+	}
+	return out, nil
+}
+
+// ParseStates converts paper notation ("0", "1", "X") into a state slice.
+func ParseStates(s string) ([]State, error) {
+	out := make([]State, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			out = append(out, S0)
+		case '1':
+			out = append(out, S1)
+		case 'X', 'x':
+			out = append(out, SX)
+		case ' ', '\t':
+		default:
+			return nil, fmt.Errorf("bits: invalid state character %q", r)
+		}
+	}
+	return out, nil
+}
+
+// KeysString renders a key slice in paper notation.
+func KeysString(ks []Key) string {
+	b := make([]byte, len(ks))
+	for i, k := range ks {
+		b[i] = k.String()[0]
+	}
+	return string(b)
+}
+
+// StatesString renders a state slice in paper notation.
+func StatesString(ss []State) string {
+	b := make([]byte, len(ss))
+	for i, s := range ss {
+		b[i] = s.String()[0]
+	}
+	return string(b)
+}

@@ -1,0 +1,220 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyMatchTruthTable(t *testing.T) {
+	// The single-position match rule of Fig. 4b-c.
+	cases := []struct {
+		k    Key
+		s    State
+		want bool
+	}{
+		{K0, S0, true}, {K0, S1, false}, {K0, SX, true},
+		{K1, S0, false}, {K1, S1, true}, {K1, SX, true},
+		{KZ, S0, false}, {KZ, S1, false}, {KZ, SX, true},
+		{KDC, S0, true}, {KDC, S1, true}, {KDC, SX, true},
+	}
+	for _, c := range cases {
+		if got := c.k.Match(c.s); got != c.want {
+			t.Errorf("Key %v Match State %v = %v, want %v", c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestKeyWriteState(t *testing.T) {
+	if KZ.WriteState() != SX {
+		t.Errorf("input Z must write state X (Fig. 4d)")
+	}
+	if K0.WriteState() != S0 || K1.WriteState() != S1 {
+		t.Errorf("keys 0/1 must write states 0/1")
+	}
+}
+
+func TestWriteStateMaskedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteState on KDC should panic")
+		}
+	}()
+	_ = KDC.WriteState()
+}
+
+func TestParseKeysRoundTrip(t *testing.T) {
+	ks, err := ParseKeys("10Z- 01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Key{K1, K0, KZ, KDC, K0, K1}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(ks), len(want))
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("key %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+	if s := KeysString(ks); s != "10Z-01" {
+		t.Errorf("KeysString = %q", s)
+	}
+	if _, err := ParseKeys("10Q"); err == nil {
+		t.Error("ParseKeys should reject invalid characters")
+	}
+}
+
+func TestParseStatesRoundTrip(t *testing.T) {
+	ss, err := ParseStates("X01x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{SX, S0, S1, SX}
+	for i := range want {
+		if ss[i] != want[i] {
+			t.Errorf("state %d = %v, want %v", i, ss[i], want[i])
+		}
+	}
+	if s := StatesString(ss); s != "X01X" {
+		t.Errorf("StatesString = %q", s)
+	}
+	if _, err := ParseStates("0-"); err == nil {
+		t.Error("ParseStates should reject '-'")
+	}
+}
+
+func TestKeyForBitStateForBit(t *testing.T) {
+	if KeyForBit(true) != K1 || KeyForBit(false) != K0 {
+		t.Error("KeyForBit wrong")
+	}
+	if StateForBit(true) != S1 || StateForBit(false) != S0 {
+		t.Error("StateForBit wrong")
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if !v.Get(0) || !v.Get(64) || !v.Get(129) || v.Get(1) {
+		t.Error("Get/Set wrong")
+	}
+	if v.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d", v.OnesCount())
+	}
+	if v.FirstSet() != 0 {
+		t.Errorf("FirstSet = %d", v.FirstSet())
+	}
+	v.Set(0, false)
+	if v.FirstSet() != 64 {
+		t.Errorf("FirstSet = %d", v.FirstSet())
+	}
+}
+
+func TestVecSetAllTrim(t *testing.T) {
+	v := NewVec(70)
+	v.SetAll(true)
+	if v.OnesCount() != 70 {
+		t.Errorf("OnesCount after SetAll = %d, want 70", v.OnesCount())
+	}
+	v.SetAll(false)
+	if v.OnesCount() != 0 || v.FirstSet() != -1 {
+		t.Error("SetAll(false) did not clear")
+	}
+}
+
+func TestVecOrAndCopyEqual(t *testing.T) {
+	a := NewVec(100)
+	b := NewVec(100)
+	a.Set(3, true)
+	b.Set(3, true)
+	b.Set(77, true)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(3) || !c.Get(77) {
+		t.Error("Or wrong")
+	}
+	c.And(a)
+	if !c.Get(3) || c.Get(77) {
+		t.Error("And wrong")
+	}
+	if !c.Equal(a) {
+		t.Error("Equal wrong")
+	}
+	d := NewVec(100)
+	d.CopyFrom(b)
+	if !d.Equal(b) {
+		t.Error("CopyFrom wrong")
+	}
+	if a.Equal(NewVec(99)) {
+		t.Error("Equal must compare lengths")
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVec(8).Get(8)
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVec(8).Or(NewVec(9))
+}
+
+func TestToBitsFromBitsRoundTrip(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w%64) + 1
+		masked := v & Mask(width)
+		return FromBits(ToBits(v, width)) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+		want  int64
+	}{
+		{0b0111, 4, 7},
+		{0b1000, 4, -8},
+		{0b1111, 4, -1},
+		{0xFF, 8, -1},
+		{0x7F, 8, 127},
+		{1, 1, -1},
+		{0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.width); got != c.want {
+			t.Errorf("SignExtend(%#x,%d) = %d, want %d", c.v, c.width, got, c.want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 || Mask(1) != 1 || Mask(64) != ^uint64(0) || Mask(8) != 0xFF {
+		t.Error("Mask wrong")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := NewVec(4)
+	v.Set(1, true)
+	if v.String() != "0100" {
+		t.Errorf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,197 @@
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a dense, fixed-length bit vector. It backs the tag registers (one
+// bit per word row) and the 512-bit data registers of the PEs.
+type Vec struct {
+	n int
+	w []uint64
+}
+
+// NewVec returns an all-zero vector of n bits.
+func NewVec(n int) *Vec {
+	if n < 0 {
+		panic("bits: negative Vec length")
+	}
+	return &Vec{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.w[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i to b.
+func (v *Vec) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.w[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.w[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: Vec index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// SetAll sets every bit to b.
+func (v *Vec) SetAll(b bool) {
+	var fill uint64
+	if b {
+		fill = ^uint64(0)
+	}
+	for i := range v.w {
+		v.w[i] = fill
+	}
+	v.trim()
+}
+
+// trim clears the unused high bits of the last word so that OnesCount and
+// equality stay exact.
+func (v *Vec) trim() {
+	if r := uint(v.n) & 63; r != 0 && len(v.w) > 0 {
+		v.w[len(v.w)-1] &= (1 << r) - 1
+	}
+}
+
+// OnesCount returns the number of set bits (the Count instruction's
+// population count).
+func (v *Vec) OnesCount() int {
+	c := 0
+	for _, x := range v.w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 if none is set
+// (the Index instruction's priority encoding).
+func (v *Vec) FirstSet() int {
+	for i, x := range v.w {
+		if x != 0 {
+			return i*64 + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// Or sets v = v | o. The vectors must have equal length.
+func (v *Vec) Or(o *Vec) {
+	v.sameLen(o)
+	for i := range v.w {
+		v.w[i] |= o.w[i]
+	}
+}
+
+// And sets v = v & o. The vectors must have equal length.
+func (v *Vec) And(o *Vec) {
+	v.sameLen(o)
+	for i := range v.w {
+		v.w[i] &= o.w[i]
+	}
+}
+
+// CopyFrom copies o into v. The vectors must have equal length.
+func (v *Vec) CopyFrom(o *Vec) {
+	v.sameLen(o)
+	copy(v.w, o.w)
+}
+
+// Clone returns an independent copy of v.
+func (v *Vec) Clone() *Vec {
+	c := NewVec(v.n)
+	copy(c.w, v.w)
+	return c
+}
+
+// Equal reports whether v and o have the same length and contents.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *Vec) sameLen(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: Vec length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// String renders the vector LSB-first as a run of 0/1 characters.
+func (v *Vec) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ToBits expands an unsigned value into width booleans, LSB first. Bits
+// beyond 64 are false.
+func ToBits(v uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := 0; i < width && i < 64; i++ {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+// FromBits packs LSB-first booleans back into a uint64. Bits beyond 64 are
+// ignored.
+func FromBits(bs []bool) uint64 {
+	var v uint64
+	for i, b := range bs {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// SignExtend interprets the low width bits of v as a two's-complement
+// number and returns it sign-extended to int64.
+func SignExtend(v uint64, width int) int64 {
+	if width <= 0 || width >= 64 {
+		return int64(v)
+	}
+	v &= (1 << uint(width)) - 1
+	if v&(1<<uint(width-1)) != 0 {
+		v |= ^uint64(0) << uint(width)
+	}
+	return int64(v)
+}
+
+// Mask returns a mask with the low width bits set (width ≥ 64 gives all
+// ones).
+func Mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	if width <= 0 {
+		return 0
+	}
+	return (1 << uint(width)) - 1
+}

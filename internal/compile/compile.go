@@ -1,0 +1,342 @@
+package compile
+
+import (
+	"fmt"
+
+	"hyperap/internal/aig"
+	"hyperap/internal/bits"
+	"hyperap/internal/dfg"
+	"hyperap/internal/isa"
+	"hyperap/internal/lut"
+	"hyperap/internal/tech"
+)
+
+// Target selects the machine the compiler generates code for. The same
+// framework retargets traditional AP and Hyper-AP on either technology by
+// changing α and the execution model, exactly as §V-B.4 describes.
+type Target struct {
+	Tech        tech.Tech
+	Monolithic  bool // traditional monolithic array design (writes twice as slow)
+	Mode        lut.Mode
+	K           int // lookup-table input limit (12 in the paper)
+	CutsPerNode int
+	WordBits    int // TCAM word width (256 in the paper)
+	// NoAccumulation disables the accumulation unit (the Fig. 19b
+	// ablation): every multi-pattern search is immediately followed by a
+	// write, i.e. Single-Search-Multi-Pattern without
+	// Multi-Search-Single-Write.
+	NoAccumulation bool
+	// SingleBitInputs stores every primary input as a plain (non-encoded)
+	// TCAM bit and keeps input columns out of the recycling pool, so the
+	// program can be re-executed after new inputs arrive in place.
+	// Inter-PE communication macros write single bits between passes, so
+	// kernels whose inputs arrive over the MovR links need this layout
+	// (costing some searches and columns relative to the default).
+	SingleBitInputs bool
+}
+
+// HyperTarget is the paper's main configuration: RRAM Hyper-AP.
+func HyperTarget() Target {
+	return Target{Tech: tech.RRAM(), Mode: lut.ModeHyper, K: lut.MaxInputs, CutsPerNode: 4, WordBits: tech.PEBits}
+}
+
+// HyperCMOSTarget is the CMOS Hyper-AP of the Fig. 19 study.
+func HyperCMOSTarget() Target {
+	t := HyperTarget()
+	t.Tech = tech.CMOS()
+	return t
+}
+
+// TraditionalTarget is a traditional AP (Single-Search-Single-Pattern,
+// Single-Search-Single-Write, monolithic array) on the given technology.
+func TraditionalTarget(t tech.Tech) Target {
+	return Target{Tech: t, Monolithic: true, Mode: lut.ModeTraditional, K: lut.MaxInputs, CutsPerNode: 4, WordBits: tech.PEBits}
+}
+
+// CycleParams returns the Table I cycle constants for the target.
+func (t Target) CycleParams() isa.CycleParams {
+	w := t.Tech.TCAMBitWriteCycles
+	if t.Monolithic {
+		w *= 2
+	}
+	return isa.CycleParams{TCAMBitWriteCycles: w, DataMoveCycles: 20}
+}
+
+// BitRef locates one stored logical bit.
+type BitRef struct {
+	Node int // AIG node
+	Loc  Loc
+}
+
+// Component is one input or output value of the compiled function.
+type Component struct {
+	Name   string
+	Width  int
+	Signed bool
+	Bits   []BitRef // LSB first
+}
+
+// Stats summarises a compilation.
+type Stats struct {
+	Searches      int // search instructions
+	Writes        int // write instructions (all kinds)
+	EncodedWrites int // writes committing two result bits at once
+	SetKeys       int
+	LUTs          int
+	Patterns      int // Σ lookup-table patterns (the traditional search count)
+	Cycles        int64
+	PeakColumns   int
+	AIGNodes      int
+}
+
+// Ops returns searches + writes, the paper's operation count metric.
+func (s Stats) Ops() int { return s.Searches + s.Writes }
+
+// LUTInfo summarises one generated lookup table.
+type LUTInfo struct {
+	Inputs   int // leaf count (≤ K)
+	Patterns int // traditional-AP entries (ISOP cubes)
+}
+
+// Executable is a compiled program plus its data layout.
+type Executable struct {
+	Target  Target
+	DFG     *dfg.Graph
+	Prog    isa.Program
+	Inputs  []Component
+	Outputs []Component
+	Stats   Stats
+	// LUTs describes every generated lookup table (for reporting).
+	LUTs []LUTInfo
+}
+
+// CompileSource parses, builds and compiles a program's main function.
+func CompileSource(src string, tgt Target) (*Executable, error) {
+	g, err := dfg.BuildSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(g, tgt)
+}
+
+// Compile lowers a dataflow graph to an ISA program for the target.
+func Compile(g *dfg.Graph, tgt Target) (*Executable, error) {
+	if tgt.WordBits <= 0 || tgt.WordBits > isa.KeyWidth {
+		return nil, fmt.Errorf("compile: word width %d outside 1..%d", tgt.WordBits, isa.KeyWidth)
+	}
+	ag, piByInput, outBits, err := lowerDFG(g)
+	if err != nil {
+		return nil, err
+	}
+	var allOuts []aig.Lit
+	for _, bv := range outBits {
+		allOuts = append(allOuts, bv...)
+	}
+	opt := lut.Options{K: tgt.K, CutsPerNode: tgt.CutsPerNode, Alpha: tgt.Tech.Alpha(), CubeBudget: 48, Mode: tgt.Mode}
+	mp, err := lut.Map(ag, allOuts, opt)
+	if err != nil {
+		return nil, err
+	}
+	e := &emitter{tgt: tgt, ag: ag, mp: mp, lay: newLayout(tgt.WordBits), piLoc: map[int]Loc{}}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	ex := &Executable{Target: tgt, DFG: g, Prog: e.prog}
+	ex.Stats = Stats{
+		Searches:      e.prog.CountOp(isa.OpSearch),
+		Writes:        e.prog.CountOp(isa.OpWrite),
+		EncodedWrites: e.encodedWrites,
+		SetKeys:       e.prog.CountOp(isa.OpSetKey),
+		LUTs:          len(mp.LUTs),
+		Patterns:      mp.TotalCubes(),
+		Cycles:        e.prog.TotalCycles(tgt.CycleParams()),
+		PeakColumns:   e.lay.alloc.peak,
+		AIGNodes:      ag.NumAnds(),
+	}
+	for _, l := range mp.LUTs {
+		ex.LUTs = append(ex.LUTs, LUTInfo{Inputs: len(l.Leaves), Patterns: len(l.Cubes)})
+	}
+	// Input components.
+	for i, nid := range g.Inputs {
+		n := g.Nodes[nid]
+		comp := Component{Name: n.Name, Width: n.Width, Signed: n.Signed}
+		for _, l := range piByInput[i] {
+			comp.Bits = append(comp.Bits, BitRef{Node: l.Node(), Loc: e.piLoc[l.Node()]})
+		}
+		ex.Inputs = append(ex.Inputs, comp)
+	}
+	// Output components: outputRefs is flat over all output bits, in
+	// component order.
+	pos := 0
+	for i, nid := range g.Outputs {
+		n := g.Nodes[nid]
+		comp := Component{Name: g.OutputNames[i], Width: n.Width, Signed: g.OutputSigned[i]}
+		comp.Bits = e.outputRefs[pos : pos+n.Width]
+		pos += n.Width
+		ex.Outputs = append(ex.Outputs, comp)
+	}
+	return ex, nil
+}
+
+// emitter generates the instruction stream.
+type emitter struct {
+	tgt Target
+	ag  *aig.Graph
+	mp  *lut.Mapping
+	lay *layout
+
+	prog          isa.Program
+	encodedWrites int
+	outputRefs    []BitRef
+
+	// piLoc snapshots each primary input's storage at placement time;
+	// unlike the live layout it survives liveness-driven column release,
+	// since the host loads inputs before execution starts.
+	piLoc map[int]Loc
+	// piPending tracks inputs that still need a (virgin) column; a
+	// matching reservation in the allocator keeps intermediates from
+	// consuming the virgin space first.
+	piPending map[int]bool
+
+	useCount map[int]int
+	keep     map[int]bool
+	written  map[int]bool
+}
+
+// recordPI snapshots a primary input's freshly assigned location and
+// returns its column reservation to the pool.
+func (e *emitter) recordPI(node int) {
+	if e.ag.IsPI(node) {
+		if loc, ok := e.lay.loc(node); ok {
+			e.piLoc[node] = loc
+			if e.piPending[node] {
+				delete(e.piPending, node)
+				e.lay.alloc.releaseReserve(1)
+			}
+		}
+	}
+}
+
+func (e *emitter) run() error {
+	// Use counts: every LUT leaf occurrence plus output references.
+	e.useCount = map[int]int{}
+	e.keep = map[int]bool{}
+	e.written = map[int]bool{}
+	consumers := map[int][]*lut.LUT{}
+	for _, l := range e.mp.LUTs {
+		for _, leaf := range l.Leaves {
+			e.useCount[leaf]++
+			consumers[leaf] = append(consumers[leaf], l)
+		}
+	}
+	for _, o := range e.mp.Outputs {
+		if o.Kind != lut.OutConst {
+			e.keep[o.Node] = true
+		}
+	}
+	// Reserve virgin columns for every input bit that will need storage.
+	e.piPending = map[int]bool{}
+	for _, l := range e.mp.LUTs {
+		for _, leaf := range l.Leaves {
+			if e.ag.IsPI(leaf) {
+				e.piPending[leaf] = true
+			}
+		}
+	}
+	for _, o := range e.mp.Outputs {
+		if o.Kind == lut.OutInput {
+			e.piPending[o.Node] = true
+		}
+	}
+	e.lay.alloc.reservePI(len(e.piPending))
+	if e.tgt.Mode == lut.ModeTraditional {
+		if err := e.runTraditional(); err != nil {
+			return err
+		}
+	} else {
+		if err := e.runHyper(consumers); err != nil {
+			return err
+		}
+	}
+	return e.materializeOutputs()
+}
+
+// releaseLeaves decrements use counts after a LUT's searches are emitted.
+// Dead primary-input columns may be reused by intermediates (their writes
+// happen after the input's last read); inputs themselves are only ever
+// placed in virgin columns, so two inputs never collide at load time.
+func (e *emitter) releaseLeaves(l *lut.LUT) {
+	for _, leaf := range l.Leaves {
+		e.useCount[leaf]--
+		if e.useCount[leaf] == 0 && !e.keep[leaf] {
+			if e.tgt.SingleBitInputs && e.ag.IsPI(leaf) {
+				continue // iterative mode: inputs are refilled in place
+			}
+			e.lay.release(leaf)
+		}
+	}
+}
+
+// ensureStored gives a primary input a single column if it has none yet
+// (inputs are loaded by the host before execution, §VI-A.3).
+func (e *emitter) ensureStored(node int) (Loc, error) {
+	if loc, ok := e.lay.loc(node); ok {
+		return loc, nil
+	}
+	if !e.ag.IsPI(node) {
+		return Loc{}, fmt.Errorf("compile: node %d used before being written", node)
+	}
+	if _, err := e.lay.placeSingle(node, true); err != nil {
+		return Loc{}, err
+	}
+	e.recordPI(node)
+	loc, _ := e.lay.loc(node)
+	return loc, nil
+}
+
+// --- instruction helpers ---
+
+func (e *emitter) fullKeys(m map[int]bits.Key) []bits.Key {
+	ks := make([]bits.Key, e.tgt.WordBits)
+	for i := range ks {
+		ks[i] = bits.KDC
+	}
+	for col, k := range m {
+		ks[col] = k
+	}
+	return ks
+}
+
+func (e *emitter) emitSetKey(m map[int]bits.Key) {
+	e.prog = append(e.prog, isa.SetKey(e.fullKeys(m)))
+}
+
+func (e *emitter) emitSearch(acc, encode bool) {
+	e.prog = append(e.prog, isa.Search(acc, encode))
+}
+
+func (e *emitter) emitWrite(col int, encode bool) {
+	e.prog = append(e.prog, isa.Write(uint8(col), encode))
+	if encode {
+		e.encodedWrites++
+	}
+}
+
+// emitMatchAll tags every row (an all-masked search matches everything).
+func (e *emitter) emitMatchAll() {
+	e.emitSetKey(nil)
+	e.emitSearch(false, false)
+}
+
+// emitWriteValue writes a constant bit into a column of all tagged rows.
+func (e *emitter) emitWriteValue(col int, v bool) {
+	e.emitSetKey(map[int]bits.Key{col: bits.KeyForBit(v)})
+	e.emitWrite(col, false)
+}
+
+// initZero clears a column in every row (match-all + write 0). Required
+// before tag-gated single-bit writes: untagged rows must read back 0.
+func (e *emitter) initZero(col int) {
+	e.emitMatchAll()
+	e.emitWriteValue(col, false)
+}

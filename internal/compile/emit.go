@@ -1,0 +1,451 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/encoding"
+	"hyperap/internal/lut"
+)
+
+// storageClass classifies the leaves of a LUT for the cover chooser.
+func (e *emitter) storageClass(l *lut.LUT) (lut.StorageClass, error) {
+	var st lut.StorageClass
+	posOf := map[int]int{}
+	for pos, node := range l.Leaves {
+		posOf[node] = pos
+	}
+	for pos, node := range l.Leaves {
+		loc, ok := e.lay.loc(node)
+		if !ok {
+			if !e.ag.IsPI(node) {
+				return st, fmt.Errorf("compile: leaf node %d not stored", node)
+			}
+			if e.tgt.SingleBitInputs {
+				var err error
+				if loc, err = e.ensureStored(node); err != nil {
+					return st, err
+				}
+				st.Singles = append(st.Singles, pos)
+				continue
+			}
+			st.Free = append(st.Free, pos)
+			continue
+		}
+		switch loc.Kind {
+		case LocSingle:
+			st.Singles = append(st.Singles, pos)
+		case LocPairHi:
+			if lp, in := posOf[loc.Partner]; in {
+				st.FixedPairs = append(st.FixedPairs, [2]int{pos, lp})
+			} else {
+				st.Halves = append(st.Halves, pos)
+			}
+		case LocPairLo:
+			if _, in := posOf[loc.Partner]; in {
+				continue // recorded when visiting the hi half
+			}
+			st.Halves = append(st.Halves, pos)
+		default:
+			return st, fmt.Errorf("compile: leaf node %d has no storage", node)
+		}
+	}
+	return st, nil
+}
+
+// commitPlan allocates storage for pairings the cover chooser decided on.
+func (e *emitter) commitPlan(l *lut.LUT, st lut.StorageClass, plan *lut.CoverPlan) error {
+	newPairs := plan.Pairs[len(st.FixedPairs):]
+	for _, pr := range newPairs {
+		hi, lo := l.Leaves[pr[0]], l.Leaves[pr[1]]
+		if _, err := e.lay.placePair(hi, lo, e.ag.IsPI(hi)); err != nil {
+			return err
+		}
+		e.recordPI(hi)
+		e.recordPI(lo)
+	}
+	for _, pos := range plan.Leftover {
+		node := l.Leaves[pos]
+		if _, err := e.lay.placeSingle(node, true); err != nil {
+			return err
+		}
+		e.recordPI(node)
+	}
+	return nil
+}
+
+// boxKeys converts one cover box into key assignments on the stored
+// columns.
+func (e *emitter) boxKeys(l *lut.LUT, plan *lut.CoverPlan, box encoding.Box) (map[int]bits.Key, error) {
+	keys := map[int]bits.Key{}
+	for i, pr := range plan.Pairs {
+		sub := box[i]
+		if sub == encoding.FullSubset(4) {
+			continue // unconstrained: masked off entirely
+		}
+		hiNode := l.Leaves[pr[0]]
+		loc, ok := e.lay.loc(hiNode)
+		if !ok || loc.Kind != LocPairHi {
+			return nil, fmt.Errorf("compile: pair leaf %d not stored as pair hi", hiNode)
+		}
+		hiCol, loCol := pairColumns(loc)
+		k1, k0, ok := encoding.KeyForPairSubset(sub)
+		if !ok {
+			return nil, fmt.Errorf("compile: subset %04b has no key", sub)
+		}
+		if k1 != bits.KDC {
+			keys[hiCol] = k1
+		}
+		if k0 != bits.KDC {
+			keys[loCol] = k0
+		}
+	}
+	for i, pos := range plan.Arity2 {
+		sub := box[len(plan.Pairs)+i]
+		if sub == encoding.FullSubset(2) {
+			continue
+		}
+		node := l.Leaves[pos]
+		loc, ok := e.lay.loc(node)
+		if !ok {
+			return nil, fmt.Errorf("compile: leaf %d unstored at search time", node)
+		}
+		switch loc.Kind {
+		case LocSingle:
+			k, ok := encoding.KeyForSingleSubset(sub)
+			if !ok {
+				return nil, fmt.Errorf("compile: bad single subset %02b", sub)
+			}
+			if k != bits.KDC {
+				keys[loc.Col] = k
+			}
+		case LocPairHi, LocPairLo:
+			// Search one half of an encoded pair: widen the 2-valued
+			// subset onto the pair's 4-valued alphabet.
+			var pairSub encoding.Subset
+			if loc.Kind == LocPairHi {
+				if sub.Has(0) {
+					pairSub |= 0b0011 // hi = 0: values 00, 01
+				}
+				if sub.Has(1) {
+					pairSub |= 0b1100 // hi = 1: values 10, 11
+				}
+			} else {
+				if sub.Has(0) {
+					pairSub |= 0b0101 // lo = 0: values 00, 10
+				}
+				if sub.Has(1) {
+					pairSub |= 0b1010 // lo = 1: values 01, 11
+				}
+			}
+			hiCol, loCol := pairColumns(loc)
+			k1, k0, ok := encoding.KeyForPairSubset(pairSub)
+			if !ok {
+				return nil, fmt.Errorf("compile: bad half subset %04b", pairSub)
+			}
+			if k1 != bits.KDC {
+				keys[hiCol] = k1
+			}
+			if k0 != bits.KDC {
+				keys[loCol] = k0
+			}
+		default:
+			return nil, fmt.Errorf("compile: leaf %d has no storage", node)
+		}
+	}
+	return keys, nil
+}
+
+// emitCover emits the SetKey/Search pairs of a LUT's box cover, OR-ing
+// successive results in the accumulation unit. With encodeLast the final
+// accumulated tags are latched into the two-bit encoder.
+func (e *emitter) emitCover(l *lut.LUT, plan *lut.CoverPlan, encodeLast bool) error {
+	for i, box := range plan.Boxes {
+		keys, err := e.boxKeys(l, plan, box)
+		if err != nil {
+			return err
+		}
+		e.emitSetKey(keys)
+		e.emitSearch(i > 0, encodeLast && i == len(plan.Boxes)-1)
+	}
+	return nil
+}
+
+// plan computes (and commits) the cover plan for a LUT.
+func (e *emitter) plan(l *lut.LUT) (*lut.CoverPlan, error) {
+	st, err := e.storageClass(l)
+	if err != nil {
+		return nil, err
+	}
+	p := lut.ChooseCover(l.Truth, len(l.Leaves), st)
+	if err := e.commitPlan(l, st, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// emitSingleRoot computes one LUT and writes its root into a fresh single
+// column.
+func (e *emitter) emitSingleRoot(l *lut.LUT) error {
+	p, err := e.plan(l)
+	if err != nil {
+		return err
+	}
+	col, err := e.lay.placeSingle(l.Root, false)
+	if err != nil {
+		return err
+	}
+	e.initZero(col)
+	if len(p.Boxes) == 0 {
+		return nil // constant-0 function: the column already reads 0
+	}
+	if e.tgt.NoAccumulation {
+		// Ablation: Single-Search-Multi-Pattern without the accumulation
+		// unit — write after every search (Fig. 19b).
+		for _, box := range p.Boxes {
+			keys, err := e.boxKeys(l, p, box)
+			if err != nil {
+				return err
+			}
+			e.emitSetKey(keys)
+			e.emitSearch(false, false)
+			e.emitWriteValue(col, true)
+		}
+		return nil
+	}
+	if err := e.emitCover(l, p, false); err != nil {
+		return err
+	}
+	e.emitWriteValue(col, true)
+	return nil
+}
+
+// emitPairedRoots computes two independent LUTs and commits both results
+// with one encoded write: lo latched first, hi second (Write <encode>).
+func (e *emitter) emitPairedRoots(lo, hi *lut.LUT) error {
+	pLo, err := e.plan(lo)
+	if err != nil {
+		return err
+	}
+	pHi, err := e.plan(hi)
+	if err != nil {
+		return err
+	}
+	hiCol, err := e.lay.placePair(hi.Root, lo.Root, false)
+	if err != nil {
+		return err
+	}
+	if err := e.emitCover(lo, pLo, true); err != nil {
+		return err
+	}
+	if err := e.emitCover(hi, pHi, true); err != nil {
+		return err
+	}
+	e.emitWrite(hiCol, true)
+	return nil
+}
+
+// pairable reports whether two ready LUTs can share an encoded write.
+// Both are ready (all leaves written), so the only obstruction is a
+// constant cover (which needs no write at all).
+func constantTruth(l *lut.LUT) bool {
+	if l.Truth.IsZero() {
+		return true
+	}
+	ones := l.Truth.CountOnes(len(l.Leaves))
+	return ones == 1<<uint(len(l.Leaves))
+}
+
+// pairWindow bounds how far ahead (in topological order) the scheduler
+// may reach for an encoded-write partner.
+const pairWindow = 32
+
+// runHyper schedules the LUTs: whenever two LUTs are simultaneously ready
+// they are committed together (Multi-Search-Single-Write with the two-bit
+// encoder); stragglers fall back to an initialised single column.
+func (e *emitter) runHyper(consumers map[int][]*lut.LUT) error {
+	topo := map[*lut.LUT]int{}
+	deps := map[*lut.LUT]int{}
+	for i, l := range e.mp.LUTs {
+		topo[l] = i
+		for _, leaf := range l.Leaves {
+			if !e.ag.IsPI(leaf) {
+				deps[l]++ // leaf is another LUT's root
+			}
+		}
+	}
+	var ready []*lut.LUT
+	for _, l := range e.mp.LUTs {
+		if deps[l] == 0 {
+			ready = append(ready, l)
+		}
+	}
+	emitted := 0
+	markWritten := func(l *lut.LUT) {
+		e.written[l.Root] = true
+		emitted++
+		for _, c := range consumers[l.Root] {
+			deps[c]--
+			if deps[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	for emitted < len(e.mp.LUTs) {
+		if len(ready) == 0 {
+			return fmt.Errorf("compile: scheduling deadlock (cyclic mapping?)")
+		}
+		sort.SliceStable(ready, func(a, b int) bool { return topo[ready[a]] < topo[ready[b]] })
+		p := ready[0]
+		ready = ready[1:]
+		var q *lut.LUT
+		if !e.tgt.NoAccumulation && !constantTruth(p) {
+			for i, cand := range ready {
+				// Pair only within a topological window: pulling a far
+				//-away LUT forward starts its whole region of the graph
+				// early and inflates the set of live columns.
+				if topo[cand]-topo[p] > pairWindow {
+					break
+				}
+				if !constantTruth(cand) {
+					q = cand
+					ready = append(ready[:i], ready[i+1:]...)
+					break
+				}
+			}
+		}
+		if q == nil {
+			if err := e.emitSingleRoot(p); err != nil {
+				return err
+			}
+			markWritten(p)
+			e.releaseLeaves(p)
+			continue
+		}
+		if err := e.emitPairedRoots(p, q); err != nil {
+			return err
+		}
+		markWritten(p)
+		markWritten(q)
+		e.releaseLeaves(p)
+		e.releaseLeaves(q)
+	}
+	return nil
+}
+
+// runTraditional emits the Fig. 2 execution model: one single-pattern
+// search per lookup-table entry, each immediately followed by a write.
+func (e *emitter) runTraditional() error {
+	for _, l := range e.mp.LUTs {
+		// Inputs are stored as plain bits.
+		for _, leaf := range l.Leaves {
+			if _, err := e.ensureStored(leaf); err != nil {
+				return err
+			}
+		}
+		col, err := e.lay.placeSingle(l.Root, false)
+		if err != nil {
+			return err
+		}
+		e.initZero(col)
+		for _, cube := range l.Cubes {
+			keys := map[int]bits.Key{}
+			for v, leaf := range l.Leaves {
+				if cube.Mask>>uint(v)&1 == 0 {
+					continue
+				}
+				loc, ok := e.lay.loc(leaf)
+				if !ok || loc.Kind != LocSingle {
+					return fmt.Errorf("compile: traditional leaf %d not a single column", leaf)
+				}
+				keys[loc.Col] = bits.KeyForBit(cube.Val>>uint(v)&1 == 1)
+			}
+			e.emitSetKey(keys)
+			e.emitSearch(false, false)
+			e.emitWriteValue(col, true)
+		}
+		e.written[l.Root] = true
+		e.releaseLeaves(l)
+	}
+	return nil
+}
+
+// materializeOutputs ensures every output bit is readable from a stored
+// column and records the BitRefs.
+func (e *emitter) materializeOutputs() error {
+	for _, o := range e.mp.Outputs {
+		switch o.Kind {
+		case lut.OutConst:
+			col, err := e.lay.allocOutputSingle()
+			if err != nil {
+				return err
+			}
+			e.emitMatchAll()
+			e.emitWriteValue(col, o.Value)
+			e.outputRefs = append(e.outputRefs, BitRef{Node: -1, Loc: Loc{Kind: LocSingle, Col: col}})
+		case lut.OutInput, lut.OutLUT:
+			loc, err := e.ensureStored(o.Node)
+			if err != nil {
+				return err
+			}
+			if !o.Compl {
+				e.outputRefs = append(e.outputRefs, BitRef{Node: o.Node, Loc: loc})
+				continue
+			}
+			// Complemented: materialise NOT x into a fresh column by
+			// searching for x = 0 and writing 1.
+			col, err := e.lay.allocOutputSingle()
+			if err != nil {
+				return err
+			}
+			e.initZero(col)
+			keys, err := SelectBitKeys(loc, false)
+			if err != nil {
+				return err
+			}
+			e.emitSetKey(keys)
+			e.emitSearch(false, false)
+			e.emitWriteValue(col, true)
+			e.outputRefs = append(e.outputRefs, BitRef{Node: -1, Loc: Loc{Kind: LocSingle, Col: col}})
+		}
+	}
+	return nil
+}
+
+// SelectBitKeys builds the key assignment matching rows whose stored bit
+// at loc equals val. Pair halves are selected with the extended keys
+// (any subset of a pair is searchable). It is also used by the inter-PE
+// communication macros (internal/grid).
+func SelectBitKeys(loc Loc, val bool) (map[int]bits.Key, error) {
+	switch loc.Kind {
+	case LocSingle:
+		return map[int]bits.Key{loc.Col: bits.KeyForBit(val)}, nil
+	case LocPairHi, LocPairLo:
+		var sub encoding.Subset
+		switch {
+		case loc.Kind == LocPairHi && !val:
+			sub = 0b0011
+		case loc.Kind == LocPairHi && val:
+			sub = 0b1100
+		case loc.Kind == LocPairLo && !val:
+			sub = 0b0101
+		default:
+			sub = 0b1010
+		}
+		hiCol, loCol := pairColumns(loc)
+		k1, k0, ok := encoding.KeyForPairSubset(sub)
+		if !ok {
+			return nil, fmt.Errorf("compile: no key for subset %04b", sub)
+		}
+		keys := map[int]bits.Key{}
+		if k1 != bits.KDC {
+			keys[hiCol] = k1
+		}
+		if k0 != bits.KDC {
+			keys[loCol] = k0
+		}
+		return keys, nil
+	}
+	return nil, fmt.Errorf("compile: bit has no storage")
+}

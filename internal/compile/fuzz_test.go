@@ -1,0 +1,228 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hyperap/internal/tech"
+)
+
+// progGen generates random well-typed programs in the C-like language.
+// Every generated program is compiled for Hyper-AP and executed on the
+// simulator against the reference evaluator — a whole-stack property
+// test covering the front end, DFG builder, RTL library, LUT mapper,
+// cover minimiser, scheduler, code generator and micro-architecture.
+type progGen struct {
+	rng    *rand.Rand
+	decls  []string
+	nTemp  int
+	inputs []genVar
+}
+
+type genVar struct {
+	name   string
+	width  int
+	signed bool
+	isBool bool
+}
+
+func (g *progGen) typeName(v genVar) string {
+	switch {
+	case v.isBool:
+		return "bool"
+	case v.signed:
+		return fmt.Sprintf("int(%d)", v.width)
+	default:
+		return fmt.Sprintf("unsigned int(%d)", v.width)
+	}
+}
+
+// temp materialises an expression into a declared variable, truncating to
+// the given width; this keeps the natural-width growth of * and << under
+// control.
+func (g *progGen) temp(expr string, width int, signed bool) genVar {
+	g.nTemp++
+	v := genVar{name: fmt.Sprintf("t%d", g.nTemp), width: width, signed: signed}
+	g.decls = append(g.decls, fmt.Sprintf("%s %s = %s;", g.typeName(v), v.name, expr))
+	return v
+}
+
+// intExpr produces a random integer-typed expression of bounded depth,
+// returning its text and (approximate) result type.
+func (g *progGen) intExpr(depth int) (string, genVar) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		// Leaf: an input or a literal.
+		if g.rng.Intn(5) == 0 {
+			v := uint64(g.rng.Intn(200))
+			w := 1
+			for 1<<uint(w) <= int(v) {
+				w++
+			}
+			return fmt.Sprintf("%d", v), genVar{width: w}
+		}
+		cands := make([]genVar, 0, len(g.inputs))
+		for _, in := range g.inputs {
+			if !in.isBool {
+				cands = append(cands, in)
+			}
+		}
+		v := cands[g.rng.Intn(len(cands))]
+		return v.name, v
+	}
+	l, lv := g.intExpr(depth - 1)
+	r, rv := g.intExpr(depth - 1)
+	maxW := lv.width
+	if rv.width > maxW {
+		maxW = rv.width
+	}
+	signed := lv.signed || rv.signed
+	var expr string
+	var out genVar
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		expr, out = fmt.Sprintf("(%s + %s)", l, r), genVar{width: maxW + 1, signed: signed}
+	case 2:
+		expr, out = fmt.Sprintf("(%s - %s)", l, r), genVar{width: maxW + 1, signed: true}
+	case 3:
+		expr, out = fmt.Sprintf("(%s * %s)", l, r), genVar{width: lv.width + rv.width, signed: signed}
+	case 4:
+		expr, out = fmt.Sprintf("(%s & %s)", l, r), genVar{width: maxW, signed: signed}
+	case 5:
+		expr, out = fmt.Sprintf("(%s | %s)", l, r), genVar{width: maxW, signed: signed}
+	case 6:
+		expr, out = fmt.Sprintf("(%s ^ %s)", l, r), genVar{width: maxW, signed: signed}
+	case 7:
+		expr, out = fmt.Sprintf("(~%s)", l), genVar{width: lv.width, signed: lv.signed}
+	case 8:
+		sh := g.rng.Intn(3) + 1
+		if g.rng.Intn(2) == 0 {
+			expr, out = fmt.Sprintf("(%s << %d)", l, sh), genVar{width: lv.width + sh, signed: lv.signed}
+		} else {
+			expr, out = fmt.Sprintf("(%s >> %d)", l, sh), genVar{width: lv.width, signed: lv.signed}
+		}
+	default:
+		// Division and modulo (signed included since the desugaring).
+		op := "/"
+		if g.rng.Intn(2) == 0 {
+			op = "%"
+		}
+		expr, out = fmt.Sprintf("(%s %s %s)", l, op, r), genVar{width: maxW + 1, signed: signed}
+	}
+	// Keep widths bounded: big intermediates get truncated through a
+	// declared temporary.
+	if out.width > 14 {
+		tv := g.temp(expr, 8+g.rng.Intn(4), out.signed)
+		return tv.name, tv
+	}
+	if out.width > 64 {
+		out.width = 64
+	}
+	return expr, out
+}
+
+// boolExpr produces a random boolean expression.
+func (g *progGen) boolExpr(depth int) string {
+	if depth <= 0 {
+		for _, in := range g.inputs {
+			if in.isBool {
+				return in.name
+			}
+		}
+	}
+	l, _ := g.intExpr(depth - 1)
+	r, _ := g.intExpr(depth - 1)
+	ops := []string{"==", "!=", "<", ">", "<=", ">="}
+	return fmt.Sprintf("(%s %s %s)", l, ops[g.rng.Intn(len(ops))], r)
+}
+
+// generate builds a complete program and returns its source.
+func (g *progGen) generate() string {
+	nIn := 2 + g.rng.Intn(3)
+	for i := 0; i < nIn; i++ {
+		v := genVar{name: fmt.Sprintf("x%d", i), width: 2 + g.rng.Intn(8)}
+		if i == nIn-1 && g.rng.Intn(3) == 0 {
+			v.isBool, v.width = true, 1
+		} else if g.rng.Intn(4) == 0 {
+			v.signed = true
+		}
+		g.inputs = append(g.inputs, v)
+	}
+	params := make([]string, len(g.inputs))
+	for i, v := range g.inputs {
+		params[i] = fmt.Sprintf("%s %s", g.typeName(v), v.name)
+	}
+	body, bodyType := g.intExpr(3)
+	// Decide on (and fully generate) the optional conditional before
+	// flushing declarations: boolExpr may create temporaries too.
+	cond := ""
+	if g.rng.Intn(2) == 0 {
+		cond = g.boolExpr(2)
+	}
+
+	var sb strings.Builder
+	retW := bodyType.width + 1
+	if retW > 16 {
+		retW = 16
+	}
+	retType := fmt.Sprintf("unsigned int(%d)", retW)
+	if bodyType.signed {
+		retType = fmt.Sprintf("int(%d)", retW)
+	}
+	fmt.Fprintf(&sb, "%s main(%s) {\n", retType, strings.Join(params, ", "))
+	for _, d := range g.decls {
+		fmt.Fprintf(&sb, "\t%s\n", d)
+	}
+	if cond != "" {
+		fmt.Fprintf(&sb, "\t%s res = %s;\n", retType, body)
+		fmt.Fprintf(&sb, "\tif %s { res = res + 1; } else { res = res - 1; }\n", cond)
+		fmt.Fprintf(&sb, "\treturn res;\n}")
+	} else {
+		fmt.Fprintf(&sb, "\treturn %s;\n}", body)
+	}
+	return sb.String()
+}
+
+// TestRandomProgramsAgainstReference is the whole-stack fuzz property:
+// random programs must execute identically on the simulated hardware and
+// the reference evaluator.
+func TestRandomProgramsAgainstReference(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < n; trial++ {
+		g := &progGen{rng: rng}
+		src := g.generate()
+		ex, err := CompileSource(src, HyperTarget())
+		if err != nil {
+			t.Fatalf("trial %d: compile failed:\n%s\n%v", trial, src, err)
+		}
+		if err := ex.CheckAgainstReference(randomInputs(ex, 16, int64(trial))); err != nil {
+			t.Fatalf("trial %d: mismatch:\n%s\n%v", trial, src, err)
+		}
+	}
+}
+
+// TestRandomProgramsTraditional cross-checks a smaller sample on the
+// traditional-AP execution model.
+func TestRandomProgramsTraditional(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < n; trial++ {
+		g := &progGen{rng: rng}
+		src := g.generate()
+		ex, err := CompileSource(src, TraditionalTarget(tech.RRAM()))
+		if err != nil {
+			t.Fatalf("trial %d: compile failed:\n%s\n%v", trial, src, err)
+		}
+		if err := ex.CheckAgainstReference(randomInputs(ex, 8, int64(trial))); err != nil {
+			t.Fatalf("trial %d: mismatch:\n%s\n%v", trial, src, err)
+		}
+	}
+}

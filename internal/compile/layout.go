@@ -1,0 +1,258 @@
+// Package compile is the back end of the compilation framework (paper
+// §V-B.5): it drives DFG generation → RTL/AIG lowering → lookup-table
+// mapping, decides the data layout (which bits share an encoded pair,
+// which live as plain TCAM bits), schedules the lookup tables so that
+// pairs of results are committed with one encoded write
+// (Multi-Search-Single-Write), and emits the SetKey/Search/Write
+// instruction stream of Table I. It also provides the Runner used by
+// tests and benchmarks to execute compiled programs on the
+// micro-architecture simulator and compare against the reference
+// evaluator.
+package compile
+
+import (
+	"fmt"
+)
+
+// LocKind says how a stored bit occupies TCAM columns.
+type LocKind int
+
+// Location kinds.
+const (
+	LocNone   LocKind = iota // not stored (unused input)
+	LocSingle                // one plain TCAM bit
+	LocPairHi                // hi half of an encoded pair (column Col)
+	LocPairLo                // lo half of an encoded pair (column Col-1 holds hi)
+)
+
+// Loc is the storage location of one logical bit (an AIG node).
+type Loc struct {
+	Kind    LocKind
+	Col     int // LocSingle/LocPairHi: the bit's column; LocPairLo: hi column + 1
+	Partner int // LocPairHi/LocPairLo: AIG node sharing the pair
+}
+
+// columnAlloc hands out TCAM bit columns with a free list. Pairs occupy
+// two adjacent columns.
+type columnAlloc struct {
+	width    int
+	used     []bool
+	everUsed []bool // columns that have ever been allocated
+	peak     int
+
+	virginFree int // count of never-allocated columns
+	reserve    int // virgin columns set aside for not-yet-placed inputs
+}
+
+func newColumnAlloc(width int) *columnAlloc {
+	return &columnAlloc{width: width, used: make([]bool, width), everUsed: make([]bool, width), virginFree: width}
+}
+
+func (a *columnAlloc) countUsed() int {
+	n := 0
+	for _, u := range a.used {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *columnAlloc) note() {
+	if n := a.countUsed(); n > a.peak {
+		a.peak = n
+	}
+}
+
+func (a *columnAlloc) ok(c int, virgin bool) bool {
+	return !a.used[c] && !(virgin && a.everUsed[c])
+}
+
+func (a *columnAlloc) take(c int) {
+	a.used[c] = true
+	if !a.everUsed[c] {
+		a.everUsed[c] = true
+		a.virginFree--
+	}
+}
+
+// virginCost counts how many never-allocated columns the candidate
+// columns would consume.
+func (a *columnAlloc) virginCost(cols ...int) int {
+	n := 0
+	for _, c := range cols {
+		if !a.everUsed[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// budgetOK reports whether an intermediate allocation may consume the
+// given virgin columns without eating into the reserve set aside for
+// not-yet-placed inputs (inputs must live in virgin columns; see
+// allocSingle).
+func (a *columnAlloc) budgetOK(virgin bool, cols ...int) bool {
+	if virgin {
+		return true // input placements draw from their own reserve
+	}
+	return a.virginFree-a.virginCost(cols...) >= a.reserve
+}
+
+// reservePI sets aside n virgin columns for inputs that have not been
+// placed yet.
+func (a *columnAlloc) reservePI(n int) { a.reserve += n }
+
+// releaseReserve returns n reserved columns to the general pool (called
+// as inputs get placed).
+func (a *columnAlloc) releaseReserve(n int) { a.reserve -= n }
+
+// allocSingle returns one free column, preferring a column whose buddy
+// (the other half of an even-aligned pair slot) is already taken so that
+// even-aligned pair slots stay available, and preferring recycled columns
+// so virgin space remains for inputs. With virgin set, the column must
+// never have been allocated before: primary inputs are loaded by the host
+// at time zero, so their columns must not carry earlier intermediate
+// writes (and conversely two inputs never collide).
+func (a *columnAlloc) allocSingle(virgin bool) (int, error) {
+	best, bestScore := -1, -1
+	for c := 0; c < a.width; c++ {
+		if !a.ok(c, virgin) || !a.budgetOK(virgin, c) {
+			continue
+		}
+		score := 0
+		if a.everUsed[c] {
+			score += 2 // recycled: keeps virgin space for inputs
+		}
+		if a.used[c^1] || a.everUsed[c^1] != a.everUsed[c] {
+			score++ // buddy occupied or mismatched: fills a hole
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+		if score == 3 {
+			break
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("compile: out of TCAM columns (%d-bit word exhausted: %d used, %d virgin free, %d reserved); split the program across SIMD slots", a.width, a.countUsed(), a.virginFree, a.reserve)
+	}
+	a.take(best)
+	a.note()
+	return best, nil
+}
+
+// allocPair returns two adjacent free columns, even-aligned to avoid
+// fragmenting the pair space and preferring recycled space.
+func (a *columnAlloc) allocPair(virgin bool) (int, error) {
+	best, bestScore := -1, -1
+	for _, start := range []int{0, 1} { // even alignment first
+		for c := start; c+1 < a.width; c += 2 {
+			if !a.ok(c, virgin) || !a.ok(c+1, virgin) || !a.budgetOK(virgin, c, c+1) {
+				continue
+			}
+			score := 0
+			if a.everUsed[c] {
+				score++
+			}
+			if a.everUsed[c+1] {
+				score++
+			}
+			if start == 0 {
+				score++ // prefer even alignment
+			}
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best >= 0 {
+			break // only try odd alignment when even failed entirely
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("compile: out of adjacent TCAM column pairs (%d-bit word exhausted: %d used, %d virgin free, %d reserved)", a.width, a.countUsed(), a.virginFree, a.reserve)
+	}
+	a.take(best)
+	a.take(best + 1)
+	a.note()
+	return best, nil
+}
+
+func (a *columnAlloc) free(cols ...int) {
+	for _, c := range cols {
+		a.used[c] = false
+	}
+}
+
+// layout tracks where every live AIG node's value is stored.
+type layout struct {
+	alloc *columnAlloc
+	locs  map[int]Loc // AIG node → location
+}
+
+func newLayout(width int) *layout {
+	return &layout{alloc: newColumnAlloc(width), locs: map[int]Loc{}}
+}
+
+func (l *layout) loc(node int) (Loc, bool) {
+	lc, ok := l.locs[node]
+	return lc, ok
+}
+
+// placeSingle stores a node in a fresh single column; virgin placements
+// are for primary inputs (see columnAlloc.allocSingle).
+func (l *layout) placeSingle(node int, virgin bool) (int, error) {
+	col, err := l.alloc.allocSingle(virgin)
+	if err != nil {
+		return 0, err
+	}
+	l.locs[node] = Loc{Kind: LocSingle, Col: col}
+	return col, nil
+}
+
+// placePair stores two nodes as an encoded pair (hi, lo).
+func (l *layout) placePair(hi, lo int, virgin bool) (int, error) {
+	col, err := l.alloc.allocPair(virgin)
+	if err != nil {
+		return 0, err
+	}
+	l.locs[hi] = Loc{Kind: LocPairHi, Col: col, Partner: lo}
+	l.locs[lo] = Loc{Kind: LocPairLo, Col: col + 1, Partner: hi}
+	return col, nil
+}
+
+// release frees a node's storage (its partner, if any, keeps the pair
+// alive: only when both halves are dead are the columns reusable).
+func (l *layout) release(node int) {
+	lc, ok := l.locs[node]
+	if !ok {
+		return
+	}
+	delete(l.locs, node)
+	switch lc.Kind {
+	case LocSingle:
+		l.alloc.free(lc.Col)
+	case LocPairHi:
+		if _, alive := l.locs[lc.Partner]; !alive {
+			l.alloc.free(lc.Col, lc.Col+1)
+		}
+	case LocPairLo:
+		if _, alive := l.locs[lc.Partner]; !alive {
+			l.alloc.free(lc.Col-1, lc.Col)
+		}
+	}
+}
+
+// allocOutputSingle allocates a column that is not bound to an AIG node
+// (materialised constants and inverted outputs); it is never freed.
+func (l *layout) allocOutputSingle() (int, error) {
+	return l.alloc.allocSingle(false)
+}
+
+// pairColumns returns (hiCol, loCol) for a node in a pair.
+func pairColumns(lc Loc) (int, int) {
+	if lc.Kind == LocPairHi {
+		return lc.Col, lc.Col + 1
+	}
+	return lc.Col - 1, lc.Col
+}

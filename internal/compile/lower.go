@@ -1,0 +1,127 @@
+package compile
+
+import (
+	"fmt"
+
+	"hyperap/internal/aig"
+	"hyperap/internal/dfg"
+	"hyperap/internal/rtl"
+)
+
+// lowerDFG rewrites a dataflow graph into an and-inverter graph using the
+// RTL library (paper §V-B.3: each DFG node is replaced by the RTL
+// implementation overload matching its operand widths and signedness).
+// It returns the AIG, the primary-input literals of each DFG input
+// component, and the output literals of each DFG output bit.
+func lowerDFG(g *dfg.Graph) (*aig.Graph, [][]aig.Lit, [][]aig.Lit, error) {
+	ag := aig.New()
+	vals := make([]rtl.BV, len(g.Nodes))
+	piByInput := make([][]aig.Lit, len(g.Inputs))
+
+	argBV := func(n *dfg.Node, i int) rtl.BV { return vals[n.Args[i]] }
+	// extTo resizes an argument to the node's width using the argument's
+	// own signedness — mirroring dfg.EvalNode's ext().
+	extTo := func(n *dfg.Node, i int, w int) rtl.BV {
+		arg := g.Nodes[n.Args[i]]
+		return rtl.Resize(vals[arg.ID], w, arg.Signed)
+	}
+
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case dfg.OpInput:
+			bv := make(rtl.BV, n.Width)
+			for i := range bv {
+				bv[i] = ag.NewPI()
+			}
+			vals[n.ID] = bv
+			piByInput[n.InputIdx] = bv
+		case dfg.OpConst:
+			vals[n.ID] = rtl.Const(n.Const, n.Width)
+		case dfg.OpAdd:
+			vals[n.ID] = rtl.Resize(rtl.Add(ag, extTo(n, 0, n.Width), extTo(n, 1, n.Width)), n.Width, false)
+		case dfg.OpSub:
+			d, _ := rtl.Sub(ag, extTo(n, 0, n.Width), extTo(n, 1, n.Width))
+			vals[n.ID] = d
+		case dfg.OpMul:
+			// Signed operands must be sign-extended to the result width
+			// (modular multiply); unsigned operands keep their natural
+			// width — zero-extension would only add dead partial
+			// products.
+			mulOp := func(i int) rtl.BV {
+				arg := g.Nodes[n.Args[i]]
+				if arg.Signed && arg.Width < n.Width {
+					return rtl.Resize(vals[arg.ID], n.Width, true)
+				}
+				return vals[arg.ID]
+			}
+			vals[n.ID] = rtl.MulTrunc(ag, mulOp(0), mulOp(1), n.Width)
+		case dfg.OpDiv:
+			q, _ := rtl.UDiv(ag, argBV(n, 0), argBV(n, 1))
+			vals[n.ID] = rtl.Resize(q, n.Width, false)
+		case dfg.OpMod:
+			_, r := rtl.UDiv(ag, argBV(n, 0), argBV(n, 1))
+			vals[n.ID] = rtl.Resize(r, n.Width, false)
+		case dfg.OpShlC:
+			vals[n.ID] = rtl.Resize(rtl.ShlConst(argBV(n, 0), int(n.Const)), n.Width, false)
+		case dfg.OpShrC:
+			vals[n.ID] = rtl.Resize(rtl.ShrConst(argBV(n, 0), int(n.Const), n.ArgSigned), n.Width, false)
+		case dfg.OpShlV:
+			vals[n.ID] = rtl.Resize(rtl.ShlVar(ag, argBV(n, 0), argBV(n, 1)), n.Width, false)
+		case dfg.OpShrV:
+			vals[n.ID] = rtl.Resize(rtl.ShrVar(ag, argBV(n, 0), argBV(n, 1), n.ArgSigned), n.Width, false)
+		case dfg.OpAnd:
+			vals[n.ID] = rtl.And(ag, extTo(n, 0, n.Width), extTo(n, 1, n.Width))
+		case dfg.OpOr:
+			vals[n.ID] = rtl.Or(ag, extTo(n, 0, n.Width), extTo(n, 1, n.Width))
+		case dfg.OpXor:
+			vals[n.ID] = rtl.Xor(ag, extTo(n, 0, n.Width), extTo(n, 1, n.Width))
+		case dfg.OpNot:
+			vals[n.ID] = rtl.Not(argBV(n, 0))
+		case dfg.OpNeg:
+			vals[n.ID] = rtl.Neg(ag, extTo(n, 0, n.Width))
+		case dfg.OpEq:
+			vals[n.ID] = rtl.BV{rtl.Eq(ag, argBV(n, 0), argBV(n, 1))}
+		case dfg.OpNe:
+			vals[n.ID] = rtl.BV{rtl.Eq(ag, argBV(n, 0), argBV(n, 1)).Not()}
+		case dfg.OpLt:
+			if n.ArgSigned {
+				vals[n.ID] = rtl.BV{rtl.Slt(ag, argBV(n, 0), argBV(n, 1))}
+			} else {
+				vals[n.ID] = rtl.BV{rtl.Ult(ag, argBV(n, 0), argBV(n, 1))}
+			}
+		case dfg.OpLe:
+			// a <= b  ⇔  !(b < a)
+			if n.ArgSigned {
+				vals[n.ID] = rtl.BV{rtl.Slt(ag, argBV(n, 1), argBV(n, 0)).Not()}
+			} else {
+				vals[n.ID] = rtl.BV{rtl.Ult(ag, argBV(n, 1), argBV(n, 0)).Not()}
+			}
+		case dfg.OpLAnd:
+			vals[n.ID] = rtl.BV{ag.And(argBV(n, 0)[0], argBV(n, 1)[0])}
+		case dfg.OpLOr:
+			vals[n.ID] = rtl.BV{ag.Or(argBV(n, 0)[0], argBV(n, 1)[0])}
+		case dfg.OpLNot:
+			vals[n.ID] = rtl.BV{argBV(n, 0)[0].Not()}
+		case dfg.OpMux:
+			sel := argBV(n, 0)[0]
+			vals[n.ID] = rtl.MuxBV(ag, sel, extTo(n, 1, n.Width), extTo(n, 2, n.Width))
+		case dfg.OpResize:
+			vals[n.ID] = rtl.Resize(argBV(n, 0), n.Width, n.ArgSigned)
+		case dfg.OpSqrt:
+			vals[n.ID] = rtl.Resize(rtl.Sqrt(ag, argBV(n, 0)), n.Width, false)
+		case dfg.OpExp:
+			vals[n.ID] = rtl.Resize(rtl.Exp(ag, argBV(n, 0)), n.Width, false)
+		default:
+			return nil, nil, nil, fmt.Errorf("compile: cannot lower %v", n.Op)
+		}
+		if len(vals[n.ID]) != n.Width {
+			return nil, nil, nil, fmt.Errorf("compile: width mismatch lowering %v: %d vs %d", n.Op, len(vals[n.ID]), n.Width)
+		}
+	}
+
+	outs := make([][]aig.Lit, len(g.Outputs))
+	for i, o := range g.Outputs {
+		outs[i] = append([]aig.Lit(nil), vals[o]...)
+	}
+	return ag, piByInput, outs, nil
+}

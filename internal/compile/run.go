@@ -1,0 +1,207 @@
+package compile
+
+import (
+	"fmt"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/bits"
+	"hyperap/internal/encoding"
+	"hyperap/internal/tech"
+)
+
+// NewChip builds a one-PE simulator chip matching the executable's target
+// (word width, technology, array design) with the given number of word
+// rows (SIMD slots).
+func (ex *Executable) NewChip(rows int) *arch.Chip {
+	return arch.New(arch.Config{
+		Banks:            1,
+		SubarraysPerBank: 1,
+		PEsPerSubarray:   1,
+		Rows:             rows,
+		Bits:             ex.Target.WordBits,
+		Groups:           1,
+		Tech:             ex.Target.Tech,
+		Monolithic:       ex.Target.Monolithic,
+	})
+}
+
+// Load stores one SIMD slot's input values into a PE row according to the
+// compiled data layout (the host pre-loads data before execution,
+// §VI-A.3).
+func (ex *Executable) Load(pe *arch.PE, row int, vals []uint64) error {
+	if len(vals) != len(ex.Inputs) {
+		return fmt.Errorf("compile: %d values for %d inputs", len(vals), len(ex.Inputs))
+	}
+	bitVal := map[int]bool{} // AIG PI node → value
+	for i, comp := range ex.Inputs {
+		v := vals[i] & bits.Mask(comp.Width)
+		for j, ref := range comp.Bits {
+			bitVal[ref.Node] = v>>uint(j)&1 == 1
+		}
+	}
+	for _, comp := range ex.Inputs {
+		for _, ref := range comp.Bits {
+			switch ref.Loc.Kind {
+			case LocNone:
+				// Unused input bit: not stored.
+			case LocSingle:
+				pe.M.LoadBit(row, ref.Loc.Col, bitVal[ref.Node])
+			case LocPairHi:
+				hiCol, _ := pairColumns(ref.Loc)
+				pe.M.LoadPair(row, hiCol, bitVal[ref.Node], bitVal[ref.Loc.Partner])
+			case LocPairLo:
+				// Loaded together with its hi half. The partner may be an
+				// unused PI bit of another component; default false is
+				// correct only if it is in bitVal, so load defensively
+				// when the partner is not an input bit.
+				if _, ok := bitVal[ref.Loc.Partner]; !ok {
+					hiCol, _ := pairColumns(ref.Loc)
+					pe.M.LoadPair(row, hiCol, false, bitVal[ref.Node])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReadRow decodes one SIMD slot's output values from a PE row.
+func (ex *Executable) ReadRow(pe *arch.PE, row int) ([]uint64, error) {
+	out := make([]uint64, len(ex.Outputs))
+	for i, comp := range ex.Outputs {
+		var v uint64
+		for j, ref := range comp.Bits {
+			var b bool
+			var err error
+			switch ref.Loc.Kind {
+			case LocSingle:
+				b, err = pe.M.ReadBit(row, ref.Loc.Col)
+			case LocPairHi:
+				hiCol, _ := pairColumns(ref.Loc)
+				b, _, err = pe.M.ReadPair(row, hiCol)
+			case LocPairLo:
+				hiCol, _ := pairColumns(ref.Loc)
+				_, b, err = pe.M.ReadPair(row, hiCol)
+			default:
+				err = fmt.Errorf("output bit %d of %s has no storage", j, comp.Name)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("compile: reading %s bit %d: %w", comp.Name, j, err)
+			}
+			if b {
+				v |= 1 << uint(j)
+			}
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Run executes the program for a batch of SIMD slots (one row each) on a
+// fresh single-PE chip and returns each slot's outputs. It is the
+// reference execution path used by tests, examples and benchmarks.
+func (ex *Executable) Run(inputs [][]uint64) ([][]uint64, *arch.Chip, error) {
+	rows := len(inputs)
+	if rows == 0 {
+		rows = 1
+	}
+	if rows > tech.PERows {
+		return nil, nil, fmt.Errorf("compile: %d slots exceed the %d rows of one PE", len(inputs), tech.PERows)
+	}
+	chip := ex.NewChip(maxInt(rows, 1))
+	pe := chip.PE(0)
+	for r, vals := range inputs {
+		if err := ex.Load(pe, r, vals); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := chip.Execute(ex.Prog); err != nil {
+		return nil, nil, err
+	}
+	outs := make([][]uint64, len(inputs))
+	for r := range inputs {
+		o, err := ex.ReadRow(pe, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[r] = o
+	}
+	return outs, chip, nil
+}
+
+// Reference evaluates the source dataflow graph for one slot (the golden
+// model).
+func (ex *Executable) Reference(vals []uint64) []uint64 {
+	return ex.DFG.Eval(vals)
+}
+
+// LatencyNS returns the program's per-pass latency in nanoseconds on the
+// target technology.
+func (ex *Executable) LatencyNS() float64 {
+	return ex.Target.Tech.LatencyNS(ex.Stats.Cycles)
+}
+
+// EnergyPerPE runs cost accounting without execution: it returns the
+// estimated energy of one full-occupancy PE executing the program once,
+// derived by executing on a simulator PE with all rows active.
+func (ex *Executable) EnergyPerPE(rows int) (tech.EnergyLedger, error) {
+	chip := ex.NewChip(rows)
+	pe := chip.PE(0)
+	// Populate every row with zeros so writes select realistic row sets.
+	zero := make([]uint64, len(ex.Inputs))
+	for r := 0; r < rows; r++ {
+		if err := ex.Load(pe, r, zero); err != nil {
+			return tech.EnergyLedger{}, err
+		}
+	}
+	if err := chip.Execute(ex.Prog); err != nil {
+		return tech.EnergyLedger{}, err
+	}
+	return chip.Report().Energy, nil
+}
+
+// DriveCells returns the number of VL-driven cells of a key map — used by
+// tests asserting search-robustness limits.
+func DriveCells(keys []bits.Key) int {
+	n := 0
+	for _, k := range keys {
+		n += encoding.DriveCost(k)
+	}
+	return n
+}
+
+// CheckAgainstReference runs the executable on the simulator for the
+// given inputs and compares every output with the DFG reference
+// evaluator, returning a descriptive error on the first mismatch.
+func (ex *Executable) CheckAgainstReference(inputs [][]uint64) error {
+	outs, _, err := ex.Run(inputs)
+	if err != nil {
+		return err
+	}
+	for r, vals := range inputs {
+		want := ex.Reference(vals)
+		for i := range want {
+			if outs[r][i] != want[i] {
+				return fmt.Errorf("slot %d output %s: simulated %d, reference %d (inputs %v)",
+					r, ex.Outputs[i].Name, outs[r][i], want[i], vals)
+			}
+		}
+	}
+	return nil
+}
+
+// InputWidths returns the declared widths of the inputs (for random test
+// generation).
+func (ex *Executable) InputWidths() []int {
+	ws := make([]int, len(ex.Inputs))
+	for i, c := range ex.Inputs {
+		ws[i] = c.Width
+	}
+	return ws
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

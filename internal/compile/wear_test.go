@@ -1,0 +1,52 @@
+package compile
+
+import (
+	"testing"
+
+	"hyperap/internal/tech"
+)
+
+// TestEnduranceAdvantage quantifies the lifetime consequence of
+// Multi-Search-Single-Write: running the same computation, the
+// traditional execution model programs its hottest RRAM cell far more
+// often than Hyper-AP does. RRAM endurance is bounded (~1e6-1e12
+// pulses), so the write reduction is a lifetime win, not just a latency
+// one.
+func TestEnduranceAdvantage(t *testing.T) {
+	src := `unsigned int(9) main(unsigned int(8) a, unsigned int(8) b){ return a + b; }`
+	wearOf := func(tgt Target) (max uint32, mean float64) {
+		ex, err := CompileSource(src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip := ex.NewChip(64)
+		pe := chip.PE(0)
+		// Run the program several times over fresh inputs, as an
+		// iterative workload would.
+		for pass := 0; pass < 5; pass++ {
+			for r := 0; r < 64; r++ {
+				if err := ex.Load(pe, r, []uint64{uint64(r * (pass + 3)), uint64(r ^ pass)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := chip.Execute(ex.Prog); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := pe.M.TCAM().WearReport()
+		return w.MaxPulses, w.MeanPulses
+	}
+	hyMax, hyMean := wearOf(HyperTarget())
+	trMax, trMean := wearOf(TraditionalTarget(tech.RRAM()))
+	if hyMax == 0 || trMax == 0 {
+		t.Fatal("wear not recorded")
+	}
+	if trMax <= hyMax {
+		t.Errorf("traditional max wear %d should exceed Hyper-AP %d", trMax, hyMax)
+	}
+	if trMean <= hyMean {
+		t.Errorf("traditional mean wear %.2f should exceed Hyper-AP %.2f", trMean, hyMean)
+	}
+	t.Logf("hottest-cell pulses over 5 passes: traditional %d vs Hyper-AP %d (%.1fx lifetime)",
+		trMax, hyMax, float64(trMax)/float64(hyMax))
+}

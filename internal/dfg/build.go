@@ -1,0 +1,282 @@
+package dfg
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/lang"
+)
+
+// maxUnrollIterations bounds loop unrolling so a runaway loop becomes a
+// compile error instead of a hang.
+const maxUnrollIterations = 1 << 16
+
+// maxInlineDepth bounds function inlining (the language has no recursion).
+const maxInlineDepth = 64
+
+// Build lowers one function of a parsed program (usually "main") into a
+// dataflow graph.
+func Build(prog *lang.Program, fnName string) (*Graph, error) {
+	fn, ok := prog.Funcs[fnName]
+	if !ok {
+		return nil, fmt.Errorf("dfg: function %q not defined", fnName)
+	}
+	b := &builder{prog: prog, g: &Graph{}, consts: map[constKey]int{}}
+	e := &exec{b: b}
+	e.pushScope()
+	inputIdx := 0
+	for _, p := range fn.Params {
+		v, err := b.inputValue(p.Type, p.Name, &inputIdx)
+		if err != nil {
+			return nil, err
+		}
+		e.declare(p.Name, v)
+	}
+	ret, err := e.runBlock(fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if ret == nil {
+		return nil, fmt.Errorf("dfg: function %s does not return", fnName)
+	}
+	// Coerce the result to the declared return type, component-wise.
+	retV, err := b.coerce(ret, fn.Ret, fn.Line)
+	if err != nil {
+		return nil, err
+	}
+	names := b.componentNames(fn.Ret, "ret")
+	sign := b.componentSigns(fn.Ret)
+	for i, c := range retV.comps {
+		b.g.Outputs = append(b.g.Outputs, c)
+		b.g.OutputNames = append(b.g.OutputNames, names[i])
+		b.g.OutputSigned = append(b.g.OutputSigned, sign[i])
+	}
+	return b.g, nil
+}
+
+// BuildSource parses source text and builds its main function.
+func BuildSource(src string) (*Graph, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Build(prog, "main")
+}
+
+type constKey struct {
+	v      uint64
+	w      int
+	signed bool
+}
+
+type builder struct {
+	prog   *lang.Program
+	g      *Graph
+	consts map[constKey]int
+}
+
+// val is a flattened value: scalars have one component, arrays and
+// structs several. compTypes holds the scalar type of each component.
+type val struct {
+	typ       lang.Type
+	arrayLen  int
+	comps     []int
+	compTypes []lang.Type
+}
+
+func (v *val) scalar() bool { return v.arrayLen == 0 && v.typ.Kind != lang.TypeStruct }
+
+func (v *val) clone() *val {
+	return &val{
+		typ:       v.typ,
+		arrayLen:  v.arrayLen,
+		comps:     append([]int(nil), v.comps...),
+		compTypes: append([]lang.Type(nil), v.compTypes...),
+	}
+}
+
+// scalarType of a DFG node id, for expression values.
+func scalarVal(node int, t lang.Type) *val {
+	return &val{typ: t, comps: []int{node}, compTypes: []lang.Type{t}}
+}
+
+func (b *builder) structDef(name string, line int) (*lang.StructDef, error) {
+	sd, ok := b.prog.Structs[name]
+	if !ok {
+		return nil, fmt.Errorf("line %d: struct %s not defined", line, name)
+	}
+	return sd, nil
+}
+
+// componentScalarTypes flattens a type into its scalar component types.
+func (b *builder) componentScalarTypes(t lang.Type) []lang.Type {
+	if t.Kind != lang.TypeStruct {
+		return []lang.Type{t}
+	}
+	sd := b.prog.Structs[t.Name]
+	var out []lang.Type
+	for _, f := range sd.Fields {
+		n := 1
+		if f.ArrayLen > 0 {
+			n = f.ArrayLen
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, b.componentScalarTypes(f.Type)...)
+		}
+	}
+	return out
+}
+
+func (b *builder) componentNames(t lang.Type, prefix string) []string {
+	if t.Kind != lang.TypeStruct {
+		return []string{prefix}
+	}
+	sd := b.prog.Structs[t.Name]
+	var out []string
+	for _, f := range sd.Fields {
+		if f.ArrayLen > 0 {
+			for i := 0; i < f.ArrayLen; i++ {
+				out = append(out, b.componentNames(f.Type, fmt.Sprintf("%s.%s[%d]", prefix, f.Name, i))...)
+			}
+		} else {
+			out = append(out, b.componentNames(f.Type, prefix+"."+f.Name)...)
+		}
+	}
+	return out
+}
+
+func (b *builder) componentSigns(t lang.Type) []bool {
+	types := b.componentScalarTypes(t)
+	out := make([]bool, len(types))
+	for i, ct := range types {
+		out[i] = ct.Signed()
+	}
+	return out
+}
+
+// inputValue creates OpInput nodes for one (possibly aggregate) parameter.
+func (b *builder) inputValue(t lang.Type, name string, inputIdx *int) (*val, error) {
+	if t.Kind == lang.TypeStruct {
+		if _, err := b.structDef(t.Name, 0); err != nil {
+			return nil, err
+		}
+	}
+	compTypes := b.componentScalarTypes(t)
+	names := b.componentNames(t, name)
+	v := &val{typ: t, compTypes: compTypes}
+	for i, ct := range compTypes {
+		id := b.g.add(&Node{Op: OpInput, Width: ct.Bits, Signed: ct.Signed(), InputIdx: *inputIdx, Name: names[i]})
+		b.g.Inputs = append(b.g.Inputs, id)
+		*inputIdx++
+		v.comps = append(v.comps, id)
+	}
+	return v, nil
+}
+
+// constNode interns a constant.
+func (b *builder) constNode(v uint64, w int, signed bool) int {
+	v &= bits.Mask(w)
+	k := constKey{v, w, signed}
+	if id, ok := b.consts[k]; ok {
+		return id
+	}
+	id := b.g.add(&Node{Op: OpConst, Width: w, Signed: signed, Const: v})
+	b.consts[k] = id
+	return id
+}
+
+// newNode appends an operation node, constant-folding when every argument
+// is constant (this is what carries immediate operands into the lookup
+// tables, Fig. 12b).
+func (b *builder) newNode(n *Node) int {
+	allConst := len(n.Args) > 0
+	for _, a := range n.Args {
+		if b.g.Nodes[a].Op != OpConst {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		args := make([]uint64, len(n.Args))
+		argNodes := make([]*Node, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = b.g.Nodes[a].Const
+			argNodes[i] = b.g.Nodes[a]
+		}
+		return b.constNode(EvalNode(n, args, argNodes), n.Width, n.Signed)
+	}
+	return b.g.add(n)
+}
+
+// isConst reports whether a node is a constant and returns its value.
+func (b *builder) isConst(id int) (uint64, bool) {
+	n := b.g.Nodes[id]
+	if n.Op == OpConst {
+		return n.Const, true
+	}
+	return 0, false
+}
+
+func boolType() lang.Type { return lang.Type{Kind: lang.TypeBool, Bits: 1} }
+
+func uintType(w int) lang.Type { return lang.Type{Kind: lang.TypeUInt, Bits: w} }
+
+func intType(w int) lang.Type { return lang.Type{Kind: lang.TypeInt, Bits: w} }
+
+// commonType returns the smallest integer type able to hold both operand
+// types' value ranges.
+func commonType(a, c lang.Type) lang.Type {
+	if a.Kind == lang.TypeBool && c.Kind == lang.TypeBool {
+		return boolType()
+	}
+	signed := a.Signed() || c.Signed()
+	wa, wc := a.Bits, c.Bits
+	if signed && !a.Signed() {
+		wa++
+	}
+	if signed && !c.Signed() {
+		wc++
+	}
+	w := wa
+	if wc > w {
+		w = wc
+	}
+	if w > 64 {
+		w = 64
+	}
+	if signed {
+		return intType(w)
+	}
+	return uintType(w)
+}
+
+// resize coerces a scalar value to a target scalar type (truncation or
+// source-signedness extension). A no-op when the representation already
+// matches.
+func (b *builder) resize(v *val, t lang.Type) *val {
+	cur := v.compTypes[0]
+	if cur.Bits == t.Bits && cur.Signed() == t.Signed() && (cur.Kind == lang.TypeBool) == (t.Kind == lang.TypeBool) {
+		out := scalarVal(v.comps[0], t)
+		return out
+	}
+	id := b.newNode(&Node{Op: OpResize, Width: t.Bits, Signed: t.Signed(), ArgSigned: cur.Signed(), Args: []int{v.comps[0]}})
+	return scalarVal(id, t)
+}
+
+// coerce adapts a value to a declared type: scalars resize; aggregates
+// must match exactly.
+func (b *builder) coerce(v *val, t lang.Type, line int) (*val, error) {
+	if t.Kind == lang.TypeStruct || v.typ.Kind == lang.TypeStruct {
+		if v.typ.Kind != lang.TypeStruct || t.Kind != lang.TypeStruct || v.typ.Name != t.Name {
+			return nil, fmt.Errorf("line %d: cannot assign %v to %v", line, v.typ, t)
+		}
+		return v, nil
+	}
+	if v.arrayLen != 0 {
+		return nil, fmt.Errorf("line %d: cannot assign an array value", line)
+	}
+	if t.Kind == lang.TypeBool && v.typ.Kind != lang.TypeBool {
+		return nil, fmt.Errorf("line %d: cannot assign %v to bool", line, v.typ)
+	}
+	return b.resize(v, t), nil
+}

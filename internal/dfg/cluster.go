@@ -1,0 +1,131 @@
+package dfg
+
+// Clustering assigns DFG nodes to clusters; the computation of one cluster
+// runs in one SIMD slot, and inter-cluster edges become data copies
+// between slots (paper Fig. 10). The goal of the clustering step is to
+// minimise those copies, which are expensive on RRAM-based AP because of
+// the long write latency (§V-B.2).
+type Clustering struct {
+	Assign      []int // node ID → cluster index (-1 for const nodes)
+	NumClusters int
+	// CutEdges counts distinct (producer cluster, consumer cluster, node)
+	// crossings: the number of values that must be copied between slots.
+	CutEdges int
+	// Cost is the Eq. 1 cost of the final (output-side) clusters:
+	// Cost0[i] = Σ Cost0[input clusters] + N_input_edges.
+	Cost float64
+}
+
+// Cluster partitions the graph with the adapted heuristic of [42]: nodes
+// are visited in topological order and merged into the predecessor
+// cluster that minimises the Eq. 1 cost, subject to a cluster size limit
+// (the SIMD slot's column capacity stands in for the "number of inputs"
+// limit of the FPGA clustering algorithm).
+func Cluster(g *Graph, maxOpsPerCluster int) *Clustering {
+	if maxOpsPerCluster < 1 {
+		maxOpsPerCluster = 1
+	}
+	c := &Clustering{Assign: make([]int, len(g.Nodes))}
+	for i := range c.Assign {
+		c.Assign[i] = -1
+	}
+	size := []int{}     // ops per cluster
+	cost := []float64{} // running Eq. 1 cost per cluster
+	inputs := []map[int]bool{}
+
+	newCluster := func() int {
+		size = append(size, 0)
+		cost = append(cost, 0)
+		inputs = append(inputs, map[int]bool{})
+		return len(size) - 1
+	}
+
+	// copied reports whether an argument node's value would have to be
+	// copied between SIMD slots: constants are embedded in lookup tables
+	// and primary inputs are laid out into whichever slot needs them at
+	// load time, so only operation results count.
+	copied := func(id int) bool {
+		op := g.Nodes[id].Op
+		return op != OpConst && op != OpInput
+	}
+
+	for _, n := range g.Nodes {
+		if n.Op == OpConst || n.Op == OpInput {
+			continue
+		}
+		// Candidate clusters: the argument producers' clusters first (a
+		// merge there removes an edge), then any cluster with room.
+		cands := map[int]bool{}
+		for _, a := range n.Args {
+			if ca := c.Assign[a]; ca >= 0 && size[ca] < maxOpsPerCluster {
+				cands[ca] = true
+			}
+		}
+		if len(cands) == 0 {
+			for ci := range size {
+				if size[ci] < maxOpsPerCluster {
+					cands[ci] = true
+				}
+			}
+		}
+		best, bestCost := -1, 0.0
+		for ca := range cands {
+			// Eq. 1: added cost is the number of new input edges this
+			// node brings into cluster ca.
+			newEdges := 0
+			for _, b := range n.Args {
+				if copied(b) && c.Assign[b] != ca && !inputs[ca][b] {
+					newEdges++
+				}
+			}
+			cand := cost[ca] + float64(newEdges)
+			if best < 0 || cand < bestCost || (cand == bestCost && ca < best) {
+				best, bestCost = ca, cand
+			}
+		}
+		if best < 0 {
+			best = newCluster()
+			newEdges := 0
+			for _, a := range n.Args {
+				if copied(a) {
+					newEdges++
+				}
+			}
+			bestCost = float64(newEdges)
+		}
+		c.Assign[n.ID] = best
+		size[best]++
+		cost[best] = bestCost
+		for _, a := range n.Args {
+			if copied(a) && c.Assign[a] != best {
+				inputs[best][a] = true
+			}
+		}
+	}
+	c.NumClusters = len(size)
+	// Count cut edges: values produced in one cluster and consumed in
+	// another (each distinct (value, consumer cluster) pair is one copy).
+	type cut struct{ node, cluster int }
+	cuts := map[cut]bool{}
+	for _, n := range g.Nodes {
+		if c.Assign[n.ID] < 0 {
+			continue
+		}
+		for _, a := range n.Args {
+			if g.Nodes[a].Op == OpConst || g.Nodes[a].Op == OpInput {
+				continue
+			}
+			ca := c.Assign[a]
+			if ca >= 0 && ca != c.Assign[n.ID] {
+				cuts[cut{a, c.Assign[n.ID]}] = true
+			}
+		}
+	}
+	c.CutEdges = len(cuts)
+	for _, o := range g.Outputs {
+		if cl := c.Assign[o]; cl >= 0 {
+			c.Cost += cost[cl]
+		}
+	}
+	return c
+}

@@ -1,0 +1,316 @@
+// Package dfg implements the dataflow-graph stage of the compilation
+// framework (paper §V-B.1-2): programs in the C-like language are lowered
+// into a graph of multi-bit operations by a symbolic executor that unrolls
+// loops (whose bounds must be compile-time constants, §V-A constraint 1),
+// inlines function calls, executes both branches of conditionals and
+// merges them with multiplexers (Fig. 13b), and constant-folds
+// aggressively so that immediate operands propagate into the lookup
+// tables (the operand-embedding optimisation of Fig. 12b).
+//
+// The package also provides the reference evaluator used to verify
+// compiled programs end-to-end, and the DFG clustering step with the
+// cost function of Eq. 1 (Fig. 10).
+package dfg
+
+import (
+	"fmt"
+	stdbits "math/bits"
+
+	"hyperap/internal/bits"
+)
+
+// OpKind is a dataflow operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpInput OpKind = iota
+	OpConst
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // unsigned
+	OpMod // unsigned
+	OpShlC
+	OpShrC
+	OpShlV
+	OpShrV
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpEq
+	OpNe
+	OpLt // unsigned or signed per Signed flag of the node
+	OpLe
+	OpLAnd
+	OpLOr
+	OpLNot
+	OpMux // args: sel, then, else
+	OpResize
+	OpSqrt
+	OpExp
+)
+
+var opNames = map[OpKind]string{
+	OpInput: "input", OpConst: "const", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpShlC: "shl", OpShrC: "shr",
+	OpShlV: "shlv", OpShrV: "shrv", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNot: "not", OpNeg: "neg", OpEq: "eq", OpNe: "ne", OpLt: "lt",
+	OpLe: "le", OpLAnd: "land", OpLOr: "lor", OpLNot: "lnot", OpMux: "mux",
+	OpResize: "resize", OpSqrt: "sqrt", OpExp: "exp",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Node is one dataflow operation producing a Width-bit value.
+type Node struct {
+	ID     int
+	Op     OpKind
+	Width  int
+	Signed bool // result interpreted as two's complement
+	Args   []int
+
+	// OpConst: the value; OpShlC/OpShrC: the shift amount.
+	Const uint64
+	// OpShrC/OpResize: whether the *operand* is sign-extended.
+	ArgSigned bool
+	// OpInput: parameter index and name.
+	InputIdx int
+	Name     string
+}
+
+// Graph is a dataflow graph. Node IDs are dense and topologically ordered
+// (arguments always precede users).
+type Graph struct {
+	Nodes   []*Node
+	Inputs  []int // node IDs of OpInput nodes, in parameter order
+	Outputs []int // node IDs of the (flattened) return value
+	// OutputNames labels each output component (for listings).
+	OutputNames []string
+	// OutputSigned records the signedness of each output component.
+	OutputSigned []bool
+}
+
+func (g *Graph) add(n *Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n.ID
+}
+
+// NumOps returns the number of non-input, non-const nodes.
+func (g *Graph) NumOps() int {
+	c := 0
+	for _, n := range g.Nodes {
+		if n.Op != OpInput && n.Op != OpConst {
+			c++
+		}
+	}
+	return c
+}
+
+// maskW masks v to width w.
+func maskW(v uint64, w int) uint64 { return v & bits.Mask(w) }
+
+// signedVal interprets v (width w) as two's complement.
+func signedVal(v uint64, w int) int64 { return bits.SignExtend(v, w) }
+
+// EvalNode computes one node's value given its argument values. It is the
+// single source of truth for the language's semantics; the RTL netlists
+// are tested against it bit for bit.
+func EvalNode(n *Node, args []uint64, argNodes []*Node) uint64 {
+	w := n.Width
+	ext := func(i int) uint64 {
+		// Extend argument i to the result width using the argument's own
+		// signedness.
+		a := argNodes[i]
+		if a.Signed {
+			return maskW(uint64(bits.SignExtend(args[i], a.Width)), w)
+		}
+		return maskW(args[i], w)
+	}
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch n.Op {
+	case OpConst:
+		return maskW(n.Const, w)
+	case OpAdd:
+		return maskW(ext(0)+ext(1), w)
+	case OpSub:
+		return maskW(ext(0)-ext(1), w)
+	case OpMul:
+		return maskW(ext(0)*ext(1), w)
+	case OpDiv:
+		if args[1] == 0 {
+			return bits.Mask(w) // hardware convention, see rtl.UDiv
+		}
+		return maskW(args[0]/args[1], w)
+	case OpMod:
+		if args[1] == 0 {
+			return maskW(args[0], w)
+		}
+		return maskW(args[0]%args[1], w)
+	case OpShlC:
+		return maskW(args[0]<<uint(n.Const), w)
+	case OpShrC:
+		if n.ArgSigned {
+			return maskW(uint64(signedVal(args[0], argNodes[0].Width)>>uint(n.Const)), w)
+		}
+		return maskW(args[0]>>uint(n.Const), w)
+	case OpShlV:
+		sh := args[1]
+		if sh >= 64 {
+			return 0
+		}
+		return maskW(args[0]<<sh, w)
+	case OpShrV:
+		sh := args[1]
+		if n.ArgSigned {
+			s := signedVal(args[0], argNodes[0].Width)
+			if sh >= 64 {
+				sh = 63
+			}
+			return maskW(uint64(s>>sh), w)
+		}
+		if sh >= 64 {
+			return 0
+		}
+		return maskW(args[0]>>sh, w)
+	case OpAnd:
+		return maskW(ext(0)&ext(1), w)
+	case OpOr:
+		return maskW(ext(0)|ext(1), w)
+	case OpXor:
+		return maskW(ext(0)^ext(1), w)
+	case OpNot:
+		return maskW(^args[0], w)
+	case OpNeg:
+		return maskW(-ext(0), w)
+	case OpEq:
+		return b2u(args[0] == args[1])
+	case OpNe:
+		return b2u(args[0] != args[1])
+	case OpLt:
+		if n.ArgSigned {
+			return b2u(signedVal(args[0], argNodes[0].Width) < signedVal(args[1], argNodes[1].Width))
+		}
+		return b2u(args[0] < args[1])
+	case OpLe:
+		if n.ArgSigned {
+			return b2u(signedVal(args[0], argNodes[0].Width) <= signedVal(args[1], argNodes[1].Width))
+		}
+		return b2u(args[0] <= args[1])
+	case OpLAnd:
+		return b2u(args[0] != 0 && args[1] != 0)
+	case OpLOr:
+		return b2u(args[0] != 0 || args[1] != 0)
+	case OpLNot:
+		return b2u(args[0] == 0)
+	case OpMux:
+		if args[0] != 0 {
+			return ext(1)
+		}
+		return ext(2)
+	case OpResize:
+		if n.ArgSigned {
+			return maskW(uint64(signedVal(args[0], argNodes[0].Width)), w)
+		}
+		return maskW(args[0], w)
+	case OpSqrt:
+		v := args[0]
+		var r uint64
+		for bitI := (argNodes[0].Width + 1) / 2; bitI >= 0; bitI-- {
+			t := r | 1<<uint(bitI)
+			if hi, lo := stdbits.Mul64(t, t); hi == 0 && lo <= v {
+				r = t
+			}
+		}
+		return maskW(r, w)
+	case OpExp:
+		return maskW(expFixedRef(args[0], argNodes[0].Width), w)
+	}
+	panic(fmt.Sprintf("dfg: cannot evaluate %v", n.Op))
+}
+
+// expFixedRef mirrors rtl.Exp exactly (Q16.16 shift-and-add) so the
+// reference evaluator and the netlist agree bit for bit.
+func expFixedRef(x uint64, wIn int) uint64 {
+	w := wIn
+	if w < 18 {
+		w = 18
+	}
+	mask := bits.Mask(w)
+	y := uint64(1<<16) & mask
+	rem := x & mask
+	lnTab := []uint64{45426, 26573, 14624, 7719, 3973, 2017, 1016, 510,
+		256, 128, 64, 32, 16, 8, 4, 2, 1}
+	intBits := w - 16
+	for i := 0; i < intBits; i++ {
+		if rem >= lnTab[0] {
+			rem -= lnTab[0]
+			y = y << 1 & mask
+		}
+	}
+	for k := 1; k <= 16; k++ {
+		if rem >= lnTab[k] {
+			rem -= lnTab[k]
+			y = (y + y>>uint(k)) & mask
+		}
+	}
+	return y
+}
+
+// Eval runs the whole graph on one input assignment (values in parameter
+// order, already truncated to the declared widths) and returns the output
+// component values.
+func (g *Graph) Eval(inputs []uint64) []uint64 {
+	if len(inputs) != len(g.Inputs) {
+		panic(fmt.Sprintf("dfg: %d inputs for %d parameters", len(inputs), len(g.Inputs)))
+	}
+	vals := make([]uint64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Op == OpInput {
+			vals[n.ID] = maskW(inputs[n.InputIdx], n.Width)
+			continue
+		}
+		args := make([]uint64, len(n.Args))
+		argNodes := make([]*Node, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = vals[a]
+			argNodes[i] = g.Nodes[a]
+		}
+		vals[n.ID] = EvalNode(n, args, argNodes)
+	}
+	out := make([]uint64, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}
+
+// String dumps the graph for debugging.
+func (g *Graph) String() string {
+	s := ""
+	for _, n := range g.Nodes {
+		s += fmt.Sprintf("n%d = %v w%d %v", n.ID, n.Op, n.Width, n.Args)
+		if n.Op == OpConst {
+			s += fmt.Sprintf(" #%d", n.Const)
+		}
+		if n.Op == OpInput {
+			s += " " + n.Name
+		}
+		s += "\n"
+	}
+	s += fmt.Sprintf("outputs: %v\n", g.Outputs)
+	return s
+}

@@ -1,0 +1,398 @@
+package dfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// build compiles source and fails the test on error.
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	g, err := BuildSource(src)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// TestFig8Program builds the exact program of Fig. 8.
+func TestFig8Program(t *testing.T) {
+	g := build(t, `
+		// A program that adds two 5-bit variables (Fig. 8).
+		unsigned int(6) main(unsigned int(5) a, unsigned int(5) b) {
+			unsigned int(6) c;
+			c = a + b;
+			return c;
+		}`)
+	if len(g.Inputs) != 2 || len(g.Outputs) != 1 {
+		t.Fatalf("inputs/outputs = %d/%d", len(g.Inputs), len(g.Outputs))
+	}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			out := g.Eval([]uint64{a, b})
+			if out[0] != (a+b)&63 {
+				t.Fatalf("%d+%d = %d", a, b, out[0])
+			}
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		ref  func(a, b uint64) uint64
+	}{
+		{"add", `unsigned int(9) main(unsigned int(8) a, unsigned int(8) b){ return a + b; }`,
+			func(a, b uint64) uint64 { return (a + b) & 0x1FF }},
+		{"sub-wraps-signed", `int(9) main(unsigned int(8) a, unsigned int(8) b){ return a - b; }`,
+			func(a, b uint64) uint64 { return (a - b) & 0x1FF }},
+		{"mul", `unsigned int(16) main(unsigned int(8) a, unsigned int(8) b){ return a * b; }`,
+			func(a, b uint64) uint64 { return a * b }},
+		{"div", `unsigned int(8) main(unsigned int(8) a, unsigned int(8) b){ return a / b; }`,
+			func(a, b uint64) uint64 {
+				if b == 0 {
+					return 0xFF
+				}
+				return a / b
+			}},
+		{"mod", `unsigned int(8) main(unsigned int(8) a, unsigned int(8) b){ return a % b; }`,
+			func(a, b uint64) uint64 {
+				if b == 0 {
+					return a
+				}
+				return a % b
+			}},
+		{"xor-and-or", `unsigned int(8) main(unsigned int(8) a, unsigned int(8) b){ return (a ^ b) | (a & b); }`,
+			func(a, b uint64) uint64 { return (a ^ b) | (a & b) }},
+		{"shifts", `unsigned int(10) main(unsigned int(8) a, unsigned int(8) b){ return (a << 2) >> 1; }`,
+			func(a, b uint64) uint64 { return a << 2 >> 1 }},
+		{"varshift", `unsigned int(8) main(unsigned int(8) a, unsigned int(3) b){ return a >> b; }`,
+			func(a, b uint64) uint64 { return a >> (b & 7) }},
+	}
+	rng := rand.New(rand.NewSource(20))
+	for _, c := range cases {
+		g := build(t, c.src)
+		for i := 0; i < 200; i++ {
+			a, b := rng.Uint64()&0xFF, rng.Uint64()&0xFF
+			got := g.Eval([]uint64{a, b})[0]
+			if got != c.ref(a, b) {
+				t.Errorf("%s(%d,%d) = %d, want %d", c.name, a, b, got, c.ref(a, b))
+			}
+		}
+	}
+}
+
+func TestSignedComparisonsAndNeg(t *testing.T) {
+	g := build(t, `
+		bool main(int(8) a, int(8) b) {
+			return -a < b;
+		}`)
+	for i := 0; i < 256; i++ {
+		for j := 0; j < 256; j++ {
+			sa, sb := bits.SignExtend(uint64(i), 8), bits.SignExtend(uint64(j), 8)
+			got := g.Eval([]uint64{uint64(i), uint64(j)})[0]
+			want := uint64(0)
+			if -sa < sb {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("-%d < %d: got %d", sa, sb, got)
+			}
+		}
+	}
+}
+
+func TestConditionalBothBranches(t *testing.T) {
+	// Fig. 13b: data-dependent conditional becomes a mux merge.
+	g := build(t, `
+		unsigned int(8) main(unsigned int(8) a, bool p) {
+			unsigned int(8) b;
+			if (p == true) {
+				b = a + 1;
+			} else {
+				b = a - 1;
+			}
+			return b;
+		}`)
+	for a := uint64(0); a < 256; a++ {
+		if got := g.Eval([]uint64{a, 1})[0]; got != (a+1)&0xFF {
+			t.Fatalf("then branch: %d", got)
+		}
+		if got := g.Eval([]uint64{a, 0})[0]; got != (a-1)&0xFF {
+			t.Fatalf("else branch: %d", got)
+		}
+	}
+}
+
+func TestLoopUnrollingAndConstFold(t *testing.T) {
+	g := build(t, `
+		unsigned int(16) main(unsigned int(8) a) {
+			unsigned int(16) acc;
+			acc = 0;
+			for (unsigned int(8) i = 0; i < 5; i = i + 1) {
+				acc = acc + a;
+			}
+			return acc;
+		}`)
+	for a := uint64(0); a < 256; a += 17 {
+		if got := g.Eval([]uint64{a})[0]; got != 5*a {
+			t.Fatalf("5*%d = %d", a, got)
+		}
+	}
+}
+
+func TestLoopCounterUsableAsShift(t *testing.T) {
+	// The unrolled loop counter is a compile-time constant, so it can be
+	// used where constants are required (shift amounts, array indices).
+	g := build(t, `
+		unsigned int(16) main(unsigned int(4) a) {
+			unsigned int(16) acc = 0;
+			for (unsigned int(4) i = 0; i < 3; i = i + 1) {
+				acc = acc + (a << i);
+			}
+			return acc;
+		}`)
+	for a := uint64(0); a < 16; a++ {
+		want := a + a<<1 + a<<2
+		if got := g.Eval([]uint64{a})[0]; got != want {
+			t.Fatalf("acc(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestFunctionInlining(t *testing.T) {
+	g := build(t, `
+		unsigned int(9) add8(unsigned int(8) x, unsigned int(8) y) {
+			return x + y;
+		}
+		unsigned int(10) main(unsigned int(8) a, unsigned int(8) b) {
+			return add8(a, b) + add8(b, a);
+		}`)
+	for i := 0; i < 50; i++ {
+		a, b := uint64(i*5%256), uint64(i*11%256)
+		if got := g.Eval([]uint64{a, b})[0]; got != 2*(a+b) {
+			t.Fatalf("got %d", got)
+		}
+	}
+}
+
+func TestStructsAndArrays(t *testing.T) {
+	g := build(t, `
+		struct Pt {
+			unsigned int(8) x;
+			unsigned int(8) y;
+		}
+		unsigned int(18) main(struct Pt p, unsigned int(8) k) {
+			unsigned int(8) w[3];
+			w[0] = p.x;
+			w[1] = p.y;
+			w[2] = k;
+			unsigned int(18) acc = 0;
+			for (unsigned int(2) i = 0; i < 3; i = i + 1) {
+				acc = acc + w[i] * w[i];
+			}
+			return acc;
+		}`)
+	ref := func(x, y, k uint64) uint64 { return x*x + y*y + k*k }
+	for i := 0; i < 40; i++ {
+		x, y, k := uint64(i*7%256), uint64(i*13%256), uint64(i*29%256)
+		if got := g.Eval([]uint64{x, y, k})[0]; got != ref(x, y, k) {
+			t.Fatalf("got %d want %d", got, ref(x, y, k))
+		}
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	g := build(t, `
+		unsigned int(8) main(unsigned int(16) a, int(8) s) {
+			unsigned int(8) r;
+			r = sqrt(a);
+			return min(r, abs(s));
+		}`)
+	for i := 0; i < 100; i++ {
+		a := uint64(i * 655 % 65536)
+		s := uint64(i * 37 % 256)
+		root := uint64(0)
+		for root*root <= a {
+			root++
+		}
+		root--
+		sv := bits.SignExtend(s, 8)
+		av := uint64(sv)
+		if sv < 0 {
+			av = uint64(-sv)
+		}
+		av &= 0xFF
+		want := root
+		if av < want {
+			want = av
+		}
+		if got := g.Eval([]uint64{a, s})[0]; got != want&0xFF {
+			t.Fatalf("min(sqrt(%d),abs(%d)) = %d, want %d", a, sv, got, want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"undeclared", `unsigned int(4) main(){ return x; }`, "not declared"},
+		{"no-return", `unsigned int(4) main(unsigned int(4) a){ a = a; }`, "does not return"},
+		{"dyn-loop", `unsigned int(4) main(unsigned int(4) a){
+			unsigned int(4) s = 0;
+			for (unsigned int(4) i = 0; i < a; i = i + 1) { s = s + 1; }
+			return s; }`, "compile-time constant"},
+		{"dyn-index", `unsigned int(4) main(unsigned int(2) a){
+			unsigned int(4) w[4];
+			w[0] = 1;
+			return w[a]; }`, "compile-time constant"},
+		{"ret-in-branch", `unsigned int(4) main(unsigned int(4) a){
+			if (a == 1) { return 1; }
+			return 0; }`, "data-dependent conditional"},
+		{"bool-cond", `unsigned int(4) main(unsigned int(4) a){
+			if (a) { a = 1; }
+			return a; }`, "must be bool"},
+		{"redeclare", `unsigned int(4) main(unsigned int(4) a){
+			unsigned int(4) b;
+			unsigned int(4) b;
+			return b; }`, "redeclared"},
+		{"oob-index", `unsigned int(4) main(unsigned int(4) a){
+			unsigned int(4) w[2];
+			w[5] = a;
+			return a; }`, "out of bounds"},
+		{"bad-call", `unsigned int(4) main(unsigned int(4) a){ return foo(a); }`, "not defined"},
+		{"recursion", `unsigned int(4) f(unsigned int(4) a){ return f(a); }
+			unsigned int(4) main(unsigned int(4) a){ return f(a); }`, "recursion"},
+		{"unknown-struct", `unsigned int(4) main(struct Foo a){ return 0; }`, "not defined"},
+	}
+	for _, c := range cases {
+		_, err := BuildSource(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestSignedDivMod checks the signed division/modulo desugaring against
+// Go's semantics (both truncate toward zero; the remainder takes the
+// dividend's sign).
+func TestSignedDivMod(t *testing.T) {
+	div := build(t, `int(9) main(int(8) a, int(8) b){ return a / b; }`)
+	mod := build(t, `int(9) main(int(8) a, int(8) b){ return a % b; }`)
+	for i := 0; i < 256; i += 3 {
+		for j := 0; j < 256; j += 5 {
+			sa, sb := bits.SignExtend(uint64(i), 8), bits.SignExtend(uint64(j), 8)
+			if sb == 0 {
+				continue // division-by-zero keeps the unsigned convention
+			}
+			wantQ := uint64(sa/sb) & 0x1FF
+			wantR := uint64(sa%sb) & 0x1FF
+			if got := div.Eval([]uint64{uint64(i), uint64(j)})[0]; got != wantQ {
+				t.Fatalf("%d / %d = %d (signed 9-bit), want %d", sa, sb, got, wantQ)
+			}
+			if got := mod.Eval([]uint64{uint64(i), uint64(j)})[0]; got != wantR {
+				t.Fatalf("%d %% %d = %d, want %d", sa, sb, got, wantR)
+			}
+		}
+	}
+}
+
+func TestStaticIfFoldsAway(t *testing.T) {
+	g := build(t, `
+		unsigned int(8) main(unsigned int(8) a) {
+			unsigned int(8) b = 0;
+			if (3 < 5) { b = a; } else { b = a + 1; }
+			return b;
+		}`)
+	for _, n := range g.Nodes {
+		if n.Op == OpMux {
+			t.Fatal("statically-true conditional should not emit a mux")
+		}
+	}
+}
+
+func TestOperandEmbeddingConstFold(t *testing.T) {
+	// Fig. 12b: immediate operands fold into the graph: b = 2; c = a + b
+	// must not contain the constant as a runtime addition chain.
+	g := build(t, `
+		unsigned int(3) main(unsigned int(2) a) {
+			unsigned int(2) b;
+			b = 2;
+			unsigned int(3) c;
+			c = a + b;
+			return c;
+		}`)
+	for a := uint64(0); a < 4; a++ {
+		if got := g.Eval([]uint64{a})[0]; got != (a+2)&7 {
+			t.Fatalf("a+2 = %d", got)
+		}
+	}
+}
+
+func TestClusteringSingleChain(t *testing.T) {
+	g := build(t, `
+		unsigned int(16) main(unsigned int(8) a, unsigned int(8) b) {
+			return (a + b) * (a - b);
+		}`)
+	c := Cluster(g, 100)
+	if c.NumClusters != 1 {
+		t.Errorf("chain should fit one cluster, got %d", c.NumClusters)
+	}
+	if c.CutEdges != 0 {
+		t.Errorf("single cluster must have no cut edges, got %d", c.CutEdges)
+	}
+}
+
+func TestClusteringRespectsLimitAndCountsCuts(t *testing.T) {
+	g := build(t, `
+		unsigned int(20) main(unsigned int(8) a, unsigned int(8) b) {
+			unsigned int(16) x = a * b;
+			unsigned int(16) y = a * a;
+			unsigned int(16) z = b * b;
+			return x + y + z;
+		}`)
+	c := Cluster(g, 1)
+	if c.NumClusters < 3 {
+		t.Errorf("limit 1 should force many clusters, got %d", c.NumClusters)
+	}
+	if c.CutEdges == 0 {
+		t.Error("split graph must have cut edges")
+	}
+	// A generous limit keeps everything together.
+	c2 := Cluster(g, 1000)
+	if c2.CutEdges != 0 {
+		t.Errorf("unlimited clustering should have 0 cuts, got %d", c2.CutEdges)
+	}
+	if c2.Cost > c.Cost {
+		t.Error("Eq. 1 cost should not increase with a larger cluster budget")
+	}
+}
+
+func TestExpEvalReference(t *testing.T) {
+	g := build(t, `
+		unsigned int(32) main(unsigned int(32) a) {
+			return exp(a);
+		}`)
+	// exp(1.0) in Q16.16 ≈ e * 65536 = 178145; shift-add converges within
+	// ~0.2%.
+	got := g.Eval([]uint64{65536})[0]
+	if got < 177800 || got > 178500 {
+		t.Errorf("exp(1.0) = %d, want ≈178145", got)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := build(t, `unsigned int(2) main(unsigned int(1) a){ return a + 1; }`)
+	if s := g.String(); !strings.Contains(s, "add") {
+		t.Errorf("String: %s", s)
+	}
+}

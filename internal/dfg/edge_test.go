@@ -1,0 +1,182 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// TestVariableShiftLeft covers the barrel-shifter path.
+func TestVariableShiftLeft(t *testing.T) {
+	g := build(t, `unsigned int(8) main(unsigned int(8) a, unsigned int(3) s){ return a << s; }`)
+	for a := uint64(0); a < 256; a += 5 {
+		for s := uint64(0); s < 8; s++ {
+			if got := g.Eval([]uint64{a, s})[0]; got != (a<<s)&0xFF {
+				t.Fatalf("%d<<%d = %d", a, s, got)
+			}
+		}
+	}
+}
+
+// TestSignedVariableShiftRight covers arithmetic variable shifts.
+func TestSignedVariableShiftRight(t *testing.T) {
+	g := build(t, `int(8) main(int(8) a, unsigned int(3) s){ return a >> s; }`)
+	for a := 0; a < 256; a += 3 {
+		for s := uint64(0); s < 8; s++ {
+			sa := bits.SignExtend(uint64(a), 8)
+			want := uint64(sa>>s) & 0xFF
+			if got := g.Eval([]uint64{uint64(a), s})[0]; got != want {
+				t.Fatalf("%d>>%d = %d, want %d", sa, s, got, want)
+			}
+		}
+	}
+}
+
+// TestBoolOperators covers &&, ||, !, and bool equality.
+func TestBoolOperators(t *testing.T) {
+	g := build(t, `
+		bool main(bool p, bool q, unsigned int(4) a) {
+			bool r;
+			r = (p && !q) || (q && a > 7);
+			return r == true;
+		}`)
+	for v := 0; v < 64; v++ {
+		p, q, a := v&1 == 1, v&2 == 2, uint64(v>>2)
+		want := uint64(0)
+		if (p && !q) || (q && a > 7) {
+			want = 1
+		}
+		in := []uint64{0, 0, a}
+		if p {
+			in[0] = 1
+		}
+		if q {
+			in[1] = 1
+		}
+		if got := g.Eval(in)[0]; got != want {
+			t.Fatalf("p=%v q=%v a=%d: got %d", p, q, a, got)
+		}
+	}
+}
+
+// TestNestedStructs covers struct-in-struct flattening.
+func TestNestedStructs(t *testing.T) {
+	g := build(t, `
+		struct Inner {
+			unsigned int(4) x;
+			unsigned int(4) y;
+		}
+		struct Outer {
+			struct Inner a;
+			struct Inner b;
+		}
+		unsigned int(6) main(struct Outer o) {
+			struct Inner t;
+			t = o.b;
+			return o.a.x + t.y;
+		}`)
+	// Inputs flatten to a.x, a.y, b.x, b.y.
+	if len(g.Inputs) != 4 {
+		t.Fatalf("inputs = %d, want 4", len(g.Inputs))
+	}
+	if got := g.Eval([]uint64{3, 9, 5, 12})[0]; got != 15 {
+		t.Fatalf("o.a.x + o.b.y = %d, want 15", got)
+	}
+}
+
+// TestStructFieldArrayAssign covers writing into a struct's array field.
+func TestStructFieldArrayAssign(t *testing.T) {
+	g := build(t, `
+		struct S {
+			unsigned int(4) w[3];
+		}
+		unsigned int(6) main(struct S s, unsigned int(4) v) {
+			s.w[1] = v;
+			return s.w[0] + s.w[1] + s.w[2];
+		}`)
+	if got := g.Eval([]uint64{1, 2, 3, 9})[0]; got != 1+9+3 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+// TestWholeArrayCopyRejected: arrays are not assignable as a whole to a
+// differently-shaped target.
+func TestShapeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`struct A { bool x; }
+		  struct B { bool x; }
+		  bool main(struct A a){ struct B b; b = a; return b.x; }`, "cannot assign"},
+		{`bool main(unsigned int(4) a){ unsigned int(4) w[2]; w[0] = 1; return a == w; }`, "scalar"},
+		{`bool main(unsigned int(4) a){ bool b; b = a; return b; }`, "bool"},
+		{`unsigned int(4) main(unsigned int(4) a){ return a.x; }`, "non-struct"},
+		{`unsigned int(4) main(unsigned int(4) a){ return a[0]; }`, "non-array"},
+		{`struct S { unsigned int(4) x; }
+		  unsigned int(4) main(struct S s){ return s.nope; }`, "no field"},
+		{`unsigned int(4) main(bool b){ return -b; }`, "negate bool"},
+		{`unsigned int(4) main(bool b){ return ~b; }`, "use !"},
+		{`bool main(unsigned int(4) a){ return !a; }`, "requires bool"},
+		{`bool main(unsigned int(4) a, bool b){ return a && b; }`, "requires bool"},
+		{`bool main(unsigned int(4) a, bool b){ return a < b; }`, "not defined for bool"},
+		{`unsigned int(4) main(unsigned int(4) a){ return sqrt(a, a); }`, "one argument"},
+		{`unsigned int(4) main(int(4) a){ return sqrt(a); }`, "unsigned"},
+		{`unsigned int(4) main(unsigned int(4) a){ return min(a); }`, "two arguments"},
+		{`unsigned int(4) main(unsigned int(4) a){ return a << 62; }`, "beyond 64"},
+		{`bool f(bool p){ return p; }
+		  bool main(bool p){ return f(p, p); }`, "takes 1 arguments"},
+		{`unsigned int(4) f(unsigned int(4) a){ a = a; }
+		  unsigned int(4) main(unsigned int(4) a){ return f(a); }`, "did not return"},
+	}
+	for i, c := range cases {
+		_, err := BuildSource(c.src)
+		if err == nil {
+			t.Errorf("case %d: expected error containing %q", i, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q missing %q", i, err, c.want)
+		}
+	}
+}
+
+// TestLoopWithReturnInside: a return inside a statically-iterating loop
+// terminates unrolling.
+func TestLoopWithReturn(t *testing.T) {
+	g := build(t, `
+		unsigned int(8) main(unsigned int(8) a) {
+			for (unsigned int(4) i = 0; i < 10; i = i + 1) {
+				return a + 1;
+			}
+			return 0;
+		}`)
+	if got := g.Eval([]uint64{41})[0]; got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// TestMaxMinSignedMixed covers min/max over mixed signedness.
+func TestMaxMinSignedMixed(t *testing.T) {
+	g := build(t, `int(9) main(int(8) a, unsigned int(8) b){ return max(a, b); }`)
+	for i := 0; i < 256; i += 7 {
+		for j := 0; j < 256; j += 11 {
+			sa := bits.SignExtend(uint64(i), 8)
+			want := sa
+			if int64(j) > sa {
+				want = int64(j)
+			}
+			if got := g.Eval([]uint64{uint64(i), uint64(j)})[0]; got != uint64(want)&0x1FF {
+				t.Fatalf("max(%d,%d) = %d, want %d", sa, j, got, uint64(want)&0x1FF)
+			}
+		}
+	}
+}
+
+// TestEvalNodePanicsOnUnknown guards the evaluator's exhaustiveness.
+func TestEvalNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvalNode(&Node{Op: OpKind(99), Width: 4}, nil, nil)
+}

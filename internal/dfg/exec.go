@@ -1,0 +1,323 @@
+package dfg
+
+import (
+	"fmt"
+
+	"hyperap/internal/lang"
+)
+
+// exec is the symbolic executor: it interprets the AST, producing DFG
+// nodes for data-dependent values and folding compile-time-constant ones
+// (loop counters, immediates).
+type exec struct {
+	b      *builder
+	scopes []map[string]*val
+	depth  int
+}
+
+func (e *exec) pushScope() { e.scopes = append(e.scopes, map[string]*val{}) }
+func (e *exec) popScope()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+func (e *exec) declare(name string, v *val) { e.scopes[len(e.scopes)-1][name] = v }
+
+func (e *exec) lookup(name string) (*val, bool) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if v, ok := e.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// snapshot deep-copies the variable environment for branch execution.
+func (e *exec) snapshot() []map[string]*val {
+	out := make([]map[string]*val, len(e.scopes))
+	for i, sc := range e.scopes {
+		m := make(map[string]*val, len(sc))
+		for k, v := range sc {
+			m[k] = v.clone()
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// runBlock executes a block in a fresh scope. A non-nil return value
+// means a return statement executed.
+func (e *exec) runBlock(blk *lang.Block) (*val, error) {
+	e.pushScope()
+	defer e.popScope()
+	for _, s := range blk.Stmts {
+		ret, err := e.runStmt(s)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+	}
+	return nil, nil
+}
+
+func (e *exec) runStmt(s lang.Stmt) (*val, error) {
+	switch st := s.(type) {
+	case *lang.Block:
+		return e.runBlock(st)
+	case *lang.Decl:
+		return nil, e.runDecl(st)
+	case *lang.Assign:
+		return nil, e.runAssign(st)
+	case *lang.Return:
+		v, err := e.evalExpr(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case *lang.If:
+		return e.runIf(st)
+	case *lang.For:
+		return e.runFor(st)
+	}
+	return nil, fmt.Errorf("dfg: unknown statement %T", s)
+}
+
+func (e *exec) runDecl(d *lang.Decl) error {
+	if _, dup := e.scopes[len(e.scopes)-1][d.Name]; dup {
+		return fmt.Errorf("line %d: %s redeclared in this scope", d.Line, d.Name)
+	}
+	t := d.Type
+	if t.Kind == lang.TypeStruct {
+		if _, err := e.b.structDef(t.Name, d.Line); err != nil {
+			return err
+		}
+	}
+	compTypes := e.b.componentScalarTypes(t)
+	n := 1
+	if d.ArrayLen > 0 {
+		n = d.ArrayLen
+	}
+	v := &val{typ: t, arrayLen: d.ArrayLen}
+	for i := 0; i < n; i++ {
+		for _, ct := range compTypes {
+			v.comps = append(v.comps, e.b.constNode(0, ct.Bits, ct.Signed()))
+			v.compTypes = append(v.compTypes, ct)
+		}
+	}
+	if d.Init != nil {
+		iv, err := e.evalExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		cv, err := e.b.coerce(iv, t, d.Line)
+		if err != nil {
+			return err
+		}
+		v.comps = append([]int(nil), cv.comps...)
+	}
+	e.declare(d.Name, v)
+	return nil
+}
+
+// lvalueSlot resolves an l-value to the variable holding it plus the
+// component range [off, off+n) being assigned and the element type.
+func (e *exec) lvalueSlot(target lang.Expr) (root *val, off, n int, elemType lang.Type, err error) {
+	switch t := target.(type) {
+	case *lang.Ident:
+		v, ok := e.lookup(t.Name)
+		if !ok {
+			return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: %s not declared", t.Line, t.Name)
+		}
+		return v, 0, len(v.comps), v.typ, nil
+	case *lang.Index:
+		root, off, n, et, err := e.lvalueSlot(t.X)
+		if err != nil {
+			return nil, 0, 0, lang.Type{}, err
+		}
+		// Indexing requires the slot to be an array of the element type.
+		var arrayLen int
+		switch x := t.X.(type) {
+		case *lang.Ident:
+			v, _ := e.lookup(x.Name)
+			arrayLen = v.arrayLen
+		case *lang.Member:
+			// Array length comes from the struct field; lvalueSlot on the
+			// member already reduced n to the whole field.
+			arrayLen = n / len(e.b.componentScalarTypes(et))
+		default:
+			return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: unsupported l-value", lang.ExprLine(t))
+		}
+		if arrayLen == 0 {
+			return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: indexing a non-array", lang.ExprLine(t))
+		}
+		idx, err2 := e.constIndex(t.IndexExpr, arrayLen)
+		if err2 != nil {
+			return nil, 0, 0, lang.Type{}, err2
+		}
+		per := len(e.b.componentScalarTypes(et))
+		return root, off + idx*per, per, et, nil
+	case *lang.Member:
+		root, off, _, et, err := e.lvalueSlot(t.X)
+		if err != nil {
+			return nil, 0, 0, lang.Type{}, err
+		}
+		if et.Kind != lang.TypeStruct {
+			return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: member access on non-struct %v", t.Line, et)
+		}
+		sd, err := e.b.structDef(et.Name, t.Line)
+		if err != nil {
+			return nil, 0, 0, lang.Type{}, err
+		}
+		fOff := off
+		for _, f := range sd.Fields {
+			per := len(e.b.componentScalarTypes(f.Type))
+			cnt := per
+			if f.ArrayLen > 0 {
+				cnt = per * f.ArrayLen
+			}
+			if f.Name == t.Field {
+				return root, fOff, cnt, f.Type, nil
+			}
+			fOff += cnt
+		}
+		return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: struct %s has no field %s", t.Line, et.Name, t.Field)
+	}
+	return nil, 0, 0, lang.Type{}, fmt.Errorf("line %d: invalid assignment target", lang.ExprLine(target))
+}
+
+// constIndex evaluates an array index, which must fold to a compile-time
+// constant (§V-A: no pointer chasing / dynamic layout).
+func (e *exec) constIndex(idx lang.Expr, arrayLen int) (int, error) {
+	v, err := e.evalExpr(idx)
+	if err != nil {
+		return 0, err
+	}
+	if !v.scalar() {
+		return 0, fmt.Errorf("line %d: array index must be scalar", lang.ExprLine(idx))
+	}
+	c, ok := e.b.isConst(v.comps[0])
+	if !ok {
+		return 0, fmt.Errorf("line %d: array index must be a compile-time constant", lang.ExprLine(idx))
+	}
+	if int(c) >= arrayLen {
+		return 0, fmt.Errorf("line %d: index %d out of bounds (array length %d)", lang.ExprLine(idx), c, arrayLen)
+	}
+	return int(c), nil
+}
+
+func (e *exec) runAssign(a *lang.Assign) error {
+	root, off, n, et, err := e.lvalueSlot(a.Target)
+	if err != nil {
+		return err
+	}
+	rhs, err := e.evalExpr(a.Value)
+	if err != nil {
+		return err
+	}
+	if et.Kind == lang.TypeStruct || (n > 1 && et.Kind != lang.TypeStruct) {
+		// Whole-aggregate assignment: types and shapes must match.
+		if et.Kind == lang.TypeStruct && (rhs.typ.Kind != lang.TypeStruct || rhs.typ.Name != et.Name) {
+			return fmt.Errorf("line %d: cannot assign %v to %v", a.Line, rhs.typ, et)
+		}
+		if len(rhs.comps) != n {
+			return fmt.Errorf("line %d: aggregate shape mismatch (%d vs %d components)", a.Line, len(rhs.comps), n)
+		}
+		copy(root.comps[off:off+n], rhs.comps)
+		return nil
+	}
+	cv, err := e.b.coerce(rhs, et, a.Line)
+	if err != nil {
+		return err
+	}
+	root.comps[off] = cv.comps[0]
+	return nil
+}
+
+func (e *exec) runIf(st *lang.If) (*val, error) {
+	cond, err := e.evalExpr(st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	if !cond.scalar() || cond.typ.Kind != lang.TypeBool {
+		return nil, fmt.Errorf("line %d: if condition must be bool, got %v", st.Line, cond.typ)
+	}
+	if c, ok := e.b.isConst(cond.comps[0]); ok {
+		// Statically resolved branch.
+		if c != 0 {
+			return e.runStmt(st.Then)
+		}
+		if st.Else != nil {
+			return e.runStmt(st.Else)
+		}
+		return nil, nil
+	}
+	// Data-dependent: execute both branches and merge with multiplexers
+	// (Fig. 13b). Returns inside such branches cannot be merged.
+	base := e.snapshot()
+	retT, err := e.runStmt(st.Then)
+	if err != nil {
+		return nil, err
+	}
+	thenScopes := e.scopes
+	e.scopes = base
+	var retF *val
+	if st.Else != nil {
+		retF, err = e.runStmt(st.Else)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if retT != nil || retF != nil {
+		return nil, fmt.Errorf("line %d: return inside a data-dependent conditional is not supported; assign to a result variable instead", st.Line)
+	}
+	// Merge: for every variable whose components differ, insert a mux.
+	sel := cond.comps[0]
+	for i := range e.scopes {
+		for name, fv := range e.scopes[i] {
+			tv, ok := thenScopes[i][name]
+			if !ok {
+				continue
+			}
+			for c := range fv.comps {
+				if tv.comps[c] != fv.comps[c] {
+					ct := fv.compTypes[c]
+					fv.comps[c] = e.b.newNode(&Node{
+						Op: OpMux, Width: ct.Bits, Signed: ct.Signed(),
+						Args: []int{sel, tv.comps[c], fv.comps[c]},
+					})
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (e *exec) runFor(st *lang.For) (*val, error) {
+	e.pushScope()
+	defer e.popScope()
+	if _, err := e.runStmt(st.Init); err != nil {
+		return nil, err
+	}
+	for iter := 0; ; iter++ {
+		if iter >= maxUnrollIterations {
+			return nil, fmt.Errorf("line %d: loop exceeds %d unrolled iterations", st.Line, maxUnrollIterations)
+		}
+		cond, err := e.evalExpr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !cond.scalar() || cond.typ.Kind != lang.TypeBool {
+			return nil, fmt.Errorf("line %d: loop condition must be bool", st.Line)
+		}
+		c, ok := e.b.isConst(cond.comps[0])
+		if !ok {
+			return nil, fmt.Errorf("line %d: loop bound must be a compile-time constant so the loop can be unrolled (§V-A)", st.Line)
+		}
+		if c == 0 {
+			return nil, nil
+		}
+		ret, err := e.runStmt(st.Body)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+		if _, err := e.runStmt(st.Post); err != nil {
+			return nil, err
+		}
+	}
+}

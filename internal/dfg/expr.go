@@ -1,0 +1,373 @@
+package dfg
+
+import (
+	"fmt"
+	stdbits "math/bits"
+
+	"hyperap/internal/lang"
+)
+
+func (e *exec) evalExpr(x lang.Expr) (*val, error) {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		w := stdbits.Len64(ex.Value)
+		if w == 0 {
+			w = 1
+		}
+		return scalarVal(e.b.constNode(ex.Value, w, false), uintType(w)), nil
+	case *lang.BoolLit:
+		v := uint64(0)
+		if ex.Value {
+			v = 1
+		}
+		return scalarVal(e.b.constNode(v, 1, false), boolType()), nil
+	case *lang.Ident:
+		v, ok := e.lookup(ex.Name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: %s not declared", ex.Line, ex.Name)
+		}
+		if v.arrayLen > 0 {
+			return v.clone(), nil // whole-array value (for aggregate copies)
+		}
+		return v.clone(), nil
+	case *lang.Member, *lang.Index:
+		root, off, n, et, err := e.lvalueSlot(ex)
+		if err != nil {
+			return nil, err
+		}
+		out := &val{typ: et, comps: append([]int(nil), root.comps[off:off+n]...)}
+		out.compTypes = e.b.componentScalarTypes(et)
+		if n > len(out.compTypes) { // array-typed member
+			out.arrayLen = n / len(out.compTypes)
+			full := make([]lang.Type, 0, n)
+			for i := 0; i < out.arrayLen; i++ {
+				full = append(full, out.compTypes...)
+			}
+			out.compTypes = full
+		}
+		return out, nil
+	case *lang.Unary:
+		return e.evalUnary(ex)
+	case *lang.Binary:
+		return e.evalBinary(ex)
+	case *lang.Call:
+		return e.evalCall(ex)
+	}
+	return nil, fmt.Errorf("dfg: unknown expression %T", x)
+}
+
+func (e *exec) scalarOperand(x lang.Expr) (*val, error) {
+	v, err := e.evalExpr(x)
+	if err != nil {
+		return nil, err
+	}
+	if !v.scalar() {
+		return nil, fmt.Errorf("line %d: expected a scalar operand", lang.ExprLine(x))
+	}
+	return v, nil
+}
+
+func (e *exec) evalUnary(u *lang.Unary) (*val, error) {
+	v, err := e.scalarOperand(u.X)
+	if err != nil {
+		return nil, err
+	}
+	t := v.typ
+	switch u.Op {
+	case "-":
+		if t.Kind == lang.TypeBool {
+			return nil, fmt.Errorf("line %d: cannot negate bool", u.Line)
+		}
+		w := t.Bits + 1
+		if w > 64 {
+			w = 64
+		}
+		id := e.b.newNode(&Node{Op: OpNeg, Width: w, Signed: true, Args: []int{v.comps[0]}})
+		return scalarVal(id, intType(w)), nil
+	case "~":
+		if t.Kind == lang.TypeBool {
+			return nil, fmt.Errorf("line %d: use ! on bool", u.Line)
+		}
+		id := e.b.newNode(&Node{Op: OpNot, Width: t.Bits, Signed: t.Signed(), Args: []int{v.comps[0]}})
+		return scalarVal(id, t), nil
+	case "!":
+		if t.Kind != lang.TypeBool {
+			return nil, fmt.Errorf("line %d: ! requires bool, got %v", u.Line, t)
+		}
+		id := e.b.newNode(&Node{Op: OpLNot, Width: 1, Args: []int{v.comps[0]}})
+		return scalarVal(id, boolType()), nil
+	}
+	return nil, fmt.Errorf("line %d: unknown unary operator %s", u.Line, u.Op)
+}
+
+func (e *exec) evalBinary(bn *lang.Binary) (*val, error) {
+	l, err := e.scalarOperand(bn.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.scalarOperand(bn.R)
+	if err != nil {
+		return nil, err
+	}
+	lt, rt := l.typ, r.typ
+	isBoolOp := bn.Op == "&&" || bn.Op == "||"
+	if isBoolOp {
+		if lt.Kind != lang.TypeBool || rt.Kind != lang.TypeBool {
+			return nil, fmt.Errorf("line %d: %s requires bool operands", bn.Line, bn.Op)
+		}
+		op := OpLAnd
+		if bn.Op == "||" {
+			op = OpLOr
+		}
+		id := e.b.newNode(&Node{Op: op, Width: 1, Args: []int{l.comps[0], r.comps[0]}})
+		return scalarVal(id, boolType()), nil
+	}
+	if lt.Kind == lang.TypeBool || rt.Kind == lang.TypeBool {
+		// Only == and != are defined between bools.
+		if (bn.Op == "==" || bn.Op == "!=") && lt.Kind == rt.Kind {
+			op := OpEq
+			if bn.Op == "!=" {
+				op = OpNe
+			}
+			id := e.b.newNode(&Node{Op: op, Width: 1, Args: []int{l.comps[0], r.comps[0]}})
+			return scalarVal(id, boolType()), nil
+		}
+		return nil, fmt.Errorf("line %d: operator %s not defined for bool", bn.Line, bn.Op)
+	}
+
+	signed := lt.Signed() || rt.Signed()
+	ct := commonType(lt, rt)
+	grow := func(w int) int {
+		if w > 64 {
+			return 64
+		}
+		return w
+	}
+	mk := func(op OpKind, w int, sgn bool, argSigned bool, a, b int) (*val, error) {
+		id := e.b.newNode(&Node{Op: op, Width: w, Signed: sgn, ArgSigned: argSigned, Args: []int{a, b}})
+		t := uintType(w)
+		if sgn {
+			t = intType(w)
+		}
+		return scalarVal(id, t), nil
+	}
+	boolRes := func(op OpKind, argSigned bool, a, b int) (*val, error) {
+		id := e.b.newNode(&Node{Op: op, Width: 1, ArgSigned: argSigned, Args: []int{a, b}})
+		return scalarVal(id, boolType()), nil
+	}
+
+	switch bn.Op {
+	case "+":
+		return mk(OpAdd, grow(ct.Bits+1), signed, false, l.comps[0], r.comps[0])
+	case "-":
+		// Subtraction can go negative for unsigned operands too, so the
+		// natural-width result is signed with one growth bit.
+		return mk(OpSub, grow(ct.Bits+1), true, false, l.comps[0], r.comps[0])
+	case "*":
+		return mk(OpMul, grow(lt.Bits+rt.Bits), signed, false, l.comps[0], r.comps[0])
+	case "/":
+		if signed {
+			return e.signedDivMod(l, r, true)
+		}
+		return mk(OpDiv, lt.Bits, false, false, l.comps[0], r.comps[0])
+	case "%":
+		if signed {
+			return e.signedDivMod(l, r, false)
+		}
+		return mk(OpMod, rt.Bits, false, false, l.comps[0], r.comps[0])
+	case "<<":
+		if c, ok := e.b.isConst(r.comps[0]); ok {
+			w := grow(lt.Bits + int(c))
+			if lt.Bits+int(c) > 64 {
+				return nil, fmt.Errorf("line %d: shift widens value beyond 64 bits", bn.Line)
+			}
+			id := e.b.newNode(&Node{Op: OpShlC, Width: w, Signed: lt.Signed(), Const: c, Args: []int{l.comps[0]}})
+			return scalarVal(id, scalarType(w, lt.Signed())), nil
+		}
+		return mk(OpShlV, lt.Bits, lt.Signed(), false, l.comps[0], r.comps[0])
+	case ">>":
+		if c, ok := e.b.isConst(r.comps[0]); ok {
+			id := e.b.newNode(&Node{Op: OpShrC, Width: lt.Bits, Signed: lt.Signed(), ArgSigned: lt.Signed(), Const: c, Args: []int{l.comps[0]}})
+			return scalarVal(id, lt), nil
+		}
+		return mk(OpShrV, lt.Bits, lt.Signed(), lt.Signed(), l.comps[0], r.comps[0])
+	case "&", "|", "^":
+		ops := map[string]OpKind{"&": OpAnd, "|": OpOr, "^": OpXor}
+		return mk(ops[bn.Op], ct.Bits, signed, false, l.comps[0], r.comps[0])
+	case "==", "!=":
+		// Normalise both sides to the common type so raw comparison is
+		// exact.
+		ln := e.b.resize(l, ct)
+		rn := e.b.resize(r, ct)
+		op := OpEq
+		if bn.Op == "!=" {
+			op = OpNe
+		}
+		return boolRes(op, false, ln.comps[0], rn.comps[0])
+	case "<":
+		return boolRes(OpLt, signed, l.comps[0], r.comps[0])
+	case "<=":
+		return boolRes(OpLe, signed, l.comps[0], r.comps[0])
+	case ">":
+		return boolRes(OpLt, signed, r.comps[0], l.comps[0])
+	case ">=":
+		return boolRes(OpLe, signed, r.comps[0], l.comps[0])
+	}
+	return nil, fmt.Errorf("line %d: unknown operator %s", bn.Line, bn.Op)
+}
+
+// signedDivMod desugars signed division/modulo into magnitude arithmetic
+// with C semantics (truncation toward zero; the remainder takes the
+// dividend's sign). The RTL library's restoring divider is unsigned, so
+// this is how the "expert-provided" library of §V-B.3 would implement the
+// signed overloads.
+func (e *exec) signedDivMod(l, r *val, wantQuot bool) (*val, error) {
+	b := e.b
+	abs := func(v *val) (int, int) { // returns (absNode, negFlagNode)
+		t := v.compTypes[0]
+		if !t.Signed() {
+			return v.comps[0], b.constNode(0, 1, false)
+		}
+		zero := b.constNode(0, t.Bits, true)
+		neg := b.newNode(&Node{Op: OpLt, Width: 1, ArgSigned: true, Args: []int{v.comps[0], zero}})
+		negV := b.newNode(&Node{Op: OpNeg, Width: t.Bits, Signed: true, Args: []int{v.comps[0]}})
+		mag := b.newNode(&Node{Op: OpMux, Width: t.Bits, Args: []int{neg, negV, v.comps[0]}})
+		return mag, neg
+	}
+	la, lneg := abs(l)
+	ra, rneg := abs(r)
+	wl, wr := l.compTypes[0].Bits, r.compTypes[0].Bits
+	var magnitude int
+	var w int
+	if wantQuot {
+		w = wl
+		magnitude = b.newNode(&Node{Op: OpDiv, Width: w, Args: []int{la, ra}})
+	} else {
+		w = wr
+		magnitude = b.newNode(&Node{Op: OpMod, Width: w, Args: []int{la, ra}})
+	}
+	// Result sign: quotient is negative when operand signs differ;
+	// remainder follows the dividend.
+	var negOut int
+	if wantQuot {
+		negOut = b.newNode(&Node{Op: OpXor, Width: 1, Args: []int{lneg, rneg}})
+	} else {
+		negOut = lneg
+	}
+	ow := w + 1
+	if ow > 64 {
+		ow = 64
+	}
+	negV := b.newNode(&Node{Op: OpNeg, Width: ow, Signed: true, Args: []int{magnitude}})
+	posV := b.newNode(&Node{Op: OpResize, Width: ow, Signed: true, Args: []int{magnitude}})
+	id := b.newNode(&Node{Op: OpMux, Width: ow, Signed: true, Args: []int{negOut, negV, posV}})
+	return scalarVal(id, intType(ow)), nil
+}
+
+func scalarType(w int, signed bool) lang.Type {
+	if signed {
+		return intType(w)
+	}
+	return uintType(w)
+}
+
+func (e *exec) evalCall(c *lang.Call) (*val, error) {
+	// Intrinsics first (the paper's expert-provided RTL library entries
+	// for iterative methods, §VI-C).
+	switch c.Name {
+	case "sqrt", "exp", "abs":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("line %d: %s takes one argument", c.Line, c.Name)
+		}
+		v, err := e.scalarOperand(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch c.Name {
+		case "sqrt":
+			if v.typ.Signed() || v.typ.Kind == lang.TypeBool {
+				return nil, fmt.Errorf("line %d: sqrt requires an unsigned operand", c.Line)
+			}
+			w := (v.typ.Bits + 1) / 2
+			id := e.b.newNode(&Node{Op: OpSqrt, Width: w, Args: []int{v.comps[0]}})
+			return scalarVal(id, uintType(w)), nil
+		case "exp":
+			if v.typ.Signed() || v.typ.Kind == lang.TypeBool {
+				return nil, fmt.Errorf("line %d: exp requires an unsigned Q16.16 operand", c.Line)
+			}
+			w := v.typ.Bits
+			if w < 18 {
+				w = 18
+			}
+			id := e.b.newNode(&Node{Op: OpExp, Width: w, Args: []int{v.comps[0]}})
+			return scalarVal(id, uintType(w)), nil
+		default: // abs
+			if !v.typ.Signed() {
+				return v, nil
+			}
+			zero := scalarVal(e.b.constNode(0, v.typ.Bits, true), v.typ)
+			neg := e.b.newNode(&Node{Op: OpNeg, Width: v.typ.Bits, Signed: true, Args: []int{v.comps[0]}})
+			lt := e.b.newNode(&Node{Op: OpLt, Width: 1, ArgSigned: true, Args: []int{v.comps[0], zero.comps[0]}})
+			id := e.b.newNode(&Node{Op: OpMux, Width: v.typ.Bits, Args: []int{lt, neg, v.comps[0]}})
+			return scalarVal(id, uintType(v.typ.Bits)), nil
+		}
+	case "min", "max":
+		if len(c.Args) != 2 {
+			return nil, fmt.Errorf("line %d: %s takes two arguments", c.Line, c.Name)
+		}
+		a, err := e.scalarOperand(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		bv, err := e.scalarOperand(c.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		signed := a.typ.Signed() || bv.typ.Signed()
+		ct := commonType(a.typ, bv.typ)
+		an := e.b.resize(a, ct)
+		bn := e.b.resize(bv, ct)
+		lt := e.b.newNode(&Node{Op: OpLt, Width: 1, ArgSigned: signed, Args: []int{an.comps[0], bn.comps[0]}})
+		t, f := an.comps[0], bn.comps[0]
+		if c.Name == "max" {
+			t, f = f, t
+		}
+		id := e.b.newNode(&Node{Op: OpMux, Width: ct.Bits, Signed: ct.Signed(), Args: []int{lt, t, f}})
+		return scalarVal(id, ct), nil
+	}
+
+	// User function: inline.
+	fn, ok := e.b.prog.Funcs[c.Name]
+	if !ok {
+		return nil, fmt.Errorf("line %d: function %s not defined", c.Line, c.Name)
+	}
+	if len(c.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("line %d: %s takes %d arguments, got %d", c.Line, c.Name, len(fn.Params), len(c.Args))
+	}
+	if e.depth >= maxInlineDepth {
+		return nil, fmt.Errorf("line %d: call depth exceeds %d (recursion is not supported)", c.Line, maxInlineDepth)
+	}
+	callee := &exec{b: e.b, depth: e.depth + 1}
+	callee.pushScope()
+	for i, p := range fn.Params {
+		av, err := e.evalExpr(c.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		cv, err := e.b.coerce(av, p.Type, c.Line)
+		if err != nil {
+			return nil, err
+		}
+		bound := cv.clone()
+		bound.typ = p.Type
+		callee.declare(p.Name, bound)
+	}
+	ret, err := callee.runBlock(fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if ret == nil {
+		return nil, fmt.Errorf("line %d: function %s did not return", c.Line, c.Name)
+	}
+	return e.b.coerce(ret, fn.Ret, c.Line)
+}

@@ -1,0 +1,428 @@
+package encoding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var describes one search variable: an encoded bit pair (arity 4) or a
+// single non-encoded bit (arity 2).
+type Var struct {
+	Arity int
+}
+
+// Pair and Single are the two variable kinds.
+var (
+	Pair   = Var{Arity: 4}
+	Single = Var{Arity: 2}
+)
+
+// Point is one assignment of values to all variables (a lookup-table input
+// pattern after pairing).
+type Point []PairValue
+
+// Box is a multi-pattern search: the Cartesian product of one subset per
+// variable. A single Hyper-AP search operation matches exactly the points
+// of one box (Single-Search-Multi-Pattern).
+type Box []Subset
+
+// Contains reports whether the point lies inside the box.
+func (b Box) Contains(p Point) bool {
+	for i, s := range b {
+		if !s.Has(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PointCount returns the number of input patterns the box matches.
+func (b Box) PointCount() int {
+	n := 1
+	for _, s := range b {
+		n *= s.Count()
+	}
+	return n
+}
+
+// String renders the box as per-variable subsets, e.g. "{01,10}x{1}".
+func (b Box) String() string {
+	out := ""
+	for i, s := range b {
+		if i > 0 {
+			out += "x"
+		}
+		out += fmt.Sprintf("%04b", uint8(s))
+	}
+	return out
+}
+
+// Space is the mixed-radix input space of a lookup table after pairing.
+type Space struct {
+	Vars    []Var
+	strides []int
+	size    int
+}
+
+// NewSpace builds the space for the given variables. The total size
+// (product of arities) must stay small; the compiler's 12-input limit
+// bounds it at 4096.
+func NewSpace(vars []Var) *Space {
+	s := &Space{Vars: vars, strides: make([]int, len(vars)), size: 1}
+	for i, v := range vars {
+		if v.Arity != 2 && v.Arity != 4 {
+			panic(fmt.Sprintf("encoding: unsupported arity %d", v.Arity))
+		}
+		s.strides[i] = s.size
+		s.size *= v.Arity
+	}
+	return s
+}
+
+// Size returns the number of points in the space.
+func (s *Space) Size() int { return s.size }
+
+// Index converts a point to its dense table index.
+func (s *Space) Index(p Point) int {
+	if len(p) != len(s.Vars) {
+		panic("encoding: point dimension mismatch")
+	}
+	idx := 0
+	for i, v := range p {
+		if int(v) >= s.Vars[i].Arity {
+			panic(fmt.Sprintf("encoding: value %d exceeds arity %d", v, s.Vars[i].Arity))
+		}
+		idx += int(v) * s.strides[i]
+	}
+	return idx
+}
+
+// Coords fills p with the coordinates of table index idx.
+func (s *Space) Coords(idx int, p Point) {
+	for i, v := range s.Vars {
+		p[i] = PairValue(idx / s.strides[i] % v.Arity)
+	}
+}
+
+// Table values: a point is in the off-set, on-set or don't-care set.
+const (
+	Off uint8 = iota
+	On
+	DC
+)
+
+// MintermCount returns the number of on-set points — the number of search
+// operations a *traditional* AP needs for this table
+// (Single-Search-Single-Pattern), and hence also its write count
+// (Single-Search-Single-Write).
+func MintermCount(val []uint8) int {
+	n := 0
+	for _, v := range val {
+		if v == On {
+			n++
+		}
+	}
+	return n
+}
+
+// boxPointsValid reports whether every point of the box avoids the
+// off-set, restricted to var i taking only the values in probe (used for
+// incremental expansion checks; pass the full subset to check the whole
+// box).
+func (s *Space) boxPointsValid(b Box, val []uint8, i int, probe Subset) bool {
+	var rec func(d, idx int) bool
+	rec = func(d, idx int) bool {
+		if d == len(b) {
+			return val[idx] != Off
+		}
+		set := b[d]
+		if d == i {
+			set = probe
+		}
+		for v := PairValue(0); int(v) < s.Vars[d].Arity; v++ {
+			if !set.Has(v) {
+				continue
+			}
+			if !rec(d+1, idx+int(v)*s.strides[d]) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// grow expands a box seeded at point p until no single value can be added
+// without touching the off-set. Among valid additions it prefers the one
+// covering the most currently-uncovered on-set points, which steers the
+// greedy cover toward large useful boxes.
+func (s *Space) grow(seed Point, val []uint8, covered []bool) Box {
+	b := make(Box, len(seed))
+	for i, v := range seed {
+		b[i] = 1 << v
+	}
+	for {
+		bestVar, bestVal, bestGain := -1, PairValue(0), -1
+		for i := range b {
+			for v := PairValue(0); int(v) < s.Vars[i].Arity; v++ {
+				if b[i].Has(v) {
+					continue
+				}
+				if !s.boxPointsValid(b, val, i, 1<<v) {
+					continue
+				}
+				gain := s.uncoveredGain(b, val, covered, i, v)
+				if gain > bestGain {
+					bestVar, bestVal, bestGain = i, v, gain
+				}
+			}
+		}
+		if bestVar < 0 {
+			return b
+		}
+		b[bestVar] |= 1 << bestVal
+	}
+}
+
+// uncoveredGain counts the uncovered on-set points the box would newly
+// reach if value v were added to var i.
+func (s *Space) uncoveredGain(b Box, val []uint8, covered []bool, i int, v PairValue) int {
+	gain := 0
+	var rec func(d, idx int)
+	rec = func(d, idx int) {
+		if d == len(b) {
+			if val[idx] == On && !covered[idx] {
+				gain++
+			}
+			return
+		}
+		set := b[d]
+		if d == i {
+			set = 1 << v
+		}
+		for w := PairValue(0); int(w) < s.Vars[d].Arity; w++ {
+			if set.Has(w) {
+				rec(d+1, idx+int(w)*s.strides[d])
+			}
+		}
+	}
+	rec(0, 0)
+	return gain
+}
+
+// markCovered flags every on-set point inside the box as covered and
+// returns how many were newly covered.
+func (s *Space) markCovered(b Box, val []uint8, covered []bool) int {
+	n := 0
+	var rec func(d, idx int)
+	rec = func(d, idx int) {
+		if d == len(b) {
+			if val[idx] == On && !covered[idx] {
+				covered[idx] = true
+				n++
+			}
+			return
+		}
+		for v := PairValue(0); int(v) < s.Vars[d].Arity; v++ {
+			if b[d].Has(v) {
+				rec(d+1, idx+int(v)*s.strides[d])
+			}
+		}
+	}
+	rec(0, 0)
+	return n
+}
+
+// Minimize computes a small set of boxes covering every on-set point while
+// avoiding every off-set point (don't-cares may be absorbed freely). One
+// box = one Hyper-AP search operation, so len(result) is the table's
+// search count. The greedy expand-and-cover heuristic mirrors the role of
+// the Espresso expand step; a final reverse pass removes redundant boxes.
+func Minimize(sp *Space, val []uint8) []Box {
+	if len(val) != sp.size {
+		panic("encoding: table size mismatch")
+	}
+	covered := make([]bool, sp.size)
+	var boxes []Box
+	p := make(Point, len(sp.Vars))
+	for idx := 0; idx < sp.size; idx++ {
+		if val[idx] != On || covered[idx] {
+			continue
+		}
+		sp.Coords(idx, p)
+		b := sp.grow(p, val, covered)
+		sp.markCovered(b, val, covered)
+		boxes = append(boxes, b)
+	}
+	return pruneRedundant(sp, val, boxes)
+}
+
+// pruneRedundant removes boxes whose on-set points are all covered by the
+// remaining boxes, scanning from the smallest box up.
+func pruneRedundant(sp *Space, val []uint8, boxes []Box) []Box {
+	if len(boxes) <= 1 {
+		return boxes
+	}
+	order := make([]int, len(boxes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return boxes[order[a]].PointCount() < boxes[order[b]].PointCount()
+	})
+	keep := make([]bool, len(boxes))
+	for i := range keep {
+		keep[i] = true
+	}
+	count := make([]int, sp.size) // how many kept boxes cover each on point
+	p := make(Point, len(sp.Vars))
+	for idx := 0; idx < sp.size; idx++ {
+		if val[idx] != On {
+			continue
+		}
+		sp.Coords(idx, p)
+		for _, b := range boxes {
+			if b.Contains(p) {
+				count[idx]++
+			}
+		}
+	}
+	for _, bi := range order {
+		redundant := true
+		for idx := 0; idx < sp.size && redundant; idx++ {
+			if val[idx] != On {
+				continue
+			}
+			sp.Coords(idx, p)
+			if boxes[bi].Contains(p) && count[idx] == 1 {
+				redundant = false
+			}
+		}
+		if !redundant {
+			continue
+		}
+		keep[bi] = false
+		for idx := 0; idx < sp.size; idx++ {
+			if val[idx] != On {
+				continue
+			}
+			sp.Coords(idx, p)
+			if boxes[bi].Contains(p) {
+				count[idx]--
+			}
+		}
+	}
+	var out []Box
+	for i, b := range boxes {
+		if keep[i] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// MinimizeExact searches for a provably minimal cover with at most
+// maxBoxes boxes by iterative deepening over the maximal boxes of each
+// uncovered point. It is exponential and intended for small tables
+// (tests, tiny LUTs); ok is false if no cover within maxBoxes exists.
+func MinimizeExact(sp *Space, val []uint8, maxBoxes int) (cover []Box, ok bool) {
+	var onIdx []int
+	for idx, v := range val {
+		if v == On {
+			onIdx = append(onIdx, idx)
+		}
+	}
+	if len(onIdx) == 0 {
+		return nil, true
+	}
+	maximal := make(map[int][]Box)
+	for k := 1; k <= maxBoxes; k++ {
+		if c, found := sp.exactRec(val, onIdx, maximal, nil, k); found {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// maximalBoxes enumerates all maximal valid boxes containing the point at
+// table index idx, memoised in cache.
+func (sp *Space) maximalBoxes(val []uint8, idx int, cache map[int][]Box) []Box {
+	if bs, ok := cache[idx]; ok {
+		return bs
+	}
+	p := make(Point, len(sp.Vars))
+	sp.Coords(idx, p)
+	seed := make(Box, len(p))
+	for i, v := range p {
+		seed[i] = 1 << v
+	}
+	seen := map[string]bool{}
+	var out []Box
+	var dfs func(b Box)
+	dfs = func(b Box) {
+		grew := false
+		for i := range b {
+			for v := PairValue(0); int(v) < sp.Vars[i].Arity; v++ {
+				if b[i].Has(v) {
+					continue
+				}
+				if !sp.boxPointsValid(b, val, i, 1<<v) {
+					continue
+				}
+				grew = true
+				nb := make(Box, len(b))
+				copy(nb, b)
+				nb[i] |= 1 << v
+				key := nb.String()
+				if !seen[key] {
+					seen[key] = true
+					dfs(nb)
+				}
+			}
+		}
+		if !grew {
+			key := b.String()
+			if !seen["max:"+key] {
+				seen["max:"+key] = true
+				out = append(out, b)
+			}
+		}
+	}
+	dfs(seed)
+	cache[idx] = out
+	return out
+}
+
+func (sp *Space) exactRec(val []uint8, onIdx []int, cache map[int][]Box, chosen []Box, budget int) ([]Box, bool) {
+	// Find the first uncovered on-set point.
+	p := make(Point, len(sp.Vars))
+	first := -1
+	for _, idx := range onIdx {
+		sp.Coords(idx, p)
+		cov := false
+		for _, b := range chosen {
+			if b.Contains(p) {
+				cov = true
+				break
+			}
+		}
+		if !cov {
+			first = idx
+			break
+		}
+	}
+	if first < 0 {
+		out := make([]Box, len(chosen))
+		copy(out, chosen)
+		return out, true
+	}
+	if budget == 0 {
+		return nil, false
+	}
+	for _, b := range sp.maximalBoxes(val, first, cache) {
+		if c, ok := sp.exactRec(val, onIdx, cache, append(chosen, b), budget-1); ok {
+			return c, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,166 @@
+// Package encoding implements the two-bit encoding technique of Li et al.
+// [39] and the Hyper-AP extension that turns one search operation into a
+// multi-pattern match (paper Fig. 5, §III).
+//
+// A pair of logical bits (b1, b0) is stored in two TCAM bits using the
+// encoding of Fig. 5a:
+//
+//	00 → X0    01 → X1    10 → 0X    11 → 1X
+//
+// A two-position ternary search key applied to such a pair matches a
+// *subset* of the four original pair values. The original technique used
+// the four singleton keys (Fig. 5b); Hyper-AP adds the remaining keys
+// (Fig. 5c), and this package proves by construction (see
+// KeyForPairSubset) that every one of the 15 non-empty subsets of
+// {00, 01, 10, 11} is matchable with a single key. A lookup-table search
+// therefore becomes a "box": the Cartesian product of per-pair subsets,
+// evaluated in one search operation. Minimising the number of searches is
+// a box-cover problem, implemented in cover.go.
+package encoding
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+)
+
+// PairValue is the value of an original bit pair: 2*b1 + b0 ∈ {0, 1, 2, 3}.
+type PairValue uint8
+
+// Subset is a bitmask over the values of one variable. Bit v is set when
+// value v belongs to the subset. Pairs use bits 0..3, single
+// (non-encoded) bits use bits 0..1.
+type Subset uint8
+
+// FullSubset returns the subset containing all values of a variable with
+// the given arity.
+func FullSubset(arity int) Subset { return Subset(1<<uint(arity)) - 1 }
+
+// Has reports whether value v is in the subset.
+func (s Subset) Has(v PairValue) bool { return s&(1<<v) != 0 }
+
+// Count returns the number of values in the subset.
+func (s Subset) Count() int {
+	c := 0
+	for s != 0 {
+		c += int(s & 1)
+		s >>= 1
+	}
+	return c
+}
+
+// EncodePair returns the two TCAM states that store the bit pair (b1, b0)
+// under the Fig. 5a encoding. hi is the first (left) TCAM bit.
+func EncodePair(b1, b0 bool) (hi, lo bits.State) {
+	switch {
+	case !b1 && !b0: // 00
+		return bits.SX, bits.S0
+	case !b1 && b0: // 01
+		return bits.SX, bits.S1
+	case b1 && !b0: // 10
+		return bits.S0, bits.SX
+	default: // 11
+		return bits.S1, bits.SX
+	}
+}
+
+// EncodePairValue is EncodePair on a PairValue.
+func EncodePairValue(v PairValue) (hi, lo bits.State) {
+	return EncodePair(v&2 != 0, v&1 != 0)
+}
+
+// DecodePair maps two stored TCAM states back to the original pair value.
+// ok is false for state combinations outside the Fig. 5a code (e.g. the
+// erased XX).
+func DecodePair(hi, lo bits.State) (v PairValue, ok bool) {
+	switch {
+	case hi == bits.SX && lo == bits.S0:
+		return 0, true
+	case hi == bits.SX && lo == bits.S1:
+		return 1, true
+	case hi == bits.S0 && lo == bits.SX:
+		return 2, true
+	case hi == bits.S1 && lo == bits.SX:
+		return 3, true
+	}
+	return 0, false
+}
+
+// PairKeyMatches returns the subset of original pair values whose encoded
+// form matches the two-position key (k1, k0), derived from the cell-level
+// match rule. This is how Fig. 5b/5c's tables are generated.
+func PairKeyMatches(k1, k0 bits.Key) Subset {
+	var s Subset
+	for v := PairValue(0); v < 4; v++ {
+		hi, lo := EncodePairValue(v)
+		if k1.Match(hi) && k0.Match(lo) {
+			s |= 1 << v
+		}
+	}
+	return s
+}
+
+// pairKeyTable maps each achievable subset to a canonical key pair. It is
+// built once by enumerating all 16 key combinations.
+var pairKeyTable = func() map[Subset][2]bits.Key {
+	m := make(map[Subset][2]bits.Key)
+	// Enumerate in a fixed order so the canonical choice is stable; prefer
+	// keys without Z (cheaper drive current) by visiting Z last.
+	order := []bits.Key{bits.K0, bits.K1, bits.KDC, bits.KZ}
+	for _, k1 := range order {
+		for _, k0 := range order {
+			s := PairKeyMatches(k1, k0)
+			if s == 0 {
+				continue
+			}
+			if _, dup := m[s]; !dup {
+				m[s] = [2]bits.Key{k1, k0}
+			}
+		}
+	}
+	return m
+}()
+
+// KeyForPairSubset returns a two-position key matching exactly the given
+// subset of pair values. Every non-empty subset is achievable (verified
+// exhaustively in tests), so ok is false only for the empty subset or
+// out-of-range masks.
+func KeyForPairSubset(s Subset) (k1, k0 bits.Key, ok bool) {
+	ks, ok := pairKeyTable[s&0xF]
+	if !ok {
+		return bits.KDC, bits.KDC, false
+	}
+	return ks[0], ks[1], true
+}
+
+// KeyForSingleSubset returns the key for a non-encoded single bit matching
+// the subset over {0, 1}: {0}→key 0, {1}→key 1, {0,1}→masked.
+func KeyForSingleSubset(s Subset) (bits.Key, bool) {
+	switch s & 0x3 {
+	case 0b01:
+		return bits.K0, true
+	case 0b10:
+		return bits.K1, true
+	case 0b11:
+		return bits.KDC, true
+	}
+	return bits.KDC, false
+}
+
+// DriveCost returns the number of VL-driven cells a key position costs
+// during a search (keys 0/1 drive one of the bit's two search lines, Z
+// drives both, masked positions drive none). The energy model uses it.
+func DriveCost(k bits.Key) int {
+	switch k {
+	case bits.K0, bits.K1:
+		return 1
+	case bits.KZ:
+		return 2
+	}
+	return 0
+}
+
+// PairKeyString renders a pair key in the paper's notation (e.g. "1Z").
+func PairKeyString(k1, k0 bits.Key) string {
+	return fmt.Sprintf("%v%v", k1, k0)
+}

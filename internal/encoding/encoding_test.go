@@ -1,0 +1,332 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+func TestEncodePairFig5a(t *testing.T) {
+	// Fig. 5a: 00→X0, 01→X1, 10→0X, 11→1X.
+	cases := []struct {
+		v      PairValue
+		hi, lo bits.State
+	}{
+		{0, bits.SX, bits.S0},
+		{1, bits.SX, bits.S1},
+		{2, bits.S0, bits.SX},
+		{3, bits.S1, bits.SX},
+	}
+	for _, c := range cases {
+		hi, lo := EncodePairValue(c.v)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("encode %02b = %v%v, want %v%v", c.v, hi, lo, c.hi, c.lo)
+		}
+		v, ok := DecodePair(hi, lo)
+		if !ok || v != c.v {
+			t.Errorf("decode %v%v = %v,%v", hi, lo, v, ok)
+		}
+	}
+	if _, ok := DecodePair(bits.SX, bits.SX); ok {
+		t.Error("erased XX must not decode")
+	}
+	if _, ok := DecodePair(bits.S0, bits.S0); ok {
+		t.Error("00 is outside the code")
+	}
+}
+
+func TestOriginalSearchKeysFig5b(t *testing.T) {
+	// Fig. 5b: the original two-bit-encoding keys match single patterns.
+	cases := []struct {
+		key  string
+		want Subset
+	}{
+		{"Z0", 1 << 0}, // matches original 00
+		{"Z1", 1 << 1},
+		{"0Z", 1 << 2},
+		{"1Z", 1 << 3},
+	}
+	for _, c := range cases {
+		ks, err := bits.ParseKeys(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PairKeyMatches(ks[0], ks[1]); got != c.want {
+			t.Errorf("key %s matches %04b, want %04b", c.key, got, c.want)
+		}
+	}
+}
+
+func TestExtendedSearchKeysFig5c(t *testing.T) {
+	// Fig. 5c: Hyper-AP's additional keys match multiple patterns in one
+	// search. Subset bit v is original pair value v (v = 2*b1 + b0).
+	cases := []struct {
+		key  string
+		want Subset
+	}{
+		{"00", 0b0101}, // matches 00, 10
+		{"01", 0b0110}, // matches 01, 10
+		{"10", 0b1001}, // matches 00, 11
+		{"11", 0b1010}, // matches 01, 11
+		{"0-", 0b0111}, // matches 00, 01, 10
+		{"1-", 0b1011}, // matches 00, 01, 11
+		{"-0", 0b1101}, // matches 00, 10, 11
+		{"-1", 0b1110}, // matches 01, 10, 11
+		{"--", 0b1111},
+		{"Z-", 0b0011}, // matches 00, 01
+		{"-Z", 0b1100}, // matches 10, 11
+	}
+	for _, c := range cases {
+		ks, err := bits.ParseKeys(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PairKeyMatches(ks[0], ks[1]); got != c.want {
+			t.Errorf("key %s matches %04b, want %04b", c.key, got, c.want)
+		}
+	}
+}
+
+// TestAllSubsetsAchievable proves the central enabling property of the
+// Hyper-AP execution model: every non-empty subset of the four pair
+// values can be matched by a single search key.
+func TestAllSubsetsAchievable(t *testing.T) {
+	for s := Subset(1); s <= 0xF; s++ {
+		k1, k0, ok := KeyForPairSubset(s)
+		if !ok {
+			t.Errorf("subset %04b has no key", s)
+			continue
+		}
+		if got := PairKeyMatches(k1, k0); got != s {
+			t.Errorf("subset %04b: key %s matches %04b", s, PairKeyString(k1, k0), got)
+		}
+	}
+	if _, _, ok := KeyForPairSubset(0); ok {
+		t.Error("empty subset must not be achievable")
+	}
+}
+
+func TestKeyForSingleSubset(t *testing.T) {
+	if k, ok := KeyForSingleSubset(0b01); !ok || k != bits.K0 {
+		t.Error("subset {0} should map to key 0")
+	}
+	if k, ok := KeyForSingleSubset(0b10); !ok || k != bits.K1 {
+		t.Error("subset {1} should map to key 1")
+	}
+	if k, ok := KeyForSingleSubset(0b11); !ok || k != bits.KDC {
+		t.Error("subset {0,1} should map to masked")
+	}
+	if _, ok := KeyForSingleSubset(0); ok {
+		t.Error("empty subset must fail")
+	}
+}
+
+func TestDriveCost(t *testing.T) {
+	if DriveCost(bits.K0) != 1 || DriveCost(bits.K1) != 1 || DriveCost(bits.KZ) != 2 || DriveCost(bits.KDC) != 0 {
+		t.Error("DriveCost wrong")
+	}
+}
+
+func TestSubsetHelpers(t *testing.T) {
+	if FullSubset(4) != 0xF || FullSubset(2) != 0x3 {
+		t.Error("FullSubset wrong")
+	}
+	s := Subset(0b1010)
+	if !s.Has(1) || !s.Has(3) || s.Has(0) || s.Count() != 2 {
+		t.Error("Subset Has/Count wrong")
+	}
+}
+
+// buildTable constructs a dense table from on-set points; everything else
+// is Off unless listed in dc.
+func buildTable(sp *Space, onset, dc []Point) []uint8 {
+	val := make([]uint8, sp.Size())
+	for _, p := range onset {
+		val[sp.Index(p)] = On
+	}
+	for _, p := range dc {
+		val[sp.Index(p)] = DC
+	}
+	return val
+}
+
+// TestFullAdderCover reproduces the 1-bit-addition search counts of
+// Fig. 5d: with A,B paired and Cin unencoded, Sum needs 2 searches and
+// Cout needs 2 searches (6 total operations with the 2 writes).
+func TestFullAdderCover(t *testing.T) {
+	sp := NewSpace([]Var{Pair, Single})
+	sum := buildTable(sp, []Point{{1, 0}, {2, 0}, {0, 1}, {3, 1}}, nil)
+	cout := buildTable(sp, []Point{{3, 0}, {3, 1}, {1, 1}, {2, 1}}, nil)
+
+	if got := len(Minimize(sp, sum)); got != 2 {
+		t.Errorf("Sum cover = %d searches, want 2 (Fig. 5d)", got)
+	}
+	if got := len(Minimize(sp, cout)); got != 2 {
+		t.Errorf("Cout cover = %d searches, want 2 (Fig. 5d)", got)
+	}
+	// Traditional AP: one search per input pattern.
+	if MintermCount(sum)+MintermCount(cout) != 8 {
+		t.Errorf("traditional pattern count = %d, want 8", MintermCount(sum)+MintermCount(cout))
+	}
+}
+
+// TestFig12aCover reproduces the merged-operation example of Fig. 12a:
+// g = a+b+c+d with (a,b) and (c,d) paired compiles to 2+3+1 = 6 searches.
+func TestFig12aCover(t *testing.T) {
+	sp := NewSpace([]Var{Pair, Pair})
+	ones := func(v PairValue) int { // population count of the pair value
+		return int(v&1) + int(v>>1&1)
+	}
+	var g [3][]Point
+	for va := PairValue(0); va < 4; va++ {
+		for vc := PairValue(0); vc < 4; vc++ {
+			sum := ones(va) + ones(vc)
+			for bit := 0; bit < 3; bit++ {
+				if sum>>bit&1 == 1 {
+					g[bit] = append(g[bit], Point{va, vc})
+				}
+			}
+		}
+	}
+	want := [3]int{2, 3, 1}
+	total := 0
+	for bit := 0; bit < 3; bit++ {
+		val := buildTable(sp, g[bit], nil)
+		cover := Minimize(sp, val)
+		if len(cover) != want[bit] {
+			t.Errorf("g[%d] cover = %d searches, want %d", bit, len(cover), want[bit])
+		}
+		total += len(cover)
+		// Cross-check with the exact solver.
+		exact, ok := MinimizeExact(sp, val, want[bit])
+		if !ok {
+			t.Errorf("g[%d]: no exact cover within %d boxes", bit, want[bit])
+		} else if len(exact) != want[bit] {
+			t.Errorf("g[%d] exact = %d", bit, len(exact))
+		}
+	}
+	if total != 6 {
+		t.Errorf("total searches = %d, want 6 (Fig. 12a)", total)
+	}
+}
+
+// coverIsCorrect verifies a cover covers all On points and no Off point.
+func coverIsCorrect(sp *Space, val []uint8, boxes []Box) bool {
+	p := make(Point, len(sp.Vars))
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Coords(idx, p)
+		in := false
+		for _, b := range boxes {
+			if b.Contains(p) {
+				in = true
+				break
+			}
+		}
+		switch val[idx] {
+		case On:
+			if !in {
+				return false
+			}
+		case Off:
+			if in {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMinimizeRandomCorrectness is a property test: on random tables the
+// greedy cover is always exact w.r.t. the on/off sets, never worse than
+// the minterm count, and don't-cares may be absorbed.
+func TestMinimizeRandomCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][]Var{
+		{Pair},
+		{Pair, Single},
+		{Pair, Pair},
+		{Pair, Pair, Single},
+		{Pair, Pair, Pair},
+		{Single, Single, Single},
+	}
+	for trial := 0; trial < 300; trial++ {
+		sp := NewSpace(shapes[trial%len(shapes)])
+		val := make([]uint8, sp.Size())
+		for i := range val {
+			val[i] = uint8(rng.Intn(3)) // Off, On or DC
+		}
+		boxes := Minimize(sp, val)
+		if !coverIsCorrect(sp, val, boxes) {
+			t.Fatalf("trial %d: incorrect cover", trial)
+		}
+		if mc := MintermCount(val); len(boxes) > mc {
+			t.Fatalf("trial %d: %d boxes exceed %d minterms", trial, len(boxes), mc)
+		}
+	}
+}
+
+// TestMinimizeExactNeverWorse cross-checks greedy against exact on small
+// random tables.
+func TestMinimizeExactNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp := NewSpace([]Var{Pair, Single})
+	for trial := 0; trial < 50; trial++ {
+		val := make([]uint8, sp.Size())
+		for i := range val {
+			val[i] = uint8(rng.Intn(3))
+		}
+		greedy := Minimize(sp, val)
+		exact, ok := MinimizeExact(sp, val, len(greedy))
+		if !ok {
+			t.Fatalf("trial %d: exact found no cover within greedy bound %d", trial, len(greedy))
+		}
+		if !coverIsCorrect(sp, val, exact) {
+			t.Fatalf("trial %d: exact cover incorrect", trial)
+		}
+		if len(exact) > len(greedy) {
+			t.Fatalf("trial %d: exact %d > greedy %d", trial, len(exact), len(greedy))
+		}
+	}
+}
+
+func TestMinimizeEmptyOnset(t *testing.T) {
+	sp := NewSpace([]Var{Pair, Pair})
+	val := make([]uint8, sp.Size())
+	if boxes := Minimize(sp, val); len(boxes) != 0 {
+		t.Errorf("empty on-set produced %d boxes", len(boxes))
+	}
+	if c, ok := MinimizeExact(sp, val, 3); !ok || len(c) != 0 {
+		t.Error("exact on empty on-set wrong")
+	}
+}
+
+func TestBoxPointCount(t *testing.T) {
+	b := Box{0b0110, 0b01}
+	if b.PointCount() != 2 {
+		t.Errorf("PointCount = %d, want 2", b.PointCount())
+	}
+}
+
+func TestSpaceIndexCoordsRoundTrip(t *testing.T) {
+	sp := NewSpace([]Var{Pair, Single, Pair})
+	p := make(Point, 3)
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Coords(idx, p)
+		if sp.Index(p) != idx {
+			t.Fatalf("roundtrip failed at %d", idx)
+		}
+	}
+	if sp.Size() != 32 {
+		t.Errorf("Size = %d, want 32", sp.Size())
+	}
+}
+
+func TestSpaceRejectsBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace([]Var{{Arity: 3}})
+}

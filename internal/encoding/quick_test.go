@@ -1,0 +1,86 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperap/internal/bits"
+)
+
+// TestQuickPairKeySoundness: for every random key pair and pair value,
+// membership in PairKeyMatches agrees with the cell-level match of the
+// encoded word — the defining property of the extended search keys.
+func TestQuickPairKeySoundness(t *testing.T) {
+	f := func(k1r, k0r, vr uint8) bool {
+		k1 := bits.Key(k1r % 4)
+		k0 := bits.Key(k0r % 4)
+		v := PairValue(vr % 4)
+		hi, lo := EncodePairValue(v)
+		cellMatch := k1.Match(hi) && k0.Match(lo)
+		return PairKeyMatches(k1, k0).Has(v) == cellMatch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyForSubsetRoundTrip: KeyForPairSubset inverts PairKeyMatches
+// on every non-empty subset.
+func TestQuickKeyForSubsetRoundTrip(t *testing.T) {
+	f := func(sr uint8) bool {
+		s := Subset(sr & 0xF)
+		k1, k0, ok := KeyForPairSubset(s)
+		if s == 0 {
+			return !ok
+		}
+		return ok && PairKeyMatches(k1, k0) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodeDecodeRoundTrip: the Fig. 5a code is a bijection on pair
+// values.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vr uint8) bool {
+		v := PairValue(vr % 4)
+		hi, lo := EncodePairValue(v)
+		back, ok := DecodePair(hi, lo)
+		return ok && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoxContains: box membership is exactly the conjunction of
+// per-variable subset membership.
+func TestQuickBoxContains(t *testing.T) {
+	f := func(s0r, s1r, v0r, v1r uint8) bool {
+		b := Box{Subset(s0r&0xF) | 1, Subset(s1r&0x3) | 1} // non-empty
+		p := Point{PairValue(v0r % 4), PairValue(v1r % 2)}
+		want := b[0].Has(p[0]) && b[1].Has(p[1])
+		return b.Contains(p) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubsetCount: Count matches a bit-counting loop.
+func TestQuickSubsetCount(t *testing.T) {
+	f := func(sr uint8) bool {
+		s := Subset(sr)
+		n := 0
+		for v := PairValue(0); v < 8; v++ {
+			if s.Has(v) {
+				n++
+			}
+		}
+		return s.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

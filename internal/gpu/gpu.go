@@ -1,0 +1,113 @@
+// Package gpu models the GPU baseline of the evaluation: an Nvidia Titan
+// Xp (Table II: 3840 SIMD slots at 1.58 GHz, 471 mm², 250 W, 12 GB of
+// GDDR). Like the IMP baseline, the paper treats the GPU as a fixed
+// reference dataset: benchmark latency includes off-chip memory access
+// plus the arithmetic latency (from [4]), because the GPU's in-order
+// cores and limited on-chip memory cannot hide the memory wall for these
+// streaming kernels (Fig. 15's caption).
+package gpu
+
+import "fmt"
+
+// Chip is the GPU column of Table II.
+type Chip struct {
+	Name            string
+	SIMDSlots       int64
+	FreqHz          float64
+	AreaMM2         float64
+	TDPWatts        float64
+	MemoryBytes     int64
+	MemBandwidthGBs float64
+}
+
+// Default returns the Titan Xp configuration.
+func Default() Chip {
+	return Chip{
+		Name:            "GPU",
+		SIMDSlots:       3840,
+		FreqHz:          1.58e9,
+		AreaMM2:         471,
+		TDPWatts:        250,
+		MemoryBytes:     12 << 30,
+		MemBandwidthGBs: 547,
+	}
+}
+
+// Perf mirrors imp.Perf for the comparison tables.
+type Perf struct {
+	LatencyNS      float64
+	ThroughputGOPS float64
+	PowerEffGOPSW  float64
+	AreaEffGOPSmm2 float64
+}
+
+// opRecord captures per-operation instruction latency in cycles (from the
+// instruction-latency characterisation of [4]) and the issue throughput
+// in operations per clock per SM-equivalent slot.
+type opRecord struct {
+	latencyCycles float64
+	opsPerClock   float64 // per slot
+}
+
+var ops32 = map[string]opRecord{
+	"Add":  {latencyCycles: 4, opsPerClock: 1},
+	"Mul":  {latencyCycles: 5, opsPerClock: 0.5},
+	"Div":  {latencyCycles: 130, opsPerClock: 1.0 / 8},
+	"Sqrt": {latencyCycles: 170, opsPerClock: 1.0 / 8},
+	"Exp":  {latencyCycles: 60, opsPerClock: 1.0 / 4},
+}
+
+// memoryAccessNS is the off-chip access time a streaming benchmark pays:
+// the benchmark latency of Fig. 15 contains it.
+const memoryAccessNS = 430.0
+
+// Arithmetic returns the GPU's performance for one representative
+// operation. Data width does not change integer-unit performance (the
+// GPU has fixed 32-bit lanes), which is why Fig. 16's improvements grow.
+func (c Chip) Arithmetic(op string, widthBits int) (Perf, error) {
+	r, ok := ops32[op]
+	if !ok {
+		return Perf{}, fmt.Errorf("gpu: unknown operation %q", op)
+	}
+	cycleNS := 1e9 / c.FreqHz
+	lat := memoryAccessNS + r.latencyCycles*cycleNS
+
+	// Peak arithmetic throughput with operands resident on chip (the
+	// paper preloads all data before execution, §VI-A.3).
+	tp := float64(c.SIMDSlots) * r.opsPerClock * c.FreqHz / 1e9
+	// Streaming integer kernels run near TDP on a fully-occupied part.
+	power := c.TDPWatts * 0.8
+	return Perf{
+		LatencyNS:      lat,
+		ThroughputGOPS: tp,
+		PowerEffGOPSW:  tp / power,
+		AreaEffGOPSmm2: tp / c.AreaMM2,
+	}, nil
+}
+
+// KernelCost is the GPU-side analytical kernel model for Fig. 18: the
+// GPU processes elements in waves of SIMDSlots, pays memory bandwidth for
+// the working set, and arithmetic at the per-op throughput.
+type KernelCost struct {
+	Elements      int64
+	OpsPerElement map[string]float64
+	BytesPerElem  float64
+}
+
+// Evaluate returns kernel time (ns) and energy (J).
+func (c Chip) Evaluate(k KernelCost) (timeNS, energyJ float64) {
+	var computeNS float64
+	for op, n := range k.OpsPerElement {
+		r := ops32[op]
+		// Throughput-limited: n ops per element across all elements.
+		perOpNS := 1 / (float64(c.SIMDSlots) * r.opsPerClock * c.FreqHz / 1e9) // ns per op chip-wide
+		computeNS += n * perOpNS * float64(k.Elements)
+	}
+	memNS := k.BytesPerElem * float64(k.Elements) / c.MemBandwidthGBs // GB/s = B/ns
+	timeNS = computeNS + memNS
+	if float64(k.Elements) > 0 && timeNS < memoryAccessNS {
+		timeNS = memoryAccessNS
+	}
+	energyJ = timeNS * 1e-9 * c.TDPWatts * 0.8
+	return timeNS, energyJ
+}

@@ -1,0 +1,68 @@
+package gpu
+
+import "testing"
+
+func TestTableIIConfig(t *testing.T) {
+	c := Default()
+	if c.SIMDSlots != 3840 || c.FreqHz != 1.58e9 || c.AreaMM2 != 471 || c.TDPWatts != 250 {
+		t.Errorf("Table II config wrong: %+v", c)
+	}
+	if c.MemoryBytes != 12<<30 {
+		t.Error("12 GB memory expected")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := Default()
+	for _, op := range []string{"Add", "Mul", "Div", "Sqrt", "Exp"} {
+		p, err := c.Arithmetic(op, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LatencyNS < memoryAccessNS {
+			t.Errorf("%s: benchmark latency must include the memory access (Fig. 15 caption)", op)
+		}
+		if p.ThroughputGOPS <= 0 || p.PowerEffGOPSW <= 0 || p.AreaEffGOPSmm2 <= 0 {
+			t.Errorf("%s: degenerate %+v", op, p)
+		}
+		// Fixed 32-bit lanes: width-insensitive.
+		p16, _ := c.Arithmetic(op, 16)
+		if p16 != p {
+			t.Errorf("%s: GPU must be width-insensitive", op)
+		}
+	}
+	if _, err := c.Arithmetic("Nope", 32); err == nil {
+		t.Error("unknown op must error")
+	}
+	add, _ := c.Arithmetic("Add", 32)
+	div, _ := c.Arithmetic("Div", 32)
+	if add.ThroughputGOPS <= div.ThroughputGOPS {
+		t.Error("add throughput must exceed div")
+	}
+}
+
+func TestKernelEvaluate(t *testing.T) {
+	c := Default()
+	k := KernelCost{
+		Elements:      1 << 22,
+		OpsPerElement: map[string]float64{"Add": 8, "Mul": 2},
+		BytesPerElem:  32,
+	}
+	tm, en := c.Evaluate(k)
+	if tm <= 0 || en <= 0 {
+		t.Fatal("degenerate evaluation")
+	}
+	// Heavier memory traffic costs more time.
+	k2 := k
+	k2.BytesPerElem = 256
+	tm2, _ := c.Evaluate(k2)
+	if tm2 <= tm {
+		t.Error("memory traffic must cost time")
+	}
+	// Tiny kernels still pay one memory round trip.
+	k3 := KernelCost{Elements: 1, OpsPerElement: map[string]float64{"Add": 1}, BytesPerElem: 4}
+	tm3, _ := c.Evaluate(k3)
+	if tm3 < memoryAccessNS {
+		t.Error("minimum latency is one memory access")
+	}
+}

@@ -1,0 +1,190 @@
+// Package grid executes a compiled per-element program over many
+// processing elements and provides inter-PE communication macros built
+// from the ISA's data-movement instructions (ReadTag → MovR → SetTag,
+// §IV-A): the high-bandwidth, low-latency local data path between
+// adjacent PEs that the paper credits for Hyper-AP's kernel-level wins
+// (§VI-D).
+//
+// Layout: element (pe, row) holds one data item; a ShiftColumns call
+// moves a stored bit column of every element to the neighbouring PE in
+// one direction, so a chain of PEs implements 1-D neighbour exchange for
+// all 256 row-lanes simultaneously (a 2-D tile when rows index the second
+// dimension).
+package grid
+
+import (
+	"fmt"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/isa"
+)
+
+// Grid runs one executable across a row of PEs.
+type Grid struct {
+	Ex   *compile.Executable
+	Chip *arch.Chip
+	PEs  int
+	Rows int
+}
+
+// New builds a grid of numPEs processing elements (one subarray so they
+// share key/mask registers, exactly like the real chip's SIMD groups).
+func New(ex *compile.Executable, numPEs, rows int) (*Grid, error) {
+	if numPEs < 1 {
+		return nil, fmt.Errorf("grid: need at least one PE")
+	}
+	chip := arch.New(arch.Config{
+		Banks:            1,
+		SubarraysPerBank: 1,
+		PEsPerSubarray:   numPEs,
+		Rows:             rows,
+		Bits:             ex.Target.WordBits,
+		Groups:           1,
+		Tech:             ex.Target.Tech,
+		Monolithic:       ex.Target.Monolithic,
+	})
+	return &Grid{Ex: ex, Chip: chip, PEs: numPEs, Rows: rows}, nil
+}
+
+// Elements returns the grid's capacity (PEs × rows).
+func (g *Grid) Elements() int { return g.PEs * g.Rows }
+
+// at maps a linear element index to (pe, row): row-major over rows so
+// adjacent elements along the PE axis exchange via MovR.
+func (g *Grid) at(idx int) (pe, row int) { return idx / g.Rows, idx % g.Rows }
+
+// Load stores element idx's input values.
+func (g *Grid) Load(idx int, vals []uint64) error {
+	pe, row := g.at(idx)
+	return g.Ex.Load(g.Chip.PE(pe), row, vals)
+}
+
+// LoadInput overwrites a single named input of element idx (used between
+// iteration steps).
+func (g *Grid) LoadInput(idx int, input string, val uint64) error {
+	pe, row := g.at(idx)
+	for _, c := range g.Ex.Inputs {
+		if c.Name != input {
+			continue
+		}
+		// Write just this component's bits.
+		for j, ref := range c.Bits {
+			b := val>>uint(j)&1 == 1
+			switch ref.Loc.Kind {
+			case compile.LocSingle:
+				g.Chip.PE(pe).M.LoadBit(row, ref.Loc.Col, b)
+			default:
+				return fmt.Errorf("grid: input %s is not stored as single bits; compile with SingleBitInputs", input)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("grid: no input named %q", input)
+}
+
+// Run executes the compiled program once on every PE (all elements in
+// parallel).
+func (g *Grid) Run() error { return g.Chip.Execute(g.Ex.Prog) }
+
+// Read returns element idx's outputs.
+func (g *Grid) Read(idx int) ([]uint64, error) {
+	pe, row := g.at(idx)
+	return g.Ex.ReadRow(g.Chip.PE(pe), row)
+}
+
+// inputComponent finds a named input component.
+func (g *Grid) inputComponent(name string) (*compile.Component, error) {
+	for i := range g.Ex.Inputs {
+		if g.Ex.Inputs[i].Name == name {
+			return &g.Ex.Inputs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("grid: no input named %q", name)
+}
+
+// outputComponent finds a named output component.
+func (g *Grid) outputComponent(name string) (*compile.Component, error) {
+	for i := range g.Ex.Outputs {
+		if g.Ex.Outputs[i].Name == name {
+			return &g.Ex.Outputs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("grid: no output named %q", name)
+}
+
+// shiftBitProgram builds the ISA macro moving one stored bit from every
+// PE to its neighbour: select the source bits into the tags, copy tags to
+// the data register, MovR, restore tags, and commit into the (zeroed)
+// destination column. 8 instructions, ~31 cycles per bit with the RRAM
+// constants.
+func shiftBitProgram(srcKeys map[int]bits.Key, dstCol int, dir isa.Dir, wordBits int) isa.Program {
+	full := func(m map[int]bits.Key) []bits.Key {
+		ks := make([]bits.Key, wordBits)
+		for i := range ks {
+			ks[i] = bits.KDC
+		}
+		for c, k := range m {
+			ks[c] = k
+		}
+		return ks
+	}
+	return isa.Program{
+		// Zero the destination in every PE.
+		isa.SetKey(full(nil)),
+		isa.Search(false, false),
+		isa.SetKey(full(map[int]bits.Key{dstCol: bits.K0})),
+		isa.Write(uint8(dstCol), false),
+		// Select the source bit into the tags and ship it.
+		isa.SetKey(full(srcKeys)),
+		isa.Search(false, false),
+		isa.Instruction{Op: isa.OpReadTag},
+		isa.MovR(dir),
+		isa.Instruction{Op: isa.OpSetTag},
+		// Commit into the destination.
+		isa.SetKey(full(map[int]bits.Key{dstCol: bits.K1})),
+		isa.Write(uint8(dstCol), false),
+	}
+}
+
+// ShiftColumns moves the value of output `src` into input `dst` of the
+// neighbouring PE in the given direction, for every element lane at
+// once. Edge PEs receive zero (fixed boundary). The destination input
+// must be stored as single bits (compile with SingleBitInputs).
+func (g *Grid) ShiftColumns(src, dst string, dir isa.Dir) error {
+	sc, err := g.outputComponent(src)
+	if err != nil {
+		return err
+	}
+	dc, err := g.inputComponent(dst)
+	if err != nil {
+		return err
+	}
+	if len(dc.Bits) < len(sc.Bits) {
+		return fmt.Errorf("grid: destination %s narrower than source %s", dst, src)
+	}
+	var prog isa.Program
+	for j := range dc.Bits {
+		dstLoc := dc.Bits[j].Loc
+		if dstLoc.Kind != compile.LocSingle {
+			return fmt.Errorf("grid: input %s bit %d is not a single column; compile with SingleBitInputs", dst, j)
+		}
+		var srcKeys map[int]bits.Key
+		if j < len(sc.Bits) {
+			srcKeys, err = compile.SelectBitKeys(sc.Bits[j].Loc, true)
+			if err != nil {
+				return fmt.Errorf("grid: source %s bit %d: %w", src, j, err)
+			}
+		} else {
+			// Zero-extend: leave the destination cleared.
+			prog = append(prog, shiftBitProgram(nil, dstLoc.Col, dir, g.Ex.Target.WordBits)[:4]...)
+			continue
+		}
+		prog = append(prog, shiftBitProgram(srcKeys, dstLoc.Col, dir, g.Ex.Target.WordBits)...)
+	}
+	return g.Chip.Execute(prog)
+}
+
+// Report exposes the accumulated execution report (cycles, energy).
+func (g *Grid) Report() arch.Report { return g.Chip.Report() }

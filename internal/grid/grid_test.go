@@ -1,0 +1,236 @@
+package grid
+
+import (
+	"testing"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/isa"
+)
+
+// diffusion kernel: new = (left + right + 2*c) / 4 in 8-bit.
+const diffusionSrc = `
+unsigned int(8) main(unsigned int(8) c, unsigned int(8) left, unsigned int(8) right) {
+	unsigned int(10) s;
+	s = left + right + (c << 1);
+	return s >> 2;
+}`
+
+func compileGrid(t *testing.T) *compile.Executable {
+	t.Helper()
+	tgt := compile.HyperTarget()
+	tgt.SingleBitInputs = true
+	ex, err := compile.CompileSource(diffusionSrc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestGridRunAllPEs(t *testing.T) {
+	ex := compileGrid(t)
+	g, err := New(ex, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Elements() != 32 {
+		t.Fatalf("elements = %d", g.Elements())
+	}
+	for i := 0; i < g.Elements(); i++ {
+		if err := g.Load(i, []uint64{uint64(i * 3 % 256), 10, 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Elements(); i++ {
+		out, err := g.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := uint64(i * 3 % 256)
+		want := (10 + 20 + c<<1) >> 2
+		if out[0] != want {
+			t.Fatalf("element %d: got %d want %d", i, out[0], want)
+		}
+	}
+}
+
+// TestShiftColumns verifies the MovR-based neighbour exchange: element
+// (pe, row) must receive the value of (pe-1, row) when shifting right.
+func TestShiftColumns(t *testing.T) {
+	ex := compileGrid(t)
+	g, err := New(ex, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load a distinct c per element; run once so the output column holds
+	// a known per-element value.
+	vals := func(pe, row int) uint64 { return uint64(40*pe + 10*row + 7) }
+	for pe := 0; pe < 4; pe++ {
+		for row := 0; row < 4; row++ {
+			if err := g.Load(pe*4+row, []uint64{vals(pe, row), 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// out = (0 + 0 + 2c)/4 = c/2. Ship it into `left` of the right-hand
+	// neighbour.
+	if err := g.ShiftColumns("ret", "left", isa.DirRight); err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 4; pe++ {
+		for row := 0; row < 4; row++ {
+			idx := pe*4 + row
+			pen, rown := g.at(idx)
+			if pen != pe || rown != row {
+				t.Fatalf("index mapping broken")
+			}
+			// Read the shifted input column directly.
+			comp, err := g.inputComponent("left")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			for j, ref := range comp.Bits {
+				b, err := g.Chip.PE(pe).M.ReadBit(row, ref.Loc.Col)
+				if err != nil {
+					t.Fatalf("pe %d row %d bit %d: %v", pe, row, j, err)
+				}
+				if b {
+					got |= 1 << uint(j)
+				}
+			}
+			want := uint64(0) // fixed boundary at pe 0
+			if pe > 0 {
+				want = vals(pe-1, row) >> 1
+			}
+			if got != want {
+				t.Fatalf("pe %d row %d: left = %d, want %d", pe, row, got, want)
+			}
+		}
+	}
+}
+
+// TestDiffusionSteps runs two full neighbour-exchange + compute steps and
+// compares against a host-side reference of the same 1-D diffusion.
+func TestDiffusionSteps(t *testing.T) {
+	ex := compileGrid(t)
+	const pes, rows = 5, 3
+	g, err := New(ex, pes, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference state: temp[row][pe].
+	var ref [rows][pes]uint64
+	for pe := 0; pe < pes; pe++ {
+		for row := 0; row < rows; row++ {
+			v := uint64((pe*53 + row*17) % 200)
+			ref[row][pe] = v
+			if err := g.Load(pe*rows+row, []uint64{v, 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step := func() {
+		// c already loaded; exchange neighbours into left/right, then run.
+		if err := g.Run(); err != nil { // produces ret = (l+r+2c)>>2 (first run: l=r=0)
+			t.Fatal(err)
+		}
+	}
+	_ = step
+	for iter := 0; iter < 2; iter++ {
+		// Current temperature lives in the `c` input columns; compute
+		// out = c (identity pass? no). We instead simulate: run the
+		// kernel to produce ret from (c, left, right), then ship c to the
+		// neighbours for the next iteration.
+		// Step 1: ship c into neighbours' left/right. c is an input, not
+		// an output, so first run an identity pass: ret = (l+r+2c)>>2
+		// with l = r = c gives ret = c.
+		for pe := 0; pe < pes; pe++ {
+			for row := 0; row < rows; row++ {
+				v := ref[row][pe]
+				if err := g.Load(pe*rows+row, []uint64{v, v, v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// ret now equals c; exchange it.
+		if err := g.ShiftColumns("ret", "left", isa.DirRight); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ShiftColumns("ret", "right", isa.DirLeft); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Host reference.
+		var next [rows][pes]uint64
+		for row := 0; row < rows; row++ {
+			for pe := 0; pe < pes; pe++ {
+				var l, r uint64
+				if pe > 0 {
+					l = ref[row][pe-1]
+				}
+				if pe < pes-1 {
+					r = ref[row][pe+1]
+				}
+				next[row][pe] = (l + r + ref[row][pe]<<1) >> 2
+			}
+		}
+		for pe := 0; pe < pes; pe++ {
+			for row := 0; row < rows; row++ {
+				out, err := g.Read(pe*rows + row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out[0] != next[row][pe] {
+					t.Fatalf("iter %d pe %d row %d: got %d want %d", iter, pe, row, out[0], next[row][pe])
+				}
+			}
+		}
+		ref = next
+	}
+	if g.Report().Cycles <= 0 {
+		t.Error("no cycle accounting")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	ex := compileGrid(t)
+	if _, err := New(ex, 0, 4); err == nil {
+		t.Error("zero PEs must error")
+	}
+	g, _ := New(ex, 2, 4)
+	if err := g.ShiftColumns("nope", "left", isa.DirRight); err == nil {
+		t.Error("unknown source must error")
+	}
+	if err := g.ShiftColumns("ret", "nope", isa.DirRight); err == nil {
+		t.Error("unknown destination must error")
+	}
+	if err := g.LoadInput(0, "nope", 1); err == nil {
+		t.Error("unknown input must error")
+	}
+	if err := g.LoadInput(0, "c", 99); err != nil {
+		t.Error(err)
+	}
+	// Without SingleBitInputs the destination is paired: must error.
+	exPaired, err := compile.CompileSource(diffusionSrc, compile.HyperTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(exPaired, 2, 4)
+	if err := g2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.ShiftColumns("ret", "left", isa.DirRight); err == nil {
+		t.Error("paired destination must be rejected")
+	}
+}

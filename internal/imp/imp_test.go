@@ -1,0 +1,114 @@
+package imp
+
+import "testing"
+
+func TestTableIIConfig(t *testing.T) {
+	c := Default()
+	if c.SIMDSlots != 2_097_152 {
+		t.Errorf("slots = %d, want 2097152 (Table II)", c.SIMDSlots)
+	}
+	if c.FreqHz != 20e6 || c.AreaMM2 != 494 || c.TDPWatts != 416 {
+		t.Errorf("config wrong: %+v", c)
+	}
+	if c.RowsPerSlot != 16 {
+		t.Error("IMP uses 16 rows per SIMD slot (§VI-B)")
+	}
+}
+
+func TestArithmeticTable(t *testing.T) {
+	c := Default()
+	for _, op := range []Op{OpAdd, OpMul, OpDiv, OpSqrt, OpExp} {
+		p, err := c.Arithmetic(op, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LatencyNS <= 0 || p.ThroughputGOPS <= 0 || p.PowerEffGOPSW <= 0 || p.AreaEffGOPSmm2 <= 0 {
+			t.Errorf("%s: degenerate record %+v", op, p)
+		}
+		// 32-bit only: a 16-bit request returns identical numbers.
+		p16, _ := c.Arithmetic(op, 16)
+		if p16 != p {
+			t.Errorf("%s: IMP must be width-insensitive", op)
+		}
+	}
+	if _, err := c.Arithmetic("Tan", 32); err == nil {
+		t.Error("unknown op must error")
+	}
+}
+
+func TestAddIsFastestDivSlowestPowerWise(t *testing.T) {
+	c := Default()
+	add, _ := c.Arithmetic(OpAdd, 32)
+	div, _ := c.Arithmetic(OpDiv, 32)
+	if add.LatencyNS >= div.LatencyNS {
+		t.Error("add must be faster than div")
+	}
+	if add.PowerEffGOPSW <= div.PowerEffGOPSW {
+		t.Error("add must be more power-efficient than div")
+	}
+	if add.PowerWatts() <= 0 {
+		t.Error("PowerWatts degenerate")
+	}
+}
+
+func TestMergedAdds(t *testing.T) {
+	c := Default()
+	m := c.MergedAdds(3)
+	single, _ := c.Arithmetic(OpAdd, 32)
+	if m.ThroughputGOPS != 3*single.ThroughputGOPS {
+		t.Error("merged throughput must scale with depth")
+	}
+	// The ADC-resolution penalty: merged power efficiency per op is worse
+	// than 3× the single-op record.
+	if m.PowerEffGOPSW >= 3*single.PowerEffGOPSW {
+		t.Error("merging must cost ADC energy (§VI-C)")
+	}
+}
+
+func TestImmediateOpUnchanged(t *testing.T) {
+	c := Default()
+	imm, err := c.ImmediateOp(OpMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := c.Arithmetic(OpMul, 32)
+	if imm != plain {
+		t.Error("IMP cannot exploit immediate operands (§V-B.4c)")
+	}
+}
+
+func TestKernelEvaluate(t *testing.T) {
+	c := Default()
+	k := KernelCost{
+		Elements:      1 << 20,
+		OpsPerElement: map[Op]float64{OpAdd: 10, OpMul: 4},
+		ElementMoves:  2,
+	}
+	tm, en := c.Evaluate(k)
+	if tm <= 0 || en <= 0 {
+		t.Fatal("degenerate kernel evaluation")
+	}
+	// Communication adds time: removing moves must be faster.
+	k2 := k
+	k2.ElementMoves = 0
+	tm2, en2 := c.Evaluate(k2)
+	if tm2 >= tm || en2 >= en {
+		t.Error("router communication must cost time and energy")
+	}
+	// Dot-product support: adding MACs costs less time than the scalar
+	// multiply alternative.
+	k3 := k2
+	k3.DotProductOps = 4
+	k3.OpsPerElement = map[Op]float64{OpAdd: 10}
+	tm3, _ := c.Evaluate(k3)
+	if tm3 >= tm2 {
+		t.Error("native dot product should beat scalar multiplies")
+	}
+	// More elements than slots: waves scale time.
+	k4 := k2
+	k4.Elements = c.SIMDSlots * 4
+	tm4, _ := c.Evaluate(k4)
+	if tm4 < 3*tm2 {
+		t.Error("multi-wave execution must scale time")
+	}
+}

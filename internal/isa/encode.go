@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+)
+
+// Binary layout: the opcode occupies the high nibble of the first byte;
+// the low nibble holds small operand fields. Multi-byte operands follow in
+// big-endian order. SetKey/WriteR carry a 512-bit immediate in 64 bytes;
+// for SetKey, key/mask position p occupies bits (2p, 2p+1) of the
+// immediate (§IV-A.3: two immediate bits configure one key/mask position:
+// 01 → key 1, 10 → key 0, 11 → the Z input, 00 → masked off).
+
+func keyToImmBits(k bits.Key) uint8 {
+	switch k {
+	case bits.K1:
+		return 0b01
+	case bits.K0:
+		return 0b10
+	case bits.KZ:
+		return 0b11
+	default:
+		return 0b00
+	}
+}
+
+func immBitsToKey(v uint8) bits.Key {
+	switch v & 3 {
+	case 0b01:
+		return bits.K1
+	case 0b10:
+		return bits.K0
+	case 0b11:
+		return bits.KZ
+	default:
+		return bits.KDC
+	}
+}
+
+// PackKeys packs KeyWidth key positions into the 64-byte SetKey immediate.
+func PackKeys(keys []bits.Key) []byte {
+	imm := make([]byte, KeyWidth/4)
+	for p, k := range keys {
+		imm[p/4] |= keyToImmBits(k) << uint((p%4)*2)
+	}
+	return imm
+}
+
+// UnpackKeys expands a 64-byte immediate back into KeyWidth key positions.
+func UnpackKeys(imm []byte) []bits.Key {
+	keys := make([]bits.Key, KeyWidth)
+	for p := range keys {
+		keys[p] = immBitsToKey(imm[p/4] >> uint((p%4)*2))
+	}
+	return keys
+}
+
+// EncodeTo appends the binary form of the instruction to dst and returns the
+// extended slice.
+func (in Instruction) EncodeTo(dst []byte) []byte {
+	op := uint8(in.Op) << 4
+	switch in.Op {
+	case OpSearch:
+		var f uint8
+		if in.Acc {
+			f |= 2
+		}
+		if in.Encode {
+			f |= 1
+		}
+		return append(dst, op|f)
+	case OpWrite:
+		var f uint8
+		if in.Encode {
+			f = 1
+		}
+		return append(dst, op|f, in.Col)
+	case OpSetKey:
+		if len(in.Keys) != KeyWidth {
+			panic(fmt.Sprintf("isa: SetKey carries %d positions, want %d", len(in.Keys), KeyWidth))
+		}
+		dst = append(dst, op)
+		return append(dst, PackKeys(in.Keys)...)
+	case OpCount, OpIndex, OpSetTag, OpReadTag:
+		return append(dst, op)
+	case OpMovR:
+		return append(dst, op|uint8(in.Direction)&3)
+	case OpReadR:
+		return append(dst, op|uint8(in.Addr>>16)&1, byte(in.Addr>>8), byte(in.Addr))
+	case OpWriteR:
+		if len(in.Imm) != 64 {
+			panic("isa: WriteR immediate must be 64 bytes")
+		}
+		dst = append(dst, op|uint8(in.Addr>>16)&1, byte(in.Addr>>8), byte(in.Addr))
+		return append(dst, in.Imm...)
+	case OpBroadcast:
+		return append(dst, op, in.GroupMask)
+	case OpWait:
+		return append(dst, op, in.WaitCycles)
+	}
+	panic(fmt.Sprintf("isa: cannot encode opcode %v", in.Op))
+}
+
+// Decode reads one instruction from the front of buf and returns it with
+// the number of bytes consumed.
+func Decode(buf []byte) (Instruction, int, error) {
+	if len(buf) == 0 {
+		return Instruction{}, 0, fmt.Errorf("isa: empty buffer")
+	}
+	op := Op(buf[0] >> 4)
+	low := buf[0] & 0xF
+	need := Instruction{Op: op}.lengthChecked()
+	if need < 0 {
+		return Instruction{}, 0, fmt.Errorf("isa: invalid opcode %d", op)
+	}
+	if len(buf) < need {
+		return Instruction{}, 0, fmt.Errorf("isa: truncated %v: have %d bytes, need %d", op, len(buf), need)
+	}
+	in := Instruction{Op: op}
+	switch op {
+	case OpSearch:
+		in.Acc = low&2 != 0
+		in.Encode = low&1 != 0
+	case OpWrite:
+		in.Encode = low&1 != 0
+		in.Col = buf[1]
+	case OpSetKey:
+		in.Keys = UnpackKeys(buf[1:65])
+	case OpCount, OpIndex, OpSetTag, OpReadTag:
+	case OpMovR:
+		in.Direction = Dir(low & 3)
+	case OpReadR:
+		in.Addr = uint32(low&1)<<16 | uint32(buf[1])<<8 | uint32(buf[2])
+	case OpWriteR:
+		in.Addr = uint32(low&1)<<16 | uint32(buf[1])<<8 | uint32(buf[2])
+		in.Imm = append([]byte(nil), buf[3:67]...)
+	case OpBroadcast:
+		in.GroupMask = buf[1]
+	case OpWait:
+		in.WaitCycles = buf[1]
+	}
+	return in, need, nil
+}
+
+func (in Instruction) lengthChecked() int {
+	if in.Op >= numOps {
+		return -1
+	}
+	return in.Length()
+}
+
+// EncodeProgram serialises a whole program.
+func EncodeProgram(p Program) []byte {
+	var out []byte
+	for _, in := range p {
+		out = in.EncodeTo(out)
+	}
+	return out
+}
+
+// DecodeProgram deserialises a whole program.
+func DecodeProgram(buf []byte) (Program, error) {
+	var p Program
+	for len(buf) > 0 {
+		in, n, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, in)
+		buf = buf[n:]
+	}
+	return p, nil
+}

@@ -1,0 +1,263 @@
+// Package isa defines the 12-instruction set architecture of Hyper-AP
+// (paper Table I, §IV-A): three Compute instructions (Search, Write,
+// SetKey) plus the reduction, data-manipulation and control instructions.
+// It provides the binary encoding (with the exact instruction lengths of
+// Table I), a decoder, cycle-cost accounting and a disassembler.
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperap/internal/bits"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The 12 opcodes of Table I.
+const (
+	OpSearch Op = iota
+	OpWrite
+	OpSetKey
+	OpCount
+	OpIndex
+	OpMovR
+	OpReadR
+	OpWriteR
+	OpSetTag
+	OpReadTag
+	OpBroadcast
+	OpWait
+	numOps
+)
+
+var opNames = [...]string{
+	"Search", "Write", "SetKey", "Count", "Index", "MovR",
+	"ReadR", "WriteR", "SetTag", "ReadTag", "Broadcast", "Wait",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Dir is the MovR direction (§IV-A.6).
+type Dir uint8
+
+// MovR directions: 00/01/10/11 = top/left/right/bottom.
+const (
+	DirUp Dir = iota
+	DirLeft
+	DirRight
+	DirDown
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirLeft:
+		return "left"
+	case DirRight:
+		return "right"
+	case DirDown:
+		return "down"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// KeyWidth is the number of key/mask positions one SetKey configures: the
+// 512-bit immediate holds two bits per position.
+const KeyWidth = 256
+
+// Instruction is one decoded instruction. Only the fields relevant to the
+// opcode are meaningful.
+type Instruction struct {
+	Op Op
+
+	Acc    bool // Search: enable the accumulation unit
+	Encode bool // Search: latch result into the two-bit encoder;
+	// Write: write the encoder's 2-bit value into cols Col, Col+1
+
+	Col uint8 // Write: column address
+
+	Keys []bits.Key // SetKey: the 256 key/mask positions (KeyWidth entries)
+
+	Direction Dir    // MovR
+	Addr      uint32 // ReadR/WriteR: 17-bit PE address
+	Imm       []byte // WriteR: 512-bit immediate (64 bytes)
+
+	GroupMask  uint8 // Broadcast
+	WaitCycles uint8 // Wait
+}
+
+// Length returns the encoded instruction length in bytes (Table I).
+func (in Instruction) Length() int {
+	switch in.Op {
+	case OpSearch, OpCount, OpIndex, OpMovR, OpSetTag, OpReadTag:
+		return 1
+	case OpWrite, OpBroadcast, OpWait:
+		return 2
+	case OpReadR:
+		return 3
+	case OpSetKey:
+		return 65
+	case OpWriteR:
+		return 67
+	}
+	panic(fmt.Sprintf("isa: unknown opcode %v", in.Op))
+}
+
+// CycleParams supplies the technology-dependent constants used by Cycles.
+type CycleParams struct {
+	// TCAMBitWriteCycles is the time to program one TCAM bit: 10 for the
+	// RRAM separated design (the two cells are written in parallel), 20
+	// for the monolithic design, 1 for CMOS.
+	TCAMBitWriteCycles int
+	// DataMoveCycles is the global-data-path cost of ReadR/WriteR
+	// ("Variable" in Table I).
+	DataMoveCycles int
+}
+
+// DefaultCycleParams matches the RRAM separated design of Table I
+// (Write = 12/23 cycles).
+func DefaultCycleParams() CycleParams {
+	return CycleParams{TCAMBitWriteCycles: 10, DataMoveCycles: 20}
+}
+
+// Cycles returns the instruction's execution time in cycles per Table I:
+// Search 1; Write 1 (address decode) + 1 per key-register set + the
+// TCAM-bit writes (12 or 23 cycles with the RRAM constants); SetKey 1;
+// Count/Index 4; MovR 5; SetTag/ReadTag/Broadcast 1; Wait <cycle>;
+// ReadR/WriteR variable (DataMoveCycles).
+func (in Instruction) Cycles(p CycleParams) int {
+	switch in.Op {
+	case OpSearch, OpSetKey, OpSetTag, OpReadTag, OpBroadcast:
+		return 1
+	case OpCount, OpIndex:
+		return 4
+	case OpMovR:
+		return 5
+	case OpWrite:
+		if in.Encode {
+			return 1 + 2 + 2*p.TCAMBitWriteCycles // 23 with RRAM constants
+		}
+		return 1 + 1 + p.TCAMBitWriteCycles // 12 with RRAM constants
+	case OpReadR, OpWriteR:
+		return p.DataMoveCycles
+	case OpWait:
+		return int(in.WaitCycles)
+	}
+	panic(fmt.Sprintf("isa: unknown opcode %v", in.Op))
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpSearch:
+		return fmt.Sprintf("Search acc=%t encode=%t", in.Acc, in.Encode)
+	case OpWrite:
+		return fmt.Sprintf("Write col=%d encode=%t", in.Col, in.Encode)
+	case OpSetKey:
+		// Show only the non-masked positions to keep listings readable.
+		var b strings.Builder
+		fmt.Fprintf(&b, "SetKey")
+		for i, k := range in.Keys {
+			if k != bits.KDC {
+				fmt.Fprintf(&b, " [%d]=%v", i, k)
+			}
+		}
+		return b.String()
+	case OpMovR:
+		return fmt.Sprintf("MovR %v", in.Direction)
+	case OpReadR:
+		return fmt.Sprintf("ReadR addr=%d", in.Addr)
+	case OpWriteR:
+		return fmt.Sprintf("WriteR addr=%d imm=%x...", in.Addr, in.Imm[:4])
+	case OpBroadcast:
+		return fmt.Sprintf("Broadcast mask=%08b", in.GroupMask)
+	case OpWait:
+		return fmt.Sprintf("Wait %d", in.WaitCycles)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Convenience constructors keep the compiler's code generator terse.
+
+// Search builds a Search instruction.
+func Search(acc, encode bool) Instruction {
+	return Instruction{Op: OpSearch, Acc: acc, Encode: encode}
+}
+
+// Write builds a Write instruction.
+func Write(col uint8, encode bool) Instruction {
+	return Instruction{Op: OpWrite, Col: col, Encode: encode}
+}
+
+// SetKey builds a SetKey instruction from up to KeyWidth key positions;
+// missing positions are masked off.
+func SetKey(keys []bits.Key) Instruction {
+	if len(keys) > KeyWidth {
+		panic(fmt.Sprintf("isa: %d keys exceed the %d-position key register", len(keys), KeyWidth))
+	}
+	full := make([]bits.Key, KeyWidth)
+	for i := range full {
+		full[i] = bits.KDC
+	}
+	copy(full, keys)
+	return Instruction{Op: OpSetKey, Keys: full}
+}
+
+// MovR builds a MovR instruction.
+func MovR(d Dir) Instruction { return Instruction{Op: OpMovR, Direction: d} }
+
+// Wait builds a Wait instruction.
+func Wait(cycles uint8) Instruction { return Instruction{Op: OpWait, WaitCycles: cycles} }
+
+// Broadcast builds a Broadcast instruction.
+func Broadcast(mask uint8) Instruction { return Instruction{Op: OpBroadcast, GroupMask: mask} }
+
+// Program is an instruction sequence.
+type Program []Instruction
+
+// TotalCycles sums the execution time of every instruction.
+func (p Program) TotalCycles(cp CycleParams) int64 {
+	var c int64
+	for _, in := range p {
+		c += int64(in.Cycles(cp))
+	}
+	return c
+}
+
+// TotalBytes sums the encoded lengths.
+func (p Program) TotalBytes() int {
+	n := 0
+	for _, in := range p {
+		n += in.Length()
+	}
+	return n
+}
+
+// CountOp returns how many instructions have the given opcode.
+func (p Program) CountOp(op Op) int {
+	n := 0
+	for _, in := range p {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// String disassembles the whole program.
+func (p Program) String() string {
+	var b strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}

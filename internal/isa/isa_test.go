@@ -1,0 +1,241 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// TestTableILengths checks the instruction lengths of Table I byte for
+// byte.
+func TestTableILengths(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want int
+	}{
+		{Search(false, false), 1},
+		{Write(3, false), 2},
+		{SetKey(nil), 65},
+		{Instruction{Op: OpCount}, 1},
+		{Instruction{Op: OpIndex}, 1},
+		{MovR(DirLeft), 1},
+		{Instruction{Op: OpReadR, Addr: 5}, 3},
+		{Instruction{Op: OpWriteR, Addr: 5, Imm: make([]byte, 64)}, 67},
+		{Instruction{Op: OpSetTag}, 1},
+		{Instruction{Op: OpReadTag}, 1},
+		{Broadcast(0xAA), 2},
+		{Wait(7), 2},
+	}
+	for _, c := range cases {
+		if got := c.in.Length(); got != c.want {
+			t.Errorf("%v length = %d, want %d", c.in.Op, got, c.want)
+		}
+		if enc := c.in.EncodeTo(nil); len(enc) != c.want {
+			t.Errorf("%v encodes to %d bytes, want %d", c.in.Op, len(enc), c.want)
+		}
+	}
+}
+
+// TestTableICycles checks the cycle costs of Table I with the RRAM
+// constants (write one TCAM bit = 10 cycles).
+func TestTableICycles(t *testing.T) {
+	p := DefaultCycleParams()
+	cases := []struct {
+		in   Instruction
+		want int
+	}{
+		{Search(true, false), 1},
+		{Write(0, false), 12}, // 1 decode + 1 key + 10 write
+		{Write(0, true), 23},  // 1 decode + 2 key + 20 write
+		{SetKey(nil), 1},
+		{Instruction{Op: OpCount}, 4},
+		{Instruction{Op: OpIndex}, 4},
+		{MovR(DirUp), 5},
+		{Instruction{Op: OpSetTag}, 1},
+		{Instruction{Op: OpReadTag}, 1},
+		{Broadcast(1), 1},
+		{Wait(99), 99},
+	}
+	for _, c := range cases {
+		if got := c.in.Cycles(p); got != c.want {
+			t.Errorf("%v cycles = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCMOSWriteCycles: with a CMOS TCAM (1-cycle bit write) the Write
+// instruction costs 3/5 cycles, giving the Twrite/Tsearch ≈ 1 ratio the
+// paper attributes to CMOS AP (§VI-E).
+func TestCMOSWriteCycles(t *testing.T) {
+	p := CycleParams{TCAMBitWriteCycles: 1, DataMoveCycles: 20}
+	if got := Write(0, false).Cycles(p); got != 3 {
+		t.Errorf("CMOS single write = %d cycles, want 3", got)
+	}
+	if got := Write(0, true).Cycles(p); got != 5 {
+		t.Errorf("CMOS encoded write = %d cycles, want 5", got)
+	}
+}
+
+func randomKeys(rng *rand.Rand) []bits.Key {
+	ks := make([]bits.Key, KeyWidth)
+	for i := range ks {
+		ks[i] = bits.Key(rng.Intn(4))
+	}
+	return ks
+}
+
+func randomInstruction(rng *rand.Rand) Instruction {
+	switch Op(rng.Intn(int(numOps))) {
+	case OpSearch:
+		return Search(rng.Intn(2) == 0, rng.Intn(2) == 0)
+	case OpWrite:
+		return Write(uint8(rng.Intn(256)), rng.Intn(2) == 0)
+	case OpSetKey:
+		return Instruction{Op: OpSetKey, Keys: randomKeys(rng)}
+	case OpCount:
+		return Instruction{Op: OpCount}
+	case OpIndex:
+		return Instruction{Op: OpIndex}
+	case OpMovR:
+		return MovR(Dir(rng.Intn(4)))
+	case OpReadR:
+		return Instruction{Op: OpReadR, Addr: uint32(rng.Intn(1 << 17))}
+	case OpWriteR:
+		imm := make([]byte, 64)
+		rng.Read(imm)
+		return Instruction{Op: OpWriteR, Addr: uint32(rng.Intn(1 << 17)), Imm: imm}
+	case OpSetTag:
+		return Instruction{Op: OpSetTag}
+	case OpReadTag:
+		return Instruction{Op: OpReadTag}
+	case OpBroadcast:
+		return Broadcast(uint8(rng.Intn(256)))
+	default:
+		return Wait(uint8(rng.Intn(256)))
+	}
+}
+
+func instructionsEqual(a, b Instruction) bool {
+	if a.Op != b.Op || a.Acc != b.Acc || a.Encode != b.Encode || a.Col != b.Col ||
+		a.Direction != b.Direction || a.Addr != b.Addr ||
+		a.GroupMask != b.GroupMask || a.WaitCycles != b.WaitCycles {
+		return false
+	}
+	if len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	if len(a.Imm) != len(b.Imm) {
+		return false
+	}
+	for i := range a.Imm {
+		if a.Imm[i] != b.Imm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDecodeRoundTrip is a property test over random programs.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var prog Program
+		for i := 0; i < 20; i++ {
+			prog = append(prog, randomInstruction(rng))
+		}
+		buf := EncodeProgram(prog)
+		if len(buf) != prog.TotalBytes() {
+			t.Fatalf("trial %d: encoded %d bytes, TotalBytes says %d", trial, len(buf), prog.TotalBytes())
+		}
+		back, err := DecodeProgram(buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(back) != len(prog) {
+			t.Fatalf("trial %d: decoded %d instructions, want %d", trial, len(back), len(prog))
+		}
+		for i := range prog {
+			if !instructionsEqual(prog[i], back[i]) {
+				t.Fatalf("trial %d instr %d: %v != %v", trial, i, prog[i], back[i])
+			}
+		}
+	}
+}
+
+func TestPackUnpackKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		keys := randomKeys(rng)
+		back := UnpackKeys(PackKeys(keys))
+		for i := range keys {
+			if keys[i] != back[i] {
+				t.Fatalf("position %d: %v != %v", i, keys[i], back[i])
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+	if _, _, err := Decode([]byte{0xF0}); err == nil {
+		t.Error("invalid opcode should error")
+	}
+	// Truncated SetKey.
+	if _, _, err := Decode([]byte{byte(OpSetKey) << 4, 0, 0}); err == nil {
+		t.Error("truncated instruction should error")
+	}
+}
+
+func TestSetKeyOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SetKey(make([]bits.Key, KeyWidth+1))
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := Program{Search(false, false), Search(true, false), Write(0, false), SetKey(nil)}
+	if p.CountOp(OpSearch) != 2 || p.CountOp(OpWrite) != 1 {
+		t.Error("CountOp wrong")
+	}
+	if p.TotalCycles(DefaultCycleParams()) != 1+1+12+1 {
+		t.Errorf("TotalCycles = %d", p.TotalCycles(DefaultCycleParams()))
+	}
+	if s := p.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestInstructionStrings(t *testing.T) {
+	ks := make([]bits.Key, KeyWidth)
+	for i := range ks {
+		ks[i] = bits.KDC
+	}
+	ks[3] = bits.K1
+	ins := []Instruction{
+		Search(true, true),
+		Write(7, true),
+		{Op: OpSetKey, Keys: ks},
+		MovR(DirDown),
+		{Op: OpReadR, Addr: 99},
+		{Op: OpWriteR, Addr: 1, Imm: make([]byte, 64)},
+		Broadcast(3),
+		Wait(10),
+		{Op: OpCount},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("%v: empty String", in.Op)
+		}
+	}
+}

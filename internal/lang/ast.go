@@ -1,0 +1,227 @@
+package lang
+
+import "fmt"
+
+// TypeKind distinguishes the language's type families.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeUInt TypeKind = iota // unsigned int(N)
+	TypeInt                  // int(N), two's complement
+	TypeBool
+	TypeStruct
+)
+
+// Type is a resolved or syntactic type. For structs, Name refers to a
+// struct definition in the program.
+type Type struct {
+	Kind TypeKind
+	Bits int    // integer width; 1 for bool
+	Name string // struct name
+}
+
+// Signed reports whether the type is a signed integer.
+func (t Type) Signed() bool { return t.Kind == TypeInt }
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TypeUInt:
+		return fmt.Sprintf("unsigned int(%d)", t.Bits)
+	case TypeInt:
+		return fmt.Sprintf("int(%d)", t.Bits)
+	case TypeBool:
+		return "bool"
+	case TypeStruct:
+		return "struct " + t.Name
+	}
+	return "?"
+}
+
+// Field is one member of a struct definition.
+type Field struct {
+	Name string
+	Type Type
+	// ArrayLen > 0 makes the field a fixed-size array.
+	ArrayLen int
+}
+
+// StructDef is a user-defined custom data type (§V-A: "users can define
+// their own custom data types").
+type StructDef struct {
+	Name   string
+	Fields []Field
+	Line   int
+}
+
+// Param is a function parameter. Parameters of main are the per-slot
+// input vectors (Fig. 8).
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDef is a function definition. Non-main functions are inlined at
+// their call sites during DFG generation.
+type FuncDef struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *Block
+	Line   int
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Structs map[string]*StructDef
+	Funcs   map[string]*FuncDef
+	Order   []string // function definition order, for listings
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Decl declares a variable, optionally an array, optionally initialised.
+type Decl struct {
+	Name     string
+	Type     Type
+	ArrayLen int // 0 = scalar
+	Init     Expr
+	Line     int
+}
+
+// Assign stores the value of Value into the l-value Target.
+type Assign struct {
+	Target Expr // Ident, Index or Member chain
+	Value  Expr
+	Line   int
+}
+
+// If executes Then when Cond is true, otherwise Else (which may be nil).
+// On Hyper-AP both branches are executed with predicated writes
+// (Fig. 13b).
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Line int
+}
+
+// For is a counted loop. The compilation framework requires the bounds to
+// be compile-time constants so the loop can be fully unrolled (§V-A
+// constraint 1).
+type For struct {
+	Init Stmt // Decl or Assign
+	Cond Expr
+	Post Stmt // Assign
+	Body Stmt
+	Line int
+}
+
+// Return produces the function result.
+type Return struct {
+	Value Expr
+	Line  int
+}
+
+func (*Block) stmtNode()  {}
+func (*Decl) stmtNode()   {}
+func (*Assign) stmtNode() {}
+func (*If) stmtNode()     {}
+func (*For) stmtNode()    {}
+func (*Return) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value uint64
+	Line  int
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary applies a prefix operator: -, ~ or !.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Call invokes a user function (inlined) or an intrinsic (sqrt, exp, abs,
+// min, max).
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index selects an array element; the index must be compile-time
+// constant (§V-A: no pointer chasing, data alignment must be static).
+type Index struct {
+	X         Expr
+	IndexExpr Expr
+	Line      int
+}
+
+// Member selects a struct field.
+type Member struct {
+	X     Expr
+	Field string
+	Line  int
+}
+
+func (*Ident) exprNode()   {}
+func (*IntLit) exprNode()  {}
+func (*BoolLit) exprNode() {}
+func (*Binary) exprNode()  {}
+func (*Unary) exprNode()   {}
+func (*Call) exprNode()    {}
+func (*Index) exprNode()   {}
+func (*Member) exprNode()  {}
+
+// ExprLine returns the source line of an expression.
+func ExprLine(e Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Line
+	case *IntLit:
+		return x.Line
+	case *BoolLit:
+		return x.Line
+	case *Binary:
+		return x.Line
+	case *Unary:
+		return x.Line
+	case *Call:
+		return x.Line
+	case *Index:
+		return x.Line
+	case *Member:
+		return x.Line
+	}
+	return 0
+}

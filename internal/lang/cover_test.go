@@ -1,0 +1,130 @@
+package lang
+
+import "testing"
+
+// TestExprLineAllNodes covers line propagation for every expression kind.
+func TestExprLineAllNodes(t *testing.T) {
+	prog, err := Parse(`
+		struct S { unsigned int(4) w[2]; }
+		unsigned int(4) f(unsigned int(4) v){ return v; }
+		unsigned int(4) main(struct S s, bool p) {
+			unsigned int(4) a;
+			a = 3;
+			s.w[1] = f(a) + (-a);
+			if (p == true) { a = s.w[1]; } else { a = ~a; }
+			return a;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walkStmt func(s Stmt)
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		if ExprLine(e) <= 0 {
+			t.Errorf("%T has no line", e)
+		}
+		switch x := e.(type) {
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Unary:
+			walkExpr(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *Index:
+			walkExpr(x.X)
+			walkExpr(x.IndexExpr)
+		case *Member:
+			walkExpr(x.X)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *Decl:
+			walkExpr(st.Init)
+		case *Assign:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *If:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *For:
+			walkStmt(st.Init)
+			walkExpr(st.Cond)
+			walkStmt(st.Post)
+			walkStmt(st.Body)
+		case *Return:
+			walkExpr(st.Value)
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walkStmt(fn.Body)
+	}
+}
+
+// TestParseForLoopVariants covers for-loop init forms and struct-typed
+// declarations inside functions.
+func TestParseForLoopVariants(t *testing.T) {
+	_, err := Parse(`
+		struct P { bool b; }
+		bool main(unsigned int(4) a) {
+			struct P p;
+			unsigned int(4) i;
+			for (i = 0; i < 4; i = i + 1) {
+				p.b = a > i;
+			}
+			return p.b;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseMoreErrors exercises error branches across the parser.
+func TestParseMoreErrors(t *testing.T) {
+	srcs := []string{
+		`unsigned main(){ return 0; }`,                         // missing int
+		`int main(){ return 0; }`,                              // missing width
+		`int(x) main(){ return 0; }`,                           // non-numeric width
+		`struct { bool x; } main(){ return 0; }`,               // nameless struct type
+		`bool main(){ struct Q q[x]; return true; }`,           // bad array len
+		`struct A { bool x[0]; } bool main(){ return true; }`,  // zero-length field
+		`struct A { bool x } bool main(){ return true; }`,      // missing semicolon
+		`bool main(){ for (bool i = 0; i; ) {} return true; }`, // malformed for
+		`bool main(){ if true { } return true; }`,              // missing paren
+		`bool main(){ a. = 1; return true; }`,                  // bad member
+		`bool main(){ a[1 = 1; return true; }`,                 // unclosed index
+		`bool main(){ x = f(1,; return true; }`,                // bad call args
+		`bool main(unsigned int(4) a,){ return true; }`,        // trailing comma
+		`bool f(){ return true; } bool f2(){ return f( }`,      // EOF in call
+		`bool main(){ return (1 + ; }`,                         // EOF in paren
+	}
+	for i, src := range srcs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, src)
+		}
+	}
+}
+
+// TestLexLineColumns verifies position tracking across newlines.
+func TestLexLineColumns(t *testing.T) {
+	toks, err := Lex("a\n  bb\n\tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[1].Col != 3 || toks[2].Line != 3 {
+		t.Errorf("positions wrong: %+v", toks[:3])
+	}
+}

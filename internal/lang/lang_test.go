@@ -1,0 +1,193 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`unsigned int(5) a = 0x1F + 0b10; // comment
+		/* block */ a <<= 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if !strings.Contains(joined, "unsigned int ( 5 ) a = 0x1F + 0b10 ;") {
+		t.Errorf("lex: %s", joined)
+	}
+	// Hex and binary literal values.
+	for _, tk := range toks {
+		if tk.Text == "0x1F" && tk.Int != 31 {
+			t.Errorf("hex literal = %d", tk.Int)
+		}
+		if tk.Text == "0b10" && tk.Int != 2 {
+			t.Errorf("binary literal = %d", tk.Int)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("invalid character should fail")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+	if _, err := Lex("0x;"); err == nil {
+		t.Error("malformed hex literal should fail")
+	}
+}
+
+func TestParseFig8(t *testing.T) {
+	prog, err := Parse(`
+		unsigned int(6) main(unsigned int(5) a, unsigned int(5) b) {
+			unsigned int(6) c;
+			c = a + b;
+			return c;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Funcs["main"]
+	if fn == nil {
+		t.Fatal("main not parsed")
+	}
+	if len(fn.Params) != 2 || fn.Params[0].Name != "a" || fn.Params[1].Type.Bits != 5 {
+		t.Errorf("params wrong: %+v", fn.Params)
+	}
+	if fn.Ret.Bits != 6 || fn.Ret.Kind != TypeUInt {
+		t.Errorf("return type %v", fn.Ret)
+	}
+	if len(fn.Body.Stmts) != 3 {
+		t.Errorf("%d statements", len(fn.Body.Stmts))
+	}
+}
+
+func TestParseStructForIfCall(t *testing.T) {
+	prog, err := Parse(`
+		struct Pixel {
+			unsigned int(8) r;
+			unsigned int(8) g;
+			unsigned int(8) b;
+			unsigned int(4) hist[4];
+		}
+		bool luma_gt(struct Pixel p, unsigned int(10) t) {
+			return p.r + p.g + p.b > t;
+		}
+		unsigned int(8) main(struct Pixel p) {
+			unsigned int(8) y = 0;
+			for (unsigned int(4) i = 0; i < 4; i = i + 1) {
+				if (luma_gt(p, 300)) {
+					y = y + p.hist[i];
+				} else {
+					y = y - 1;
+				}
+			}
+			return y;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Structs) != 1 || len(prog.Funcs) != 2 {
+		t.Fatalf("structs/funcs = %d/%d", len(prog.Structs), len(prog.Funcs))
+	}
+	sd := prog.Structs["Pixel"]
+	if len(sd.Fields) != 4 || sd.Fields[3].ArrayLen != 4 {
+		t.Errorf("fields: %+v", sd.Fields)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	prog, err := Parse(`unsigned int(8) main(unsigned int(8) a, unsigned int(8) b) {
+		return a + b * 2 << 1 & 3;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs["main"].Body.Stmts[0].(*Return)
+	// & binds loosest: (a + b*2 << 1) & 3.
+	top, ok := ret.Value.(*Binary)
+	if !ok || top.Op != "&" {
+		t.Fatalf("top operator = %v", ret.Value)
+	}
+	shift, ok := top.L.(*Binary)
+	if !ok || shift.Op != "<<" {
+		t.Fatalf("second level = %+v", top.L)
+	}
+	add, ok := shift.L.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("third level = %+v", shift.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("fourth level = %+v", add.R)
+	}
+}
+
+func TestUnaryAndPostfix(t *testing.T) {
+	prog, err := Parse(`unsigned int(8) main(unsigned int(8) a) {
+		unsigned int(8) w[2];
+		w[0] = ~a;
+		w[1] = -a + w[0];
+		return w[1];
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Funcs["main"] == nil {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"width-range", `unsigned int(65) main(){ return 0; }`, "1..64"},
+		{"width-zero", `unsigned int(0) main(){ return 0; }`, "1..64"},
+		{"missing-paren", `unsigned int(8 main(){ return 0; }`, "expected"},
+		{"missing-semi", `unsigned int(8) main(){ return 0 }`, "expected"},
+		{"struct-redef", `struct A { bool x; } struct A { bool y; } unsigned int(1) main(){ return 0; }`, "redefined"},
+		{"func-redef", `bool f(){ return true; } bool f(){ return true; } `, "redefined"},
+		{"bad-expr", `bool main(){ return ; }`, "expected expression"},
+		{"unterminated-block", `bool main(){ return true;`, "end of file"},
+		{"array-init", `bool main(){ unsigned int(2) w[2] = 3; return true; }`, "cannot be initialised"},
+		{"bad-array-len", `bool main(){ unsigned int(2) w[0]; return true; }`, "positive array length"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"unsigned int(5)": {Kind: TypeUInt, Bits: 5},
+		"int(9)":          {Kind: TypeInt, Bits: 9},
+		"bool":            {Kind: TypeBool, Bits: 1},
+		"struct P":        {Kind: TypeStruct, Name: "P"},
+	}
+	for want, ty := range cases {
+		if ty.String() != want {
+			t.Errorf("String = %q, want %q", ty.String(), want)
+		}
+	}
+	if (Type{Kind: TypeInt}).Signed() != true || (Type{Kind: TypeUInt}).Signed() {
+		t.Error("Signed wrong")
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("unsigned int(8) main() {\n\n  return @;\n}")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name line 3: %v", err)
+	}
+}

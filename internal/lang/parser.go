@@ -1,0 +1,548 @@
+package lang
+
+import "fmt"
+
+// Parse lexes and parses a compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Structs: map[string]*StructDef{}, Funcs: map[string]*FuncDef{}}
+	for p.peek().Kind != TokEOF {
+		if p.peekIs("struct") && p.at(1).Kind == TokIdent && p.at(2).Text == "{" {
+			sd, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Structs[sd.Name]; dup {
+				return nil, fmt.Errorf("line %d: struct %s redefined", sd.Line, sd.Name)
+			}
+			prog.Structs[sd.Name] = sd
+			continue
+		}
+		fd, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Funcs[fd.Name]; dup {
+			return nil, fmt.Errorf("line %d: function %s redefined", fd.Line, fd.Name)
+		}
+		prog.Funcs[fd.Name] = fd
+		prog.Order = append(prog.Order, fd.Name)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) at(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) peekIs(text string) bool { return p.peek().Text == text && p.peek().Kind != TokInt }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peekIs(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	t := p.peek()
+	if !p.peekIs(text) {
+		return t, fmt.Errorf("line %d: expected %q, found %s", t.Line, text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return t, fmt.Errorf("line %d: expected identifier, found %s", t.Line, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// typeAhead reports whether a type begins at the current position.
+func (p *parser) typeAhead() bool {
+	switch p.peek().Text {
+	case "unsigned", "int", "bool":
+		return p.peek().Kind == TokKeyword
+	case "struct":
+		return p.at(1).Kind == TokIdent && p.at(2).Text != "{"
+	}
+	return false
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.next()
+	switch t.Text {
+	case "bool":
+		return Type{Kind: TypeBool, Bits: 1}, nil
+	case "unsigned":
+		if _, err := p.expect("int"); err != nil {
+			return Type{}, err
+		}
+		bitsN, err := p.parseWidth()
+		return Type{Kind: TypeUInt, Bits: bitsN}, err
+	case "int":
+		bitsN, err := p.parseWidth()
+		return Type{Kind: TypeInt, Bits: bitsN}, err
+	case "struct":
+		name, err := p.expectIdent()
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeStruct, Name: name.Text}, nil
+	}
+	return Type{}, fmt.Errorf("line %d: expected type, found %s", t.Line, t)
+}
+
+func (p *parser) parseWidth() (int, error) {
+	if _, err := p.expect("("); err != nil {
+		return 0, err
+	}
+	t := p.next()
+	if t.Kind != TokInt {
+		return 0, fmt.Errorf("line %d: expected bit width, found %s", t.Line, t)
+	}
+	if t.Int < 1 || t.Int > 64 {
+		return 0, fmt.Errorf("line %d: bit width %d outside the supported 1..64 range", t.Line, t.Int)
+	}
+	if _, err := p.expect(")"); err != nil {
+		return 0, err
+	}
+	return int(t.Int), nil
+}
+
+func (p *parser) parseStruct() (*StructDef, error) {
+	start := p.next() // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDef{Name: name.Text, Line: start.Line}
+	for !p.accept("}") {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f := Field{Name: fn.Text, Type: ft}
+		if p.accept("[") {
+			n := p.next()
+			if n.Kind != TokInt || n.Int == 0 {
+				return nil, fmt.Errorf("line %d: expected positive array length", n.Line)
+			}
+			f.ArrayLen = int(n.Int)
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, f)
+	}
+	p.accept(";")
+	return sd, nil
+}
+
+func (p *parser) parseFunc() (*FuncDef, error) {
+	start := p.peek()
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDef{Name: name.Text, Ret: ret, Line: start.Line}
+	for !p.accept(")") {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, Param{Name: pn.Text, Type: pt})
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.peek().Kind == TokEOF {
+			return nil, fmt.Errorf("line %d: unexpected end of file in block", p.peek().Line)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.peekIs("{"):
+		return p.parseBlock()
+	case p.peekIs("if"):
+		return p.parseIf()
+	case p.peekIs("for"):
+		return p.parseFor()
+	case p.peekIs("return"):
+		t := p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Return{Value: e, Line: t.Line}, nil
+	case p.typeAhead():
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		a, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) parseDecl() (*Decl, error) {
+	start := p.peek()
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{Type: ty, Line: start.Line}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if p.accept("[") {
+		n := p.next()
+		if n.Kind != TokInt || n.Int == 0 {
+			return nil, fmt.Errorf("line %d: expected positive array length", n.Line)
+		}
+		d.ArrayLen = int(n.Int)
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if d.ArrayLen > 0 {
+			return nil, fmt.Errorf("line %d: array declarations cannot be initialised inline", d.Line)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	// Comma-separated additional declarators are not supported; the
+	// paper's examples use one declaration per name or comma lists in
+	// parameters only.
+	return d, nil
+}
+
+func (p *parser) parseAssign() (*Assign, error) {
+	start := p.peek()
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Target: lhs, Value: rhs, Line: start.Line}, nil
+}
+
+func (p *parser) parseLValue() (Expr, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var e Expr = &Ident{Name: id.Text, Line: id.Line}
+	for {
+		switch {
+		case p.accept("."):
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Member{X: e, Field: f.Text, Line: f.Line}
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, IndexExpr: idx, Line: id.Line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &If{Cond: cond, Then: then, Line: t.Line}
+	if p.accept("else") {
+		st.Else, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	var err error
+	if p.typeAhead() {
+		init, err = p.parseDecl()
+	} else {
+		init, err = p.parseAssign()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	post, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Init: init, Cond: cond, Post: post, Body: body, Line: t.Line}, nil
+}
+
+// Operator precedence, low to high.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.peek().Kind == TokPunct && p.peek().Text == op {
+				t := p.next()
+				rhs, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Binary{Op: op, L: lhs, R: rhs, Line: t.Line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "~" || t.Text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("."):
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Member{X: e, Field: f.Text, Line: f.Line}
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, IndexExpr: idx, Line: ExprLine(e)}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{Value: t.Int, Line: t.Line}, nil
+	case t.Text == "true" || t.Text == "false":
+		p.next()
+		return &BoolLit{Value: t.Text == "true", Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.peekIs("(") {
+			p.next()
+			c := &Call{Name: t.Text, Line: t.Line}
+			for !p.accept(")") {
+				if len(c.Args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+			}
+			return c, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("line %d: expected expression, found %s", t.Line, t)
+}

@@ -1,0 +1,169 @@
+// Package lang implements the constrained C-like programming interface of
+// Hyper-AP (paper §V-A, Fig. 8): arbitrary-width integer types
+// (unsigned int(N) / int(N)), bool, structs, fixed-size arrays,
+// compile-time-unrollable loops and both-branch conditionals. Programs
+// describe the instruction stream for a single data stream; the
+// compilation framework applies it across all SIMD slots.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  uint64 // valid when Kind == TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"unsigned": true, "int": true, "bool": true, "struct": true,
+	"if": true, "else": true, "for": true, "return": true,
+	"true": true, "false": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".",
+}
+
+// Lex tokenises source text. // and /* */ comments are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated block comment", line)
+			}
+			advance(2)
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			base := uint64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+			} else if c == '0' && i+1 < len(src) && (src[i+1] == 'b' || src[i+1] == 'B') {
+				base = 2
+				advance(2)
+			}
+			digStart := i
+			for i < len(src) && isDigitIn(src[i], base) {
+				advance(1)
+			}
+			text := src[start:i]
+			digits := src[digStart:i]
+			if base != 10 && digits == "" {
+				return nil, fmt.Errorf("line %d: malformed numeric literal %q", l0, text)
+			}
+			var v uint64
+			for _, d := range digits {
+				v = v*base + uint64(digitVal(byte(d)))
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: text, Int: v, Line: l0, Col: c0})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, l0, c0 := i, line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: l0, Col: c0})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isDigitIn(c byte, base uint64) bool {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint64(c-'0') < base
+	case c >= 'a' && c <= 'f':
+		return base == 16
+	case c >= 'A' && c <= 'F':
+		return base == 16
+	}
+	return false
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

@@ -1,0 +1,212 @@
+package lut
+
+import (
+	"fmt"
+
+	"hyperap/internal/encoding"
+)
+
+// StorageClass tells the cover chooser how each LUT leaf is stored in the
+// TCAM word (decided by the data-layout pass):
+//
+//   - FixedPairs: two leaves of this LUT stored together as one encoded
+//     pair (hi, lo);
+//   - Free: leaves whose storage pairing is not committed yet (fresh
+//     primary inputs) — the chooser pairs them to minimise searches
+//     (the bit-pairing optimisation of Fig. 11);
+//   - Halves: leaves stored as half of an encoded pair whose partner is
+//     not an input of this LUT (still searchable alone: every subset of a
+//     pair has a key);
+//   - Singles: leaves stored as plain non-encoded TCAM bits.
+type StorageClass struct {
+	FixedPairs [][2]int
+	Free       []int
+	Halves     []int
+	Singles    []int
+}
+
+// CoverPlan is the Hyper-AP search plan for one LUT: the committed
+// pairing and the multi-pattern box cover. Variable order in Boxes is
+// Pairs first (arity 4), then Arity2 (halves, singles, leftover frees).
+type CoverPlan struct {
+	Pairs    [][2]int // leaf positions (hi, lo), fixed pairs first
+	Arity2   []int    // leaf positions searched as 2-valued variables
+	Leftover []int    // members of Arity2 that were Free (uncommitted)
+	Boxes    []encoding.Box
+}
+
+// Searches returns the number of search operations (one per box).
+func (p *CoverPlan) Searches() int { return len(p.Boxes) }
+
+// enumeration threshold: with ≤ maxEnumFree free leaves all pairings are
+// tried (8 leaves → 105 matchings); beyond that a greedy adjacent pairing
+// with one improvement pass is used.
+const maxEnumFree = 8
+
+// ChooseCover picks the bit pairing for the LUT's free leaves and
+// computes the minimal box cover found (Fig. 11's optimisation: enumerate
+// pairings, count searches, keep the best).
+func ChooseCover(t Truth, nLeaves int, st StorageClass) *CoverPlan {
+	if len(st.FixedPairs)*2+len(st.Free)+len(st.Halves)+len(st.Singles) != nLeaves {
+		panic("lut: storage classes do not partition the leaves")
+	}
+	build := func(newPairs [][2]int, leftover []int) *CoverPlan {
+		plan := &CoverPlan{
+			Pairs:    append(append([][2]int{}, st.FixedPairs...), newPairs...),
+			Arity2:   append(append(append([]int{}, st.Halves...), st.Singles...), leftover...),
+			Leftover: leftover,
+		}
+		plan.Boxes = coverBoxes(t, nLeaves, plan)
+		return plan
+	}
+	if len(st.Free) == 0 {
+		return build(nil, nil)
+	}
+	var best *CoverPlan
+	consider := func(p *CoverPlan) {
+		if best == nil || len(p.Boxes) < len(best.Boxes) {
+			best = p
+		}
+	}
+	if len(st.Free) <= maxEnumFree {
+		forEachMatching(st.Free, func(pairs [][2]int, leftover []int) {
+			consider(build(pairs, leftover))
+		})
+		return best
+	}
+	// Greedy: adjacent pairing, then try pairwise partner swaps once.
+	pairs, leftover := adjacentPairs(st.Free)
+	best = build(pairs, leftover)
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < len(pairs); i++ {
+			for j := i + 1; j < len(pairs); j++ {
+				for _, swap := range [][2][2]int{
+					{{pairs[i][0], pairs[j][0]}, {pairs[i][1], pairs[j][1]}},
+					{{pairs[i][0], pairs[j][1]}, {pairs[i][1], pairs[j][0]}},
+				} {
+					cand := append([][2]int{}, pairs...)
+					cand[i], cand[j] = swap[0], swap[1]
+					p := build(cand, leftover)
+					if len(p.Boxes) < len(best.Boxes) {
+						best, pairs = p, cand
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func adjacentPairs(free []int) ([][2]int, []int) {
+	var pairs [][2]int
+	var leftover []int
+	for i := 0; i+1 < len(free); i += 2 {
+		pairs = append(pairs, [2]int{free[i], free[i+1]})
+	}
+	if len(free)%2 == 1 {
+		leftover = append(leftover, free[len(free)-1])
+	}
+	return pairs, leftover
+}
+
+// forEachMatching enumerates all ways to pair the elements (one element
+// stays unpaired when the count is odd).
+func forEachMatching(elems []int, f func(pairs [][2]int, leftover []int)) {
+	var rec func(rest []int, pairs [][2]int, leftover []int)
+	rec = func(rest []int, pairs [][2]int, leftover []int) {
+		if len(rest) == 0 {
+			f(pairs, leftover)
+			return
+		}
+		if len(rest) == 1 {
+			f(pairs, append(leftover, rest[0]))
+			return
+		}
+		first := rest[0]
+		for i := 1; i < len(rest); i++ {
+			next := make([]int, 0, len(rest)-2)
+			next = append(next, rest[1:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(next, append(pairs, [2]int{first, rest[i]}), leftover)
+		}
+		// Odd count: `first` may also be the leftover.
+		if len(rest)%2 == 1 {
+			rec(rest[1:], pairs, append(leftover, first))
+		}
+	}
+	rec(elems, nil, nil)
+}
+
+// coverBoxes converts the truth table into the encoding space implied by
+// the plan's variable order and minimises the box cover.
+func coverBoxes(t Truth, nLeaves int, plan *CoverPlan) []encoding.Box {
+	vars := make([]encoding.Var, 0, len(plan.Pairs)+len(plan.Arity2))
+	for range plan.Pairs {
+		vars = append(vars, encoding.Pair)
+	}
+	for range plan.Arity2 {
+		vars = append(vars, encoding.Single)
+	}
+	sp := encoding.NewSpace(vars)
+	val := make([]uint8, sp.Size())
+	pt := make(encoding.Point, len(vars))
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Coords(idx, pt)
+		m := 0
+		for i, pr := range plan.Pairs {
+			v := int(pt[i])
+			if v&2 != 0 {
+				m |= 1 << uint(pr[0]) // hi bit
+			}
+			if v&1 != 0 {
+				m |= 1 << uint(pr[1]) // lo bit
+			}
+		}
+		for i, leaf := range plan.Arity2 {
+			if pt[len(plan.Pairs)+i] == 1 {
+				m |= 1 << uint(leaf)
+			}
+		}
+		if t.Get(m) {
+			val[idx] = encoding.On
+		}
+	}
+	_ = nLeaves
+	return encoding.Minimize(sp, val)
+}
+
+// PlanCovers verifies a plan's boxes against the truth table (test and
+// code-generation sanity check): a minterm is covered iff it is in the
+// on-set.
+func PlanCovers(t Truth, nLeaves int, plan *CoverPlan) error {
+	for m := 0; m < 1<<uint(nLeaves); m++ {
+		pt := make(encoding.Point, len(plan.Pairs)+len(plan.Arity2))
+		for i, pr := range plan.Pairs {
+			v := encoding.PairValue(0)
+			if m>>uint(pr[0])&1 == 1 {
+				v |= 2
+			}
+			if m>>uint(pr[1])&1 == 1 {
+				v |= 1
+			}
+			pt[i] = v
+		}
+		for i, leaf := range plan.Arity2 {
+			pt[len(plan.Pairs)+i] = encoding.PairValue(m >> uint(leaf) & 1)
+		}
+		in := false
+		for _, b := range plan.Boxes {
+			if b.Contains(pt) {
+				in = true
+				break
+			}
+		}
+		if in != t.Get(m) {
+			return fmt.Errorf("lut: cover mismatch at minterm %b: cover=%v truth=%v", m, in, t.Get(m))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package lut
+
+// Cube is one product term over the table's variables: bit v of Mask set
+// means variable v is specified, and then bit v of Val is its required
+// value. A cube is exactly one traditional-AP search pattern (the mask
+// register provides the bit selectivity, Fig. 1b).
+type Cube struct {
+	Mask, Val uint16
+}
+
+// Contains reports whether minterm m satisfies the cube.
+func (c Cube) Contains(m int) bool { return uint16(m)&c.Mask == c.Val }
+
+// Literals returns the number of specified variables.
+func (c Cube) Literals() int {
+	n := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// ErrTooManyCubes is returned (as ok=false) when an ISOP computation
+// exceeds its cube budget; the mapper treats such cuts as unusable.
+const isopNoBudget = -1
+
+// ISOP computes an irredundant sum-of-products cover of the function
+// using the Minato-Morreale algorithm. budget caps the number of cubes;
+// when exceeded, ok is false (the mapper then rejects the cut, which is
+// how the cost function of Eq. 2 steers clustering away from
+// pattern-exploding functions like wide XORs).
+func ISOP(t Truth, nv int, budget int) (cubes []Cube, ok bool) {
+	on := t.Clone().mask(nv)
+	cubes, _, n := isopRec(on, on.Clone(), nv-1, nv, budget)
+	if n == isopNoBudget {
+		return nil, false
+	}
+	return cubes, true
+}
+
+// isopRec returns the cubes, the cover's truth table, and the cube count
+// (or isopNoBudget). L is the set that must be covered, U the set that
+// may be covered.
+func isopRec(L, U Truth, topVar, nv, budget int) ([]Cube, Truth, int) {
+	if L.IsZero() {
+		return nil, NewTruth(nv), 0
+	}
+	if budget <= 0 {
+		return nil, nil, isopNoBudget
+	}
+	// If U is the universe restricted to... check: when L ⊆ U and U is
+	// constant 1 over the remaining space, a single empty cube suffices.
+	full := NewTruth(nv).NotOf(NewTruth(nv), nv)
+	if U.Equal(full) {
+		return []Cube{{}}, full, 1
+	}
+	// Find the highest variable L or U depends on.
+	v := topVar
+	for v >= 0 && !L.DependsOn(v, nv) && !U.DependsOn(v, nv) {
+		v--
+	}
+	if v < 0 {
+		// Constant non-zero L with U not full cannot happen (L ⊆ U), but
+		// guard anyway: cover with the empty cube.
+		return []Cube{{}}, full, 1
+	}
+
+	L0 := L.Cofactor(v, nv, false)
+	L1 := L.Cofactor(v, nv, true)
+	U0 := U.Cofactor(v, nv, false)
+	U1 := U.Cofactor(v, nv, true)
+
+	// Cubes that must contain v=0: needed where x=0 but not allowed at
+	// x=1.
+	needs0 := NewTruth(nv).AndNot(L0, U1)
+	c0, cov0, n0 := isopRec(needs0, U0, v-1, nv, budget)
+	if n0 == isopNoBudget {
+		return nil, nil, isopNoBudget
+	}
+	needs1 := NewTruth(nv).AndNot(L1, U0)
+	c1, cov1, n1 := isopRec(needs1, U1, v-1, nv, budget-n0)
+	if n1 == isopNoBudget {
+		return nil, nil, isopNoBudget
+	}
+	// Remainder covered by cubes free of v.
+	rem0 := NewTruth(nv).AndNot(L0, cov0)
+	rem1 := NewTruth(nv).AndNot(L1, cov1)
+	remL := NewTruth(nv).Or(rem0, rem1)
+	remU := NewTruth(nv).And(U0, U1)
+	cs, covS, ns := isopRec(remL, remU, v-1, nv, budget-n0-n1)
+	if ns == isopNoBudget {
+		return nil, nil, isopNoBudget
+	}
+
+	bit := uint16(1) << uint(v)
+	out := make([]Cube, 0, n0+n1+ns)
+	for _, c := range c0 {
+		out = append(out, Cube{Mask: c.Mask | bit, Val: c.Val})
+	}
+	for _, c := range c1 {
+		out = append(out, Cube{Mask: c.Mask | bit, Val: c.Val | bit})
+	}
+	out = append(out, cs...)
+
+	// Cover truth: (¬v & cov0) | (v & cov1) | covS.
+	vt := VarTruth(v, nv)
+	nvT := NewTruth(nv).NotOf(vt, nv)
+	part0 := NewTruth(nv).And(nvT, cov0)
+	part1 := NewTruth(nv).And(vt, cov1)
+	cov := NewTruth(nv).Or(part0, part1)
+	cov.Or(cov.Clone(), covS)
+	return out, cov, n0 + n1 + ns
+}
+
+// CubesCover verifies a cube list against a truth table: every on-set
+// minterm covered, no off-set minterm covered. Used by tests and by the
+// traditional-AP code generator as a sanity check.
+func CubesCover(t Truth, nv int, cubes []Cube) bool {
+	for m := 0; m < 1<<uint(nv); m++ {
+		in := false
+		for _, c := range cubes {
+			if c.Contains(m) {
+				in = true
+				break
+			}
+		}
+		if in != t.Get(m) {
+			return false
+		}
+	}
+	return true
+}

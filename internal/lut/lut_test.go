@@ -1,0 +1,362 @@
+package lut
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/aig"
+	"hyperap/internal/bits"
+	"hyperap/internal/rtl"
+)
+
+func TestVarTruthAndGetSet(t *testing.T) {
+	for nv := 1; nv <= 9; nv++ {
+		for v := 0; v < nv; v++ {
+			vt := VarTruth(v, nv)
+			for m := 0; m < 1<<uint(nv); m++ {
+				if vt.Get(m) != (m>>uint(v)&1 == 1) {
+					t.Fatalf("nv=%d v=%d m=%d", nv, v, m)
+				}
+			}
+		}
+	}
+	tt := NewTruth(8)
+	tt.Set(200, true)
+	if !tt.Get(200) || tt.Get(199) {
+		t.Error("Get/Set wrong")
+	}
+	tt.Set(200, false)
+	if !tt.IsZero() {
+		t.Error("clear failed")
+	}
+}
+
+func TestCofactorAndDepends(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for nv := 2; nv <= 8; nv++ {
+		tt := NewTruth(nv)
+		for m := 0; m < 1<<uint(nv); m++ {
+			tt.Set(m, rng.Intn(2) == 0)
+		}
+		for v := 0; v < nv; v++ {
+			c0 := tt.Cofactor(v, nv, false)
+			c1 := tt.Cofactor(v, nv, true)
+			for m := 0; m < 1<<uint(nv); m++ {
+				m0 := m &^ (1 << uint(v))
+				m1 := m | 1<<uint(v)
+				if c0.Get(m) != tt.Get(m0) || c1.Get(m) != tt.Get(m1) {
+					t.Fatalf("cofactor wrong nv=%d v=%d m=%d", nv, v, m)
+				}
+			}
+		}
+	}
+	// x0 & x1 depends on both.
+	tt := NewTruth(3).And(VarTruth(0, 3), VarTruth(1, 3))
+	if !tt.DependsOn(0, 3) || !tt.DependsOn(1, 3) || tt.DependsOn(2, 3) {
+		t.Error("DependsOn wrong")
+	}
+}
+
+func TestISOPRandomCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		nv := 1 + rng.Intn(8)
+		tt := NewTruth(nv)
+		for m := 0; m < 1<<uint(nv); m++ {
+			tt.Set(m, rng.Intn(3) == 0)
+		}
+		cubes, ok := ISOP(tt, nv, 1<<uint(nv))
+		if !ok {
+			t.Fatalf("trial %d: ISOP exceeded the trivial budget", trial)
+		}
+		if !CubesCover(tt, nv, cubes) {
+			t.Fatalf("trial %d: cube cover incorrect (nv=%d)", trial, nv)
+		}
+		if len(cubes) > tt.CountOnes(nv) {
+			t.Fatalf("trial %d: %d cubes exceed %d minterms", trial, len(cubes), tt.CountOnes(nv))
+		}
+	}
+}
+
+func TestISOPMajority(t *testing.T) {
+	// Majority-of-3 (the full adder's carry) has exactly 3 irredundant
+	// cubes — the Fig. 2b carry entries.
+	tt := NewTruth(3)
+	for m := 0; m < 8; m++ {
+		if stdPopcount(m) >= 2 {
+			tt.Set(m, true)
+		}
+	}
+	cubes, ok := ISOP(tt, 3, 8)
+	if !ok || len(cubes) != 3 {
+		t.Fatalf("majority cubes = %d, want 3", len(cubes))
+	}
+}
+
+func TestISOPBudgetAbort(t *testing.T) {
+	// 8-input XOR has 128 minterm-cubes; a budget of 16 must abort.
+	nv := 8
+	tt := NewTruth(nv)
+	for m := 0; m < 1<<uint(nv); m++ {
+		if stdPopcount(m)%2 == 1 {
+			tt.Set(m, true)
+		}
+	}
+	if _, ok := ISOP(tt, nv, 16); ok {
+		t.Error("budget abort expected")
+	}
+	cubes, ok := ISOP(tt, nv, 200)
+	if !ok || len(cubes) != 128 {
+		t.Errorf("xor8 cubes = %d ok=%v, want 128", len(cubes), ok)
+	}
+}
+
+func stdPopcount(m int) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// buildAdder returns an AIG computing a W-bit adder and its output
+// literals.
+func buildAdder(w int) (*aig.Graph, []aig.Lit) {
+	g := aig.New()
+	a := make(rtl.BV, w)
+	b := make(rtl.BV, w)
+	for i := range a {
+		a[i] = g.NewPI()
+	}
+	for i := range b {
+		b[i] = g.NewPI()
+	}
+	return g, rtl.Add(g, a, b)
+}
+
+// evalMapping runs the LUT network on one input assignment.
+func evalMapping(m *Mapping, piVals []bool) []bool {
+	vals := map[int]bool{}
+	pis := m.Graph.PIs()
+	for i, l := range pis {
+		vals[l.Node()] = piVals[i]
+	}
+	for _, l := range m.LUTs {
+		idx := 0
+		for i, leaf := range l.Leaves {
+			if vals[leaf] {
+				idx |= 1 << uint(i)
+			}
+		}
+		vals[l.Root] = l.Truth.Get(idx)
+	}
+	out := make([]bool, len(m.Outputs))
+	for i, o := range m.Outputs {
+		switch o.Kind {
+		case OutConst:
+			out[i] = o.Value
+		default:
+			v := vals[o.Node]
+			if o.Compl {
+				v = !v
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func TestMapAdderFunctional(t *testing.T) {
+	for _, w := range []int{1, 4, 8} {
+		g, outs := buildAdder(w)
+		m, err := Map(g, outs, DefaultOptions(10))
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		rng := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 100; trial++ {
+			av := rng.Uint64() & bits.Mask(w)
+			bv := rng.Uint64() & bits.Mask(w)
+			pis := append(bits.ToBits(av, w), bits.ToBits(bv, w)...)
+			got := bits.FromBits(evalMapping(m, pis))
+			if got != av+bv {
+				t.Fatalf("w=%d: %d+%d = %d", w, av, bv, got)
+			}
+		}
+		for _, l := range m.LUTs {
+			if len(l.Leaves) > MaxInputs {
+				t.Fatalf("LUT exceeds %d inputs", MaxInputs)
+			}
+			if len(l.Cubes) == 0 {
+				t.Fatal("selected LUT missing cubes")
+			}
+			if !CubesCover(l.Truth, len(l.Leaves), l.Cubes) {
+				t.Fatal("selected LUT cubes wrong")
+			}
+		}
+	}
+}
+
+func TestMapRespectsK(t *testing.T) {
+	g, outs := buildAdder(8)
+	m, err := Map(g, outs, Options{K: 4, CutsPerNode: 4, Alpha: 10, CubeBudget: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.LUTs {
+		if len(l.Leaves) > 4 {
+			t.Fatalf("LUT has %d leaves with K=4", len(l.Leaves))
+		}
+	}
+}
+
+func TestAlphaShiftsMapping(t *testing.T) {
+	// Higher α (RRAM) penalises writes (i.e. LUT count): the mapping for
+	// α=10 must not use more LUTs than for α=0.
+	g, outs := buildAdder(8)
+	m0, err := Map(g, outs, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m10, err := Map(g, outs, DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m10.LUTs) > len(m0.LUTs) {
+		t.Errorf("α=10 gives %d LUTs, α=0 gives %d; expected fewer or equal", len(m10.LUTs), len(m0.LUTs))
+	}
+}
+
+func TestMapOutputsDirectCases(t *testing.T) {
+	g := aig.New()
+	a := g.NewPI()
+	outs := []aig.Lit{aig.Const1, a, a.Not(), aig.Const0}
+	m, err := Map(g, outs, DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outputs[0].Kind != OutConst || !m.Outputs[0].Value {
+		t.Error("const1 output wrong")
+	}
+	if m.Outputs[1].Kind != OutInput || m.Outputs[1].Compl {
+		t.Error("PI output wrong")
+	}
+	if m.Outputs[2].Kind != OutInput || !m.Outputs[2].Compl {
+		t.Error("complemented PI output wrong")
+	}
+	if m.Outputs[3].Kind != OutConst || m.Outputs[3].Value {
+		t.Error("const0 output wrong")
+	}
+	if len(m.LUTs) != 0 {
+		t.Errorf("no LUTs expected, got %d", len(m.LUTs))
+	}
+}
+
+// TestFig11PairingMatters reproduces Fig. 11: for the function with
+// on-set {1000, 0100, 1011, 0111} (variables A,B,C,D), pairing (A,B) and
+// (C,D) needs one search while pairing (A,C),(B,D) needs four. The
+// chooser must find the one-search pairing.
+func TestFig11PairingMatters(t *testing.T) {
+	// Variable order in the truth table: A=0, B=1, C=2, D=3.
+	onset := []int{
+		1 << 0,             // A=1
+		1 << 1,             // B=1
+		1<<0 | 1<<2 | 1<<3, // A,C,D
+		1<<1 | 1<<2 | 1<<3, // B,C,D
+	}
+	tt := NewTruth(4)
+	for _, m := range onset {
+		tt.Set(m, true)
+	}
+	plan := ChooseCover(tt, 4, StorageClass{Free: []int{0, 1, 2, 3}})
+	if err := PlanCovers(tt, 4, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Searches(); got != 1 {
+		t.Errorf("optimal pairing needs %d searches, want 1 (Fig. 11)", got)
+	}
+	// The bad pairing from the figure really is worse.
+	bad := ChooseCover(tt, 4, StorageClass{FixedPairs: [][2]int{{0, 2}, {1, 3}}})
+	if err := PlanCovers(tt, 4, bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Searches() <= 1 {
+		t.Errorf("(A,C)(B,D) pairing gives %d searches; figure says 4", bad.Searches())
+	}
+}
+
+func TestChooseCoverClassesAndOddFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		nv := 3 + rng.Intn(4)
+		tt := NewTruth(nv)
+		for m := 0; m < 1<<uint(nv); m++ {
+			tt.Set(m, rng.Intn(2) == 0)
+		}
+		// Mixed storage: leaf 0 single, leaf 1 half, rest free.
+		st := StorageClass{Singles: []int{0}, Halves: []int{1}}
+		for v := 2; v < nv; v++ {
+			st.Free = append(st.Free, v)
+		}
+		plan := ChooseCover(tt, nv, st)
+		if err := PlanCovers(tt, nv, plan); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if (len(st.Free)%2 == 1) != (len(plan.Leftover) == 1) {
+			t.Fatalf("trial %d: leftover accounting wrong", trial)
+		}
+	}
+}
+
+func TestChooseCoverGreedyPath(t *testing.T) {
+	// More than maxEnumFree free leaves exercises the greedy+swap path.
+	nv := 10
+	tt := NewTruth(nv)
+	rng := rand.New(rand.NewSource(4))
+	for m := 0; m < 1<<uint(nv); m++ {
+		tt.Set(m, rng.Intn(4) == 0)
+	}
+	free := make([]int, nv)
+	for i := range free {
+		free[i] = i
+	}
+	plan := ChooseCover(tt, nv, StorageClass{Free: free})
+	if err := PlanCovers(tt, nv, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateCutMatchesEval(t *testing.T) {
+	g, outs := buildAdder(3)
+	// Simulate the top sum bit over all PIs.
+	root := outs[2]
+	if root.Compl() || root.IsConst() {
+		t.Skip("unexpected output shape")
+	}
+	sup := g.Support([]aig.Lit{root})
+	tt := SimulateCut(g, root.Node(), sup)
+	for m := 0; m < 1<<uint(len(sup)); m++ {
+		pis := make([]bool, g.NumPIs())
+		piIdx := map[int]int{}
+		for i, l := range g.PIs() {
+			piIdx[l.Node()] = i
+		}
+		for i, leaf := range sup {
+			pis[piIdx[leaf]] = m>>uint(i)&1 == 1
+		}
+		want := g.EvalLits(pis, []aig.Lit{root})[0]
+		if tt.Get(m) != want {
+			t.Fatalf("minterm %b: sim=%v eval=%v", m, tt.Get(m), want)
+		}
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	g, outs := buildAdder(2)
+	if _, err := Map(g, outs, Options{K: 1}); err == nil {
+		t.Error("K=1 must be rejected")
+	}
+	if _, err := Map(g, outs, Options{K: 99}); err == nil {
+		t.Error("K>MaxInputs must be rejected")
+	}
+}

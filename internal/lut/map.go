@@ -1,0 +1,425 @@
+package lut
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperap/internal/aig"
+)
+
+// Mode selects which AP implementation the mapper optimises for. The
+// paper's compiler retargets by changing α and the search cost model
+// (§V-B.4): traditional AP pays one search and one write per pattern,
+// Hyper-AP pays one (multi-pattern) search per box and one write per
+// table.
+type Mode int
+
+// Mapper modes.
+const (
+	ModeHyper Mode = iota
+	ModeTraditional
+)
+
+// Options configures the mapper.
+type Options struct {
+	K           int     // LUT input limit (≤ MaxInputs; the paper uses 12)
+	CutsPerNode int     // priority-cut width
+	Alpha       float64 // write/search latency ratio (Eq. 2's α)
+	CubeBudget  int     // reject cuts whose ISOP exceeds this many cubes
+	Mode        Mode
+}
+
+// DefaultOptions returns the paper's configuration for a given α.
+func DefaultOptions(alpha float64) Options {
+	return Options{K: MaxInputs, CutsPerNode: 4, Alpha: alpha, CubeBudget: 48, Mode: ModeHyper}
+}
+
+// LUT is one mapped lookup table: a single-output function of ≤ K leaf
+// columns.
+type LUT struct {
+	Root   int   // AIG node computed by this table
+	Leaves []int // AIG node ids (PIs or other LUT roots), ascending
+	Truth  Truth // over the leaves (var i = Leaves[i])
+	Cubes  []Cube
+}
+
+// OutputKind says how an output literal is realised.
+type OutputKind int
+
+// Output kinds.
+const (
+	OutConst OutputKind = iota
+	OutInput            // directly a primary input column
+	OutLUT
+)
+
+// OutputRef locates one output of the mapped function.
+type OutputRef struct {
+	Kind  OutputKind
+	Value bool // OutConst: the constant value
+	Node  int  // OutInput/OutLUT: AIG node
+	Compl bool // complemented relative to the stored node value
+}
+
+// Mapping is the result of covering a cone with LUTs.
+type Mapping struct {
+	Graph   *aig.Graph
+	LUTs    []*LUT // topological order: leaves precede roots
+	ByRoot  map[int]*LUT
+	Outputs []OutputRef
+}
+
+type cutInfo struct {
+	leaves []int
+	truth  Truth
+	cubes  int
+	flow   float64
+}
+
+// Map covers the cone of the given outputs with LUTs. Two mapping passes
+// run: the first with structural fanout estimates, the second (area
+// recovery) with the reference counts of the first mapping, which stops
+// area flow from over-amortising nodes that operation merging absorbs
+// entirely. The cheaper mapping wins.
+func Map(g *aig.Graph, outs []aig.Lit, opt Options) (*Mapping, error) {
+	if opt.K <= 1 || opt.K > MaxInputs {
+		return nil, fmt.Errorf("lut: K must be in 2..%d, got %d", MaxInputs, opt.K)
+	}
+	if opt.CutsPerNode < 1 {
+		opt.CutsPerNode = 4
+	}
+	if opt.CubeBudget < 2 {
+		opt.CubeBudget = 48
+	}
+	cone := g.ConeNodes(outs) // AND nodes, topological
+	// Pass 1: structural fanout counts (within the cone + outputs).
+	refs := map[int]int{}
+	for _, n := range cone {
+		f0, f1 := g.Fanins(n)
+		refs[f0.Node()]++
+		refs[f1.Node()]++
+	}
+	for _, o := range outs {
+		refs[o.Node()]++
+	}
+	m, err := mapOnce(g, cone, outs, opt, refs)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: exact references — selected roots count their mapped
+	// consumers; everything else would be instantiated fresh (refs 1).
+	refs2 := map[int]int{}
+	for _, l := range m.LUTs {
+		for _, leaf := range l.Leaves {
+			refs2[leaf]++
+		}
+	}
+	for _, o := range outs {
+		refs2[o.Node()]++
+	}
+	m2, err := mapOnce(g, cone, outs, opt, refs2)
+	if err != nil {
+		return nil, err
+	}
+	if mappingCost(m2, opt) < mappingCost(m, opt) {
+		m = m2
+	}
+	if err := finishMapping(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// mappingCost is the Eq. 2 total of a selected mapping.
+func mappingCost(m *Mapping, opt Options) float64 {
+	total := 0.0
+	for _, l := range m.LUTs {
+		cubes, ok := countCubes(l.Truth, len(l.Leaves), 1<<uint(len(l.Leaves)))
+		if !ok {
+			return 1e18
+		}
+		if opt.Mode == ModeTraditional {
+			total += float64(cubes) * (1 + opt.Alpha)
+		} else {
+			total += float64(cubes) + opt.Alpha
+		}
+	}
+	return total
+}
+
+// mapOnce runs one priority-cuts mapping pass with the given reference
+// counts.
+func mapOnce(g *aig.Graph, cone []int, outs []aig.Lit, opt Options, refs map[int]int) (*Mapping, error) {
+	cuts := map[int][]cutInfo{}
+	bestFlow := func(node int) float64 {
+		if g.IsPI(node) || node == 0 {
+			return 0
+		}
+		return cuts[node][0].flow
+	}
+	cutCost := func(cubes int) float64 {
+		if opt.Mode == ModeTraditional {
+			return float64(cubes) * (1 + opt.Alpha)
+		}
+		return float64(cubes) + opt.Alpha
+	}
+
+	for _, n := range cone {
+		f0, f1 := g.Fanins(n)
+		cands := enumerateLeafSets(g, cuts, f0.Node(), f1.Node(), opt.K)
+		var infos []cutInfo
+		seen := map[string]bool{}
+		for _, leaves := range cands {
+			key := fmt.Sprint(leaves)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Cuts stay structural during enumeration (support pruning
+			// would break the cut property needed for cone simulation at
+			// parent nodes); selected LUTs are pruned below.
+			truth := SimulateCut(g, n, leaves)
+			cubes, ok := countCubes(truth, len(leaves), opt.CubeBudget)
+			if !ok {
+				continue
+			}
+			flow := cutCost(cubes)
+			for _, l := range leaves {
+				r := refs[l]
+				if r < 1 {
+					r = 1
+				}
+				flow += bestFlow(l) / float64(r)
+			}
+			infos = append(infos, cutInfo{leaves: leaves, truth: truth, cubes: cubes, flow: flow})
+		}
+		if len(infos) == 0 {
+			// The direct 2-leaf cut always exists and is tiny; reaching
+			// here means even it exceeded the cube budget, which is
+			// impossible (≤ 3 cubes for 2 inputs).
+			return nil, fmt.Errorf("lut: no feasible cut for node %d", n)
+		}
+		sort.SliceStable(infos, func(a, b int) bool {
+			if infos[a].flow != infos[b].flow {
+				return infos[a].flow < infos[b].flow
+			}
+			// Tie: prefer the smaller cut (cheaper to search); the
+			// area-recovery second pass recovers the operation-merging
+			// opportunities that larger cuts would have bought.
+			return len(infos[a].leaves) < len(infos[b].leaves)
+		})
+		if len(infos) > opt.CutsPerNode {
+			infos = infos[:opt.CutsPerNode]
+		}
+		cuts[n] = infos
+	}
+
+	// Selection: walk back from the outputs, instantiating the best cut
+	// of every required node.
+	m := &Mapping{Graph: g, ByRoot: map[int]*LUT{}}
+	var need func(node int)
+	need = func(node int) {
+		if node == 0 || g.IsPI(node) || m.ByRoot[node] != nil {
+			return
+		}
+		best := cuts[node][0]
+		leaves, truth := pruneSupport(best.leaves, best.truth)
+		l := &LUT{Root: node, Leaves: leaves, Truth: truth}
+		m.ByRoot[node] = l
+		for _, leaf := range leaves {
+			need(leaf)
+		}
+		m.LUTs = append(m.LUTs, l) // post-order: leaves first
+	}
+	for _, o := range outs {
+		switch {
+		case o.IsConst():
+			m.Outputs = append(m.Outputs, OutputRef{Kind: OutConst, Value: o == aig.Const1})
+		case g.IsPI(o.Node()):
+			m.Outputs = append(m.Outputs, OutputRef{Kind: OutInput, Node: o.Node(), Compl: o.Compl()})
+		default:
+			need(o.Node())
+			m.Outputs = append(m.Outputs, OutputRef{Kind: OutLUT, Node: o.Node(), Compl: o.Compl()})
+		}
+	}
+	return m, nil
+}
+
+// finishMapping applies the polarity fixup and computes the selected
+// LUTs' ISOP cubes.
+func finishMapping(m *Mapping) error {
+	// Polarity fixup: a complemented output whose LUT root has no other
+	// consumer stores the complement directly — flipping the table is
+	// free and saves the inverter pass the code generator would
+	// otherwise emit.
+	leafUse := map[int]int{}
+	for _, l := range m.LUTs {
+		for _, leaf := range l.Leaves {
+			leafUse[leaf]++
+		}
+	}
+	outRefs := map[int][]int{} // node → output indices
+	for i, o := range m.Outputs {
+		if o.Kind == OutLUT {
+			outRefs[o.Node] = append(outRefs[o.Node], i)
+		}
+	}
+	for node, idxs := range outRefs {
+		if leafUse[node] > 0 {
+			continue
+		}
+		allCompl := true
+		for _, i := range idxs {
+			if !m.Outputs[i].Compl {
+				allCompl = false
+				break
+			}
+		}
+		if !allCompl {
+			continue
+		}
+		l := m.ByRoot[node]
+		l.Truth = NewTruth(len(l.Leaves)).NotOf(l.Truth, len(l.Leaves))
+		for _, i := range idxs {
+			m.Outputs[i].Compl = false
+		}
+	}
+	// ISOP cubes for the selected LUTs (the traditional-AP table entries
+	// and the N_patterns report).
+	for _, l := range m.LUTs {
+		cubes, ok := ISOP(l.Truth, len(l.Leaves), 1<<uint(len(l.Leaves)))
+		if !ok {
+			return fmt.Errorf("lut: ISOP failed for selected LUT at node %d", l.Root)
+		}
+		l.Cubes = cubes
+	}
+	return nil
+}
+
+// enumerateLeafSets produces candidate leaf sets for node AND(f0, f1):
+// all unions of (cuts(f0) ∪ {f0}) × (cuts(f1) ∪ {f1}) within the input
+// limit.
+func enumerateLeafSets(g *aig.Graph, cuts map[int][]cutInfo, n0, n1, k int) [][]int {
+	side := func(n int) [][]int {
+		var out [][]int
+		out = append(out, []int{n}) // the trivial cut
+		if !g.IsPI(n) && n != 0 {
+			for _, c := range cuts[n] {
+				out = append(out, c.leaves)
+			}
+		}
+		return out
+	}
+	var cands [][]int
+	for _, a := range side(n0) {
+		for _, b := range side(n1) {
+			u := unionSorted(a, b)
+			if len(u) <= k {
+				cands = append(cands, u)
+			}
+		}
+	}
+	return cands
+}
+
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SimulateCut computes the truth table of `root` as a function of the
+// leaves by bit-parallel simulation of the cone between them.
+func SimulateCut(g *aig.Graph, root int, leaves []int) Truth {
+	nv := len(leaves)
+	vals := map[int]Truth{}
+	for i, l := range leaves {
+		vals[l] = VarTruth(i, nv)
+	}
+	var visit func(n int) Truth
+	visit = func(n int) Truth {
+		if t, ok := vals[n]; ok && t != nil {
+			return t
+		}
+		if g.IsPI(n) || n == 0 {
+			panic(fmt.Sprintf("lut: cone reaches node %d outside the cut", n))
+		}
+		f0, f1 := g.Fanins(n)
+		t0 := visit(f0.Node())
+		if f0.Compl() {
+			t0 = NewTruth(nv).NotOf(t0, nv)
+		}
+		t1 := visit(f1.Node())
+		if f1.Compl() {
+			t1 = NewTruth(nv).NotOf(t1, nv)
+		}
+		t := NewTruth(nv).And(t0, t1)
+		vals[n] = t
+		return t
+	}
+	return visit(root).Clone()
+}
+
+// pruneSupport drops leaves the function does not depend on and shrinks
+// the truth table accordingly.
+func pruneSupport(leaves []int, t Truth) ([]int, Truth) {
+	nv := len(leaves)
+	keep := make([]int, 0, nv)
+	for v := 0; v < nv; v++ {
+		if t.DependsOn(v, nv) {
+			keep = append(keep, v)
+		}
+	}
+	if len(keep) == nv {
+		return leaves, t
+	}
+	newNv := len(keep)
+	nt := NewTruth(newNv)
+	for m := 0; m < 1<<uint(newNv); m++ {
+		big := 0
+		for i, v := range keep {
+			if m>>uint(i)&1 == 1 {
+				big |= 1 << uint(v)
+			}
+		}
+		nt.Set(m, t.Get(big))
+	}
+	nl := make([]int, newNv)
+	for i, v := range keep {
+		nl[i] = leaves[v]
+	}
+	return nl, nt
+}
+
+// countCubes returns the ISOP cube count within budget.
+func countCubes(t Truth, nv, budget int) (int, bool) {
+	cubes, ok := ISOP(t, nv, budget)
+	if !ok {
+		return 0, false
+	}
+	return len(cubes), true
+}
+
+// TotalCubes sums the selected LUTs' pattern counts (the N_patterns the
+// traditional AP would search one by one).
+func (m *Mapping) TotalCubes() int {
+	n := 0
+	for _, l := range m.LUTs {
+		n += len(l.Cubes)
+	}
+	return n
+}

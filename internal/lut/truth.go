@@ -1,0 +1,195 @@
+// Package lut implements the lookup-table generation step of the
+// compilation framework (paper §V-B.4): the and-inverter graph of a
+// cluster is covered with lookup tables of at most MaxInputs inputs using
+// a priority-cuts mapper [42] whose cost function is Eq. 2
+// (cost = Σ input-cluster costs + N_patterns + α), and each table is then
+// turned into searches:
+//
+//   - for Hyper-AP, inputs are paired under the extended two-bit encoding
+//     and the multi-pattern search count is the size of a box cover
+//     (encoding.Minimize), with the bit pairing chosen per Fig. 11;
+//   - for traditional AP, every irredundant cube is one
+//     single-pattern search followed by one write
+//     (Single-Search-Single-Pattern / Single-Search-Single-Write).
+//
+// N_patterns in the mapper's cost is the irredundant sum-of-products cube
+// count, computed with the Minato-Morreale ISOP algorithm.
+package lut
+
+import (
+	"fmt"
+	stdbits "math/bits"
+)
+
+// MaxInputs is the lookup-table input limit. The paper sets it to 12:
+// larger tables bring marginal gains but blow up compilation time and
+// weaken search robustness (§V-B.4).
+const MaxInputs = 12
+
+// Truth is a truth table over nv ≤ MaxInputs variables, stored 64 minterms
+// per word; bit m of the table is the function value on minterm m (bit i
+// of m is variable i).
+type Truth []uint64
+
+// truthWords returns the word count for nv variables.
+func truthWords(nv int) int {
+	if nv <= 6 {
+		return 1
+	}
+	return 1 << uint(nv-6)
+}
+
+// NewTruth returns an all-zero table for nv variables.
+func NewTruth(nv int) Truth { return make(Truth, truthWords(nv)) }
+
+// varMasks[i] is the truth table of variable i within one 64-bit word
+// (valid for i < 6).
+var varMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+}
+
+// VarTruth returns the truth table of variable v among nv variables.
+func VarTruth(v, nv int) Truth {
+	t := NewTruth(nv)
+	for w := range t {
+		if v < 6 {
+			t[w] = varMasks[v]
+		} else if w>>uint(v-6)&1 == 1 {
+			t[w] = ^uint64(0)
+		}
+	}
+	return t
+}
+
+// Get returns minterm m's value.
+func (t Truth) Get(m int) bool { return t[m>>6]&(1<<uint(m&63)) != 0 }
+
+// Set sets minterm m.
+func (t Truth) Set(m int, b bool) {
+	if b {
+		t[m>>6] |= 1 << uint(m&63)
+	} else {
+		t[m>>6] &^= 1 << uint(m&63)
+	}
+}
+
+// mask clears the bits beyond 2^nv (only relevant for nv < 6).
+func (t Truth) mask(nv int) Truth {
+	if nv < 6 {
+		t[0] &= 1<<(1<<uint(nv)) - 1
+	}
+	return t
+}
+
+// And stores x & y into t.
+func (t Truth) And(x, y Truth) Truth {
+	for w := range t {
+		t[w] = x[w] & y[w]
+	}
+	return t
+}
+
+// AndNot stores x &^ y into t.
+func (t Truth) AndNot(x, y Truth) Truth {
+	for w := range t {
+		t[w] = x[w] &^ y[w]
+	}
+	return t
+}
+
+// Or stores x | y into t.
+func (t Truth) Or(x, y Truth) Truth {
+	for w := range t {
+		t[w] = x[w] | y[w]
+	}
+	return t
+}
+
+// NotOf stores ^x into t (caller must mask for nv < 6).
+func (t Truth) NotOf(x Truth, nv int) Truth {
+	for w := range t {
+		t[w] = ^x[w]
+	}
+	return t.mask(nv)
+}
+
+// Clone copies the table.
+func (t Truth) Clone() Truth { return append(Truth(nil), t...) }
+
+// IsZero reports an all-false function.
+func (t Truth) IsZero() bool {
+	for _, w := range t {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal compares two tables.
+func (t Truth) Equal(o Truth) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the on-set size over nv variables.
+func (t Truth) CountOnes(nv int) int {
+	n := 0
+	for _, w := range t.Clone().mask(nv) {
+		n += stdbits.OnesCount64(w)
+	}
+	return n
+}
+
+// Cofactor returns the cofactor with variable v fixed to val, replicated
+// so the result is still a table over nv variables (v becomes don't-care).
+func (t Truth) Cofactor(v, nv int, val bool) Truth {
+	out := t.Clone()
+	if v < 6 {
+		shift := uint(1) << uint(v)
+		m := varMasks[v]
+		for w := range out {
+			if val {
+				hi := out[w] & m
+				out[w] = hi | hi>>shift
+			} else {
+				lo := out[w] &^ m
+				out[w] = lo | lo<<shift
+			}
+		}
+		return out
+	}
+	blk := 1 << uint(v-6)
+	for w := range out {
+		sel := w
+		if val {
+			sel = w | blk
+		} else {
+			sel = w &^ blk
+		}
+		out[w] = t[sel]
+	}
+	return out
+}
+
+// DependsOn reports whether the function depends on variable v.
+func (t Truth) DependsOn(v, nv int) bool {
+	return !t.Cofactor(v, nv, false).Equal(t.Cofactor(v, nv, true))
+}
+
+// String renders the table as a hex string (LSB word first).
+func (t Truth) String() string {
+	s := ""
+	for _, w := range t {
+		s += fmt.Sprintf("%016x", w)
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/tcam"
+)
+
+func TestAccessorsAndReductions(t *testing.T) {
+	m := NewTraditionalAP(4, 3)
+	if m.Rows() != 4 || m.Width() != 3 {
+		t.Error("traditional accessors wrong")
+	}
+	m.SetBit(2, 1, true)
+	m.Search([]bits.Key{bits.KDC, bits.K1, bits.KDC})
+	if m.Count() != 1 || m.Index() != 2 {
+		t.Errorf("count/index = %d/%d", m.Count(), m.Index())
+	}
+	if m.Tags().OnesCount() != 1 {
+		t.Error("Tags accessor wrong")
+	}
+	if m.Ops.Total() != m.Ops.Searches+m.Ops.Writes {
+		t.Error("Total wrong")
+	}
+
+	h := NewHyperAP(tcam.NewSeparated(4, 3, tcam.DefaultParams()))
+	if h.Width() != 3 || h.Rows() != 4 {
+		t.Error("hyper accessors wrong")
+	}
+	h.Load(0, 0, bits.SX)
+	if h.TCAM().State(0, 0) != bits.SX {
+		t.Error("Load/TCAM accessor wrong")
+	}
+	// ReadPair on a half-written pair errors.
+	h.Load(1, 0, bits.S0)
+	h.Load(1, 1, bits.S0)
+	if _, _, err := h.ReadPair(1, 0); err == nil {
+		t.Error("invalid encoded pair must error")
+	}
+}
+
+func TestTraditionalBoundsPanics(t *testing.T) {
+	m := NewTraditionalAP(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Bit(2, 0)
+}
+
+func TestTraditionalKeyLengthPanics(t *testing.T) {
+	m := NewTraditionalAP(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Search([]bits.Key{bits.K0})
+}
+
+func TestTraditionalWriteZPanics(t *testing.T) {
+	m := NewTraditionalAP(2, 2)
+	m.Search([]bits.Key{bits.KDC, bits.KDC})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Write([]bits.Key{bits.KZ, bits.KDC})
+}
+
+func TestHyperEncoderOverflowPanics(t *testing.T) {
+	h := NewHyperAP(tcam.NewSeparated(2, 2, tcam.DefaultParams()))
+	h.LatchForEncode()
+	h.LatchForEncode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on third latch")
+		}
+	}()
+	h.LatchForEncode()
+}

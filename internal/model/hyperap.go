@@ -1,0 +1,177 @@
+package model
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/encoding"
+	"hyperap/internal/tcam"
+)
+
+// HyperAP is the abstract machine of Fig. 4: a TCAM array, a ternary key
+// register (with the Z input), a mask register, tag registers each with an
+// accumulation unit (logic OR), a per-row two-bit encoder for result
+// write-back, and a reduction tree.
+type HyperAP struct {
+	t    tcam.Design
+	tags *bits.Vec
+
+	// enc is the per-row encoder DFF chain (Fig. 7): up to two latched
+	// tag snapshots awaiting an encoded write. enc[0] is the first
+	// (low-bit) snapshot.
+	enc [][]bool
+
+	// Ops accumulates operation counts.
+	Ops OpCounts
+}
+
+// NewHyperAP builds the machine on the given TCAM array design. Use
+// tcam.NewSeparated for Hyper-AP's write-optimised design or
+// tcam.NewMonolithic for the traditional array (the Fig. 19b ablation).
+func NewHyperAP(t tcam.Design) *HyperAP {
+	return &HyperAP{t: t, tags: bits.NewVec(t.Rows())}
+}
+
+// Rows returns the number of word rows (SIMD slots).
+func (m *HyperAP) Rows() int { return m.t.Rows() }
+
+// Width returns the number of TCAM bit columns.
+func (m *HyperAP) Width() int { return m.t.Bits() }
+
+// TCAM exposes the underlying array design (for stats and direct loads).
+func (m *HyperAP) TCAM() tcam.Design { return m.t }
+
+// Tags exposes the tag registers.
+func (m *HyperAP) Tags() *bits.Vec { return m.tags }
+
+// SetTags replaces the tag registers (the SetTag instruction's data path).
+func (m *HyperAP) SetTags(v *bits.Vec) { m.tags.CopyFrom(v) }
+
+// Load stores a TCAM state directly (host data loading).
+func (m *HyperAP) Load(row, col int, s bits.State) { m.t.Load(row, col, s) }
+
+// LoadBit stores an unencoded single bit (one TCAM bit, no X use).
+func (m *HyperAP) LoadBit(row, col int, b bool) { m.t.Load(row, col, bits.StateForBit(b)) }
+
+// LoadPair stores the bit pair (b1, b0) in encoded form at columns col
+// (hi) and col+1 (lo), per Fig. 5a.
+func (m *HyperAP) LoadPair(row, col int, b1, b0 bool) {
+	hi, lo := encoding.EncodePair(b1, b0)
+	m.t.Load(row, col, hi)
+	m.t.Load(row, col+1, lo)
+}
+
+// ReadBit reads back an unencoded single bit; X reads as an error.
+func (m *HyperAP) ReadBit(row, col int) (bool, error) {
+	switch m.t.State(row, col) {
+	case bits.S0:
+		return false, nil
+	case bits.S1:
+		return true, nil
+	}
+	return false, fmt.Errorf("model: column %d of row %d holds X, not a bit", col, row)
+}
+
+// ReadPair decodes the encoded pair at columns col, col+1.
+func (m *HyperAP) ReadPair(row, col int) (b1, b0 bool, err error) {
+	v, ok := encoding.DecodePair(m.t.State(row, col), m.t.State(row, col+1))
+	if !ok {
+		return false, false, fmt.Errorf("model: columns %d,%d of row %d hold no valid encoded pair", col, col+1, row)
+	}
+	return v&2 != 0, v&1 != 0, nil
+}
+
+// Search compares the ternary key with all rows in parallel. With
+// accumulate=false the tags are replaced by the match results; with
+// accumulate=true the accumulation unit ORs the match results into the
+// tags (Fig. 4c), enabling Multi-Search-Single-Write.
+func (m *HyperAP) Search(keys []bits.Key, accumulate bool) {
+	match := m.t.Search(keys)
+	m.Ops.Searches++
+	for row, mt := range match {
+		if accumulate {
+			if mt {
+				m.tags.Set(row, true)
+			}
+		} else {
+			m.tags.Set(row, mt)
+		}
+	}
+}
+
+// LatchForEncode pushes the current tag vector into the per-row encoder
+// DFF chain (the Search instruction's <encode> path). The first latch is
+// the pair's low bit, the second its high bit.
+func (m *HyperAP) LatchForEncode() {
+	if len(m.enc) >= 2 {
+		panic("model: encoder chain already holds two bit vectors")
+	}
+	snap := make([]bool, m.Rows())
+	for i := range snap {
+		snap[i] = m.tags.Get(i)
+	}
+	m.enc = append(m.enc, snap)
+}
+
+// EncoderDepth reports how many tag snapshots await an encoded write.
+func (m *HyperAP) EncoderDepth() int { return len(m.enc) }
+
+// Write performs the associative write of the key's state into one column
+// of every tagged row (Fig. 4d; input Z writes X). It returns the number
+// of sequential pulse slots consumed.
+func (m *HyperAP) Write(col int, key bits.Key) int {
+	sel := make([]bool, m.Rows())
+	for i := range sel {
+		sel[i] = m.tags.Get(i)
+	}
+	slots := m.t.Write(col, key, sel)
+	m.Ops.Writes++
+	m.Ops.PulseSlots += int64(slots)
+	return slots
+}
+
+// WriteAll writes the key's state into one column of every row regardless
+// of tags (used to initialise columns; realised by a match-all search
+// followed by a write).
+func (m *HyperAP) WriteAll(col int, key bits.Key) int {
+	sel := make([]bool, m.Rows())
+	for i := range sel {
+		sel[i] = true
+	}
+	slots := m.t.Write(col, key, sel)
+	m.Ops.Writes++
+	m.Ops.PulseSlots += int64(slots)
+	return slots
+}
+
+// WriteEncodedPair consumes the two latched tag snapshots, encodes each
+// row's (hi, lo) result pair per Fig. 5a, and writes the two TCAM bits at
+// columns col (hi) and col+1 (lo) of every row. This is the Write
+// instruction's <encode> = 1 path (23 cycles in the ISA).
+func (m *HyperAP) WriteEncodedPair(col int) int {
+	if len(m.enc) != 2 {
+		panic(fmt.Sprintf("model: encoded write needs two latched vectors, have %d", len(m.enc)))
+	}
+	lo, hi := m.enc[0], m.enc[1]
+	m.enc = nil
+	rows := m.Rows()
+	his := make([]bits.State, rows)
+	los := make([]bits.State, rows)
+	all := make([]bool, rows)
+	for r := 0; r < rows; r++ {
+		his[r], los[r] = encoding.EncodePair(hi[r], lo[r])
+		all[r] = true
+	}
+	slots := m.t.WritePerRow(col, his, all)
+	slots += m.t.WritePerRow(col+1, los, all)
+	m.Ops.Writes++
+	m.Ops.PulseSlots += int64(slots)
+	return slots
+}
+
+// Count returns the number of tagged words (the Count instruction).
+func (m *HyperAP) Count() int { return m.tags.OnesCount() }
+
+// Index returns the index of the first tagged word or -1 (the Index
+// instruction).
+func (m *HyperAP) Index() int { return m.tags.FirstSet() }

@@ -1,0 +1,248 @@
+package model
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/tcam"
+)
+
+// fullAdderLUT is the lookup table of Fig. 2b. Columns: A=0, B=1, Cin=2,
+// Sum=3, Cout=4.
+func fullAdderLUT() []LUTEntry {
+	return []LUTEntry{
+		{Inputs: []ColBit{{0, true}, {1, false}, {2, false}}, Outputs: []ColBit{{3, true}}},
+		{Inputs: []ColBit{{0, false}, {1, true}, {2, false}}, Outputs: []ColBit{{3, true}}},
+		{Inputs: []ColBit{{0, false}, {1, false}, {2, true}}, Outputs: []ColBit{{3, true}}},
+		{Inputs: []ColBit{{0, true}, {1, true}, {2, true}}, Outputs: []ColBit{{3, true}}},
+		{Inputs: []ColBit{{0, true}, {1, true}}, Outputs: []ColBit{{4, true}}},
+		{Inputs: []ColBit{{0, true}, {2, true}}, Outputs: []ColBit{{4, true}}},
+		{Inputs: []ColBit{{1, true}, {2, true}}, Outputs: []ColBit{{4, true}}},
+	}
+}
+
+// TestFig2TraditionalOneBitAdd reproduces Fig. 2: the traditional AP needs
+// exactly 14 operations (7 searches + 7 writes) for a 1-bit addition with
+// carry, and computes it correctly on every input combination.
+func TestFig2TraditionalOneBitAdd(t *testing.T) {
+	m := NewTraditionalAP(8, 5)
+	for row := 0; row < 8; row++ {
+		m.SetBit(row, 0, row&1 != 0) // A
+		m.SetBit(row, 1, row&2 != 0) // B
+		m.SetBit(row, 2, row&4 != 0) // Cin
+	}
+	m.RunLUT(fullAdderLUT())
+
+	if m.Ops.Searches != 7 || m.Ops.Writes != 7 {
+		t.Errorf("ops = %dS+%dW, want 7S+7W (Fig. 2c: 14 operations)", m.Ops.Searches, m.Ops.Writes)
+	}
+	for row := 0; row < 8; row++ {
+		a, b, c := row&1, row>>1&1, row>>2&1
+		sum := (a + b + c) & 1
+		cout := (a + b + c) >> 1
+		if got := m.Bit(row, 3); got != (sum == 1) {
+			t.Errorf("row %d: Sum = %v, want %v", row, got, sum == 1)
+		}
+		if got := m.Bit(row, 4); got != (cout == 1) {
+			t.Errorf("row %d: Cout = %v, want %v", row, got, cout == 1)
+		}
+	}
+}
+
+func newHyper(rows, width int) *HyperAP {
+	return NewHyperAP(tcam.NewSeparated(rows, width, tcam.DefaultParams()))
+}
+
+// keys builds a full-width key slice from (position, key) pairs.
+func keys(width int, ks string, cols ...int) []bits.Key {
+	parsed, err := bits.ParseKeys(ks)
+	if err != nil {
+		panic(err)
+	}
+	if len(parsed) != len(cols) {
+		panic("keys/cols mismatch")
+	}
+	out := make([]bits.Key, width)
+	for i := range out {
+		out[i] = bits.KDC
+	}
+	for i, c := range cols {
+		out[c] = parsed[i]
+	}
+	return out
+}
+
+// TestFig5dHyperOneBitAdd reproduces Fig. 5d: Hyper-AP completes the same
+// 1-bit addition in 6 operations (4 searches + 2 writes) using the
+// extended search keys and the accumulation unit.
+func TestFig5dHyperOneBitAdd(t *testing.T) {
+	// Layout: A,B encoded pair at cols 0-1; Cin single at col 2;
+	// Sum at col 3; Cout at col 4.
+	m := newHyper(8, 5)
+	for row := 0; row < 8; row++ {
+		a, b, c := row&1 != 0, row&2 != 0, row&4 != 0
+		m.LoadPair(row, 0, a, b) // hi bit = A, lo bit = B
+		m.LoadBit(row, 2, c)
+		m.LoadBit(row, 3, false)
+		m.LoadBit(row, 4, false)
+	}
+
+	// Sum: patterns {AB∈{01,10}, Cin=0} ∪ {AB∈{00,11}, Cin=1}.
+	m.Search(keys(5, "01 0", 0, 1, 2), false) // AB subset {01,10}
+	m.Search(keys(5, "10 1", 0, 1, 2), true)  // AB subset {00,11}
+	m.Write(3, bits.K1)
+	// Cout: patterns {AB∈{01,10,11}, Cin=1} ∪ {AB=11, Cin=0}.
+	m.Search(keys(5, "-1 1", 0, 1, 2), false) // AB subset {01,10,11}
+	m.Search(keys(5, "1Z 0", 0, 1, 2), true)  // AB subset {11}
+	m.Write(4, bits.K1)
+
+	if m.Ops.Searches != 4 || m.Ops.Writes != 2 {
+		t.Errorf("ops = %dS+%dW, want 4S+2W (Fig. 5d: 6 operations)", m.Ops.Searches, m.Ops.Writes)
+	}
+	for row := 0; row < 8; row++ {
+		a, b, c := row&1, row>>1&1, row>>2&1
+		wantSum := (a+b+c)&1 == 1
+		wantCout := (a+b+c)>>1 == 1
+		if got, err := m.ReadBit(row, 3); err != nil || got != wantSum {
+			t.Errorf("row %d: Sum = %v (%v), want %v", row, got, err, wantSum)
+		}
+		if got, err := m.ReadBit(row, 4); err != nil || got != wantCout {
+			t.Errorf("row %d: Cout = %v (%v), want %v", row, got, err, wantCout)
+		}
+	}
+}
+
+func TestAccumulationUnitORs(t *testing.T) {
+	m := newHyper(4, 2)
+	for row := 0; row < 4; row++ {
+		m.LoadBit(row, 0, row&1 != 0)
+		m.LoadBit(row, 1, row&2 != 0)
+	}
+	m.Search(keys(2, "1", 0), false) // rows 1,3
+	if m.Count() != 2 {
+		t.Fatalf("count = %d, want 2", m.Count())
+	}
+	m.Search(keys(2, "1", 1), true) // rows 2,3 ORed in
+	if m.Count() != 3 {
+		t.Errorf("accumulated count = %d, want 3", m.Count())
+	}
+	m.Search(keys(2, "1", 1), false) // replace
+	if m.Count() != 2 {
+		t.Errorf("replaced count = %d, want 2", m.Count())
+	}
+	if m.Index() != 2 {
+		t.Errorf("index = %d, want 2", m.Index())
+	}
+}
+
+func TestEncodedPairWrite(t *testing.T) {
+	// Compute hi = bit0, lo = NOT bit0 in the tags and write them encoded.
+	m := newHyper(4, 4)
+	for row := 0; row < 4; row++ {
+		m.LoadBit(row, 0, row&1 != 0)
+	}
+	m.Search(keys(4, "0", 0), false) // lo = ¬bit0
+	m.LatchForEncode()
+	m.Search(keys(4, "1", 0), false) // hi = bit0
+	m.LatchForEncode()
+	if m.EncoderDepth() != 2 {
+		t.Fatalf("encoder depth = %d", m.EncoderDepth())
+	}
+	m.WriteEncodedPair(2)
+	if m.EncoderDepth() != 0 {
+		t.Fatal("encoder not drained")
+	}
+	for row := 0; row < 4; row++ {
+		b := row&1 != 0
+		hi, lo, err := m.ReadPair(row, 2)
+		if err != nil {
+			t.Fatalf("row %d: %v", row, err)
+		}
+		if hi != b || lo != !b {
+			t.Errorf("row %d: pair = (%v,%v), want (%v,%v)", row, hi, lo, b, !b)
+		}
+	}
+	if m.Ops.Writes != 1 {
+		t.Errorf("encoded pair write counted as %d writes, want 1", m.Ops.Writes)
+	}
+}
+
+func TestEncodedWriteRequiresTwoLatches(t *testing.T) {
+	m := newHyper(2, 4)
+	m.Search(keys(4, "-", 0), false)
+	m.LatchForEncode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with one latched vector")
+		}
+	}()
+	m.WriteEncodedPair(0)
+}
+
+func TestWriteAllAndWriteZ(t *testing.T) {
+	m := newHyper(3, 2)
+	m.WriteAll(0, bits.K1)
+	for row := 0; row < 3; row++ {
+		if b, err := m.ReadBit(row, 0); err != nil || !b {
+			t.Errorf("row %d not written", row)
+		}
+	}
+	// Tag only row 1, then write X there.
+	m.Tags().SetAll(false)
+	m.Tags().Set(1, true)
+	m.Write(0, bits.KZ)
+	if _, err := m.ReadBit(1, 0); err == nil {
+		t.Error("row 1 should hold X after writing Z")
+	}
+	if b, err := m.ReadBit(0, 0); err != nil || !b {
+		t.Error("row 0 disturbed")
+	}
+}
+
+func TestTraditionalAPRejectsTernary(t *testing.T) {
+	m := NewTraditionalAP(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Z key")
+		}
+	}()
+	m.Search([]bits.Key{bits.KZ, bits.KDC})
+}
+
+func TestTraditionalWritePulseAccounting(t *testing.T) {
+	m := NewTraditionalAP(2, 4)
+	m.Search([]bits.Key{bits.KDC, bits.KDC, bits.KDC, bits.KDC}) // match all
+	m.Write([]bits.Key{bits.K1, bits.K0, bits.KDC, bits.KDC})
+	if m.Ops.PulseSlots != 4 { // 2 bits × 2 sequential cell pulses
+		t.Errorf("pulse slots = %d, want 4", m.Ops.PulseSlots)
+	}
+	if m.Bit(0, 0) != true || m.Bit(0, 1) != false {
+		t.Error("write values wrong")
+	}
+}
+
+func TestHyperSeparatedHalvesWritePulses(t *testing.T) {
+	sep := NewHyperAP(tcam.NewSeparated(4, 2, tcam.DefaultParams()))
+	mono := NewHyperAP(tcam.NewMonolithic(4, 2, tcam.DefaultParams()))
+	for _, m := range []*HyperAP{sep, mono} {
+		m.Tags().SetAll(true)
+		m.Write(0, bits.K1)
+	}
+	if sep.Ops.PulseSlots != 1 || mono.Ops.PulseSlots != 2 {
+		t.Errorf("pulse slots sep=%d mono=%d, want 1 and 2 (§IV-B)",
+			sep.Ops.PulseSlots, mono.Ops.PulseSlots)
+	}
+}
+
+func TestSetTagsAndReadBitError(t *testing.T) {
+	m := newHyper(3, 1)
+	v := bits.NewVec(3)
+	v.Set(2, true)
+	m.SetTags(v)
+	if m.Count() != 1 || m.Index() != 2 {
+		t.Error("SetTags wrong")
+	}
+	if _, err := m.ReadBit(0, 0); err == nil {
+		t.Error("reading erased (X) column should error")
+	}
+}

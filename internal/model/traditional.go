@@ -1,0 +1,185 @@
+// Package model implements the two abstract machine models of the paper:
+// the traditional associative processor (Fig. 1) with its
+// Single-Search-Single-Pattern / Single-Search-Single-Write execution
+// model (Fig. 2), and the Hyper-AP machine (Fig. 4) with the enhanced
+// Single-Search-Multi-Pattern / Multi-Search-Single-Write model (Fig. 5).
+//
+// These machines are the semantic reference for everything above them: the
+// micro-architecture (internal/arch) executes ISA streams against the
+// Hyper-AP machine, and the evaluation compares both machines running the
+// same lookup tables.
+package model
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+)
+
+// OpCounts tallies the primitive memory operations a machine has
+// performed. Execution time is proportional to these counts (§I).
+type OpCounts struct {
+	Searches   int64 // search operations
+	Writes     int64 // associative write operations
+	PulseSlots int64 // sequential RRAM programming slots consumed by writes
+}
+
+// Total returns searches + writes, the paper's "operations" metric
+// (e.g. "14 operations" in Fig. 2c).
+func (o OpCounts) Total() int64 { return o.Searches + o.Writes }
+
+// TraditionalAP is the abstract machine of Fig. 1: a binary CAM array,
+// key/mask registers, tag registers and a reduction tree. Its search
+// matches a single pattern and every write follows one search.
+type TraditionalAP struct {
+	rows, width int
+	cam         []bool // row-major
+	tags        *bits.Vec
+
+	// Ops accumulates the operation counts.
+	Ops OpCounts
+	// WritePulseSlotsPerBit models the underlying technology: a
+	// CMOS/monolithic-RRAM CAM writes a bit in 2 sequential cell pulses
+	// (the traditional monolithic array design, §IV-B).
+	WritePulseSlotsPerBit int
+}
+
+// NewTraditionalAP returns a rows × width traditional AP with the
+// monolithic array design's write behaviour.
+func NewTraditionalAP(rows, width int) *TraditionalAP {
+	return &TraditionalAP{
+		rows:                  rows,
+		width:                 width,
+		cam:                   make([]bool, rows*width),
+		tags:                  bits.NewVec(rows),
+		WritePulseSlotsPerBit: 2,
+	}
+}
+
+// Rows returns the number of word rows (SIMD slots).
+func (m *TraditionalAP) Rows() int { return m.rows }
+
+// Width returns the number of bit columns.
+func (m *TraditionalAP) Width() int { return m.width }
+
+func (m *TraditionalAP) idx(row, col int) int {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.width {
+		panic(fmt.Sprintf("model: bit (%d,%d) out of %dx%d CAM", row, col, m.rows, m.width))
+	}
+	return row*m.width + col
+}
+
+// Bit reads one stored bit.
+func (m *TraditionalAP) Bit(row, col int) bool { return m.cam[m.idx(row, col)] }
+
+// SetBit stores one bit directly (data loading, not an associative write).
+func (m *TraditionalAP) SetBit(row, col int, b bool) { m.cam[m.idx(row, col)] = b }
+
+// Tags exposes the tag registers.
+func (m *TraditionalAP) Tags() *bits.Vec { return m.tags }
+
+// Search compares the key/mask (one entry per column; only K0, K1 and KDC
+// are meaningful on a binary CAM) with all stored words in parallel and
+// replaces the tags with the match results (Fig. 1b).
+func (m *TraditionalAP) Search(keys []bits.Key) {
+	if len(keys) != m.width {
+		panic(fmt.Sprintf("model: %d keys for %d columns", len(keys), m.width))
+	}
+	m.Ops.Searches++
+	for row := 0; row < m.rows; row++ {
+		match := true
+		base := row * m.width
+		for col, k := range keys {
+			switch k {
+			case bits.KDC:
+			case bits.K0:
+				if m.cam[base+col] {
+					match = false
+				}
+			case bits.K1:
+				if !m.cam[base+col] {
+					match = false
+				}
+			default:
+				panic("model: traditional AP key must be 0, 1 or masked")
+			}
+			if !match {
+				break
+			}
+		}
+		m.tags.Set(row, match)
+	}
+}
+
+// Write stores the key value into every non-masked column of all tagged
+// words in parallel (Fig. 1c).
+func (m *TraditionalAP) Write(keys []bits.Key) {
+	if len(keys) != m.width {
+		panic(fmt.Sprintf("model: %d keys for %d columns", len(keys), m.width))
+	}
+	m.Ops.Writes++
+	nbits := 0
+	for col, k := range keys {
+		if k == bits.KDC {
+			continue
+		}
+		if k == bits.KZ {
+			panic("model: traditional AP cannot write X")
+		}
+		nbits++
+		v := k == bits.K1
+		for row := 0; row < m.rows; row++ {
+			if m.tags.Get(row) {
+				m.cam[m.idx(row, col)] = v
+			}
+		}
+	}
+	// Bit columns share the write circuit pair; one write op programs the
+	// selected columns sequentially in the monolithic design.
+	m.Ops.PulseSlots += int64(nbits * m.WritePulseSlotsPerBit)
+}
+
+// Count returns the number of tagged words (population count reduction).
+func (m *TraditionalAP) Count() int { return m.tags.OnesCount() }
+
+// Index returns the index of the first tagged word, or -1 (priority
+// encoder reduction).
+func (m *TraditionalAP) Index() int { return m.tags.FirstSet() }
+
+// LUTEntry is one row of a traditional-AP lookup table: an input pattern
+// over specific columns and the result bits to deposit on a match
+// (Fig. 2b).
+type LUTEntry struct {
+	Inputs  []ColBit
+	Outputs []ColBit
+}
+
+// ColBit names one bit column and a value.
+type ColBit struct {
+	Col int
+	Bit bool
+}
+
+// RunLUT executes a lookup table the traditional way (Fig. 2c): for every
+// entry, one search of the single input pattern immediately followed by
+// one write of the result bits into all tagged words.
+func (m *TraditionalAP) RunLUT(entries []LUTEntry) {
+	for _, e := range entries {
+		keys := make([]bits.Key, m.width)
+		for i := range keys {
+			keys[i] = bits.KDC
+		}
+		for _, in := range e.Inputs {
+			keys[in.Col] = bits.KeyForBit(in.Bit)
+		}
+		m.Search(keys)
+		wkeys := make([]bits.Key, m.width)
+		for i := range wkeys {
+			wkeys[i] = bits.KDC
+		}
+		for _, out := range e.Outputs {
+			wkeys[out.Col] = bits.KeyForBit(out.Bit)
+		}
+		m.Write(wkeys)
+	}
+}

@@ -1,0 +1,371 @@
+// Package rtl is the compiler's RTL library (paper §V-B.3): for every
+// dataflow-graph operation it provides a bit-level implementation —
+// a netlist of AND/INV gates built directly in the and-inverter graph.
+// The library is "overloaded" the way the paper describes: the same
+// operator resolves to different netlists depending on the operand widths
+// and signedness (see Build).
+//
+// Iterative operations follow the paper's §VI-C prescription: division
+// uses restoring long division [51], square root uses Woo's abacus
+// algorithm [26], and the exponential uses the Quinapalus shift-and-add
+// method [46] on Q16.16 fixed point.
+package rtl
+
+import (
+	"fmt"
+
+	"hyperap/internal/aig"
+)
+
+// BV is a bit vector of AIG literals, least-significant bit first.
+type BV []aig.Lit
+
+// Const builds a constant bit vector.
+func Const(val uint64, width int) BV {
+	v := make(BV, width)
+	for i := range v {
+		v[i] = aig.ConstLit(i < 64 && val>>uint(i)&1 == 1)
+	}
+	return v
+}
+
+// ConstValue returns the vector's value if every bit is constant.
+func ConstValue(v BV) (uint64, bool) {
+	var out uint64
+	for i, l := range v {
+		switch l {
+		case aig.Const0:
+		case aig.Const1:
+			if i < 64 {
+				out |= 1 << uint(i)
+			}
+		default:
+			return 0, false
+		}
+	}
+	return out, true
+}
+
+// Resize truncates or extends the vector to the given width; signed
+// resizing replicates the sign bit.
+func Resize(a BV, width int, signed bool) BV {
+	out := make(BV, width)
+	ext := aig.Const0
+	if signed && len(a) > 0 {
+		ext = a[len(a)-1]
+	}
+	for i := range out {
+		if i < len(a) {
+			out[i] = a[i]
+		} else {
+			out[i] = ext
+		}
+	}
+	return out
+}
+
+func bit(a BV, i int) aig.Lit {
+	if i < len(a) {
+		return a[i]
+	}
+	return aig.Const0
+}
+
+// fullAdd returns (sum, carry) of three bits.
+func fullAdd(g *aig.Graph, a, b, c aig.Lit) (aig.Lit, aig.Lit) {
+	axb := g.Xor(a, b)
+	sum := g.Xor(axb, c)
+	carry := g.Or(g.And(a, b), g.And(axb, c))
+	return sum, carry
+}
+
+// Add returns a + b at width max(len(a), len(b)) + 1 (no overflow), the
+// natural-width rule of the language front end.
+func Add(g *aig.Graph, a, b BV) BV {
+	w := maxInt(len(a), len(b))
+	out := make(BV, w+1)
+	carry := aig.Const0
+	for i := 0; i < w; i++ {
+		out[i], carry = fullAdd(g, bit(a, i), bit(b, i), carry)
+	}
+	out[w] = carry
+	return out
+}
+
+// Sub returns a - b modulo 2^w at width w = max(len(a), len(b)), plus the
+// "no borrow" flag (a >= b for unsigned operands).
+func Sub(g *aig.Graph, a, b BV) (BV, aig.Lit) {
+	w := maxInt(len(a), len(b))
+	out := make(BV, w)
+	carry := aig.Const1 // two's complement: a + ^b + 1
+	for i := 0; i < w; i++ {
+		out[i], carry = fullAdd(g, bit(a, i), bit(b, i).Not(), carry)
+	}
+	return out, carry
+}
+
+// Neg returns -a at the same width (two's complement).
+func Neg(g *aig.Graph, a BV) BV {
+	out, _ := Sub(g, Const(0, len(a)), a)
+	return out
+}
+
+// Mul returns a * b at width len(a) + len(b) using a shift-and-add array.
+func Mul(g *aig.Graph, a, b BV) BV {
+	return MulTrunc(g, a, b, len(a)+len(b))
+}
+
+// MulTrunc returns the low w bits of a * b; partial products beyond w are
+// never built, which keeps the netlist proportional to the bits actually
+// kept (important for fixed-point kernels that immediately truncate).
+func MulTrunc(g *aig.Graph, a, b BV, w int) BV {
+	acc := Const(0, w)
+	for i, bi := range b {
+		if i >= w {
+			break
+		}
+		// Partial product: (a << i) & bi, truncated to w bits.
+		pp := make(BV, w)
+		for j := range pp {
+			if j >= i && j-i < len(a) {
+				pp[j] = g.And(a[j-i], bi)
+			} else {
+				pp[j] = aig.Const0
+			}
+		}
+		acc = Resize(Add(g, acc, pp), w, false)
+	}
+	return acc
+}
+
+// Logic gates, zero-extended to the wider operand.
+
+// And returns the bitwise AND.
+func And(g *aig.Graph, a, b BV) BV { return zip(g, a, b, g.And) }
+
+// Or returns the bitwise OR.
+func Or(g *aig.Graph, a, b BV) BV { return zip(g, a, b, g.Or) }
+
+// Xor returns the bitwise XOR.
+func Xor(g *aig.Graph, a, b BV) BV { return zip(g, a, b, g.Xor) }
+
+func zip(g *aig.Graph, a, b BV, f func(x, y aig.Lit) aig.Lit) BV {
+	w := maxInt(len(a), len(b))
+	out := make(BV, w)
+	for i := range out {
+		out[i] = f(bit(a, i), bit(b, i))
+	}
+	return out
+}
+
+// Not returns the bitwise complement.
+func Not(a BV) BV {
+	out := make(BV, len(a))
+	for i, l := range a {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// ShlConst shifts left by a constant, growing the width by k.
+func ShlConst(a BV, k int) BV {
+	out := make(BV, len(a)+k)
+	for i := range out {
+		if i >= k {
+			out[i] = a[i-k]
+		} else {
+			out[i] = aig.Const0
+		}
+	}
+	return out
+}
+
+// ShrConst shifts right by a constant at constant width; signed shifts
+// replicate the sign bit.
+func ShrConst(a BV, k int, signed bool) BV {
+	out := make(BV, len(a))
+	ext := aig.Const0
+	if signed && len(a) > 0 {
+		ext = a[len(a)-1]
+	}
+	for i := range out {
+		if i+k < len(a) {
+			out[i] = a[i+k]
+		} else {
+			out[i] = ext
+		}
+	}
+	return out
+}
+
+// ShlVar is a barrel shifter: a << sh at width len(a) (bits shifted past
+// the top are lost).
+func ShlVar(g *aig.Graph, a, sh BV) BV {
+	out := a
+	for k, s := range sh {
+		if 1<<uint(k) >= 2*len(a) {
+			break
+		}
+		shifted := Resize(ShlConst(out, 1<<uint(k)), len(a), false)
+		out = MuxBV(g, s, shifted, Resize(out, len(a), false))
+	}
+	return Resize(out, len(a), false)
+}
+
+// ShrVar is a barrel shifter: a >> sh at width len(a).
+func ShrVar(g *aig.Graph, a, sh BV, signed bool) BV {
+	out := a
+	for k, s := range sh {
+		if 1<<uint(k) >= 2*len(a) {
+			break
+		}
+		shifted := ShrConst(out, 1<<uint(k), signed)
+		out = MuxBV(g, s, shifted, out)
+	}
+	return out
+}
+
+// MuxBV returns sel ? t : f, widened to the larger operand.
+func MuxBV(g *aig.Graph, sel aig.Lit, t, f BV) BV {
+	w := maxInt(len(t), len(f))
+	out := make(BV, w)
+	for i := range out {
+		out[i] = g.Mux(sel, bit(t, i), bit(f, i))
+	}
+	return out
+}
+
+// Eq returns the equality flag.
+func Eq(g *aig.Graph, a, b BV) aig.Lit {
+	w := maxInt(len(a), len(b))
+	res := aig.Const1
+	for i := 0; i < w; i++ {
+		res = g.And(res, g.Xor(bit(a, i), bit(b, i)).Not())
+	}
+	return res
+}
+
+// Ult returns the unsigned a < b flag.
+func Ult(g *aig.Graph, a, b BV) aig.Lit {
+	_, geq := Sub(g, a, b)
+	return geq.Not()
+}
+
+// Slt returns the signed a < b flag; operands are sign-extended to a
+// common width first.
+func Slt(g *aig.Graph, a, b BV) aig.Lit {
+	w := maxInt(len(a), len(b)) + 1
+	as := Resize(a, w, true)
+	bs := Resize(b, w, true)
+	diff, _ := Sub(g, as, bs)
+	return diff[w-1]
+}
+
+// UDiv returns quotient and remainder of the unsigned restoring long
+// division a / b [51]. Division by zero yields q = all-ones, r = a
+// (the hardware convention; documented in the language reference).
+func UDiv(g *aig.Graph, a, b BV) (q, r BV) {
+	w := len(a)
+	rem := Const(0, len(b)+1)
+	q = make(BV, w)
+	for i := w - 1; i >= 0; i-- {
+		rem = append(BV{a[i]}, rem[:len(b)]...) // rem = rem<<1 | a[i]
+		diff, geq := Sub(g, rem, Resize(b, len(b)+1, false))
+		q[i] = geq
+		rem = MuxBV(g, geq, diff, rem)
+	}
+	bZero := Eq(g, b, Const(0, len(b)))
+	q = MuxBV(g, bZero, Const(^uint64(0), w), q)
+	r = MuxBV(g, bZero, a, Resize(rem, len(b), false))
+	return q, r
+}
+
+// Sqrt returns the integer square root of a (width ⌈len(a)/2⌉) using
+// Woo's abacus algorithm [26]: two bits of the radicand are consumed per
+// step with a compare-and-subtract.
+func Sqrt(g *aig.Graph, a BV) BV {
+	w := len(a)
+	if w%2 == 1 {
+		a = Resize(a, w+1, false)
+		w++
+	}
+	steps := w / 2
+	rem := Const(0, w+2)
+	root := Const(0, steps)
+	for i := steps - 1; i >= 0; i-- {
+		// rem = rem<<2 | a[2i+1..2i]
+		rem = append(BV{a[2*i], a[2*i+1]}, rem[:len(rem)-2]...)
+		// trial = root<<2 | 01  (i.e. 4*root + 1 at the current scale)
+		trial := append(BV{aig.Const1, aig.Const0}, root...)
+		diff, geq := Sub(g, rem, Resize(trial, len(rem), false))
+		rem = MuxBV(g, geq, diff, rem)
+		// root = root<<1 | geq
+		root = append(BV{geq}, root[:steps-1]...)
+	}
+	return root
+}
+
+// ExpFixedFracBits is the fixed-point format of Exp: Q(w-16).16.
+const ExpFixedFracBits = 16
+
+// expLnConst returns ln(1 + 2^-k) in Q16 fixed point. The constants are
+// precomputed (they are compile-time constants in the netlist, exactly as
+// the lookup-table embedding of the paper would bake them in).
+func expLnConst(k int) uint64 {
+	// round(ln(1+2^-k) * 2^16) for k = 0..16.
+	table := []uint64{
+		45426, 26573, 14624, 7719, 3973, 2017, 1016, 510,
+		256, 128, 64, 32, 16, 8, 4, 2, 1,
+	}
+	if k < len(table) {
+		return table[k]
+	}
+	return 0
+}
+
+// Exp computes exp(x) on Q16.16 fixed point with the Quinapalus
+// shift-and-add algorithm [46]: repeatedly subtract ln(1+2^-k) from the
+// argument while multiplying the accumulator by (1+2^-k), which is a
+// shift and an add. The input is treated as unsigned Q16.16; the result
+// saturates to the available width.
+func Exp(g *aig.Graph, x BV) BV {
+	w := len(x)
+	if w < ExpFixedFracBits+2 {
+		x = Resize(x, ExpFixedFracBits+2, false)
+		w = len(x)
+	}
+	// y = 1.0 in Q16.16.
+	y := Resize(Const(1<<ExpFixedFracBits, w), w, false)
+	rem := x
+	// ln(2) reduction: while rem >= ln2, rem -= ln2, y <<= 1. Bounded by
+	// the integer bits available.
+	ln2 := Const(45426, w)
+	intBits := w - ExpFixedFracBits
+	for i := 0; i < intBits; i++ {
+		diff, geq := Sub(g, rem, ln2)
+		rem = MuxBV(g, geq, diff, rem)
+		y = MuxBV(g, geq, Resize(ShlConst(y, 1), w, false), y)
+	}
+	for k := 1; k <= ExpFixedFracBits; k++ {
+		c := Const(expLnConst(k), w)
+		diff, geq := Sub(g, rem, c)
+		rem = MuxBV(g, geq, diff, rem)
+		inc := ShrConst(y, k, false)
+		y = MuxBV(g, geq, Resize(Add(g, y, inc), w, false), y)
+	}
+	return y
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Describe returns a human-readable catalogue entry for an operation at
+// given widths — the "function overloading" resolution of §V-B.3 made
+// visible for documentation and error messages.
+func Describe(op string, widths ...int) string {
+	return fmt.Sprintf("%s/%v", op, widths)
+}

@@ -1,0 +1,325 @@
+package rtl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/aig"
+	"hyperap/internal/bits"
+)
+
+// harness builds a graph with two input vectors and evaluates an output
+// vector for concrete values.
+type harness struct {
+	g      *aig.Graph
+	a, b   BV
+	wa, wb int
+}
+
+func newHarness(wa, wb int) *harness {
+	g := aig.New()
+	h := &harness{g: g, wa: wa, wb: wb}
+	h.a = make(BV, wa)
+	for i := range h.a {
+		h.a[i] = g.NewPI()
+	}
+	h.b = make(BV, wb)
+	for i := range h.b {
+		h.b[i] = g.NewPI()
+	}
+	return h
+}
+
+func (h *harness) eval(out BV, av, bv uint64) uint64 {
+	pis := make([]bool, h.wa+h.wb)
+	copy(pis, bits.ToBits(av, h.wa))
+	copy(pis[h.wa:], bits.ToBits(bv, h.wb))
+	res := h.g.EvalLits(pis, out)
+	return bits.FromBits(res)
+}
+
+func (h *harness) evalLit(out aig.Lit, av, bv uint64) bool {
+	return h.eval(BV{out}, av, bv) == 1
+}
+
+func TestAddAllWidths(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		h := newHarness(w, w)
+		sum := Add(h.g, h.a, h.b)
+		if len(sum) != w+1 {
+			t.Fatalf("width %d: sum width %d", w, len(sum))
+		}
+		for av := uint64(0); av < 1<<uint(w); av++ {
+			for bv := uint64(0); bv < 1<<uint(w); bv++ {
+				if got := h.eval(sum, av, bv); got != av+bv {
+					t.Fatalf("w%d: %d+%d = %d", w, av, bv, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSubAndBorrow(t *testing.T) {
+	h := newHarness(6, 6)
+	diff, geq := Sub(h.g, h.a, h.b)
+	for av := uint64(0); av < 64; av++ {
+		for bv := uint64(0); bv < 64; bv++ {
+			want := (av - bv) & 63
+			if got := h.eval(diff, av, bv); got != want {
+				t.Fatalf("%d-%d = %d, want %d", av, bv, got, want)
+			}
+			if got := h.evalLit(geq, av, bv); got != (av >= bv) {
+				t.Fatalf("geq(%d,%d) = %v", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestMulExhaustiveSmall(t *testing.T) {
+	h := newHarness(4, 5)
+	prod := Mul(h.g, h.a, h.b)
+	if len(prod) != 9 {
+		t.Fatalf("product width %d, want 9", len(prod))
+	}
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 32; bv++ {
+			if got := h.eval(prod, av, bv); got != av*bv {
+				t.Fatalf("%d*%d = %d", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestMulRandom32(t *testing.T) {
+	h := newHarness(32, 32)
+	prod := Mul(h.g, h.a, h.b)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		av, bv := rng.Uint64()&0xFFFFFFFF, rng.Uint64()&0xFFFFFFFF
+		if got := h.eval(prod, av, bv); got != av*bv {
+			t.Fatalf("%d*%d = %d", av, bv, got)
+		}
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	h := newHarness(5, 5)
+	and := And(h.g, h.a, h.b)
+	or := Or(h.g, h.a, h.b)
+	xor := Xor(h.g, h.a, h.b)
+	not := Not(h.a)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		av, bv := rng.Uint64()&31, rng.Uint64()&31
+		if h.eval(and, av, bv) != av&bv || h.eval(or, av, bv) != av|bv ||
+			h.eval(xor, av, bv) != av^bv || h.eval(not, av, bv) != av^31 {
+			t.Fatalf("logic mismatch at %d,%d", av, bv)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	h := newHarness(8, 3)
+	shl2 := ShlConst(h.a, 2)
+	shr3u := ShrConst(h.a, 3, false)
+	shrS := ShrConst(h.a, 2, true)
+	for av := uint64(0); av < 256; av++ {
+		if h.eval(shl2, av, 0) != av<<2 {
+			t.Fatal("shl const")
+		}
+		if h.eval(shr3u, av, 0) != av>>3 {
+			t.Fatal("shr const unsigned")
+		}
+		want := uint64(int8(av)>>2) & 0xFF
+		if h.eval(shrS, av, 0) != want {
+			t.Fatalf("shr signed %d: got %d want %d", av, h.eval(shrS, av, 0), want)
+		}
+	}
+	shlv := ShlVar(h.g, h.a, h.b)
+	shrv := ShrVar(h.g, h.a, h.b, false)
+	for av := uint64(0); av < 256; av += 7 {
+		for bv := uint64(0); bv < 8; bv++ {
+			if got := h.eval(shlv, av, bv); got != av<<bv&0xFF {
+				t.Fatalf("shlvar %d<<%d = %d", av, bv, got)
+			}
+			if got := h.eval(shrv, av, bv); got != av>>bv {
+				t.Fatalf("shrvar %d>>%d = %d", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	h := newHarness(5, 5)
+	eq := Eq(h.g, h.a, h.b)
+	ult := Ult(h.g, h.a, h.b)
+	slt := Slt(h.g, h.a, h.b)
+	for av := uint64(0); av < 32; av++ {
+		for bv := uint64(0); bv < 32; bv++ {
+			if h.evalLit(eq, av, bv) != (av == bv) {
+				t.Fatal("eq")
+			}
+			if h.evalLit(ult, av, bv) != (av < bv) {
+				t.Fatal("ult")
+			}
+			sa, sb := bits.SignExtend(av, 5), bits.SignExtend(bv, 5)
+			if h.evalLit(slt, av, bv) != (sa < sb) {
+				t.Fatalf("slt(%d,%d)", sa, sb)
+			}
+		}
+	}
+}
+
+func TestMuxBV(t *testing.T) {
+	g := aig.New()
+	sel := g.NewPI()
+	a := BV{g.NewPI(), g.NewPI()}
+	b := BV{g.NewPI(), g.NewPI()}
+	out := MuxBV(g, sel, a, b)
+	for s := 0; s < 2; s++ {
+		for av := uint64(0); av < 4; av++ {
+			for bv := uint64(0); bv < 4; bv++ {
+				pis := []bool{s == 1, av&1 == 1, av&2 == 2, bv&1 == 1, bv&2 == 2}
+				got := bits.FromBits(g.EvalLits(pis, out))
+				want := bv
+				if s == 1 {
+					want = av
+				}
+				if got != want {
+					t.Fatalf("mux(%d,%d,%d) = %d", s, av, bv, got)
+				}
+			}
+		}
+	}
+}
+
+func TestUDivExhaustive(t *testing.T) {
+	h := newHarness(6, 6)
+	q, r := UDiv(h.g, h.a, h.b)
+	for av := uint64(0); av < 64; av++ {
+		for bv := uint64(1); bv < 64; bv++ {
+			if got := h.eval(q, av, bv); got != av/bv {
+				t.Fatalf("%d/%d = %d", av, bv, got)
+			}
+			if got := h.eval(r, av, bv); got != av%bv {
+				t.Fatalf("%d%%%d = %d", av, bv, got)
+			}
+		}
+		// Division by zero convention: q = all ones, r = a.
+		if h.eval(q, av, 0) != 63 || h.eval(r, av, 0) != av {
+			t.Fatalf("div-by-zero convention broken for a=%d", av)
+		}
+	}
+}
+
+func TestUDivRandom32(t *testing.T) {
+	h := newHarness(32, 32)
+	q, r := UDiv(h.g, h.a, h.b)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		av := rng.Uint64() & 0xFFFFFFFF
+		bv := rng.Uint64()&0xFFFF + 1
+		if h.eval(q, av, bv) != av/bv || h.eval(r, av, bv) != av%bv {
+			t.Fatalf("div %d/%d wrong", av, bv)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	h := newHarness(16, 1)
+	root := Sqrt(h.g, h.a)
+	if len(root) != 8 {
+		t.Fatalf("sqrt width %d, want 8", len(root))
+	}
+	for av := uint64(0); av < 1<<16; av += 13 {
+		want := uint64(math.Sqrt(float64(av)))
+		for want*want > av {
+			want--
+		}
+		if got := h.eval(root, av, 0); got != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", av, got, want)
+		}
+	}
+	// Odd width.
+	h2 := newHarness(7, 1)
+	root2 := Sqrt(h2.g, h2.a)
+	for av := uint64(0); av < 128; av++ {
+		want := uint64(math.Sqrt(float64(av)))
+		for want*want > av {
+			want--
+		}
+		if got := h2.eval(root2, av, 0); got != want {
+			t.Fatalf("sqrt7(%d) = %d, want %d", av, got, want)
+		}
+	}
+}
+
+func TestExpFixedPoint(t *testing.T) {
+	h := newHarness(32, 1)
+	e := Exp(h.g, h.a)
+	// Valid domain: exp(x) must fit Q16.16, i.e. x ≤ ~11.
+	for _, x := range []float64{0, 0.5, 1, 2, 3.25, 5, 8, 10.5} {
+		fx := uint64(x * 65536)
+		got := float64(h.eval(e, fx, 0)) / 65536
+		want := math.Exp(float64(fx) / 65536)
+		if math.Abs(got-want)/want > 2e-3 {
+			t.Errorf("exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestConstAndResize(t *testing.T) {
+	if v, ok := ConstValue(Const(0xAB, 12)); !ok || v != 0xAB {
+		t.Error("Const/ConstValue roundtrip")
+	}
+	g := aig.New()
+	pi := g.NewPI()
+	if _, ok := ConstValue(BV{pi}); ok {
+		t.Error("non-constant vector must not report a value")
+	}
+	// Signed resize.
+	v := Resize(Const(0b101, 3), 6, true)
+	if got, _ := ConstValue(v); got != 0b111101 {
+		t.Errorf("sign extension = %06b", got)
+	}
+	v = Resize(Const(0b101, 3), 2, false)
+	if got, _ := ConstValue(v); got != 0b01 {
+		t.Errorf("truncation = %02b", got)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	h := newHarness(5, 1)
+	n := Neg(h.g, h.a)
+	for av := uint64(0); av < 32; av++ {
+		if got := h.eval(n, av, 0); got != (32-av)&31 {
+			t.Fatalf("neg(%d) = %d", av, got)
+		}
+	}
+}
+
+func TestConstantFoldingThroughNetlists(t *testing.T) {
+	// Operand embedding (Fig. 12b): building a netlist with a constant
+	// operand must fold: a 2-bit a + constant 2 leaves c0 = a0,
+	// c1 = ¬a1, c2 = a1 — no AND gates for c0 and only inverters
+	// otherwise, so LUT generation sees trivial single-input functions.
+	g := aig.New()
+	a := BV{g.NewPI(), g.NewPI()}
+	sum := Add(g, a, Const(2, 2))
+	if sum[0] != a[0] {
+		t.Errorf("c0 should fold to a0, got %v", sum[0])
+	}
+	if sum[1] != a[1].Not() {
+		t.Errorf("c1 should fold to !a1, got %v", sum[1])
+	}
+	if sum[2] != a[1] {
+		t.Errorf("c2 should fold to a1, got %v", sum[2])
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Describe("add", 5, 5) == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,325 @@
+// Package tcam models the 2D2R ternary content-addressable memory that
+// Hyper-AP is built from (paper §II-E and §IV-B).
+//
+// The package has two layers:
+//
+//   - an electrical layer (Crossbar) that models 1D1R cells — one
+//     bidirectional diode in series with one RRAM element — match-line
+//     precharge/discharge currents during search, and the V/3 write scheme
+//     with sneak-path and disturb accounting (Fig. 3);
+//   - a logical layer (Monolithic and Separated array designs) that
+//     composes crossbars into a rows × bits TCAM with the state/key
+//     semantics of Fig. 4 and exposes the write-latency difference between
+//     the traditional monolithic design and Hyper-AP's
+//     logical-unified-physical-separated design (Fig. 7).
+//
+// Tests verify that the electrical search path and the logical match rule
+// agree cell-for-cell, so higher layers can use the fast logical path
+// without losing fidelity.
+package tcam
+
+import "fmt"
+
+// Resist is the state of one RRAM element.
+type Resist uint8
+
+const (
+	HRS Resist = iota // high-resistance state (logic "off")
+	LRS               // low-resistance state (conducting)
+)
+
+func (r Resist) String() string {
+	if r == LRS {
+		return "LRS"
+	}
+	return "HRS"
+}
+
+// Drive is the voltage applied to one search line during a search.
+type Drive uint8
+
+const (
+	DriveVH Drive = iota // high search voltage: diode stays off, no discharge
+	DriveVL              // low search voltage: conducting cells discharge the ML
+)
+
+// Params collects the electrical constants of the 2D2R TCAM. The defaults
+// mirror the device data the paper simulates with (§VI-A.3): a
+// TiN/Ta2O5/Ta RRAM with Ron/Roff = 20 kΩ / 300 kΩ [23], a FAST selector
+// diode with 0.4 V turn-on [34], and the sensing scheme of [39].
+type Params struct {
+	Ron    float64 // LRS resistance, ohms
+	Roff   float64 // HRS resistance, ohms
+	VPre   float64 // match-line precharge voltage, volts
+	VH     float64 // high search-line voltage, volts
+	VL     float64 // low search-line voltage, volts
+	VDiode float64 // diode turn-on voltage, volts
+	VWrite float64 // full write voltage (V/3 scheme applies V, V/3, -V/3)
+	// SelectorSuppression models the FAST selector's nonlinearity [34]:
+	// in an HRS cell most of the drive voltage drops across the RRAM, so
+	// the diode operates far below its linear region and suppresses the
+	// leak by orders of magnitude (the selector is specified at ~1e7
+	// selectivity; we use a conservative factor).
+	SelectorSuppression float64
+	IThreshA            float64 // SA current threshold, amps: above ⇒ mismatch
+	WritePulseNS        float64 // single RRAM SET/RESET pulse width, ns
+}
+
+// DefaultParams returns the constants used throughout the evaluation.
+func DefaultParams() Params {
+	return Params{
+		Ron:                 20e3,
+		Roff:                300e3,
+		VPre:                1.0,
+		VH:                  0.95,
+		VL:                  0.0,
+		VDiode:              0.4,
+		VWrite:              1.9, // SET 1.9V@10ns, RESET 1.6V@10ns; V/3 uses the larger
+		SelectorSuppression: 100,
+		IThreshA:            15e-6,
+		WritePulseNS:        10,
+	}
+}
+
+// cellCurrent returns the discharge current one cell contributes to its
+// precharged match line for a given search-line drive.
+func (p Params) cellCurrent(r Resist, d Drive) float64 {
+	var vsl float64
+	switch d {
+	case DriveVH:
+		vsl = p.VH
+	case DriveVL:
+		vsl = p.VL
+	}
+	v := p.VPre - vsl
+	if v <= p.VDiode {
+		return 0 // diode off: no path
+	}
+	if r == LRS {
+		return (v - p.VDiode) / p.Ron
+	}
+	return (v - p.VDiode) / (p.Roff * p.SelectorSuppression)
+}
+
+// LeakPerCell returns the match-line leak current of one non-conducting
+// (HRS) cell on a VL-driven search line.
+func (p Params) LeakPerCell() float64 { return p.cellCurrent(HRS, DriveVL) }
+
+// MismatchCurrent returns the discharge current of a single conducting
+// (LRS) cell on a VL-driven search line — the minimum mismatch signal.
+func (p Params) MismatchCurrent() float64 { return p.cellCurrent(LRS, DriveVL) }
+
+// SearchMargin returns the sensing margin (amps) for a search that drives
+// nActive cells per row: the distance between the smallest possible
+// mismatch current and the largest possible match (all-leak) current,
+// relative to the SA threshold. A non-positive value means searches of
+// this width are no longer robust; the paper's 12-input lookup-table limit
+// keeps real searches far inside the robust region (§V-B.4).
+func (p Params) SearchMargin(nActive int) float64 {
+	leak := float64(nActive) * p.LeakPerCell()
+	mm := p.MismatchCurrent()
+	lo := p.IThreshA - leak // room below threshold for a clean match
+	hi := mm - p.IThreshA   // room above threshold for a clean mismatch
+	if lo < hi {
+		return lo
+	}
+	return hi
+}
+
+// Crossbar is a rows × cols array of 1D1R cells. Match lines run along
+// rows, search lines along columns (Fig. 3a).
+type Crossbar struct {
+	rows, cols int
+	p          Params
+	cells      []Resist // row-major
+	wear       []uint32 // per-cell programming-pulse counts (endurance)
+
+	// Statistics accumulated across the crossbar's lifetime.
+	Stats Stats
+}
+
+// Stats counts the physical activity of a crossbar. The tech package
+// converts these into energy.
+type Stats struct {
+	Searches          int64 // search operations
+	SearchedCells     int64 // cells on driven-VL search lines during searches
+	CellWrites        int64 // full-selected cell programming pulses
+	HalfSelected      int64 // cells exposed to V/3 disturb during writes
+	DisturbViolations int64 // cells whose |V| exceeded V/3 (should stay 0)
+}
+
+// NewCrossbar returns a crossbar with every cell in HRS (erased).
+func NewCrossbar(rows, cols int, p Params) *Crossbar {
+	if rows <= 0 || cols <= 0 {
+		panic("tcam: non-positive crossbar dimensions")
+	}
+	return &Crossbar{rows: rows, cols: cols, p: p,
+		cells: make([]Resist, rows*cols), wear: make([]uint32, rows*cols)}
+}
+
+// Rows returns the number of match lines.
+func (c *Crossbar) Rows() int { return c.rows }
+
+// Cols returns the number of search lines.
+func (c *Crossbar) Cols() int { return c.cols }
+
+func (c *Crossbar) idx(row, col int) int {
+	if row < 0 || row >= c.rows || col < 0 || col >= c.cols {
+		panic(fmt.Sprintf("tcam: cell (%d,%d) out of %dx%d crossbar", row, col, c.rows, c.cols))
+	}
+	return row*c.cols + col
+}
+
+// Cell returns the resistance state of one cell.
+func (c *Crossbar) Cell(row, col int) Resist { return c.cells[c.idx(row, col)] }
+
+// SetCell programs one cell directly, bypassing the write-scheme
+// accounting. It is intended for loading initial data images.
+func (c *Crossbar) SetCell(row, col int, r Resist) { c.cells[c.idx(row, col)] = r }
+
+// Search drives every search line with drives[col] (len(drives) must equal
+// Cols), senses every match line, and returns match[row] = true when the
+// row's discharge current stays below the SA threshold (Fig. 3b: a
+// mismatch produces a large discharging current).
+func (c *Crossbar) Search(drives []Drive) []bool {
+	if len(drives) != c.cols {
+		panic(fmt.Sprintf("tcam: %d drives for %d columns", len(drives), c.cols))
+	}
+	c.Stats.Searches++
+	// Only VL-driven lines conduct (VH keeps the diode off entirely), so
+	// collect them once; real searches drive only a handful of lines.
+	var vl []int
+	for col, d := range drives {
+		if d == DriveVL {
+			vl = append(vl, col)
+		}
+	}
+	c.Stats.SearchedCells += int64(len(vl)) * int64(c.rows)
+
+	iLRS := c.p.cellCurrent(LRS, DriveVL)
+	iHRS := c.p.cellCurrent(HRS, DriveVL)
+	match := make([]bool, c.rows)
+	for row := 0; row < c.rows; row++ {
+		var i float64
+		base := row * c.cols
+		for _, col := range vl {
+			if c.cells[base+col] == LRS {
+				i += iLRS
+			} else {
+				i += iHRS
+			}
+		}
+		match[row] = i < c.p.IThreshA
+	}
+	return match
+}
+
+// WriteColumn programs the cells of one column using the V/3 scheme [11]:
+// the selected search line carries the full write voltage, selected match
+// lines are grounded, and every unselected line sits at V/3 or 2V/3 so
+// that no unselected cell sees more than V/3. rowsel selects which rows
+// are programmed; all programmed cells receive the same target state.
+//
+// The return value is the number of programming pulses (always 1: cells in
+// one column sharing a search line are written in parallel, §IV-B).
+func (c *Crossbar) WriteColumn(col int, rowsel []bool, target Resist) int {
+	if len(rowsel) != c.rows {
+		panic(fmt.Sprintf("tcam: %d row selects for %d rows", len(rowsel), c.rows))
+	}
+	selected := 0
+	for row, sel := range rowsel {
+		if sel {
+			i := c.idx(row, col)
+			c.cells[i] = target
+			c.wear[i]++
+			selected++
+		}
+	}
+	if selected == 0 {
+		return 0
+	}
+	c.Stats.CellWrites += int64(selected)
+
+	// V/3 disturb accounting: unselected cells on the selected column and
+	// cells on selected rows in other columns each see V/3; everything
+	// else sees -V/3. The diode's turn-on voltage (0.4 V) exceeds
+	// V/3 ≈ 0.63 V? No: 1.9/3 ≈ 0.63 V > 0.4 V, so a small sneak current
+	// flows; it is far below programming threshold, which is what the
+	// scheme relies on. We count half-selected cells so the energy model
+	// can charge for sneak leakage, and flag violations if the effective
+	// half-select voltage were ever to exceed V/2 (it cannot under V/3
+	// biasing, so DisturbViolations should remain zero).
+	half := int64(c.rows-selected) + int64(selected)*int64(c.cols-1)
+	c.Stats.HalfSelected += half
+	if c.p.VWrite/3 > c.p.VWrite/2 { // structurally impossible; kept as an invariant
+		c.Stats.DisturbViolations += half
+	}
+	return 1
+}
+
+// WriteColumnStates programs per-row target states into one column in a
+// single pulse slot (internally a RESET half-pulse for the HRS targets
+// followed by a SET half-pulse for the LRS targets; the slot still spans
+// one WritePulseNS window per the ISA's 10-cycle cell-write budget). It is
+// the write path behind the two-bit encoder, where each row receives its
+// own encoded value.
+func (c *Crossbar) WriteColumnStates(col int, rowsel []bool, targets []Resist) int {
+	if len(rowsel) != c.rows || len(targets) != c.rows {
+		panic("tcam: row selector / target length mismatch")
+	}
+	selected := 0
+	for row, sel := range rowsel {
+		if !sel {
+			continue
+		}
+		i := c.idx(row, col)
+		c.cells[i] = targets[row]
+		c.wear[i]++
+		selected++
+	}
+	if selected == 0 {
+		return 0
+	}
+	c.Stats.CellWrites += int64(selected)
+	c.Stats.HalfSelected += int64(c.rows-selected) + int64(selected)*int64(c.cols-1)
+	return 1
+}
+
+// Wear describes the endurance exposure of a crossbar: RRAM cells
+// tolerate a bounded number of SET/RESET pulses (~1e6-1e12 depending on
+// the device), so write-heavy associative execution must watch the
+// per-cell maximum — this is the lifetime argument behind Hyper-AP's
+// drastic write reduction.
+type Wear struct {
+	MaxPulses   uint32  // most-written cell
+	MeanPulses  float64 // average over all cells
+	WrittenFrac float64 // fraction of cells written at least once
+}
+
+// WearReport summarises per-cell programming activity.
+func (c *Crossbar) WearReport() Wear {
+	var w Wear
+	var sum uint64
+	written := 0
+	for _, n := range c.wear {
+		if n > w.MaxPulses {
+			w.MaxPulses = n
+		}
+		if n > 0 {
+			written++
+		}
+		sum += uint64(n)
+	}
+	w.MeanPulses = float64(sum) / float64(len(c.wear))
+	w.WrittenFrac = float64(written) / float64(len(c.wear))
+	return w
+}
+
+// LoadImage replaces the whole cell array. The image must be row-major
+// with rows*cols entries.
+func (c *Crossbar) LoadImage(img []Resist) {
+	if len(img) != len(c.cells) {
+		panic("tcam: image size mismatch")
+	}
+	copy(c.cells, img)
+}

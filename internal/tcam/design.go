@@ -1,0 +1,288 @@
+package tcam
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+)
+
+// A Design is a rows × bits ternary CAM built from 1D1R crossbars. One
+// TCAM bit occupies two RRAM cells — a "true" cell T and a "false" cell F:
+//
+//	state 0 → (T=LRS, F=HRS)
+//	state 1 → (T=HRS, F=LRS)
+//	state X → (T=HRS, F=HRS)   (no discharge path: matches everything)
+//
+// A search drives, per bit, the T and F search lines according to the key:
+//
+//	key 0 → (T=VH, F=VL): stored 1 discharges through F ⇒ mismatch
+//	key 1 → (T=VL, F=VH): stored 0 discharges through T ⇒ mismatch
+//	key Z → (T=VL, F=VL): both 0 and 1 discharge; only X matches
+//	key - → (T=VH, F=VH): position excluded from the search
+//
+// The two concrete designs differ only in how the two cells of a bit are
+// placed, which determines write latency (§IV-B):
+//
+//   - Monolithic (previous works [37][56][25]): both cells sit in one
+//     crossbar and share a write circuit, so they are programmed
+//     sequentially — 2 pulse slots per TCAM bit.
+//   - Separated (Hyper-AP's logical-unified-physical-separated design):
+//     the cells sit in two crossbars with independent write circuits and
+//     are programmed in parallel — 1 pulse slot per TCAM bit, halving the
+//     write latency.
+type Design interface {
+	// Rows returns the number of word rows (SIMD slots).
+	Rows() int
+	// Bits returns the number of TCAM bits per word.
+	Bits() int
+	// State reads back the stored state of one bit.
+	State(row, bit int) bits.State
+	// Load programs one bit directly (data loading path, not an
+	// associative write).
+	Load(row, bit int, s bits.State)
+	// Search compares the key (one entry per bit) against every row in
+	// parallel and returns the per-row match results.
+	Search(keys []bits.Key) []bool
+	// Write performs the associative write: the state implied by key is
+	// written into the given bit column of every selected row. It returns
+	// the number of sequential pulse slots consumed.
+	Write(bit int, key bits.Key, rowsel []bool) int
+	// WritePerRow writes a per-row state into one bit column of every
+	// selected row (the two-bit encoder's write path, §IV-A.2). It
+	// returns the number of sequential pulse slots consumed.
+	WritePerRow(bit int, states []bits.State, rowsel []bool) int
+	// PulseSlotsPerBit returns the sequential pulse slots one TCAM-bit
+	// write costs (2 for monolithic, 1 for separated).
+	PulseSlotsPerBit() int
+	// Stats returns the accumulated physical activity of all crossbars.
+	Stats() Stats
+	// WearReport returns the endurance exposure (per-cell programming
+	// pulse counts) across all crossbars.
+	WearReport() Wear
+}
+
+func stateCells(s bits.State) (t, f Resist) {
+	switch s {
+	case bits.S0:
+		return LRS, HRS
+	case bits.S1:
+		return HRS, LRS
+	case bits.SX:
+		return HRS, HRS
+	}
+	panic(fmt.Sprintf("tcam: invalid state %v", s))
+}
+
+func cellsState(t, f Resist) bits.State {
+	switch {
+	case t == LRS && f == HRS:
+		return bits.S0
+	case t == HRS && f == LRS:
+		return bits.S1
+	case t == HRS && f == HRS:
+		return bits.SX
+	}
+	// (LRS, LRS) is the invalid fourth combination; it cannot be produced
+	// through Load/Write, so reaching it indicates a modelling bug.
+	panic("tcam: cell pair in invalid (LRS,LRS) state")
+}
+
+func keyDrives(k bits.Key) (t, f Drive) {
+	switch k {
+	case bits.K0:
+		return DriveVH, DriveVL
+	case bits.K1:
+		return DriveVL, DriveVH
+	case bits.KZ:
+		return DriveVL, DriveVL
+	case bits.KDC:
+		return DriveVH, DriveVH
+	}
+	panic(fmt.Sprintf("tcam: invalid key %v", k))
+}
+
+// Separated is Hyper-AP's TCAM array design: two crossbars, T cells in
+// array A, F cells in array B, written in parallel (Fig. 7a).
+type Separated struct {
+	a, b *Crossbar
+}
+
+// NewSeparated returns a separated-design TCAM of rows × bitsPerWord, all
+// bits initialised to X (both cells HRS, the erased state).
+func NewSeparated(rows, bitsPerWord int, p Params) *Separated {
+	return &Separated{
+		a: NewCrossbar(rows, bitsPerWord, p),
+		b: NewCrossbar(rows, bitsPerWord, p),
+	}
+}
+
+// Rows returns the number of word rows.
+func (d *Separated) Rows() int { return d.a.Rows() }
+
+// Bits returns the number of TCAM bits per word.
+func (d *Separated) Bits() int { return d.a.Cols() }
+
+// PulseSlotsPerBit returns 1: the two cells are written in parallel.
+func (d *Separated) PulseSlotsPerBit() int { return 1 }
+
+// State reads back the stored state of one bit.
+func (d *Separated) State(row, bit int) bits.State {
+	return cellsState(d.a.Cell(row, bit), d.b.Cell(row, bit))
+}
+
+// Load programs one bit directly.
+func (d *Separated) Load(row, bit int, s bits.State) {
+	t, f := stateCells(s)
+	d.a.SetCell(row, bit, t)
+	d.b.SetCell(row, bit, f)
+}
+
+// Search compares the key against every row; the per-array sense results
+// are ANDed (§IV-B).
+func (d *Separated) Search(keys []bits.Key) []bool {
+	if len(keys) != d.Bits() {
+		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
+	}
+	da := make([]Drive, d.Bits())
+	db := make([]Drive, d.Bits())
+	for i, k := range keys {
+		da[i], db[i] = keyDrives(k)
+	}
+	ma := d.a.Search(da)
+	mb := d.b.Search(db)
+	for i := range ma {
+		ma[i] = ma[i] && mb[i]
+	}
+	return ma
+}
+
+// Write performs the associative write of the key's state into one bit
+// column of all selected rows.
+func (d *Separated) Write(bit int, key bits.Key, rowsel []bool) int {
+	t, f := stateCells(key.WriteState())
+	pa := d.a.WriteColumn(bit, rowsel, t)
+	pb := d.b.WriteColumn(bit, rowsel, f)
+	return maxInt(pa, pb) // parallel
+}
+
+// WritePerRow writes per-row states into one bit column of the selected
+// rows.
+func (d *Separated) WritePerRow(bit int, states []bits.State, rowsel []bool) int {
+	ta := make([]Resist, len(states))
+	tb := make([]Resist, len(states))
+	for i, s := range states {
+		ta[i], tb[i] = stateCells(s)
+	}
+	pa := d.a.WriteColumnStates(bit, rowsel, ta)
+	pb := d.b.WriteColumnStates(bit, rowsel, tb)
+	return maxInt(pa, pb)
+}
+
+// Stats returns the merged crossbar statistics.
+func (d *Separated) Stats() Stats { return mergeStats(d.a.Stats, d.b.Stats) }
+
+// WearReport merges the two crossbars' endurance reports.
+func (d *Separated) WearReport() Wear { return mergeWear(d.a.WearReport(), d.b.WearReport()) }
+
+// Monolithic is the traditional single-crossbar TCAM design: bit i's cells
+// occupy columns 2i (T) and 2i+1 (F) and share one write circuit.
+type Monolithic struct {
+	x *Crossbar
+}
+
+// NewMonolithic returns a monolithic-design TCAM of rows × bitsPerWord,
+// all bits initialised to X.
+func NewMonolithic(rows, bitsPerWord int, p Params) *Monolithic {
+	return &Monolithic{x: NewCrossbar(rows, 2*bitsPerWord, p)}
+}
+
+// Rows returns the number of word rows.
+func (d *Monolithic) Rows() int { return d.x.Rows() }
+
+// Bits returns the number of TCAM bits per word.
+func (d *Monolithic) Bits() int { return d.x.Cols() / 2 }
+
+// PulseSlotsPerBit returns 2: the two cells share a write circuit and are
+// programmed sequentially.
+func (d *Monolithic) PulseSlotsPerBit() int { return 2 }
+
+// State reads back the stored state of one bit.
+func (d *Monolithic) State(row, bit int) bits.State {
+	return cellsState(d.x.Cell(row, 2*bit), d.x.Cell(row, 2*bit+1))
+}
+
+// Load programs one bit directly.
+func (d *Monolithic) Load(row, bit int, s bits.State) {
+	t, f := stateCells(s)
+	d.x.SetCell(row, 2*bit, t)
+	d.x.SetCell(row, 2*bit+1, f)
+}
+
+// Search compares the key against every row in one crossbar search.
+func (d *Monolithic) Search(keys []bits.Key) []bool {
+	if len(keys) != d.Bits() {
+		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
+	}
+	drives := make([]Drive, d.x.Cols())
+	for i, k := range keys {
+		drives[2*i], drives[2*i+1] = keyDrives(k)
+	}
+	return d.x.Search(drives)
+}
+
+// Write performs the associative write; the two cells are written
+// sequentially (2 pulse slots).
+func (d *Monolithic) Write(bit int, key bits.Key, rowsel []bool) int {
+	t, f := stateCells(key.WriteState())
+	p := d.x.WriteColumn(2*bit, rowsel, t)
+	p += d.x.WriteColumn(2*bit+1, rowsel, f)
+	return p
+}
+
+// WritePerRow writes per-row states; the two cells are written
+// sequentially.
+func (d *Monolithic) WritePerRow(bit int, states []bits.State, rowsel []bool) int {
+	ta := make([]Resist, len(states))
+	tb := make([]Resist, len(states))
+	for i, s := range states {
+		ta[i], tb[i] = stateCells(s)
+	}
+	p := d.x.WriteColumnStates(2*bit, rowsel, ta)
+	p += d.x.WriteColumnStates(2*bit+1, rowsel, tb)
+	return p
+}
+
+// Stats returns the crossbar statistics.
+func (d *Monolithic) Stats() Stats { return d.x.Stats }
+
+// WearReport returns the crossbar's endurance report.
+func (d *Monolithic) WearReport() Wear { return d.x.WearReport() }
+
+func mergeStats(a, b Stats) Stats {
+	return Stats{
+		Searches:          a.Searches + b.Searches,
+		SearchedCells:     a.SearchedCells + b.SearchedCells,
+		CellWrites:        a.CellWrites + b.CellWrites,
+		HalfSelected:      a.HalfSelected + b.HalfSelected,
+		DisturbViolations: a.DisturbViolations + b.DisturbViolations,
+	}
+}
+
+func mergeWear(a, b Wear) Wear {
+	w := Wear{
+		MaxPulses:   a.MaxPulses,
+		MeanPulses:  (a.MeanPulses + b.MeanPulses) / 2,
+		WrittenFrac: (a.WrittenFrac + b.WrittenFrac) / 2,
+	}
+	if b.MaxPulses > w.MaxPulses {
+		w.MaxPulses = b.MaxPulses
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,252 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+func randomStates(rng *rand.Rand, n int) []bits.State {
+	ss := make([]bits.State, n)
+	for i := range ss {
+		ss[i] = bits.State(rng.Intn(3))
+	}
+	return ss
+}
+
+func randomKeys(rng *rand.Rand, n int) []bits.Key {
+	ks := make([]bits.Key, n)
+	for i := range ks {
+		ks[i] = bits.Key(rng.Intn(4))
+	}
+	return ks
+}
+
+// logicalMatch is the reference match rule from the abstract machine model.
+func logicalMatch(keys []bits.Key, word []bits.State) bool {
+	for i, k := range keys {
+		if !k.Match(word[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func designs(rows, nbits int) map[string]Design {
+	p := DefaultParams()
+	return map[string]Design{
+		"separated":  NewSeparated(rows, nbits, p),
+		"monolithic": NewMonolithic(rows, nbits, p),
+	}
+}
+
+// TestElectricalMatchesLogical verifies that the match-line discharge model
+// (diode currents, SA threshold) reproduces the abstract match rule of
+// Fig. 4 exactly, for both array designs.
+func TestElectricalMatchesLogical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, nbits = 32, 16
+	for name, d := range designs(rows, nbits) {
+		words := make([][]bits.State, rows)
+		for r := range words {
+			words[r] = randomStates(rng, nbits)
+			for b, s := range words[r] {
+				d.Load(r, b, s)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			keys := randomKeys(rng, nbits)
+			got := d.Search(keys)
+			for r := 0; r < rows; r++ {
+				want := logicalMatch(keys, words[r])
+				if got[r] != want {
+					t.Fatalf("%s: trial %d row %d: electrical=%v logical=%v keys=%s word=%s",
+						name, trial, r, got[r], want,
+						bits.KeysString(keys), bits.StatesString(words[r]))
+				}
+			}
+		}
+	}
+}
+
+// TestFullWidthSearchRobust checks that driving every bit of a 256-bit word
+// stays inside the sensing margin with the FAST-selector leak model.
+func TestFullWidthSearchRobust(t *testing.T) {
+	p := DefaultParams()
+	// A fully-Z key drives 2 cells per bit: 512 active cells.
+	if m := p.SearchMargin(512); m <= 0 {
+		t.Fatalf("margin for 512 active cells = %g, want positive", m)
+	}
+	d := NewSeparated(4, 256, p)
+	keys := make([]bits.Key, 256)
+	for i := range keys {
+		keys[i] = bits.KZ
+		d.Load(0, i, bits.SX) // row 0 matches all-Z
+		d.Load(1, i, bits.S0) // row 1 mismatches
+	}
+	m := d.Search(keys)
+	if !m[0] || m[1] {
+		t.Fatalf("full-width Z search: got %v, want row0 match row1 mismatch", m[:2])
+	}
+}
+
+// TestSearchMarginCollapses documents that the sensing margin is finite:
+// wide-enough searches eventually become non-robust, which is one of the
+// reasons the paper caps lookup-table inputs (§V-B.4).
+func TestSearchMarginCollapses(t *testing.T) {
+	p := DefaultParams()
+	if p.SearchMargin(1) <= 0 {
+		t.Fatal("single-cell search must be robust")
+	}
+	if p.SearchMargin(1_000_000) > 0 {
+		t.Fatal("margin should collapse for absurdly wide searches")
+	}
+}
+
+func TestAssociativeWriteSelectsRows(t *testing.T) {
+	for name, d := range designs(8, 4) {
+		for r := 0; r < 8; r++ {
+			for b := 0; b < 4; b++ {
+				d.Load(r, b, bits.S0)
+			}
+		}
+		sel := make([]bool, 8)
+		sel[2], sel[5] = true, true
+		d.Write(1, bits.K1, sel)
+		for r := 0; r < 8; r++ {
+			want := bits.S0
+			if r == 2 || r == 5 {
+				want = bits.S1
+			}
+			if got := d.State(r, 1); got != want {
+				t.Errorf("%s: row %d bit 1 = %v, want %v", name, r, got, want)
+			}
+			if got := d.State(r, 0); got != bits.S0 {
+				t.Errorf("%s: row %d bit 0 disturbed: %v", name, r, got)
+			}
+		}
+	}
+}
+
+func TestWriteZWritesX(t *testing.T) {
+	for name, d := range designs(2, 2) {
+		d.Load(0, 0, bits.S1)
+		sel := []bool{true, false}
+		d.Write(0, bits.KZ, sel)
+		if got := d.State(0, 0); got != bits.SX {
+			t.Errorf("%s: write Z gave %v, want X", name, got)
+		}
+	}
+}
+
+func TestWritePerRow(t *testing.T) {
+	for name, d := range designs(4, 2) {
+		states := []bits.State{bits.S0, bits.S1, bits.SX, bits.S1}
+		sel := []bool{true, true, true, false}
+		d.WritePerRow(0, states, sel)
+		want := []bits.State{bits.S0, bits.S1, bits.SX, bits.SX} // row 3 untouched (erased=X)
+		for r, w := range want {
+			if got := d.State(r, 0); got != w {
+				t.Errorf("%s: row %d = %v, want %v", name, r, got, w)
+			}
+		}
+	}
+}
+
+// TestPulseSlots verifies the §IV-B claim: the separated design halves the
+// write latency because the two cells of a TCAM bit are written in
+// parallel.
+func TestPulseSlots(t *testing.T) {
+	p := DefaultParams()
+	sep := NewSeparated(4, 4, p)
+	mono := NewMonolithic(4, 4, p)
+	sel := []bool{true, true, false, false}
+	if got := sep.Write(0, bits.K1, sel); got != 1 {
+		t.Errorf("separated write = %d pulse slots, want 1", got)
+	}
+	if got := mono.Write(0, bits.K1, sel); got != 2 {
+		t.Errorf("monolithic write = %d pulse slots, want 2", got)
+	}
+	if sep.PulseSlotsPerBit() != 1 || mono.PulseSlotsPerBit() != 2 {
+		t.Error("PulseSlotsPerBit wrong")
+	}
+	// No rows selected: nothing to pulse.
+	none := []bool{false, false, false, false}
+	if got := sep.Write(0, bits.K1, none); got != 0 {
+		t.Errorf("empty write = %d pulse slots, want 0", got)
+	}
+}
+
+func TestV3SchemeNoDisturbViolations(t *testing.T) {
+	for name, d := range designs(16, 8) {
+		sel := make([]bool, 16)
+		for i := 0; i < 16; i += 2 {
+			sel[i] = true
+		}
+		for b := 0; b < 8; b++ {
+			d.Write(b, bits.KeyForBit(b%2 == 0), sel)
+		}
+		st := d.Stats()
+		if st.DisturbViolations != 0 {
+			t.Errorf("%s: %d disturb violations under V/3 biasing", name, st.DisturbViolations)
+		}
+		if st.HalfSelected == 0 {
+			t.Errorf("%s: half-selected cells not accounted", name)
+		}
+		if st.CellWrites == 0 {
+			t.Errorf("%s: cell writes not accounted", name)
+		}
+	}
+}
+
+func TestStatsSearchAccounting(t *testing.T) {
+	d := NewSeparated(8, 4, DefaultParams())
+	keys := []bits.Key{bits.K1, bits.KDC, bits.KDC, bits.KDC}
+	d.Search(keys)
+	st := d.Stats()
+	if st.Searches != 2 { // one per crossbar
+		t.Errorf("Searches = %d, want 2", st.Searches)
+	}
+	// Key 1 drives VL on exactly one array's line: 1 cell × 8 rows.
+	if st.SearchedCells != 8 {
+		t.Errorf("SearchedCells = %d, want 8", st.SearchedCells)
+	}
+}
+
+func TestInvalidCellPairPanics(t *testing.T) {
+	d := NewSeparated(1, 1, DefaultParams())
+	// Force the invalid (LRS, LRS) combination through the raw crossbars.
+	d.a.SetCell(0, 0, LRS)
+	d.b.SetCell(0, 0, LRS)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid cell pair")
+		}
+	}()
+	_ = d.State(0, 0)
+}
+
+func TestCrossbarBounds(t *testing.T) {
+	c := NewCrossbar(2, 2, DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range cell")
+		}
+	}()
+	c.Cell(2, 0)
+}
+
+func TestLoadImage(t *testing.T) {
+	c := NewCrossbar(2, 2, DefaultParams())
+	c.LoadImage([]Resist{LRS, HRS, HRS, LRS})
+	if c.Cell(0, 0) != LRS || c.Cell(1, 1) != LRS || c.Cell(0, 1) != HRS {
+		t.Error("LoadImage wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	c.LoadImage([]Resist{LRS})
+}

@@ -1,0 +1,72 @@
+package tcam
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+func TestWearReportCrossbar(t *testing.T) {
+	c := NewCrossbar(4, 4, DefaultParams())
+	if w := c.WearReport(); w.MaxPulses != 0 || w.MeanPulses != 0 || w.WrittenFrac != 0 {
+		t.Fatalf("fresh crossbar has wear: %+v", w)
+	}
+	sel := []bool{true, false, false, false}
+	for i := 0; i < 3; i++ {
+		c.WriteColumn(0, sel, LRS)
+	}
+	c.WriteColumn(1, []bool{true, true, false, false}, HRS)
+	w := c.WearReport()
+	if w.MaxPulses != 3 {
+		t.Errorf("max pulses = %d, want 3", w.MaxPulses)
+	}
+	if w.WrittenFrac != 3.0/16 {
+		t.Errorf("written fraction = %v, want 3/16", w.WrittenFrac)
+	}
+	if w.MeanPulses != 5.0/16 {
+		t.Errorf("mean pulses = %v, want 5/16", w.MeanPulses)
+	}
+}
+
+func TestWearReportDesigns(t *testing.T) {
+	for name, d := range designs(4, 4) {
+		sel := []bool{true, true, true, true}
+		d.Write(2, bits.K1, sel)
+		d.Write(2, bits.K0, sel)
+		w := d.WearReport()
+		if w.MaxPulses != 2 {
+			t.Errorf("%s: max pulses = %d, want 2", name, w.MaxPulses)
+		}
+		if w.MeanPulses <= 0 || w.WrittenFrac <= 0 {
+			t.Errorf("%s: empty wear report %+v", name, w)
+		}
+	}
+	// The monolithic design concentrates both cells of a TCAM bit in one
+	// crossbar; wear maxima are identical per bit either way.
+	sep := NewSeparated(2, 2, DefaultParams())
+	sep.WritePerRow(0, []bits.State{bits.S1, bits.S0}, []bool{true, true})
+	if sep.WearReport().MaxPulses != 1 {
+		t.Error("per-row write must count one pulse per cell")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := NewCrossbar(3, 5, DefaultParams())
+	if c.Rows() != 3 || c.Cols() != 5 {
+		t.Error("crossbar accessors wrong")
+	}
+	if LRS.String() != "LRS" || HRS.String() != "HRS" {
+		t.Error("Resist.String wrong")
+	}
+	sep := NewSeparated(3, 4, DefaultParams())
+	mono := NewMonolithic(3, 4, DefaultParams())
+	if sep.Rows() != 3 || mono.Rows() != 3 || sep.Bits() != 4 || mono.Bits() != 4 {
+		t.Error("design accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad dimensions")
+		}
+	}()
+	NewCrossbar(0, 1, DefaultParams())
+}

@@ -1,0 +1,213 @@
+// Package tech holds the technology models of the evaluation (§VI-A.3):
+// the RRAM and CMOS TCAM timing/energy constants that the paper extracts
+// from HSPICE simulation and its custom physical design, and the chip
+// configurations of Table II. Everything above this package (the
+// micro-architecture simulator and the benchmark harness) converts
+// operation counts into nanoseconds, joules and efficiency metrics through
+// these constants.
+//
+// Substitution note (DESIGN.md §4): we cannot run HSPICE; the constants
+// below are the paper's published figures where given (frequency, cycle
+// counts, PE area, chip area, TDP, SIMD slots) and documented calibrations
+// where the paper reports only derived quantities (per-event energies are
+// fitted so that chip-level power lands in the paper's reported range).
+package tech
+
+// Tech describes one TCAM implementation technology.
+type Tech struct {
+	Name   string
+	FreqHz float64
+
+	// SearchCycles is the latency of one search operation.
+	SearchCycles int
+	// TCAMBitWriteCycles is the latency of programming one TCAM bit with
+	// the separated (parallel two-cell) array design. The monolithic
+	// design doubles it. RRAM: 10 cycles (SET/RESET pulse at 1 GHz);
+	// CMOS: 1 cycle, giving the paper's Twrite/Tsearch ratios of 10 vs 1
+	// (§VI-E).
+	TCAMBitWriteCycles int
+
+	// Per-event energies (joules). Calibrated, see the package comment.
+	ESearchPerDrivenCellJ float64 // ML discharge + SL drive, per driven cell per row
+	ESearchSAJ            float64 // sense amplifier, per row per search
+	EWritePerCellJ        float64 // one RRAM/SRAM cell programming pulse
+	EHalfSelectJ          float64 // V/3 sneak leakage, per half-selected cell
+	EInstrJ               float64 // instruction decode/dispatch, per instruction per subarray controller
+	EMovRJ                float64 // inter-PE register move, per PE
+	EReductionJ           float64 // adder tree / priority encoder, per PE
+
+	// PEAreaUM2 is the area of one PE. For RRAM the crossbars stack on
+	// top of the CMOS periphery, so the PE area is the periphery area
+	// (Fig. 14: 53.12 µm × 49.72 µm at 32 nm). CMOS TCAM cannot stack,
+	// which is why the CMOS AP has far fewer SIMD slots for the same die
+	// (§VI-E).
+	PEAreaUM2 float64
+}
+
+// RRAM returns the RRAM TCAM technology of the main evaluation.
+func RRAM() Tech {
+	return Tech{
+		Name:                  "RRAM",
+		FreqHz:                1e9,
+		SearchCycles:          1,
+		TCAMBitWriteCycles:    10,
+		ESearchPerDrivenCellJ: 5e-15,
+		ESearchSAJ:            15e-15,
+		EWritePerCellJ:        75e-15,
+		EHalfSelectJ:          0.02e-15,
+		EInstrJ:               2e-12,
+		EMovRJ:                25e-12,
+		EReductionJ:           60e-12,
+		PEAreaUM2:             53.12 * 49.72,
+	}
+}
+
+// CMOS returns the CMOS TCAM technology used in the Fig. 19 comparison:
+// symmetric search/write latency but much lower storage density.
+func CMOS() Tech {
+	return Tech{
+		Name:                  "CMOS",
+		FreqHz:                1e9,
+		SearchCycles:          1,
+		TCAMBitWriteCycles:    1,
+		ESearchPerDrivenCellJ: 3e-15,
+		ESearchSAJ:            10e-15,
+		EWritePerCellJ:        5e-15,
+		EHalfSelectJ:          0,
+		EInstrJ:               2e-12,
+		EMovRJ:                25e-12,
+		EReductionJ:           60e-12,
+		// A 16T CMOS TCAM bit cell plus margin is ~64× the footprint of
+		// the stacked 1D1R pair, so the same periphery area buys far
+		// fewer slots.
+		PEAreaUM2: 53.12 * 49.72 * 8,
+	}
+}
+
+// Alpha returns the write/search latency ratio used as the α weight in the
+// lookup-table-generation cost function (Eq. 2): 10 for RRAM, 1 for CMOS.
+func (t Tech) Alpha() float64 {
+	return float64(t.TCAMBitWriteCycles) / float64(t.SearchCycles)
+}
+
+// CyclePeriodNS returns the clock period in nanoseconds.
+func (t Tech) CyclePeriodNS() float64 { return 1e9 / t.FreqHz }
+
+// LatencyNS converts a cycle count into nanoseconds.
+func (t Tech) LatencyNS(cycles int64) float64 { return float64(cycles) * t.CyclePeriodNS() }
+
+// Chip is one row of Table II.
+type Chip struct {
+	Name        string
+	SIMDSlots   int64
+	FreqHz      float64
+	AreaMM2     float64
+	TDPWatts    float64
+	MemoryBytes int64
+	Tech        Tech
+}
+
+// PERows is the number of word rows (SIMD slots) in one PE: the TCAM array
+// stores 256 256-bit words (§IV-B).
+const PERows = 256
+
+// PEBits is the number of TCAM bit columns per word.
+const PEBits = 256
+
+// HyperAPChip returns the Hyper-AP column of Table II: 33,554,432 SIMD
+// slots (131,072 PEs × 256 rows), 1 GHz, 452 mm², 335 W TDP, 1 GB of RRAM
+// (33.5 M words × 32 B).
+func HyperAPChip() Chip {
+	return Chip{
+		Name:        "Hyper-AP",
+		SIMDSlots:   33_554_432,
+		FreqHz:      1e9,
+		AreaMM2:     452,
+		TDPWatts:    335,
+		MemoryBytes: 1 << 30,
+		Tech:        RRAM(),
+	}
+}
+
+// CMOSHyperAPChip returns the CMOS-based Hyper-AP configuration of the
+// Fig. 19 study: same die area but ~64× fewer slots because CMOS TCAM
+// cannot be stacked above the logic.
+func CMOSHyperAPChip() Chip {
+	return Chip{
+		Name:        "CMOS-Hyper-AP",
+		SIMDSlots:   524_288,
+		FreqHz:      1e9,
+		AreaMM2:     452,
+		TDPWatts:    300,
+		MemoryBytes: 16 << 20,
+		Tech:        CMOS(),
+	}
+}
+
+// PEs returns the number of processing elements on the chip.
+func (c Chip) PEs() int64 { return c.SIMDSlots / PERows }
+
+// Throughput computes GOPS for an operation with the given per-slot
+// latency, assuming every SIMD slot performs opsPerPass operations per
+// pass (Fig. 15's metric: slots / latency).
+func (c Chip) Throughput(latencyNS float64, opsPerPass float64) float64 {
+	if latencyNS <= 0 {
+		return 0
+	}
+	return float64(c.SIMDSlots) * opsPerPass / latencyNS // ops/ns = GOPS
+}
+
+// PowerEfficiency returns GOPS/W given throughput and average power.
+func PowerEfficiency(gops, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return gops / watts
+}
+
+// AreaEfficiency returns GOPS/mm².
+func (c Chip) AreaEfficiency(gops float64) float64 {
+	if c.AreaMM2 <= 0 {
+		return 0
+	}
+	return gops / c.AreaMM2
+}
+
+// EnergyLedger accumulates the energy of a program execution, split by
+// mechanism so the harness can report breakdowns.
+type EnergyLedger struct {
+	SearchJ     float64
+	WriteJ      float64
+	ControlJ    float64
+	MoveJ       float64
+	ReductionJ  float64
+	HalfSelectJ float64
+}
+
+// TotalJ sums all mechanisms.
+func (l EnergyLedger) TotalJ() float64 {
+	return l.SearchJ + l.WriteJ + l.ControlJ + l.MoveJ + l.ReductionJ + l.HalfSelectJ
+}
+
+// Add accumulates another ledger.
+func (l *EnergyLedger) Add(o EnergyLedger) {
+	l.SearchJ += o.SearchJ
+	l.WriteJ += o.WriteJ
+	l.ControlJ += o.ControlJ
+	l.MoveJ += o.MoveJ
+	l.ReductionJ += o.ReductionJ
+	l.HalfSelectJ += o.HalfSelectJ
+}
+
+// Scale multiplies every mechanism by f (used to extrapolate a small
+// simulated array to the full chip).
+func (l EnergyLedger) Scale(f float64) EnergyLedger {
+	return EnergyLedger{
+		SearchJ:     l.SearchJ * f,
+		WriteJ:      l.WriteJ * f,
+		ControlJ:    l.ControlJ * f,
+		MoveJ:       l.MoveJ * f,
+		ReductionJ:  l.ReductionJ * f,
+		HalfSelectJ: l.HalfSelectJ * f,
+	}
+}

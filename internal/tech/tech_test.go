@@ -1,0 +1,106 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlphaRatios(t *testing.T) {
+	// §VI-E: Twrite/Tsearch = 10 for RRAM, 1 for CMOS.
+	if a := RRAM().Alpha(); a != 10 {
+		t.Errorf("RRAM alpha = %v, want 10", a)
+	}
+	if a := CMOS().Alpha(); a != 1 {
+		t.Errorf("CMOS alpha = %v, want 1", a)
+	}
+}
+
+func TestTableIIHyperAP(t *testing.T) {
+	c := HyperAPChip()
+	if c.SIMDSlots != 33_554_432 {
+		t.Errorf("SIMD slots = %d, want 33554432 (Table II)", c.SIMDSlots)
+	}
+	if c.FreqHz != 1e9 {
+		t.Errorf("frequency = %v, want 1 GHz", c.FreqHz)
+	}
+	if c.AreaMM2 != 452 || c.TDPWatts != 335 {
+		t.Errorf("area/TDP = %v/%v, want 452/335", c.AreaMM2, c.TDPWatts)
+	}
+	if c.MemoryBytes != 1<<30 {
+		t.Errorf("memory = %d, want 1 GiB", c.MemoryBytes)
+	}
+	if c.PEs() != 131_072 {
+		t.Errorf("PEs = %d, want 131072 (17-bit PE address space)", c.PEs())
+	}
+	// 1 GB = slots × 256 bits: the memory capacity and slot count of
+	// Table II are consistent.
+	if c.SIMDSlots*PEBits/8 != c.MemoryBytes {
+		t.Error("slot count inconsistent with memory capacity")
+	}
+}
+
+func TestThroughputMatchesPaperFormula(t *testing.T) {
+	// Fig. 15 consistency: 33.5 M slots at 592 ns per 32-bit add is
+	// 56.7 TOPS ("56680" in the figure).
+	c := HyperAPChip()
+	gops := c.Throughput(592, 1)
+	if math.Abs(gops-56680) > 60 {
+		t.Errorf("throughput at 592 ns = %.0f GOPS, want ≈56680", gops)
+	}
+	// Area efficiency 56680/452 ≈ 126 GOPS/mm².
+	if ae := c.AreaEfficiency(gops); math.Abs(ae-125.4) > 1 {
+		t.Errorf("area efficiency = %.1f, want ≈125.4", ae)
+	}
+	if c.Throughput(0, 1) != 0 {
+		t.Error("zero latency should give zero throughput")
+	}
+}
+
+func TestEfficiencyHelpers(t *testing.T) {
+	if PowerEfficiency(100, 50) != 2 {
+		t.Error("PowerEfficiency wrong")
+	}
+	if PowerEfficiency(100, 0) != 0 {
+		t.Error("PowerEfficiency must guard zero watts")
+	}
+	c := Chip{AreaMM2: 0}
+	if c.AreaEfficiency(10) != 0 {
+		t.Error("AreaEfficiency must guard zero area")
+	}
+}
+
+func TestLatencyNS(t *testing.T) {
+	r := RRAM()
+	if r.CyclePeriodNS() != 1 {
+		t.Errorf("period = %v ns, want 1", r.CyclePeriodNS())
+	}
+	if r.LatencyNS(592) != 592 {
+		t.Errorf("LatencyNS(592) = %v", r.LatencyNS(592))
+	}
+}
+
+func TestCMOSChipSmaller(t *testing.T) {
+	if CMOSHyperAPChip().SIMDSlots >= HyperAPChip().SIMDSlots {
+		t.Error("CMOS TCAM density must yield fewer slots (§VI-E)")
+	}
+	if CMOS().PEAreaUM2 <= RRAM().PEAreaUM2 {
+		t.Error("CMOS PE must be larger than stacked-RRAM PE")
+	}
+}
+
+func TestEnergyLedger(t *testing.T) {
+	l := EnergyLedger{SearchJ: 1, WriteJ: 2, ControlJ: 3, MoveJ: 4, ReductionJ: 5, HalfSelectJ: 6}
+	if l.TotalJ() != 21 {
+		t.Errorf("TotalJ = %v", l.TotalJ())
+	}
+	var acc EnergyLedger
+	acc.Add(l)
+	acc.Add(l)
+	if acc.TotalJ() != 42 {
+		t.Errorf("Add wrong: %v", acc.TotalJ())
+	}
+	s := l.Scale(2)
+	if s.SearchJ != 2 || s.HalfSelectJ != 12 || s.TotalJ() != 42 {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+}

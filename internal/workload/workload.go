@@ -1,0 +1,346 @@
+// Package workload defines the Fig. 18 application study: Rodinia-style
+// kernels [10] re-expressed as per-element Hyper-AP programs in the
+// C-like language, with matching analytical cost models for the IMP and
+// GPU baselines.
+//
+// Substitution note (DESIGN.md §4): the original Rodinia suite is
+// C/CUDA over native datasets; the evaluation needs each kernel's
+// characteristic operation mix, data width, element count and
+// communication pattern. Floating point is converted to fixed point
+// exactly as the paper does for IMP comparability (§VI-A.1). Element
+// counts approximate the native dataset sizes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/gpu"
+	"hyperap/internal/imp"
+)
+
+// Kernel is one benchmark of the application study.
+type Kernel struct {
+	Name string
+	// Source is the per-element program in the C-like language; the
+	// compilation framework applies it across all SIMD slots (Fig. 8).
+	Source string
+	// Elements is the number of data elements in the (synthetic) native
+	// dataset.
+	Elements int64
+	// MovesPerElement counts nearest-neighbour transfers on Hyper-AP's
+	// local inter-PE links per element per pass.
+	MovesPerElement float64
+	// IMP and GPU are the baseline cost models (Elements is filled in by
+	// the harness).
+	IMP imp.KernelCost
+	GPU gpu.KernelCost
+}
+
+// Inputs draws n random per-slot input vectors for the kernel.
+func (k *Kernel) Inputs(rng *rand.Rand, ex *compile.Executable, n int) [][]uint64 {
+	out := make([][]uint64, n)
+	for i := range out {
+		vals := make([]uint64, len(ex.Inputs))
+		for j, c := range ex.Inputs {
+			vals[j] = rng.Uint64() & bits.Mask(c.Width)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// Compile builds the kernel for a target.
+func (k *Kernel) Compile(tgt compile.Target) (*compile.Executable, error) {
+	ex, err := compile.CompileSource(k.Source, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", k.Name, err)
+	}
+	return ex, nil
+}
+
+// Kernels returns the eight-kernel suite used in Fig. 18.
+func Kernels() []*Kernel {
+	return []*Kernel{backprop(), kmeans(), hotspot(), pathfinder(), srad(), streamcluster(), nw(), lud()}
+}
+
+// KernelByName finds one kernel.
+func KernelByName(name string) (*Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// backprop: one layer of a fully-connected network — a 4-wide
+// dot-product partial sum per slot with a saturating ReLU, Q8.8 fixed
+// point (an 8-wide unit is two slots; the DFG clustering of Fig. 10
+// would make the same split, since a wider dot product exceeds one
+// 256-bit word). IMP executes the multiply-accumulate natively in the
+// analog domain, which is why the paper reports IMP doing comparatively
+// best here (§VI-D).
+func backprop() *Kernel {
+	return &Kernel{
+		Name: "backprop",
+		Source: `
+		struct Vec4 {
+			unsigned int(8) v[4];
+		}
+		unsigned int(16) main(struct Vec4 x, struct Vec4 w) {
+			unsigned int(19) acc = 0;
+			for (unsigned int(3) i = 0; i < 4; i = i + 1) {
+				acc = acc + x.v[i] * w.v[i];
+			}
+			// ReLU with saturation to Q8.8.
+			unsigned int(16) y = 0;
+			unsigned int(19) scaled;
+			scaled = acc >> 2;
+			if (scaled > 65535) {
+				y = 65535;
+			} else {
+				y = scaled;
+			}
+			return y;
+		}`,
+		Elements:        65536 * 32, // two slots per 8-wide unit
+		MovesPerElement: 1.5,        // partial-sum exchange plus layer traffic
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpAdd: 2},
+			CritOps:       map[imp.Op]float64{imp.OpAdd: 2},
+			DotProductOps: 4, // native analog MACs
+			ElementMoves:  1.5,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Mul": 4, "Add": 5},
+			BytesPerElem:  4*2 + 2,
+		},
+	}
+}
+
+// kmeans: squared distance of a 2-D point to four fixed centroids
+// (embedded immediates) and argmin — a showcase for operand embedding.
+func kmeans() *Kernel {
+	return &Kernel{
+		Name: "kmeans",
+		Source: `
+		unsigned int(17) dist2(unsigned int(8) x, unsigned int(8) y,
+		                       unsigned int(8) cx, unsigned int(8) cy) {
+			unsigned int(8) dx;
+			unsigned int(8) dy;
+			dx = abs(x - cx);
+			dy = abs(y - cy);
+			return dx * dx + dy * dy;
+		}
+		unsigned int(2) main(unsigned int(8) x, unsigned int(8) y) {
+			unsigned int(17) best;
+			unsigned int(2) idx = 0;
+			unsigned int(17) d;
+			best = dist2(x, y, 32, 48);
+			d = dist2(x, y, 96, 200);
+			if (d < best) { best = d; idx = 1; }
+			d = dist2(x, y, 180, 64);
+			if (d < best) { best = d; idx = 2; }
+			d = dist2(x, y, 220, 176);
+			if (d < best) { best = d; idx = 3; }
+			return idx;
+		}`,
+		Elements:        494020,
+		MovesPerElement: 0.1,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpMul: 8, imp.OpAdd: 16},
+			CritOps:       map[imp.Op]float64{imp.OpMul: 1, imp.OpAdd: 5},
+			ElementMoves:  0.1,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Mul": 8, "Add": 16},
+			BytesPerElem:  4,
+		},
+	}
+}
+
+// hotspot: five-point thermal stencil with embedded coefficients
+// (neighbour temperatures arrive over the local links).
+func hotspot() *Kernel {
+	return &Kernel{
+		Name: "hotspot",
+		Source: `
+		unsigned int(16) main(unsigned int(16) c, unsigned int(16) n,
+		                      unsigned int(16) s, unsigned int(16) e,
+		                      unsigned int(16) w, unsigned int(16) p) {
+			unsigned int(18) sum;
+			sum = n + s + e + w;
+			// next = c + (p + k*(sum - 4c)) with k = 1/16 embedded as a
+			// shift; fixed point keeps everything unsigned.
+			unsigned int(22) t;
+			t = (c << 4) + p + sum - (c << 2);
+			return t >> 4;
+		}`,
+		Elements:        1024 * 1024,
+		MovesPerElement: 4,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpAdd: 7, imp.OpMul: 2},
+			CritOps:       map[imp.Op]float64{imp.OpAdd: 4, imp.OpMul: 1},
+			ElementMoves:  4,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Add": 7, "Mul": 2},
+			BytesPerElem:  6 * 2,
+		},
+	}
+}
+
+// pathfinder: dynamic-programming step — min of three neighbours plus the
+// local cost.
+func pathfinder() *Kernel {
+	return &Kernel{
+		Name: "pathfinder",
+		Source: `
+		unsigned int(16) main(unsigned int(8) cost, unsigned int(16) a,
+		                      unsigned int(16) b, unsigned int(16) c) {
+			return cost + min(a, min(b, c));
+		}`,
+		Elements:        100000 * 100,
+		MovesPerElement: 2,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpAdd: 3},
+			CritOps:       map[imp.Op]float64{imp.OpAdd: 3},
+			ElementMoves:  2,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Add": 3},
+			BytesPerElem:  8,
+		},
+	}
+}
+
+// srad: diffusion-coefficient step of the SRAD image kernel: squared
+// neighbour gradients normalised by the centre value — the division is
+// what makes this kernel expensive on the baselines.
+func srad() *Kernel {
+	return &Kernel{
+		Name: "srad",
+		Source: `
+		unsigned int(12) main(unsigned int(8) c, unsigned int(8) n,
+		                      unsigned int(8) s, unsigned int(8) e,
+		                      unsigned int(8) w) {
+			unsigned int(8) dn;
+			unsigned int(8) ds;
+			unsigned int(8) de;
+			unsigned int(8) dw;
+			dn = abs(n - c);
+			ds = abs(s - c);
+			de = abs(e - c);
+			dw = abs(w - c);
+			unsigned int(18) g;
+			g = dn * dn + ds * ds + de * de + dw * dw;
+			unsigned int(12) gh;
+			gh = g >> 6;
+			unsigned int(12) den;
+			den = c + 1;
+			return gh / den;
+		}`,
+		Elements:        512 * 512,
+		MovesPerElement: 4,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpMul: 4, imp.OpAdd: 11, imp.OpDiv: 1},
+			CritOps:       map[imp.Op]float64{imp.OpMul: 1, imp.OpAdd: 4, imp.OpDiv: 1},
+			ElementMoves:  4,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Mul": 4, "Add": 11, "Div": 1},
+			BytesPerElem:  5,
+		},
+	}
+}
+
+// streamcluster: membership test — squared 4-D distance against an
+// embedded radius.
+func streamcluster() *Kernel {
+	return &Kernel{
+		Name: "streamcluster",
+		Source: `
+		struct P4 {
+			unsigned int(8) v[4];
+		}
+		bool main(struct P4 p, struct P4 c) {
+			unsigned int(18) d = 0;
+			for (unsigned int(3) i = 0; i < 4; i = i + 1) {
+				unsigned int(8) diff;
+				diff = abs(p.v[i] - c.v[i]);
+				d = d + diff * diff;
+			}
+			return d < 4096;
+		}`,
+		Elements:        65536 * 8,
+		MovesPerElement: 0.5,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpMul: 4, imp.OpAdd: 8},
+			CritOps:       map[imp.Op]float64{imp.OpMul: 1, imp.OpAdd: 5},
+			ElementMoves:  0.5,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Mul": 4, "Add": 9},
+			BytesPerElem:  8,
+		},
+	}
+}
+
+// nw: Needleman-Wunsch scoring step on small signed scores.
+func nw() *Kernel {
+	return &Kernel{
+		Name: "nw",
+		Source: `
+		int(12) main(int(10) nw, int(10) n, int(10) w, bool match) {
+			int(11) diag;
+			if (match == true) {
+				diag = nw + 2;
+			} else {
+				diag = nw - 1;
+			}
+			return max(diag, max(n - 1, w - 1));
+		}`,
+		Elements:        2048 * 2048,
+		MovesPerElement: 2,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpAdd: 5},
+			CritOps:       map[imp.Op]float64{imp.OpAdd: 3},
+			ElementMoves:  2,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Add": 5},
+			BytesPerElem:  6,
+		},
+	}
+}
+
+// lud: LU-decomposition inner update a − l·u scaled by the reciprocal
+// pivot (the divide).
+func lud() *Kernel {
+	return &Kernel{
+		Name: "lud",
+		Source: `
+		unsigned int(12) main(unsigned int(12) a, unsigned int(6) l,
+		                      unsigned int(6) u, unsigned int(6) pivot) {
+			unsigned int(13) t;
+			t = a - ((l * u) >> 2);
+			unsigned int(12) num;
+			num = t;
+			return num / (pivot + 1);
+		}`,
+		Elements:        1024 * 1024,
+		MovesPerElement: 3,
+		IMP: imp.KernelCost{
+			OpsPerElement: map[imp.Op]float64{imp.OpMul: 1, imp.OpAdd: 3, imp.OpDiv: 1},
+			CritOps:       map[imp.Op]float64{imp.OpMul: 1, imp.OpAdd: 2, imp.OpDiv: 1},
+			ElementMoves:  3,
+		},
+		GPU: gpu.KernelCost{
+			OpsPerElement: map[string]float64{"Mul": 1, "Add": 3, "Div": 1},
+			BytesPerElem:  6,
+		},
+	}
+}

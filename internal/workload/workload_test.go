@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperap/internal/compile"
+)
+
+func TestSuiteShape(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 8 {
+		t.Fatalf("suite has %d kernels, want 8", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+		if k.Elements <= 0 || k.Source == "" {
+			t.Errorf("%s: incomplete definition", k.Name)
+		}
+		if len(k.IMP.OpsPerElement) == 0 && k.IMP.DotProductOps == 0 {
+			t.Errorf("%s: IMP cost model empty", k.Name)
+		}
+		if len(k.GPU.OpsPerElement) == 0 {
+			t.Errorf("%s: GPU cost model empty", k.Name)
+		}
+	}
+	if _, err := KernelByName("kmeans"); err != nil {
+		t.Error(err)
+	}
+	if _, err := KernelByName("nope"); err == nil {
+		t.Error("unknown kernel must error")
+	}
+}
+
+// TestKernelsCompileAndVerify compiles every kernel for Hyper-AP and
+// checks the simulated hardware against the reference evaluator on
+// random slots. The division-heavy kernels are the slowest to compile;
+// -short skips them.
+func TestKernelsCompileAndVerify(t *testing.T) {
+	heavy := map[string]bool{"srad": true, "lud": true, "backprop": true}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if testing.Short() && heavy[k.Name] {
+				t.Skip("heavy kernel skipped in -short mode")
+			}
+			ex, err := k.Compile(compile.HyperTarget())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			inputs := k.Inputs(rng, ex, 24)
+			if err := ex.CheckAgainstReference(inputs); err != nil {
+				t.Fatal(err)
+			}
+			if ex.Stats.Cycles <= 0 {
+				t.Error("no cycle accounting")
+			}
+		})
+	}
+}
