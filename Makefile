@@ -1,0 +1,32 @@
+# Tier-1 verification plus the race-enabled gate that keeps the sharded
+# batch-execution engine (internal/arch ExecuteParallel, compile RunBatch)
+# honest. `make check` is the pre-merge bar.
+
+GO ?= go
+
+.PHONY: build test vet race race-short check bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency gate: vet plus every test under the race detector.
+check: vet race
+
+race:
+	$(GO) test -race ./...
+
+# Iteration-speed variant: -short skips the 32-bit heavy-compile figures,
+# keeping the run focused on the worker-pool and simulator paths.
+race-short:
+	$(GO) test -race -short ./...
+
+# The multi-PE scaling benchmarks (compare RunBatch vs RunBatchSerial for
+# the worker-pool speedup on a multi-core host).
+bench:
+	$(GO) test -run=NONE -bench=RunBatch -benchtime=2x .

@@ -8,6 +8,7 @@ package hyperap
 // iteration carries the compilation cost.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -187,3 +188,37 @@ func BenchmarkCompileAdd32(b *testing.B) {
 // Extra ablations.
 func BenchmarkAblCluster(b *testing.B) { runExperiment(b, "abl-cluster") }
 func BenchmarkAblMargin(b *testing.B)  { runExperiment(b, "abl-margin") }
+
+// benchRunBatch executes one full batch (256 slots per PE) through the
+// sharded batch-execution engine with the given worker pool bound.
+func benchRunBatch(b *testing.B, pes, workers int) {
+	ex, err := bench.ScalingExecutable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := bench.ScalingInputs(pes * tech.PERows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ex.RunBatch(inputs, compile.WithParallelism(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "slots/s")
+}
+
+// BenchmarkRunBatch measures the sharded multi-PE batch engine at 1, 4
+// and 16 PEs with the default worker pool; compare against
+// BenchmarkRunBatchSerial for the multi-worker speedup.
+func BenchmarkRunBatch(b *testing.B) {
+	for _, pes := range bench.ScalingPEs {
+		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) { benchRunBatch(b, pes, 0) })
+	}
+}
+
+// BenchmarkRunBatchSerial runs the same sharded batches on a single
+// worker — the per-shard-serial baseline for BenchmarkRunBatch.
+func BenchmarkRunBatchSerial(b *testing.B) {
+	for _, pes := range bench.ScalingPEs {
+		b.Run(fmt.Sprintf("pes=%d", pes), func(b *testing.B) { benchRunBatch(b, pes, 1) })
+	}
+}

@@ -1,6 +1,8 @@
 // Command hyperap-run compiles a program and executes it on the
 // simulated Hyper-AP hardware for input values supplied on the command
-// line or as CSV lines on stdin (one SIMD slot per line).
+// line or as CSV lines on stdin (one SIMD slot per line). Batches larger
+// than the 256 rows of one PE are sharded across a multi-PE chip and
+// executed concurrently (see -parallel).
 //
 // Usage:
 //
@@ -25,6 +27,7 @@ func main() {
 	cmos := flag.Bool("cmos", false, "target the CMOS TCAM technology")
 	verify := flag.Bool("verify", true, "cross-check the simulator against the reference evaluator")
 	trace := flag.Bool("trace", false, "print one line per executed instruction with the tag population")
+	parallel := flag.Int("parallel", 0, "worker pool size for sharded batches (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: hyperap-run [flags] program.hap [inputs...]")
@@ -81,7 +84,11 @@ func main() {
 		}
 	}
 	var outs [][]uint64
+	pes := 1
 	if *trace {
+		if len(inputs) > tech.PERows {
+			fatal(fmt.Errorf("-trace executes on a single PE: %d slots exceed its %d rows", len(inputs), tech.PERows))
+		}
 		chip := ex.NewChip(len(inputs))
 		chip.TraceFn = func(ev arch.TraceEvent) {
 			fmt.Printf("trace %4d  +%2dcy  tags=%-3d  %s\n", ev.PC, ev.Cycles, ev.TaggedRows0, ev.Instr)
@@ -103,11 +110,13 @@ func main() {
 			outs = append(outs, o)
 		}
 	} else {
+		var chip *arch.Chip
 		var err error
-		outs, _, err = ex.Run(inputs)
+		outs, chip, err = ex.RunBatch(inputs, compile.WithParallelism(*parallel))
 		if err != nil {
 			fatal(err)
 		}
+		pes = chip.NumPEs()
 	}
 	for r, o := range outs {
 		parts := make([]string, len(o))
@@ -116,8 +125,8 @@ func main() {
 		}
 		fmt.Printf("slot %d: %s\n", r, strings.Join(parts, " "))
 	}
-	fmt.Printf("(%d slots, %d searches, %d writes, %.1f ns per pass)\n",
-		len(outs), ex.Stats.Searches, ex.Stats.Writes, ex.LatencyNS())
+	fmt.Printf("(%d slots on %d PE(s), %d searches, %d writes, %.1f ns per pass)\n",
+		len(outs), pes, ex.Stats.Searches, ex.Stats.Writes, ex.LatencyNS())
 }
 
 func inputList(ex *compile.Executable) string {

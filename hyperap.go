@@ -10,7 +10,9 @@
 //   - Compile turns a C-like program (§V-A of the paper) into an
 //     Executable for a chosen machine configuration; Executable.Run
 //     executes it SIMD-style, one data element per word row, on the
-//     simulated hardware.
+//     simulated hardware. Executable.RunBatch accepts batches of any
+//     size, sharding them 256 slots per PE across a multi-PE chip and
+//     executing the shards concurrently on a worker pool.
 //   - NewAssociativeMemory exposes the raw associative primitives
 //     (multi-pattern search, tag accumulation, associative write,
 //     population count, priority index) for content-addressable
@@ -23,6 +25,7 @@ package hyperap
 import (
 	"fmt"
 
+	"hyperap/internal/arch"
 	"hyperap/internal/bits"
 	"hyperap/internal/compile"
 	"hyperap/internal/encoding"
@@ -96,9 +99,27 @@ func Compile(src string, opts ...Option) (*Executable, error) {
 
 // Run executes the program for a batch of data elements (at most 256, one
 // per word row of a PE) on the simulated hardware and returns each
-// element's outputs.
+// element's outputs. An empty batch is an error; larger batches go
+// through RunBatch, which shards them across PEs.
 func (e *Executable) Run(inputs [][]uint64) ([][]uint64, error) {
 	outs, _, err := e.ex.Run(inputs)
+	return outs, err
+}
+
+// RunOption configures the sharded batch-execution path (RunBatch and
+// ReportBatch).
+type RunOption = compile.RunOption
+
+// WithParallelism bounds the batch worker pool to n goroutines; n <= 0
+// restores the default (GOMAXPROCS).
+func WithParallelism(n int) RunOption { return compile.WithParallelism(n) }
+
+// RunBatch executes the program for a batch of any size: slots are
+// sharded 256 per PE across a multi-PE chip, and the shards execute
+// concurrently on a bounded worker pool (WithParallelism). An empty batch
+// is an error.
+func (e *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64, error) {
+	outs, _, err := e.ex.RunBatch(inputs, opts...)
 	return outs, err
 }
 
@@ -106,16 +127,32 @@ func (e *Executable) Run(inputs [][]uint64) ([][]uint64, error) {
 // simulator's physical accounting.
 type RunReport struct {
 	Outputs [][]uint64
+	// PEs is the number of processing elements the batch was sharded
+	// onto (1 for Report, ceil(slots/256) for ReportBatch).
+	PEs int
 	// Cycles is the program's execution time in clock cycles (Table I
-	// costs); multiply by the clock period for wall time.
+	// costs); multiply by the clock period for wall time. Every PE steps
+	// the same instruction stream, so this is a per-pass quantity: it
+	// does not grow with the PE count.
 	Cycles int64
-	// EnergyJ is the energy of this one-PE execution (search, write,
-	// control, V/3 sneak leakage).
+	// EnergyJ is the energy of the execution (search, write, control,
+	// V/3 sneak leakage), aggregated across every PE of the chip.
 	EnergyJ float64
 	// MaxCellWrites is the largest number of programming pulses any
-	// single RRAM cell received — the endurance-relevant quantity that
-	// Multi-Search-Single-Write keeps low.
+	// single RRAM cell on any PE received — the endurance-relevant
+	// quantity that Multi-Search-Single-Write keeps low.
 	MaxCellWrites uint32
+}
+
+func reportFromChip(outs [][]uint64, chip *arch.Chip) *RunReport {
+	r := chip.Report()
+	return &RunReport{
+		Outputs:       outs,
+		PEs:           chip.NumPEs(),
+		Cycles:        r.Cycles,
+		EnergyJ:       r.Energy.TotalJ(),
+		MaxCellWrites: r.MaxCellWrites,
+	}
 }
 
 // Report executes the program like Run and additionally returns the
@@ -125,13 +162,17 @@ func (e *Executable) Report(inputs [][]uint64) (*RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := chip.Report()
-	return &RunReport{
-		Outputs:       outs,
-		Cycles:        r.Cycles,
-		EnergyJ:       r.Energy.TotalJ(),
-		MaxCellWrites: chip.PE(0).M.TCAM().WearReport().MaxPulses,
-	}, nil
+	return reportFromChip(outs, chip), nil
+}
+
+// ReportBatch executes the program like RunBatch and additionally returns
+// the physical accounting aggregated across all PEs of the sharded chip.
+func (e *Executable) ReportBatch(inputs [][]uint64, opts ...RunOption) (*RunReport, error) {
+	outs, chip, err := e.ex.RunBatch(inputs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromChip(outs, chip), nil
 }
 
 // Verify runs the program on the simulator and cross-checks every output

@@ -187,3 +187,68 @@ func TestCompileError(t *testing.T) {
 		t.Error("bad program must error")
 	}
 }
+
+// TestRunBatchPublicAPI shards a 600-slot batch across 3 PEs through the
+// public API and checks outputs against the golden model plus the
+// aggregated physical accounting.
+func TestRunBatchPublicAPI(t *testing.T) {
+	ex, err := Compile(`unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]uint64, 600)
+	for i := range inputs {
+		inputs[i] = []uint64{rng.Uint64() & 31, rng.Uint64() & 31}
+	}
+	outs, err := ex.RunBatch(inputs, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vals := range inputs {
+		if want := ex.Reference(vals); outs[i][0] != want[0] {
+			t.Fatalf("slot %d = %d, want %d", i, outs[i][0], want[0])
+		}
+	}
+	rep, err := ex.ReportBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PEs != 3 {
+		t.Errorf("PEs = %d, want 3 (600 slots at 256 per PE)", rep.PEs)
+	}
+	if len(rep.Outputs) != 600 || rep.EnergyJ <= 0 || rep.MaxCellWrites == 0 {
+		t.Errorf("batch report incomplete: %d outputs, %g J, %d max writes",
+			len(rep.Outputs), rep.EnergyJ, rep.MaxCellWrites)
+	}
+	// Cycles are per-pass: sharding must not inflate them.
+	single, err := ex.Report(inputs[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != single.Cycles {
+		t.Errorf("batch cycles = %d, single-PE cycles = %d; must match per pass", rep.Cycles, single.Cycles)
+	}
+	// Energy must aggregate across PEs: a 3-PE pass burns more than one PE.
+	if rep.EnergyJ <= single.EnergyJ {
+		t.Errorf("3-PE energy %g J not above single-PE %g J", rep.EnergyJ, single.EnergyJ)
+	}
+}
+
+// TestRunEmptyBatchErrors: the zero-slot execution is an explicit error
+// at the public API too.
+func TestRunEmptyBatchErrors(t *testing.T) {
+	ex, err := Compile(`unsigned int(3) main(unsigned int(2) a){ return a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(nil); err == nil {
+		t.Error("Run(nil) must error")
+	}
+	if _, err := ex.RunBatch(nil); err == nil {
+		t.Error("RunBatch(nil) must error")
+	}
+	if _, err := ex.ReportBatch(nil); err == nil {
+		t.Error("ReportBatch(nil) must error")
+	}
+}

@@ -8,14 +8,20 @@
 // instructions.
 //
 // The simulator executes ISA programs with the cycle costs of Table I and
-// produces an operation/energy report. Full-chip scale (131,072 PEs) is
-// extrapolated analytically by the bench harness; the simulator instance
-// is typically configured with a handful of PEs, which is enough to
-// verify functional behaviour row-for-row.
+// produces an operation/energy report. Programs made of per-subarray
+// instructions can additionally run through ExecuteParallel, which steps
+// independent subarrays concurrently on a bounded worker pool — each
+// subarray owns its operation ledger and the chip Report merges them at
+// the end — so multi-PE batches execute in parallel on the host too.
+// Full-chip scale (131,072 PEs) is still extrapolated analytically by the
+// bench harness; simulator instances are configured with up to a few
+// dozen PEs, enough to verify functional behaviour and scaling
+// row-for-row.
 package arch
 
 import (
 	"fmt"
+	"sync"
 
 	"hyperap/internal/bits"
 	"hyperap/internal/isa"
@@ -65,6 +71,12 @@ type PE struct {
 type Subarray struct {
 	PEs  []*PE
 	Keys []bits.Key // shared key/mask register contents
+
+	// searches/writes are this subarray's associative-operation ledger.
+	// Keeping the counters local to the subarray (merged into the chip
+	// Report on demand) lets independent subarrays step concurrently
+	// without sharing mutable state.
+	searches, writes int64
 }
 
 // Bank is a set of subarrays (Fig. 6b).
@@ -107,7 +119,10 @@ type TraceEvent struct {
 	TaggedRows0 int // tag population of PE 0 after the instruction
 }
 
-// Report summarises one or more Execute calls.
+// Report summarises one or more Execute/ExecuteParallel calls. Cycles is
+// per-pass wall-clock time (all PEs of a group step the same stream, so
+// it does not grow with the PE count); Searches, Writes, Energy and
+// MaxCellWrites aggregate across every PE of the chip.
 type Report struct {
 	Cycles      int64 // critical path: max over groups
 	GroupCycles []int64
@@ -115,6 +130,9 @@ type Report struct {
 	// PE-level associative operation counts (per active PE, summed).
 	Searches, Writes int64
 	Energy           tech.EnergyLedger
+	// MaxCellWrites is the largest number of programming pulses any
+	// single RRAM cell of any PE received (endurance exposure).
+	MaxCellWrites uint32
 }
 
 // New builds a chip.
@@ -172,8 +190,10 @@ func (c *Chip) PE(addr int) *PE {
 	return c.pes[addr]
 }
 
-// Report returns the accumulated execution report (energy assembled from
-// the crossbar statistics).
+// Report returns the accumulated execution report. Operation counts are
+// merged from the per-subarray ledgers, energy is assembled from the
+// per-PE crossbar statistics, and wear is the maximum over all PEs — the
+// chip-wide aggregation that multi-PE batch execution relies on.
 func (c *Chip) Report() Report {
 	r := c.report
 	r.GroupCycles = append([]int64(nil), c.report.GroupCycles...)
@@ -181,6 +201,19 @@ func (c *Chip) Report() Report {
 	for _, gc := range r.GroupCycles {
 		if gc > r.Cycles {
 			r.Cycles = gc
+		}
+	}
+	r.Searches, r.Writes = 0, 0
+	for _, bank := range c.banks {
+		for _, sub := range bank.Subarrays {
+			r.Searches += sub.searches
+			r.Writes += sub.writes
+		}
+	}
+	r.MaxCellWrites = 0
+	for _, pe := range c.pes {
+		if w := pe.M.TCAM().WearReport().MaxPulses; w > r.MaxCellWrites {
+			r.MaxCellWrites = w
 		}
 	}
 	r.Energy = c.energy()
@@ -260,6 +293,81 @@ func (c *Chip) Execute(prog isa.Program) error {
 	return nil
 }
 
+// parallelSafe reports whether the program consists only of per-subarray
+// instructions. Chip-level control (Broadcast, Wait) and the instructions
+// that communicate across PEs or with the top-level controller (MovR,
+// ReadR, WriteR) impose a global order, so programs containing them must
+// run on the serial Execute path.
+func parallelSafe(prog isa.Program) bool {
+	for _, in := range prog {
+		switch in.Op {
+		case isa.OpBroadcast, isa.OpWait, isa.OpMovR, isa.OpReadR, isa.OpWriteR:
+			return false
+		}
+	}
+	return true
+}
+
+// ExecuteParallel runs a program with the active subarrays stepping
+// concurrently on a pool of at most workers goroutines. It is
+// behaviourally identical to Execute: every subarray executes the same
+// instruction stream against its own PEs, key register and operation
+// ledger, and the chip-level accounting (instruction counts, group
+// cycles) — identical for every subarray — is charged once up front. The
+// serial Execute path is used when workers <= 1, when a TraceFn is
+// attached (tracing is inherently ordered), or when the program contains
+// chip-level instructions (see parallelSafe).
+func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
+	if workers <= 1 || c.TraceFn != nil || !parallelSafe(prog) {
+		return c.Execute(prog)
+	}
+	cp := c.CycleParams()
+	groups := c.activeGroups()
+	var subs []*Subarray
+	for _, g := range groups {
+		for _, bank := range g.Banks {
+			subs = append(subs, bank.Subarrays...)
+		}
+	}
+	for _, in := range prog {
+		c.report.Instr[in.Op]++
+		cycles := int64(in.Cycles(cp))
+		for _, g := range groups {
+			c.report.GroupCycles[c.groupIndex(g)] += cycles
+		}
+	}
+	if len(subs) == 0 {
+		return nil
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	work := make(chan *Subarray, len(subs))
+	for _, sub := range subs {
+		work <- sub
+	}
+	close(work)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sub := range work {
+				for pc, in := range prog {
+					if err := c.stepSubarray(in, sub); err != nil {
+						errCh <- fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
 func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
 	c.report.Instr[in.Op]++
 	cycles := int64(in.Cycles(cp))
@@ -321,7 +429,7 @@ func (c *Chip) stepSubarray(in isa.Instruction, sub *Subarray) error {
 				pe.M.LatchForEncode()
 			}
 		}
-		c.report.Searches += int64(len(sub.PEs))
+		sub.searches += int64(len(sub.PEs))
 		return nil
 	case isa.OpWrite:
 		col := int(in.Col)
@@ -339,7 +447,7 @@ func (c *Chip) stepSubarray(in isa.Instruction, sub *Subarray) error {
 				pe.M.Write(col, k)
 			}
 		}
-		c.report.Writes += int64(len(sub.PEs))
+		sub.writes += int64(len(sub.PEs))
 		return nil
 	case isa.OpCount:
 		for _, pe := range sub.PEs {

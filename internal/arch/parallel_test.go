@@ -1,0 +1,158 @@
+package arch
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/isa"
+)
+
+// shardedChip builds a chip shaped like the batch-execution engine's: one
+// PE per subarray, so every shard steps behind its own controller.
+func shardedChip(pes int) *Chip {
+	cfg := DefaultSmallConfig()
+	cfg.SubarraysPerBank = pes
+	cfg.PEsPerSubarray = 1
+	cfg.Rows = 8
+	cfg.Bits = 16
+	return New(cfg)
+}
+
+// fig5dProgram is the 1-bit full addition of Fig. 5d (shared with
+// TestExecuteFig5dProgram): inputs in columns 0-2, sum/cout in 3-4.
+func fig5dProgram(t *testing.T) isa.Program {
+	t.Helper()
+	k := func(s string, cols ...int) isa.Instruction {
+		parsed, err := bits.ParseKeys(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int]bits.Key{}
+		for i, col := range cols {
+			m[col] = parsed[i]
+		}
+		return isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(m)}
+	}
+	return isa.Program{
+		k("010", 0, 1, 2), isa.Search(false, false),
+		k("101", 0, 1, 2), isa.Search(true, false),
+		k("1", 3), isa.Write(3, false),
+		k("-11", 0, 1, 2), isa.Search(false, false),
+		k("1Z0", 0, 1, 2), isa.Search(true, false),
+		k("1", 4), isa.Write(4, false),
+		isa.Instruction{Op: isa.OpCount},
+		isa.Instruction{Op: isa.OpIndex},
+	}
+}
+
+func loadAdderRows(c *Chip) {
+	for p := 0; p < c.NumPEs(); p++ {
+		pe := c.PE(p)
+		for row := 0; row < 8; row++ {
+			// Vary the operands per PE so shards hold distinct data.
+			v := row ^ p
+			pe.M.LoadPair(row, 0, v&1 != 0, v&2 != 0)
+			pe.M.LoadBit(row, 2, v&4 != 0)
+			pe.M.LoadBit(row, 3, false)
+			pe.M.LoadBit(row, 4, false)
+		}
+	}
+}
+
+// TestExecuteParallelMatchesSerial runs the same program on two identical
+// multi-subarray chips — one through Execute, one through the concurrent
+// ExecuteParallel — and requires bit-identical machine state and reports.
+func TestExecuteParallelMatchesSerial(t *testing.T) {
+	serial, par := shardedChip(4), shardedChip(4)
+	loadAdderRows(serial)
+	loadAdderRows(par)
+	prog := fig5dProgram(t)
+	if err := serial.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.ExecuteParallel(prog, 4); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < serial.NumPEs(); p++ {
+		sp, pp := serial.PE(p), par.PE(p)
+		for row := 0; row < 8; row++ {
+			for col := 0; col < serial.Config.Bits; col++ {
+				if sp.M.TCAM().State(row, col) != pp.M.TCAM().State(row, col) {
+					t.Fatalf("PE %d cell (%d,%d) diverged", p, row, col)
+				}
+			}
+			if sp.M.Tags().Get(row) != pp.M.Tags().Get(row) {
+				t.Fatalf("PE %d tag %d diverged", p, row)
+			}
+		}
+		if sp.CountResult != pp.CountResult || sp.IndexResult != pp.IndexResult {
+			t.Errorf("PE %d reductions diverged: %d/%d vs %d/%d",
+				p, sp.CountResult, sp.IndexResult, pp.CountResult, pp.IndexResult)
+		}
+	}
+	sr, pr := serial.Report(), par.Report()
+	if sr.Cycles != pr.Cycles || sr.Searches != pr.Searches || sr.Writes != pr.Writes {
+		t.Errorf("reports diverged: serial %d cy %dS/%dW, parallel %d cy %dS/%dW",
+			sr.Cycles, sr.Searches, sr.Writes, pr.Cycles, pr.Searches, pr.Writes)
+	}
+	if sr.MaxCellWrites != pr.MaxCellWrites {
+		t.Errorf("wear diverged: %d vs %d", sr.MaxCellWrites, pr.MaxCellWrites)
+	}
+	if sr.Energy.TotalJ() != pr.Energy.TotalJ() {
+		t.Errorf("energy diverged: %g vs %g", sr.Energy.TotalJ(), pr.Energy.TotalJ())
+	}
+	for op, n := range sr.Instr {
+		if pr.Instr[op] != n {
+			t.Errorf("instr count %v diverged: %d vs %d", op, pr.Instr[op], n)
+		}
+	}
+	if sr.Searches != 4*int64(serial.NumPEs()) {
+		t.Errorf("searches = %d, want %d", sr.Searches, 4*serial.NumPEs())
+	}
+}
+
+// TestExecuteParallelFallback: programs with chip-level instructions
+// (here MovR) must take the serial path and still produce Execute's
+// result.
+func TestExecuteParallelFallback(t *testing.T) {
+	prog := isa.Program{isa.MovR(isa.DirRight)}
+	if parallelSafe(prog) {
+		t.Fatal("MovR must not be parallel-safe")
+	}
+	serial, par := shardedChip(2), shardedChip(2)
+	for _, c := range []*Chip{serial, par} {
+		c.PE(0).Data.Set(3, true)
+	}
+	if err := serial.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.ExecuteParallel(prog, 4); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		for i := 0; i < 512; i++ {
+			if serial.PE(p).Data.Get(i) != par.PE(p).Data.Get(i) {
+				t.Fatalf("PE %d data bit %d diverged", p, i)
+			}
+		}
+	}
+	if !par.PE(1).Data.Get(3) {
+		t.Error("MovR right must shift PE 0's register into PE 1")
+	}
+}
+
+// TestReportMaxCellWrites: the chip report must carry the worst wear over
+// every PE, not PE 0's.
+func TestReportMaxCellWrites(t *testing.T) {
+	c := shardedChip(3)
+	// Program the same column of PE 2 repeatedly through the associative
+	// write path (the wear-counted path); PE 0 stays untouched.
+	pe := c.PE(2)
+	pe.M.WriteAll(0, bits.K1)
+	pe.M.WriteAll(0, bits.K0)
+	pe.M.WriteAll(0, bits.K1)
+	r := c.Report()
+	if r.MaxCellWrites < 2 {
+		t.Errorf("MaxCellWrites = %d, want >= 2 (worst PE, not PE 0)", r.MaxCellWrites)
+	}
+}

@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{ID: "abl-array", Run: AblArray},
 		{ID: "abl-cluster", Run: AblCluster},
 		{ID: "abl-margin", Run: AblMargin},
+		{ID: "scale-pe", Run: MultiPEScaling},
 	}
 }
 

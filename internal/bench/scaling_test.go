@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+// TestMultiPEScaling regenerates the scale-pe table and checks the
+// scaling invariants that do not depend on host timing: per-pass cycles
+// flat in the PE count, operation counts aggregating linearly.
+func TestMultiPEScaling(t *testing.T) {
+	tbl, err := MultiPEScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ScalingPEs) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(ScalingPEs))
+	}
+	if tbl.Rows[0][2] != tbl.Rows[len(tbl.Rows)-1][2] {
+		t.Errorf("cycles/pass must not grow with PEs: %s vs %s", tbl.Rows[0][2], tbl.Rows[len(tbl.Rows)-1][2])
+	}
+	s1 := cellInt(t, tbl.Rows[0][3])
+	s16 := cellInt(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if s16 != s1*ScalingPEs[len(ScalingPEs)-1] {
+		t.Errorf("searches must aggregate linearly: 1 PE %d, 16 PEs %d", s1, s16)
+	}
+}

@@ -1,0 +1,75 @@
+package compile
+
+import (
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// TestLoadPairLoUnusedPartner is the regression test for the defensive
+// LocPairLo branch of Executable.Load: an input bit stored as the lo half
+// of an encoded pair whose hi half is a PI bit that belongs to no input
+// component (so it has no value at load time) must still be programmed —
+// with hi = 0 — and round-trip through ReadRow. If the branch were
+// skipped, the pair's two columns would stay in the erased X state and
+// reading the row back would fail to decode.
+func TestLoadPairLoUnusedPartner(t *testing.T) {
+	const (
+		loNode     = 1  // the stored input bit
+		singleNode = 2  // a plain companion bit
+		hiNode     = 99 // PI bit of no component: unused at load time
+	)
+	bitRefs := []BitRef{
+		{Node: loNode, Loc: Loc{Kind: LocPairLo, Col: 5, Partner: hiNode}},
+		{Node: singleNode, Loc: Loc{Kind: LocSingle, Col: 8}},
+	}
+	ex := &Executable{
+		Target:  HyperTarget(),
+		Inputs:  []Component{{Name: "a", Width: 2, Bits: bitRefs}},
+		Outputs: []Component{{Name: "y", Width: 2, Bits: bitRefs}},
+	}
+	chip := ex.NewChip(4)
+	pe := chip.PE(0)
+	for v := uint64(0); v < 4; v++ {
+		if err := ex.Load(pe, int(v), []uint64{v}); err != nil {
+			t.Fatalf("load %d: %v", v, err)
+		}
+	}
+	for v := uint64(0); v < 4; v++ {
+		out, err := ex.ReadRow(pe, int(v))
+		if err != nil {
+			t.Fatalf("read %d: %v", v, err)
+		}
+		if out[0] != v {
+			t.Errorf("row %d round-tripped as %d", v, out[0])
+		}
+		// The unused hi half must have been programmed to 0, not left X.
+		hi, lo, err := pe.M.ReadPair(int(v), 4) // hi column = Col-1
+		if err != nil {
+			t.Fatalf("row %d: pair not decodable (defensive load skipped?): %v", v, err)
+		}
+		if hi || lo != (v&1 == 1) {
+			t.Errorf("row %d: pair = (%v,%v), want (false,%v)", v, hi, lo, v&1 == 1)
+		}
+	}
+	// Control: when the partner IS a loaded input bit of another
+	// component, the defensive branch must stay out of the way and the
+	// LocPairHi load must win (hi keeps its real value).
+	ex2 := &Executable{
+		Target: HyperTarget(),
+		Inputs: []Component{
+			{Name: "a", Width: 1, Bits: []BitRef{{Node: loNode, Loc: Loc{Kind: LocPairLo, Col: 5, Partner: hiNode}}}},
+			{Name: "b", Width: 1, Bits: []BitRef{{Node: hiNode, Loc: Loc{Kind: LocPairHi, Col: 4, Partner: loNode}}}},
+		},
+	}
+	pe2 := ex2.NewChip(1).PE(0)
+	if err := ex2.Load(pe2, 0, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if hi, lo, err := pe2.M.ReadPair(0, 4); err != nil || !hi || !lo {
+		t.Errorf("shared pair = (%v,%v), err %v; want (true,true)", hi, lo, err)
+	}
+	if pe2.M.TCAM().State(0, 4) == bits.SX {
+		t.Error("hi column left erased")
+	}
+}

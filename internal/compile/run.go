@@ -1,7 +1,10 @@
 package compile
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hyperap/internal/arch"
 	"hyperap/internal/bits"
@@ -9,13 +12,25 @@ import (
 	"hyperap/internal/tech"
 )
 
+// ErrNoSlots is returned by Run and RunBatch for an empty batch: a
+// zero-slot execution would build a chip, run the whole program against
+// no data and return no outputs, which is never what the caller meant.
+var ErrNoSlots = errors.New("compile: batch has no input slots")
+
 // NewChip builds a one-PE simulator chip matching the executable's target
 // (word width, technology, array design) with the given number of word
 // rows (SIMD slots).
 func (ex *Executable) NewChip(rows int) *arch.Chip {
+	return ex.NewShardedChip(1, rows)
+}
+
+// NewShardedChip builds a simulator chip with one PE per shard, each
+// behind its own subarray controller (so shards can step concurrently),
+// matching the executable's target.
+func (ex *Executable) NewShardedChip(pes, rows int) *arch.Chip {
 	return arch.New(arch.Config{
 		Banks:            1,
-		SubarraysPerBank: 1,
+		SubarraysPerBank: pes,
 		PEsPerSubarray:   1,
 		Rows:             rows,
 		Bits:             ex.Target.WordBits,
@@ -23,6 +38,30 @@ func (ex *Executable) NewChip(rows int) *arch.Chip {
 		Tech:             ex.Target.Tech,
 		Monolithic:       ex.Target.Monolithic,
 	})
+}
+
+// RunOption configures the batch-execution path (RunBatch).
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	workers int
+}
+
+// WithParallelism bounds the RunBatch worker pool to n goroutines;
+// n <= 0 restores the default (GOMAXPROCS).
+func WithParallelism(n int) RunOption {
+	return func(c *runConfig) { c.workers = n }
+}
+
+func newRunConfig(opts []RunOption) runConfig {
+	c := runConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	return c
 }
 
 // Load stores one SIMD slot's input values into a PE row according to the
@@ -98,16 +137,18 @@ func (ex *Executable) ReadRow(pe *arch.PE, row int) ([]uint64, error) {
 
 // Run executes the program for a batch of SIMD slots (one row each) on a
 // fresh single-PE chip and returns each slot's outputs. It is the
-// reference execution path used by tests, examples and benchmarks.
+// reference execution path used by tests, examples and benchmarks. An
+// empty batch is an error (ErrNoSlots); batches larger than one PE's
+// tech.PERows rows must go through RunBatch.
 func (ex *Executable) Run(inputs [][]uint64) ([][]uint64, *arch.Chip, error) {
 	rows := len(inputs)
 	if rows == 0 {
-		rows = 1
+		return nil, nil, ErrNoSlots
 	}
 	if rows > tech.PERows {
-		return nil, nil, fmt.Errorf("compile: %d slots exceed the %d rows of one PE", len(inputs), tech.PERows)
+		return nil, nil, fmt.Errorf("compile: %d slots exceed the %d rows of one PE (use RunBatch to shard across PEs)", rows, tech.PERows)
 	}
-	chip := ex.NewChip(maxInt(rows, 1))
+	chip := ex.NewChip(rows)
 	pe := chip.PE(0)
 	for r, vals := range inputs {
 		if err := ex.Load(pe, r, vals); err != nil {
@@ -126,6 +167,95 @@ func (ex *Executable) Run(inputs [][]uint64) ([][]uint64, *arch.Chip, error) {
 		outs[r] = o
 	}
 	return outs, chip, nil
+}
+
+// RunBatch executes the program for an arbitrarily large batch of SIMD
+// slots: the batch is sharded tech.PERows slots per PE onto a chip with
+// one PE per shard, and the shards are loaded, executed and read back
+// concurrently on a bounded worker pool (WithParallelism, default
+// GOMAXPROCS). Every shard executes the same instruction stream, so the
+// chip report's Cycles is the per-pass latency regardless of shard count,
+// while energy, operation counts and wear aggregate across all PEs.
+func (ex *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64, *arch.Chip, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, nil, ErrNoSlots
+	}
+	cfg := newRunConfig(opts)
+	shards := (n + tech.PERows - 1) / tech.PERows
+	rows := min(n, tech.PERows)
+	chip := ex.NewShardedChip(shards, rows)
+	err := forEachShard(chip, shards, cfg.workers, func(pe *arch.PE, shard int) error {
+		base := shard * tech.PERows
+		for r := base; r < min(base+tech.PERows, n); r++ {
+			if err := ex.Load(pe, r-base, inputs[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := chip.ExecuteParallel(ex.Prog, cfg.workers); err != nil {
+		return nil, nil, err
+	}
+	outs := make([][]uint64, n)
+	err = forEachShard(chip, shards, cfg.workers, func(pe *arch.PE, shard int) error {
+		base := shard * tech.PERows
+		for r := base; r < min(base+tech.PERows, n); r++ {
+			o, err := ex.ReadRow(pe, r-base)
+			if err != nil {
+				return err
+			}
+			outs[r] = o
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, chip, nil
+}
+
+// forEachShard applies fn to every shard's PE on a pool of at most
+// workers goroutines and returns the first error. Shard s owns PE s
+// (NewShardedChip's linear order) and the slot range
+// [s*tech.PERows, (s+1)*tech.PERows).
+func forEachShard(chip *arch.Chip, shards, workers int, fn func(pe *arch.PE, shard int) error) error {
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			if err := fn(chip.PE(s), s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan int, shards)
+	for s := 0; s < shards; s++ {
+		work <- s
+	}
+	close(work)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				if err := fn(chip.PE(s), s); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
 }
 
 // Reference evaluates the source dataflow graph for one slot (the golden
@@ -169,11 +299,15 @@ func DriveCells(keys []bits.Key) int {
 	return n
 }
 
-// CheckAgainstReference runs the executable on the simulator for the
-// given inputs and compares every output with the DFG reference
-// evaluator, returning a descriptive error on the first mismatch.
+// CheckAgainstReference runs the executable on the simulator (through the
+// sharded batch path, so any batch size works) for the given inputs and
+// compares every output with the DFG reference evaluator, returning a
+// descriptive error on the first mismatch. Zero inputs check nothing.
 func (ex *Executable) CheckAgainstReference(inputs [][]uint64) error {
-	outs, _, err := ex.Run(inputs)
+	if len(inputs) == 0 {
+		return nil
+	}
+	outs, _, err := ex.RunBatch(inputs)
 	if err != nil {
 		return err
 	}
@@ -197,11 +331,4 @@ func (ex *Executable) InputWidths() []int {
 		ws[i] = c.Width
 	}
 	return ws
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

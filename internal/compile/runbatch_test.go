@@ -1,0 +1,109 @@
+package compile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hyperap/internal/tech"
+)
+
+// batchExecutable compiles a small addition on a narrowed word so the
+// 4096-slot case stays fast under -race (search cost scales with
+// rows × word bits).
+func batchExecutable(t *testing.T) *Executable {
+	t.Helper()
+	tgt := HyperTarget()
+	tgt.WordBits = 64
+	ex, err := CompileSource(`unsigned int(7) main(unsigned int(6) a, unsigned int(6) b){ return a + b; }`, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// TestRunBatchRaggedSizes shards ragged batch sizes across PEs on the
+// concurrent worker pool and checks every slot against the DFG reference
+// (run under -race by the `make check` target).
+func TestRunBatchRaggedSizes(t *testing.T) {
+	ex := batchExecutable(t)
+	for _, n := range []int{1, 255, 256, 257, 4096} {
+		inputs := randomInputs(ex, n, int64(n))
+		outs, chip, err := ex.RunBatch(inputs, WithParallelism(8))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantPEs := (n + tech.PERows - 1) / tech.PERows
+		if chip.NumPEs() != wantPEs {
+			t.Fatalf("n=%d: %d PEs, want %d", n, chip.NumPEs(), wantPEs)
+		}
+		for r, vals := range inputs {
+			want := ex.Reference(vals)
+			if outs[r][0] != want[0] {
+				t.Fatalf("n=%d slot %d: got %d, want %d (inputs %v)", n, r, outs[r][0], want[0], vals)
+			}
+		}
+		// Per-PE accounting must aggregate across every shard.
+		r := chip.Report()
+		if want := int64(ex.Stats.Searches) * int64(wantPEs); r.Searches != want {
+			t.Errorf("n=%d: report searches = %d, want %d (%d per PE)", n, r.Searches, want, ex.Stats.Searches)
+		}
+		if r.Cycles != ex.Stats.Cycles {
+			t.Errorf("n=%d: cycles = %d, want the per-pass %d regardless of PE count", n, r.Cycles, ex.Stats.Cycles)
+		}
+	}
+}
+
+// TestRunBatchMatchesSerial requires the worker pool to be behaviourally
+// identical to single-worker execution: same outputs, same aggregated
+// report.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	ex := batchExecutable(t)
+	inputs := randomInputs(ex, 700, 42)
+	souts, schip, err := ex.RunBatch(inputs, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pouts, pchip, err := ex.RunBatch(inputs, WithParallelism(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range inputs {
+		if souts[r][0] != pouts[r][0] {
+			t.Fatalf("slot %d diverged: %d vs %d", r, souts[r][0], pouts[r][0])
+		}
+	}
+	sr, pr := schip.Report(), pchip.Report()
+	if sr.Searches != pr.Searches || sr.Writes != pr.Writes || sr.Cycles != pr.Cycles ||
+		sr.MaxCellWrites != pr.MaxCellWrites || sr.Energy.TotalJ() != pr.Energy.TotalJ() {
+		t.Errorf("serial/parallel reports diverged:\n%+v\n%+v", sr, pr)
+	}
+}
+
+// TestRunZeroSlots: the zero-slot batch is an explicit error on both
+// execution paths, not a silent no-output execution.
+func TestRunZeroSlots(t *testing.T) {
+	ex := batchExecutable(t)
+	if _, _, err := ex.Run(nil); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("Run(nil) = %v, want ErrNoSlots", err)
+	}
+	if _, _, err := ex.Run([][]uint64{}); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("Run(empty) = %v, want ErrNoSlots", err)
+	}
+	if _, _, err := ex.RunBatch(nil); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("RunBatch(nil) = %v, want ErrNoSlots", err)
+	}
+	if err := ex.CheckAgainstReference(nil); err != nil {
+		t.Errorf("CheckAgainstReference(nil) = %v, want vacuous nil", err)
+	}
+}
+
+// TestRunOverflowPointsAtRunBatch: the single-PE path still rejects
+// oversized batches, and tells the caller where to go.
+func TestRunOverflowPointsAtRunBatch(t *testing.T) {
+	ex := batchExecutable(t)
+	_, _, err := ex.Run(randomInputs(ex, tech.PERows+1, 1))
+	if err == nil || !strings.Contains(err.Error(), "RunBatch") {
+		t.Errorf("oversized Run error = %v, want a pointer to RunBatch", err)
+	}
+}
