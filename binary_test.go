@@ -1,0 +1,66 @@
+package hyperap
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperap/internal/isa"
+)
+
+// TestBinaryRoundTrip drives Executable.Binary end to end: for a set of
+// public-API programs across option variants, decoding the emitted
+// binary must reproduce the exact instruction stream (same disassembly,
+// same re-encoded bytes). The per-kernel property test lives in
+// internal/workload; this covers the public entry point.
+func TestBinaryRoundTrip(t *testing.T) {
+	sources := []string{
+		`unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`,
+		`unsigned int(16) main(unsigned int(8) a, unsigned int(8) b){ return a * b; }`,
+		`unsigned int(8) main(unsigned int(8) a){
+			unsigned int(8) r;
+			if (a > 100) { r = a - 100; } else { r = a; }
+			return max(r, 7);
+		}`,
+	}
+	variants := map[string][]Option{
+		"hyper":       nil,
+		"cmos":        {WithCMOS()},
+		"traditional": {WithTraditionalAP()},
+		"noacc":       {WithoutAccumulation()},
+	}
+	for name, opts := range variants {
+		for i, src := range sources {
+			ex, err := Compile(src, opts...)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, i, err)
+			}
+			bin := ex.Binary()
+			dec, err := isa.DecodeProgram(bin)
+			if err != nil {
+				t.Fatalf("%s/%d: decode: %v", name, i, err)
+			}
+			if got, want := dec.String(), ex.Disassemble(); got != want {
+				t.Errorf("%s/%d: decoded disassembly diverges:\n got:\n%s\nwant:\n%s", name, i, got, want)
+			}
+			if !bytes.Equal(isa.EncodeProgram(dec), bin) {
+				t.Errorf("%s/%d: re-encode is not identity", name, i)
+			}
+		}
+	}
+}
+
+// TestProgramHandle pins the handle-reuse contract: the public helper,
+// distinctness across options, and stability across calls.
+func TestProgramHandle(t *testing.T) {
+	src := `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`
+	h := ProgramHandle(src)
+	if h == "" || h != ProgramHandle(src) {
+		t.Fatalf("handle not deterministic: %q", h)
+	}
+	if ProgramHandle(src, WithCMOS()) == h {
+		t.Error("different options must change the handle")
+	}
+	if ProgramHandle(src+" ") == h {
+		t.Error("different source must change the handle")
+	}
+}

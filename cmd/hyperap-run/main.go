@@ -8,10 +8,12 @@
 //
 //	hyperap-run program.hap 3,4 31,31
 //	echo "3,4" | hyperap-run program.hap
+//	hyperap-run -json program.hap 3,4   # the hyperap-serve /v1/run encoding
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 	"hyperap/internal/arch"
 	"hyperap/internal/compile"
+	"hyperap/internal/serve"
 	"hyperap/internal/tech"
 )
 
@@ -28,6 +31,7 @@ func main() {
 	verify := flag.Bool("verify", true, "cross-check the simulator against the reference evaluator")
 	trace := flag.Bool("trace", false, "print one line per executed instruction with the tag population")
 	parallel := flag.Int("parallel", 0, "worker pool size for sharded batches (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit outputs and the run report as JSON (the hyperap-serve /v1/run encoding)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: hyperap-run [flags] program.hap [inputs...]")
@@ -84,12 +88,12 @@ func main() {
 		}
 	}
 	var outs [][]uint64
-	pes := 1
+	var chip *arch.Chip
 	if *trace {
 		if len(inputs) > tech.PERows {
 			fatal(fmt.Errorf("-trace executes on a single PE: %d slots exceed its %d rows", len(inputs), tech.PERows))
 		}
-		chip := ex.NewChip(len(inputs))
+		chip = ex.NewChip(len(inputs))
 		chip.TraceFn = func(ev arch.TraceEvent) {
 			fmt.Printf("trace %4d  +%2dcy  tags=%-3d  %s\n", ev.PC, ev.Cycles, ev.TaggedRows0, ev.Instr)
 		}
@@ -110,13 +114,34 @@ func main() {
 			outs = append(outs, o)
 		}
 	} else {
-		var chip *arch.Chip
 		var err error
 		outs, chip, err = ex.RunBatch(inputs, compile.WithParallelism(*parallel))
 		if err != nil {
 			fatal(err)
 		}
-		pes = chip.NumPEs()
+	}
+	if *jsonOut {
+		// The same wire encoding a hyperap-serve /v1/run response uses,
+		// so downstream tooling can consume either interchangeably.
+		r := chip.Report()
+		resp := serve.RunResponse{
+			Program:     compile.Fingerprint(string(src), tgt),
+			OutputNames: outputList(ex),
+			Outputs:     outs,
+			Report: &serve.Report{
+				PEs:           chip.NumPEs(),
+				Cycles:        r.Cycles,
+				EnergyJ:       r.Energy.TotalJ(),
+				MaxCellWrites: r.MaxCellWrites,
+				BatchSlots:    len(outs),
+				BatchRequests: 1,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	for r, o := range outs {
 		parts := make([]string, len(o))
@@ -126,7 +151,15 @@ func main() {
 		fmt.Printf("slot %d: %s\n", r, strings.Join(parts, " "))
 	}
 	fmt.Printf("(%d slots on %d PE(s), %d searches, %d writes, %.1f ns per pass)\n",
-		len(outs), pes, ex.Stats.Searches, ex.Stats.Writes, ex.LatencyNS())
+		len(outs), chip.NumPEs(), ex.Stats.Searches, ex.Stats.Writes, ex.LatencyNS())
+}
+
+func outputList(ex *compile.Executable) []string {
+	names := make([]string, len(ex.Outputs))
+	for i, c := range ex.Outputs {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Width)
+	}
+	return names
 }
 
 func inputList(ex *compile.Executable) string {

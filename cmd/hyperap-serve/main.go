@@ -1,0 +1,76 @@
+// Command hyperap-serve runs the batching compile-and-execute service:
+// a long-lived HTTP/JSON front end over the Hyper-AP simulator with a
+// content-hashed LRU program cache, a micro-batching coalescer that
+// packs small run requests into full 256-slot PE shards, queue-depth
+// backpressure and expvar metrics.
+//
+// Usage:
+//
+//	hyperap-serve -addr :8763
+//	curl -s localhost:8763/v1/compile -d '{"source":"unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }"}'
+//	curl -s localhost:8763/v1/run -d '{"program":"sha256:...","inputs":[[3,4],[31,31]]}'
+//
+// SIGINT/SIGTERM drains gracefully: new runs get 503 while admitted work
+// finishes, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyperap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8763", "listen address")
+	window := flag.Duration("window", time.Millisecond, "coalescing window: how long a run may wait to share a pass")
+	flushSlots := flag.Int("flush-slots", 0, "flush a pending pass at this many slots (0 = one full PE shard)")
+	maxPrograms := flag.Int("max-programs", 0, "LRU program-cache capacity (0 = default 64)")
+	queueSlots := flag.Int("queue-slots", 0, "max slots admitted and not yet completed before 429 (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent RunBatch passes (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "per-pass shard worker pool, as hyperap-run -parallel (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxPrograms:    *maxPrograms,
+		CoalesceWindow: *window,
+		FlushSlots:     *flushSlots,
+		MaxQueueSlots:  *queueSlots,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		Parallelism:    *parallel,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("hyperap-serve listening on %s (window %v)", *addr, *window)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("hyperap-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("hyperap-serve: draining (up to %v)...", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("hyperap-serve: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hyperap-serve: shutdown: %v", err)
+	}
+	fmt.Println("hyperap-serve: drained")
+}

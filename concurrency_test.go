@@ -1,0 +1,75 @@
+package hyperap
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestExecutableConcurrentCallers is the stress test behind the
+// documented guarantee that one Executable may be shared by concurrent
+// callers: 32 goroutines hammer the same compiled program through Run,
+// RunBatch, ReportBatch and Verify with distinct inputs, checking every
+// output against the reference evaluator. Run under -race by
+// `make check` — a data race anywhere in the execution path (shared chip
+// state, layout mutation, stats aliasing) fails the run.
+func TestExecutableConcurrentCallers(t *testing.T) {
+	ex, err := Compile(`unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			inputs := make([][]uint64, 1+rng.Intn(300)) // some spill onto a second PE
+			for i := range inputs {
+				inputs[i] = []uint64{rng.Uint64() & 31, rng.Uint64() & 31}
+			}
+			var outs [][]uint64
+			var err error
+			switch g % 4 {
+			case 0:
+				outs, err = ex.Run(inputs[:min(len(inputs), 256)])
+				inputs = inputs[:min(len(inputs), 256)]
+			case 1:
+				outs, err = ex.RunBatch(inputs)
+			case 2:
+				rep, rerr := ex.ReportBatch(inputs)
+				if rerr != nil {
+					errs <- rerr
+					return
+				}
+				if rep.EnergyJ <= 0 || rep.Cycles == 0 {
+					t.Errorf("goroutine %d: empty report %+v", g, rep)
+				}
+				outs, err = rep.Outputs, nil
+			default:
+				if err := ex.Verify(inputs); err != nil {
+					errs <- err
+				}
+				return
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, vals := range inputs {
+				if want := ex.Reference(vals); !reflect.DeepEqual(outs[i], want) {
+					t.Errorf("goroutine %d slot %d: got %v, want %v", g, i, outs[i], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

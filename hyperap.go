@@ -76,7 +76,28 @@ func WithoutAccumulation() Option {
 // Stats are the compilation statistics (searches, writes, cycles …).
 type Stats = compile.Stats
 
+// ProgramHandle returns the content hash ("sha256:…") that identifies a
+// program compiled from src with the given options — the same handle
+// hyperap-serve assigns in POST /v1/compile responses and accepts in
+// POST /v1/run, so a client can address a server-cached program without
+// re-sending the source.
+func ProgramHandle(src string, opts ...Option) string {
+	tgt := compile.HyperTarget()
+	for _, o := range opts {
+		o(&tgt)
+	}
+	return compile.Fingerprint(src, tgt)
+}
+
 // Executable is a compiled Hyper-AP program.
+//
+// An Executable is immutable after Compile: Run, RunBatch, Report,
+// ReportBatch, Verify, Reference and every accessor build fresh simulator
+// state per call and never mutate the program, so one Executable may be
+// shared and executed by any number of goroutines concurrently. This is
+// the guarantee the hyperap-serve program cache relies on (one cached
+// compile serving many in-flight requests); it is enforced by
+// race-enabled stress tests.
 type Executable struct {
 	ex *compile.Executable
 }

@@ -99,6 +99,13 @@ type LUTInfo struct {
 }
 
 // Executable is a compiled program plus its data layout.
+//
+// An Executable is immutable once Compile returns: Run, RunBatch,
+// Reference, CheckAgainstReference and every accessor only read it, and
+// each execution builds fresh chip state. Any number of goroutines may
+// therefore share one Executable and execute it concurrently without
+// synchronisation (the guarantee hyperap-serve's coalescer relies on;
+// enforced by race-enabled stress tests).
 type Executable struct {
 	Target  Target
 	DFG     *dfg.Graph

@@ -1,0 +1,33 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CanonicalOptions renders the compilation-relevant target fields in a
+// fixed, order-independent text form. Two targets with equal canonical
+// options compile any given source to the same instruction stream, so the
+// string is a sound cache-key component for compiled-program caches (the
+// technology is identified by name: the serving layer only ever builds
+// targets from the stock RRAM()/CMOS() constructors).
+func (t Target) CanonicalOptions() string {
+	return fmt.Sprintf("tech=%s mono=%t mode=%d k=%d cuts=%d word=%d noacc=%t singlebit=%t",
+		t.Tech.Name, t.Monolithic, t.Mode, t.K, t.CutsPerNode, t.WordBits,
+		t.NoAccumulation, t.SingleBitInputs)
+}
+
+// Fingerprint returns the content hash identifying a compiled program:
+// SHA-256 over the canonical target options and the source text, in the
+// "sha256:<hex>" form used as the program handle by hyperap-serve. Equal
+// fingerprints mean byte-identical generated programs, so the expensive
+// compile pipeline (DFG → AIG → LUT → codegen) needs to run only once per
+// distinct fingerprint.
+func Fingerprint(src string, tgt Target) string {
+	h := sha256.New()
+	h.Write([]byte(tgt.CanonicalOptions()))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}

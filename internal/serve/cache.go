@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"hyperap/internal/compile"
+)
+
+// program is one cached compiled program plus its coalescer. The
+// executable is immutable after compilation (see the concurrency note on
+// compile.Executable), so any number of in-flight runs may keep using a
+// program after it is evicted from the cache; eviction only stops new
+// handle lookups from finding it.
+type program struct {
+	handle string
+	source string
+	tgt    compile.Target
+
+	// ready is closed once the compile pipeline finished (ex or err set).
+	// Concurrent requests for the same fingerprint share one compilation.
+	ready chan struct{}
+	ex    *compile.Executable
+	err   error
+
+	co *coalescer
+
+	hits atomic.Int64 // lookups served from cache
+}
+
+// programCache is an LRU map from content fingerprint to compiled
+// program. Capacity counts programs, not bytes: an Executable is
+// dominated by its instruction stream, which is bounded by the PE
+// geometry, so a program count is a faithful size proxy.
+type programCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *program
+	m   map[string]*list.Element
+}
+
+func newProgramCache(capacity int) *programCache {
+	return &programCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// lookup returns the cached program for a handle, refreshing its LRU
+// position. The caller must still wait on ready before using it.
+func (c *programCache) lookup(handle string) (*program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[handle]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	p := el.Value.(*program)
+	p.hits.Add(1)
+	return p, true
+}
+
+// getOrCreate returns the resident program for the fingerprint, or
+// inserts a new placeholder entry (evicting the LRU program beyond
+// capacity) that the caller must compile and publish with finish. created
+// reports which case happened; when false the caller must wait on
+// p.ready.
+func (c *programCache) getOrCreate(handle, src string, tgt compile.Target, s *Server) (p *program, created bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[handle]; ok {
+		c.ll.MoveToFront(el)
+		p = el.Value.(*program)
+		p.hits.Add(1)
+		return p, false, 0
+	}
+	p = &program{handle: handle, source: src, tgt: tgt, ready: make(chan struct{})}
+	p.co = newCoalescer(s, p)
+	c.m[handle] = c.ll.PushFront(p)
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*program).handle)
+		evicted++
+	}
+	return p, true, evicted
+}
+
+// finish publishes the result of compiling a placeholder entry. Failed
+// compilations are removed so a corrected resubmission recompiles.
+func (c *programCache) finish(p *program, ex *compile.Executable, err error) {
+	p.ex, p.err = ex, err
+	if err != nil {
+		c.mu.Lock()
+		if el, ok := c.m[p.handle]; ok && el.Value.(*program) == p {
+			c.ll.Remove(el)
+			delete(c.m, p.handle)
+		}
+		c.mu.Unlock()
+	}
+	close(p.ready)
+}
+
+// snapshot lists the resident programs, most recently used first.
+func (c *programCache) snapshot() []*program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*program, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*program))
+	}
+	return out
+}
+
+// each calls fn on every resident program (used by drain to flush every
+// coalescer).
+func (c *programCache) each(fn func(*program)) {
+	for _, p := range c.snapshot() {
+		fn(p)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// waiter is one in-flight run request parked in a coalescer. The runner
+// fills outs/report/err and closes done exactly once; a caller whose
+// context expires first simply abandons the waiter (the shared pass still
+// completes for the other requests in it).
+type waiter struct {
+	inputs [][]uint64
+	enq    time.Time
+
+	done   chan struct{}
+	outs   [][]uint64
+	report *Report
+	err    error
+}
+
+// coalescer queues run requests against one compiled program and flushes
+// them through a single RunBatch pass when the pending slots fill a
+// 256-slot PE shard (Config.FlushSlots) or the coalescing window elapses,
+// whichever comes first. Requests keep their submission order inside the
+// pass, so each waiter's outputs are a contiguous slice of the pass
+// outputs.
+type coalescer struct {
+	s *Server
+	p *program
+
+	mu    sync.Mutex
+	pend  []*waiter
+	slots int
+	timer *time.Timer
+}
+
+func newCoalescer(s *Server, p *program) *coalescer {
+	return &coalescer{s: s, p: p}
+}
+
+// submit parks a waiter for the next pass. With immediate set (the
+// request opted out of coalescing) everything pending flushes at once.
+// Admission control (queue depth, draining) already happened in the
+// handler.
+func (c *coalescer) submit(w *waiter, immediate bool) {
+	c.mu.Lock()
+	c.pend = append(c.pend, w)
+	c.slots += len(w.inputs)
+	if immediate || c.slots >= c.s.cfg.FlushSlots {
+		batch, slots := c.takeLocked()
+		c.mu.Unlock()
+		c.dispatch(batch, slots)
+		return
+	}
+	if c.timer == nil {
+		c.timer = time.AfterFunc(c.s.cfg.CoalesceWindow, c.flushNow)
+	}
+	c.mu.Unlock()
+}
+
+// flushNow flushes whatever is pending (window expiry, or drain).
+func (c *coalescer) flushNow() {
+	c.mu.Lock()
+	batch, slots := c.takeLocked()
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.dispatch(batch, slots)
+	}
+}
+
+// takeLocked detaches the pending batch and disarms the window timer.
+func (c *coalescer) takeLocked() ([]*waiter, int) {
+	batch, slots := c.pend, c.slots
+	c.pend, c.slots = nil, 0
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch, slots
+}
+
+// dispatch hands a detached batch to the server's bounded worker pool.
+// The goroutine is tracked by the in-flight waitgroup so drain can wait
+// for it; queue slots are released only after the pass completes, so the
+// backpressure limit covers queued plus running work.
+func (c *coalescer) dispatch(batch []*waiter, slots int) {
+	c.s.inflight.Add(1)
+	go func() {
+		defer c.s.inflight.Done()
+		c.s.sem <- struct{}{}
+		defer func() { <-c.s.sem }()
+		defer c.s.releaseSlots(slots)
+		c.runPass(batch, slots)
+	}()
+}
+
+// runPass executes one coalesced pass through RunBatch and fans the
+// outputs back to every waiter.
+func (c *coalescer) runPass(batch []*waiter, slots int) {
+	met := c.s.met
+	start := time.Now()
+	for _, w := range batch {
+		met.queueWaitNS.Add(start.Sub(w.enq).Nanoseconds())
+	}
+	inputs := make([][]uint64, 0, slots)
+	for _, w := range batch {
+		inputs = append(inputs, w.inputs...)
+	}
+	outs, chip, err := c.p.ex.RunBatch(inputs, c.s.runOpts...)
+	met.runNS.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		for _, w := range batch {
+			w.err = err
+			close(w.done)
+		}
+		return
+	}
+	r := chip.Report()
+	report := &Report{
+		PEs:           chip.NumPEs(),
+		Cycles:        r.Cycles,
+		EnergyJ:       r.Energy.TotalJ(),
+		MaxCellWrites: r.MaxCellWrites,
+		BatchSlots:    slots,
+		BatchRequests: len(batch),
+	}
+	met.searches.Add(r.Searches)
+	met.writes.Add(r.Writes)
+	met.energyJ.Add(r.Energy.TotalJ())
+	met.recordFlush(len(batch), slots)
+	off := 0
+	for _, w := range batch {
+		w.outs = outs[off : off+len(w.inputs)]
+		w.report = report
+		off += len(w.inputs)
+		close(w.done)
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperap/internal/compile"
+)
+
+// TestServeE2EConcurrentClients is the acceptance gate for the serving
+// layer (run under -race by `make check`): 48 concurrent clients hammer
+// a live httptest server with small batches of the same program, and
+// every client must get outputs bit-identical to calling RunBatch
+// directly. Afterwards the coalescer must have been observed packing
+// several requests into one pass, and a second identical compile must be
+// a cache hit.
+func TestServeE2EConcurrentClients(t *testing.T) {
+	const clients = 48
+
+	s := New(Config{CoalesceWindow: 20 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Golden outputs straight from RunBatch on the same target the
+	// server compiles for.
+	tgt, err := Options{}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := compile.CompileSource(addSrc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	clientInputs := make([][][]uint64, clients)
+	golden := make([][][]uint64, clients)
+	for c := range clientInputs {
+		slots := 1 + rng.Intn(8)
+		in := make([][]uint64, slots)
+		for i := range in {
+			in[i] = []uint64{rng.Uint64() & 31, rng.Uint64() & 31}
+		}
+		clientInputs[c] = in
+		outs, _, err := ex.RunBatch(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[c] = outs
+	}
+
+	// Fire every client at once so their requests land inside one
+	// coalescing window.
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	got := make([]RunResponse, clients)
+	codes := make([]int, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer done.Done()
+			start.Wait()
+			codes[c], errs[c] = postClient(ts.URL+"/v1/run",
+				RunRequest{Source: addSrc, Inputs: clientInputs[c]}, &got[c])
+		}(c)
+	}
+	start.Done()
+	done.Wait()
+
+	occupied := false
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil || codes[c] != 200 {
+			t.Fatalf("client %d: status %d err %v", c, codes[c], errs[c])
+		}
+		if !reflect.DeepEqual(got[c].Outputs, golden[c]) {
+			t.Fatalf("client %d outputs diverge from RunBatch:\n  got  %v\n  want %v",
+				c, got[c].Outputs, golden[c])
+		}
+		if got[c].Report == nil {
+			t.Fatalf("client %d: no report", c)
+		}
+		if got[c].Report.BatchRequests > 1 {
+			occupied = true
+		}
+	}
+	if !occupied {
+		t.Error("no client rode a coalesced pass (every report has batchRequests == 1)")
+	}
+	if s.met.maxBatchRequests.Value() <= 1 {
+		t.Errorf("batch_max_requests = %d, want > 1 (coalescer never packed a multi-request pass)",
+			s.met.maxBatchRequests.Value())
+	}
+	if s.met.flushes.Value() == 0 || s.met.searches.Value() == 0 {
+		t.Errorf("pass metrics empty: flushes=%d searches=%d",
+			s.met.flushes.Value(), s.met.searches.Value())
+	}
+
+	// All 48 clients ran the same source: exactly one compile, the rest
+	// cache hits; a fresh identical compile must also be a hit.
+	if s.met.cacheMisses.Value() != 1 {
+		t.Errorf("cache_misses = %d, want 1 (one compile for 48 clients)", s.met.cacheMisses.Value())
+	}
+	var comp CompileResponse
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &comp); code != 200 {
+		t.Fatalf("compile status %d", code)
+	}
+	if !comp.Cached || comp.Program != compile.Fingerprint(addSrc, tgt) {
+		t.Errorf("second identical compile: cached=%t program=%s", comp.Cached, comp.Program)
+	}
+}
+
+// postClient is the goroutine-safe flavor of post: it returns errors
+// instead of calling t.Fatal off the test goroutine.
+func postClient(url string, body RunRequest, into *RunResponse) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+)
+
+// metrics is the server's counter set, built on stdlib expvar types. The
+// vars live in a private expvar.Map rather than the process-global expvar
+// namespace so that several servers (tests, embedded uses) never collide
+// on Publish; GET /metrics serialises the map, whose String method is
+// already the expvar JSON encoding.
+type metrics struct {
+	root *expvar.Map
+
+	requests *expvar.Map // per "<endpoint> <status>" response counts
+
+	cacheHits      expvar.Int
+	cacheMisses    expvar.Int
+	cacheEvictions expvar.Int
+
+	flushes           expvar.Int
+	coalescedRequests expvar.Int  // run requests that shared a pass with ≥1 other
+	occupancy         *expvar.Map // flushes by requests-per-pass bucket
+	rejectedQueueFull expvar.Int
+	rejectedDraining  expvar.Int
+
+	queueDepthSlots expvar.Int // gauge: slots admitted and not yet run
+	queueWaitNS     expvar.Int // total submit→flush wait
+	runNS           expvar.Int // total RunBatch wall time
+
+	// Aggregated simulator accounting across every completed pass.
+	searches expvar.Int
+	writes   expvar.Int
+	energyJ  expvar.Float
+
+	mu               sync.Mutex
+	maxBatchRequests expvar.Int // high-water requests per pass
+	maxBatchSlots    expvar.Int // high-water slot occupancy per pass
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		root:      new(expvar.Map).Init(),
+		requests:  new(expvar.Map).Init(),
+		occupancy: new(expvar.Map).Init(),
+	}
+	m.root.Set("requests", m.requests)
+	m.root.Set("cache_hits", &m.cacheHits)
+	m.root.Set("cache_misses", &m.cacheMisses)
+	m.root.Set("cache_evictions", &m.cacheEvictions)
+	m.root.Set("batch_flushes", &m.flushes)
+	m.root.Set("batch_coalesced_requests", &m.coalescedRequests)
+	m.root.Set("batch_occupancy", m.occupancy)
+	m.root.Set("batch_max_requests", &m.maxBatchRequests)
+	m.root.Set("batch_max_slots", &m.maxBatchSlots)
+	m.root.Set("rejected_queue_full", &m.rejectedQueueFull)
+	m.root.Set("rejected_draining", &m.rejectedDraining)
+	m.root.Set("queue_depth_slots", &m.queueDepthSlots)
+	m.root.Set("queue_wait_ns", &m.queueWaitNS)
+	m.root.Set("run_ns", &m.runNS)
+	m.root.Set("sim_searches", &m.searches)
+	m.root.Set("sim_writes", &m.writes)
+	m.root.Set("sim_energy_j", &m.energyJ)
+	return m
+}
+
+// occupancyBucket buckets a pass by how many requests it carried.
+func occupancyBucket(requests int) string {
+	switch {
+	case requests <= 1:
+		return "1"
+	case requests <= 4:
+		return "2-4"
+	case requests <= 16:
+		return "5-16"
+	case requests <= 64:
+		return "17-64"
+	default:
+		return "65+"
+	}
+}
+
+// recordFlush accounts one completed coalescer pass.
+func (m *metrics) recordFlush(requests, slots int) {
+	m.flushes.Add(1)
+	m.occupancy.Add(occupancyBucket(requests), 1)
+	if requests > 1 {
+		m.coalescedRequests.Add(int64(requests))
+	}
+	m.mu.Lock()
+	if int64(requests) > m.maxBatchRequests.Value() {
+		m.maxBatchRequests.Set(int64(requests))
+	}
+	if int64(slots) > m.maxBatchSlots.Value() {
+		m.maxBatchSlots.Set(int64(slots))
+	}
+	m.mu.Unlock()
+}
+
+// recordResponse counts one HTTP response by endpoint and status code.
+func (m *metrics) recordResponse(endpoint string, status int) {
+	m.requests.Add(fmt.Sprintf("%s %d", endpoint, status), 1)
+}

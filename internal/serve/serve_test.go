@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/lut"
+)
+
+const addSrc = `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`
+
+// post sends a JSON body and decodes the JSON response, returning the
+// status code.
+func post(t *testing.T, url string, body, into any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func get(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestOptionsTarget(t *testing.T) {
+	tgt, err := Options{}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Tech.Name != "RRAM" || tgt.Mode != lut.ModeHyper || tgt.K != lut.MaxInputs {
+		t.Errorf("zero options = %+v, want the stock Hyper-AP target", tgt)
+	}
+	tgt, err = Options{Tech: "cmos", Traditional: true, LUTInputs: 4}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Tech.Name != "CMOS" || tgt.Mode != lut.ModeTraditional || !tgt.Monolithic || tgt.K != 4 {
+		t.Errorf("options not applied: %+v", tgt)
+	}
+	if _, err := (Options{Tech: "nvm"}).Target(); err == nil {
+		t.Error("unknown tech must error")
+	}
+	if _, err := (Options{LUTInputs: 1}).Target(); err == nil {
+		t.Error("lutInputs below 2 must error")
+	}
+	// Distinct options must produce distinct fingerprints; equal options
+	// must not.
+	a, _ := Options{}.Target()
+	b, _ := Options{Tech: "cmos"}.Target()
+	if compile.Fingerprint(addSrc, a) == compile.Fingerprint(addSrc, b) {
+		t.Error("different tech, same fingerprint")
+	}
+	if compile.Fingerprint(addSrc, a) != compile.Fingerprint(addSrc, a) {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestCompileCacheAndPrograms(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var first, second CompileResponse
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &first); code != 200 {
+		t.Fatalf("compile status %d", code)
+	}
+	if first.Cached {
+		t.Error("first compile cannot be a cache hit")
+	}
+	if !strings.HasPrefix(first.Program, "sha256:") || first.Stats.Searches == 0 {
+		t.Errorf("compile response incomplete: %+v", first)
+	}
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &second); code != 200 {
+		t.Fatalf("recompile status %d", code)
+	}
+	if !second.Cached || second.Program != first.Program {
+		t.Errorf("identical source must be a cache hit with the same handle: %+v", second)
+	}
+	if s.met.cacheHits.Value() == 0 || s.met.cacheMisses.Value() != 1 {
+		t.Errorf("cache metrics: hits=%d misses=%d", s.met.cacheHits.Value(), s.met.cacheMisses.Value())
+	}
+	// Different options are a different program.
+	var cmos CompileResponse
+	post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc, Options: Options{Tech: "cmos"}}, &cmos)
+	if cmos.Program == first.Program || cmos.Cached {
+		t.Errorf("cmos target must compile a distinct program: %+v", cmos)
+	}
+
+	var progs struct {
+		Programs []ProgramInfo `json:"programs"`
+	}
+	if code := get(t, ts.URL+"/v1/programs", &progs); code != 200 {
+		t.Fatalf("programs status %d", code)
+	}
+	if len(progs.Programs) != 2 {
+		t.Fatalf("programs lists %d entries, want 2", len(progs.Programs))
+	}
+	// Most recently used first; the RRAM program has one hit.
+	if progs.Programs[0].Program != cmos.Program {
+		t.Errorf("MRU order wrong: %v", progs.Programs)
+	}
+
+	var health map[string]string
+	if code := get(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, health)
+	}
+	var met map[string]any
+	if code := get(t, ts.URL+"/metrics", &met); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if _, ok := met["cache_hits"]; !ok {
+		t.Errorf("metrics missing cache_hits: %v", met)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s := New(Config{MaxPrograms: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srcs := []string{
+		`unsigned int(4) main(unsigned int(3) a){ return a + 1; }`,
+		`unsigned int(4) main(unsigned int(3) a){ return a + 2; }`,
+		`unsigned int(4) main(unsigned int(3) a){ return a + 3; }`,
+	}
+	var handles []string
+	for _, src := range srcs {
+		var resp CompileResponse
+		if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: src}, &resp); code != 200 {
+			t.Fatalf("compile status %d", code)
+		}
+		handles = append(handles, resp.Program)
+	}
+	if s.met.cacheEvictions.Value() != 1 {
+		t.Errorf("evictions = %d, want 1", s.met.cacheEvictions.Value())
+	}
+	// The first program was evicted: running by handle 404s, recompiling
+	// is a miss.
+	var errResp ErrorResponse
+	code := post(t, ts.URL+"/v1/run", RunRequest{Program: handles[0], Inputs: [][]uint64{{1}}}, &errResp)
+	if code != http.StatusNotFound || !strings.Contains(errResp.Error, "evicted") {
+		t.Errorf("evicted handle: status %d, %v", code, errResp)
+	}
+	var resp CompileResponse
+	post(t, ts.URL+"/v1/compile", CompileRequest{Source: srcs[0]}, &resp)
+	if resp.Cached {
+		t.Error("evicted program recompile cannot be a cache hit")
+	}
+}
+
+func TestRunByHandleAndInline(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var comp CompileResponse
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &comp); code != 200 {
+		t.Fatal("compile failed")
+	}
+	var run RunResponse
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Program: comp.Program, Inputs: [][]uint64{{3, 4}, {31, 31}}}, &run); code != 200 {
+		t.Fatalf("run status %d", code)
+	}
+	if len(run.Outputs) != 2 || run.Outputs[0][0] != 7 || run.Outputs[1][0] != 62 {
+		t.Errorf("outputs = %v, want [[7] [62]]", run.Outputs)
+	}
+	if run.Report == nil || run.Report.Cycles == 0 || run.Report.EnergyJ <= 0 || run.Report.BatchSlots < 2 {
+		t.Errorf("report incomplete: %+v", run.Report)
+	}
+	if run.Program != comp.Program || len(run.OutputNames) != 1 {
+		t.Errorf("response incomplete: %+v", run)
+	}
+	// Inline source takes the same path through the cache.
+	var inline RunResponse
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Source: addSrc, Inputs: [][]uint64{{5, 6}}}, &inline); code != 200 {
+		t.Fatalf("inline run status %d", code)
+	}
+	if inline.Program != comp.Program || inline.Outputs[0][0] != 11 {
+		t.Errorf("inline run = %+v", inline)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  RunRequest
+		code int
+	}{
+		{"neither", RunRequest{Inputs: [][]uint64{{1, 2}}}, 400},
+		{"both", RunRequest{Program: "sha256:x", Source: addSrc, Inputs: [][]uint64{{1, 2}}}, 400},
+		{"unknown handle", RunRequest{Program: "sha256:nope", Inputs: [][]uint64{{1, 2}}}, 404},
+		{"empty inputs", RunRequest{Source: addSrc}, 400},
+		{"arity", RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2, 3}}}, 400},
+		{"bad tech", RunRequest{Source: addSrc, Options: Options{Tech: "nvm"}, Inputs: [][]uint64{{1, 2}}}, 400},
+		{"bad program", RunRequest{Source: "nope", Inputs: [][]uint64{{1}}}, 400},
+	}
+	for _, c := range cases {
+		var errResp ErrorResponse
+		if code := post(t, ts.URL+"/v1/run", c.req, &errResp); code != c.code {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, code, c.code, errResp)
+		}
+	}
+	// Malformed JSON and wrong method.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	if code := get(t, ts.URL+"/v1/run", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d", code)
+	}
+	var errResp ErrorResponse
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{}, &errResp); code != 400 {
+		t.Errorf("empty compile: status %d", code)
+	}
+}
+
+// TestNoCoalesceFlushesImmediately: with a window far longer than the
+// test, a noCoalesce run must not wait for co-batched requests.
+func TestNoCoalesceFlushesImmediately(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Hour})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var run RunResponse
+	done := make(chan error, 1)
+	go func() {
+		code, err := postClient(ts.URL+"/v1/run",
+			RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}, NoCoalesce: true}, &run)
+		if err == nil && code != 200 {
+			err = fmt.Errorf("run status %d", code)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("noCoalesce run waited for the window")
+	}
+	if run.Report == nil || run.Report.BatchRequests != 1 {
+		t.Errorf("report = %+v, want a single-request pass", run.Report)
+	}
+}
+
+// TestRequestTimeout: a run parked behind an hour-long window must come
+// back as 504 when the per-request deadline is shorter, without tearing
+// down the server.
+func TestRequestTimeout(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Hour, RequestTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var errResp ErrorResponse
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}}, &errResp); code != http.StatusGatewayTimeout {
+		t.Fatalf("parked run: status %d (%v), want 504", code, errResp)
+	}
+	var health map[string]string
+	if code := get(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Errorf("server unhealthy after a request timeout: %d", code)
+	}
+}
+
+// TestBackpressureAndDrain fills the queue behind a long coalescing
+// window, checks that the next request is rejected with 429, then drains:
+// the parked work must still complete, and post-drain requests get 503.
+func TestBackpressureAndDrain(t *testing.T) {
+	s := New(Config{MaxQueueSlots: 4, CoalesceWindow: time.Hour})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Warm the cache so the parked run doesn't hold the compile path.
+	var comp CompileResponse
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &comp); code != 200 {
+		t.Fatal("compile failed")
+	}
+
+	type result struct {
+		code int
+		run  RunResponse
+	}
+	parked := make(chan result, 1)
+	go func() {
+		var run RunResponse
+		code, err := postClient(ts.URL+"/v1/run",
+			RunRequest{Program: comp.Program, Inputs: [][]uint64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}}, &run)
+		if err != nil {
+			code = -1
+		}
+		parked <- result{code, run}
+	}()
+	// Wait until the four slots are admitted and parked in the coalescer.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.queued.Load() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked run never admitted (queued=%d)", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var errResp ErrorResponse
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Program: comp.Program, Inputs: [][]uint64{{5, 5}}}, &errResp); code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit run: status %d (%v), want 429", code, errResp)
+	}
+	if s.met.rejectedQueueFull.Value() != 1 {
+		t.Errorf("rejected_queue_full = %d, want 1", s.met.rejectedQueueFull.Value())
+	}
+
+	// Drain: the parked pass must flush and complete, not be dropped.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-parked
+	if res.code != 200 || len(res.run.Outputs) != 4 || res.run.Outputs[3][0] != 8 {
+		t.Fatalf("parked run after drain: status %d outputs %v", res.code, res.run.Outputs)
+	}
+
+	// Post-drain: runs rejected with 503, healthz reports draining.
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Program: comp.Program, Inputs: [][]uint64{{1, 2}}}, &errResp); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain run: status %d, want 503", code)
+	}
+	var health map[string]string
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health["status"] != "draining" {
+		t.Errorf("post-drain healthz = %d %v", code, health)
+	}
+}

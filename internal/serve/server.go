@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/tech"
+)
+
+// Config tunes the server. The zero value means "use the default" for
+// every field.
+type Config struct {
+	// MaxPrograms is the LRU program-cache capacity (default 64).
+	MaxPrograms int
+	// CoalesceWindow is how long a run request may wait for co-batched
+	// requests before its pass flushes anyway (default 1ms).
+	CoalesceWindow time.Duration
+	// FlushSlots flushes a pending pass as soon as it reaches this many
+	// slots (default tech.PERows, one full PE shard).
+	FlushSlots int
+	// MaxQueueSlots bounds the slots admitted but not yet completed;
+	// beyond it new runs are rejected with 429 (default 16×tech.PERows).
+	MaxQueueSlots int
+	// Workers bounds the RunBatch passes executing concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// RequestTimeout is the per-request deadline; a run that cannot
+	// complete in time returns 504 (default 60s).
+	RequestTimeout time.Duration
+	// Parallelism is passed to RunBatch as WithParallelism for the
+	// intra-pass shard pool (default 0 = GOMAXPROCS).
+	Parallelism int
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPrograms <= 0 {
+		c.MaxPrograms = 64
+	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = time.Millisecond
+	}
+	if c.FlushSlots <= 0 {
+		c.FlushSlots = tech.PERows
+	}
+	if c.MaxQueueSlots <= 0 {
+		c.MaxQueueSlots = 16 * tech.PERows
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the hyperap-serve HTTP handler: an LRU compiled-program
+// cache in front of per-program micro-batching coalescers, with bounded
+// concurrency and queue-depth backpressure. Create with New, mount as an
+// http.Handler, and call Drain before process exit.
+type Server struct {
+	cfg     Config
+	cache   *programCache
+	met     *metrics
+	runOpts []compile.RunOption
+
+	sem      chan struct{} // worker-pool slots for RunBatch passes
+	inflight sync.WaitGroup
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	mux *http.ServeMux
+}
+
+// New builds a server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		met:     newMetrics(),
+		runOpts: []compile.RunOption{},
+	}
+	s.cache = newProgramCache(s.cfg.MaxPrograms)
+	s.sem = make(chan struct{}, s.cfg.Workers)
+	if s.cfg.Parallelism > 0 {
+		s.runOpts = append(s.runOpts, compile.WithParallelism(s.cfg.Parallelism))
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/compile", s.handleCompile)
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting new runs, flushes every coalescer and waits for
+// all admitted work to complete (or the context to expire). healthz
+// reports "draining" from the first call on.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		// A request admitted just before draining flipped may still be
+		// parked behind a window timer; keep flushing until the queue is
+		// empty (slots are released only when their pass completes).
+		s.cache.each(func(p *program) {
+			if p.co != nil {
+				p.co.flushNow()
+			}
+		})
+		if s.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d slots still in flight: %w", s.queued.Load(), ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// admitSlots reserves queue capacity for a run request.
+func (s *Server) admitSlots(n int) error {
+	if s.draining.Load() {
+		s.met.rejectedDraining.Add(1)
+		return errDraining
+	}
+	if s.queued.Add(int64(n)) > int64(s.cfg.MaxQueueSlots) {
+		s.queued.Add(int64(-n))
+		s.met.rejectedQueueFull.Add(1)
+		return errQueueFull
+	}
+	s.met.queueDepthSlots.Set(s.queued.Load())
+	return nil
+}
+
+func (s *Server) releaseSlots(n int) {
+	s.queued.Add(int64(-n))
+	s.met.queueDepthSlots.Set(s.queued.Load())
+}
+
+var (
+	errQueueFull = errors.New("serve: run queue is full")
+	errDraining  = errors.New("serve: server is draining")
+)
+
+// compileProgram resolves (source, options) to a resident program,
+// compiling at most once per fingerprint. cached reports whether the
+// compile pipeline was skipped.
+func (s *Server) compileProgram(ctx context.Context, src string, opts Options) (*program, bool, error) {
+	tgt, err := opts.Target()
+	if err != nil {
+		return nil, false, err
+	}
+	handle := compile.Fingerprint(src, tgt)
+	p, created, evicted := s.cache.getOrCreate(handle, src, tgt, s)
+	if evicted > 0 {
+		s.met.cacheEvictions.Add(int64(evicted))
+	}
+	if created {
+		s.met.cacheMisses.Add(1)
+		ex, err := compile.CompileSource(src, tgt)
+		s.cache.finish(p, ex, err)
+		return p, false, err
+	}
+	s.met.cacheHits.Add(1)
+	select {
+	case <-p.ready:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	return p, p.err == nil, p.err
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	var req CompileRequest
+	if !s.decode(w, r, "compile", &req, http.MethodPost) {
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, "compile", http.StatusBadRequest, errors.New("source is required"))
+		return
+	}
+	p, cached, err := s.compileProgram(ctx, req.Source, req.Options)
+	if err != nil {
+		s.writeError(w, "compile", compileStatus(err), err)
+		return
+	}
+	s.writeJSON(w, "compile", http.StatusOK, CompileResponse{
+		Program:   p.handle,
+		Cached:    cached,
+		Inputs:    componentNames(p.ex.Inputs),
+		Outputs:   componentNames(p.ex.Outputs),
+		Stats:     statsJSON(p.ex.Stats),
+		LatencyNS: p.ex.LatencyNS(),
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	var req RunRequest
+	if !s.decode(w, r, "run", &req, http.MethodPost) {
+		return
+	}
+	var p *program
+	switch {
+	case req.Program != "" && req.Source != "":
+		s.writeError(w, "run", http.StatusBadRequest, errors.New("set either program or source, not both"))
+		return
+	case req.Program != "":
+		var ok bool
+		p, ok = s.cache.lookup(req.Program)
+		if !ok {
+			s.writeError(w, "run", http.StatusNotFound,
+				fmt.Errorf("unknown program %s (it may have been evicted; POST /v1/compile again)", req.Program))
+			return
+		}
+		select {
+		case <-p.ready:
+		case <-ctx.Done():
+			s.writeError(w, "run", http.StatusGatewayTimeout, ctx.Err())
+			return
+		}
+		if p.err != nil {
+			s.writeError(w, "run", http.StatusBadRequest, p.err)
+			return
+		}
+	case req.Source != "":
+		var err error
+		p, _, err = s.compileProgram(ctx, req.Source, req.Options)
+		if err != nil {
+			s.writeError(w, "run", compileStatus(err), err)
+			return
+		}
+	default:
+		s.writeError(w, "run", http.StatusBadRequest, errors.New("program or source is required"))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		s.writeError(w, "run", http.StatusBadRequest, errors.New("inputs must hold at least one slot"))
+		return
+	}
+	for i, row := range req.Inputs {
+		if len(row) != len(p.ex.Inputs) {
+			s.writeError(w, "run", http.StatusBadRequest,
+				fmt.Errorf("slot %d has %d values; program takes %d (%v)",
+					i, len(row), len(p.ex.Inputs), componentNames(p.ex.Inputs)))
+			return
+		}
+	}
+	if err := s.admitSlots(len(req.Inputs)); err != nil {
+		s.writeError(w, "run", rejectStatus(err), err)
+		return
+	}
+	wtr := &waiter{inputs: req.Inputs, enq: time.Now(), done: make(chan struct{})}
+	p.co.submit(wtr, req.NoCoalesce)
+	select {
+	case <-wtr.done:
+	case <-ctx.Done():
+		// The pass still completes for the other coalesced requests; this
+		// caller just stops waiting for its slice.
+		s.writeError(w, "run", http.StatusGatewayTimeout, ctx.Err())
+		return
+	}
+	if wtr.err != nil {
+		s.writeError(w, "run", http.StatusInternalServerError, wtr.err)
+		return
+	}
+	s.writeJSON(w, "run", http.StatusOK, RunResponse{
+		Program:     p.handle,
+		OutputNames: componentNames(p.ex.Outputs),
+		Outputs:     wtr.outs,
+		Report:      wtr.report,
+	})
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "programs", http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	infos := []ProgramInfo{}
+	for _, p := range s.cache.snapshot() {
+		select {
+		case <-p.ready:
+		default:
+			continue // still compiling
+		}
+		if p.err != nil {
+			continue
+		}
+		infos = append(infos, ProgramInfo{
+			Program:     p.handle,
+			Inputs:      componentNames(p.ex.Inputs),
+			Outputs:     componentNames(p.ex.Outputs),
+			Stats:       statsJSON(p.ex.Stats),
+			SourceBytes: len(p.source),
+			Hits:        p.hits.Load(),
+		})
+	}
+	s.writeJSON(w, "programs", http.StatusOK, map[string]any{"programs": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.met.recordResponse("metrics", http.StatusOK)
+	io.WriteString(w, s.met.root.String())
+	io.WriteString(w, "\n")
+}
+
+// decode parses a JSON request body, enforcing the method and body limit.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, endpoint string, into any, method string) bool {
+	if r.Method != method {
+		s.writeError(w, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any) {
+	s.met.recordResponse(endpoint, status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.writeJSON(w, endpoint, status, ErrorResponse{Error: err.Error()})
+}
+
+// compileStatus maps a compileProgram error to an HTTP status: context
+// expiry is a timeout, anything else is a bad program or bad options.
+func compileStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// rejectStatus maps an admission error: queue overflow is 429 (retry
+// later), draining is 503 (go elsewhere).
+func rejectStatus(err error) int {
+	if errors.Is(err, errQueueFull) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
+}

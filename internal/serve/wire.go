@@ -1,0 +1,185 @@
+// Package serve implements hyperap-serve: a long-lived HTTP/JSON
+// compile-and-execute service over the Hyper-AP simulator. It amortizes
+// the expensive compile pipeline with a content-hash-keyed LRU program
+// cache and aggregates small run requests into full 256-slot PE shards
+// with a micro-batching coalescer, so that independent callers share the
+// SIMD width of the hardware (the throughput condition of the AP model:
+// searches only pay off when every word row carries live data).
+//
+// Endpoints:
+//
+//	POST /v1/compile   source + options → program handle + Stats
+//	POST /v1/run       handle or inline source + input batch → outputs + report
+//	GET  /v1/programs  the cached programs
+//	GET  /healthz      ok | draining
+//	GET  /metrics      expvar-style JSON counters
+//
+// See DESIGN.md §8 for the cache key, coalescing window and backpressure
+// semantics.
+package serve
+
+import (
+	"fmt"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/lut"
+	"hyperap/internal/tech"
+)
+
+// Options is the wire form of the compilation options, mirroring the
+// public hyperap.Option set. The zero value is the paper's main
+// configuration (RRAM Hyper-AP, 12-input LUTs).
+type Options struct {
+	// Tech selects the TCAM technology: "" or "rram" (default), "cmos".
+	Tech string `json:"tech,omitempty"`
+	// Traditional targets the traditional associative processor
+	// (Single-Search-Single-Pattern, monolithic array).
+	Traditional bool `json:"traditional,omitempty"`
+	// Monolithic uses the single-crossbar array design (writes are twice
+	// as slow).
+	Monolithic bool `json:"monolithic,omitempty"`
+	// NoAccumulation disables the accumulation unit.
+	NoAccumulation bool `json:"noAccumulation,omitempty"`
+	// LUTInputs overrides the lookup-table input limit (2..12; 0 = the
+	// default 12).
+	LUTInputs int `json:"lutInputs,omitempty"`
+}
+
+// Target resolves the wire options to a compiler target.
+func (o Options) Target() (compile.Target, error) {
+	tgt := compile.HyperTarget()
+	switch o.Tech {
+	case "", "rram":
+	case "cmos":
+		tgt.Tech = tech.CMOS()
+	default:
+		return compile.Target{}, fmt.Errorf("unknown tech %q (want \"rram\" or \"cmos\")", o.Tech)
+	}
+	if o.Traditional {
+		tgt.Mode = lut.ModeTraditional
+		tgt.Monolithic = true
+	}
+	if o.Monolithic {
+		tgt.Monolithic = true
+	}
+	if o.NoAccumulation {
+		tgt.NoAccumulation = true
+	}
+	if o.LUTInputs != 0 {
+		if o.LUTInputs < 2 || o.LUTInputs > lut.MaxInputs {
+			return compile.Target{}, fmt.Errorf("lutInputs %d outside 2..%d", o.LUTInputs, lut.MaxInputs)
+		}
+		tgt.K = o.LUTInputs
+	}
+	return tgt, nil
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	Source  string  `json:"source"`
+	Options Options `json:"options"`
+}
+
+// Stats is the wire form of the compilation statistics.
+type Stats struct {
+	Searches      int   `json:"searches"`
+	Writes        int   `json:"writes"`
+	EncodedWrites int   `json:"encodedWrites"`
+	SetKeys       int   `json:"setKeys"`
+	LUTs          int   `json:"luts"`
+	Patterns      int   `json:"patterns"`
+	Cycles        int64 `json:"cycles"`
+	PeakColumns   int   `json:"peakColumns"`
+	AIGNodes      int   `json:"aigNodes"`
+}
+
+func statsJSON(s compile.Stats) Stats {
+	return Stats{
+		Searches:      s.Searches,
+		Writes:        s.Writes,
+		EncodedWrites: s.EncodedWrites,
+		SetKeys:       s.SetKeys,
+		LUTs:          s.LUTs,
+		Patterns:      s.Patterns,
+		Cycles:        s.Cycles,
+		PeakColumns:   s.PeakColumns,
+		AIGNodes:      s.AIGNodes,
+	}
+}
+
+// CompileResponse is the body of a successful POST /v1/compile: the
+// content-hashed program handle plus the compilation statistics. Cached
+// reports whether the program was already resident (the compile pipeline
+// did not run again).
+type CompileResponse struct {
+	Program   string   `json:"program"`
+	Cached    bool     `json:"cached"`
+	Inputs    []string `json:"inputs"`
+	Outputs   []string `json:"outputs"`
+	Stats     Stats    `json:"stats"`
+	LatencyNS float64  `json:"latencyNs"`
+}
+
+// RunRequest is the body of POST /v1/run. Exactly one of Program (a
+// handle from /v1/compile) or Source must be set; Options only applies
+// with inline Source. Inputs holds one row per SIMD slot, each with one
+// value per program input (masked to the declared width, like RunBatch).
+type RunRequest struct {
+	Program string     `json:"program,omitempty"`
+	Source  string     `json:"source,omitempty"`
+	Options Options    `json:"options"`
+	Inputs  [][]uint64 `json:"inputs"`
+	// NoCoalesce flushes this request through its own RunBatch
+	// immediately instead of waiting out the coalescing window.
+	NoCoalesce bool `json:"noCoalesce,omitempty"`
+}
+
+// Report is the wire form of the physical accounting for the RunBatch
+// pass the request's slots rode in. When the coalescer packed several
+// requests into one pass, BatchSlots/BatchRequests cover the whole pass
+// (energy and operation counts are properties of the shared pass, not of
+// one caller's slice of it).
+type Report struct {
+	PEs           int     `json:"pes"`
+	Cycles        int64   `json:"cycles"`
+	EnergyJ       float64 `json:"energyJ"`
+	MaxCellWrites uint32  `json:"maxCellWrites"`
+	// BatchSlots is the total slot occupancy of the flushed pass;
+	// BatchRequests is how many coalesced requests shared it.
+	BatchSlots    int `json:"batchSlots"`
+	BatchRequests int `json:"batchRequests"`
+}
+
+// RunResponse is the body of a successful POST /v1/run. The same
+// encoding is emitted by `hyperap-run -json`.
+type RunResponse struct {
+	Program     string     `json:"program"`
+	OutputNames []string   `json:"outputNames"`
+	Outputs     [][]uint64 `json:"outputs"`
+	Report      *Report    `json:"report,omitempty"`
+}
+
+// ProgramInfo is one entry of GET /v1/programs.
+type ProgramInfo struct {
+	Program     string   `json:"program"`
+	Inputs      []string `json:"inputs"`
+	Outputs     []string `json:"outputs"`
+	Stats       Stats    `json:"stats"`
+	SourceBytes int      `json:"sourceBytes"`
+	Hits        int64    `json:"hits"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// componentNames renders "name:width" for each input or output component
+// (the same form as hyperap.Executable.InputNames).
+func componentNames(comps []compile.Component) []string {
+	names := make([]string, len(comps))
+	for i, c := range comps {
+		names[i] = fmt.Sprintf("%s:%d", c.Name, c.Width)
+	}
+	return names
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/isa"
+)
+
+// hyperKernels memoizes the Hyper-AP compilation of each kernel so the
+// round-trip test doesn't pay the compile pipeline a second time after
+// TestKernelsCompileAndVerify (the executables are immutable and safe to
+// share).
+var hyperKernels sync.Map // name → *compile.Executable
+
+func compiledHyperKernel(t *testing.T, k *Kernel) *compile.Executable {
+	t.Helper()
+	if ex, ok := hyperKernels.Load(k.Name); ok {
+		return ex.(*compile.Executable)
+	}
+	ex, err := k.Compile(compile.HyperTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyperKernels.Store(k.Name, ex)
+	return ex
+}
+
+// TestISABinaryRoundTripAllKernels is the end-to-end property test for
+// the Table I binary format: over every compiled example program of the
+// application study, DecodeProgram(EncodeProgram(p)) must be the
+// identity, and re-encoding the decoded program must reproduce the same
+// bytes. Compiled kernels exercise every instruction shape the code
+// generator emits (SetKey immediates, encoded writes, reductions), which
+// synthetic unit tests of single instructions cannot guarantee.
+func TestISABinaryRoundTripAllKernels(t *testing.T) {
+	heavy := map[string]bool{"srad": true, "lud": true, "backprop": true}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if testing.Short() && heavy[k.Name] {
+				t.Skip("heavy kernel skipped in -short mode")
+			}
+			roundTrip(t, compiledHyperKernel(t, k).Prog)
+		})
+	}
+}
+
+// TestISABinaryRoundTripTargets repeats the round-trip property across
+// the compiler's other targets (traditional AP, CMOS, monolithic), whose
+// code generators emit different instruction mixes.
+func TestISABinaryRoundTripTargets(t *testing.T) {
+	k, err := KernelByName("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]compile.Target{
+		"hyper-cmos":  compile.HyperCMOSTarget(),
+		"traditional": compile.TraditionalTarget(compile.HyperTarget().Tech),
+	}
+	noacc := compile.HyperTarget()
+	noacc.NoAccumulation = true
+	targets["no-accumulation"] = noacc
+	for name, tgt := range targets {
+		t.Run(name, func(t *testing.T) {
+			ex, err := k.Compile(tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, ex.Prog)
+		})
+	}
+}
+
+func roundTrip(t *testing.T, p isa.Program) {
+	t.Helper()
+	enc := isa.EncodeProgram(p)
+	if len(enc) != p.TotalBytes() {
+		t.Errorf("encoded %d bytes, TotalBytes says %d", len(enc), p.TotalBytes())
+	}
+	dec, err := isa.DecodeProgram(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(p) {
+		t.Fatalf("decoded %d instructions, want %d", len(dec), len(p))
+	}
+	for i := range p {
+		if !reflect.DeepEqual(dec[i], p[i]) {
+			t.Fatalf("instruction %d diverged after round trip:\n  in:  %#v\n  out: %#v", i, p[i], dec[i])
+		}
+	}
+	if re := isa.EncodeProgram(dec); !bytes.Equal(re, enc) {
+		t.Fatal("re-encoding the decoded program produced different bytes")
+	}
+}

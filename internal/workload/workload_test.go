@@ -3,8 +3,6 @@ package workload
 import (
 	"math/rand"
 	"testing"
-
-	"hyperap/internal/compile"
 )
 
 func TestSuiteShape(t *testing.T) {
@@ -48,10 +46,7 @@ func TestKernelsCompileAndVerify(t *testing.T) {
 			if testing.Short() && heavy[k.Name] {
 				t.Skip("heavy kernel skipped in -short mode")
 			}
-			ex, err := k.Compile(compile.HyperTarget())
-			if err != nil {
-				t.Fatal(err)
-			}
+			ex := compiledHyperKernel(t, k)
 			rng := rand.New(rand.NewSource(17))
 			inputs := k.Inputs(rng, ex, 24)
 			if err := ex.CheckAgainstReference(inputs); err != nil {
