@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-short check bench
+.PHONY: build test vet staticcheck race race-short check bench cover trace-demo
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,18 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The concurrency gate: vet plus every test under the race detector.
-check: vet race
+# Static analysis beyond vet. Skips with a note when the staticcheck
+# binary is not installed (it is not vendored; CI installs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# The concurrency gate: vet, staticcheck (if present) plus every test
+# under the race detector.
+check: vet staticcheck race
 
 race:
 	$(GO) test -race ./...
@@ -30,3 +40,15 @@ race-short:
 # the worker-pool speedup on a multi-core host).
 bench:
 	$(GO) test -run=NONE -bench=RunBatch -benchtime=2x .
+
+# Coverage profile across every package (uploaded as a CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Emit a sample Perfetto trace (trace-demo.json) from the example add
+# kernel — load it at ui.perfetto.dev. Exercises the full traced
+# RunBatch path end to end.
+trace-demo:
+	$(GO) run ./cmd/hyperap-run -verify=false -trace-json trace-demo.json examples/kernels/add.hap 3,4 31,31
+	@echo "wrote trace-demo.json (open at ui.perfetto.dev)"

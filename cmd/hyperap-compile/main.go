@@ -13,6 +13,8 @@
 //	-k N           lookup-table input limit (2..12, default 12)
 //	-bin file      also write the Table I binary encoding to a file
 //	-q             print statistics only (no disassembly)
+//	-trace-json f  write a Chrome trace-event JSON of a dry traced pass
+//	               (one full-occupancy PE on zero inputs) for Perfetto
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"hyperap/internal/compile"
 	"hyperap/internal/isa"
 	"hyperap/internal/lut"
+	"hyperap/internal/obs"
 	"hyperap/internal/tech"
 )
 
@@ -33,6 +36,7 @@ func main() {
 	binOut := flag.String("bin", "", "write the binary instruction encoding to this file")
 	quiet := flag.Bool("q", false, "print statistics only")
 	luts := flag.Bool("luts", false, "print a lookup-table size histogram")
+	traceJSON := flag.String("trace-json", "", "write a Chrome/Perfetto trace of a dry traced pass to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -92,6 +96,38 @@ func main() {
 		}
 		fmt.Printf("binary:        %s\n", *binOut)
 	}
+	if *traceJSON != "" {
+		if err := writeDryTrace(ex, tgt, flag.Arg(0), *traceJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:         %s (load at ui.perfetto.dev)\n", *traceJSON)
+	}
+}
+
+// writeDryTrace executes the program once on a single full-occupancy PE
+// over zero inputs with tracing on — the compile-time analogue of
+// EnergyPerPE — and exports the Chrome trace-event JSON.
+func writeDryTrace(ex *compile.Executable, tgt compile.Target, name, path string) error {
+	chip := ex.NewChip(tech.PERows)
+	chip.Tracing = true
+	pe := chip.PE(0)
+	zero := make([]uint64, len(ex.Inputs))
+	for r := 0; r < tech.PERows; r++ {
+		if err := ex.Load(pe, r, zero); err != nil {
+			return err
+		}
+	}
+	if err := chip.Execute(ex.Prog); err != nil {
+		return err
+	}
+	b, err := obs.ChromeTrace(chip.TraceEvents(), obs.TraceMeta{
+		Program:       name,
+		CyclePeriodNS: tgt.Tech.CyclePeriodNS(),
+	})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func modeName(t compile.Target) string {

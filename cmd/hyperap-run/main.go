@@ -20,8 +20,8 @@ import (
 	"strconv"
 	"strings"
 
-	"hyperap/internal/arch"
 	"hyperap/internal/compile"
+	"hyperap/internal/obs"
 	"hyperap/internal/serve"
 	"hyperap/internal/tech"
 )
@@ -29,7 +29,8 @@ import (
 func main() {
 	cmos := flag.Bool("cmos", false, "target the CMOS TCAM technology")
 	verify := flag.Bool("verify", true, "cross-check the simulator against the reference evaluator")
-	trace := flag.Bool("trace", false, "print one line per executed instruction with the tag population")
+	trace := flag.Bool("trace", false, "print one line per executed instruction per PE with the tag population")
+	traceJSON := flag.String("trace-json", "", "write a Chrome/Perfetto trace of the run to this file (open at ui.perfetto.dev)")
 	parallel := flag.Int("parallel", 0, "worker pool size for sharded batches (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit outputs and the run report as JSON (the hyperap-serve /v1/run encoding)")
 	flag.Parse()
@@ -87,38 +88,38 @@ func main() {
 			fatal(fmt.Errorf("simulator/reference mismatch: %v", err))
 		}
 	}
-	var outs [][]uint64
-	var chip *arch.Chip
+	// Tracing rides the ordinary sharded batch path: per-subarray trace
+	// ledgers make it parallel-safe, so any batch size works (the stream
+	// is merged and stable-sorted by (Seq, PE)).
+	opts := []compile.RunOption{compile.WithParallelism(*parallel)}
+	if *trace || *traceJSON != "" {
+		opts = append(opts, compile.WithTrace())
+	}
+	outs, chip, err := ex.RunBatch(inputs, opts...)
+	if err != nil {
+		fatal(err)
+	}
 	if *trace {
-		if len(inputs) > tech.PERows {
-			fatal(fmt.Errorf("-trace executes on a single PE: %d slots exceed its %d rows", len(inputs), tech.PERows))
-		}
-		chip = ex.NewChip(len(inputs))
-		chip.TraceFn = func(ev arch.TraceEvent) {
-			fmt.Printf("trace %4d  +%2dcy  tags=%-3d  %s\n", ev.PC, ev.Cycles, ev.TaggedRows0, ev.Instr)
-		}
-		pe := chip.PE(0)
-		for r, vals := range inputs {
-			if err := ex.Load(pe, r, vals); err != nil {
-				fatal(err)
+		for _, ev := range chip.TraceEvents() {
+			if ev.PE < 0 {
+				fmt.Printf("trace chip   %4d  +%2dcy  %s\n", ev.PC, ev.Cycles, ev.Instr)
+				continue
 			}
+			fmt.Printf("trace pe%-4d %4d  +%2dcy  tags=%-3d  %s\n", ev.PE, ev.PC, ev.Cycles, ev.TaggedRows, ev.Instr)
 		}
-		if err := chip.Execute(ex.Prog); err != nil {
-			fatal(err)
-		}
-		for r := range inputs {
-			o, err := ex.ReadRow(pe, r)
-			if err != nil {
-				fatal(err)
-			}
-			outs = append(outs, o)
-		}
-	} else {
-		var err error
-		outs, chip, err = ex.RunBatch(inputs, compile.WithParallelism(*parallel))
+	}
+	if *traceJSON != "" {
+		b, err := obs.ChromeTrace(chip.TraceEvents(), obs.TraceMeta{
+			Program:       flag.Arg(0),
+			CyclePeriodNS: tgt.Tech.CyclePeriodNS(),
+		})
 		if err != nil {
 			fatal(err)
 		}
+		if err := os.WriteFile(*traceJSON, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hyperap-run: wrote %d trace events to %s\n", len(chip.TraceEvents()), *traceJSON)
 	}
 	if *jsonOut {
 		// The same wire encoding a hyperap-serve /v1/run response uses,

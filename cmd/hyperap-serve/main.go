@@ -11,7 +11,13 @@
 //	curl -s localhost:8763/v1/run -d '{"program":"sha256:...","inputs":[[3,4],[31,31]]}'
 //
 // SIGINT/SIGTERM drains gracefully: new runs get 503 while admitted work
-// finishes, then the listener closes.
+// finishes, then the listener closes. The drain log line reports the
+// queued-slot count and the oldest in-flight request's age.
+//
+// Observability: every request is logged through log/slog (-log-format
+// text|json) with its request ID and per-phase durations; /metrics
+// carries p50/p95/p99 latency histograms; -debug-addr serves
+// net/http/pprof on a separate private listener.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served at -debug-addr only
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +39,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8763", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	window := flag.Duration("window", time.Millisecond, "coalescing window: how long a run may wait to share a pass")
 	flushSlots := flag.Int("flush-slots", 0, "flush a pending pass at this many slots (0 = one full PE shard)")
 	maxPrograms := flag.Int("max-programs", 0, "LRU program-cache capacity (0 = default 64)")
@@ -41,6 +51,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
 	flag.Parse()
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("hyperap-serve: -log-format %q (want text or json)", *logFormat)
+	}
+
 	srv := serve.New(serve.Config{
 		MaxPrograms:    *maxPrograms,
 		CoalesceWindow: *window,
@@ -49,8 +69,21 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		Parallelism:    *parallel,
+		Logger:         logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// The main server uses its own handler, so the pprof routes pprof
+	// registered on http.DefaultServeMux are only reachable through the
+	// separate debug listener — never on the public address.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *debugAddr))
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

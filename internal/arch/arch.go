@@ -21,6 +21,7 @@ package arch
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"hyperap/internal/bits"
@@ -72,11 +73,21 @@ type Subarray struct {
 	PEs  []*PE
 	Keys []bits.Key // shared key/mask register contents
 
-	// searches/writes are this subarray's associative-operation ledger.
-	// Keeping the counters local to the subarray (merged into the chip
-	// Report on demand) lets independent subarrays step concurrently
-	// without sharing mutable state.
+	// group/bank/index/pe0 locate the subarray in the chip hierarchy
+	// (fixed at construction): its instruction group, its bank's linear
+	// index, its position within the bank, and the linear address of its
+	// first PE. Trace events carry them so merged streams stay
+	// attributable after a concurrent run.
+	group, bank, index, pe0 int
+
+	// searches/writes are this subarray's associative-operation ledger,
+	// and trace is its event ledger when the chip traces. Keeping both
+	// local to the subarray (merged into the chip Report / TraceEvents on
+	// demand) lets independent subarrays step concurrently without
+	// sharing mutable state — the same pattern for events as PR 1
+	// established for op counters.
 	searches, writes int64
+	trace            []TraceEvent
 }
 
 // Bank is a set of subarrays (Fig. 6b).
@@ -104,19 +115,49 @@ type Chip struct {
 	groupMask  uint8
 	DataBuffer []byte // top-level controller data buffer (ReadR destination)
 
-	// TraceFn, when set, receives one event per executed instruction —
-	// the simulator's debugging hook (hyperap-run -trace).
-	TraceFn func(TraceEvent)
+	// Tracing, when true, records one TraceEvent per executed instruction
+	// per subarray into per-subarray ledgers (chip-level instructions go
+	// to a chip-level ledger); TraceEvents merges them. Unlike the old
+	// TraceFn callback, ledger tracing is parallel-safe: ExecuteParallel
+	// traces without falling back to the serial path. Set it before the
+	// instructions to observe execute.
+	Tracing bool
+
+	instrSeq  int64        // instructions dispatched so far (event Seq)
+	chipTrace []TraceEvent // top-level controller events (serial-only ops)
 
 	report Report
 }
 
-// TraceEvent describes one executed instruction.
+// TraceEvent describes one executed instruction on one subarray (or, for
+// the chip-level control and data-movement instructions, on the top-level
+// controller).
 type TraceEvent struct {
-	PC          int
-	Instr       isa.Instruction
-	Cycles      int
-	TaggedRows0 int // tag population of PE 0 after the instruction
+	Seq    int64 // global instruction sequence number, across Execute calls
+	PC     int   // instruction index within its program
+	Instr  isa.Instruction
+	Cycles int // this instruction's cycle cost
+
+	// CumCycles is the owning group's cycle counter after this
+	// instruction (for chip-level events: the critical path over all
+	// groups).
+	CumCycles int64
+
+	// Group/Bank/Subarray/PE locate the subarray that executed the
+	// instruction; PE is the linear address of its first PE (the <addr>
+	// space of ReadR/WriteR). Chip-level instructions (Broadcast, Wait,
+	// MovR, ReadR, WriteR) execute on the top-level controller and carry
+	// -1 in all four.
+	Group, Bank, Subarray, PE int
+
+	// TaggedRows is the tag population of the subarray's first PE after
+	// the instruction (-1 for chip-level events).
+	TaggedRows int
+
+	// EnergyJ is the energy this instruction added on this subarray
+	// (chip-level events: on the whole chip), assembled from the same
+	// per-PE crossbar statistics the Report energy ledger uses.
+	EnergyJ float64
 }
 
 // Report summarises one or more Execute/ExecuteParallel calls. Cycles is
@@ -152,7 +193,10 @@ func New(cfg Config) *Chip {
 	for b := 0; b < cfg.Banks; b++ {
 		bank := &Bank{Group: b % cfg.Groups}
 		for s := 0; s < cfg.SubarraysPerBank; s++ {
-			sub := &Subarray{Keys: make([]bits.Key, cfg.Bits)}
+			sub := &Subarray{
+				Keys:  make([]bits.Key, cfg.Bits),
+				group: bank.Group, bank: b, index: s, pe0: len(c.pes),
+			}
 			for i := range sub.Keys {
 				sub.Keys[i] = bits.KDC
 			}
@@ -278,16 +322,10 @@ func (c *Chip) activeGroups() []*Group {
 func (c *Chip) Execute(prog isa.Program) error {
 	cp := c.CycleParams()
 	for pc, in := range prog {
-		if err := c.step(in, cp); err != nil {
+		seq := c.instrSeq
+		c.instrSeq++
+		if err := c.step(in, cp, pc, seq); err != nil {
 			return fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
-		}
-		if c.TraceFn != nil {
-			c.TraceFn(TraceEvent{
-				PC:          pc,
-				Instr:       in,
-				Cycles:      in.Cycles(cp),
-				TaggedRows0: c.pes[0].M.Count(),
-			})
 		}
 	}
 	return nil
@@ -311,14 +349,17 @@ func parallelSafe(prog isa.Program) bool {
 // ExecuteParallel runs a program with the active subarrays stepping
 // concurrently on a pool of at most workers goroutines. It is
 // behaviourally identical to Execute: every subarray executes the same
-// instruction stream against its own PEs, key register and operation
-// ledger, and the chip-level accounting (instruction counts, group
-// cycles) — identical for every subarray — is charged once up front. The
-// serial Execute path is used when workers <= 1, when a TraceFn is
-// attached (tracing is inherently ordered), or when the program contains
-// chip-level instructions (see parallelSafe).
+// instruction stream against its own PEs, key register, operation ledger
+// and (when Tracing is on) trace ledger, and the chip-level accounting
+// (instruction counts, group cycles) — identical for every subarray — is
+// charged once up front. Tracing stays on the concurrent path: each
+// subarray appends events to its own ledger with deterministically
+// computed cumulative cycles, so TraceEvents and Report are bit-identical
+// to a serial traced run. The serial Execute path is used only when
+// workers <= 1 or when the program contains chip-level instructions (see
+// parallelSafe).
 func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
-	if workers <= 1 || c.TraceFn != nil || !parallelSafe(prog) {
+	if workers <= 1 || !parallelSafe(prog) {
 		return c.Execute(prog)
 	}
 	cp := c.CycleParams()
@@ -327,6 +368,21 @@ func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
 	for _, g := range groups {
 		for _, bank := range g.Banks {
 			subs = append(subs, bank.Subarrays...)
+		}
+	}
+	baseSeq := c.instrSeq
+	c.instrSeq += int64(len(prog))
+	// Snapshot the group cycle counters before charging so traced workers
+	// can reconstruct the per-instruction cumulative cycles a serial run
+	// would have observed (all active groups are charged every
+	// instruction: parallel-safe programs contain no Broadcast).
+	var startCycles []int64
+	var cost []int
+	if c.Tracing {
+		startCycles = append([]int64(nil), c.report.GroupCycles...)
+		cost = make([]int, len(prog))
+		for pc, in := range prog {
+			cost[pc] = in.Cycles(cp)
 		}
 	}
 	for _, in := range prog {
@@ -354,6 +410,17 @@ func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
 		go func() {
 			defer wg.Done()
 			for sub := range work {
+				if c.Tracing {
+					cum := startCycles[sub.group]
+					for pc, in := range prog {
+						cum += int64(cost[pc])
+						if err := c.runSubarray(in, sub, pc, baseSeq+int64(pc), cost[pc], cum); err != nil {
+							errCh <- fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
+							return
+						}
+					}
+					continue
+				}
 				for pc, in := range prog {
 					if err := c.stepSubarray(in, sub); err != nil {
 						errCh <- fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
@@ -368,7 +435,7 @@ func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
 	return <-errCh
 }
 
-func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
+func (c *Chip) step(in isa.Instruction, cp isa.CycleParams, pc int, seq int64) error {
 	c.report.Instr[in.Op]++
 	cycles := int64(in.Cycles(cp))
 
@@ -379,6 +446,7 @@ func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
 		for gi := range c.GroupList {
 			c.report.GroupCycles[gi] += cycles
 		}
+		c.traceChipLevel(in, pc, seq, int(cycles), 0)
 		return nil
 	}
 
@@ -390,17 +458,22 @@ func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
 
 	switch in.Op {
 	case isa.OpWait:
+		c.traceChipLevel(in, pc, seq, int(cycles), 0)
 		return nil // cycles already charged
 	case isa.OpMovR:
 		c.movR(in.Direction, groups)
+		c.traceChipLevel(in, pc, seq, int(cycles),
+			float64(activePEs(groups))*c.Config.Tech.EMovRJ)
 		return nil
 	case isa.OpReadR:
 		pe := c.PE(int(in.Addr))
 		c.DataBuffer = vecToBytes(pe.Data)
+		c.traceChipLevel(in, pc, seq, int(cycles), 0)
 		return nil
 	case isa.OpWriteR:
 		pe := c.PE(int(in.Addr))
 		bytesToVec(in.Imm, pe.Data)
+		c.traceChipLevel(in, pc, seq, int(cycles), 0)
 		return nil
 	}
 
@@ -408,13 +481,136 @@ func (c *Chip) step(in isa.Instruction, cp isa.CycleParams) error {
 	for _, g := range groups {
 		for _, bank := range g.Banks {
 			for _, sub := range bank.Subarrays {
-				if err := c.stepSubarray(in, sub); err != nil {
+				if err := c.runSubarray(in, sub, pc, seq, int(cycles), c.report.GroupCycles[sub.group]); err != nil {
 					return err
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// runSubarray steps one subarray through one instruction, recording a
+// trace event when tracing is on. cum is the subarray's group cycle
+// counter after the instruction — passed in (rather than read from the
+// report) so the concurrent path can supply the identical value it
+// derives from prefix sums.
+func (c *Chip) runSubarray(in isa.Instruction, sub *Subarray, pc int, seq int64, cycles int, cum int64) error {
+	if !c.Tracing {
+		return c.stepSubarray(in, sub)
+	}
+	before, beforeSearches := subStats(sub)
+	if err := c.stepSubarray(in, sub); err != nil {
+		return err
+	}
+	sub.trace = append(sub.trace, TraceEvent{
+		Seq: seq, PC: pc, Instr: in, Cycles: cycles, CumCycles: cum,
+		Group: sub.group, Bank: sub.bank, Subarray: sub.index, PE: sub.pe0,
+		TaggedRows: sub.PEs[0].M.Count(),
+		EnergyJ:    c.subEnergyDelta(in, sub, before, beforeSearches),
+	})
+	return nil
+}
+
+// traceChipLevel records a top-level-controller event (serial-only
+// instructions). CumCycles is the critical path so far; extraJ carries
+// energy terms beyond the per-subarray instruction decode (MovR's
+// inter-PE link energy).
+func (c *Chip) traceChipLevel(in isa.Instruction, pc int, seq int64, cycles int, extraJ float64) {
+	if !c.Tracing {
+		return
+	}
+	var cum int64
+	for _, gc := range c.report.GroupCycles {
+		if gc > cum {
+			cum = gc
+		}
+	}
+	nsub := float64(len(c.banks) * c.Config.SubarraysPerBank)
+	c.chipTrace = append(c.chipTrace, TraceEvent{
+		Seq: seq, PC: pc, Instr: in, Cycles: cycles, CumCycles: cum,
+		Group: -1, Bank: -1, Subarray: -1, PE: -1, TaggedRows: -1,
+		EnergyJ: nsub*c.Config.Tech.EInstrJ + extraJ,
+	})
+}
+
+// subStats sums the energy-relevant crossbar statistics of one subarray's
+// PEs. Reading only the subarray's own PEs keeps traced execution
+// parallel-safe.
+func subStats(sub *Subarray) (st tcam.Stats, searches int64) {
+	for _, pe := range sub.PEs {
+		s := pe.M.TCAM().Stats()
+		st.SearchedCells += s.SearchedCells
+		st.CellWrites += s.CellWrites
+		st.HalfSelected += s.HalfSelected
+		searches += pe.M.Ops.Searches
+	}
+	return st, searches
+}
+
+// subEnergyDelta converts the statistics delta one instruction produced
+// on one subarray into joules, mirroring the terms of the chip energy
+// ledger (energy): search drive + sense amplifiers, cell programming,
+// half-select disturb, one instruction decode on this subarray's
+// controller, and the reduction tree for Count/Index.
+func (c *Chip) subEnergyDelta(in isa.Instruction, sub *Subarray, before tcam.Stats, beforeSearches int64) float64 {
+	after, afterSearches := subStats(sub)
+	t := c.Config.Tech
+	e := float64(after.SearchedCells-before.SearchedCells)*t.ESearchPerDrivenCellJ +
+		float64(afterSearches-beforeSearches)*float64(c.Config.Rows)*t.ESearchSAJ +
+		float64(after.CellWrites-before.CellWrites)*t.EWritePerCellJ +
+		float64(after.HalfSelected-before.HalfSelected)*t.EHalfSelectJ +
+		t.EInstrJ
+	if in.Op == isa.OpCount || in.Op == isa.OpIndex {
+		e += float64(len(sub.PEs)) * t.EReductionJ
+	}
+	return e
+}
+
+// activePEs counts the PEs of the given groups.
+func activePEs(groups []*Group) int {
+	n := 0
+	for _, g := range groups {
+		for _, b := range g.Banks {
+			for _, s := range b.Subarrays {
+				n += len(s.PEs)
+			}
+		}
+	}
+	return n
+}
+
+// TraceEvents returns every recorded event, merged across the
+// per-subarray ledgers and the chip-level ledger and stable-sorted by
+// (Seq, PE) — program order first, subarray position second — so serial
+// and concurrent traced runs of the same program yield the same stream.
+// The slice is freshly allocated; the ledgers keep accumulating until
+// ResetTrace.
+func (c *Chip) TraceEvents() []TraceEvent {
+	evs := append([]TraceEvent(nil), c.chipTrace...)
+	for _, bank := range c.banks {
+		for _, sub := range bank.Subarrays {
+			evs = append(evs, sub.trace...)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Seq != evs[j].Seq {
+			return evs[i].Seq < evs[j].Seq
+		}
+		return evs[i].PE < evs[j].PE
+	})
+	return evs
+}
+
+// ResetTrace discards all recorded trace events (the sequence counter
+// keeps running so later events still sort after earlier ones).
+func (c *Chip) ResetTrace() {
+	c.chipTrace = nil
+	for _, bank := range c.banks {
+		for _, sub := range bank.Subarrays {
+			sub.trace = nil
+		}
+	}
 }
 
 func (c *Chip) stepSubarray(in isa.Instruction, sub *Subarray) error {

@@ -316,8 +316,7 @@ func TestPEAddressBounds(t *testing.T) {
 
 func TestTraceHook(t *testing.T) {
 	c := smallChip()
-	var events []TraceEvent
-	c.TraceFn = func(ev TraceEvent) { events = append(events, ev) }
+	c.Tracing = true
 	prog := isa.Program{
 		isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(nil)},
 		isa.Search(false, false),
@@ -325,13 +324,27 @@ func TestTraceHook(t *testing.T) {
 	if err := c.Execute(prog); err != nil {
 		t.Fatal(err)
 	}
+	events := c.TraceEvents()
 	if len(events) != 2 {
 		t.Fatalf("traced %d events, want 2", len(events))
 	}
-	if events[1].Instr.Op != isa.OpSearch || events[1].TaggedRows0 != 8 {
+	if events[1].Instr.Op != isa.OpSearch || events[1].TaggedRows != 8 {
 		t.Errorf("trace event wrong: %+v", events[1])
 	}
 	if events[0].PC != 0 || events[1].PC != 1 || events[0].Cycles != 1 {
 		t.Errorf("trace bookkeeping wrong: %+v", events)
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Errorf("trace sequence wrong: %+v", events)
+	}
+	if events[1].CumCycles != 2 {
+		t.Errorf("CumCycles = %d, want 2 (SetKey 1cy + Search 1cy)", events[1].CumCycles)
+	}
+	if events[1].EnergyJ <= 0 {
+		t.Errorf("EnergyJ = %g, want > 0 for a search", events[1].EnergyJ)
+	}
+	c.ResetTrace()
+	if len(c.TraceEvents()) != 0 {
+		t.Error("ResetTrace must discard recorded events")
 	}
 }

@@ -1,0 +1,176 @@
+package arch
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hyperap/internal/isa"
+)
+
+// TestTracedParallelMatchesSerial is the regression test for the old
+// "tracing forces the serial path" fallback: a traced ExecuteParallel run
+// must produce the same event stream as a traced serial run (TraceEvents
+// already merges with a stable (Seq, PE) sort) and a bit-identical Report
+// including the float energy ledger.
+func TestTracedParallelMatchesSerial(t *testing.T) {
+	serial, par := shardedChip(4), shardedChip(4)
+	serial.Tracing, par.Tracing = true, true
+	loadAdderRows(serial)
+	loadAdderRows(par)
+	prog := fig5dProgram(t)
+	if err := serial.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.ExecuteParallel(prog, 4); err != nil {
+		t.Fatal(err)
+	}
+	se, pe := serial.TraceEvents(), par.TraceEvents()
+	if len(se) != len(prog)*4 {
+		t.Fatalf("serial traced %d events, want %d (one per instruction per subarray)", len(se), len(prog)*4)
+	}
+	if len(se) != len(pe) {
+		t.Fatalf("event counts diverged: serial %d, parallel %d", len(se), len(pe))
+	}
+	for i := range se {
+		if !reflect.DeepEqual(se[i], pe[i]) {
+			t.Fatalf("event %d diverged:\n serial   %+v\n parallel %+v", i, se[i], pe[i])
+		}
+		if se[i].EnergyJ != pe[i].EnergyJ || math.Signbit(se[i].EnergyJ) != math.Signbit(pe[i].EnergyJ) {
+			t.Fatalf("event %d energy diverged bitwise: %x vs %x",
+				i, math.Float64bits(se[i].EnergyJ), math.Float64bits(pe[i].EnergyJ))
+		}
+	}
+	sr, pr := serial.Report(), par.Report()
+	if sr.Cycles != pr.Cycles || sr.Searches != pr.Searches || sr.Writes != pr.Writes ||
+		sr.MaxCellWrites != pr.MaxCellWrites {
+		t.Errorf("reports diverged: %+v vs %+v", sr, pr)
+	}
+	if math.Float64bits(sr.Energy.TotalJ()) != math.Float64bits(pr.Energy.TotalJ()) {
+		t.Errorf("energy diverged bitwise: %g vs %g", sr.Energy.TotalJ(), pr.Energy.TotalJ())
+	}
+	for op, n := range sr.Instr {
+		if pr.Instr[op] != n {
+			t.Errorf("instr count %v diverged: %d vs %d", op, pr.Instr[op], n)
+		}
+	}
+}
+
+// TestTracedEventFields pins down the enriched event metadata: subarray
+// coordinates, cumulative cycles and per-event energy attribution.
+func TestTracedEventFields(t *testing.T) {
+	c := shardedChip(3)
+	c.Tracing = true
+	loadAdderRows(c)
+	prog := fig5dProgram(t)
+	if err := c.ExecuteParallel(prog, 3); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.TraceEvents()
+	var cum int64
+	cp := c.CycleParams()
+	for pc, in := range prog {
+		cum += int64(in.Cycles(cp))
+		for s := 0; s < 3; s++ {
+			ev := evs[pc*3+s]
+			if ev.PC != pc || ev.Seq != int64(pc) {
+				t.Fatalf("event (%d,%d) ordering wrong: %+v", pc, s, ev)
+			}
+			if ev.Group != 0 || ev.Bank != 0 || ev.Subarray != s || ev.PE != s {
+				t.Errorf("event (%d,%d) coordinates wrong: %+v", pc, s, ev)
+			}
+			if ev.CumCycles != cum {
+				t.Errorf("event (%d,%d) CumCycles = %d, want %d", pc, s, ev.CumCycles, cum)
+			}
+			if ev.TaggedRows < 0 || ev.TaggedRows > 8 {
+				t.Errorf("event (%d,%d) TaggedRows = %d outside [0,8]", pc, s, ev.TaggedRows)
+			}
+			if ev.EnergyJ <= 0 {
+				t.Errorf("event (%d,%d) EnergyJ = %g, want > 0", pc, s, ev.EnergyJ)
+			}
+		}
+	}
+}
+
+// TestTracedChipLevelEvents: programs with chip-level instructions take
+// the serial path and attribute those instructions to the top-level
+// controller (PE == -1), keeping the merged stream complete.
+func TestTracedChipLevelEvents(t *testing.T) {
+	c := shardedChip(2)
+	c.Tracing = true
+	prog := isa.Program{
+		isa.MovR(isa.DirRight),
+		isa.Instruction{Op: isa.OpCount},
+	}
+	if err := c.ExecuteParallel(prog, 4); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.TraceEvents()
+	if len(evs) != 1+2 {
+		t.Fatalf("traced %d events, want 3 (1 chip-level + 2 subarrays)", len(evs))
+	}
+	mov := evs[0]
+	if mov.Instr.Op != isa.OpMovR || mov.PE != -1 || mov.Subarray != -1 || mov.TaggedRows != -1 {
+		t.Errorf("chip-level event wrong: %+v", mov)
+	}
+	if mov.EnergyJ <= 0 {
+		t.Errorf("MovR EnergyJ = %g, want > 0 (decode + link energy)", mov.EnergyJ)
+	}
+	for _, ev := range evs[1:] {
+		if ev.Instr.Op != isa.OpCount || ev.PE < 0 {
+			t.Errorf("subarray event wrong: %+v", ev)
+		}
+	}
+}
+
+// traceBenchChip builds a chip with enough subarrays for the worker pool
+// to matter.
+func traceBenchChip() *Chip {
+	cfg := DefaultSmallConfig()
+	cfg.SubarraysPerBank = 16
+	cfg.PEsPerSubarray = 1
+	return New(cfg)
+}
+
+func benchProgram(b *testing.B) isa.Program {
+	b.Helper()
+	var prog isa.Program
+	for i := 0; i < 8; i++ {
+		prog = append(prog,
+			isa.Instruction{Op: isa.OpSetKey, Keys: fullKeys(nil)},
+			isa.Search(false, false),
+			isa.Instruction{Op: isa.OpCount},
+		)
+	}
+	return prog
+}
+
+// BenchmarkTracedSerial is yesterday's behaviour: a tracer forced every
+// traced run onto the serial path.
+func BenchmarkTracedSerial(b *testing.B) {
+	c := traceBenchChip()
+	c.Tracing = true
+	prog := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+		c.ResetTrace()
+	}
+}
+
+// BenchmarkTracedParallel is the ledger-traced concurrent path; compare
+// against BenchmarkTracedSerial for the win of removing the fallback.
+func BenchmarkTracedParallel(b *testing.B) {
+	c := traceBenchChip()
+	c.Tracing = true
+	prog := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ExecuteParallel(prog, 8); err != nil {
+			b.Fatal(err)
+		}
+		c.ResetTrace()
+	}
+}

@@ -45,12 +45,20 @@ type RunOption func(*runConfig)
 
 type runConfig struct {
 	workers int
+	trace   bool
 }
 
 // WithParallelism bounds the RunBatch worker pool to n goroutines;
 // n <= 0 restores the default (GOMAXPROCS).
 func WithParallelism(n int) RunOption {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithTrace enables per-instruction trace collection on the chip RunBatch
+// builds; read the merged stream with Chip.TraceEvents (or export it with
+// obs.ChromeTrace). Tracing stays on the concurrent execution path.
+func WithTrace() RunOption {
+	return func(c *runConfig) { c.trace = true }
 }
 
 func newRunConfig(opts []RunOption) runConfig {
@@ -185,6 +193,7 @@ func (ex *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64
 	shards := (n + tech.PERows - 1) / tech.PERows
 	rows := min(n, tech.PERows)
 	chip := ex.NewShardedChip(shards, rows)
+	chip.Tracing = cfg.trace
 	err := forEachShard(chip, shards, cfg.workers, func(pe *arch.PE, shard int) error {
 		base := shard * tech.PERows
 		for r := base; r < min(base+tech.PERows, n); r++ {

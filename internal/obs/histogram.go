@@ -1,0 +1,160 @@
+// Package obs is the observability layer shared by the simulator, the
+// batch engine and hyperap-serve: log-bucketed latency histograms with
+// percentile estimation, request-scoped spans for structured logging,
+// and a Chrome-trace/Perfetto exporter for simulator trace events
+// (DESIGN.md §9).
+package obs
+
+import (
+	"math"
+	mbits "math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of power-of-two histogram buckets. Bucket 0
+// counts observations v <= 1; bucket i (i >= 1) counts
+// 2^(i-1) < v <= 2^i. 63 doublings cover the whole non-negative int64
+// range, so nanosecond latencies from sub-nanosecond to ~292 years land
+// in a fixed-size array.
+const NumBuckets = 64
+
+// Histogram is a concurrency-safe log-bucketed histogram of int64
+// observations (by convention nanoseconds). All mutation is atomic —
+// any number of goroutines may Observe while others read quantiles —
+// and readers see each counter atomically (a summary taken mid-update
+// may be off by the in-flight observations, which is fine for metrics).
+// The zero value is NOT ready to use; construct with NewHistogram.
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// BucketIndex returns the bucket an observation lands in.
+func BucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return mbits.Len64(uint64(v - 1))
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket where the rank q·count falls: a rank landing exactly
+// on a bucket's cumulative count returns that bucket's upper bound
+// exactly (so observations placed at bucket edges reproduce themselves).
+// The estimate is clamped to the observed [min, max]. Returns 0 on an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	if target < 1 {
+		target = 1 // any rank below the first observation is the first
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = float64(BucketUpperBound(i - 1))
+			}
+			upper := float64(BucketUpperBound(i))
+			return h.clamp(lower + (upper-lower)*(target-float64(cum))/float64(c))
+		}
+		cum += c
+	}
+	return h.clamp(float64(h.max.Load()))
+}
+
+func (h *Histogram) clamp(v float64) float64 {
+	if mn := h.min.Load(); mn != math.MaxInt64 && v < float64(mn) {
+		v = float64(mn)
+	}
+	if mx := h.max.Load(); v > float64(mx) {
+		v = float64(mx)
+	}
+	return v
+}
+
+// Summary renders the histogram for an expvar map (expvar.Func): count,
+// sum/min/max/mean and the p50/p95/p99 latency percentiles, all in
+// nanoseconds.
+func (h *Histogram) Summary() any {
+	n := h.count.Load()
+	s := map[string]any{"count": n}
+	if n == 0 {
+		return s
+	}
+	s["sum_ns"] = h.sum.Load()
+	s["min_ns"] = h.min.Load()
+	s["max_ns"] = h.max.Load()
+	s["mean_ns"] = float64(h.sum.Load()) / float64(n)
+	s["p50_ns"] = h.Quantile(0.50)
+	s["p95_ns"] = h.Quantile(0.95)
+	s["p99_ns"] = h.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{17, 5},
+		{1024, 10}, {1025, 11},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must land in its own bucket (boundaries
+	// are inclusive above).
+	for i := 0; i < 63; i++ {
+		if got := BucketIndex(BucketUpperBound(i)); got != i {
+			t.Errorf("BucketIndex(BucketUpperBound(%d)=%d) = %d, want %d",
+				i, BucketUpperBound(i), got, i)
+		}
+	}
+	if BucketUpperBound(63) != math.MaxInt64 {
+		t.Errorf("BucketUpperBound(63) = %d, want MaxInt64", BucketUpperBound(63))
+	}
+}
+
+// TestQuantileBucketEdges: observations placed exactly at bucket upper
+// bounds must reproduce themselves exactly at the matching ranks — the
+// interpolation contract the serving metrics rely on.
+func TestQuantileBucketEdges(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1}, // rank 1 → bucket 0 edge, exactly
+		{0.50, 2}, // rank 2 → bucket 1 edge
+		{0.75, 4}, // rank 3 → bucket 2 edge
+		{1.00, 8}, // rank 4 → bucket 3 edge
+		{0.0, 1},  // clamps to the first observation
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram()
+	// Four observations in bucket 3 (4,8]: ranks interpolate linearly
+	// across the bucket's span.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	// target = q*4; est = 4 + 4*target/4 = 4 + q*4, clamped to [5,5].
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %g, want 5 (clamped to observed range)", got)
+	}
+	h2 := NewHistogram()
+	h2.Observe(5)
+	h2.Observe(7) // both bucket 3
+	// q=0.5: target=1, est = 4 + 4*(1/2) = 6, inside [5,7] → 6 exactly.
+	if got := h2.Quantile(0.5); got != 6 {
+		t.Errorf("Quantile(0.5) = %g, want 6 (mid-bucket interpolation)", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Summary().(map[string]any); s["count"].(int64) != 0 {
+		t.Errorf("empty summary count = %v", s["count"])
+	}
+	h.ObserveDuration(100 * time.Nanosecond)
+	h.Observe(300)
+	s := h.Summary().(map[string]any)
+	if s["count"].(int64) != 2 || s["sum_ns"].(int64) != 400 ||
+		s["min_ns"].(int64) != 100 || s["max_ns"].(int64) != 300 {
+		t.Errorf("summary wrong: %v", s)
+	}
+	if s["mean_ns"].(float64) != 200 {
+		t.Errorf("mean = %v, want 200", s["mean_ns"])
+	}
+	for _, k := range []string{"p50_ns", "p95_ns", "p99_ns"} {
+		p := s[k].(float64)
+		if p < 100 || p > 300 {
+			t.Errorf("%s = %g outside observed range [100,300]", k, p)
+		}
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-42)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative observation: count=%d sum=%d, want 1/0", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from 32 goroutines (run under
+// -race by make check) and verifies no observations are lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 32, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+				if i%64 == 0 {
+					_ = h.Quantile(0.95) // concurrent reads must be safe too
+					_ = h.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if mn := h.Quantile(0); mn < 0 || mn > 1 {
+		t.Errorf("min quantile = %g, want within bucket 0", mn)
+	}
+	if mx := h.Quantile(1); mx != float64(goroutines*per-1) {
+		t.Errorf("max quantile = %g, want %d", mx, goroutines*per-1)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// NewRequestID returns a 16-hex-character random request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; a fixed id
+		// beats crashing the request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one request's phase-timing record: a request id, a start time
+// and an ordered list of named phase durations (compile, coalesce,
+// queue_wait, run, fanout, ...). Methods are nil-safe so code paths
+// without an active span need no guards, and mutation is locked so a
+// handler and the coalescer goroutine may both record phases.
+type Span struct {
+	ID    string
+	Start time.Time
+
+	mu     sync.Mutex
+	phases []phase
+}
+
+type phase struct {
+	name string
+	dur  time.Duration
+}
+
+// StartSpan begins a span now.
+func StartSpan(id string) *Span {
+	return &Span{ID: id, Start: time.Now()}
+}
+
+// Phase records a named phase duration.
+func (s *Span) Phase(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.phases = append(s.phases, phase{name, d})
+	s.mu.Unlock()
+}
+
+// Time starts a phase timer; calling the returned func records the
+// elapsed phase: defer sp.Time("compile")().
+func (s *Span) Time(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { s.Phase(name, time.Since(start)) }
+}
+
+// Attrs renders the span for slog: the request id, the elapsed total and
+// a "phases" group with one duration per recorded phase.
+func (s *Span) Attrs() []slog.Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ph := make([]any, 0, len(s.phases))
+	for _, p := range s.phases {
+		ph = append(ph, slog.Duration(p.name, p.dur))
+	}
+	s.mu.Unlock()
+	return []slog.Attr{
+		slog.String("req_id", s.ID),
+		slog.Duration("total", time.Since(s.Start)),
+		slog.Group("phases", ph...),
+	}
+}
+
+type spanKey struct{}
+
+// WithSpan attaches a span to a context (the request middleware does this
+// once per request).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !re.MatchString(a) || !re.MatchString(b) {
+		t.Fatalf("malformed ids: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("ids collide: %q", a)
+	}
+}
+
+func TestSpanPhasesAndAttrs(t *testing.T) {
+	sp := StartSpan("abc123")
+	sp.Phase("compile", 5*time.Millisecond)
+	done := sp.Time("run")
+	done()
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	log.LogAttrs(context.Background(), slog.LevelInfo, "request", sp.Attrs()...)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["req_id"] != "abc123" {
+		t.Errorf("req_id = %v", rec["req_id"])
+	}
+	phases, ok := rec["phases"].(map[string]any)
+	if !ok {
+		t.Fatalf("phases missing: %v", rec)
+	}
+	if phases["compile"].(float64) != float64(5*time.Millisecond) {
+		t.Errorf("compile phase = %v", phases["compile"])
+	}
+	if _, ok := phases["run"]; !ok {
+		t.Errorf("run phase missing: %v", phases)
+	}
+	if rec["total"].(float64) <= 0 {
+		t.Errorf("total = %v", rec["total"])
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Phase("x", time.Second) // must not panic
+	sp.Time("y")()
+	if sp.Attrs() != nil {
+		t.Error("nil span must render no attrs")
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	sp := StartSpan("ctx")
+	ctx := WithSpan(context.Background(), sp)
+	if SpanFrom(ctx) != sp {
+		t.Error("SpanFrom must return the attached span")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Error("SpanFrom on a bare context must be nil")
+	}
+}

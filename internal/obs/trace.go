@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hyperap/internal/arch"
+)
+
+// TraceMeta labels a Chrome trace export.
+type TraceMeta struct {
+	// Program names the traced program (file name or fingerprint); it
+	// becomes the trace's top-level metadata.
+	Program string
+	// CyclePeriodNS converts simulated cycles to trace time (0 = 1 ns
+	// per cycle).
+	CyclePeriodNS float64
+}
+
+// ChromeTrace renders simulator trace events as Chrome trace-event JSON
+// (the "JSON Array with metadata" flavour), loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Every subarray becomes a
+// thread inside its bank's process, each instruction a complete ("X")
+// slice spanning its cycle cost on the simulated clock, with the tag
+// population emitted as a per-PE counter track; chip-level instructions
+// land on a dedicated "controller" process. Time is the simulated
+// timeline (CumCycles × CyclePeriodNS), not host wall time, so PE
+// occupancy and pipeline phases read directly off the trace.
+func ChromeTrace(events []arch.TraceEvent, meta TraceMeta) ([]byte, error) {
+	period := meta.CyclePeriodNS
+	if period <= 0 {
+		period = 1
+	}
+	// Chrome trace timestamps are microseconds.
+	usPerCycle := period / 1e3
+
+	var out []map[string]any
+	type track struct{ pid, tid int }
+	seen := map[track]bool{}
+	procNamed := map[int]bool{}
+	addMeta := func(pid, tid int, bank, sub, pe int) {
+		if !procNamed[pid] {
+			procNamed[pid] = true
+			name := "controller"
+			if pid > 0 {
+				name = fmt.Sprintf("bank %d", bank)
+			}
+			out = append(out, map[string]any{
+				"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+				"args": map[string]any{"name": name},
+			})
+		}
+		if t := (track{pid, tid}); !seen[t] {
+			seen[t] = true
+			name := "top-level controller"
+			if pid > 0 {
+				name = fmt.Sprintf("subarray %d (PE %d)", sub, pe)
+			}
+			out = append(out, map[string]any{
+				"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+				"args": map[string]any{"name": name},
+			})
+		}
+	}
+
+	for _, ev := range events {
+		pid, tid := 0, 0
+		if ev.PE >= 0 {
+			pid, tid = ev.Bank+1, ev.PE+1
+		}
+		addMeta(pid, tid, ev.Bank, ev.Subarray, ev.PE)
+		start := float64(ev.CumCycles-int64(ev.Cycles)) * usPerCycle
+		dur := float64(ev.Cycles) * usPerCycle
+		args := map[string]any{
+			"pc":        ev.PC,
+			"seq":       ev.Seq,
+			"cycles":    ev.Cycles,
+			"energy_fJ": ev.EnergyJ * 1e15,
+		}
+		if ev.TaggedRows >= 0 {
+			args["tagged_rows"] = ev.TaggedRows
+		}
+		out = append(out, map[string]any{
+			"ph": "X", "name": ev.Instr.Op.String(), "cat": "instr",
+			"pid": pid, "tid": tid, "ts": start, "dur": dur, "args": args,
+		})
+		if ev.TaggedRows >= 0 {
+			out = append(out, map[string]any{
+				"ph": "C", "name": fmt.Sprintf("tagged rows PE %d", ev.PE),
+				"pid": pid, "tid": tid, "ts": start + dur,
+				"args": map[string]any{"rows": ev.TaggedRows},
+			})
+		}
+	}
+	return json.MarshalIndent(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ns",
+		"otherData": map[string]any{
+			"program":         meta.Program,
+			"cyclePeriod_ns":  period,
+			"timeUnit":        "simulated cycles scaled by cyclePeriod_ns",
+			"exportedBy":      "hyperap internal/obs",
+			"openWith":        "https://ui.perfetto.dev",
+			"traceEventCount": len(events),
+		},
+	}, "", " ")
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/isa"
+)
+
+// tracedChip runs a tiny program with tracing on and returns the chip.
+func tracedChip(t *testing.T) *arch.Chip {
+	t.Helper()
+	cfg := arch.DefaultSmallConfig()
+	cfg.SubarraysPerBank = 2
+	cfg.PEsPerSubarray = 1
+	cfg.Rows = 8
+	cfg.Bits = 16
+	c := arch.New(cfg)
+	c.Tracing = true
+	prog := isa.Program{
+		isa.Search(false, false),
+		isa.Instruction{Op: isa.OpCount},
+	}
+	if err := c.ExecuteParallel(prog, 2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChromeTrace(t *testing.T) {
+	c := tracedChip(t)
+	b, err := ChromeTrace(c.TraceEvents(), TraceMeta{Program: "test.hap", CyclePeriodNS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.OtherData["program"] != "test.hap" {
+		t.Errorf("program metadata = %v", doc.OtherData["program"])
+	}
+	var slices, counters, metas int
+	seenPE := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["name"] == "" || ev["dur"].(float64) <= 0 {
+				t.Errorf("slice malformed: %v", ev)
+			}
+			seenPE[ev["tid"].(float64)] = true
+			args := ev["args"].(map[string]any)
+			if _, ok := args["energy_fJ"]; !ok {
+				t.Errorf("slice missing energy: %v", ev)
+			}
+		case "C":
+			counters++
+		case "M":
+			metas++
+		}
+	}
+	// 2 instructions × 2 subarrays.
+	if slices != 4 {
+		t.Errorf("slices = %d, want 4", slices)
+	}
+	if counters != 4 {
+		t.Errorf("counters = %d, want 4", counters)
+	}
+	if len(seenPE) != 2 {
+		t.Errorf("PE threads = %d, want 2", len(seenPE))
+	}
+	if metas == 0 {
+		t.Error("no process/thread naming metadata emitted")
+	}
+}
+
+func TestChromeTraceTimescale(t *testing.T) {
+	c := tracedChip(t)
+	b, err := ChromeTrace(c.TraceEvents(), TraceMeta{CyclePeriodNS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" || ev["name"] != "Search" {
+			continue
+		}
+		// Search: 1 cycle × 1000 ns = 1 µs duration starting at ts 0.
+		if ev["ts"].(float64) != 0 || ev["dur"].(float64) != 1 {
+			t.Errorf("Search slice timing wrong: ts=%v dur=%v", ev["ts"], ev["dur"])
+		}
+	}
+}

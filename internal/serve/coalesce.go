@@ -13,6 +13,14 @@ type waiter struct {
 	inputs [][]uint64
 	enq    time.Time
 
+	// Phase timestamps for the request span: when the batch left the
+	// coalescer, when its pass began executing (worker-pool slot
+	// acquired) and how long the RunBatch call took. Written by the
+	// runner before done closes; read by the handler after.
+	dispatched time.Time
+	passStart  time.Time
+	runDur     time.Duration
+
 	done   chan struct{}
 	outs   [][]uint64
 	report *Report
@@ -85,6 +93,10 @@ func (c *coalescer) takeLocked() ([]*waiter, int) {
 // for it; queue slots are released only after the pass completes, so the
 // backpressure limit covers queued plus running work.
 func (c *coalescer) dispatch(batch []*waiter, slots int) {
+	now := time.Now()
+	for _, w := range batch {
+		w.dispatched = now
+	}
 	c.s.inflight.Add(1)
 	go func() {
 		defer c.s.inflight.Done()
@@ -101,14 +113,22 @@ func (c *coalescer) runPass(batch []*waiter, slots int) {
 	met := c.s.met
 	start := time.Now()
 	for _, w := range batch {
-		met.queueWaitNS.Add(start.Sub(w.enq).Nanoseconds())
+		w.passStart = start
+		wait := start.Sub(w.enq).Nanoseconds()
+		met.queueWaitNS.Add(wait)
+		met.queueWaitHist.Observe(wait)
 	}
 	inputs := make([][]uint64, 0, slots)
 	for _, w := range batch {
 		inputs = append(inputs, w.inputs...)
 	}
 	outs, chip, err := c.p.ex.RunBatch(inputs, c.s.runOpts...)
-	met.runNS.Add(time.Since(start).Nanoseconds())
+	runDur := time.Since(start)
+	met.runNS.Add(runDur.Nanoseconds())
+	met.runHist.Observe(runDur.Nanoseconds())
+	for _, w := range batch {
+		w.runDur = runDur
+	}
 	if err != nil {
 		for _, w := range batch {
 			w.err = err

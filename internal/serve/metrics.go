@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"fmt"
 	"sync"
+
+	"hyperap/internal/obs"
 )
 
 // metrics is the server's counter set, built on stdlib expvar types. The
@@ -30,6 +32,14 @@ type metrics struct {
 	queueWaitNS     expvar.Int // total submit→flush wait
 	runNS           expvar.Int // total RunBatch wall time
 
+	// Log-bucketed latency histograms (internal/obs): the percentile
+	// views of the totals above, plus end-to-end request latency. The
+	// totals stay for rate computation; the histograms carry
+	// p50/p95/p99.
+	queueWaitHist *obs.Histogram // submit → pass start, per request
+	runHist       *obs.Histogram // RunBatch wall time, per pass
+	requestHist   *obs.Histogram // end-to-end HTTP latency, per request
+
 	// Aggregated simulator accounting across every completed pass.
 	searches expvar.Int
 	writes   expvar.Int
@@ -42,9 +52,12 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{
-		root:      new(expvar.Map).Init(),
-		requests:  new(expvar.Map).Init(),
-		occupancy: new(expvar.Map).Init(),
+		root:          new(expvar.Map).Init(),
+		requests:      new(expvar.Map).Init(),
+		occupancy:     new(expvar.Map).Init(),
+		queueWaitHist: obs.NewHistogram(),
+		runHist:       obs.NewHistogram(),
+		requestHist:   obs.NewHistogram(),
 	}
 	m.root.Set("requests", m.requests)
 	m.root.Set("cache_hits", &m.cacheHits)
@@ -60,6 +73,9 @@ func newMetrics() *metrics {
 	m.root.Set("queue_depth_slots", &m.queueDepthSlots)
 	m.root.Set("queue_wait_ns", &m.queueWaitNS)
 	m.root.Set("run_ns", &m.runNS)
+	m.root.Set("queue_wait", expvar.Func(m.queueWaitHist.Summary))
+	m.root.Set("run", expvar.Func(m.runHist.Summary))
+	m.root.Set("request_latency", expvar.Func(m.requestHist.Summary))
 	m.root.Set("sim_searches", &m.searches)
 	m.root.Set("sim_writes", &m.writes)
 	m.root.Set("sim_energy_j", &m.energyJ)

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsConcurrent hammers the lock-protected high-water-mark path
+// and the atomic histograms from 32 goroutines at once. Run under -race
+// (make check) it proves the metrics set needs no external
+// synchronisation; the assertions below pin the aggregate results.
+func TestMetricsConcurrent(t *testing.T) {
+	m := newMetrics()
+	const goroutines = 32
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.recordFlush(g+1, (g+1)*4)
+				m.queueWaitHist.Observe(int64(g*perG + i))
+				m.runHist.Observe(int64(i))
+				m.requestHist.Observe(int64(g))
+				m.recordResponse("run", 200)
+			}
+			// Concurrent readers of the same state.
+			_ = m.queueWaitHist.Summary()
+			_ = m.root.String()
+		}(g)
+	}
+	wg.Wait()
+	if got := m.flushes.Value(); got != goroutines*perG {
+		t.Errorf("flushes = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.maxBatchRequests.Value(); got != goroutines {
+		t.Errorf("maxBatchRequests = %d, want %d", got, goroutines)
+	}
+	if got := m.maxBatchSlots.Value(); got != goroutines*4 {
+		t.Errorf("maxBatchSlots = %d, want %d", got, goroutines*4)
+	}
+	sum := m.queueWaitHist.Summary().(map[string]any)
+	if sum["count"].(int64) != goroutines*perG {
+		t.Errorf("histogram count = %v, want %d", sum["count"], goroutines*perG)
+	}
+	// The expvar map must serialise to valid JSON mid-flight state.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(m.root.String()), &parsed); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+}
+
+// lockedBuffer is a race-safe bytes.Buffer for capturing slog output
+// written from handler goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestObservabilityEndToEnd drives a real request through the server and
+// checks the three observability surfaces the issue names: percentile
+// fields in /metrics, the request ID on the response and in the log line
+// with per-phase durations, and the ?trace=1 debug knob.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var logs lockedBuffer
+	s := New(Config{Logger: slog.New(slog.NewJSONHandler(&logs, nil))})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// One normal (coalesced-path) run populates the latency histograms.
+	body, _ := json.Marshal(RunRequest{Source: addSrc, Inputs: [][]uint64{{3, 4}, {10, 20}}})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/run", bytes.NewReader(body))
+	req.Header.Set("X-Request-Id", "test-req-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("run status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "test-req-1" {
+		t.Errorf("X-Request-Id = %q, want the caller's id echoed back", got)
+	}
+	if run.Outputs[0][0] != 7 || run.Outputs[1][0] != 30 {
+		t.Errorf("outputs = %v", run.Outputs)
+	}
+	if run.Trace != nil {
+		t.Error("untraced run must not carry a trace payload")
+	}
+
+	// A second run without a caller-supplied ID must get a generated one.
+	resp2, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-Id") == "" {
+		t.Error("server must generate an X-Request-Id when the caller sends none")
+	}
+
+	// /metrics surfaces p50/p95/p99 for all three histograms.
+	var met map[string]any
+	if code := get(t, ts.URL+"/metrics", &met); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, key := range []string{"queue_wait", "run", "request_latency"} {
+		h, ok := met[key].(map[string]any)
+		if !ok {
+			t.Fatalf("metrics missing histogram %q: %v", key, met[key])
+		}
+		if h["count"].(float64) < 1 {
+			t.Errorf("%s.count = %v, want ≥1", key, h["count"])
+		}
+		for _, q := range []string{"p50_ns", "p95_ns", "p99_ns"} {
+			if _, ok := h[q]; !ok {
+				t.Errorf("%s missing %s: %v", key, q, h)
+			}
+		}
+	}
+
+	// The request log line carries the request ID and per-phase timings.
+	logged := logs.String()
+	if !strings.Contains(logged, `"req_id":"test-req-1"`) {
+		t.Errorf("log missing req_id: %s", logged)
+	}
+	for _, phase := range []string{"compile", "queue_wait", "run"} {
+		if !strings.Contains(logged, `"`+phase+`"`) {
+			t.Errorf("log missing phase %q: %s", phase, logged)
+		}
+	}
+
+	// ?trace=1 returns a dedicated traced pass with Chrome trace JSON.
+	var traced RunResponse
+	if code := post(t, ts.URL+"/v1/run?trace=1", RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}}, &traced); code != 200 {
+		t.Fatalf("traced run status %d", code)
+	}
+	if traced.Outputs[0][0] != 3 {
+		t.Errorf("traced outputs = %v", traced.Outputs)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("traced run returned no trace payload")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traced.Trace, &doc); err != nil {
+		t.Fatalf("trace payload is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace payload has no events")
+	}
+	if traced.Report == nil || traced.Report.BatchRequests != 1 {
+		t.Errorf("traced pass must be dedicated to the request: %+v", traced.Report)
+	}
+}
+
+// TestDrainStats checks the queued-slot count and oldest-request age that
+// the drain log line reports.
+func TestDrainStats(t *testing.T) {
+	s := New(Config{})
+	if slots, oldest := s.DrainStats(); slots != 0 || oldest != 0 {
+		t.Errorf("idle DrainStats = %d, %v", slots, oldest)
+	}
+	s.queued.Add(7)
+	done := s.trackRequest()
+	time.Sleep(5 * time.Millisecond)
+	slots, oldest := s.DrainStats()
+	if slots != 7 {
+		t.Errorf("queuedSlots = %d, want 7", slots)
+	}
+	if oldest < 5*time.Millisecond {
+		t.Errorf("oldest = %v, want ≥5ms", oldest)
+	}
+	done()
+	if _, oldest := s.DrainStats(); oldest != 0 {
+		t.Errorf("after untrack oldest = %v, want 0", oldest)
+	}
+}

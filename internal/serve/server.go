@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"hyperap/internal/compile"
+	"hyperap/internal/obs"
 	"hyperap/internal/tech"
 )
 
@@ -41,6 +43,9 @@ type Config struct {
 	Parallelism int
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
+	// Logger receives one structured line per request (request id,
+	// status, per-phase durations) and drain progress. Default: discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +70,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -76,6 +84,7 @@ type Server struct {
 	cfg     Config
 	cache   *programCache
 	met     *metrics
+	log     *slog.Logger
 	runOpts []compile.RunOption
 
 	sem      chan struct{} // worker-pool slots for RunBatch passes
@@ -83,16 +92,25 @@ type Server struct {
 	queued   atomic.Int64
 	draining atomic.Bool
 
+	// reqStarts tracks admitted run requests still in flight, so drain
+	// progress can report what the 503 window is actually waiting on
+	// (slot count alone says nothing about how stale the work is).
+	reqMu     sync.Mutex
+	reqSeq    uint64
+	reqStarts map[uint64]time.Time
+
 	mux *http.ServeMux
 }
 
 // New builds a server with the given configuration.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		met:     newMetrics(),
-		runOpts: []compile.RunOption{},
+		cfg:       cfg.withDefaults(),
+		met:       newMetrics(),
+		runOpts:   []compile.RunOption{},
+		reqStarts: map[uint64]time.Time{},
 	}
+	s.log = s.cfg.Logger
 	s.cache = newProgramCache(s.cfg.MaxPrograms)
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	if s.cfg.Parallelism > 0 {
@@ -107,15 +125,85 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// ServeHTTP wraps every endpoint in a request span: a request id (taken
+// from X-Request-Id or generated), the end-to-end latency histogram, and
+// one structured log line carrying the id, status and per-phase
+// durations recorded by the handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	span := obs.StartSpan(id)
+	w.Header().Set("X-Request-Id", id)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), span)))
+	total := time.Since(span.Start)
+	s.met.requestHist.Observe(total.Nanoseconds())
+	attrs := append([]slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+	}, span.Attrs()...)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// trackRequest registers an admitted run request for drain reporting;
+// the returned func unregisters it.
+func (s *Server) trackRequest() func() {
+	s.reqMu.Lock()
+	id := s.reqSeq
+	s.reqSeq++
+	s.reqStarts[id] = time.Now()
+	s.reqMu.Unlock()
+	return func() {
+		s.reqMu.Lock()
+		delete(s.reqStarts, id)
+		s.reqMu.Unlock()
+	}
+}
+
+// DrainStats reports what a draining (or loaded) server is waiting on:
+// admitted-but-uncompleted slots and the age of the oldest in-flight run
+// request.
+func (s *Server) DrainStats() (queuedSlots int64, oldest time.Duration) {
+	queuedSlots = s.queued.Load()
+	s.reqMu.Lock()
+	for _, t := range s.reqStarts {
+		if a := time.Since(t); a > oldest {
+			oldest = a
+		}
+	}
+	s.reqMu.Unlock()
+	return queuedSlots, oldest
 }
 
 // Drain stops admitting new runs, flushes every coalescer and waits for
 // all admitted work to complete (or the context to expire). healthz
-// reports "draining" from the first call on.
+// reports "draining" from the first call on; progress lines name the
+// queued-slot count and the oldest in-flight request's age so operators
+// can see what the 503 window is waiting on.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	logStats := func(msg string) {
+		slots, oldest := s.DrainStats()
+		s.log.LogAttrs(ctx, slog.LevelInfo, msg,
+			slog.Int64("queued_slots", slots),
+			slog.Duration("oldest_request_age", oldest))
+	}
+	logStats("draining")
+	lastLog := time.Now()
 	for {
 		// A request admitted just before draining flipped may still be
 		// parked behind a window timer; keep flushing until the queue is
@@ -128,9 +216,15 @@ func (s *Server) Drain(ctx context.Context) error {
 		if s.queued.Load() == 0 {
 			return nil
 		}
+		if time.Since(lastLog) >= time.Second {
+			logStats("draining")
+			lastLog = time.Now()
+		}
 		select {
 		case <-ctx.Done():
-			return fmt.Errorf("serve: drain: %d slots still in flight: %w", s.queued.Load(), ctx.Err())
+			slots, oldest := s.DrainStats()
+			return fmt.Errorf("serve: drain: %d slots still in flight (oldest request %v): %w",
+				slots, oldest.Round(time.Millisecond), ctx.Err())
 		case <-time.After(time.Millisecond):
 		}
 	}
@@ -200,7 +294,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "compile", http.StatusBadRequest, errors.New("source is required"))
 		return
 	}
+	stop := obs.SpanFrom(ctx).Time("compile")
 	p, cached, err := s.compileProgram(ctx, req.Source, req.Options)
+	stop()
 	if err != nil {
 		s.writeError(w, "compile", compileStatus(err), err)
 		return
@@ -218,6 +314,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	span := obs.SpanFrom(ctx)
 	var req RunRequest
 	if !s.decode(w, r, "run", &req, http.MethodPost) {
 		return
@@ -235,19 +332,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("unknown program %s (it may have been evicted; POST /v1/compile again)", req.Program))
 			return
 		}
+		stop := span.Time("compile")
 		select {
 		case <-p.ready:
 		case <-ctx.Done():
+			stop()
 			s.writeError(w, "run", http.StatusGatewayTimeout, ctx.Err())
 			return
 		}
+		stop()
 		if p.err != nil {
 			s.writeError(w, "run", http.StatusBadRequest, p.err)
 			return
 		}
 	case req.Source != "":
+		stop := span.Time("compile")
 		var err error
 		p, _, err = s.compileProgram(ctx, req.Source, req.Options)
+		stop()
 		if err != nil {
 			s.writeError(w, "run", compileStatus(err), err)
 			return
@@ -272,6 +374,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "run", rejectStatus(err), err)
 		return
 	}
+	untrack := s.trackRequest()
+	defer untrack()
+	if r.URL.Query().Get("trace") == "1" {
+		// Debug knob: execute this request in its own traced pass and
+		// return the Chrome/Perfetto trace alongside the outputs.
+		s.runTraced(w, span, p, req)
+		return
+	}
 	wtr := &waiter{inputs: req.Inputs, enq: time.Now(), done: make(chan struct{})}
 	p.co.submit(wtr, req.NoCoalesce)
 	select {
@@ -286,11 +396,71 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "run", http.StatusInternalServerError, wtr.err)
 		return
 	}
+	// Span phases from the pass the slots rode in: window wait in the
+	// coalescer, worker-pool wait, the shared RunBatch, and the fan-out
+	// back to this handler.
+	span.Phase("coalesce", wtr.dispatched.Sub(wtr.enq))
+	span.Phase("queue_wait", wtr.passStart.Sub(wtr.dispatched))
+	span.Phase("run", wtr.runDur)
+	span.Phase("fanout", time.Since(wtr.passStart.Add(wtr.runDur)))
 	s.writeJSON(w, "run", http.StatusOK, RunResponse{
 		Program:     p.handle,
 		OutputNames: componentNames(p.ex.Outputs),
 		Outputs:     wtr.outs,
 		Report:      wtr.report,
+	})
+}
+
+// runTraced executes one request's slots as a dedicated traced pass
+// (bypassing the coalescer: a trace of a pass shared with other callers
+// would leak their activity) and attaches the Chrome trace-event JSON to
+// the response. Admission control already happened in the handler.
+func (s *Server) runTraced(w http.ResponseWriter, span *obs.Span, p *program, req RunRequest) {
+	slots := len(req.Inputs)
+	defer s.releaseSlots(slots)
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	stop := span.Time("queue_wait")
+	s.sem <- struct{}{}
+	stop()
+	defer func() { <-s.sem }()
+	runStart := time.Now()
+	opts := append(append([]compile.RunOption{}, s.runOpts...), compile.WithTrace())
+	outs, chip, err := p.ex.RunBatch(req.Inputs, opts...)
+	runDur := time.Since(runStart)
+	span.Phase("run", runDur)
+	s.met.runNS.Add(runDur.Nanoseconds())
+	s.met.runHist.Observe(runDur.Nanoseconds())
+	if err != nil {
+		s.writeError(w, "run", http.StatusInternalServerError, err)
+		return
+	}
+	rep := chip.Report()
+	s.met.searches.Add(rep.Searches)
+	s.met.writes.Add(rep.Writes)
+	s.met.energyJ.Add(rep.Energy.TotalJ())
+	s.met.recordFlush(1, slots)
+	trace, err := obs.ChromeTrace(chip.TraceEvents(), obs.TraceMeta{
+		Program:       p.handle,
+		CyclePeriodNS: p.ex.Target.Tech.CyclePeriodNS(),
+	})
+	if err != nil {
+		s.writeError(w, "run", http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, "run", http.StatusOK, RunResponse{
+		Program:     p.handle,
+		OutputNames: componentNames(p.ex.Outputs),
+		Outputs:     outs,
+		Report: &Report{
+			PEs:           chip.NumPEs(),
+			Cycles:        rep.Cycles,
+			EnergyJ:       rep.Energy.TotalJ(),
+			MaxCellWrites: rep.MaxCellWrites,
+			BatchSlots:    slots,
+			BatchRequests: 1,
+		},
+		Trace: trace,
 	})
 }
 

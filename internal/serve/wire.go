@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"hyperap/internal/compile"
@@ -151,12 +152,15 @@ type Report struct {
 }
 
 // RunResponse is the body of a successful POST /v1/run. The same
-// encoding is emitted by `hyperap-run -json`.
+// encoding is emitted by `hyperap-run -json`. Trace is present only for
+// `POST /v1/run?trace=1`: the Chrome trace-event JSON of the request's
+// dedicated traced pass, saveable as-is and loadable at ui.perfetto.dev.
 type RunResponse struct {
-	Program     string     `json:"program"`
-	OutputNames []string   `json:"outputNames"`
-	Outputs     [][]uint64 `json:"outputs"`
-	Report      *Report    `json:"report,omitempty"`
+	Program     string          `json:"program"`
+	OutputNames []string        `json:"outputNames"`
+	Outputs     [][]uint64      `json:"outputs"`
+	Report      *Report         `json:"report,omitempty"`
+	Trace       json.RawMessage `json:"trace,omitempty"`
 }
 
 // ProgramInfo is one entry of GET /v1/programs.
