@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-short check bench cover trace-demo
+.PHONY: build test vet staticcheck race race-short check bench cover trace-demo fuzz fault-campaign
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,20 @@ bench:
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
+
+# Native-Go fuzz smoke over the ISA binary decoder: Decode must never
+# panic, and anything that decodes must round-trip decode→encode→decode.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/isa
+
+# Small deterministic fault-injection campaign (fixed seed → fixed defect
+# maps → fixed numbers); fault-campaign.json is the CI artifact. The
+# sweep demonstrates the repair story: with spare rows/PEs faults are
+# absorbed, without them the same defect maps fail loudly — and no run
+# ever completes with a silently wrong result.
+fault-campaign:
+	$(GO) run ./cmd/hyperap-faults -kernel add -seed 1 -json fault-campaign.json
 
 # Emit a sample Perfetto trace (trace-demo.json) from the example add
 # kernel — load it at ui.perfetto.dev. Exercises the full traced

@@ -1,0 +1,262 @@
+// Command hyperap-faults runs a Monte Carlo fault-injection campaign
+// over the Hyper-AP simulator: it sweeps stuck-at defect rate ×
+// endurance budget over an example kernel, executes every trial twice —
+// with spare-row/spare-PE repair enabled and disabled — and reports the
+// wrong-result rate, the reported-error rate and the fault/repair
+// counters for each cell of the sweep. Because the fault model is
+// seed-deterministic, a campaign is exactly reproducible: same flags,
+// same defect maps, same numbers.
+//
+// Usage:
+//
+//	hyperap-faults -kernel add -rates 1e-4,1e-3,1e-2 -trials 5
+//	hyperap-faults -kernel mac -endurance 0,48 -spare-rows 4 -json campaign.json
+//
+// The three outcome classes per slot are disjoint:
+//
+//   - ok: the simulated output equals the golden DFG reference
+//   - wrong: the run completed but at least one output bit differs
+//     (a silent error — the failure mode repair exists to prevent)
+//   - error: the run failed with a typed FaultError (detected and
+//     reported, never silently wrong)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/tcam"
+)
+
+// kernels are the built-in campaign workloads. mac is the write-heavy
+// one: the multiply's intermediate columns take far more programming
+// pulses per pass, which is what an endurance sweep wants to stress.
+var kernels = map[string]string{
+	"add": `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b) { return a + b; }`,
+	"mul": `unsigned int(8) main(unsigned int(4) a, unsigned int(4) b) { return a * b; }`,
+	"mac": `unsigned int(9) main(unsigned int(4) a, unsigned int(4) b, unsigned int(8) c) { return a * b + c; }`,
+}
+
+// cell is one point of the sweep: a fault configuration crossed with a
+// repair mode, aggregated over all trials.
+type cell struct {
+	StuckAtRate float64 `json:"stuckAtRate"`
+	Endurance   uint32  `json:"endurance"`
+	Repair      bool    `json:"repair"`
+
+	Trials     int   `json:"trials"`
+	Slots      int   `json:"slots"`      // total slots attempted
+	WrongSlots int   `json:"wrongSlots"` // silent wrong results
+	ErrorRuns  int   `json:"errorRuns"`  // trials failed with a FaultError
+	OKSlots    int   `json:"okSlots"`    // slots verified against the reference
+	Detected   int64 `json:"detected"`   // write-verify mismatches
+	Repairs    int   `json:"repairs"`    // rows remapped to spares
+	Retries    int64 `json:"retries"`    // shards replayed on spare PEs
+	Upsets     int64 `json:"upsets"`     // transient match-line flips
+	StuckCells int   `json:"stuckCells"` // defective cells across trial chips
+}
+
+type campaign struct {
+	Kernel    string  `json:"kernel"`
+	Seed      int64   `json:"seed"`
+	SlotsPer  int     `json:"slotsPerTrial"`
+	SpareRows int     `json:"spareRows"`
+	SparePEs  int     `json:"sparePEs"`
+	UpsetRate float64 `json:"upsetRate"`
+	Cells     []cell  `json:"cells"`
+}
+
+func main() {
+	kernel := flag.String("kernel", "add", "built-in kernel (add, mul, mac) or path to a .hap source file")
+	rates := flag.String("rates", "5e-4,2e-3,8e-3", "comma-separated stuck-at defect rates to sweep")
+	endurance := flag.String("endurance", "0", "comma-separated endurance budgets to sweep (0 = unlimited)")
+	trials := flag.Int("trials", 5, "trials per sweep cell (each gets its own derived seed)")
+	seed := flag.Int64("seed", 1, "campaign seed: drives input generation and every trial's defect map")
+	slots := flag.Int("slots", 64, "SIMD slots per trial")
+	spareRows := flag.Int("spare-rows", 8, "spare word rows per TCAM array (repair mode)")
+	sparePEs := flag.Int("spare-pes", 1, "spare PEs per chip (repair mode)")
+	upsetRate := flag.Float64("upset-rate", 0, "transient match-upset probability (reported, never repairable)")
+	jsonOut := flag.String("json", "", "also write the campaign report as JSON to this file")
+	flag.Parse()
+
+	src, ok := kernels[*kernel]
+	if !ok {
+		raw, err := os.ReadFile(*kernel)
+		if err != nil {
+			log.Fatalf("hyperap-faults: -kernel %q is neither built-in (%s) nor readable: %v",
+				*kernel, strings.Join(kernelNames(), ", "), err)
+		}
+		src = string(raw)
+	}
+	ex, err := compile.CompileSource(src, compile.HyperTarget())
+	if err != nil {
+		log.Fatalf("hyperap-faults: compile: %v", err)
+	}
+
+	rateList := parseFloats(*rates)
+	endList := parseUints(*endurance)
+	inputs := randomInputs(ex, *slots, *seed)
+	want := make([][]uint64, len(inputs))
+	for i, vals := range inputs {
+		want[i] = ex.Reference(vals)
+	}
+
+	rep := campaign{
+		Kernel: *kernel, Seed: *seed, SlotsPer: *slots,
+		SpareRows: *spareRows, SparePEs: *sparePEs, UpsetRate: *upsetRate,
+	}
+	for _, rate := range rateList {
+		for _, end := range endList {
+			for _, repair := range []bool{true, false} {
+				c := cell{StuckAtRate: rate, Endurance: end, Repair: repair}
+				for trial := 0; trial < *trials; trial++ {
+					fc := tcam.FaultConfig{
+						// Decorrelate trials, keep both repair modes of the
+						// same trial on the identical defect map so the
+						// comparison is paired.
+						Seed:               *seed + int64(trial)*1_000_003,
+						StuckAtRate:        rate,
+						EnduranceBudget:    end,
+						TransientUpsetRate: *upsetRate,
+						DisableRepair:      !repair,
+					}
+					spares := 0
+					if repair {
+						fc.SpareRows = *spareRows
+						spares = *sparePEs
+					}
+					runTrial(&c, ex, inputs, want, fc, spares)
+				}
+				rep.Cells = append(rep.Cells, c)
+			}
+		}
+	}
+
+	printTable(rep)
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("hyperap-faults: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("hyperap-faults: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+}
+
+// runTrial executes one fault-injected batch and folds the outcome into
+// the sweep cell.
+func runTrial(c *cell, ex *compile.Executable, inputs, want [][]uint64, fc tcam.FaultConfig, sparePEs int) {
+	c.Trials++
+	c.Slots += len(inputs)
+	outs, chip, err := ex.RunBatch(inputs,
+		compile.WithFaults(fc), compile.WithSparePEs(sparePEs))
+	if err != nil {
+		var afe *arch.FaultError
+		var tfe *tcam.FaultError
+		if errors.As(err, &afe) || errors.As(err, &tfe) {
+			c.ErrorRuns++
+			return
+		}
+		log.Fatalf("hyperap-faults: unexpected non-fault error: %v", err)
+	}
+	r := chip.Report()
+	c.Detected += r.Faults.Detected
+	c.Repairs += r.Faults.Repairs
+	c.Retries += r.Retries
+	c.Upsets += r.Faults.TransientUpsets
+	c.StuckCells += r.Faults.StuckCells
+	for i := range outs {
+		wrong := false
+		for j := range want[i] {
+			if outs[i][j] != want[i][j] {
+				wrong = true
+				break
+			}
+		}
+		if wrong {
+			c.WrongSlots++
+		} else {
+			c.OKSlots++
+		}
+	}
+}
+
+func printTable(rep campaign) {
+	fmt.Printf("fault campaign: kernel=%s slots=%d seed=%d spare-rows=%d spare-pes=%d\n\n",
+		rep.Kernel, rep.SlotsPer, rep.Seed, rep.SpareRows, rep.SparePEs)
+	fmt.Printf("%-10s %-10s %-8s %8s %8s %10s %9s %8s %8s %8s\n",
+		"stuck-rate", "endurance", "repair", "trials", "errors", "wrong", "wrong%", "detected", "repairs", "retries")
+	for _, c := range rep.Cells {
+		completed := c.OKSlots + c.WrongSlots
+		wrongPct := 0.0
+		if completed > 0 {
+			wrongPct = 100 * float64(c.WrongSlots) / float64(completed)
+		}
+		fmt.Printf("%-10.2g %-10d %-8v %8d %8d %10d %8.2f%% %8d %8d %8d\n",
+			c.StuckAtRate, c.Endurance, c.Repair, c.Trials, c.ErrorRuns,
+			c.WrongSlots, wrongPct, c.Detected, c.Repairs, c.Retries)
+	}
+	fmt.Println("\nerrors = runs that failed loudly with a FaultError (reported, not silent)")
+	fmt.Println("wrong  = slots whose completed outputs differ from the golden reference (silent)")
+}
+
+func kernelNames() []string {
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	return names
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			log.Fatalf("hyperap-faults: bad rate %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseUints(s string) []uint32 {
+	var out []uint32
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			log.Fatalf("hyperap-faults: bad endurance %q: %v", f, err)
+		}
+		out = append(out, uint32(v))
+	}
+	return out
+}
+
+// randomInputs draws one deterministic input batch for the whole
+// campaign (faults vary per trial; data does not, so outcome changes
+// are attributable to the fault model alone).
+func randomInputs(ex *compile.Executable, slots int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	widths := ex.InputWidths()
+	out := make([][]uint64, slots)
+	for i := range out {
+		vals := make([]uint64, len(widths))
+		for j, w := range widths {
+			vals[j] = rng.Uint64() & bits.Mask(w)
+		}
+		out[i] = vals
+	}
+	return out
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"hyperap/internal/serve"
+	"hyperap/internal/tcam"
 )
 
 func main() {
@@ -49,6 +50,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-pass shard worker pool, as hyperap-run -parallel (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
+	faultRate := flag.Float64("fault-rate", 0, "per-cell stuck-at defect probability (0 = fault-free)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault model")
+	faultEndurance := flag.Uint("fault-endurance", 0, "per-cell programming-pulse budget; 0 = unlimited")
+	faultUpsetRate := flag.Float64("fault-upset-rate", 0, "per-row per-search transient match-upset probability")
+	spareRows := flag.Int("spare-rows", 0, "spare word rows per TCAM array for write-verify repair")
+	sparePEs := flag.Int("spare-pes", 0, "spare PEs per pass chip for shard replay after a PE failure")
+	noRepair := flag.Bool("fault-no-repair", false, "detect faults but do not repair (write-verify errors fail the run)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -70,6 +78,15 @@ func main() {
 		RequestTimeout: *timeout,
 		Parallelism:    *parallel,
 		Logger:         logger,
+		Faults: tcam.FaultConfig{
+			Seed:               *faultSeed,
+			StuckAtRate:        *faultRate,
+			EnduranceBudget:    uint32(*faultEndurance),
+			TransientUpsetRate: *faultUpsetRate,
+			SpareRows:          *spareRows,
+			DisableRepair:      *noRepair,
+		},
+		SparePEs: *sparePEs,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

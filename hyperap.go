@@ -251,10 +251,19 @@ func NewAssociativeMemory(rows, width int) (*AssociativeMemory, error) {
 	}, nil
 }
 
+// mustStore asserts a load/write on the fault-free memory machine
+// succeeded: AssociativeMemory is built without fault injection, so the
+// TCAM layer can never report a verify failure here.
+func mustStore(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("hyperap: store on fault-free memory failed: %v", err))
+	}
+}
+
 // Store writes a word into a row (host load path).
 func (a *AssociativeMemory) Store(row int, value uint64) {
 	for b := 0; b < a.width; b++ {
-		a.m.LoadBit(row, b, value>>uint(b)&1 == 1)
+		mustStore(a.m.LoadBit(row, b, value>>uint(b)&1 == 1))
 	}
 }
 
@@ -263,9 +272,9 @@ func (a *AssociativeMemory) Store(row int, value uint64) {
 func (a *AssociativeMemory) StoreTernary(row int, value, dontCare uint64) {
 	for b := 0; b < a.width; b++ {
 		if dontCare>>uint(b)&1 == 1 {
-			a.m.Load(row, b, bits.SX)
+			mustStore(a.m.Load(row, b, bits.SX))
 		} else {
-			a.m.LoadBit(row, b, value>>uint(b)&1 == 1)
+			mustStore(a.m.LoadBit(row, b, value>>uint(b)&1 == 1))
 		}
 	}
 }
@@ -322,7 +331,8 @@ func (a *AssociativeMemory) Matches() []int {
 func (a *AssociativeMemory) WriteTagged(value, mask uint64) {
 	for b := 0; b < a.width; b++ {
 		if mask>>uint(b)&1 == 1 {
-			a.m.Write(b, bits.KeyForBit(value>>uint(b)&1 == 1))
+			_, err := a.m.Write(b, bits.KeyForBit(value>>uint(b)&1 == 1))
+			mustStore(err)
 		}
 	}
 }

@@ -20,6 +20,8 @@
 package arch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +43,17 @@ type Config struct {
 	Groups           int // instruction groups; banks are assigned round-robin
 	Tech             tech.Tech
 	Monolithic       bool // use the traditional monolithic array design (Fig. 19b ablation)
+
+	// Faults activates the RRAM fault model in every PE's TCAM arrays
+	// (fault.go; zero value = fault-free). Each array derives its defect
+	// map from Faults.Seed and its PE's linear address, so a chip with a
+	// fixed seed is reproducible.
+	Faults tcam.FaultConfig
+	// SparePEs provisions this many spare subarrays (of PEsPerSubarray
+	// PEs each) outside the bank hierarchy. They idle until a shard dies
+	// with a FaultError during ExecuteParallel, which replays the shard
+	// on a spare (see retryFailures).
+	SparePEs int
 }
 
 // DefaultSmallConfig returns a functional-verification-sized chip: one
@@ -65,6 +78,13 @@ type PE struct {
 
 	CountResult int // last Count reduction
 	IndexResult int // last Index reduction
+
+	// addr is the PE's current linear address (the <addr> space of
+	// ReadR/WriteR). It changes only when a spare is swapped in for a
+	// failed PE. failed is latched by the first unrepairable FaultError;
+	// Health() derives the availability state from both.
+	addr   int
+	failed bool
 }
 
 // Subarray groups PEs behind one local controller with shared key/mask
@@ -108,7 +128,16 @@ type Chip struct {
 
 	GroupList []*Group
 	banks     []*Bank
-	pes       []*PE // linear order: bank-major, then subarray, then PE
+	pes       []*PE // linear order: bank-major, then subarray, then PE; spares last
+
+	// Spare subarrays (Config.SparePEs) sit outside the bank hierarchy:
+	// spareSubs is all of them (for ledger/trace merging), spareFree the
+	// not-yet-consumed ones, numSpare the spare PE count (the tail of
+	// pes). retries counts shards successfully replayed on a spare.
+	spareSubs []*Subarray
+	spareFree []*Subarray
+	numSpare  int
+	retries   int64
 
 	gridW, gridH int // PE grid for MovR: width = PEs per bank, height = banks
 
@@ -174,6 +203,12 @@ type Report struct {
 	// MaxCellWrites is the largest number of programming pulses any
 	// single RRAM cell of any PE received (endurance exposure).
 	MaxCellWrites uint32
+	// Faults aggregates the fault/repair counters of every PE's TCAM
+	// arrays (zero when the fault model is off); Health counts PEs by
+	// availability state; Retries counts shards replayed on a spare.
+	Faults  tcam.FaultReport
+	Health  HealthSummary
+	Retries int64
 }
 
 // New builds a chip.
@@ -190,6 +225,18 @@ func New(cfg Config) *Chip {
 		c.GroupList[g] = &Group{}
 	}
 	params := tcam.DefaultParams()
+	newPE := func() *PE {
+		var d tcam.Design
+		salt := int64(len(c.pes))
+		if cfg.Monolithic {
+			d = tcam.NewMonolithicWithFaults(cfg.Rows, cfg.Bits, params, cfg.Faults, salt)
+		} else {
+			d = tcam.NewSeparatedWithFaults(cfg.Rows, cfg.Bits, params, cfg.Faults, salt)
+		}
+		pe := &PE{M: model.NewHyperAP(d), Data: bits.NewVec(512), addr: len(c.pes)}
+		c.pes = append(c.pes, pe)
+		return pe
+	}
 	for b := 0; b < cfg.Banks; b++ {
 		bank := &Bank{Group: b % cfg.Groups}
 		for s := 0; s < cfg.SubarraysPerBank; s++ {
@@ -201,29 +248,43 @@ func New(cfg Config) *Chip {
 				sub.Keys[i] = bits.KDC
 			}
 			for p := 0; p < cfg.PEsPerSubarray; p++ {
-				var d tcam.Design
-				if cfg.Monolithic {
-					d = tcam.NewMonolithic(cfg.Rows, cfg.Bits, params)
-				} else {
-					d = tcam.NewSeparated(cfg.Rows, cfg.Bits, params)
-				}
-				pe := &PE{M: model.NewHyperAP(d), Data: bits.NewVec(512)}
-				sub.PEs = append(sub.PEs, pe)
-				c.pes = append(c.pes, pe)
+				sub.PEs = append(sub.PEs, newPE())
 			}
 			bank.Subarrays = append(bank.Subarrays, sub)
 		}
 		c.banks = append(c.banks, bank)
 		c.GroupList[bank.Group].Banks = append(c.GroupList[bank.Group].Banks, bank)
 	}
+	// Spare subarrays live outside the bank/group hierarchy (bank -1):
+	// they receive no dispatched instructions until a retry restores a
+	// failed shard onto them.
+	for s := 0; s < cfg.SparePEs; s++ {
+		sub := &Subarray{
+			Keys:  make([]bits.Key, cfg.Bits),
+			group: 0, bank: -1, index: s, pe0: len(c.pes),
+		}
+		for i := range sub.Keys {
+			sub.Keys[i] = bits.KDC
+		}
+		for p := 0; p < cfg.PEsPerSubarray; p++ {
+			sub.PEs = append(sub.PEs, newPE())
+			c.numSpare++
+		}
+		c.spareSubs = append(c.spareSubs, sub)
+	}
+	c.spareFree = append([]*Subarray(nil), c.spareSubs...)
 	c.gridW = cfg.SubarraysPerBank * cfg.PEsPerSubarray
 	c.gridH = cfg.Banks
 	c.report = Report{Instr: make(map[isa.Op]int64), GroupCycles: make([]int64, cfg.Groups)}
 	return c
 }
 
-// NumPEs returns the number of processing elements.
-func (c *Chip) NumPEs() int { return len(c.pes) }
+// NumPEs returns the number of active (non-spare) processing elements —
+// the shard address space batch execution schedules over.
+func (c *Chip) NumPEs() int { return len(c.pes) - c.numSpare }
+
+// TotalPEs returns the number of PEs including spares.
+func (c *Chip) TotalPEs() int { return len(c.pes) }
 
 // PE returns the processing element with the given linear address (the
 // 17-bit <addr> of ReadR/WriteR).
@@ -254,12 +315,20 @@ func (c *Chip) Report() Report {
 			r.Writes += sub.writes
 		}
 	}
+	for _, sub := range c.spareSubs {
+		r.Searches += sub.searches
+		r.Writes += sub.writes
+	}
 	r.MaxCellWrites = 0
+	r.Faults = tcam.FaultReport{}
 	for _, pe := range c.pes {
 		if w := pe.M.TCAM().WearReport().MaxPulses; w > r.MaxCellWrites {
 			r.MaxCellWrites = w
 		}
+		r.Faults = r.Faults.Merge(pe.M.TCAM().FaultReport())
 	}
+	r.Health = c.HealthSummary()
+	r.Retries = c.retries
 	r.Energy = c.energy()
 	return r
 }
@@ -320,8 +389,18 @@ func (c *Chip) activeGroups() []*Group {
 // mask; Wait charges idle cycles to the active groups. The report
 // accumulates across calls.
 func (c *Chip) Execute(prog isa.Program) error {
+	return c.ExecuteContext(context.Background(), prog)
+}
+
+// ExecuteContext is Execute with cancellation: the context is checked
+// between instructions, so a caller's deadline interrupts a long program
+// instead of waiting for it to finish.
+func (c *Chip) ExecuteContext(ctx context.Context, prog isa.Program) error {
 	cp := c.CycleParams()
 	for pc, in := range prog {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		seq := c.instrSeq
 		c.instrSeq++
 		if err := c.step(in, cp, pc, seq); err != nil {
@@ -355,12 +434,24 @@ func parallelSafe(prog isa.Program) bool {
 // charged once up front. Tracing stays on the concurrent path: each
 // subarray appends events to its own ledger with deterministically
 // computed cumulative cycles, so TraceEvents and Report are bit-identical
-// to a serial traced run. The serial Execute path is used only when
-// workers <= 1 or when the program contains chip-level instructions (see
-// parallelSafe).
-func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
-	if workers <= 1 || !parallelSafe(prog) {
-		return c.Execute(prog)
+// to a serial traced run. The serial Execute path is used only when the
+// program contains chip-level instructions (see parallelSafe); workers <= 1
+// still runs the per-subarray pool (with one worker), so single-core hosts
+// keep the snapshot/spare-PE retry machinery below.
+//
+// The context is checked between instructions on every worker, so a
+// caller's deadline interrupts a long pass. With fault injection active
+// a subarray that dies with a FaultError does not abort the others: the
+// pass completes on the healthy subarrays, and each failed shard is
+// replayed on a spare subarray when Config.SparePEs provisioned one (see
+// retryFailures). Only when no spare can absorb a failure does the
+// FaultError reach the caller.
+func (c *Chip) ExecuteParallel(ctx context.Context, prog isa.Program, workers int) error {
+	if !parallelSafe(prog) {
+		return c.ExecuteContext(ctx, prog)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	cp := c.CycleParams()
 	groups := c.activeGroups()
@@ -395,6 +486,16 @@ func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
 	if len(subs) == 0 {
 		return nil
 	}
+	// With spares available, snapshot every subarray up front: a shard
+	// that dies mid-program mutated its PEs, so the replay must start
+	// from the pre-pass state, not the corpse.
+	var snaps map[*Subarray]*subSnapshot
+	if len(c.spareFree) > 0 {
+		snaps = make(map[*Subarray]*subSnapshot, len(subs))
+		for _, sub := range subs {
+			snaps[sub] = snapshotSubarray(sub)
+		}
+	}
 	if workers > len(subs) {
 		workers = len(subs)
 	}
@@ -404,35 +505,46 @@ func (c *Chip) ExecuteParallel(prog isa.Program, workers int) error {
 	}
 	close(work)
 	errCh := make(chan error, workers)
+	var failMu sync.Mutex
+	var failures []subFailure
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for sub := range work {
-				if c.Tracing {
-					cum := startCycles[sub.group]
-					for pc, in := range prog {
-						cum += int64(cost[pc])
-						if err := c.runSubarray(in, sub, pc, baseSeq+int64(pc), cost[pc], cum); err != nil {
-							errCh <- fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
-							return
-						}
-					}
+				err := c.runSubProgram(ctx, prog, sub, baseSeq, startCycles, cost)
+				if err == nil {
 					continue
 				}
-				for pc, in := range prog {
-					if err := c.stepSubarray(in, sub); err != nil {
-						errCh <- fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
-						return
-					}
+				var fe *FaultError
+				if errors.As(err, &fe) {
+					// A dead shard must not drag down the healthy ones:
+					// record it for the retry pass and keep draining work.
+					failMu.Lock()
+					failures = append(failures, subFailure{sub: sub, err: err})
+					failMu.Unlock()
+					continue
 				}
+				errCh <- err
+				return
 			}
 		}()
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	if err := <-errCh; err != nil {
+		return err
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	// Deterministic retry order regardless of worker interleaving.
+	sort.Slice(failures, func(i, j int) bool { return failures[i].sub.pe0 < failures[j].sub.pe0 })
+	if snaps == nil {
+		return failures[0].err
+	}
+	return c.retryFailures(ctx, prog, failures, snaps, baseSeq, startCycles, cost)
 }
 
 func (c *Chip) step(in isa.Instruction, cp isa.CycleParams, pc int, seq int64) error {
@@ -593,6 +705,9 @@ func (c *Chip) TraceEvents() []TraceEvent {
 			evs = append(evs, sub.trace...)
 		}
 	}
+	for _, sub := range c.spareSubs {
+		evs = append(evs, sub.trace...)
+	}
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].Seq != evs[j].Seq {
 			return evs[i].Seq < evs[j].Seq
@@ -610,6 +725,9 @@ func (c *Chip) ResetTrace() {
 		for _, sub := range bank.Subarrays {
 			sub.trace = nil
 		}
+	}
+	for _, sub := range c.spareSubs {
+		sub.trace = nil
 	}
 }
 
@@ -633,14 +751,23 @@ func (c *Chip) stepSubarray(in isa.Instruction, sub *Subarray) error {
 			return fmt.Errorf("write column %d out of range", col)
 		}
 		for _, pe := range sub.PEs {
+			var err error
 			if in.Encode {
-				pe.M.WriteEncodedPair(col)
+				_, err = pe.M.WriteEncodedPair(col)
 			} else {
 				k := sub.Keys[col]
 				if k == bits.KDC {
 					return fmt.Errorf("write with masked key at column %d", col)
 				}
-				pe.M.Write(col, k)
+				_, err = pe.M.Write(col, k)
+			}
+			if err != nil {
+				var fe *tcam.FaultError
+				if errors.As(err, &fe) {
+					pe.failed = true
+					return &FaultError{PE: pe.addr, Bank: sub.bank, Subarray: sub.index, Err: err}
+				}
+				return err
 			}
 		}
 		sub.writes += int64(len(sub.PEs))

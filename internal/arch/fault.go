@@ -1,0 +1,262 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/isa"
+	"hyperap/internal/tcam"
+)
+
+// Health is the availability state of one PE.
+type Health int
+
+const (
+	// Healthy: no fault was ever detected on the PE.
+	Healthy Health = iota
+	// Degraded: write-verify detected faults and spare-row repair masked
+	// every one of them — results are correct, spare capacity is lower.
+	Degraded
+	// Failed: the PE surfaced an unrepairable FaultError; its results
+	// cannot be trusted and it takes no further work.
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Health(%d)", int(h))
+}
+
+// Health derives the PE's availability state from its fault history.
+func (pe *PE) Health() Health {
+	if pe.failed {
+		return Failed
+	}
+	if fr := pe.M.TCAM().FaultReport(); fr.Detected > 0 || fr.Repairs > 0 {
+		return Degraded
+	}
+	return Healthy
+}
+
+// HealthSummary counts PEs by health state across the whole chip
+// (active and spare).
+type HealthSummary struct {
+	Healthy, Degraded, Failed, Total int
+}
+
+// HealthyFraction is the fraction of PEs still able to produce correct
+// results (healthy + degraded; degraded PEs are repaired, not wrong).
+func (h HealthSummary) HealthyFraction() float64 {
+	if h.Total == 0 {
+		return 1
+	}
+	return float64(h.Total-h.Failed) / float64(h.Total)
+}
+
+// HealthSummary reports the health of every PE on the chip.
+func (c *Chip) HealthSummary() HealthSummary {
+	var s HealthSummary
+	for _, pe := range c.pes {
+		switch pe.Health() {
+		case Healthy:
+			s.Healthy++
+		case Degraded:
+			s.Degraded++
+		case Failed:
+			s.Failed++
+		}
+		s.Total++
+	}
+	return s
+}
+
+// FaultError locates an unrepairable TCAM fault in the chip hierarchy.
+// It wraps the underlying tcam.FaultError (errors.As reaches both).
+type FaultError struct {
+	PE, Bank, Subarray int
+	Err                error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("arch: PE %d (bank %d, subarray %d): %v", e.PE, e.Bank, e.Subarray, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// peSnapshot captures the restorable state of one PE: logical TCAM
+// contents, tag registers and the inter-PE data register. The encoder
+// chain is intentionally absent — snapshots are taken between programs,
+// when it is empty.
+type peSnapshot struct {
+	states [][]bits.State
+	tags   *bits.Vec
+	data   *bits.Vec
+}
+
+// subSnapshot captures one subarray (shared key register + PEs) before a
+// parallel pass, so a shard that dies mid-program can be replayed on a
+// spare from a known-good starting point.
+type subSnapshot struct {
+	keys []bits.Key
+	pes  []*peSnapshot
+}
+
+func snapshotSubarray(sub *Subarray) *subSnapshot {
+	snap := &subSnapshot{keys: append([]bits.Key(nil), sub.Keys...)}
+	for _, pe := range sub.PEs {
+		ps := &peSnapshot{tags: pe.M.Tags().Clone(), data: pe.Data.Clone()}
+		t := pe.M.TCAM()
+		rows, bitsN := t.Rows(), t.Bits()
+		ps.states = make([][]bits.State, rows)
+		for r := 0; r < rows; r++ {
+			row := make([]bits.State, bitsN)
+			for b := 0; b < bitsN; b++ {
+				row[b] = t.StateSafe(r, b)
+			}
+			ps.states[r] = row
+		}
+		snap.pes = append(snap.pes, ps)
+	}
+	return snap
+}
+
+// restoreSubarray loads a snapshot into a (spare) subarray. Every Load
+// is write-verified by the TCAM layer, so a spare with conflicting
+// defects fails here — the caller burns it and tries the next one.
+func restoreSubarray(sub *Subarray, snap *subSnapshot) error {
+	copy(sub.Keys, snap.keys)
+	for i, pe := range sub.PEs {
+		ps := snap.pes[i]
+		t := pe.M.TCAM()
+		for r, row := range ps.states {
+			for b, s := range row {
+				// An erased (X) snapshot cell whose effective state on the
+				// spare already reads X needs no pulse: stuck-at-HRS is
+				// physically identical to X, so skipping saves wear without
+				// hiding anything. A cell that reads otherwise carries a
+				// stuck-LRS defect that would silently corrupt later
+				// searches (X matches everything; stuck-LRS matches one
+				// polarity), so it must go through the verified Load below,
+				// where spare-row repair absorbs it or the spare is burned.
+				if s == bits.SX && t.StateSafe(r, b) == bits.SX {
+					continue
+				}
+				if err := pe.M.Load(r, b, s); err != nil {
+					var fe *tcam.FaultError
+					if errors.As(err, &fe) {
+						return &FaultError{PE: pe.addr, Bank: sub.bank, Subarray: sub.index, Err: err}
+					}
+					return err
+				}
+			}
+		}
+		pe.M.SetTags(ps.tags)
+		pe.Data.CopyFrom(ps.data)
+	}
+	return nil
+}
+
+// retryFailures replays each failed subarray's program on a healthy
+// spare subarray: restore the pre-pass snapshot, re-execute the whole
+// stream, then swap the spare's PEs into the failed shard's addresses so
+// callers reading results by PE address see the healthy replacement. A
+// spare that faults during restore or replay is burned and the next one
+// tried; with no spares left the original FaultError is returned.
+func (c *Chip) retryFailures(ctx context.Context, prog isa.Program, failures []subFailure,
+	snaps map[*Subarray]*subSnapshot, baseSeq int64, startCycles []int64, cost []int) error {
+	progCycles := int64(0)
+	cp := c.CycleParams()
+	for _, in := range prog {
+		progCycles += int64(in.Cycles(cp))
+	}
+	for _, f := range failures {
+		snap := snaps[f.sub]
+	spares:
+		for {
+			if len(c.spareFree) == 0 {
+				return f.err
+			}
+			sp := c.spareFree[0]
+			c.spareFree = c.spareFree[1:]
+			if err := restoreSubarray(sp, snap); err != nil {
+				var fe *FaultError
+				if errors.As(err, &fe) {
+					continue // this spare is bad too; burn it
+				}
+				return err
+			}
+			if err := c.runSubProgram(ctx, prog, sp, baseSeq, startCycles, cost); err != nil {
+				var fe *FaultError
+				if errors.As(err, &fe) {
+					continue spares
+				}
+				return err
+			}
+			// The replay ran serially after the parallel pass: charge its
+			// latency to the shard's group. (Instruction decode counts are
+			// not re-charged — they are modelled per-subarray already.)
+			c.report.GroupCycles[f.sub.group] += progCycles
+			c.swapSubarrayPEs(f.sub, sp)
+			c.retries++
+			break
+		}
+	}
+	return nil
+}
+
+// runSubProgram steps one subarray through a whole program, mirroring
+// the ExecuteParallel worker body (traced or not).
+func (c *Chip) runSubProgram(ctx context.Context, prog isa.Program, sub *Subarray,
+	baseSeq int64, startCycles []int64, cost []int) error {
+	if c.Tracing {
+		cum := startCycles[sub.group]
+		for pc, in := range prog {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cum += int64(cost[pc])
+			if err := c.runSubarray(in, sub, pc, baseSeq+int64(pc), cost[pc], cum); err != nil {
+				return fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
+			}
+		}
+		return nil
+	}
+	for pc, in := range prog {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.stepSubarray(in, sub); err != nil {
+			return fmt.Errorf("arch: pc %d (%v): %w", pc, in, err)
+		}
+	}
+	return nil
+}
+
+// swapSubarrayPEs exchanges the PEs of a failed shard and its spare:
+// after the swap, the shard's PE addresses resolve to the healthy PEs
+// holding the replayed results, and the failed PEs are parked in the
+// retired spare subarray (still visible to HealthSummary).
+func (c *Chip) swapSubarrayPEs(sub, sp *Subarray) {
+	for i := range sub.PEs {
+		a, b := sub.PEs[i], sp.PEs[i]
+		c.pes[a.addr], c.pes[b.addr] = b, a
+		a.addr, b.addr = b.addr, a.addr
+		sub.PEs[i], sp.PEs[i] = b, a
+	}
+}
+
+// subFailure records one subarray whose shard died with a FaultError
+// during a parallel pass.
+type subFailure struct {
+	sub *Subarray
+	err error
+}

@@ -1,0 +1,172 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/isa"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// faultChip builds a 2-shard chip (one PE per subarray, like the batch
+// engine's) with the given fault config and spare subarrays.
+func faultChip(fc tcam.FaultConfig, sparePEs int) *Chip {
+	return New(Config{
+		Banks:            1,
+		SubarraysPerBank: 2,
+		PEsPerSubarray:   1,
+		Rows:             8,
+		Bits:             4,
+		Groups:           1,
+		Tech:             tech.RRAM(),
+		Faults:           fc,
+		SparePEs:         sparePEs,
+	})
+}
+
+// writeProg tags every row (match-all search) and writes state 1 into
+// bit column 0 — the smallest program whose write path exercises
+// write-verify on every row.
+func writeProg() isa.Program {
+	dc := []bits.Key{bits.KDC, bits.KDC, bits.KDC, bits.KDC}
+	w := []bits.Key{bits.K1, bits.KDC, bits.KDC, bits.KDC}
+	return isa.Program{
+		isa.SetKey(dc),
+		isa.Search(false, false),
+		isa.SetKey(w),
+		isa.Write(0, false),
+	}
+}
+
+// TestSparePERetry is the chip-level fault-tolerance acceptance path: a
+// PE with an unrepairable stuck cell dies mid-pass, the shard is
+// replayed on a spare PE, and the final state is bit-identical to a
+// fault-free chip — with the failure fully visible in the report.
+func TestSparePERetry(t *testing.T) {
+	c := faultChip(tcam.FaultConfig{}, 1)
+	// Writing state 1 to bit 0 needs the F cell (array B, column 0) in
+	// LRS; pin it to HRS on PE 1 row 2 so the write cannot take. No spare
+	// rows are provisioned, so the PE's own repair fails and the shard
+	// must move to the spare PE.
+	c.PE(1).M.TCAM().Arrays()[1].ForceStuck(2, 0, tcam.HRS)
+
+	if err := c.ExecuteParallel(context.Background(), writeProg(), 2); err != nil {
+		t.Fatalf("pass with a spare PE available: %v", err)
+	}
+
+	ref := faultChip(tcam.FaultConfig{}, 0)
+	if err := ref.ExecuteParallel(context.Background(), writeProg(), 2); err != nil {
+		t.Fatalf("fault-free pass: %v", err)
+	}
+	for pe := 0; pe < 2; pe++ {
+		for r := 0; r < 8; r++ {
+			for b := 0; b < 4; b++ {
+				got := c.PE(pe).M.TCAM().State(r, b)
+				want := ref.PE(pe).M.TCAM().State(r, b)
+				if got != want {
+					t.Errorf("PE %d state(%d,%d) = %v, fault-free %v", pe, r, b, got, want)
+				}
+			}
+		}
+	}
+
+	rep := c.Report()
+	if rep.Retries != 1 {
+		t.Errorf("retries = %d, want 1", rep.Retries)
+	}
+	if rep.Health.Failed != 1 || rep.Health.Total != 3 {
+		t.Errorf("health = %+v, want 1 failed of 3", rep.Health)
+	}
+	if got := rep.Health.HealthyFraction(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("healthy fraction = %v, want 2/3", got)
+	}
+	// The healthy subarrays' work must not have been redone: each of the
+	// two shards searched once and wrote once (the replay replaces the
+	// failed shard's ledger position via the spare subarray's ledger).
+	if rep.Searches < 2 || rep.Writes < 2 {
+		t.Errorf("ledgers lost work: searches=%d writes=%d", rep.Searches, rep.Writes)
+	}
+}
+
+// TestFaultErrorWithoutSpares: no spare PEs → the same failure must
+// surface as a typed FaultError naming the PE, never a silent wrong
+// result.
+func TestFaultErrorWithoutSpares(t *testing.T) {
+	for _, workers := range []int{1, 2} { // serial fallback and parallel path
+		c := faultChip(tcam.FaultConfig{}, 0)
+		c.PE(1).M.TCAM().Arrays()[1].ForceStuck(2, 0, tcam.HRS)
+		err := c.ExecuteParallel(context.Background(), writeProg(), workers)
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("workers=%d: err = %v, want *FaultError", workers, err)
+		}
+		if fe.PE != 1 {
+			t.Errorf("workers=%d: failed PE = %d, want 1", workers, fe.PE)
+		}
+		var tfe *tcam.FaultError
+		if !errors.As(err, &tfe) {
+			t.Errorf("workers=%d: FaultError does not unwrap to tcam.FaultError", workers)
+		}
+		if c.Report().Health.Failed != 1 {
+			t.Errorf("workers=%d: failed PE not latched: %+v", workers, c.Report().Health)
+		}
+	}
+}
+
+// TestSpareRowRepairKeepsPEDegraded: a fault the PE repairs locally via
+// its spare rows must not consume the spare PE, and the PE reports
+// Degraded (correct results, reduced margin).
+func TestSpareRowRepairKeepsPEDegraded(t *testing.T) {
+	c := faultChip(tcam.FaultConfig{SpareRows: 2}, 1)
+	c.PE(1).M.TCAM().Arrays()[1].ForceStuck(2, 0, tcam.HRS)
+	if err := c.ExecuteParallel(context.Background(), writeProg(), 2); err != nil {
+		t.Fatalf("repairable fault errored: %v", err)
+	}
+	rep := c.Report()
+	if rep.Retries != 0 {
+		t.Errorf("local repair consumed a spare PE (retries=%d)", rep.Retries)
+	}
+	if rep.Faults.Detected < 1 || rep.Faults.Repairs < 1 {
+		t.Errorf("fault not detected/repaired: %+v", rep.Faults)
+	}
+	if rep.Health.Degraded != 1 || rep.Health.Failed != 0 {
+		t.Errorf("health = %+v, want 1 degraded, 0 failed", rep.Health)
+	}
+	if got := rep.Health.HealthyFraction(); got != 1 {
+		t.Errorf("healthy fraction = %v, want 1 (degraded PEs still produce correct results)", got)
+	}
+	for r := 0; r < 8; r++ {
+		if got := c.PE(1).M.TCAM().State(r, 0); got != bits.S1 {
+			t.Errorf("row %d bit 0 = %v after repair, want S1", r, got)
+		}
+	}
+}
+
+// TestExecuteParallelCancel: a cancelled context must stop the pass
+// between instructions with the context's error.
+func TestExecuteParallelCancel(t *testing.T) {
+	c := faultChip(tcam.FaultConfig{}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2} {
+		if err := c.ExecuteParallel(ctx, writeProg(), workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestHealthFresh: a fresh chip is entirely healthy with fraction 1.
+func TestHealthFresh(t *testing.T) {
+	c := faultChip(tcam.FaultConfig{}, 1)
+	h := c.HealthSummary()
+	if h.Healthy != 3 || h.Degraded != 0 || h.Failed != 0 || h.Total != 3 {
+		t.Errorf("fresh health = %+v", h)
+	}
+	if h.HealthyFraction() != 1 {
+		t.Errorf("fresh fraction = %v", h.HealthyFraction())
+	}
+}

@@ -1,6 +1,8 @@
 package arch
 
 import (
+	"context"
+
 	"testing"
 
 	"hyperap/internal/bits"
@@ -70,7 +72,7 @@ func TestExecuteParallelMatchesSerial(t *testing.T) {
 	if err := serial.Execute(prog); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.ExecuteParallel(prog, 4); err != nil {
+	if err := par.ExecuteParallel(context.Background(), prog, 4); err != nil {
 		t.Fatal(err)
 	}
 	for p := 0; p < serial.NumPEs(); p++ {
@@ -126,7 +128,7 @@ func TestExecuteParallelFallback(t *testing.T) {
 	if err := serial.Execute(prog); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.ExecuteParallel(prog, 4); err != nil {
+	if err := par.ExecuteParallel(context.Background(), prog, 4); err != nil {
 		t.Fatal(err)
 	}
 	for p := 0; p < 2; p++ {

@@ -1,6 +1,8 @@
 package arch
 
 import (
+	"context"
+
 	"math"
 	"reflect"
 	"testing"
@@ -22,7 +24,7 @@ func TestTracedParallelMatchesSerial(t *testing.T) {
 	if err := serial.Execute(prog); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.ExecuteParallel(prog, 4); err != nil {
+	if err := par.ExecuteParallel(context.Background(), prog, 4); err != nil {
 		t.Fatal(err)
 	}
 	se, pe := serial.TraceEvents(), par.TraceEvents()
@@ -63,7 +65,7 @@ func TestTracedEventFields(t *testing.T) {
 	c.Tracing = true
 	loadAdderRows(c)
 	prog := fig5dProgram(t)
-	if err := c.ExecuteParallel(prog, 3); err != nil {
+	if err := c.ExecuteParallel(context.Background(), prog, 3); err != nil {
 		t.Fatal(err)
 	}
 	evs := c.TraceEvents()
@@ -102,7 +104,7 @@ func TestTracedChipLevelEvents(t *testing.T) {
 		isa.MovR(isa.DirRight),
 		isa.Instruction{Op: isa.OpCount},
 	}
-	if err := c.ExecuteParallel(prog, 4); err != nil {
+	if err := c.ExecuteParallel(context.Background(), prog, 4); err != nil {
 		t.Fatal(err)
 	}
 	evs := c.TraceEvents()
@@ -168,7 +170,7 @@ func BenchmarkTracedParallel(b *testing.B) {
 	prog := benchProgram(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.ExecuteParallel(prog, 8); err != nil {
+		if err := c.ExecuteParallel(context.Background(), prog, 8); err != nil {
 			b.Fatal(err)
 		}
 		c.ResetTrace()

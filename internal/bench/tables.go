@@ -90,10 +90,15 @@ func Fig2Fig5() (*Table, error) {
 	// Hyper-AP, Fig. 5d.
 	hy := model.NewHyperAP(tcam.NewSeparated(8, 5, tcam.DefaultParams()))
 	for row := 0; row < 8; row++ {
-		hy.LoadPair(row, 0, row&1 != 0, row&2 != 0)
-		hy.LoadBit(row, 2, row&4 != 0)
-		hy.LoadBit(row, 3, false)
-		hy.LoadBit(row, 4, false)
+		// The demo machine is fault-free, so loads cannot fail.
+		if err := hy.LoadPair(row, 0, row&1 != 0, row&2 != 0); err != nil {
+			return nil, err
+		}
+		for col, b := range []bool{row&4 != 0, false, false} {
+			if err := hy.LoadBit(row, col+2, b); err != nil {
+				return nil, err
+			}
+		}
 	}
 	key := func(s string, cols ...int) []bits.Key {
 		ks, err := bits.ParseKeys(s)
@@ -111,10 +116,14 @@ func Fig2Fig5() (*Table, error) {
 	}
 	hy.Search(key("010", 0, 1, 2), false)
 	hy.Search(key("101", 0, 1, 2), true)
-	hy.Write(3, bits.K1)
+	if _, err := hy.Write(3, bits.K1); err != nil {
+		return nil, err
+	}
 	hy.Search(key("-11", 0, 1, 2), false)
 	hy.Search(key("1Z0", 0, 1, 2), true)
-	hy.Write(4, bits.K1)
+	if _, err := hy.Write(4, bits.K1); err != nil {
+		return nil, err
+	}
 	t.Rows = append(t.Rows, []string{"Hyper-AP (Fig. 5d)",
 		fmt.Sprintf("%d", hy.Ops.Searches), fmt.Sprintf("%d", hy.Ops.Writes), fmt.Sprintf("%d", hy.Ops.Total())})
 	t.Notes = append(t.Notes, "paper: 14 operations vs 6 operations (2.3x fewer)")

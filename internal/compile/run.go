@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"hyperap/internal/arch"
 	"hyperap/internal/bits"
 	"hyperap/internal/encoding"
+	"hyperap/internal/tcam"
 	"hyperap/internal/tech"
 )
 
@@ -28,6 +30,10 @@ func (ex *Executable) NewChip(rows int) *arch.Chip {
 // behind its own subarray controller (so shards can step concurrently),
 // matching the executable's target.
 func (ex *Executable) NewShardedChip(pes, rows int) *arch.Chip {
+	return ex.newShardedChip(pes, rows, runConfig{})
+}
+
+func (ex *Executable) newShardedChip(pes, rows int, cfg runConfig) *arch.Chip {
 	return arch.New(arch.Config{
 		Banks:            1,
 		SubarraysPerBank: pes,
@@ -37,6 +43,8 @@ func (ex *Executable) NewShardedChip(pes, rows int) *arch.Chip {
 		Groups:           1,
 		Tech:             ex.Target.Tech,
 		Monolithic:       ex.Target.Monolithic,
+		Faults:           cfg.faults,
+		SparePEs:         cfg.sparePEs,
 	})
 }
 
@@ -44,8 +52,10 @@ func (ex *Executable) NewShardedChip(pes, rows int) *arch.Chip {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	workers int
-	trace   bool
+	workers  int
+	trace    bool
+	faults   tcam.FaultConfig
+	sparePEs int
 }
 
 // WithParallelism bounds the RunBatch worker pool to n goroutines;
@@ -59,6 +69,29 @@ func WithParallelism(n int) RunOption {
 // obs.ChromeTrace). Tracing stays on the concurrent execution path.
 func WithTrace() RunOption {
 	return func(c *runConfig) { c.trace = true }
+}
+
+// WithFaults activates the RRAM fault model on the chip RunBatch builds:
+// stuck-at defects, endurance wear-out, transient search upsets,
+// write-verify and spare-row repair, all derived deterministically from
+// fc.Seed (see tcam.FaultConfig).
+func WithFaults(fc tcam.FaultConfig) RunOption {
+	return func(c *runConfig) { c.faults = fc }
+}
+
+// WithEndurance caps every RRAM cell at budget programming pulses; a
+// cell written past the budget dies (becomes stuck) and is caught by
+// write-verify. Combines with WithFaults — the budget overrides the
+// fault config's EnduranceBudget field.
+func WithEndurance(budget uint32) RunOption {
+	return func(c *runConfig) { c.faults.EnduranceBudget = budget }
+}
+
+// WithSparePEs provisions n spare subarrays on the chip RunBatch builds;
+// a shard that dies with a FaultError is replayed on a spare instead of
+// failing the batch.
+func WithSparePEs(n int) RunOption {
+	return func(c *runConfig) { c.sparePEs = n }
 }
 
 func newRunConfig(opts []RunOption) runConfig {
@@ -92,10 +125,14 @@ func (ex *Executable) Load(pe *arch.PE, row int, vals []uint64) error {
 			case LocNone:
 				// Unused input bit: not stored.
 			case LocSingle:
-				pe.M.LoadBit(row, ref.Loc.Col, bitVal[ref.Node])
+				if err := pe.M.LoadBit(row, ref.Loc.Col, bitVal[ref.Node]); err != nil {
+					return err
+				}
 			case LocPairHi:
 				hiCol, _ := pairColumns(ref.Loc)
-				pe.M.LoadPair(row, hiCol, bitVal[ref.Node], bitVal[ref.Loc.Partner])
+				if err := pe.M.LoadPair(row, hiCol, bitVal[ref.Node], bitVal[ref.Loc.Partner]); err != nil {
+					return err
+				}
 			case LocPairLo:
 				// Loaded together with its hi half. The partner may be an
 				// unused PI bit of another component; default false is
@@ -103,7 +140,9 @@ func (ex *Executable) Load(pe *arch.PE, row int, vals []uint64) error {
 				// when the partner is not an input bit.
 				if _, ok := bitVal[ref.Loc.Partner]; !ok {
 					hiCol, _ := pairColumns(ref.Loc)
-					pe.M.LoadPair(row, hiCol, false, bitVal[ref.Node])
+					if err := pe.M.LoadPair(row, hiCol, false, bitVal[ref.Node]); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -185,6 +224,14 @@ func (ex *Executable) Run(inputs [][]uint64) ([][]uint64, *arch.Chip, error) {
 // chip report's Cycles is the per-pass latency regardless of shard count,
 // while energy, operation counts and wear aggregate across all PEs.
 func (ex *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64, *arch.Chip, error) {
+	return ex.RunBatchContext(context.Background(), inputs, opts...)
+}
+
+// RunBatchContext is RunBatch with cancellation: the context is checked
+// between instructions on every execution worker, so a caller's deadline
+// (e.g. serve's per-request timeout) interrupts a long pass instead of
+// waiting for the whole program.
+func (ex *Executable) RunBatchContext(ctx context.Context, inputs [][]uint64, opts ...RunOption) ([][]uint64, *arch.Chip, error) {
 	n := len(inputs)
 	if n == 0 {
 		return nil, nil, ErrNoSlots
@@ -192,12 +239,18 @@ func (ex *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64
 	cfg := newRunConfig(opts)
 	shards := (n + tech.PERows - 1) / tech.PERows
 	rows := min(n, tech.PERows)
-	chip := ex.NewShardedChip(shards, rows)
+	chip := ex.newShardedChip(shards, rows, cfg)
 	chip.Tracing = cfg.trace
 	err := forEachShard(chip, shards, cfg.workers, func(pe *arch.PE, shard int) error {
 		base := shard * tech.PERows
 		for r := base; r < min(base+tech.PERows, n); r++ {
 			if err := ex.Load(pe, r-base, inputs[r]); err != nil {
+				var fe *tcam.FaultError
+				if errors.As(err, &fe) {
+					// Give load-phase faults the same typed shape the
+					// execution path produces.
+					return &arch.FaultError{PE: shard, Bank: 0, Subarray: shard, Err: err}
+				}
 				return err
 			}
 		}
@@ -206,7 +259,7 @@ func (ex *Executable) RunBatch(inputs [][]uint64, opts ...RunOption) ([][]uint64
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := chip.ExecuteParallel(ex.Prog, cfg.workers); err != nil {
+	if err := chip.ExecuteParallel(ctx, ex.Prog, cfg.workers); err != nil {
 		return nil, nil, err
 	}
 	outs := make([][]uint64, n)

@@ -74,7 +74,9 @@ func (g *Grid) LoadInput(idx int, input string, val uint64) error {
 			b := val>>uint(j)&1 == 1
 			switch ref.Loc.Kind {
 			case compile.LocSingle:
-				g.Chip.PE(pe).M.LoadBit(row, ref.Loc.Col, b)
+				if err := g.Chip.PE(pe).M.LoadBit(row, ref.Loc.Col, b); err != nil {
+					return err
+				}
 			default:
 				return fmt.Errorf("grid: input %s is not stored as single bits; compile with SingleBitInputs", input)
 			}

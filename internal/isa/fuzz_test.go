@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// FuzzDecode drives the binary decoder with arbitrary bytes. Two
+// properties: Decode/DecodeProgram must never panic regardless of
+// input, and any buffer that decodes successfully must survive a
+// decode → encode → decode round trip unchanged (the re-encoding is
+// canonical — ignored low-nibble bits are dropped — so the comparison
+// is on the decoded programs, not the raw bytes).
+func FuzzDecode(f *testing.F) {
+	keys := make([]bits.Key, KeyWidth)
+	for i := range keys {
+		keys[i] = bits.Key(i % 4)
+	}
+	seeds := []Program{
+		{Search(false, false)},
+		{Search(true, true)},
+		{Write(7, true)},
+		{SetKey(keys)},
+		{{Op: OpCount}, {Op: OpIndex}, {Op: OpSetTag}, {Op: OpReadTag}},
+		{MovR(DirUp)},
+		{{Op: OpReadR, Addr: 0x1ffff}},
+		{Broadcast(0xa5), Wait(17)},
+	}
+	for _, p := range seeds {
+		f.Add(EncodeProgram(p))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		// One-shot decode: on success the consumed length must be sane.
+		if in, n, err := Decode(buf); err == nil {
+			if n <= 0 || n > len(buf) {
+				t.Fatalf("Decode consumed %d of %d bytes", n, len(buf))
+			}
+			if got := in.Length(); got != n {
+				t.Fatalf("Decode consumed %d bytes but %v.Length() = %d", n, in.Op, got)
+			}
+		}
+		p, err := DecodeProgram(buf)
+		if err != nil {
+			return
+		}
+		enc := EncodeProgram(p)
+		p2, err := DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the program:\n  first  %v\n  second %v", p, p2)
+		}
+	})
+}

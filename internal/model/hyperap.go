@@ -47,18 +47,24 @@ func (m *HyperAP) Tags() *bits.Vec { return m.tags }
 // SetTags replaces the tag registers (the SetTag instruction's data path).
 func (m *HyperAP) SetTags(v *bits.Vec) { m.tags.CopyFrom(v) }
 
-// Load stores a TCAM state directly (host data loading).
-func (m *HyperAP) Load(row, col int, s bits.State) { m.t.Load(row, col, s) }
+// Load stores a TCAM state directly (host data loading). With the fault
+// model active the write is verified and repaired; an unrepairable cell
+// surfaces as a tcam.FaultError.
+func (m *HyperAP) Load(row, col int, s bits.State) error { return m.t.Load(row, col, s) }
 
 // LoadBit stores an unencoded single bit (one TCAM bit, no X use).
-func (m *HyperAP) LoadBit(row, col int, b bool) { m.t.Load(row, col, bits.StateForBit(b)) }
+func (m *HyperAP) LoadBit(row, col int, b bool) error {
+	return m.t.Load(row, col, bits.StateForBit(b))
+}
 
 // LoadPair stores the bit pair (b1, b0) in encoded form at columns col
 // (hi) and col+1 (lo), per Fig. 5a.
-func (m *HyperAP) LoadPair(row, col int, b1, b0 bool) {
+func (m *HyperAP) LoadPair(row, col int, b1, b0 bool) error {
 	hi, lo := encoding.EncodePair(b1, b0)
-	m.t.Load(row, col, hi)
-	m.t.Load(row, col+1, lo)
+	if err := m.t.Load(row, col, hi); err != nil {
+		return err
+	}
+	return m.t.Load(row, col+1, lo)
 }
 
 // ReadBit reads back an unencoded single bit; X reads as an error.
@@ -118,37 +124,38 @@ func (m *HyperAP) EncoderDepth() int { return len(m.enc) }
 
 // Write performs the associative write of the key's state into one column
 // of every tagged row (Fig. 4d; input Z writes X). It returns the number
-// of sequential pulse slots consumed.
-func (m *HyperAP) Write(col int, key bits.Key) int {
+// of sequential pulse slots consumed, plus any unrepairable
+// tcam.FaultError the write-verify pass surfaced.
+func (m *HyperAP) Write(col int, key bits.Key) (int, error) {
 	sel := make([]bool, m.Rows())
 	for i := range sel {
 		sel[i] = m.tags.Get(i)
 	}
-	slots := m.t.Write(col, key, sel)
+	slots, err := m.t.Write(col, key, sel)
 	m.Ops.Writes++
 	m.Ops.PulseSlots += int64(slots)
-	return slots
+	return slots, err
 }
 
 // WriteAll writes the key's state into one column of every row regardless
 // of tags (used to initialise columns; realised by a match-all search
 // followed by a write).
-func (m *HyperAP) WriteAll(col int, key bits.Key) int {
+func (m *HyperAP) WriteAll(col int, key bits.Key) (int, error) {
 	sel := make([]bool, m.Rows())
 	for i := range sel {
 		sel[i] = true
 	}
-	slots := m.t.Write(col, key, sel)
+	slots, err := m.t.Write(col, key, sel)
 	m.Ops.Writes++
 	m.Ops.PulseSlots += int64(slots)
-	return slots
+	return slots, err
 }
 
 // WriteEncodedPair consumes the two latched tag snapshots, encodes each
 // row's (hi, lo) result pair per Fig. 5a, and writes the two TCAM bits at
 // columns col (hi) and col+1 (lo) of every row. This is the Write
 // instruction's <encode> = 1 path (23 cycles in the ISA).
-func (m *HyperAP) WriteEncodedPair(col int) int {
+func (m *HyperAP) WriteEncodedPair(col int) (int, error) {
 	if len(m.enc) != 2 {
 		panic(fmt.Sprintf("model: encoded write needs two latched vectors, have %d", len(m.enc)))
 	}
@@ -162,11 +169,16 @@ func (m *HyperAP) WriteEncodedPair(col int) int {
 		his[r], los[r] = encoding.EncodePair(hi[r], lo[r])
 		all[r] = true
 	}
-	slots := m.t.WritePerRow(col, his, all)
-	slots += m.t.WritePerRow(col+1, los, all)
-	m.Ops.Writes++
+	slots, err := m.t.WritePerRow(col, his, all)
 	m.Ops.PulseSlots += int64(slots)
-	return slots
+	if err == nil {
+		var more int
+		more, err = m.t.WritePerRow(col+1, los, all)
+		slots += more
+		m.Ops.PulseSlots += int64(more)
+	}
+	m.Ops.Writes++
+	return slots, err
 }
 
 // Count returns the number of tagged words (the Count instruction).

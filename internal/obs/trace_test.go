@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+
 	"encoding/json"
 	"testing"
 
@@ -22,7 +24,7 @@ func tracedChip(t *testing.T) *arch.Chip {
 		isa.Search(false, false),
 		isa.Instruction{Op: isa.OpCount},
 	}
-	if err := c.ExecuteParallel(prog, 2); err != nil {
+	if err := c.ExecuteParallel(context.Background(), prog, 2); err != nil {
 		t.Fatal(err)
 	}
 	return c

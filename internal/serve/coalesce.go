@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -122,7 +123,13 @@ func (c *coalescer) runPass(batch []*waiter, slots int) {
 	for _, w := range batch {
 		inputs = append(inputs, w.inputs...)
 	}
-	outs, chip, err := c.p.ex.RunBatch(inputs, c.s.runOpts...)
+	// The pass serves several callers, so it runs under the server's own
+	// deadline rather than any single request's context: a waiter whose
+	// context expires abandons its slice while the pass completes for the
+	// rest.
+	ctx, cancel := context.WithTimeout(context.Background(), c.s.cfg.RequestTimeout)
+	defer cancel()
+	outs, chip, err := c.p.ex.RunBatchContext(ctx, inputs, c.s.runOpts...)
 	runDur := time.Since(start)
 	met.runNS.Add(runDur.Nanoseconds())
 	met.runHist.Observe(runDur.Nanoseconds())
@@ -137,18 +144,12 @@ func (c *coalescer) runPass(batch []*waiter, slots int) {
 		return
 	}
 	r := chip.Report()
-	report := &Report{
-		PEs:           chip.NumPEs(),
-		Cycles:        r.Cycles,
-		EnergyJ:       r.Energy.TotalJ(),
-		MaxCellWrites: r.MaxCellWrites,
-		BatchSlots:    slots,
-		BatchRequests: len(batch),
-	}
+	report := passReport(chip, r, slots, len(batch))
 	met.searches.Add(r.Searches)
 	met.writes.Add(r.Writes)
 	met.energyJ.Add(r.Energy.TotalJ())
 	met.recordFlush(len(batch), slots)
+	c.s.observeHealth(r)
 	off := 0
 	for _, w := range batch {
 		w.outs = outs[off : off+len(w.inputs)]

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hyperap/internal/tcam"
+)
+
+// faultBatch is a deterministic 32-slot input batch for the add kernel.
+func faultBatch() ([][]uint64, []uint64) {
+	in := make([][]uint64, 32)
+	want := make([]uint64, 32)
+	for i := range in {
+		a, b := uint64(i*7+3)&31, uint64(i*13+1)&31
+		in[i] = []uint64{a, b}
+		want[i] = a + b
+	}
+	return in, want
+}
+
+// TestFaultDegradedServing is the serve-layer acceptance path: a chip
+// with injected defects answers runs correctly (write-verify + spare-row
+// repair), reports the repair in the run's report, and flips /readyz to
+// "degraded" with the healthy-PE fraction — while staying ready.
+func TestFaultDegradedServing(t *testing.T) {
+	inputs, want := faultBatch()
+	// The defect map is seed-deterministic but whether one lands under a
+	// written cell depends on layout; scan a few seeds for one that is
+	// detected and repaired rather than hard-coding a layout-sensitive
+	// seed.
+	for seed := int64(1); seed <= 64; seed++ {
+		s := New(Config{
+			Faults:   tcam.FaultConfig{Seed: seed, StuckAtRate: 2e-3, SpareRows: 8},
+			SparePEs: 1,
+		})
+		ts := httptest.NewServer(s)
+		var run RunResponse
+		code := post(t, ts.URL+"/v1/run", RunRequest{Source: addSrc, Inputs: inputs, NoCoalesce: true}, &run)
+		if code != 200 {
+			ts.Close()
+			continue // this seed's defects were unrepairable: loud, not wrong
+		}
+		for i, out := range run.Outputs {
+			if len(out) != 1 || out[0] != want[i] {
+				t.Fatalf("seed %d: slot %d = %v, want [%d] (silent corruption)", seed, i, out, want[i])
+			}
+		}
+		if run.Report == nil || run.Report.FaultsDetected < 1 || run.Report.FaultRepairs < 1 {
+			ts.Close()
+			continue // completed fault-free under this seed
+		}
+
+		var ready map[string]any
+		if code := get(t, ts.URL+"/readyz", &ready); code != 200 {
+			t.Fatalf("degraded server not ready: %d (%v)", code, ready)
+		}
+		if ready["status"] != "degraded" {
+			t.Errorf("readyz status = %v, want degraded", ready["status"])
+		}
+		frac, ok := ready["healthyPeFraction"].(float64)
+		if !ok || frac <= 0 || frac > 1 {
+			t.Errorf("readyz healthyPeFraction = %v, want (0,1]", ready["healthyPeFraction"])
+		}
+		var health map[string]any
+		if code := get(t, ts.URL+"/healthz", &health); code != 200 {
+			t.Errorf("liveness failed on a degraded (still correct) server: %d", code)
+		}
+		var met map[string]any
+		if code := get(t, ts.URL+"/metrics", &met); code != 200 {
+			t.Fatalf("metrics: %d", code)
+		}
+		if d, _ := met["fault_detected"].(float64); d < 1 {
+			t.Errorf("metrics fault_detected = %v, want >= 1", met["fault_detected"])
+		}
+		if r, _ := met["fault_repairs"].(float64); r < 1 {
+			t.Errorf("metrics fault_repairs = %v, want >= 1", met["fault_repairs"])
+		}
+		ts.Close()
+		return
+	}
+	t.Fatal("no seed in 1..64 produced a repaired run; rate/layout drifted")
+}
+
+// TestFaultExhaustion503: when defects exhaust every repair resource the
+// run must come back 503 + Retry-After (a retriable fault, not a wrong
+// answer), and runs that do complete must be correct. The server itself
+// stays alive throughout.
+func TestFaultExhaustion503(t *testing.T) {
+	inputs, want := faultBatch()
+	saw503 := false
+	for seed := int64(1); seed <= 32 && !saw503; seed++ {
+		s := New(Config{
+			// High defect rate, no spare rows, no spare PEs: faults are
+			// detected by write-verify but nothing can absorb them.
+			Faults: tcam.FaultConfig{Seed: seed, StuckAtRate: 1e-2},
+		})
+		ts := httptest.NewServer(s)
+		var run RunResponse
+		code, hdr := postHdr(t, ts.URL+"/v1/run", RunRequest{Source: addSrc, Inputs: inputs, NoCoalesce: true}, &run)
+		switch code {
+		case http.StatusServiceUnavailable:
+			saw503 = true
+			if hdr.Get("Retry-After") == "" {
+				t.Error("fault 503 without Retry-After")
+			}
+			var health map[string]any
+			if hc := get(t, ts.URL+"/healthz", &health); hc != 200 {
+				t.Errorf("server dead after a fault 503: %d", hc)
+			}
+		case http.StatusOK:
+			for i, out := range run.Outputs {
+				if len(out) != 1 || out[0] != want[i] {
+					t.Fatalf("seed %d: slot %d = %v, want [%d] (silent corruption)", seed, i, out, want[i])
+				}
+			}
+		default:
+			t.Fatalf("seed %d: unexpected status %d", seed, code)
+		}
+		ts.Close()
+	}
+	if !saw503 {
+		t.Fatal("no seed in 1..32 exhausted repair at rate 1e-2; rate/layout drifted")
+	}
+}

@@ -45,6 +45,16 @@ type metrics struct {
 	writes   expvar.Int
 	energyJ  expvar.Float
 
+	// Fault-model activity summed across passes (each pass builds a
+	// fresh chip, so per-chip counters add), plus the healthy-PE
+	// fraction of the most recent pass as a gauge.
+	faultDetected     expvar.Int   // write-verify mismatches
+	faultRepairs      expvar.Int   // rows remapped onto spares
+	transientUpsets   expvar.Int   // silent match-line flips
+	spareRetries      expvar.Int   // shards replayed on spare PEs
+	faultErrors       expvar.Int   // runs failed with a FaultError (503)
+	healthyPEFraction expvar.Float // gauge: non-failed PEs / total, last pass
+
 	mu               sync.Mutex
 	maxBatchRequests expvar.Int // high-water requests per pass
 	maxBatchSlots    expvar.Int // high-water slot occupancy per pass
@@ -79,6 +89,13 @@ func newMetrics() *metrics {
 	m.root.Set("sim_searches", &m.searches)
 	m.root.Set("sim_writes", &m.writes)
 	m.root.Set("sim_energy_j", &m.energyJ)
+	m.root.Set("fault_detected", &m.faultDetected)
+	m.root.Set("fault_repairs", &m.faultRepairs)
+	m.root.Set("fault_transient_upsets", &m.transientUpsets)
+	m.root.Set("fault_spare_retries", &m.spareRetries)
+	m.root.Set("fault_errors", &m.faultErrors)
+	m.healthyPEFraction.Set(1)
+	m.root.Set("healthy_pe_fraction", &m.healthyPEFraction)
 	return m
 }
 

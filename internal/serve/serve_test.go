@@ -38,6 +38,27 @@ func post(t *testing.T, url string, body, into any) int {
 	return resp.StatusCode
 }
 
+// postHdr is post, also returning the response headers (for Retry-After
+// assertions).
+func postHdr(t *testing.T, url string, body, into any) (int, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
 func get(t *testing.T, url string, into any) int {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -131,9 +152,13 @@ func TestCompileCacheAndPrograms(t *testing.T) {
 		t.Errorf("MRU order wrong: %v", progs.Programs)
 	}
 
-	var health map[string]string
+	var health map[string]any
 	if code := get(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
 		t.Errorf("healthz = %d %v", code, health)
+	}
+	var ready map[string]any
+	if code := get(t, ts.URL+"/readyz", &ready); code != 200 || ready["status"] != "ready" {
+		t.Errorf("readyz = %d %v", code, ready)
 	}
 	var met map[string]any
 	if code := get(t, ts.URL+"/metrics", &met); code != 200 {
@@ -298,7 +323,7 @@ func TestRequestTimeout(t *testing.T) {
 		RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}}, &errResp); code != http.StatusGatewayTimeout {
 		t.Fatalf("parked run: status %d (%v), want 504", code, errResp)
 	}
-	var health map[string]string
+	var health map[string]any
 	if code := get(t, ts.URL+"/healthz", &health); code != 200 {
 		t.Errorf("server unhealthy after a request timeout: %d", code)
 	}
@@ -342,9 +367,13 @@ func TestBackpressureAndDrain(t *testing.T) {
 	}
 
 	var errResp ErrorResponse
-	if code := post(t, ts.URL+"/v1/run",
-		RunRequest{Program: comp.Program, Inputs: [][]uint64{{5, 5}}}, &errResp); code != http.StatusTooManyRequests {
+	code, hdr := postHdr(t, ts.URL+"/v1/run",
+		RunRequest{Program: comp.Program, Inputs: [][]uint64{{5, 5}}}, &errResp)
+	if code != http.StatusTooManyRequests {
 		t.Fatalf("over-limit run: status %d (%v), want 429", code, errResp)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
 	}
 	if s.met.rejectedQueueFull.Value() != 1 {
 		t.Errorf("rejected_queue_full = %d, want 1", s.met.rejectedQueueFull.Value())
@@ -361,13 +390,23 @@ func TestBackpressureAndDrain(t *testing.T) {
 		t.Fatalf("parked run after drain: status %d outputs %v", res.code, res.run.Outputs)
 	}
 
-	// Post-drain: runs rejected with 503, healthz reports draining.
-	if code := post(t, ts.URL+"/v1/run",
-		RunRequest{Program: comp.Program, Inputs: [][]uint64{{1, 2}}}, &errResp); code != http.StatusServiceUnavailable {
+	// Post-drain: runs rejected with 503 + Retry-After, readyz pulls the
+	// server out of rotation, healthz stays alive (liveness must not
+	// restart a cleanly draining process).
+	code, hdr = postHdr(t, ts.URL+"/v1/run",
+		RunRequest{Program: comp.Program, Inputs: [][]uint64{{1, 2}}}, &errResp)
+	if code != http.StatusServiceUnavailable {
 		t.Errorf("post-drain run: status %d, want 503", code)
 	}
-	var health map[string]string
-	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health["status"] != "draining" {
-		t.Errorf("post-drain healthz = %d %v", code, health)
+	if hdr.Get("Retry-After") == "" {
+		t.Error("post-drain 503 missing Retry-After")
+	}
+	var ready map[string]any
+	if code := get(t, ts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready["status"] != "draining" {
+		t.Errorf("post-drain readyz = %d %v", code, ready)
+	}
+	var health map[string]any
+	if code := get(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "draining" {
+		t.Errorf("post-drain healthz = %d %v (liveness must stay 200)", code, health)
 	}
 }

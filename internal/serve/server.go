@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperap/internal/arch"
 	"hyperap/internal/compile"
 	"hyperap/internal/obs"
+	"hyperap/internal/tcam"
 	"hyperap/internal/tech"
 )
 
@@ -43,6 +45,14 @@ type Config struct {
 	Parallelism int
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
+	// Faults activates the RRAM fault model on every chip the server
+	// builds (see tcam.FaultConfig). The zero value keeps the simulator
+	// fault-free.
+	Faults tcam.FaultConfig
+	// SparePEs provisions spare subarrays per pass chip; a shard whose
+	// PE dies mid-pass is replayed on a spare instead of failing the
+	// whole batch.
+	SparePEs int
 	// Logger receives one structured line per request (request id,
 	// status, per-phase durations) and drain progress. Default: discard.
 	Logger *slog.Logger
@@ -99,6 +109,12 @@ type Server struct {
 	reqSeq    uint64
 	reqStarts map[uint64]time.Time
 
+	// lastHealth is the PE health summary of the most recent completed
+	// pass; /readyz serves it so a chip running degraded (spare rows or
+	// spare PEs in use) is visible to load balancers before it fails.
+	healthMu   sync.Mutex
+	lastHealth *arch.HealthSummary
+
 	mux *http.ServeMux
 }
 
@@ -116,11 +132,18 @@ func New(cfg Config) *Server {
 	if s.cfg.Parallelism > 0 {
 		s.runOpts = append(s.runOpts, compile.WithParallelism(s.cfg.Parallelism))
 	}
+	if s.cfg.Faults.Enabled() {
+		s.runOpts = append(s.runOpts, compile.WithFaults(s.cfg.Faults))
+	}
+	if s.cfg.SparePEs > 0 {
+		s.runOpts = append(s.runOpts, compile.WithSparePEs(s.cfg.SparePEs))
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/compile", s.handleCompile)
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
@@ -371,6 +394,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.admitSlots(len(req.Inputs)); err != nil {
+		// Both rejection causes are transient (queue drains in
+		// milliseconds, drain hands off to a replacement): tell clients
+		// when to come back.
+		w.Header().Set("Retry-After", "1")
 		s.writeError(w, "run", rejectStatus(err), err)
 		return
 	}
@@ -379,7 +406,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" {
 		// Debug knob: execute this request in its own traced pass and
 		// return the Chrome/Perfetto trace alongside the outputs.
-		s.runTraced(w, span, p, req)
+		s.runTraced(ctx, w, span, p, req)
 		return
 	}
 	wtr := &waiter{inputs: req.Inputs, enq: time.Now(), done: make(chan struct{})}
@@ -393,7 +420,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wtr.err != nil {
-		s.writeError(w, "run", http.StatusInternalServerError, wtr.err)
+		s.writeError(w, "run", s.runStatus(w, wtr.err), wtr.err)
 		return
 	}
 	// Span phases from the pass the slots rode in: window wait in the
@@ -415,7 +442,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // (bypassing the coalescer: a trace of a pass shared with other callers
 // would leak their activity) and attaches the Chrome trace-event JSON to
 // the response. Admission control already happened in the handler.
-func (s *Server) runTraced(w http.ResponseWriter, span *obs.Span, p *program, req RunRequest) {
+func (s *Server) runTraced(ctx context.Context, w http.ResponseWriter, span *obs.Span, p *program, req RunRequest) {
 	slots := len(req.Inputs)
 	defer s.releaseSlots(slots)
 	s.inflight.Add(1)
@@ -426,13 +453,13 @@ func (s *Server) runTraced(w http.ResponseWriter, span *obs.Span, p *program, re
 	defer func() { <-s.sem }()
 	runStart := time.Now()
 	opts := append(append([]compile.RunOption{}, s.runOpts...), compile.WithTrace())
-	outs, chip, err := p.ex.RunBatch(req.Inputs, opts...)
+	outs, chip, err := p.ex.RunBatchContext(ctx, req.Inputs, opts...)
 	runDur := time.Since(runStart)
 	span.Phase("run", runDur)
 	s.met.runNS.Add(runDur.Nanoseconds())
 	s.met.runHist.Observe(runDur.Nanoseconds())
 	if err != nil {
-		s.writeError(w, "run", http.StatusInternalServerError, err)
+		s.writeError(w, "run", s.runStatus(w, err), err)
 		return
 	}
 	rep := chip.Report()
@@ -440,6 +467,7 @@ func (s *Server) runTraced(w http.ResponseWriter, span *obs.Span, p *program, re
 	s.met.writes.Add(rep.Writes)
 	s.met.energyJ.Add(rep.Energy.TotalJ())
 	s.met.recordFlush(1, slots)
+	s.observeHealth(rep)
 	trace, err := obs.ChromeTrace(chip.TraceEvents(), obs.TraceMeta{
 		Program:       p.handle,
 		CyclePeriodNS: p.ex.Target.Tech.CyclePeriodNS(),
@@ -452,15 +480,8 @@ func (s *Server) runTraced(w http.ResponseWriter, span *obs.Span, p *program, re
 		Program:     p.handle,
 		OutputNames: componentNames(p.ex.Outputs),
 		Outputs:     outs,
-		Report: &Report{
-			PEs:           chip.NumPEs(),
-			Cycles:        rep.Cycles,
-			EnergyJ:       rep.Energy.TotalJ(),
-			MaxCellWrites: rep.MaxCellWrites,
-			BatchSlots:    slots,
-			BatchRequests: 1,
-		},
-		Trace: trace,
+		Report:      passReport(chip, rep, slots, 1),
+		Trace:       trace,
 	})
 }
 
@@ -491,12 +512,71 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, "programs", http.StatusOK, map[string]any{"programs": infos})
 }
 
+// observeHealth folds one completed pass's chip report into the fault
+// metrics and remembers its PE health summary for /readyz. Each pass
+// runs on a fresh chip, so the per-chip fault counters add across
+// passes while the health summary (a property of the defect map the
+// seed reproduces every pass) is last-writer-wins.
+func (s *Server) observeHealth(rep arch.Report) {
+	s.met.faultDetected.Add(rep.Faults.Detected)
+	s.met.faultRepairs.Add(int64(rep.Faults.Repairs))
+	s.met.transientUpsets.Add(rep.Faults.TransientUpsets)
+	s.met.spareRetries.Add(rep.Retries)
+	s.met.healthyPEFraction.Set(rep.Health.HealthyFraction())
+	h := rep.Health
+	s.healthMu.Lock()
+	s.lastHealth = &h
+	s.healthMu.Unlock()
+}
+
+// healthSnapshot returns the last observed PE health (nil before the
+// first completed pass).
+func (s *Server) healthSnapshot() *arch.HealthSummary {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.lastHealth
+}
+
+// handleHealthz is pure liveness: the process is up and serving, so it
+// always answers 200. Draining and degraded states are reported in the
+// body for humans but do not fail the probe — readiness decisions
+// belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok"}
 	if s.draining.Load() {
-		s.writeJSON(w, "healthz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+	}
+	if h := s.healthSnapshot(); h != nil {
+		body["healthyPeFraction"] = h.HealthyFraction()
+		if h.Degraded > 0 || h.Failed > 0 {
+			body["degraded"] = true
+		}
+	}
+	s.writeJSON(w, "healthz", http.StatusOK, body)
+}
+
+// handleReadyz is the readiness probe load balancers should watch: 503
+// while draining (stop sending traffic), 200 with status "degraded"
+// plus the healthy-PE fraction when the fault model has consumed spare
+// resources (still correct, but nearer to failure), 200 "ready"
+// otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	s.writeJSON(w, "healthz", http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]any{"status": "ready"}
+	if h := s.healthSnapshot(); h != nil {
+		body["healthyPeFraction"] = h.HealthyFraction()
+		body["pes"] = map[string]int{
+			"healthy": h.Healthy, "degraded": h.Degraded, "failed": h.Failed, "total": h.Total,
+		}
+		if h.Degraded > 0 || h.Failed > 0 {
+			body["status"] = "degraded"
+		}
+	}
+	s.writeJSON(w, "readyz", http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -548,4 +628,45 @@ func rejectStatus(err error) int {
 		return http.StatusTooManyRequests
 	}
 	return http.StatusServiceUnavailable
+}
+
+// runStatus maps a pass-execution error to an HTTP status. An unmasked
+// hardware fault (spare rows and spare PEs exhausted, or repair
+// disabled) is 503 + Retry-After: the request was never answered
+// wrongly, and a retry lands on a fresh pass chip whose spares are
+// unconsumed. Context expiry is the caller's deadline; everything else
+// is a server error.
+func (s *Server) runStatus(w http.ResponseWriter, err error) int {
+	var afe *arch.FaultError
+	var tfe *tcam.FaultError
+	if errors.As(err, &afe) || errors.As(err, &tfe) {
+		s.met.faultErrors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// passReport renders the wire report of one completed pass, including
+// the fault-model activity when any occurred.
+func passReport(chip *arch.Chip, rep arch.Report, slots, requests int) *Report {
+	r := &Report{
+		PEs:           chip.NumPEs(),
+		Cycles:        rep.Cycles,
+		EnergyJ:       rep.Energy.TotalJ(),
+		MaxCellWrites: rep.MaxCellWrites,
+		BatchSlots:    slots,
+		BatchRequests: requests,
+	}
+	if rep.Faults != (tcam.FaultReport{}) || rep.Retries > 0 {
+		r.FaultsDetected = rep.Faults.Detected
+		r.FaultRepairs = rep.Faults.Repairs
+		r.TransientUpsets = rep.Faults.TransientUpsets
+		r.SpareRetries = rep.Retries
+		r.HealthyPEFraction = rep.Health.HealthyFraction()
+	}
+	return r
 }

@@ -11,7 +11,8 @@
 //	POST /v1/compile   source + options → program handle + Stats
 //	POST /v1/run       handle or inline source + input batch → outputs + report
 //	GET  /v1/programs  the cached programs
-//	GET  /healthz      ok | draining
+//	GET  /healthz      liveness (always 200; reports draining/degraded)
+//	GET  /readyz       readiness: 503 draining | 200 ready/degraded + healthy-PE fraction
 //	GET  /metrics      expvar-style JSON counters
 //
 // See DESIGN.md §8 for the cache key, coalescing window and backpressure
@@ -149,6 +150,15 @@ type Report struct {
 	// BatchRequests is how many coalesced requests shared it.
 	BatchSlots    int `json:"batchSlots"`
 	BatchRequests int `json:"batchRequests"`
+	// Fault-model activity of the pass chip, present when the server
+	// runs with fault injection enabled: write-verify detections,
+	// spare-row repairs, silent transient upsets, shards replayed on
+	// spare PEs, and the fraction of PEs still healthy afterwards.
+	FaultsDetected    int64   `json:"faultsDetected,omitempty"`
+	FaultRepairs      int     `json:"faultRepairs,omitempty"`
+	TransientUpsets   int64   `json:"transientUpsets,omitempty"`
+	SpareRetries      int64   `json:"spareRetries,omitempty"`
+	HealthyPEFraction float64 `json:"healthyPeFraction,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run. The same

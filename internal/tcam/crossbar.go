@@ -18,7 +18,10 @@
 // without losing fidelity.
 package tcam
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Resist is the state of one RRAM element.
 type Resist uint8
@@ -131,8 +134,17 @@ func (p Params) SearchMargin(nActive int) float64 {
 type Crossbar struct {
 	rows, cols int
 	p          Params
-	cells      []Resist // row-major
+	cells      []Resist // row-major: the state writes *try* to program
 	wear       []uint32 // per-cell programming-pulse counts (endurance)
+
+	// Fault model (fault.go). stuck is nil on a fault-free crossbar, so
+	// the healthy read path costs one predictable branch.
+	fc              FaultConfig
+	rng             *rand.Rand
+	stuck           []uint8 // per-cell stuckNone/stuckHRS/stuckLRS
+	injectedStuck   int
+	enduranceFailed int
+	transientUpsets int64
 
 	// Statistics accumulated across the crossbar's lifetime.
 	Stats Stats
@@ -170,8 +182,9 @@ func (c *Crossbar) idx(row, col int) int {
 	return row*c.cols + col
 }
 
-// Cell returns the resistance state of one cell.
-func (c *Crossbar) Cell(row, col int) Resist { return c.cells[c.idx(row, col)] }
+// Cell returns the effective resistance state of one cell: the value it
+// was programmed to, unless the cell is stuck (fault.go).
+func (c *Crossbar) Cell(row, col int) Resist { return c.effective(c.idx(row, col)) }
 
 // SetCell programs one cell directly, bypassing the write-scheme
 // accounting. It is intended for loading initial data images.
@@ -203,13 +216,24 @@ func (c *Crossbar) Search(drives []Drive) []bool {
 		var i float64
 		base := row * c.cols
 		for _, col := range vl {
-			if c.cells[base+col] == LRS {
+			if c.effective(base+col) == LRS {
 				i += iLRS
 			} else {
 				i += iHRS
 			}
 		}
 		match[row] = i < c.p.IThreshA
+	}
+	if c.fc.TransientUpsetRate > 0 {
+		// Sense upsets flip match lines silently; nothing downstream can
+		// detect them (no ECC on the match path), so they are counted
+		// here and quantified by the fault campaign.
+		for row := range match {
+			if c.rng.Float64() < c.fc.TransientUpsetRate {
+				match[row] = !match[row]
+				c.transientUpsets++
+			}
+		}
 	}
 	return match
 }
@@ -231,7 +255,7 @@ func (c *Crossbar) WriteColumn(col int, rowsel []bool, target Resist) int {
 		if sel {
 			i := c.idx(row, col)
 			c.cells[i] = target
-			c.wear[i]++
+			c.wearCell(i)
 			selected++
 		}
 	}
@@ -274,7 +298,7 @@ func (c *Crossbar) WriteColumnStates(col int, rowsel []bool, targets []Resist) i
 		}
 		i := c.idx(row, col)
 		c.cells[i] = targets[row]
-		c.wear[i]++
+		c.wearCell(i)
 		selected++
 	}
 	if selected == 0 {

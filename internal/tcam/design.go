@@ -30,27 +30,40 @@ import (
 //     the cells sit in two crossbars with independent write circuits and
 //     are programmed in parallel — 1 pulse slot per TCAM bit, halving the
 //     write latency.
+//
+// Both designs carry the fault model of fault.go: rows are logical and
+// routed through a remap table, every write is verified against the
+// effective cell states when faults are possible, and a failing row is
+// repaired onto a spare physical row (or surfaces a FaultError).
 type Design interface {
-	// Rows returns the number of word rows (SIMD slots).
+	// Rows returns the number of logical word rows (SIMD slots).
 	Rows() int
 	// Bits returns the number of TCAM bits per word.
 	Bits() int
 	// State reads back the stored state of one bit.
 	State(row, bit int) bits.State
+	// StateSafe reads back one bit, mapping the invalid (LRS,LRS) cell
+	// pair — reachable only on cells a defect landed on before they were
+	// ever written — to X instead of panicking. Snapshot/migration path.
+	StateSafe(row, bit int) bits.State
 	// Load programs one bit directly (data loading path, not an
-	// associative write).
-	Load(row, bit int, s bits.State)
+	// associative write). With the fault model active the written cell
+	// pair is verified and repaired; an unrepairable cell returns a
+	// FaultError.
+	Load(row, bit int, s bits.State) error
 	// Search compares the key (one entry per bit) against every row in
 	// parallel and returns the per-row match results.
 	Search(keys []bits.Key) []bool
 	// Write performs the associative write: the state implied by key is
 	// written into the given bit column of every selected row. It returns
-	// the number of sequential pulse slots consumed.
-	Write(bit int, key bits.Key, rowsel []bool) int
+	// the number of sequential pulse slots consumed, and a FaultError
+	// when a cell failed to program and could not be repaired.
+	Write(bit int, key bits.Key, rowsel []bool) (int, error)
 	// WritePerRow writes a per-row state into one bit column of every
 	// selected row (the two-bit encoder's write path, §IV-A.2). It
-	// returns the number of sequential pulse slots consumed.
-	WritePerRow(bit int, states []bits.State, rowsel []bool) int
+	// returns the number of sequential pulse slots consumed, plus any
+	// unrepairable FaultError.
+	WritePerRow(bit int, states []bits.State, rowsel []bool) (int, error)
 	// PulseSlotsPerBit returns the sequential pulse slots one TCAM-bit
 	// write costs (2 for monolithic, 1 for separated).
 	PulseSlotsPerBit() int
@@ -59,6 +72,12 @@ type Design interface {
 	// WearReport returns the endurance exposure (per-cell programming
 	// pulse counts) across all crossbars.
 	WearReport() Wear
+	// FaultReport returns the fault/repair counters across all
+	// crossbars (zero value when the fault model is off).
+	FaultReport() FaultReport
+	// Arrays exposes the underlying crossbars (2 for separated, 1 for
+	// monolithic) so callers can inspect per-array wear and faults.
+	Arrays() []*Crossbar
 }
 
 func stateCells(s bits.State) (t, f Resist) {
@@ -82,9 +101,21 @@ func cellsState(t, f Resist) bits.State {
 	case t == HRS && f == HRS:
 		return bits.SX
 	}
-	// (LRS, LRS) is the invalid fourth combination; it cannot be produced
-	// through Load/Write, so reaching it indicates a modelling bug.
+	// (LRS, LRS) is the invalid fourth combination; write-verify repairs
+	// or reports it before the pair is ever read back, so reaching it
+	// indicates a modelling bug (or a read after an ignored FaultError).
 	panic("tcam: cell pair in invalid (LRS,LRS) state")
+}
+
+// cellsStateSafe decodes a cell pair like cellsState but maps the
+// invalid (LRS,LRS) combination to X. A pair can only hold it when a
+// stuck-LRS defect landed on a never-written cell whose partner is also
+// LRS; such a bit carries no data, and X keeps it inert for migration.
+func cellsStateSafe(t, f Resist) bits.State {
+	if t == LRS && f == LRS {
+		return bits.SX
+	}
+	return cellsState(t, f)
 }
 
 func keyDrives(k bits.Key) (t, f Drive) {
@@ -105,19 +136,32 @@ func keyDrives(k bits.Key) (t, f Drive) {
 // array A, F cells in array B, written in parallel (Fig. 7a).
 type Separated struct {
 	a, b *Crossbar
+	rs   *repairState
 }
 
-// NewSeparated returns a separated-design TCAM of rows × bitsPerWord, all
-// bits initialised to X (both cells HRS, the erased state).
+// NewSeparated returns a fault-free separated-design TCAM of
+// rows × bitsPerWord, all bits initialised to X (both cells HRS, the
+// erased state).
 func NewSeparated(rows, bitsPerWord int, p Params) *Separated {
+	return NewSeparatedWithFaults(rows, bitsPerWord, p, FaultConfig{}, 0)
+}
+
+// NewSeparatedWithFaults returns a separated-design TCAM with the fault
+// model active: fc.SpareRows extra physical rows per crossbar, a defect
+// map drawn from fc.Seed, and write-verify on every write path. salt
+// decorrelates this array's defects from other arrays sharing the seed
+// (callers pass e.g. the PE index).
+func NewSeparatedWithFaults(rows, bitsPerWord int, p Params, fc FaultConfig, salt int64) *Separated {
+	rs := newRepairState(fc, rows)
 	return &Separated{
-		a: NewCrossbar(rows, bitsPerWord, p),
-		b: NewCrossbar(rows, bitsPerWord, p),
+		a:  NewCrossbarWithFaults(rs.physRows, bitsPerWord, p, fc, 2*salt),
+		b:  NewCrossbarWithFaults(rs.physRows, bitsPerWord, p, fc, 2*salt+1),
+		rs: rs,
 	}
 }
 
-// Rows returns the number of word rows.
-func (d *Separated) Rows() int { return d.a.Rows() }
+// Rows returns the number of logical word rows.
+func (d *Separated) Rows() int { return d.rs.logical }
 
 // Bits returns the number of TCAM bits per word.
 func (d *Separated) Bits() int { return d.a.Cols() }
@@ -125,20 +169,45 @@ func (d *Separated) Bits() int { return d.a.Cols() }
 // PulseSlotsPerBit returns 1: the two cells are written in parallel.
 func (d *Separated) PulseSlotsPerBit() int { return 1 }
 
-// State reads back the stored state of one bit.
-func (d *Separated) State(row, bit int) bits.State {
-	return cellsState(d.a.Cell(row, bit), d.b.Cell(row, bit))
+func (d *Separated) cellPair(physRow, bit int) (t, f Resist) {
+	return d.a.Cell(physRow, bit), d.b.Cell(physRow, bit)
 }
 
-// Load programs one bit directly.
-func (d *Separated) Load(row, bit int, s bits.State) {
+func (d *Separated) setCellPair(physRow, bit int, t, f Resist) {
+	d.a.SetCell(physRow, bit, t)
+	d.b.SetCell(physRow, bit, f)
+}
+
+func (d *Separated) bitsPerWord() int { return d.a.Cols() }
+
+func (d *Separated) faultsPossible() bool {
+	return d.a.faultsPossible() || d.b.faultsPossible()
+}
+
+// State reads back the stored state of one bit.
+func (d *Separated) State(row, bit int) bits.State {
+	return cellsState(d.cellPair(d.rs.remap[row], bit))
+}
+
+// StateSafe reads back one bit, mapping invalid pairs to X.
+func (d *Separated) StateSafe(row, bit int) bits.State {
+	return cellsStateSafe(d.cellPair(d.rs.remap[row], bit))
+}
+
+// Load programs one bit directly, verifying (and repairing) the written
+// pair when faults are possible.
+func (d *Separated) Load(row, bit int, s bits.State) error {
 	t, f := stateCells(s)
-	d.a.SetCell(row, bit, t)
-	d.b.SetCell(row, bit, f)
+	d.setCellPair(d.rs.remap[row], bit, t, f)
+	if !d.faultsPossible() {
+		return nil
+	}
+	return d.rs.verifyOne(d, row, bit, t, f)
 }
 
 // Search compares the key against every row; the per-array sense results
-// are ANDed (§IV-B).
+// are ANDed (§IV-B) and gathered through the remap table so retired and
+// spare rows (stored X — they would match everything) never surface.
 func (d *Separated) Search(keys []bits.Key) []bool {
 	if len(keys) != d.Bits() {
 		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
@@ -153,29 +222,39 @@ func (d *Separated) Search(keys []bits.Key) []bool {
 	for i := range ma {
 		ma[i] = ma[i] && mb[i]
 	}
-	return ma
+	return d.rs.gather(ma)
 }
 
 // Write performs the associative write of the key's state into one bit
 // column of all selected rows.
-func (d *Separated) Write(bit int, key bits.Key, rowsel []bool) int {
+func (d *Separated) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
 	t, f := stateCells(key.WriteState())
-	pa := d.a.WriteColumn(bit, rowsel, t)
-	pb := d.b.WriteColumn(bit, rowsel, f)
-	return maxInt(pa, pb) // parallel
+	sel := d.rs.physSel(rowsel)
+	pa := d.a.WriteColumn(bit, sel, t)
+	pb := d.b.WriteColumn(bit, sel, f)
+	p := maxInt(pa, pb) // parallel
+	if !d.faultsPossible() {
+		return p, nil
+	}
+	return p, d.rs.verifyColumn(d, bit, rowsel, func(int) (Resist, Resist) { return t, f })
 }
 
 // WritePerRow writes per-row states into one bit column of the selected
 // rows.
-func (d *Separated) WritePerRow(bit int, states []bits.State, rowsel []bool) int {
-	ta := make([]Resist, len(states))
-	tb := make([]Resist, len(states))
+func (d *Separated) WritePerRow(bit int, states []bits.State, rowsel []bool) (int, error) {
+	ta := make([]Resist, d.rs.physRows)
+	tb := make([]Resist, d.rs.physRows)
 	for i, s := range states {
-		ta[i], tb[i] = stateCells(s)
+		ta[d.rs.remap[i]], tb[d.rs.remap[i]] = stateCells(s)
 	}
-	pa := d.a.WriteColumnStates(bit, rowsel, ta)
-	pb := d.b.WriteColumnStates(bit, rowsel, tb)
-	return maxInt(pa, pb)
+	sel := d.rs.physSel(rowsel)
+	pa := d.a.WriteColumnStates(bit, sel, ta)
+	pb := d.b.WriteColumnStates(bit, sel, tb)
+	p := maxInt(pa, pb)
+	if !d.faultsPossible() {
+		return p, nil
+	}
+	return p, d.rs.verifyColumn(d, bit, rowsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
 }
 
 // Stats returns the merged crossbar statistics.
@@ -184,20 +263,40 @@ func (d *Separated) Stats() Stats { return mergeStats(d.a.Stats, d.b.Stats) }
 // WearReport merges the two crossbars' endurance reports.
 func (d *Separated) WearReport() Wear { return mergeWear(d.a.WearReport(), d.b.WearReport()) }
 
+// FaultReport merges the two crossbars' fault counters with the repair
+// state.
+func (d *Separated) FaultReport() FaultReport {
+	return d.rs.fill(d.a.faultReport().Merge(d.b.faultReport()))
+}
+
+// Arrays returns the T and F crossbars.
+func (d *Separated) Arrays() []*Crossbar { return []*Crossbar{d.a, d.b} }
+
 // Monolithic is the traditional single-crossbar TCAM design: bit i's cells
 // occupy columns 2i (T) and 2i+1 (F) and share one write circuit.
 type Monolithic struct {
-	x *Crossbar
+	x  *Crossbar
+	rs *repairState
 }
 
-// NewMonolithic returns a monolithic-design TCAM of rows × bitsPerWord,
-// all bits initialised to X.
+// NewMonolithic returns a fault-free monolithic-design TCAM of
+// rows × bitsPerWord, all bits initialised to X.
 func NewMonolithic(rows, bitsPerWord int, p Params) *Monolithic {
-	return &Monolithic{x: NewCrossbar(rows, 2*bitsPerWord, p)}
+	return NewMonolithicWithFaults(rows, bitsPerWord, p, FaultConfig{}, 0)
 }
 
-// Rows returns the number of word rows.
-func (d *Monolithic) Rows() int { return d.x.Rows() }
+// NewMonolithicWithFaults returns a monolithic-design TCAM with the
+// fault model active (see NewSeparatedWithFaults).
+func NewMonolithicWithFaults(rows, bitsPerWord int, p Params, fc FaultConfig, salt int64) *Monolithic {
+	rs := newRepairState(fc, rows)
+	return &Monolithic{
+		x:  NewCrossbarWithFaults(rs.physRows, 2*bitsPerWord, p, fc, 2*salt),
+		rs: rs,
+	}
+}
+
+// Rows returns the number of logical word rows.
+func (d *Monolithic) Rows() int { return d.rs.logical }
 
 // Bits returns the number of TCAM bits per word.
 func (d *Monolithic) Bits() int { return d.x.Cols() / 2 }
@@ -206,19 +305,42 @@ func (d *Monolithic) Bits() int { return d.x.Cols() / 2 }
 // programmed sequentially.
 func (d *Monolithic) PulseSlotsPerBit() int { return 2 }
 
+func (d *Monolithic) cellPair(physRow, bit int) (t, f Resist) {
+	return d.x.Cell(physRow, 2*bit), d.x.Cell(physRow, 2*bit+1)
+}
+
+func (d *Monolithic) setCellPair(physRow, bit int, t, f Resist) {
+	d.x.SetCell(physRow, 2*bit, t)
+	d.x.SetCell(physRow, 2*bit+1, f)
+}
+
+func (d *Monolithic) bitsPerWord() int { return d.x.Cols() / 2 }
+
+func (d *Monolithic) faultsPossible() bool { return d.x.faultsPossible() }
+
 // State reads back the stored state of one bit.
 func (d *Monolithic) State(row, bit int) bits.State {
-	return cellsState(d.x.Cell(row, 2*bit), d.x.Cell(row, 2*bit+1))
+	return cellsState(d.cellPair(d.rs.remap[row], bit))
 }
 
-// Load programs one bit directly.
-func (d *Monolithic) Load(row, bit int, s bits.State) {
+// StateSafe reads back one bit, mapping invalid pairs to X.
+func (d *Monolithic) StateSafe(row, bit int) bits.State {
+	return cellsStateSafe(d.cellPair(d.rs.remap[row], bit))
+}
+
+// Load programs one bit directly, verifying (and repairing) the written
+// pair when faults are possible.
+func (d *Monolithic) Load(row, bit int, s bits.State) error {
 	t, f := stateCells(s)
-	d.x.SetCell(row, 2*bit, t)
-	d.x.SetCell(row, 2*bit+1, f)
+	d.setCellPair(d.rs.remap[row], bit, t, f)
+	if !d.faultsPossible() {
+		return nil
+	}
+	return d.rs.verifyOne(d, row, bit, t, f)
 }
 
-// Search compares the key against every row in one crossbar search.
+// Search compares the key against every row in one crossbar search,
+// gathered through the remap table.
 func (d *Monolithic) Search(keys []bits.Key) []bool {
 	if len(keys) != d.Bits() {
 		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
@@ -227,29 +349,37 @@ func (d *Monolithic) Search(keys []bits.Key) []bool {
 	for i, k := range keys {
 		drives[2*i], drives[2*i+1] = keyDrives(k)
 	}
-	return d.x.Search(drives)
+	return d.rs.gather(d.x.Search(drives))
 }
 
 // Write performs the associative write; the two cells are written
 // sequentially (2 pulse slots).
-func (d *Monolithic) Write(bit int, key bits.Key, rowsel []bool) int {
+func (d *Monolithic) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
 	t, f := stateCells(key.WriteState())
-	p := d.x.WriteColumn(2*bit, rowsel, t)
-	p += d.x.WriteColumn(2*bit+1, rowsel, f)
-	return p
+	sel := d.rs.physSel(rowsel)
+	p := d.x.WriteColumn(2*bit, sel, t)
+	p += d.x.WriteColumn(2*bit+1, sel, f)
+	if !d.faultsPossible() {
+		return p, nil
+	}
+	return p, d.rs.verifyColumn(d, bit, rowsel, func(int) (Resist, Resist) { return t, f })
 }
 
 // WritePerRow writes per-row states; the two cells are written
 // sequentially.
-func (d *Monolithic) WritePerRow(bit int, states []bits.State, rowsel []bool) int {
-	ta := make([]Resist, len(states))
-	tb := make([]Resist, len(states))
+func (d *Monolithic) WritePerRow(bit int, states []bits.State, rowsel []bool) (int, error) {
+	ta := make([]Resist, d.rs.physRows)
+	tb := make([]Resist, d.rs.physRows)
 	for i, s := range states {
-		ta[i], tb[i] = stateCells(s)
+		ta[d.rs.remap[i]], tb[d.rs.remap[i]] = stateCells(s)
 	}
-	p := d.x.WriteColumnStates(2*bit, rowsel, ta)
-	p += d.x.WriteColumnStates(2*bit+1, rowsel, tb)
-	return p
+	sel := d.rs.physSel(rowsel)
+	p := d.x.WriteColumnStates(2*bit, sel, ta)
+	p += d.x.WriteColumnStates(2*bit+1, sel, tb)
+	if !d.faultsPossible() {
+		return p, nil
+	}
+	return p, d.rs.verifyColumn(d, bit, rowsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
 }
 
 // Stats returns the crossbar statistics.
@@ -257,6 +387,15 @@ func (d *Monolithic) Stats() Stats { return d.x.Stats }
 
 // WearReport returns the crossbar's endurance report.
 func (d *Monolithic) WearReport() Wear { return d.x.WearReport() }
+
+// FaultReport returns the crossbar's fault counters merged with the
+// repair state.
+func (d *Monolithic) FaultReport() FaultReport {
+	return d.rs.fill(d.x.faultReport())
+}
+
+// Arrays returns the single crossbar.
+func (d *Monolithic) Arrays() []*Crossbar { return []*Crossbar{d.x} }
 
 func mergeStats(a, b Stats) Stats {
 	return Stats{

@@ -1,0 +1,349 @@
+package tcam
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file models RRAM device non-idealities and the repair machinery
+// that hides them: stuck-at cells (fabrication defects or worn-out
+// devices), finite programming endurance, transient search upsets, and
+// per-array spare-row repair behind a logical→physical remap table.
+// Fouda et al., "In-memory Associative Processors: Tutorial, Potential,
+// and Challenges" (arXiv:2203.00662) surveys exactly these fault classes
+// as the main obstacle between AP prototypes and deployment; Hyper-AP's
+// separated array design already exists to stretch endurance, and this
+// layer lets the rest of the stack quantify how far that goes.
+//
+// Everything is deterministic: each crossbar owns a math/rand stream
+// seeded from FaultConfig.Seed and a per-array salt, so a fault campaign
+// with a fixed seed reproduces the same defect map, the same endurance
+// deaths and the same upset pattern on every run, regardless of how many
+// worker goroutines step the simulator (each subarray is stepped by
+// exactly one goroutine at a time).
+
+// FaultConfig enables and parameterises the fault model. The zero value
+// disables it entirely: the fault-free simulator behaves bit-identically
+// to a build without this file.
+type FaultConfig struct {
+	// Seed drives every random choice (defect map, stuck polarity,
+	// upsets). Two crossbars never share a stream: each combines Seed
+	// with its own salt.
+	Seed int64
+	// StuckAtRate is the per-cell probability that a cell is stuck at
+	// construction time (a fabrication defect). Stuck-at-HRS and
+	// stuck-at-LRS are equally likely.
+	StuckAtRate float64
+	// EnduranceBudget, when non-zero, kills a cell (it becomes stuck at
+	// a random polarity) once its programming-pulse count exceeds the
+	// budget — the wear counters the crossbar already keeps become a
+	// death clock.
+	EnduranceBudget uint32
+	// TransientUpsetRate is the per-row, per-search probability that a
+	// match-line sense flips (sneak currents, SA noise). Upsets are
+	// transient and silent: nothing in the write path can detect them,
+	// which is why the fault campaign reports them separately.
+	TransientUpsetRate float64
+	// SpareRows is the number of physical spare word rows each array
+	// keeps beyond its logical rows for write-verify repair.
+	SpareRows int
+	// DisableRepair turns write-verify into detect-only: a verify
+	// mismatch returns a FaultError instead of remapping the row. Used
+	// by the fault campaign to measure the value of repair.
+	DisableRepair bool
+}
+
+// Enabled reports whether any part of the fault model is active.
+func (fc FaultConfig) Enabled() bool {
+	return fc.StuckAtRate > 0 || fc.EnduranceBudget > 0 || fc.TransientUpsetRate > 0 || fc.SpareRows > 0
+}
+
+// FaultError is the typed, errors.As-able failure every unmasked fault
+// surfaces as: write-verify found a cell that did not program and repair
+// was disabled or out of spare rows. Row/Bit are logical coordinates.
+type FaultError struct {
+	Row, Bit int
+	Cause    string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("tcam: fault at row %d bit %d: %s", e.Row, e.Bit, e.Cause)
+}
+
+// FaultReport summarises fault activity across one or more arrays.
+type FaultReport struct {
+	InjectedStuck   int   // stuck cells injected at construction
+	EnduranceFailed int   // cells killed by crossing the endurance budget
+	StuckCells      int   // currently stuck cells (injected + worn + forced)
+	TransientUpsets int64 // match-line sense flips during searches
+	Detected        int64 // write-verify mismatches observed
+	Repairs         int   // rows remapped onto a spare
+	RepairPulses    int64 // programming pulses spent copying rows to spares
+	SparesUsed      int   // spare rows consumed (includes bad spares burned)
+	SparesTotal     int   // spare rows provisioned
+}
+
+// Merge returns the field-wise sum of two reports.
+func (r FaultReport) Merge(o FaultReport) FaultReport {
+	return FaultReport{
+		InjectedStuck:   r.InjectedStuck + o.InjectedStuck,
+		EnduranceFailed: r.EnduranceFailed + o.EnduranceFailed,
+		StuckCells:      r.StuckCells + o.StuckCells,
+		TransientUpsets: r.TransientUpsets + o.TransientUpsets,
+		Detected:        r.Detected + o.Detected,
+		Repairs:         r.Repairs + o.Repairs,
+		RepairPulses:    r.RepairPulses + o.RepairPulses,
+		SparesUsed:      r.SparesUsed + o.SparesUsed,
+		SparesTotal:     r.SparesTotal + o.SparesTotal,
+	}
+}
+
+// Per-cell stuck states. stuckNone must be the zero value so a freshly
+// allocated slice means "no faults".
+const (
+	stuckNone uint8 = iota
+	stuckHRS
+	stuckLRS
+)
+
+// NewCrossbarWithFaults returns an erased crossbar with the fault model
+// active. salt decorrelates this crossbar's random stream from every
+// other array sharing the same FaultConfig.Seed (callers pass a unique
+// per-array value, e.g. 2·PE-index and 2·PE-index+1 for the two arrays
+// of a separated design).
+func NewCrossbarWithFaults(rows, cols int, p Params, fc FaultConfig, salt int64) *Crossbar {
+	c := NewCrossbar(rows, cols, p)
+	c.fc = fc
+	if !fc.Enabled() {
+		return c
+	}
+	c.rng = rand.New(rand.NewSource(fc.Seed ^ (salt+1)*0x5851F42D4C957F2D))
+	if fc.StuckAtRate > 0 {
+		c.ensureStuck()
+		for i := range c.stuck {
+			if c.rng.Float64() < fc.StuckAtRate {
+				c.stuck[i] = c.randStuck()
+				c.injectedStuck++
+			}
+		}
+	}
+	return c
+}
+
+func (c *Crossbar) ensureStuck() {
+	if c.stuck == nil {
+		c.stuck = make([]uint8, c.rows*c.cols)
+	}
+}
+
+func (c *Crossbar) randStuck() uint8 {
+	if c.rng.Intn(2) == 0 {
+		return stuckHRS
+	}
+	return stuckLRS
+}
+
+// effective returns the resistance the cell actually presents: the
+// programmed value, unless the cell is stuck.
+func (c *Crossbar) effective(i int) Resist {
+	if c.stuck != nil {
+		switch c.stuck[i] {
+		case stuckHRS:
+			return HRS
+		case stuckLRS:
+			return LRS
+		}
+	}
+	return c.cells[i]
+}
+
+// wearCell records one programming pulse on a cell and, when an
+// endurance budget is set, kills the cell once the budget is exceeded.
+func (c *Crossbar) wearCell(i int) {
+	c.wear[i]++
+	if c.fc.EnduranceBudget > 0 && c.wear[i] > c.fc.EnduranceBudget {
+		c.ensureStuck()
+		if c.stuck[i] == stuckNone {
+			c.stuck[i] = c.randStuck()
+			c.enduranceFailed++
+		}
+	}
+}
+
+// ForceStuck pins one cell to a fixed resistance, bypassing the random
+// defect map — the deterministic hook tests and the fault campaign use
+// to place a fault exactly where they want one.
+func (c *Crossbar) ForceStuck(row, col int, r Resist) {
+	c.ensureStuck()
+	i := c.idx(row, col)
+	if c.stuck[i] == stuckNone {
+		c.injectedStuck++
+	}
+	if r == LRS {
+		c.stuck[i] = stuckLRS
+	} else {
+		c.stuck[i] = stuckHRS
+	}
+}
+
+// faultsPossible reports whether reads can differ from writes on this
+// crossbar — the gate for the write-verify pass, so the fault-free
+// simulator pays nothing.
+func (c *Crossbar) faultsPossible() bool {
+	return c.stuck != nil || c.fc.Enabled()
+}
+
+func (c *Crossbar) faultReport() FaultReport {
+	r := FaultReport{
+		InjectedStuck:   c.injectedStuck,
+		EnduranceFailed: c.enduranceFailed,
+		TransientUpsets: c.transientUpsets,
+	}
+	for _, s := range c.stuck {
+		if s != stuckNone {
+			r.StuckCells++
+		}
+	}
+	return r
+}
+
+// pairArray is the per-bit cell access both array designs expose so the
+// verify/repair logic below is written once. Rows are physical.
+type pairArray interface {
+	cellPair(physRow, bit int) (t, f Resist)
+	setCellPair(physRow, bit int, t, f Resist)
+	bitsPerWord() int
+	faultsPossible() bool
+}
+
+// repairState is the logical→physical row remap of one TCAM array
+// design, plus the spare-row free list and the repair counters. Physical
+// rows [0, logical) start as the identity map; [logical, physRows) are
+// spares. A retired row is simply never referenced again.
+type repairState struct {
+	fc        FaultConfig
+	logical   int
+	physRows  int
+	remap     []int // logical row → physical row
+	nextSpare int   // next untried physical spare
+	remapped  bool  // any remap differs from identity
+
+	detected     int64
+	repairs      int
+	repairPulses int64
+}
+
+func newRepairState(fc FaultConfig, logical int) *repairState {
+	rs := &repairState{
+		fc:        fc,
+		logical:   logical,
+		physRows:  logical + fc.SpareRows,
+		nextSpare: logical,
+		remap:     make([]int, logical),
+	}
+	for i := range rs.remap {
+		rs.remap[i] = i
+	}
+	return rs
+}
+
+// gather maps a physical match vector back to logical rows. Spare and
+// retired physical rows hold X (HRS,HRS), which matches every search —
+// gathering through the remap is what keeps them out of the results.
+func (rs *repairState) gather(phys []bool) []bool {
+	if !rs.remapped {
+		return phys[:rs.logical]
+	}
+	out := make([]bool, rs.logical)
+	for r := range out {
+		out[r] = phys[rs.remap[r]]
+	}
+	return out
+}
+
+// physSel widens a logical row selector to physical rows.
+func (rs *repairState) physSel(rowsel []bool) []bool {
+	if !rs.remapped && rs.physRows == rs.logical {
+		return rowsel
+	}
+	out := make([]bool, rs.physRows)
+	for r, sel := range rowsel {
+		if sel {
+			out[rs.remap[r]] = true
+		}
+	}
+	return out
+}
+
+// verifyColumn reads back one just-written bit column of the selected
+// rows and repairs (or reports) every cell whose effective state differs
+// from its target.
+func (rs *repairState) verifyColumn(pa pairArray, bit int, rowsel []bool, target func(row int) (Resist, Resist)) error {
+	for r, sel := range rowsel {
+		if !sel {
+			continue
+		}
+		t, f := target(r)
+		if err := rs.verifyOne(pa, r, bit, t, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyOne checks a single logical cell pair against its target.
+func (rs *repairState) verifyOne(pa pairArray, row, bit int, t, f Resist) error {
+	if at, af := pa.cellPair(rs.remap[row], bit); at == t && af == f {
+		return nil
+	}
+	rs.detected++
+	if rs.fc.DisableRepair {
+		return &FaultError{Row: row, Bit: bit, Cause: "write-verify mismatch (repair disabled)"}
+	}
+	return rs.repairRow(pa, row, bit, t, f)
+}
+
+// repairRow retires the physical row behind a logical row and moves its
+// contents to the next spare: every healthy bit is copied (effective
+// state, so earlier masked defects travel as their visible value) and
+// the failing bit is programmed to its intended target. The copy is
+// itself verified — a spare with a conflicting stuck cell is burned and
+// the next one tried. Runs out of spares → FaultError.
+func (rs *repairState) repairRow(pa pairArray, row, fixBit int, t, f Resist) error {
+	old := rs.remap[row]
+	for rs.nextSpare < rs.physRows {
+		np := rs.nextSpare
+		rs.nextSpare++
+		ok := true
+		for col := 0; col < pa.bitsPerWord(); col++ {
+			ct, cf := t, f
+			if col != fixBit {
+				ct, cf = pa.cellPair(old, col)
+			}
+			pa.setCellPair(np, col, ct, cf)
+			rs.repairPulses += 2
+			if at, af := pa.cellPair(np, col); at != ct || af != cf {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		rs.remap[row] = np
+		rs.remapped = true
+		rs.repairs++
+		return nil
+	}
+	return &FaultError{Row: row, Bit: fixBit, Cause: "write-verify mismatch, spare rows exhausted"}
+}
+
+// fill adds the repair-side counters into an array-level report.
+func (rs *repairState) fill(r FaultReport) FaultReport {
+	r.Detected += rs.detected
+	r.Repairs += rs.repairs
+	r.RepairPulses += rs.repairPulses
+	r.SparesUsed += rs.nextSpare - rs.logical
+	r.SparesTotal += rs.fc.SpareRows
+	return r
+}

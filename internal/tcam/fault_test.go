@@ -1,0 +1,237 @@
+package tcam
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// TestFaultDeterminism: the same seed must reproduce the same defect
+// map, bit for bit, across independent constructions — the property the
+// Monte Carlo campaign and the paired repair/no-repair comparison rest
+// on.
+func TestFaultDeterminism(t *testing.T) {
+	fc := FaultConfig{Seed: 42, StuckAtRate: 0.05, SpareRows: 2}
+	a := NewSeparatedWithFaults(16, 8, DefaultParams(), fc, 7)
+	b := NewSeparatedWithFaults(16, 8, DefaultParams(), fc, 7)
+	for i, xa := range a.Arrays() {
+		xb := b.Arrays()[i]
+		if !reflect.DeepEqual(xa.stuck, xb.stuck) {
+			t.Fatalf("array %d: same seed+salt produced different defect maps", i)
+		}
+	}
+	// A different salt (another PE) must decorrelate.
+	c := NewSeparatedWithFaults(16, 8, DefaultParams(), fc, 8)
+	same := true
+	for i, xa := range a.Arrays() {
+		if !reflect.DeepEqual(xa.stuck, c.Arrays()[i].stuck) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different salts produced identical defect maps")
+	}
+	if a.FaultReport().InjectedStuck == 0 {
+		t.Error("5% stuck-at rate injected no defects in a 18x8x2-cell design")
+	}
+}
+
+// TestZeroConfigIsFaultFree: the zero FaultConfig must leave no fault
+// machinery active — no stuck slice, no spare rows, no verification.
+func TestZeroConfigIsFaultFree(t *testing.T) {
+	d := NewSeparated(8, 4, DefaultParams())
+	for _, x := range d.Arrays() {
+		if x.stuck != nil || x.faultsPossible() {
+			t.Fatal("fault-free design has fault machinery active")
+		}
+		if x.Rows() != 8 {
+			t.Fatalf("fault-free design allocated %d physical rows, want 8", x.Rows())
+		}
+	}
+	if r := d.FaultReport(); r != (FaultReport{}) {
+		t.Errorf("fault-free report not zero: %+v", r)
+	}
+}
+
+// TestWriteVerifyRepair places one stuck cell under a row that then gets
+// written: the mismatch must be detected, the row remapped to a spare,
+// and every subsequent read and search must be bit-identical to a
+// fault-free twin.
+func TestWriteVerifyRepair(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		mk    func(fc FaultConfig) Design
+		mkRef func() Design
+	}{
+		{"separated",
+			func(fc FaultConfig) Design { return NewSeparatedWithFaults(4, 3, DefaultParams(), fc, 0) },
+			func() Design { return NewSeparated(4, 3, DefaultParams()) }},
+		{"monolithic",
+			func(fc FaultConfig) Design { return NewMonolithicWithFaults(4, 3, DefaultParams(), fc, 0) },
+			func() Design { return NewMonolithic(4, 3, DefaultParams()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.mk(FaultConfig{SpareRows: 2})
+			ref := tc.mkRef()
+			// Bit 1 of row 2 will be written 0 (T cell must reach LRS);
+			// pin its T cell to HRS so the write cannot take. The T cell
+			// of bit 1 is column 1 (separated, array A) / column 2
+			// (monolithic).
+			tCol := 1
+			if tc.name == "monolithic" {
+				tCol = 2
+			}
+			d.Arrays()[0].ForceStuck(2, tCol, HRS)
+
+			load := func(dd Design) {
+				for r := 0; r < 4; r++ {
+					for b := 0; b < 3; b++ {
+						if err := dd.Load(r, b, bits.S1); err != nil {
+							t.Fatalf("load (%d,%d): %v", r, b, err)
+						}
+					}
+				}
+			}
+			load(d)
+			load(ref)
+			sel := []bool{false, false, true, true}
+			if _, err := d.Write(1, bits.K0, sel); err != nil {
+				t.Fatalf("write with spare rows available: %v", err)
+			}
+			if _, err := ref.Write(1, bits.K0, sel); err != nil {
+				t.Fatalf("fault-free write: %v", err)
+			}
+			r := d.FaultReport()
+			if r.Detected < 1 || r.Repairs < 1 {
+				t.Fatalf("stuck cell not detected/repaired: %+v", r)
+			}
+			// State readback and search must now match the fault-free twin.
+			for row := 0; row < 4; row++ {
+				for b := 0; b < 3; b++ {
+					if got, want := d.State(row, b), ref.State(row, b); got != want {
+						t.Errorf("state(%d,%d) = %v, fault-free %v", row, b, got, want)
+					}
+				}
+			}
+			for _, keys := range [][]bits.Key{
+				{bits.KDC, bits.K0, bits.KDC},
+				{bits.K1, bits.K1, bits.K1},
+				{bits.KDC, bits.K1, bits.KDC},
+			} {
+				if got, want := d.Search(keys), ref.Search(keys); !reflect.DeepEqual(got, want) {
+					t.Errorf("search %v = %v, fault-free %v", keys, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairDisabledReports: the same defect with DisableRepair must
+// surface a typed FaultError instead of silently losing the write.
+func TestRepairDisabledReports(t *testing.T) {
+	d := NewSeparatedWithFaults(4, 3, DefaultParams(), FaultConfig{SpareRows: 2, DisableRepair: true}, 0)
+	d.Arrays()[0].ForceStuck(2, 1, HRS)
+	sel := []bool{false, false, true, false}
+	_, err := d.Write(1, bits.K0, sel)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("repair disabled: err = %v, want *FaultError", err)
+	}
+	if fe.Row != 2 || fe.Bit != 1 {
+		t.Errorf("FaultError at (%d,%d), want (2,1)", fe.Row, fe.Bit)
+	}
+	if r := d.FaultReport(); r.Detected < 1 || r.Repairs != 0 {
+		t.Errorf("detect-only report: %+v", r)
+	}
+}
+
+// TestSpareExhaustion: more failing rows than spares must end in a
+// FaultError naming the exhaustion, not a wrong result.
+func TestSpareExhaustion(t *testing.T) {
+	d := NewSeparatedWithFaults(4, 2, DefaultParams(), FaultConfig{SpareRows: 1}, 0)
+	// Rows 0 and 1 both carry a conflicting stuck cell on bit 0's T cell;
+	// one spare can absorb only the first.
+	d.Arrays()[0].ForceStuck(0, 0, HRS)
+	d.Arrays()[0].ForceStuck(1, 0, HRS)
+	sel := []bool{true, true, false, false}
+	_, err := d.Write(0, bits.K0, sel)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("exhausted spares: err = %v, want *FaultError", err)
+	}
+	r := d.FaultReport()
+	if r.Repairs != 1 || r.SparesUsed != 1 || r.SparesTotal != 1 {
+		t.Errorf("report after exhaustion: %+v", r)
+	}
+}
+
+// TestBadSpareIsBurned: a spare row carrying its own conflicting defect
+// must be skipped (copy-verify fails) and the next spare used.
+func TestBadSpareIsBurned(t *testing.T) {
+	d := NewSeparatedWithFaults(4, 2, DefaultParams(), FaultConfig{SpareRows: 2}, 0)
+	d.Arrays()[0].ForceStuck(1, 0, HRS) // the failing data row
+	d.Arrays()[0].ForceStuck(4, 0, HRS) // physical spare 0: same defect
+	sel := []bool{false, true, false, false}
+	if _, err := d.Write(0, bits.K0, sel); err != nil {
+		t.Fatalf("second spare should absorb the repair: %v", err)
+	}
+	r := d.FaultReport()
+	if r.Repairs != 1 || r.SparesUsed != 2 {
+		t.Errorf("bad spare not burned: %+v", r)
+	}
+	if got := d.State(1, 0); got != bits.S0 {
+		t.Errorf("repaired bit = %v, want S0", got)
+	}
+}
+
+// TestEnduranceWearOut: cells written past the budget die and the death
+// is caught by write-verify (repaired onto a spare here).
+func TestEnduranceWearOut(t *testing.T) {
+	d := NewSeparatedWithFaults(2, 2, DefaultParams(), FaultConfig{Seed: 3, EnduranceBudget: 4, SpareRows: 4}, 0)
+	sel := []bool{true, false}
+	var lastErr error
+	for i := 0; i < 16 && lastErr == nil; i++ {
+		// Alternate polarity so each pulse actually programs.
+		k := bits.K0
+		if i%2 == 1 {
+			k = bits.K1
+		}
+		_, lastErr = d.Write(0, k, sel)
+	}
+	r := d.FaultReport()
+	if r.EnduranceFailed == 0 {
+		t.Fatalf("16 writes at budget 4 killed no cells: %+v (err %v)", r, lastErr)
+	}
+	if r.Detected == 0 {
+		t.Errorf("endurance deaths never detected by write-verify: %+v", r)
+	}
+}
+
+// TestTransientUpsets: with upset rate 1 every sensed row flips and is
+// counted; with the same seed the flip pattern reproduces exactly.
+func TestTransientUpsets(t *testing.T) {
+	mk := func() Design {
+		return NewSeparatedWithFaults(4, 2, DefaultParams(), FaultConfig{Seed: 9, TransientUpsetRate: 1}, 0)
+	}
+	d := mk()
+	m1 := d.Search([]bits.Key{bits.KDC, bits.KDC})
+	if d.FaultReport().TransientUpsets != 8 { // 4 rows × 2 arrays
+		t.Errorf("upsets = %d, want 8", d.FaultReport().TransientUpsets)
+	}
+	if m2 := mk().Search([]bits.Key{bits.KDC, bits.KDC}); !reflect.DeepEqual(m1, m2) {
+		t.Error("same seed produced different upset patterns")
+	}
+}
+
+// TestFaultReportMerge is the counters' arithmetic sanity check.
+func TestFaultReportMerge(t *testing.T) {
+	a := FaultReport{InjectedStuck: 1, Detected: 2, Repairs: 3, SparesUsed: 1, SparesTotal: 4}
+	b := FaultReport{InjectedStuck: 2, Detected: 1, TransientUpsets: 5, SparesTotal: 4}
+	got := a.Merge(b)
+	want := FaultReport{InjectedStuck: 3, Detected: 3, Repairs: 3, TransientUpsets: 5, SparesUsed: 1, SparesTotal: 8}
+	if got != want {
+		t.Errorf("merge = %+v, want %+v", got, want)
+	}
+}

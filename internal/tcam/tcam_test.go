@@ -162,10 +162,10 @@ func TestPulseSlots(t *testing.T) {
 	sep := NewSeparated(4, 4, p)
 	mono := NewMonolithic(4, 4, p)
 	sel := []bool{true, true, false, false}
-	if got := sep.Write(0, bits.K1, sel); got != 1 {
+	if got, _ := sep.Write(0, bits.K1, sel); got != 1 {
 		t.Errorf("separated write = %d pulse slots, want 1", got)
 	}
-	if got := mono.Write(0, bits.K1, sel); got != 2 {
+	if got, _ := mono.Write(0, bits.K1, sel); got != 2 {
 		t.Errorf("monolithic write = %d pulse slots, want 2", got)
 	}
 	if sep.PulseSlotsPerBit() != 1 || mono.PulseSlotsPerBit() != 2 {
@@ -173,7 +173,7 @@ func TestPulseSlots(t *testing.T) {
 	}
 	// No rows selected: nothing to pulse.
 	none := []bool{false, false, false, false}
-	if got := sep.Write(0, bits.K1, none); got != 0 {
+	if got, _ := sep.Write(0, bits.K1, none); got != 0 {
 		t.Errorf("empty write = %d pulse slots, want 0", got)
 	}
 }
