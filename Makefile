@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-short check bench cover trace-demo fuzz fault-campaign
+.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ race-short:
 # the worker-pool speedup on a multi-core host).
 bench:
 	$(GO) test -run=NONE -bench=RunBatch -benchtime=2x .
+
+# The persisted perf trajectory: measure ns/slot and slots/sec at 1/4/16
+# PEs (bit-plane core vs the retained per-cell electrical core) plus the
+# serve p50/p95/p99, and write the snapshot to $(BENCH_JSON) (a CI
+# artifact). Bump PR for each new snapshot.
+BENCH_JSON ?= BENCH_6.json
+PR ?= 6
+bench-json:
+	$(GO) run ./cmd/hyperap-bench -perf-json $(BENCH_JSON) -pr $(PR)
 
 # Coverage profile across every package (uploaded as a CI artifact).
 cover:

@@ -7,9 +7,11 @@
 //	hyperap-bench -all            # everything (32-bit div/exp compile for ~1 min)
 //	hyperap-bench -exp fig15      # one experiment
 //	hyperap-bench -list           # list experiment ids
+//	hyperap-bench -perf-json BENCH_6.json -pr 6   # perf trajectory snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +24,32 @@ func main() {
 	expID := flag.String("exp", "", "run a single experiment by id")
 	all := flag.Bool("all", false, "include the heavy experiments (32-bit op suite, kernels)")
 	list := flag.Bool("list", false, "list experiment ids")
+	perfJSON := flag.String("perf-json", "", "measure the perf snapshot and write it to this file ('-' for stdout)")
+	pr := flag.Int("pr", 6, "PR number recorded in the perf snapshot")
 	flag.Parse()
+
+	if *perfJSON != "" {
+		rep, err := bench.PerfJSON(*pr)
+		if err != nil {
+			fatal(err)
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *perfJSON == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*perfJSON, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		for _, k := range rep.Kernels {
+			fmt.Fprintf(os.Stderr, "%s pes=%d: %.0f ns/slot bit-plane, %.0f ns/slot scalar (%.1fx)\n",
+				k.Name, k.PEs, k.BitplaneNsPerSlot, k.ScalarNsPerSlot, k.Speedup)
+		}
+		fmt.Fprintf(os.Stderr, "serve: %d requests, p99 %.2f ms\n", rep.Serve.Requests, rep.Serve.P99Ms)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -54,6 +54,12 @@ type Config struct {
 	// with a FaultError during ExecuteParallel, which replays the shard
 	// on a spare (see retryFailures).
 	SparePEs int
+
+	// ScalarSearch routes every TCAM search through the per-cell
+	// electrical model instead of the word-parallel bit-plane path. The
+	// two paths are bit-identical; this switch exists so the bench
+	// harness can measure both cores with the same workload.
+	ScalarSearch bool
 }
 
 // DefaultSmallConfig returns a functional-verification-sized chip: one
@@ -232,6 +238,11 @@ func New(cfg Config) *Chip {
 			d = tcam.NewMonolithicWithFaults(cfg.Rows, cfg.Bits, params, cfg.Faults, salt)
 		} else {
 			d = tcam.NewSeparatedWithFaults(cfg.Rows, cfg.Bits, params, cfg.Faults, salt)
+		}
+		if cfg.ScalarSearch {
+			for _, x := range d.Arrays() {
+				x.ForceElectrical(true)
+			}
 		}
 		pe := &PE{M: model.NewHyperAP(d), Data: bits.NewVec(512), addr: len(c.pes)}
 		c.pes = append(c.pes, pe)

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/serve"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// This file is the persisted perf trajectory: `make bench-json` emits a
+// BENCH_<pr>.json snapshot of simulator throughput so every PR's speedup
+// is measured with the same harness rather than asserted. Each kernel is
+// run twice — on the word-parallel bit-plane core and on the retained
+// per-cell electrical core (compile.WithScalarSearch) — and the ratio is
+// the core speedup under an otherwise identical workload.
+
+// PerfSchema identifies the BENCH_*.json layout.
+const PerfSchema = "hyperap-perf/v1"
+
+// PerfReport is the BENCH_<pr>.json document.
+type PerfReport struct {
+	Schema     string       `json:"schema"`
+	PR         int          `json:"pr"`
+	GoVersion  string       `json:"go"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Kernels    []KernelPerf `json:"kernels"`
+	Serve      ServePerf    `json:"serve"`
+}
+
+// KernelPerf is one measured kernel configuration. A slot is one SIMD
+// word row processed end to end (load, execute, read back) except for
+// the raw search kernel, where a slot is one match-line evaluation.
+type KernelPerf struct {
+	Name              string  `json:"name"`
+	PEs               int     `json:"pes"`
+	Slots             int     `json:"slots"`
+	BitplaneNsPerSlot float64 `json:"bitplane_ns_per_slot"`
+	ScalarNsPerSlot   float64 `json:"scalar_ns_per_slot"`
+	Speedup           float64 `json:"speedup"`
+	SlotsPerSec       float64 `json:"slots_per_sec"` // bit-plane core
+}
+
+// ServePerf is the end-to-end request-latency percentile snapshot of an
+// in-process hyperap-serve instance under a small concurrent workload,
+// read from the internal/obs request histogram.
+type ServePerf struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// PerfJSON measures the perf snapshot for the given PR number.
+func PerfJSON(pr int) (*PerfReport, error) {
+	rep := &PerfReport{
+		Schema:     PerfSchema,
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	ex, err := ScalingExecutable()
+	if err != nil {
+		return nil, err
+	}
+	for _, pes := range ScalingPEs {
+		n := pes * tech.PERows
+		inputs := ScalingInputs(n)
+		bitplane, err := measureRunBatch(ex, inputs)
+		if err != nil {
+			return nil, err
+		}
+		scalar, err := measureRunBatch(ex, inputs, compile.WithScalarSearch())
+		if err != nil {
+			return nil, err
+		}
+		k := KernelPerf{
+			Name:              "add8",
+			PEs:               pes,
+			Slots:             n,
+			BitplaneNsPerSlot: float64(bitplane.Nanoseconds()) / float64(n),
+			ScalarNsPerSlot:   float64(scalar.Nanoseconds()) / float64(n),
+			SlotsPerSec:       float64(n) / bitplane.Seconds(),
+		}
+		k.Speedup = k.ScalarNsPerSlot / k.BitplaneNsPerSlot
+		rep.Kernels = append(rep.Kernels, k)
+	}
+
+	rep.Kernels = append(rep.Kernels, searchKernel())
+
+	sp, err := measureServe()
+	if err != nil {
+		return nil, err
+	}
+	rep.Serve = *sp
+	return rep, nil
+}
+
+// measureRunBatch times one full RunBatch workload, best of three runs.
+func measureRunBatch(ex *compile.Executable, inputs [][]uint64, opts ...compile.RunOption) (time.Duration, error) {
+	var best time.Duration
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		if _, _, err := ex.RunBatch(inputs, opts...); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// searchKernel measures the raw search-dominated inner loop: repeated
+// full-width ternary searches on one PE-sized separated TCAM array, a
+// slot being one match-line evaluation. This is the path the bit-plane
+// repack targets most directly.
+func searchKernel() KernelPerf {
+	const searches = 2000
+	mk := func() tcam.Design {
+		d := tcam.NewSeparated(tech.PERows, 64, tcam.DefaultParams())
+		for r := 0; r < d.Rows(); r++ {
+			for b := 0; b < 64; b++ {
+				if err := d.Load(r, b, bits.StateForBit((r>>uint(b%8))&1 == 1)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return d
+	}
+	keys := make([]bits.Key, 64)
+	for i := range keys {
+		keys[i] = bits.KDC
+	}
+	// Drive a 12-bit window (the ISA's widest lookup) through the array.
+	for i := 0; i < 12; i++ {
+		keys[i] = bits.K1
+	}
+	run := func(d tcam.Design) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < searches; i++ {
+			keys[i%12] = bits.KeyForBit(i%2 == 1) // perturb so nothing is cached away
+			d.SearchVec(keys)
+		}
+		return time.Since(t0)
+	}
+	dPlane := mk()
+	dScalar := mk()
+	for _, x := range dScalar.Arrays() {
+		x.ForceElectrical(true)
+	}
+	plane := run(dPlane)
+	scalar := run(dScalar)
+	slots := searches * tech.PERows
+	k := KernelPerf{
+		Name:              "search12of64",
+		PEs:               1,
+		Slots:             slots,
+		BitplaneNsPerSlot: float64(plane.Nanoseconds()) / float64(slots),
+		ScalarNsPerSlot:   float64(scalar.Nanoseconds()) / float64(slots),
+		SlotsPerSec:       float64(slots) / plane.Seconds(),
+	}
+	k.Speedup = k.ScalarNsPerSlot / k.BitplaneNsPerSlot
+	return k
+}
+
+// measureServe boots an in-process hyperap-serve, drives a concurrent
+// small-batch workload through its HTTP handler, and reads the
+// end-to-end latency percentiles from the request histogram.
+func measureServe() (*ServePerf, error) {
+	const (
+		clients  = 8
+		requests = 64
+	)
+	src, _, err := ArithmeticSource("Add", 8)
+	if err != nil {
+		return nil, err
+	}
+	s := serve.New(serve.Config{CoalesceWindow: time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := c; r < requests; r += clients {
+				inputs := make([][]uint64, 8)
+				for i := range inputs {
+					inputs[i] = []uint64{uint64(r+i) & 0xFF, uint64(2*r+i) & 0xFF}
+				}
+				if err := postRun(ts.URL+"/v1/run", serve.RunRequest{Source: src, Inputs: inputs}); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return nil, err
+	}
+	return &ServePerf{
+		Requests: requests,
+		P50Ms:    s.RequestLatencyQuantile(0.50) / 1e6,
+		P95Ms:    s.RequestLatencyQuantile(0.95) / 1e6,
+		P99Ms:    s.RequestLatencyQuantile(0.99) / 1e6,
+	}, nil
+}
+
+func postRun(url string, req serve.RunRequest) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: serve run status %d", resp.StatusCode)
+	}
+	var rr serve.RunResponse
+	return json.NewDecoder(resp.Body).Decode(&rr)
+}

@@ -103,6 +103,66 @@ func (v *Vec) And(o *Vec) {
 	}
 }
 
+// AndNot sets v = v &^ o. The vectors must have equal length.
+func (v *Vec) AndNot(o *Vec) {
+	v.sameLen(o)
+	for i := range v.w {
+		v.w[i] &^= o.w[i]
+	}
+}
+
+// Not sets v = ^v (within the vector's length; unused high bits stay 0).
+func (v *Vec) Not() {
+	for i := range v.w {
+		v.w[i] = ^v.w[i]
+	}
+	v.trim()
+}
+
+// OrAnd sets v = v | (a & b). All three vectors must have equal length.
+func (v *Vec) OrAnd(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] |= a.w[i] & b.w[i]
+	}
+}
+
+// OrAndNot sets v = v | (a &^ b). All three vectors must have equal
+// length.
+func (v *Vec) OrAndNot(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] |= a.w[i] &^ b.w[i]
+	}
+}
+
+// ForEachSet calls fn for every set bit, in ascending index order. The
+// word-at-a-time scan makes iterating a sparse selector proportional to
+// the set-bit count, not the vector length.
+func (v *Vec) ForEachSet(fn func(i int)) {
+	for wi, x := range v.w {
+		for x != 0 {
+			fn(wi*64 + bits.TrailingZeros64(x))
+			x &= x - 1
+		}
+	}
+}
+
+// Prefix returns a new vector holding the first n bits of v (n must not
+// exceed the length). Whole words are copied, so truncating a physical
+// match vector to its logical rows costs O(n/64).
+func (v *Vec) Prefix(n int) *Vec {
+	if n < 0 || n > v.n {
+		panic(fmt.Sprintf("bits: Prefix length %d out of range [0,%d]", n, v.n))
+	}
+	p := NewVec(n)
+	copy(p.w, v.w[:len(p.w)])
+	p.trim()
+	return p
+}
+
 // CopyFrom copies o into v. The vectors must have equal length.
 func (v *Vec) CopyFrom(o *Vec) {
 	v.sameLen(o)

@@ -45,6 +45,7 @@ func (ex *Executable) newShardedChip(pes, rows int, cfg runConfig) *arch.Chip {
 		Monolithic:       ex.Target.Monolithic,
 		Faults:           cfg.faults,
 		SparePEs:         cfg.sparePEs,
+		ScalarSearch:     cfg.scalarSearch,
 	})
 }
 
@@ -52,10 +53,11 @@ func (ex *Executable) newShardedChip(pes, rows int, cfg runConfig) *arch.Chip {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	workers  int
-	trace    bool
-	faults   tcam.FaultConfig
-	sparePEs int
+	workers      int
+	trace        bool
+	faults       tcam.FaultConfig
+	sparePEs     int
+	scalarSearch bool
 }
 
 // WithParallelism bounds the RunBatch worker pool to n goroutines;
@@ -85,6 +87,15 @@ func WithFaults(fc tcam.FaultConfig) RunOption {
 // fault config's EnduranceBudget field.
 func WithEndurance(budget uint32) RunOption {
 	return func(c *runConfig) { c.faults.EnduranceBudget = budget }
+}
+
+// WithScalarSearch routes every TCAM search on the chip RunBatch builds
+// through the retained per-cell electrical model instead of the
+// word-parallel bit-plane path. Results are bit-identical; the bench
+// harness uses this to measure the bit-plane speedup with an otherwise
+// unchanged workload.
+func WithScalarSearch() RunOption {
+	return func(c *runConfig) { c.scalarSearch = true }
 }
 
 // WithSparePEs provisions n spare subarrays on the chip RunBatch builds;

@@ -19,7 +19,7 @@ type HyperAP struct {
 	// enc is the per-row encoder DFF chain (Fig. 7): up to two latched
 	// tag snapshots awaiting an encoded write. enc[0] is the first
 	// (low-bit) snapshot.
-	enc [][]bool
+	enc []*bits.Vec
 
 	// Ops accumulates operation counts.
 	Ops OpCounts
@@ -92,16 +92,12 @@ func (m *HyperAP) ReadPair(row, col int) (b1, b0 bool, err error) {
 // accumulate=true the accumulation unit ORs the match results into the
 // tags (Fig. 4c), enabling Multi-Search-Single-Write.
 func (m *HyperAP) Search(keys []bits.Key, accumulate bool) {
-	match := m.t.Search(keys)
+	match := m.t.SearchVec(keys)
 	m.Ops.Searches++
-	for row, mt := range match {
-		if accumulate {
-			if mt {
-				m.tags.Set(row, true)
-			}
-		} else {
-			m.tags.Set(row, mt)
-		}
+	if accumulate {
+		m.tags.Or(match)
+	} else {
+		m.tags.CopyFrom(match)
 	}
 }
 
@@ -112,11 +108,7 @@ func (m *HyperAP) LatchForEncode() {
 	if len(m.enc) >= 2 {
 		panic("model: encoder chain already holds two bit vectors")
 	}
-	snap := make([]bool, m.Rows())
-	for i := range snap {
-		snap[i] = m.tags.Get(i)
-	}
-	m.enc = append(m.enc, snap)
+	m.enc = append(m.enc, m.tags.Clone())
 }
 
 // EncoderDepth reports how many tag snapshots await an encoded write.
@@ -127,11 +119,7 @@ func (m *HyperAP) EncoderDepth() int { return len(m.enc) }
 // of sequential pulse slots consumed, plus any unrepairable
 // tcam.FaultError the write-verify pass surfaced.
 func (m *HyperAP) Write(col int, key bits.Key) (int, error) {
-	sel := make([]bool, m.Rows())
-	for i := range sel {
-		sel[i] = m.tags.Get(i)
-	}
-	slots, err := m.t.Write(col, key, sel)
+	slots, err := m.t.WriteVec(col, key, m.tags)
 	m.Ops.Writes++
 	m.Ops.PulseSlots += int64(slots)
 	return slots, err
@@ -141,11 +129,9 @@ func (m *HyperAP) Write(col int, key bits.Key) (int, error) {
 // of tags (used to initialise columns; realised by a match-all search
 // followed by a write).
 func (m *HyperAP) WriteAll(col int, key bits.Key) (int, error) {
-	sel := make([]bool, m.Rows())
-	for i := range sel {
-		sel[i] = true
-	}
-	slots, err := m.t.Write(col, key, sel)
+	sel := bits.NewVec(m.Rows())
+	sel.SetAll(true)
+	slots, err := m.t.WriteVec(col, key, sel)
 	m.Ops.Writes++
 	m.Ops.PulseSlots += int64(slots)
 	return slots, err
@@ -166,7 +152,7 @@ func (m *HyperAP) WriteEncodedPair(col int) (int, error) {
 	los := make([]bits.State, rows)
 	all := make([]bool, rows)
 	for r := 0; r < rows; r++ {
-		his[r], los[r] = encoding.EncodePair(hi[r], lo[r])
+		his[r], los[r] = encoding.EncodePair(hi.Get(r), lo.Get(r))
 		all[r] = true
 	}
 	slots, err := m.t.WritePerRow(col, his, all)

@@ -197,6 +197,14 @@ func (s *Server) trackRequest() func() {
 	}
 }
 
+// RequestLatencyQuantile returns the q-quantile of the end-to-end
+// request latency histogram, in nanoseconds (0 before any request has
+// completed). The bench perf harness reads p50/p95/p99 from here after
+// driving a workload through the handler.
+func (s *Server) RequestLatencyQuantile(q float64) float64 {
+	return s.met.requestHist.Quantile(q)
+}
+
 // DrainStats reports what a draining (or loaded) server is waiting on:
 // admitted-but-uncompleted slots and the age of the oldest in-flight run
 // request.

@@ -13,6 +13,16 @@
 //     the traditional monolithic design and Hyper-AP's
 //     logical-unified-physical-separated design (Fig. 7).
 //
+// Crossbar state is stored as per-column uint64 bit-planes (bit r of
+// column c's plane set ⇔ cell (r,c) holds LRS), so the search and write
+// hot paths evaluate 64 match lines per machine-word operation — the
+// software-simulation analogue of the word-parallel operation that
+// defines associative processing. The per-cell electrical model (diode
+// currents, SA threshold) is retained as a validated slow path: searches
+// route through it whenever the sensing decision is not margin-robust
+// for the configured Params, and a differential test pins the two paths
+// bit-identical (DESIGN.md §11).
+//
 // Tests verify that the electrical search path and the logical match rule
 // agree cell-for-cell, so higher layers can use the fast logical path
 // without losing fidelity.
@@ -21,6 +31,8 @@ package tcam
 import (
 	"fmt"
 	"math/rand"
+
+	"hyperap/internal/bits"
 )
 
 // Resist is the state of one RRAM element.
@@ -130,18 +142,32 @@ func (p Params) SearchMargin(nActive int) float64 {
 }
 
 // Crossbar is a rows × cols array of 1D1R cells. Match lines run along
-// rows, search lines along columns (Fig. 3a).
+// rows, search lines along columns (Fig. 3a). Cell state lives in
+// per-column bit-planes: bit r of planes[c] set means cell (r,c) was
+// programmed to LRS.
 type Crossbar struct {
 	rows, cols int
-	p          Params
-	cells      []Resist // row-major: the state writes *try* to program
-	wear       []uint32 // per-cell programming-pulse counts (endurance)
+	// logicalRows is the endurance-reporting basis: the number of data
+	// (non-spare) rows. It equals rows on a bare crossbar; array designs
+	// that provision spare rows set it to their logical row count so
+	// WearReport is not diluted by never-written spares.
+	logicalRows int
+	p           Params
+	planes      []*bits.Vec // per-column LRS plane (rows bits each)
+	wear        []uint32    // per-cell programming-pulse counts (endurance), row-major
 
-	// Fault model (fault.go). stuck is nil on a fault-free crossbar, so
-	// the healthy read path costs one predictable branch.
+	// forceElectrical routes every search through the per-cell electrical
+	// model regardless of margin — the validated slow path, used by the
+	// differential tests and the bench A/B harness.
+	forceElectrical bool
+
+	// Fault model (fault.go). The stuck planes are nil on a fault-free
+	// crossbar, so the healthy read path costs one predictable branch.
 	fc              FaultConfig
 	rng             *rand.Rand
-	stuck           []uint8 // per-cell stuckNone/stuckHRS/stuckLRS
+	stuckH          []*bits.Vec // per-column stuck-at-HRS plane
+	stuckL          []*bits.Vec // per-column stuck-at-LRS plane
+	stuckAny        []*bits.Vec // per-column union (stuckH | stuckL)
 	injectedStuck   int
 	enduranceFailed int
 	transientUpsets int64
@@ -165,8 +191,12 @@ func NewCrossbar(rows, cols int, p Params) *Crossbar {
 	if rows <= 0 || cols <= 0 {
 		panic("tcam: non-positive crossbar dimensions")
 	}
-	return &Crossbar{rows: rows, cols: cols, p: p,
-		cells: make([]Resist, rows*cols), wear: make([]uint32, rows*cols)}
+	c := &Crossbar{rows: rows, cols: cols, logicalRows: rows, p: p,
+		planes: make([]*bits.Vec, cols), wear: make([]uint32, rows*cols)}
+	for i := range c.planes {
+		c.planes[i] = bits.NewVec(rows)
+	}
+	return c
 }
 
 // Rows returns the number of match lines.
@@ -175,26 +205,62 @@ func (c *Crossbar) Rows() int { return c.rows }
 // Cols returns the number of search lines.
 func (c *Crossbar) Cols() int { return c.cols }
 
-func (c *Crossbar) idx(row, col int) int {
+func (c *Crossbar) checkCell(row, col int) {
 	if row < 0 || row >= c.rows || col < 0 || col >= c.cols {
 		panic(fmt.Sprintf("tcam: cell (%d,%d) out of %dx%d crossbar", row, col, c.rows, c.cols))
 	}
-	return row*c.cols + col
 }
 
 // Cell returns the effective resistance state of one cell: the value it
 // was programmed to, unless the cell is stuck (fault.go).
-func (c *Crossbar) Cell(row, col int) Resist { return c.effective(c.idx(row, col)) }
+func (c *Crossbar) Cell(row, col int) Resist {
+	c.checkCell(row, col)
+	return c.effective(row, col)
+}
 
-// SetCell programs one cell directly, bypassing the write-scheme
-// accounting. It is intended for loading initial data images.
-func (c *Crossbar) SetCell(row, col int, r Resist) { c.cells[c.idx(row, col)] = r }
+// SetCell programs one cell directly (the data-loading path behind
+// Design.Load). A direct program is still one physical SET/RESET pulse:
+// it is counted in Stats.CellWrites and ages the cell toward the
+// endurance budget, exactly as the write-verify machinery already treats
+// it. Use LoadImage to install a raw image without pulse accounting.
+func (c *Crossbar) SetCell(row, col int, r Resist) {
+	c.checkCell(row, col)
+	c.planes[col].Set(row, r == LRS)
+	c.wearCell(row, col)
+	c.Stats.CellWrites++
+}
+
+// ForceElectrical routes every search of this crossbar through the
+// per-cell electrical model (the retained scalar slow path) when on is
+// true. The word-parallel bit-plane path and the electrical path are
+// bit-identical — this switch exists for the differential tests and for
+// the bench harness's measured A/B, not for correctness.
+func (c *Crossbar) ForceElectrical(on bool) { c.forceElectrical = on }
 
 // Search drives every search line with drives[col] (len(drives) must equal
 // Cols), senses every match line, and returns match[row] = true when the
 // row's discharge current stays below the SA threshold (Fig. 3b: a
 // mismatch produces a large discharging current).
 func (c *Crossbar) Search(drives []Drive) []bool {
+	m := c.searchVec(drives, nil)
+	out := make([]bool, c.rows)
+	for i := range out {
+		out[i] = m.Get(i)
+	}
+	return out
+}
+
+// SearchVec is Search returning the match lines as a bit vector (one bit
+// per row). The vector is freshly allocated.
+func (c *Crossbar) SearchVec(drives []Drive) *bits.Vec { return c.searchVec(drives, nil) }
+
+// searchVec performs one search. live, when non-nil, marks the physical
+// rows whose match lines can surface to a caller (rows currently mapped
+// by the owning design's remap table); transient upsets are injected and
+// counted only on those rows — an upset on a retired or spare row is
+// discarded by the remap gather and must not inflate the fault report.
+// A nil live mask means every row surfaces (bare-crossbar use).
+func (c *Crossbar) searchVec(drives []Drive, live *bits.Vec) *bits.Vec {
 	if len(drives) != c.cols {
 		panic(fmt.Sprintf("tcam: %d drives for %d columns", len(drives), c.cols))
 	}
@@ -209,31 +275,95 @@ func (c *Crossbar) Search(drives []Drive) []bool {
 	}
 	c.Stats.SearchedCells += int64(len(vl)) * int64(c.rows)
 
-	iLRS := c.p.cellCurrent(LRS, DriveVL)
-	iHRS := c.p.cellCurrent(HRS, DriveVL)
-	match := make([]bool, c.rows)
-	for row := 0; row < c.rows; row++ {
-		var i float64
-		base := row * c.cols
-		for _, col := range vl {
-			if c.effective(base+col) == LRS {
-				i += iLRS
-			} else {
-				i += iHRS
-			}
-		}
-		match[row] = i < c.p.IThreshA
+	var match *bits.Vec
+	if c.wordSearchOK(len(vl)) {
+		match = c.searchWord(vl)
+	} else {
+		match = c.searchElectrical(vl)
 	}
 	if c.fc.TransientUpsetRate > 0 {
 		// Sense upsets flip match lines silently; nothing downstream can
 		// detect them (no ECC on the match path), so they are counted
 		// here and quantified by the fault campaign.
-		for row := range match {
+		for row := 0; row < c.rows; row++ {
+			if live != nil && !live.Get(row) {
+				continue
+			}
 			if c.rng.Float64() < c.fc.TransientUpsetRate {
-				match[row] = !match[row]
+				match.Set(row, !match.Get(row))
 				c.transientUpsets++
 			}
 		}
+	}
+	return match
+}
+
+// wordSearchOK reports whether the bit-plane word path decides every
+// match line exactly as the electrical model would: the all-leak current
+// must sit clearly below the SA threshold and a single LRS cell clearly
+// above it, so the sense reduces to "any effective-LRS cell on a driven
+// line ⇒ mismatch". A small relative guard band sends near-threshold
+// parameterisations to the electrical path, where per-row summation
+// order decides borderline rows authoritatively.
+func (c *Crossbar) wordSearchOK(nVL int) bool {
+	if c.forceElectrical {
+		return false
+	}
+	if nVL == 0 {
+		return true // no conducting line: every row matches
+	}
+	const guard = 1e-9
+	iLRS := c.p.cellCurrent(LRS, DriveVL)
+	iHRS := c.p.cellCurrent(HRS, DriveVL)
+	leak := float64(nVL) * iHRS
+	if leak >= c.p.IThreshA*(1-guard) {
+		return false // a clean match is not robust at this width
+	}
+	if float64(nVL-1)*iHRS+iLRS < c.p.IThreshA*(1+guard) {
+		return false // a single-cell mismatch is not robust
+	}
+	return true
+}
+
+// searchWord is the word-parallel hot path: one OR per driven column
+// accumulates the effective-LRS planes into a mismatch vector — 64 match
+// lines per machine-word AND/OR — and the match vector is its
+// complement.
+func (c *Crossbar) searchWord(vl []int) *bits.Vec {
+	mis := bits.NewVec(c.rows)
+	if c.stuckAny == nil {
+		for _, col := range vl {
+			mis.Or(c.planes[col])
+		}
+	} else {
+		for _, col := range vl {
+			// effective LRS = (programmed &^ stuck) | stuck-at-LRS
+			mis.OrAndNot(c.planes[col], c.stuckAny[col])
+			mis.Or(c.stuckL[col])
+		}
+	}
+	mis.Not()
+	return mis
+}
+
+// searchElectrical is the retained per-cell slow path: per-row summation
+// of diode discharge currents against the SA threshold. It is the
+// reference the word path is validated against, and the authoritative
+// path whenever wordSearchOK declines.
+func (c *Crossbar) searchElectrical(vl []int) *bits.Vec {
+	iLRS := c.p.cellCurrent(LRS, DriveVL)
+	iHRS := c.p.cellCurrent(HRS, DriveVL)
+	match := bits.NewVec(c.rows)
+	for row := 0; row < c.rows; row++ {
+		var i float64
+		for _, col := range vl {
+			if c.effective(row, col) == LRS {
+				i += iLRS
+			} else {
+				i += iHRS
+			}
+		}
+		match.Set(row, i < c.p.IThreshA)
 	}
 	return match
 }
@@ -250,18 +380,25 @@ func (c *Crossbar) WriteColumn(col int, rowsel []bool, target Resist) int {
 	if len(rowsel) != c.rows {
 		panic(fmt.Sprintf("tcam: %d row selects for %d rows", len(rowsel), c.rows))
 	}
-	selected := 0
-	for row, sel := range rowsel {
-		if sel {
-			i := c.idx(row, col)
-			c.cells[i] = target
-			c.wearCell(i)
-			selected++
-		}
-	}
+	return c.writeColumnMask(col, boolsToVec(rowsel), target)
+}
+
+// writeColumnMask is WriteColumn with the row selector as a bit mask —
+// the word-parallel write path: the whole column plane updates with one
+// OR/ANDNOT per word, and only the selected cells pay per-cell wear
+// accounting.
+func (c *Crossbar) writeColumnMask(col int, sel *bits.Vec, target Resist) int {
+	c.checkCell(0, col)
+	selected := sel.OnesCount()
 	if selected == 0 {
 		return 0
 	}
+	if target == LRS {
+		c.planes[col].Or(sel)
+	} else {
+		c.planes[col].AndNot(sel)
+	}
+	sel.ForEachSet(func(row int) { c.wearCell(row, col) })
 	c.Stats.CellWrites += int64(selected)
 
 	// V/3 disturb accounting: unselected cells on the selected column and
@@ -291,22 +428,39 @@ func (c *Crossbar) WriteColumnStates(col int, rowsel []bool, targets []Resist) i
 	if len(rowsel) != c.rows || len(targets) != c.rows {
 		panic("tcam: row selector / target length mismatch")
 	}
-	selected := 0
-	for row, sel := range rowsel {
-		if !sel {
-			continue
+	tplane := bits.NewVec(c.rows)
+	for row, t := range targets {
+		if t == LRS {
+			tplane.Set(row, true)
 		}
-		i := c.idx(row, col)
-		c.cells[i] = targets[row]
-		c.wearCell(i)
-		selected++
 	}
+	return c.writeColumnStatesMask(col, boolsToVec(rowsel), tplane)
+}
+
+// writeColumnStatesMask is WriteColumnStates with the selector and the
+// per-row LRS targets as bit planes: plane = (plane &^ sel) | (sel & t).
+func (c *Crossbar) writeColumnStatesMask(col int, sel, tplane *bits.Vec) int {
+	c.checkCell(0, col)
+	selected := sel.OnesCount()
 	if selected == 0 {
 		return 0
 	}
+	c.planes[col].AndNot(sel)
+	c.planes[col].OrAnd(sel, tplane)
+	sel.ForEachSet(func(row int) { c.wearCell(row, col) })
 	c.Stats.CellWrites += int64(selected)
 	c.Stats.HalfSelected += int64(c.rows-selected) + int64(selected)*int64(c.cols-1)
 	return 1
+}
+
+func boolsToVec(sel []bool) *bits.Vec {
+	v := bits.NewVec(len(sel))
+	for i, b := range sel {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
 }
 
 // Wear describes the endurance exposure of a crossbar: RRAM cells
@@ -314,10 +468,19 @@ func (c *Crossbar) WriteColumnStates(col int, rowsel []bool, targets []Resist) i
 // the device), so write-heavy associative execution must watch the
 // per-cell maximum — this is the lifetime argument behind Hyper-AP's
 // drastic write reduction.
+//
+// MeanPulses and WrittenFrac are reported over the logical (non-spare)
+// cell capacity: provisioning spare rows must not dilute the endurance
+// numbers, since spares idle until a repair consumes them. MaxPulses is
+// the physical maximum over every cell including spares (the cell that
+// dies first is the one that matters, wherever it sits), and the pulse
+// and written-cell totals in the numerators likewise include repair
+// traffic that landed on spares.
 type Wear struct {
-	MaxPulses   uint32  // most-written cell
-	MeanPulses  float64 // average over all cells
-	WrittenFrac float64 // fraction of cells written at least once
+	MaxPulses   uint32  // most-written cell (any physical cell)
+	MeanPulses  float64 // total pulses / logical cell capacity
+	WrittenFrac float64 // cells written at least once / logical cell capacity
+	Cells       int     // logical cell capacity (the denominator basis)
 }
 
 // WearReport summarises per-cell programming activity.
@@ -334,16 +497,24 @@ func (c *Crossbar) WearReport() Wear {
 		}
 		sum += uint64(n)
 	}
-	w.MeanPulses = float64(sum) / float64(len(c.wear))
-	w.WrittenFrac = float64(written) / float64(len(c.wear))
+	w.Cells = c.logicalRows * c.cols
+	w.MeanPulses = float64(sum) / float64(w.Cells)
+	w.WrittenFrac = float64(written) / float64(w.Cells)
 	return w
 }
 
-// LoadImage replaces the whole cell array. The image must be row-major
-// with rows*cols entries.
+// LoadImage replaces the whole cell array without pulse accounting — the
+// documented raw-image bypass (test fixtures, checkpoint restore of
+// already-aged state). The image must be row-major with rows*cols
+// entries. Use SetCell / Design.Load for physical data loading, which
+// counts programming pulses.
 func (c *Crossbar) LoadImage(img []Resist) {
-	if len(img) != len(c.cells) {
+	if len(img) != len(c.wear) {
 		panic("tcam: image size mismatch")
 	}
-	copy(c.cells, img)
+	for row := 0; row < c.rows; row++ {
+		for col := 0; col < c.cols; col++ {
+			c.planes[col].Set(row, img[row*c.cols+col] == LRS)
+		}
+	}
 }

@@ -35,6 +35,10 @@ import (
 // routed through a remap table, every write is verified against the
 // effective cell states when faults are possible, and a failing row is
 // repaired onto a spare physical row (or surfaces a FaultError).
+//
+// The match and selector hot paths are word-parallel: SearchVec and
+// WriteVec move whole bit-planes (64 rows per machine word) and the
+// []bool Search/Write methods are thin compatibility wrappers.
 type Design interface {
 	// Rows returns the number of logical word rows (SIMD slots).
 	Rows() int
@@ -47,18 +51,26 @@ type Design interface {
 	// ever written — to X instead of panicking. Snapshot/migration path.
 	StateSafe(row, bit int) bits.State
 	// Load programs one bit directly (data loading path, not an
-	// associative write). With the fault model active the written cell
-	// pair is verified and repaired; an unrepairable cell returns a
-	// FaultError.
+	// associative write). A load is still a physical programming pulse
+	// pair: it counts toward write stats and cell wear. With the fault
+	// model active the written cell pair is verified and repaired; an
+	// unrepairable cell returns a FaultError.
 	Load(row, bit int, s bits.State) error
 	// Search compares the key (one entry per bit) against every row in
 	// parallel and returns the per-row match results.
 	Search(keys []bits.Key) []bool
+	// SearchVec is Search returning the logical match lines as a bit
+	// vector (bit r set ⇔ row r matches). The vector is freshly
+	// allocated and owned by the caller.
+	SearchVec(keys []bits.Key) *bits.Vec
 	// Write performs the associative write: the state implied by key is
 	// written into the given bit column of every selected row. It returns
 	// the number of sequential pulse slots consumed, and a FaultError
 	// when a cell failed to program and could not be repaired.
 	Write(bit int, key bits.Key, rowsel []bool) (int, error)
+	// WriteVec is Write with the row selector as a bit vector (the tag
+	// register, one bit per logical row). The selector is not mutated.
+	WriteVec(bit int, key bits.Key, rowsel *bits.Vec) (int, error)
 	// WritePerRow writes a per-row state into one bit column of every
 	// selected row (the two-bit encoder's write path, §IV-A.2). It
 	// returns the number of sequential pulse slots consumed, plus any
@@ -132,6 +144,12 @@ func keyDrives(k bits.Key) (t, f Drive) {
 	panic(fmt.Sprintf("tcam: invalid key %v", k))
 }
 
+func vecToBools(v *bits.Vec) []bool {
+	out := make([]bool, v.Len())
+	v.ForEachSet(func(i int) { out[i] = true })
+	return out
+}
+
 // Separated is Hyper-AP's TCAM array design: two crossbars, T cells in
 // array A, F cells in array B, written in parallel (Fig. 7a).
 type Separated struct {
@@ -153,11 +171,14 @@ func NewSeparated(rows, bitsPerWord int, p Params) *Separated {
 // (callers pass e.g. the PE index).
 func NewSeparatedWithFaults(rows, bitsPerWord int, p Params, fc FaultConfig, salt int64) *Separated {
 	rs := newRepairState(fc, rows)
-	return &Separated{
+	d := &Separated{
 		a:  NewCrossbarWithFaults(rs.physRows, bitsPerWord, p, fc, 2*salt),
 		b:  NewCrossbarWithFaults(rs.physRows, bitsPerWord, p, fc, 2*salt+1),
 		rs: rs,
 	}
+	d.a.logicalRows = rs.logical
+	d.b.logicalRows = rs.logical
+	return d
 }
 
 // Rows returns the number of logical word rows.
@@ -205,10 +226,16 @@ func (d *Separated) Load(row, bit int, s bits.State) error {
 	return d.rs.verifyOne(d, row, bit, t, f)
 }
 
-// Search compares the key against every row; the per-array sense results
-// are ANDed (§IV-B) and gathered through the remap table so retired and
-// spare rows (stored X — they would match everything) never surface.
+// Search compares the key against every row; see SearchVec.
 func (d *Separated) Search(keys []bits.Key) []bool {
+	return vecToBools(d.SearchVec(keys))
+}
+
+// SearchVec compares the key against every row: the per-array sense
+// vectors are ANDed word-wise (§IV-B) and gathered through the remap
+// table so retired and spare rows (stored X — they would match
+// everything) never surface.
+func (d *Separated) SearchVec(keys []bits.Key) *bits.Vec {
 	if len(keys) != d.Bits() {
 		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
 	}
@@ -217,21 +244,25 @@ func (d *Separated) Search(keys []bits.Key) []bool {
 	for i, k := range keys {
 		da[i], db[i] = keyDrives(k)
 	}
-	ma := d.a.Search(da)
-	mb := d.b.Search(db)
-	for i := range ma {
-		ma[i] = ma[i] && mb[i]
-	}
+	ma := d.a.searchVec(da, d.rs.live)
+	mb := d.b.searchVec(db, d.rs.live)
+	ma.And(mb)
 	return d.rs.gather(ma)
 }
 
 // Write performs the associative write of the key's state into one bit
 // column of all selected rows.
 func (d *Separated) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
+	return d.WriteVec(bit, key, boolsToVec(rowsel))
+}
+
+// WriteVec performs the associative write with the selector as a bit
+// vector; both cell planes update word-wise in parallel.
+func (d *Separated) WriteVec(bit int, key bits.Key, rowsel *bits.Vec) (int, error) {
 	t, f := stateCells(key.WriteState())
 	sel := d.rs.physSel(rowsel)
-	pa := d.a.WriteColumn(bit, sel, t)
-	pb := d.b.WriteColumn(bit, sel, f)
+	pa := d.a.writeColumnMask(bit, sel, t)
+	pb := d.b.writeColumnMask(bit, sel, f)
 	p := maxInt(pa, pb) // parallel
 	if !d.faultsPossible() {
 		return p, nil
@@ -242,19 +273,23 @@ func (d *Separated) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
 // WritePerRow writes per-row states into one bit column of the selected
 // rows.
 func (d *Separated) WritePerRow(bit int, states []bits.State, rowsel []bool) (int, error) {
-	ta := make([]Resist, d.rs.physRows)
-	tb := make([]Resist, d.rs.physRows)
+	ta := bits.NewVec(d.rs.physRows)
+	tb := bits.NewVec(d.rs.physRows)
 	for i, s := range states {
-		ta[d.rs.remap[i]], tb[d.rs.remap[i]] = stateCells(s)
+		t, f := stateCells(s)
+		pr := d.rs.remap[i]
+		ta.Set(pr, t == LRS)
+		tb.Set(pr, f == LRS)
 	}
-	sel := d.rs.physSel(rowsel)
-	pa := d.a.WriteColumnStates(bit, sel, ta)
-	pb := d.b.WriteColumnStates(bit, sel, tb)
+	lsel := boolsToVec(rowsel)
+	sel := d.rs.physSel(lsel)
+	pa := d.a.writeColumnStatesMask(bit, sel, ta)
+	pb := d.b.writeColumnStatesMask(bit, sel, tb)
 	p := maxInt(pa, pb)
 	if !d.faultsPossible() {
 		return p, nil
 	}
-	return p, d.rs.verifyColumn(d, bit, rowsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
+	return p, d.rs.verifyColumn(d, bit, lsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
 }
 
 // Stats returns the merged crossbar statistics.
@@ -289,10 +324,12 @@ func NewMonolithic(rows, bitsPerWord int, p Params) *Monolithic {
 // fault model active (see NewSeparatedWithFaults).
 func NewMonolithicWithFaults(rows, bitsPerWord int, p Params, fc FaultConfig, salt int64) *Monolithic {
 	rs := newRepairState(fc, rows)
-	return &Monolithic{
+	d := &Monolithic{
 		x:  NewCrossbarWithFaults(rs.physRows, 2*bitsPerWord, p, fc, 2*salt),
 		rs: rs,
 	}
+	d.x.logicalRows = rs.logical
+	return d
 }
 
 // Rows returns the number of logical word rows.
@@ -339,9 +376,14 @@ func (d *Monolithic) Load(row, bit int, s bits.State) error {
 	return d.rs.verifyOne(d, row, bit, t, f)
 }
 
-// Search compares the key against every row in one crossbar search,
-// gathered through the remap table.
+// Search compares the key against every row; see SearchVec.
 func (d *Monolithic) Search(keys []bits.Key) []bool {
+	return vecToBools(d.SearchVec(keys))
+}
+
+// SearchVec compares the key against every row in one crossbar search,
+// gathered through the remap table.
+func (d *Monolithic) SearchVec(keys []bits.Key) *bits.Vec {
 	if len(keys) != d.Bits() {
 		panic(fmt.Sprintf("tcam: %d keys for %d bits", len(keys), d.Bits()))
 	}
@@ -349,16 +391,22 @@ func (d *Monolithic) Search(keys []bits.Key) []bool {
 	for i, k := range keys {
 		drives[2*i], drives[2*i+1] = keyDrives(k)
 	}
-	return d.rs.gather(d.x.Search(drives))
+	return d.rs.gather(d.x.searchVec(drives, d.rs.live))
 }
 
 // Write performs the associative write; the two cells are written
 // sequentially (2 pulse slots).
 func (d *Monolithic) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
+	return d.WriteVec(bit, key, boolsToVec(rowsel))
+}
+
+// WriteVec performs the associative write with the selector as a bit
+// vector; the two cell columns are written sequentially.
+func (d *Monolithic) WriteVec(bit int, key bits.Key, rowsel *bits.Vec) (int, error) {
 	t, f := stateCells(key.WriteState())
 	sel := d.rs.physSel(rowsel)
-	p := d.x.WriteColumn(2*bit, sel, t)
-	p += d.x.WriteColumn(2*bit+1, sel, f)
+	p := d.x.writeColumnMask(2*bit, sel, t)
+	p += d.x.writeColumnMask(2*bit+1, sel, f)
 	if !d.faultsPossible() {
 		return p, nil
 	}
@@ -368,18 +416,22 @@ func (d *Monolithic) Write(bit int, key bits.Key, rowsel []bool) (int, error) {
 // WritePerRow writes per-row states; the two cells are written
 // sequentially.
 func (d *Monolithic) WritePerRow(bit int, states []bits.State, rowsel []bool) (int, error) {
-	ta := make([]Resist, d.rs.physRows)
-	tb := make([]Resist, d.rs.physRows)
+	ta := bits.NewVec(d.rs.physRows)
+	tb := bits.NewVec(d.rs.physRows)
 	for i, s := range states {
-		ta[d.rs.remap[i]], tb[d.rs.remap[i]] = stateCells(s)
+		t, f := stateCells(s)
+		pr := d.rs.remap[i]
+		ta.Set(pr, t == LRS)
+		tb.Set(pr, f == LRS)
 	}
-	sel := d.rs.physSel(rowsel)
-	p := d.x.WriteColumnStates(2*bit, sel, ta)
-	p += d.x.WriteColumnStates(2*bit+1, sel, tb)
+	lsel := boolsToVec(rowsel)
+	sel := d.rs.physSel(lsel)
+	p := d.x.writeColumnStatesMask(2*bit, sel, ta)
+	p += d.x.writeColumnStatesMask(2*bit+1, sel, tb)
 	if !d.faultsPossible() {
 		return p, nil
 	}
-	return p, d.rs.verifyColumn(d, bit, rowsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
+	return p, d.rs.verifyColumn(d, bit, lsel, func(r int) (Resist, Resist) { return stateCells(states[r]) })
 }
 
 // Stats returns the crossbar statistics.
@@ -407,14 +459,17 @@ func mergeStats(a, b Stats) Stats {
 	}
 }
 
+// mergeWear combines two endurance reports, weighting the per-cell means
+// by each report's logical cell capacity so arrays of different sizes
+// merge correctly.
 func mergeWear(a, b Wear) Wear {
-	w := Wear{
-		MaxPulses:   a.MaxPulses,
-		MeanPulses:  (a.MeanPulses + b.MeanPulses) / 2,
-		WrittenFrac: (a.WrittenFrac + b.WrittenFrac) / 2,
-	}
+	w := Wear{MaxPulses: a.MaxPulses, Cells: a.Cells + b.Cells}
 	if b.MaxPulses > w.MaxPulses {
 		w.MaxPulses = b.MaxPulses
+	}
+	if w.Cells > 0 {
+		w.MeanPulses = (a.MeanPulses*float64(a.Cells) + b.MeanPulses*float64(b.Cells)) / float64(w.Cells)
+		w.WrittenFrac = (a.WrittenFrac*float64(a.Cells) + b.WrittenFrac*float64(b.Cells)) / float64(w.Cells)
 	}
 	return w
 }

@@ -3,6 +3,8 @@ package tcam
 import (
 	"fmt"
 	"math/rand"
+
+	"hyperap/internal/bits"
 )
 
 // This file models RRAM device non-idealities and the repair machinery
@@ -14,6 +16,11 @@ import (
 // as the main obstacle between AP prototypes and deployment; Hyper-AP's
 // separated array design already exists to stretch endurance, and this
 // layer lets the rest of the stack quantify how far that goes.
+//
+// Stuck cells are stored as per-column bit-planes (stuckH, stuckL) so
+// the faulty search path stays word-parallel: the effective-LRS plane of
+// a column is (programmed &^ stuck) | stuck-at-LRS, three word ops per
+// 64 rows.
 //
 // Everything is deterministic: each crossbar owns a math/rand stream
 // seeded from FaultConfig.Seed and a per-array salt, so a fault campaign
@@ -75,7 +82,7 @@ type FaultReport struct {
 	InjectedStuck   int   // stuck cells injected at construction
 	EnduranceFailed int   // cells killed by crossing the endurance budget
 	StuckCells      int   // currently stuck cells (injected + worn + forced)
-	TransientUpsets int64 // match-line sense flips during searches
+	TransientUpsets int64 // observable match-line sense flips during searches
 	Detected        int64 // write-verify mismatches observed
 	Repairs         int   // rows remapped onto a spare
 	RepairPulses    int64 // programming pulses spent copying rows to spares
@@ -98,14 +105,6 @@ func (r FaultReport) Merge(o FaultReport) FaultReport {
 	}
 }
 
-// Per-cell stuck states. stuckNone must be the zero value so a freshly
-// allocated slice means "no faults".
-const (
-	stuckNone uint8 = iota
-	stuckHRS
-	stuckLRS
-)
-
 // NewCrossbarWithFaults returns an erased crossbar with the fault model
 // active. salt decorrelates this crossbar's random stream from every
 // other array sharing the same FaultConfig.Seed (callers pass a unique
@@ -120,10 +119,14 @@ func NewCrossbarWithFaults(rows, cols int, p Params, fc FaultConfig, salt int64)
 	c.rng = rand.New(rand.NewSource(fc.Seed ^ (salt+1)*0x5851F42D4C957F2D))
 	if fc.StuckAtRate > 0 {
 		c.ensureStuck()
-		for i := range c.stuck {
-			if c.rng.Float64() < fc.StuckAtRate {
-				c.stuck[i] = c.randStuck()
-				c.injectedStuck++
+		// Draw in row-major cell order: the defect map of a given seed
+		// must not move when the storage layout does.
+		for row := 0; row < rows; row++ {
+			for col := 0; col < cols; col++ {
+				if c.rng.Float64() < fc.StuckAtRate {
+					c.setStuck(row, col, c.randStuck())
+					c.injectedStuck++
+				}
 			}
 		}
 	}
@@ -131,40 +134,58 @@ func NewCrossbarWithFaults(rows, cols int, p Params, fc FaultConfig, salt int64)
 }
 
 func (c *Crossbar) ensureStuck() {
-	if c.stuck == nil {
-		c.stuck = make([]uint8, c.rows*c.cols)
+	if c.stuckAny != nil {
+		return
+	}
+	c.stuckH = make([]*bits.Vec, c.cols)
+	c.stuckL = make([]*bits.Vec, c.cols)
+	c.stuckAny = make([]*bits.Vec, c.cols)
+	for i := 0; i < c.cols; i++ {
+		c.stuckH[i] = bits.NewVec(c.rows)
+		c.stuckL[i] = bits.NewVec(c.rows)
+		c.stuckAny[i] = bits.NewVec(c.rows)
 	}
 }
 
-func (c *Crossbar) randStuck() uint8 {
+func (c *Crossbar) randStuck() Resist {
 	if c.rng.Intn(2) == 0 {
-		return stuckHRS
+		return HRS
 	}
-	return stuckLRS
+	return LRS
+}
+
+// setStuck pins one cell's stuck planes to resistance r (overwriting any
+// previous stuck polarity). Callers maintain the injected/worn counters.
+func (c *Crossbar) setStuck(row, col int, r Resist) {
+	c.stuckH[col].Set(row, r == HRS)
+	c.stuckL[col].Set(row, r == LRS)
+	c.stuckAny[col].Set(row, true)
 }
 
 // effective returns the resistance the cell actually presents: the
 // programmed value, unless the cell is stuck.
-func (c *Crossbar) effective(i int) Resist {
-	if c.stuck != nil {
-		switch c.stuck[i] {
-		case stuckHRS:
-			return HRS
-		case stuckLRS:
+func (c *Crossbar) effective(row, col int) Resist {
+	if c.stuckAny != nil && c.stuckAny[col].Get(row) {
+		if c.stuckL[col].Get(row) {
 			return LRS
 		}
+		return HRS
 	}
-	return c.cells[i]
+	if c.planes[col].Get(row) {
+		return LRS
+	}
+	return HRS
 }
 
 // wearCell records one programming pulse on a cell and, when an
 // endurance budget is set, kills the cell once the budget is exceeded.
-func (c *Crossbar) wearCell(i int) {
+func (c *Crossbar) wearCell(row, col int) {
+	i := row*c.cols + col
 	c.wear[i]++
 	if c.fc.EnduranceBudget > 0 && c.wear[i] > c.fc.EnduranceBudget {
 		c.ensureStuck()
-		if c.stuck[i] == stuckNone {
-			c.stuck[i] = c.randStuck()
+		if !c.stuckAny[col].Get(row) {
+			c.setStuck(row, col, c.randStuck())
 			c.enduranceFailed++
 		}
 	}
@@ -174,23 +195,19 @@ func (c *Crossbar) wearCell(i int) {
 // defect map — the deterministic hook tests and the fault campaign use
 // to place a fault exactly where they want one.
 func (c *Crossbar) ForceStuck(row, col int, r Resist) {
+	c.checkCell(row, col)
 	c.ensureStuck()
-	i := c.idx(row, col)
-	if c.stuck[i] == stuckNone {
+	if !c.stuckAny[col].Get(row) {
 		c.injectedStuck++
 	}
-	if r == LRS {
-		c.stuck[i] = stuckLRS
-	} else {
-		c.stuck[i] = stuckHRS
-	}
+	c.setStuck(row, col, r)
 }
 
 // faultsPossible reports whether reads can differ from writes on this
 // crossbar — the gate for the write-verify pass, so the fault-free
 // simulator pays nothing.
 func (c *Crossbar) faultsPossible() bool {
-	return c.stuck != nil || c.fc.Enabled()
+	return c.stuckAny != nil || c.fc.Enabled()
 }
 
 func (c *Crossbar) faultReport() FaultReport {
@@ -199,10 +216,8 @@ func (c *Crossbar) faultReport() FaultReport {
 		EnduranceFailed: c.enduranceFailed,
 		TransientUpsets: c.transientUpsets,
 	}
-	for _, s := range c.stuck {
-		if s != stuckNone {
-			r.StuckCells++
-		}
+	for _, s := range c.stuckAny {
+		r.StuckCells += s.OnesCount()
 	}
 	return r
 }
@@ -224,9 +239,10 @@ type repairState struct {
 	fc        FaultConfig
 	logical   int
 	physRows  int
-	remap     []int // logical row → physical row
-	nextSpare int   // next untried physical spare
-	remapped  bool  // any remap differs from identity
+	remap     []int     // logical row → physical row
+	live      *bits.Vec // physical rows currently mapped by remap
+	nextSpare int       // next untried physical spare
+	remapped  bool      // any remap differs from identity
 
 	detected     int64
 	repairs      int
@@ -241,54 +257,54 @@ func newRepairState(fc FaultConfig, logical int) *repairState {
 		nextSpare: logical,
 		remap:     make([]int, logical),
 	}
+	rs.live = bits.NewVec(rs.physRows)
 	for i := range rs.remap {
 		rs.remap[i] = i
+		rs.live.Set(i, true)
 	}
 	return rs
 }
 
 // gather maps a physical match vector back to logical rows. Spare and
 // retired physical rows hold X (HRS,HRS), which matches every search —
-// gathering through the remap is what keeps them out of the results.
-func (rs *repairState) gather(phys []bool) []bool {
+// gathering through the remap is what keeps them out of the results. The
+// identity-map fast path is a whole-word prefix copy.
+func (rs *repairState) gather(phys *bits.Vec) *bits.Vec {
 	if !rs.remapped {
-		return phys[:rs.logical]
+		return phys.Prefix(rs.logical)
 	}
-	out := make([]bool, rs.logical)
-	for r := range out {
-		out[r] = phys[rs.remap[r]]
+	out := bits.NewVec(rs.logical)
+	for r, p := range rs.remap {
+		out.Set(r, phys.Get(p))
 	}
 	return out
 }
 
-// physSel widens a logical row selector to physical rows.
-func (rs *repairState) physSel(rowsel []bool) []bool {
+// physSel widens a logical row selector to physical rows. With the
+// identity map and no spares the selector passes through unchanged (the
+// returned vector may alias the argument; callers must not mutate it).
+func (rs *repairState) physSel(rowsel *bits.Vec) *bits.Vec {
 	if !rs.remapped && rs.physRows == rs.logical {
 		return rowsel
 	}
-	out := make([]bool, rs.physRows)
-	for r, sel := range rowsel {
-		if sel {
-			out[rs.remap[r]] = true
-		}
-	}
+	out := bits.NewVec(rs.physRows)
+	rowsel.ForEachSet(func(r int) { out.Set(rs.remap[r], true) })
 	return out
 }
 
 // verifyColumn reads back one just-written bit column of the selected
 // rows and repairs (or reports) every cell whose effective state differs
-// from its target.
-func (rs *repairState) verifyColumn(pa pairArray, bit int, rowsel []bool, target func(row int) (Resist, Resist)) error {
-	for r, sel := range rowsel {
-		if !sel {
-			continue
+// from its target. sel is the logical row selector.
+func (rs *repairState) verifyColumn(pa pairArray, bit int, sel *bits.Vec, target func(row int) (Resist, Resist)) error {
+	var err error
+	sel.ForEachSet(func(r int) {
+		if err != nil {
+			return
 		}
 		t, f := target(r)
-		if err := rs.verifyOne(pa, r, bit, t, f); err != nil {
-			return err
-		}
-	}
-	return nil
+		err = rs.verifyOne(pa, r, bit, t, f)
+	})
+	return err
 }
 
 // verifyOne checks a single logical cell pair against its target.
@@ -328,9 +344,11 @@ func (rs *repairState) repairRow(pa pairArray, row, fixBit int, t, f Resist) err
 			}
 		}
 		if !ok {
-			continue
+			continue // burned spare: never mapped, stays non-live
 		}
 		rs.remap[row] = np
+		rs.live.Set(old, false)
+		rs.live.Set(np, true)
 		rs.remapped = true
 		rs.repairs++
 		return nil

@@ -18,7 +18,7 @@ func TestFaultDeterminism(t *testing.T) {
 	b := NewSeparatedWithFaults(16, 8, DefaultParams(), fc, 7)
 	for i, xa := range a.Arrays() {
 		xb := b.Arrays()[i]
-		if !reflect.DeepEqual(xa.stuck, xb.stuck) {
+		if !reflect.DeepEqual(xa.stuckH, xb.stuckH) || !reflect.DeepEqual(xa.stuckL, xb.stuckL) {
 			t.Fatalf("array %d: same seed+salt produced different defect maps", i)
 		}
 	}
@@ -26,7 +26,8 @@ func TestFaultDeterminism(t *testing.T) {
 	c := NewSeparatedWithFaults(16, 8, DefaultParams(), fc, 8)
 	same := true
 	for i, xa := range a.Arrays() {
-		if !reflect.DeepEqual(xa.stuck, c.Arrays()[i].stuck) {
+		xc := c.Arrays()[i]
+		if !reflect.DeepEqual(xa.stuckH, xc.stuckH) || !reflect.DeepEqual(xa.stuckL, xc.stuckL) {
 			same = false
 		}
 	}
@@ -43,7 +44,7 @@ func TestFaultDeterminism(t *testing.T) {
 func TestZeroConfigIsFaultFree(t *testing.T) {
 	d := NewSeparated(8, 4, DefaultParams())
 	for _, x := range d.Arrays() {
-		if x.stuck != nil || x.faultsPossible() {
+		if x.stuckAny != nil || x.faultsPossible() {
 			t.Fatal("fault-free design has fault machinery active")
 		}
 		if x.Rows() != 8 {

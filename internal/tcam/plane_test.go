@@ -1,0 +1,301 @@
+package tcam
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// This file pins the word-parallel bit-plane core against the retained
+// per-cell electrical reference: a design and its ForceElectrical twin
+// are driven through the same randomized operation stream and must stay
+// bit-identical in every observable — match vectors, state readback,
+// stats, wear and fault counters. Row counts straddle the 64-bit word
+// boundary on purpose.
+
+func forceElectrical(d Design) Design {
+	for _, x := range d.Arrays() {
+		x.ForceElectrical(true)
+	}
+	return d
+}
+
+var allStates = []bits.State{bits.S0, bits.S1, bits.SX}
+var allKeys = []bits.Key{bits.K0, bits.K1, bits.KZ, bits.KDC}
+
+// TestPlaneElectricalEquivalence is the differential property test: for
+// randomized row counts (including non-multiples of 64), widths, fault
+// seeds and repair on/off, the bit-plane Search/Write/WritePerRow paths
+// must be bit-identical to the electrical reference.
+func TestPlaneElectricalEquivalence(t *testing.T) {
+	rows := []int{1, 3, 63, 64, 65, 100, 128, 200}
+	cases := []struct {
+		name string
+		fc   FaultConfig
+	}{
+		{"fault-free", FaultConfig{}},
+		{"stuck", FaultConfig{Seed: 11, StuckAtRate: 0.03, SpareRows: 8}},
+		{"stuck-no-repair", FaultConfig{Seed: 12, StuckAtRate: 0.01, SpareRows: 8, DisableRepair: true}},
+		{"endurance", FaultConfig{Seed: 13, EnduranceBudget: 6, SpareRows: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, nr := range rows {
+				for _, mono := range []bool{false, true} {
+					nb := 4 + nr%5
+					var d, ref Design
+					if mono {
+						d = NewMonolithicWithFaults(nr, nb, DefaultParams(), tc.fc, 3)
+						ref = forceElectrical(NewMonolithicWithFaults(nr, nb, DefaultParams(), tc.fc, 3))
+					} else {
+						d = NewSeparatedWithFaults(nr, nb, DefaultParams(), tc.fc, 3)
+						ref = forceElectrical(NewSeparatedWithFaults(nr, nb, DefaultParams(), tc.fc, 3))
+					}
+					driveTwins(t, d, ref, nr, nb, int64(nr)*31+7)
+				}
+			}
+		})
+	}
+}
+
+// driveTwins applies one randomized op stream to both designs and
+// compares every observable after every step.
+func driveTwins(t *testing.T, d, ref Design, rows, nbits int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Initial load: random states everywhere.
+	for r := 0; r < rows; r++ {
+		for b := 0; b < nbits; b++ {
+			s := allStates[rng.Intn(len(allStates))]
+			errD := d.Load(r, b, s)
+			errR := ref.Load(r, b, s)
+			if (errD == nil) != (errR == nil) {
+				t.Fatalf("load (%d,%d): plane err %v, electrical err %v", r, b, errD, errR)
+			}
+		}
+	}
+	compareTwins(t, d, ref, rows, nbits)
+
+	for op := 0; op < 40; op++ {
+		switch rng.Intn(3) {
+		case 0: // search with a random ternary key
+			keys := make([]bits.Key, nbits)
+			for i := range keys {
+				keys[i] = allKeys[rng.Intn(len(allKeys))]
+			}
+			md := d.SearchVec(keys)
+			mr := ref.SearchVec(keys)
+			if !md.Equal(mr) {
+				t.Fatalf("op %d: search %v: plane %s, electrical %s", op, keys, md, mr)
+			}
+			if ms, mrs := d.Search(keys), ref.Search(keys); !reflect.DeepEqual(ms, mrs) || !reflect.DeepEqual(ms, vecToBools(md)) {
+				t.Fatalf("op %d: []bool Search disagrees with SearchVec", op)
+			}
+		case 1: // associative write of a random key state
+			bit := rng.Intn(nbits)
+			key := allKeys[rng.Intn(3)] // K0/K1/KZ have write states
+			sel := make([]bool, rows)
+			for i := range sel {
+				sel[i] = rng.Intn(2) == 0
+			}
+			_, errD := d.Write(bit, key, sel)
+			_, errR := ref.Write(bit, key, sel)
+			if (errD == nil) != (errR == nil) {
+				t.Fatalf("op %d: write err mismatch: plane %v, electrical %v", op, errD, errR)
+			}
+			if errD != nil {
+				return // both faulted identically; state may legitimately diverge after an ignored error
+			}
+		case 2: // per-row encoded write
+			bit := rng.Intn(nbits)
+			states := make([]bits.State, rows)
+			sel := make([]bool, rows)
+			for i := range states {
+				states[i] = allStates[rng.Intn(len(allStates))]
+				sel[i] = rng.Intn(2) == 0
+			}
+			_, errD := d.WritePerRow(bit, states, sel)
+			_, errR := ref.WritePerRow(bit, states, sel)
+			if (errD == nil) != (errR == nil) {
+				t.Fatalf("op %d: write-per-row err mismatch: plane %v, electrical %v", op, errD, errR)
+			}
+			if errD != nil {
+				return
+			}
+		}
+		compareTwins(t, d, ref, rows, nbits)
+	}
+}
+
+func compareTwins(t *testing.T, d, ref Design, rows, nbits int) {
+	t.Helper()
+	for r := 0; r < rows; r++ {
+		for b := 0; b < nbits; b++ {
+			if got, want := d.StateSafe(r, b), ref.StateSafe(r, b); got != want {
+				t.Fatalf("state(%d,%d): plane %v, electrical %v", r, b, got, want)
+			}
+		}
+	}
+	if got, want := d.Stats(), ref.Stats(); got != want {
+		t.Fatalf("stats diverged: plane %+v, electrical %+v", got, want)
+	}
+	if got, want := d.WearReport(), ref.WearReport(); got != want {
+		t.Fatalf("wear diverged: plane %+v, electrical %+v", got, want)
+	}
+	if got, want := d.FaultReport(), ref.FaultReport(); got != want {
+		t.Fatalf("fault report diverged: plane %+v, electrical %+v", got, want)
+	}
+}
+
+// TestWordSearchGuardBand: a parameterisation whose sensing is not
+// margin-robust (leak within the guard band of the threshold) must route
+// to the electrical path and still agree with it by construction.
+func TestWordSearchGuardBand(t *testing.T) {
+	p := DefaultParams()
+	// Put the all-leak current of a 64-line search right at the SA
+	// threshold: word search must decline.
+	p.IThreshA = 64 * p.LeakPerCell()
+	c := NewCrossbar(4, 64, p)
+	if c.wordSearchOK(64) {
+		t.Error("word path accepted a non-robust leak margin")
+	}
+	// And a healthy default-parameter search must take the word path.
+	cd := NewCrossbar(4, 8, DefaultParams())
+	if !cd.wordSearchOK(8) {
+		t.Error("word path declined a robust default-parameter search")
+	}
+	if cd.wordSearchOK(8); cd.forceElectrical {
+		t.Error("wordSearchOK mutated forceElectrical")
+	}
+	cd.ForceElectrical(true)
+	if cd.wordSearchOK(8) {
+		t.Error("ForceElectrical did not route searches to the electrical path")
+	}
+}
+
+// TestSetCellCountsPulses: the data-load path is a physical programming
+// pulse — it must age the cell and appear in CellWrites (LoadImage stays
+// the raw bypass).
+func TestSetCellCountsPulses(t *testing.T) {
+	c := NewCrossbar(2, 2, DefaultParams())
+	c.SetCell(0, 0, LRS)
+	c.SetCell(0, 0, HRS)
+	c.SetCell(1, 1, LRS)
+	if c.Stats.CellWrites != 3 {
+		t.Errorf("CellWrites = %d after 3 SetCell, want 3", c.Stats.CellWrites)
+	}
+	w := c.WearReport()
+	if w.MaxPulses != 2 || w.WrittenFrac != 2.0/4 {
+		t.Errorf("SetCell wear not counted: %+v", w)
+	}
+
+	img := make([]Resist, 4)
+	c2 := NewCrossbar(2, 2, DefaultParams())
+	c2.LoadImage(img)
+	if c2.Stats.CellWrites != 0 || c2.WearReport().MaxPulses != 0 {
+		t.Error("LoadImage must stay a raw bypass without pulse accounting")
+	}
+}
+
+// TestLoadAgesCells: Design.Load rides SetCell, so loads march cells
+// toward the endurance budget exactly like associative writes.
+func TestLoadAgesCells(t *testing.T) {
+	d := NewSeparatedWithFaults(2, 2, DefaultParams(), FaultConfig{Seed: 5, EnduranceBudget: 3, SpareRows: 4}, 0)
+	var err error
+	for i := 0; i < 8 && err == nil; i++ {
+		s := bits.S0
+		if i%2 == 1 {
+			s = bits.S1
+		}
+		err = d.Load(0, 0, s)
+	}
+	if r := d.FaultReport(); r.EnduranceFailed == 0 {
+		t.Errorf("8 loads at budget 3 aged no cells: %+v", r)
+	}
+	if d.Stats().CellWrites == 0 {
+		t.Error("loads not counted in CellWrites")
+	}
+}
+
+// TestWearNotDilutedBySpares: provisioning spare rows must not change
+// the endurance numbers of an identical write workload (the denominators
+// are logical capacity, not physical).
+func TestWearNotDilutedBySpares(t *testing.T) {
+	run := func(spares int) Wear {
+		fc := FaultConfig{}
+		if spares > 0 {
+			fc = FaultConfig{SpareRows: spares}
+		}
+		d := NewSeparatedWithFaults(4, 4, DefaultParams(), fc, 0)
+		sel := []bool{true, true, false, false}
+		for i := 0; i < 3; i++ {
+			if _, err := d.Write(1, bits.K0, sel); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.WearReport()
+	}
+	w0, w8 := run(0), run(8)
+	if w0.MeanPulses != w8.MeanPulses || w0.WrittenFrac != w8.WrittenFrac {
+		t.Errorf("spare rows diluted wear: no spares %+v, 8 spares %+v", w0, w8)
+	}
+	if w0.Cells != w8.Cells {
+		t.Errorf("logical capacity changed with spares: %d vs %d", w0.Cells, w8.Cells)
+	}
+}
+
+// TestMergeWearWeighted: merging reports from arrays of different sizes
+// must weight by cell count, not average the averages.
+func TestMergeWearWeighted(t *testing.T) {
+	a := Wear{MaxPulses: 3, MeanPulses: 2, WrittenFrac: 1, Cells: 100}
+	b := Wear{MaxPulses: 1, MeanPulses: 0, WrittenFrac: 0, Cells: 300}
+	got := mergeWear(a, b)
+	if got.Cells != 400 || got.MaxPulses != 3 {
+		t.Fatalf("merge basics wrong: %+v", got)
+	}
+	if got.MeanPulses != 0.5 { // (2*100 + 0*300) / 400
+		t.Errorf("MeanPulses = %v, want 0.5 (cell-weighted)", got.MeanPulses)
+	}
+	if got.WrittenFrac != 0.25 {
+		t.Errorf("WrittenFrac = %v, want 0.25 (cell-weighted)", got.WrittenFrac)
+	}
+}
+
+// TestUpsetsOnlyOnLiveRows: with spare rows provisioned, upsets must be
+// injected and counted only on rows that can surface through the remap
+// gather — before a repair that is the logical rows, and after a repair
+// the retired row stops upsetting while its spare starts.
+func TestUpsetsOnlyOnLiveRows(t *testing.T) {
+	d := NewSeparatedWithFaults(4, 2, DefaultParams(), FaultConfig{Seed: 9, TransientUpsetRate: 1, SpareRows: 6}, 0)
+	d.Search([]bits.Key{bits.KDC, bits.KDC})
+	// Rate 1 on 4 logical rows × 2 arrays: exactly 8 observable flips,
+	// not 10 physical rows × 2.
+	if got := d.FaultReport().TransientUpsets; got != 8 {
+		t.Errorf("upsets = %d, want 8 (logical rows only)", got)
+	}
+
+	// Force a repair, then search again: the live set is still 4 rows
+	// per array.
+	d.Arrays()[0].ForceStuck(2, 1, HRS)
+	for r := 0; r < 4; r++ {
+		for b := 0; b < 2; b++ {
+			if err := d.Load(r, b, bits.S1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := d.Write(1, bits.K0, []bool{false, false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultReport().Repairs == 0 {
+		t.Fatal("expected a spare-row repair")
+	}
+	before := d.FaultReport().TransientUpsets
+	d.Search([]bits.Key{bits.KDC, bits.KDC})
+	if got := d.FaultReport().TransientUpsets - before; got != 8 {
+		t.Errorf("upsets after repair = %d per search, want 8", got)
+	}
+}
