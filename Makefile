@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign
+.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign crash-test
 
 build:
 	$(GO) build ./...
@@ -45,10 +45,19 @@ bench:
 # PEs (bit-plane core vs the retained per-cell electrical core) plus the
 # serve p50/p95/p99, and write the snapshot to $(BENCH_JSON) (a CI
 # artifact). Bump PR for each new snapshot.
-BENCH_JSON ?= BENCH_6.json
-PR ?= 6
+BENCH_JSON ?= BENCH_7.json
+PR ?= 7
 bench-json:
 	$(GO) run ./cmd/hyperap-bench -perf-json $(BENCH_JSON) -pr $(PR)
+
+# The crash-safety gate for the durable state store: the torture sweep
+# kills the atomic writer at byte offsets across the whole record
+# (truncated temps, torn renames) and proves every recovery is either a
+# bit-identical restore or a detected, quarantined fallback — under the
+# race detector, with the serve-layer persistence suite riding along.
+crash-test:
+	$(GO) test -race -run 'TestCrashTorture|TestTortureRestore|TestCorruptionQuarantine|TestOpenSweepsTemps' -v ./internal/store/
+	$(GO) test -race -run 'TestWarmRestart|TestStaleCheckpoint|TestEviction|TestStoreWrite' ./internal/serve/
 
 # Coverage profile across every package (uploaded as a CI artifact).
 cover:

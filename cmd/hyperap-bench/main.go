@@ -48,6 +48,8 @@ func main() {
 				k.Name, k.PEs, k.BitplaneNsPerSlot, k.ScalarNsPerSlot, k.Speedup)
 		}
 		fmt.Fprintf(os.Stderr, "serve: %d requests, p99 %.2f ms\n", rep.Serve.Requests, rep.Serve.P99Ms)
+		fmt.Fprintf(os.Stderr, "startup: cold %.1f ms, warm %.1f ms to first 200 (%.1fx)\n",
+			rep.Startup.ColdMs, rep.Startup.WarmMs, rep.Startup.Speedup)
 		return
 	}
 

@@ -14,6 +14,13 @@
 // finishes, then the listener closes. The drain log line reports the
 // queued-slot count and the oldest in-flight request's age.
 //
+// With -state-dir set, state survives restarts: compiled programs are
+// written through to a content-addressed on-disk store (compile once
+// per fingerprint, ever) and lifetime chip state — wear counters,
+// burned spare rows, remaps, PE health — is checkpointed periodically
+// (-snapshot-interval) and on drain, so a node that died degraded
+// comes back degraded.
+//
 // Observability: every request is logged through log/slog (-log-format
 // text|json) with its request ID and per-phase durations; /metrics
 // carries p50/p95/p99 latency histograms; -debug-addr serves
@@ -57,6 +64,8 @@ func main() {
 	spareRows := flag.Int("spare-rows", 0, "spare word rows per TCAM array for write-verify repair")
 	sparePEs := flag.Int("spare-pes", 0, "spare PEs per pass chip for shard replay after a PE failure")
 	noRepair := flag.Bool("fault-no-repair", false, "detect faults but do not repair (write-verify errors fail the run)")
+	stateDir := flag.String("state-dir", "", "directory for durable state: on-disk program store + chip-state checkpoints (empty = no persistence)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "period between chip-state checkpoints when -state-dir is set (0 = default 30s, negative = drain-time only)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -86,7 +95,9 @@ func main() {
 			SpareRows:          *spareRows,
 			DisableRepair:      *noRepair,
 		},
-		SparePEs: *sparePEs,
+		SparePEs:         *sparePEs,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapshotInterval,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

@@ -1,0 +1,101 @@
+package arch
+
+import (
+	"fmt"
+
+	"hyperap/internal/tcam"
+)
+
+// This file is the chip-level gather/restore behind durable chip state:
+// a ChipState collects every PE's TCAM lifetime state (wear, stuck
+// cells, spare-row remaps — tcam/state.go) plus the PE-level failed
+// latches, so the store package can checkpoint a chip and serve can
+// rebuild an equally-aged chip after a restart.
+
+// PEState is the serializable lifetime state of one processing element.
+type PEState struct {
+	Design tcam.DesignState
+	Failed bool
+}
+
+// Health derives the availability state a PE restored from this
+// snapshot would report: the failed latch dominates, and structural
+// damage (consumed spares, non-identity remaps, endurance deaths) means
+// degraded. Activity counters deliberately do not feed in — they are
+// per-pass, the structure is lifetime.
+func (s *PEState) Health() Health {
+	if s.Failed {
+		return Failed
+	}
+	if s.Design.Degraded() || s.Design.Repair.Detected > 0 || s.Design.Repair.Repairs > 0 {
+		return Degraded
+	}
+	return Healthy
+}
+
+// ChipState is the serializable lifetime state of a whole chip. Active
+// holds the PEs in linear-address order (reflecting any spare swaps);
+// Spare holds the spare-tail PEs, including failed PEs parked there by
+// a swap.
+type ChipState struct {
+	Active  []PEState
+	Spare   []PEState
+	Retries int64
+}
+
+// ExportPEState snapshots one PE by linear address.
+func (c *Chip) ExportPEState(addr int) PEState {
+	pe := c.PE(addr)
+	return PEState{Design: pe.M.TCAM().ExportState(), Failed: pe.failed}
+}
+
+// ImportPEState restores one PE's lifetime state. The PE's TCAM
+// geometry and design kind must match the snapshot; on error the PE is
+// unchanged.
+func (c *Chip) ImportPEState(addr int, st PEState) error {
+	pe := c.PE(addr)
+	if err := pe.M.TCAM().ImportState(st.Design); err != nil {
+		return err
+	}
+	pe.failed = st.Failed
+	return nil
+}
+
+// ExportState snapshots every PE of the chip.
+func (c *Chip) ExportState() *ChipState {
+	st := &ChipState{Retries: c.retries}
+	n := c.NumPEs()
+	for addr := 0; addr < n; addr++ {
+		st.Active = append(st.Active, c.ExportPEState(addr))
+	}
+	for addr := n; addr < c.TotalPEs(); addr++ {
+		st.Spare = append(st.Spare, c.ExportPEState(addr))
+	}
+	return st
+}
+
+// ImportState restores a chip snapshot. PE counts and per-PE geometry
+// must match exactly. Import is atomic per PE but not across PEs: on
+// error, PEs before the failing address keep the imported state (the
+// error names the address). Callers needing all-or-nothing semantics
+// validate against a throwaway chip first; serve's per-slot ledger
+// imports PE by PE and tolerates individual failures.
+func (c *Chip) ImportState(st *ChipState) error {
+	if len(st.Active) != c.NumPEs() || len(st.Spare) != c.TotalPEs()-c.NumPEs() {
+		return fmt.Errorf("arch: state has %d+%d PEs for a chip with %d+%d",
+			len(st.Active), len(st.Spare), c.NumPEs(), c.TotalPEs()-c.NumPEs())
+	}
+	for i, ps := range st.Active {
+		if err := c.ImportPEState(i, ps); err != nil {
+			return fmt.Errorf("arch: PE %d: %w", i, err)
+		}
+	}
+	for i, ps := range st.Spare {
+		addr := c.NumPEs() + i
+		if err := c.ImportPEState(addr, ps); err != nil {
+			return fmt.Errorf("arch: spare PE %d: %w", addr, err)
+		}
+	}
+	c.retries = st.Retries
+	return nil
+}

@@ -1,0 +1,67 @@
+package arch
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hyperap/internal/tcam"
+)
+
+// TestChipStateRoundTrip ages one chip through a fault-repair pass and
+// restores its exported state into a twin: the twin must re-export the
+// identical state and report the identical health.
+func TestChipStateRoundTrip(t *testing.T) {
+	fc := tcam.FaultConfig{SpareRows: 2}
+	c := faultChip(fc, 1)
+	// Pin a cell so the write program trips write-verify and consumes a
+	// spare row on PE 0: writeProg writes state 1 into bit 0, which must
+	// program the F cell (array b, column 0) to LRS.
+	c.PE(0).M.TCAM().Arrays()[1].ForceStuck(2, 0, tcam.HRS)
+	if err := c.ExecuteParallel(context.Background(), writeProg(), 2); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	st := c.ExportState()
+	if len(st.Active) != c.NumPEs() || len(st.Spare) != c.TotalPEs()-c.NumPEs() {
+		t.Fatalf("state has %d+%d PEs", len(st.Active), len(st.Spare))
+	}
+	if st.Active[0].Health() != Degraded {
+		t.Fatalf("repaired PE exports health %v, want Degraded", st.Active[0].Health())
+	}
+
+	twin := faultChip(fc, 1)
+	if err := twin.ImportState(st); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if got := twin.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Error("re-export differs from imported state")
+	}
+	if got, want := twin.HealthSummary(), c.HealthSummary(); got != want {
+		t.Errorf("restored health = %+v, want %+v", got, want)
+	}
+
+	// Mismatched PE counts must reject before touching anything.
+	small := New(Config{Banks: 1, SubarraysPerBank: 1, PEsPerSubarray: 1,
+		Rows: 8, Bits: 4, Groups: 1, Tech: c.Config.Tech, Faults: fc})
+	if err := small.ImportState(st); err == nil {
+		t.Error("importing a 2-PE state into a 1-PE chip must fail")
+	}
+}
+
+// TestPEStateFailedLatch: the failed latch survives export/import and
+// dominates health.
+func TestPEStateFailedLatch(t *testing.T) {
+	c := faultChip(tcam.FaultConfig{}, 0)
+	c.PE(1).failed = true
+	st := c.ExportState()
+	if st.Active[1].Health() != Failed {
+		t.Fatalf("failed PE exports health %v", st.Active[1].Health())
+	}
+	twin := faultChip(tcam.FaultConfig{}, 0)
+	if err := twin.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !twin.PE(1).failed || twin.PE(0).failed {
+		t.Error("failed latch did not round-trip")
+	}
+}

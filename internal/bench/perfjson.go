@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ type PerfReport struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Kernels    []KernelPerf `json:"kernels"`
 	Serve      ServePerf    `json:"serve"`
+	Startup    StartupPerf  `json:"startup"`
 }
 
 // KernelPerf is one measured kernel configuration. A slot is one SIMD
@@ -59,6 +61,18 @@ type ServePerf struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+}
+
+// StartupPerf compares serve's time-to-first-200 on a cold start (empty
+// state dir: boot, compile the kernel, answer) against a warm restart
+// on the same state dir (boot, restore the chip checkpoint, load the
+// compiled program from the content-addressed store, answer). The warm
+// path pays zero compiles; the ratio is what durable state buys a
+// restarting node.
+type StartupPerf struct {
+	ColdMs  float64 `json:"cold_first_200_ms"`
+	WarmMs  float64 `json:"warm_first_200_ms"`
+	Speedup float64 `json:"speedup"`
 }
 
 // PerfJSON measures the perf snapshot for the given PR number.
@@ -104,6 +118,12 @@ func PerfJSON(pr int) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Serve = *sp
+
+	st, err := measureStartup()
+	if err != nil {
+		return nil, err
+	}
+	rep.Startup = *st
 	return rep, nil
 }
 
@@ -226,6 +246,104 @@ func measureServe() (*ServePerf, error) {
 		P95Ms:    s.RequestLatencyQuantile(0.95) / 1e6,
 		P99Ms:    s.RequestLatencyQuantile(0.99) / 1e6,
 	}, nil
+}
+
+// measureStartup times serve's first successful answer from process
+// start, cold (empty state dir, full compile) vs warm (same dir after a
+// drain: checkpoint restore plus a program-store hit, zero compiles).
+func measureStartup() (*StartupPerf, error) {
+	dir, err := os.MkdirTemp("", "hyperap-bench-state-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	src, _, err := ArithmeticSource("Add", 8)
+	if err != nil {
+		return nil, err
+	}
+	inputs := [][]uint64{{3, 4}, {100, 27}}
+
+	// first200 measures New → first 200 on /v1/run, then hands the live
+	// server back so the caller can drain it.
+	first200 := func() (time.Duration, *serve.Server, *httptest.Server, error) {
+		t0 := time.Now()
+		s := serve.New(serve.Config{StateDir: dir, SnapshotInterval: -1})
+		ts := httptest.NewServer(s)
+		if err := postRun(ts.URL+"/v1/run", serve.RunRequest{Source: src, Inputs: inputs}); err != nil {
+			ts.Close()
+			return 0, nil, nil, err
+		}
+		return time.Since(t0), s, ts, nil
+	}
+	drain := func(s *serve.Server, ts *httptest.Server) error {
+		defer ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return s.Drain(ctx)
+	}
+
+	cold, s1, ts1, err := first200()
+	if err != nil {
+		return nil, err
+	}
+	// The program write-through is asynchronous: wait for it to land
+	// before the "SIGTERM", or the warm boot would have nothing to hit.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := serveMetric(ts1.URL, "store_program_writes")
+		if err != nil {
+			ts1.Close()
+			return nil, err
+		}
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			ts1.Close()
+			return nil, fmt.Errorf("bench: program write-through never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := drain(s1, ts1); err != nil {
+		return nil, err
+	}
+
+	warm, s2, ts2, err := first200()
+	if err != nil {
+		return nil, err
+	}
+	compiles, err := serveMetric(ts2.URL, "compiles")
+	if err != nil {
+		ts2.Close()
+		return nil, err
+	}
+	if compiles != 0 {
+		ts2.Close()
+		return nil, fmt.Errorf("bench: warm start recompiled (%v compiles)", compiles)
+	}
+	if err := drain(s2, ts2); err != nil {
+		return nil, err
+	}
+	return &StartupPerf{
+		ColdMs:  float64(cold.Nanoseconds()) / 1e6,
+		WarmMs:  float64(warm.Nanoseconds()) / 1e6,
+		Speedup: float64(cold.Nanoseconds()) / float64(warm.Nanoseconds()),
+	}, nil
+}
+
+// serveMetric reads one numeric counter from a serve /metrics endpoint.
+func serveMetric(url, name string) (float64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	v, _ := m[name].(float64)
+	return v, nil
 }
 
 func postRun(url string, req serve.RunRequest) error {

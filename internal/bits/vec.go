@@ -169,6 +169,31 @@ func (v *Vec) CopyFrom(o *Vec) {
 	copy(v.w, o.w)
 }
 
+// Words returns a copy of the vector's backing uint64 words (LSB-first
+// packing, unused high bits of the last word zero). The serialization
+// path (tcam state export) reads vectors through this.
+func (v *Vec) Words() []uint64 {
+	return append([]uint64(nil), v.w...)
+}
+
+// VecFromWords rebuilds an n-bit vector from backing words previously
+// produced by Words. The word count must match exactly; stray bits above
+// n in the last word are rejected rather than silently trimmed, so a
+// corrupted serialized vector cannot round-trip.
+func VecFromWords(n int, words []uint64) (*Vec, error) {
+	v := NewVec(n)
+	if len(words) != len(v.w) {
+		return nil, fmt.Errorf("bits: %d words for a %d-bit vector (want %d)", len(words), n, len(v.w))
+	}
+	copy(v.w, words)
+	if r := uint(n) & 63; r != 0 && len(v.w) > 0 {
+		if v.w[len(v.w)-1]&^((1<<r)-1) != 0 {
+			return nil, fmt.Errorf("bits: stray bits above length %d in last word", n)
+		}
+	}
+	return v, nil
+}
+
 // Clone returns an independent copy of v.
 func (v *Vec) Clone() *Vec {
 	c := NewVec(v.n)

@@ -1,0 +1,122 @@
+package compile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"hyperap/internal/dfg"
+	"hyperap/internal/isa"
+)
+
+// This file is the on-disk codec behind the content-addressed program
+// store: everything the expensive pipeline (DFG → AIG → LUT → codegen)
+// produces is serialized, and everything cheap is rebuilt on decode.
+// The DFG in particular is NOT stored — callers key the store by
+// Fingerprint(src, tgt), so they hold the source on every lookup, and
+// dfg.BuildSource is a parse (microseconds) while the graph's interior
+// pointers would make it the most fragile thing in the payload.
+//
+// Integrity is layered: the store package wraps the payload in a
+// checksummed envelope (bit rot, truncation), and DecodeExecutable
+// cross-checks the canonical target options and the rebuilt DFG's
+// component shapes (stale entry decoded under the wrong key).
+
+// persistedExecutable is the gob payload of one stored program.
+type persistedExecutable struct {
+	Canonical string // Target.CanonicalOptions() of the compiling target
+	Prog      []byte // isa.EncodeProgram
+	Inputs    []Component
+	Outputs   []Component
+	Stats     Stats
+	LUTs      []LUTInfo
+}
+
+// EncodeExecutable serializes a compiled program for the program store.
+func EncodeExecutable(ex *Executable) ([]byte, error) {
+	p := persistedExecutable{
+		Canonical: ex.Target.CanonicalOptions(),
+		Prog:      isa.EncodeProgram(ex.Prog),
+		Inputs:    ex.Inputs,
+		Outputs:   ex.Outputs,
+		Stats:     ex.Stats,
+		LUTs:      ex.LUTs,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("compile: encoding executable: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeExecutable rebuilds an Executable from a stored payload, the
+// source it was compiled from and the target to run it on. The decoded
+// entry must have been compiled under the same canonical target options
+// and for the same source shape — a mismatch means the store entry is
+// stale or was filed under the wrong key, and the caller falls back to
+// recompilation.
+func DecodeExecutable(payload []byte, src string, tgt Target) (*Executable, error) {
+	var p persistedExecutable
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("compile: decoding executable: %w", err)
+	}
+	if p.Canonical != tgt.CanonicalOptions() {
+		return nil, fmt.Errorf("compile: stored program targets %q, want %q", p.Canonical, tgt.CanonicalOptions())
+	}
+	prog, err := isa.DecodeProgram(p.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("compile: decoding stored program: %w", err)
+	}
+	g, err := dfg.BuildSource(src)
+	if err != nil {
+		return nil, fmt.Errorf("compile: rebuilding DFG for stored program: %w", err)
+	}
+	ex := &Executable{
+		Target:  tgt,
+		DFG:     g,
+		Prog:    prog,
+		Inputs:  p.Inputs,
+		Outputs: p.Outputs,
+		Stats:   p.Stats,
+		LUTs:    p.LUTs,
+	}
+	if err := ex.checkAgainstDFG(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// checkAgainstDFG verifies that the stored component layout matches the
+// rebuilt graph's declared interface: same input/output counts, names
+// and widths, and every stored bit location inside the target word.
+func (ex *Executable) checkAgainstDFG() error {
+	g := ex.DFG
+	if len(ex.Inputs) != len(g.Inputs) {
+		return fmt.Errorf("compile: stored program has %d inputs, source has %d", len(ex.Inputs), len(g.Inputs))
+	}
+	if len(ex.Outputs) != len(g.Outputs) {
+		return fmt.Errorf("compile: stored program has %d outputs, source has %d", len(ex.Outputs), len(g.Outputs))
+	}
+	for i, comp := range ex.Inputs {
+		n := g.Nodes[g.Inputs[i]]
+		if comp.Name != n.Name || comp.Width != n.Width {
+			return fmt.Errorf("compile: stored input %d is %s/%d, source declares %s/%d", i, comp.Name, comp.Width, n.Name, n.Width)
+		}
+	}
+	for i, comp := range ex.Outputs {
+		n := g.Nodes[g.Outputs[i]]
+		if comp.Name != g.OutputNames[i] || comp.Width != n.Width {
+			return fmt.Errorf("compile: stored output %d is %s/%d, source declares %s/%d", i, comp.Name, comp.Width, g.OutputNames[i], n.Width)
+		}
+	}
+	for _, comps := range [][]Component{ex.Inputs, ex.Outputs} {
+		for _, comp := range comps {
+			for _, ref := range comp.Bits {
+				if ref.Loc.Kind != LocNone && (ref.Loc.Col < 0 || ref.Loc.Col >= ex.Target.WordBits) {
+					return fmt.Errorf("compile: stored bit of %s at column %d outside %d-bit word", comp.Name, ref.Loc.Col, ex.Target.WordBits)
+				}
+			}
+		}
+	}
+	return nil
+}

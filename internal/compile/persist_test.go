@@ -1,0 +1,83 @@
+package compile
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+const persistSrc = `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`
+
+// TestExecutableRoundTrip: an encoded executable decodes back to one
+// that runs bit-identically, with the same interface, program and
+// stats. The DFG is rebuilt from source on decode, not stored.
+func TestExecutableRoundTrip(t *testing.T) {
+	tgt := HyperTarget()
+	ex, err := CompileSource(persistSrc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := EncodeExecutable(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExecutable(payload, persistSrc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Inputs, ex.Inputs) || !reflect.DeepEqual(got.Outputs, ex.Outputs) {
+		t.Error("component layout did not round-trip")
+	}
+	if !reflect.DeepEqual(got.Prog, ex.Prog) {
+		t.Error("instruction stream did not round-trip")
+	}
+	if got.Stats != ex.Stats {
+		t.Errorf("stats = %+v, want %+v", got.Stats, ex.Stats)
+	}
+	if !reflect.DeepEqual(got.LUTs, ex.LUTs) {
+		t.Error("LUT info did not round-trip")
+	}
+	inputs := [][]uint64{{3, 4}, {31, 31}, {0, 0}, {17, 5}}
+	outA, _, err := ex.RunBatchContext(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, _, err := got.RunBatchContext(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outA, outB) {
+		t.Errorf("decoded executable computes %v, original %v", outB, outA)
+	}
+}
+
+// TestDecodeExecutableRejects: a payload decoded under the wrong source
+// or target must fail loudly, never produce a runnable mismatch.
+func TestDecodeExecutableRejects(t *testing.T) {
+	tgt := HyperTarget()
+	ex, err := CompileSource(persistSrc, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := EncodeExecutable(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeExecutable(payload[:len(payload)/2], persistSrc, tgt); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+	other := HyperCMOSTarget()
+	if other.CanonicalOptions() == tgt.CanonicalOptions() {
+		t.Fatal("fixture targets must differ canonically")
+	}
+	if _, err := DecodeExecutable(payload, persistSrc, other); err == nil {
+		t.Error("wrong target decoded without error")
+	}
+	// A different source shape (interface mismatch against the rebuilt
+	// DFG) must be caught by the component cross-check.
+	wrongSrc := `unsigned int(6) main(unsigned int(5) a){ return a; }`
+	if _, err := DecodeExecutable(payload, wrongSrc, tgt); err == nil {
+		t.Error("wrong source decoded without error")
+	}
+}

@@ -58,6 +58,8 @@ type runConfig struct {
 	faults       tcam.FaultConfig
 	sparePEs     int
 	scalarSearch bool
+	fullRows     bool
+	chipInit     func(*arch.Chip) error
 }
 
 // WithParallelism bounds the RunBatch worker pool to n goroutines;
@@ -103,6 +105,26 @@ func WithScalarSearch() RunOption {
 // failing the batch.
 func WithSparePEs(n int) RunOption {
 	return func(c *runConfig) { c.sparePEs = n }
+}
+
+// WithFullRows builds every pass chip with the full tech.PERows word
+// rows per PE even when the batch fills fewer slots. A physical chip
+// has fixed geometry; the variable-row chip is a simulation shortcut
+// that makes per-pass chips structurally incomparable. Serve's durable
+// chip-state ledger needs uniform geometry so lifetime state exported
+// from one pass can age the next pass's chip regardless of batch size.
+func WithFullRows() RunOption {
+	return func(c *runConfig) { c.fullRows = true }
+}
+
+// WithChipInit registers fn to run on the freshly built pass chip after
+// construction and before any data is loaded. This is the hook serve's
+// persistence layer uses to pre-age the chip with checkpointed lifetime
+// state (wear counters, stuck cells, burned spares and remaps): the
+// chip is built inside RunBatchContext, so state injection has to
+// happen here. An error from fn aborts the pass.
+func WithChipInit(fn func(*arch.Chip) error) RunOption {
+	return func(c *runConfig) { c.chipInit = fn }
 }
 
 func newRunConfig(opts []RunOption) runConfig {
@@ -250,8 +272,16 @@ func (ex *Executable) RunBatchContext(ctx context.Context, inputs [][]uint64, op
 	cfg := newRunConfig(opts)
 	shards := (n + tech.PERows - 1) / tech.PERows
 	rows := min(n, tech.PERows)
+	if cfg.fullRows {
+		rows = tech.PERows
+	}
 	chip := ex.newShardedChip(shards, rows, cfg)
 	chip.Tracing = cfg.trace
+	if cfg.chipInit != nil {
+		if err := cfg.chipInit(chip); err != nil {
+			return nil, nil, err
+		}
+	}
 	err := forEachShard(chip, shards, cfg.workers, func(pe *arch.PE, shard int) error {
 		base := shard * tech.PERows
 		for r := base; r < min(base+tech.PERows, n); r++ {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,49 @@ type program struct {
 	co *coalescer
 
 	hits atomic.Int64 // lookups served from cache
+
+	// storeMu guards the program-store write-through registration.
+	// Eviction cancels an in-flight write and bars a not-yet-started
+	// one, so no temp file (or fresh record) outlives the entry it was
+	// persisting for.
+	storeMu      sync.Mutex
+	storeCancel  context.CancelFunc
+	storeEvicted bool
+}
+
+// beginStoreWrite registers an asynchronous write-through and returns
+// its cancelable context; ok is false when the entry was already
+// evicted and the write must not start.
+func (p *program) beginStoreWrite() (ctx context.Context, ok bool) {
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	if p.storeEvicted {
+		return nil, false
+	}
+	ctx, p.storeCancel = context.WithCancel(context.Background())
+	return ctx, true
+}
+
+// endStoreWrite deregisters a finished write-through.
+func (p *program) endStoreWrite() {
+	p.storeMu.Lock()
+	if p.storeCancel != nil {
+		p.storeCancel()
+		p.storeCancel = nil
+	}
+	p.storeMu.Unlock()
+}
+
+// releaseStoreWrite cancels any write-through still in flight and
+// prevents future ones; called when the entry falls out of the cache.
+func (p *program) releaseStoreWrite() {
+	p.storeMu.Lock()
+	p.storeEvicted = true
+	if p.storeCancel != nil {
+		p.storeCancel()
+		p.storeCancel = nil
+	}
+	p.storeMu.Unlock()
 }
 
 // programCache is an LRU map from content fingerprint to compiled
@@ -63,15 +107,16 @@ func (c *programCache) lookup(handle string) (*program, bool) {
 // inserts a new placeholder entry (evicting the LRU program beyond
 // capacity) that the caller must compile and publish with finish. created
 // reports which case happened; when false the caller must wait on
-// p.ready.
-func (c *programCache) getOrCreate(handle, src string, tgt compile.Target, s *Server) (p *program, created bool, evicted int) {
+// p.ready. The evicted programs are returned (not just counted) so the
+// caller can release their in-flight store write-throughs.
+func (c *programCache) getOrCreate(handle, src string, tgt compile.Target, s *Server) (p *program, created bool, evicted []*program) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[handle]; ok {
 		c.ll.MoveToFront(el)
 		p = el.Value.(*program)
 		p.hits.Add(1)
-		return p, false, 0
+		return p, false, nil
 	}
 	p = &program{handle: handle, source: src, tgt: tgt, ready: make(chan struct{})}
 	p.co = newCoalescer(s, p)
@@ -79,8 +124,9 @@ func (c *programCache) getOrCreate(handle, src string, tgt compile.Target, s *Se
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.m, last.Value.(*program).handle)
-		evicted++
+		ev := last.Value.(*program)
+		delete(c.m, ev.handle)
+		evicted = append(evicted, ev)
 	}
 	return p, true, evicted
 }

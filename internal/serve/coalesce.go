@@ -129,7 +129,8 @@ func (c *coalescer) runPass(batch []*waiter, slots int) {
 	// rest.
 	ctx, cancel := context.WithTimeout(context.Background(), c.s.cfg.RequestTimeout)
 	defer cancel()
-	outs, chip, err := c.p.ex.RunBatchContext(ctx, inputs, c.s.runOpts...)
+	opts, finishPass := c.s.passOpts(c.p)
+	outs, chip, err := c.p.ex.RunBatchContext(ctx, inputs, opts...)
 	runDur := time.Since(start)
 	met.runNS.Add(runDur.Nanoseconds())
 	met.runHist.Observe(runDur.Nanoseconds())
@@ -137,12 +138,14 @@ func (c *coalescer) runPass(batch []*waiter, slots int) {
 		w.runDur = runDur
 	}
 	if err != nil {
+		finishPass(nil)
 		for _, w := range batch {
 			w.err = err
 			close(w.done)
 		}
 		return
 	}
+	finishPass(chip)
 	r := chip.Report()
 	report := passReport(chip, r, slots, len(batch))
 	met.searches.Add(r.Searches)

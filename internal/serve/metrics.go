@@ -55,6 +55,27 @@ type metrics struct {
 	faultErrors       expvar.Int   // runs failed with a FaultError (503)
 	healthyPEFraction expvar.Float // gauge: non-failed PEs / total, last pass
 
+	// Persistence (internal/store) activity: the on-disk program store
+	// and the chip-state checkpoint. compiles counts actual pipeline
+	// runs, so on a persistence-enabled server
+	// store_program_hits + compiles == cache_misses.
+	compiles             expvar.Int
+	storeProgramHits     expvar.Int // cache misses answered from disk
+	storeProgramMisses   expvar.Int // cache misses that went to the compiler
+	storeProgramWrites   expvar.Int // write-throughs that landed
+	storeWriteErrors     expvar.Int
+	storeWriteCancels    expvar.Int // write-throughs canceled by eviction
+	storeCorruptions     expvar.Int // records quarantined on read
+	checkpointSaves      expvar.Int
+	checkpointSaveErrors expvar.Int
+	checkpointRestores   expvar.Int // checkpoints restored at startup (0 or 1)
+	checkpointStale      expvar.Int // checkpoints/slots rejected as incompatible
+
+	// Durable chip-state gauges derived from the wear ledger.
+	chipWearMaxPulses expvar.Int // worst per-cell programming-pulse count
+	chipSparesUsed    expvar.Int // spare rows consumed across all virtual PEs
+	chipRetiredPEs    expvar.Int // virtual PEs taken out of rotation
+
 	mu               sync.Mutex
 	maxBatchRequests expvar.Int // high-water requests per pass
 	maxBatchSlots    expvar.Int // high-water slot occupancy per pass
@@ -96,6 +117,20 @@ func newMetrics() *metrics {
 	m.root.Set("fault_errors", &m.faultErrors)
 	m.healthyPEFraction.Set(1)
 	m.root.Set("healthy_pe_fraction", &m.healthyPEFraction)
+	m.root.Set("compiles", &m.compiles)
+	m.root.Set("store_program_hits", &m.storeProgramHits)
+	m.root.Set("store_program_misses", &m.storeProgramMisses)
+	m.root.Set("store_program_writes", &m.storeProgramWrites)
+	m.root.Set("store_write_errors", &m.storeWriteErrors)
+	m.root.Set("store_write_cancels", &m.storeWriteCancels)
+	m.root.Set("store_corruptions", &m.storeCorruptions)
+	m.root.Set("checkpoint_saves", &m.checkpointSaves)
+	m.root.Set("checkpoint_save_errors", &m.checkpointSaveErrors)
+	m.root.Set("checkpoint_restores", &m.checkpointRestores)
+	m.root.Set("checkpoint_stale", &m.checkpointStale)
+	m.root.Set("chip_wear_max_pulses", &m.chipWearMaxPulses)
+	m.root.Set("chip_spares_used", &m.chipSparesUsed)
+	m.root.Set("chip_retired_pes", &m.chipRetiredPEs)
 	return m
 }
 

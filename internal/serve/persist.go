@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/compile"
+	"hyperap/internal/store"
+	"hyperap/internal/tcam"
+	"hyperap/internal/tech"
+)
+
+// persistence makes chip lifetime state durable. Two problems meet
+// here:
+//
+// First, every coalesced pass builds a fresh chip inside RunBatch, so
+// nothing physical survives from one pass to the next. The ledger below
+// maintains a pool of *virtual PE slots*: a pass leases one slot per
+// shard, the slot's accumulated state (wear, stuck cells, burned
+// spares, remaps) is imported into the pass chip before data loads
+// (compile.WithChipInit), and the chip's exported state replaces the
+// slot's after the pass. Concurrent passes lease disjoint slots — the
+// model of a chip with more PEs than any one pass uses — so no delta
+// arithmetic or cross-pass locking is needed and wear is conserved
+// exactly. A slot whose PE fails is retired, never leased again, and
+// still counted by health reporting.
+//
+// Second, the ledger itself must survive restarts: snapshot() writes it
+// through internal/store (periodically, on drain, and therefore on
+// SIGTERM, which the CLI turns into a drain), and restore() verifies a
+// checkpoint against the current geometry and fault configuration
+// before seeding the ledger and the /readyz health state from it — a
+// node that died degraded comes back degraded before its first pass.
+type persistence struct {
+	st  *store.Store
+	met *metrics
+	log *slog.Logger
+
+	// Canonical pass-chip geometry. Only executables matching it are
+	// aged (WithFullRows pins the row count; WordBits and the array
+	// design come from the target). Passes for exotic targets still run
+	// — they just bypass the ledger.
+	rows, bits int
+	mono       bool
+	faults     tcam.FaultConfig
+
+	mu        sync.Mutex
+	entries   []*ledgerEntry // live virtual PE slots
+	retired   []arch.PEState // failed slots, kept for health accounting
+	retries   int64
+	snapshots uint64
+
+	loopStop chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+}
+
+// ledgerEntry is one virtual PE slot. state is nil until the slot's
+// first pass completes (a fresh, never-aged PE).
+type ledgerEntry struct {
+	state  *arch.PEState
+	leased bool
+}
+
+// newPersistence opens the state directory and restores any compatible
+// checkpoint. Open errors disable persistence (returned as error);
+// checkpoint corruption or staleness falls back to fresh state.
+func newPersistence(dir string, faults tcam.FaultConfig, met *metrics, log *slog.Logger) (*persistence, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &persistence{
+		st:     st,
+		met:    met,
+		log:    log,
+		rows:   tech.PERows,
+		bits:   tech.PEBits,
+		mono:   false,
+		faults: faults,
+	}
+	p.restore()
+	return p, nil
+}
+
+// matches reports whether an executable's pass chips have the canonical
+// geometry the ledger ages.
+func (p *persistence) matches(tgt compile.Target) bool {
+	return tgt.WordBits == p.bits && tgt.Monolithic == p.mono
+}
+
+// restore loads the checkpoint, verifying compatibility; anything wrong
+// means fresh state, never partial or mismatched state.
+func (p *persistence) restore() {
+	cp, err := p.st.LoadCheckpoint()
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return
+	case errors.Is(err, store.ErrCorrupt):
+		p.met.storeCorruptions.Add(1)
+		p.log.Warn("chip checkpoint corrupt; starting with fresh chip state", "err", err)
+		return
+	case err != nil:
+		p.log.Warn("chip checkpoint unreadable; starting with fresh chip state", "err", err)
+		return
+	}
+	if !cp.Compatible(p.rows, p.bits, p.mono, p.faults) {
+		p.met.checkpointStale.Add(1)
+		p.log.Warn("chip checkpoint is for a different geometry or fault config; starting fresh",
+			"ckpt_rows", cp.Rows, "ckpt_bits", cp.Bits)
+		return
+	}
+	p.mu.Lock()
+	for i := range cp.PEs {
+		ps := cp.PEs[i]
+		p.entries = append(p.entries, &ledgerEntry{state: &ps})
+	}
+	p.retired = append(p.retired, cp.Retired...)
+	p.retries = cp.Retries
+	p.snapshots = cp.Snapshots
+	p.mu.Unlock()
+	p.met.checkpointRestores.Add(1)
+	p.updateGauges()
+	h := p.healthSummary()
+	p.log.Info("restored chip state",
+		"virtual_pes", len(cp.PEs), "retired_pes", len(cp.Retired),
+		"degraded", h.Degraded, "failed", h.Failed, "snapshots", cp.Snapshots)
+}
+
+// passLease is the slice of slots one pass aged; it carries the chip
+// hooks handed to RunBatch.
+type passLease struct {
+	p       *persistence
+	entries []*ledgerEntry
+}
+
+// lease reserves shards virtual PE slots, growing the ledger when the
+// pool runs dry. Retired slots are never handed out.
+func (p *persistence) lease(shards int) *passLease {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := &passLease{p: p}
+	for _, e := range p.entries {
+		if len(l.entries) == shards {
+			break
+		}
+		if !e.leased {
+			e.leased = true
+			l.entries = append(l.entries, e)
+		}
+	}
+	for len(l.entries) < shards {
+		e := &ledgerEntry{leased: true}
+		p.entries = append(p.entries, e)
+		l.entries = append(l.entries, e)
+	}
+	return l
+}
+
+// init pre-ages the freshly built pass chip with each leased slot's
+// accumulated state: data planes erased (programs assume an erased
+// chip), activity counters cleared (per-pass metrics must not re-count
+// history), structure — wear, stuck cells, remaps, consumed spares —
+// imported as-is. A slot whose state no longer imports is skipped and
+// left fresh rather than failing the pass.
+func (l *passLease) init(chip *arch.Chip) error {
+	for i, e := range l.entries {
+		if e.state == nil {
+			continue
+		}
+		d := e.state.Design.Clone()
+		d.ClearData()
+		d.ClearActivity()
+		if err := chip.ImportPEState(i, arch.PEState{Design: d}); err != nil {
+			l.p.met.checkpointStale.Add(1)
+			l.p.log.Warn("virtual PE state no longer imports; slot runs fresh", "slot", i, "err", err)
+		}
+	}
+	return nil
+}
+
+// finish folds the pass chip's exported state back into the leased
+// slots and releases them. chip is nil when the pass failed before
+// producing a chip — the slots keep their pre-pass state (that pass's
+// wear is lost, which under-counts damage rather than inventing it).
+// Spare-tail PEs that were touched (burned trying a replay, or a
+// failed PE parked there by a swap) join the retired list.
+func (l *passLease) finish(chip *arch.Chip) {
+	p := l.p
+	if chip == nil {
+		p.mu.Lock()
+		for _, e := range l.entries {
+			e.leased = false
+		}
+		p.mu.Unlock()
+		return
+	}
+	st := chip.ExportState()
+	p.mu.Lock()
+	for i, e := range l.entries {
+		if i >= len(st.Active) {
+			break
+		}
+		ex := st.Active[i]
+		if e.state != nil {
+			ex.Design.AccumulateActivity(&e.state.Design)
+		}
+		e.state = &ex
+		e.leased = false
+	}
+	var live []*ledgerEntry
+	for _, e := range p.entries {
+		if e.state != nil && e.state.Failed {
+			p.retired = append(p.retired, *e.state)
+			continue
+		}
+		live = append(live, e)
+	}
+	p.entries = live
+	for i := range st.Spare {
+		sp := st.Spare[i]
+		if sp.Failed || sp.Design.MaxWear() > 0 || sp.Design.Degraded() {
+			p.retired = append(p.retired, sp)
+		}
+	}
+	p.retries += st.Retries
+	p.mu.Unlock()
+	p.updateGauges()
+}
+
+// healthSummary derives the chip health from the ledger: live slots by
+// their structural state, retired slots as failed (or degraded, for
+// burned spares that never carried a logical row).
+func (p *persistence) healthSummary() arch.HealthSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var h arch.HealthSummary
+	for _, e := range p.entries {
+		h.Total++
+		if e.state == nil {
+			h.Healthy++
+			continue
+		}
+		switch e.state.Health() {
+		case arch.Healthy:
+			h.Healthy++
+		case arch.Degraded:
+			h.Degraded++
+		case arch.Failed:
+			h.Failed++
+		}
+	}
+	for i := range p.retired {
+		h.Total++
+		if p.retired[i].Failed {
+			h.Failed++
+		} else {
+			h.Degraded++
+		}
+	}
+	return h
+}
+
+// updateGauges refreshes the chip-state gauges in /metrics.
+func (p *persistence) updateGauges() {
+	p.mu.Lock()
+	var maxWear uint32
+	spares := 0
+	for _, e := range p.entries {
+		if e.state == nil {
+			continue
+		}
+		if w := e.state.Design.MaxWear(); w > maxWear {
+			maxWear = w
+		}
+		spares += e.state.Design.SparesUsed()
+	}
+	for i := range p.retired {
+		if w := p.retired[i].Design.MaxWear(); w > maxWear {
+			maxWear = w
+		}
+		spares += p.retired[i].Design.SparesUsed()
+	}
+	retired := len(p.retired)
+	p.mu.Unlock()
+	p.met.chipWearMaxPulses.Set(int64(maxWear))
+	p.met.chipSparesUsed.Set(int64(spares))
+	p.met.chipRetiredPEs.Set(int64(retired))
+}
+
+// snapshot writes the ledger through to the chip-state checkpoint.
+// Leased slots serialize their pre-pass state (the last returned one) —
+// a periodic snapshot taken mid-pass is simply a slightly older
+// consistent state; the drain snapshot runs after the queue is empty
+// and captures everything.
+func (p *persistence) snapshot(ctx context.Context) error {
+	p.mu.Lock()
+	cp := &store.Checkpoint{
+		Rows: p.rows, Bits: p.bits, Monolithic: p.mono, Faults: p.faults,
+		Retries: p.retries, Snapshots: p.snapshots + 1,
+	}
+	for _, e := range p.entries {
+		if e.state != nil {
+			cp.PEs = append(cp.PEs, *e.state)
+		}
+	}
+	cp.Retired = append(cp.Retired, p.retired...)
+	p.mu.Unlock()
+	err := p.st.SaveCheckpoint(ctx, cp)
+	if err != nil {
+		p.met.checkpointSaveErrors.Add(1)
+		return err
+	}
+	p.mu.Lock()
+	p.snapshots = cp.Snapshots
+	p.mu.Unlock()
+	p.met.checkpointSaves.Add(1)
+	return nil
+}
+
+// startLoop begins periodic snapshots; stopLoop (idempotent) halts them
+// and is followed by the drain path's final snapshot.
+func (p *persistence) startLoop(interval time.Duration) {
+	p.loopStop = make(chan struct{})
+	p.loopDone = make(chan struct{})
+	go func() {
+		defer close(p.loopDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.loopStop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := p.snapshot(ctx); err != nil {
+					p.log.Warn("periodic chip snapshot failed", "err", err)
+				}
+				cancel()
+			}
+		}
+	}()
+}
+
+func (p *persistence) stopLoop() {
+	p.stopOnce.Do(func() {
+		if p.loopStop != nil {
+			close(p.loopStop)
+			<-p.loopDone
+		}
+	})
+}
+
+// loadProgram checks the on-disk program store for a fingerprint,
+// counting hits, misses and quarantined corruption.
+func (p *persistence) loadProgram(handle, src string, tgt compile.Target) (*compile.Executable, bool) {
+	ex, err := p.st.LoadProgram(handle, src, tgt)
+	switch {
+	case err == nil:
+		p.met.storeProgramHits.Add(1)
+		return ex, true
+	case errors.Is(err, store.ErrNotFound):
+		p.met.storeProgramMisses.Add(1)
+	case errors.Is(err, store.ErrCorrupt):
+		p.met.storeCorruptions.Add(1)
+		p.met.storeProgramMisses.Add(1)
+		p.log.Warn("stored program quarantined; recompiling", "program", handle, "err", err)
+	default:
+		p.met.storeProgramMisses.Add(1)
+		p.log.Warn("program store read failed; recompiling", "program", handle, "err", err)
+	}
+	return nil, false
+}
+
+// writeThrough persists a freshly compiled program asynchronously. The
+// write is registered on the program entry so cache eviction can cancel
+// it mid-flight (no orphaned temp files for programs nobody can look up
+// anymore).
+func (p *persistence) writeThrough(pr *program) {
+	ctx, ok := pr.beginStoreWrite()
+	if !ok {
+		return // already evicted: nothing to persist
+	}
+	go func() {
+		defer pr.endStoreWrite()
+		err := p.st.SaveProgram(ctx, pr.handle, pr.ex)
+		switch {
+		case err == nil:
+			p.met.storeProgramWrites.Add(1)
+		case errors.Is(err, context.Canceled):
+			p.met.storeWriteCancels.Add(1)
+		default:
+			p.met.storeWriteErrors.Add(1)
+			p.log.Warn("program write-through failed", "program", pr.handle, "err", err)
+		}
+	}()
+}

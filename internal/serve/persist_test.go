@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hyperap/internal/tcam"
+)
+
+// metNum reads one numeric metric from a test server's /metrics.
+func metNum(t *testing.T, url, name string) float64 {
+	t.Helper()
+	var met map[string]any
+	if code := get(t, url+"/metrics", &met); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	v, _ := met[name].(float64)
+	return v
+}
+
+// stateDir honors HYPERAP_E2E_STATE_DIR so CI can upload the state
+// directory as an artifact; otherwise the test uses its own temp dir.
+func stateDir(t *testing.T) string {
+	t.Helper()
+	if env := os.Getenv("HYPERAP_E2E_STATE_DIR"); env != "" {
+		dir := filepath.Join(env, t.Name())
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// persistCfg is the shared config of the restart pair: a sparse
+// stuck-at defect map plus spare rows, so write-verify repairs burn
+// spares and leave the chip visibly (and durably) degraded, while wear
+// accumulates pass over pass.
+func persistCfg(dir string, seed int64) Config {
+	return Config{
+		StateDir:         dir,
+		SnapshotInterval: -1, // drain-time snapshot only: the SIGTERM path
+		Faults:           tcam.FaultConfig{Seed: seed, StuckAtRate: 3e-5, SpareRows: 8},
+	}
+}
+
+// TestWarmRestartE2E is the durable-state acceptance path: a server
+// accumulates wear until spare rows burn, drains (the SIGTERM path
+// writes the final checkpoint), and a second server on the same state
+// dir comes back with the wear, the burned spares, the degraded /readyz
+// — and zero recompiles.
+func TestWarmRestartE2E(t *testing.T) {
+	base := stateDir(t)
+	inputs, want := faultBatch()
+
+	// The defect map is seed-deterministic, but whether a stuck cell
+	// lands under a written column depends on layout — scan seeds (as
+	// the fault tests do) for one whose defects get detected and
+	// repaired during a short wear-heavy phase. Each candidate gets its
+	// own state dir so the winner's checkpoint is unpolluted.
+	var (
+		dir  string
+		s1   *Server
+		ts1  *httptest.Server
+		comp CompileResponse
+	)
+	for seed := int64(1); seed <= 64 && s1 == nil; seed++ {
+		d := filepath.Join(base, fmt.Sprintf("seed-%d", seed))
+		s := New(persistCfg(d, seed))
+		ts := httptest.NewServer(s)
+		var c CompileResponse
+		if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, &c); code != 200 {
+			t.Fatalf("compile status %d", code)
+		}
+		if c.Cached {
+			t.Fatal("first-ever compile reported cached")
+		}
+		ok := true
+		for pass := 0; pass < 8 && ok; pass++ {
+			in := make([][]uint64, len(inputs))
+			wantp := make([]uint64, len(inputs))
+			for i := range in {
+				a := uint64(i*7+3+pass*5) & 31
+				b := uint64(i*13+1+pass*3) & 31
+				in[i] = []uint64{a, b}
+				wantp[i] = a + b
+			}
+			var run RunResponse
+			code := post(t, ts.URL+"/v1/run", RunRequest{Program: c.Program, Inputs: in, NoCoalesce: true}, &run)
+			if code != 200 {
+				ok = false // this seed's defects were unrepairable: loud, not wrong
+				break
+			}
+			for i, out := range run.Outputs {
+				if len(out) != 1 || out[0] != wantp[i] {
+					t.Fatalf("seed %d pass %d slot %d = %v, want [%d] (silent corruption)", seed, pass, i, out, wantp[i])
+				}
+			}
+		}
+		if ok && metNum(t, ts.URL, "chip_spares_used") > 0 {
+			dir, s1, ts1, comp = d, s, ts, c
+			break
+		}
+		ts.Close()
+	}
+	if s1 == nil {
+		t.Fatal("no seed in 1..64 produced a repaired run; rate/layout drifted")
+	}
+	seed := s1.cfg.Faults.Seed
+	if n := metNum(t, ts1.URL, "compiles"); n != 1 {
+		t.Fatalf("compiles = %v, want 1", n)
+	}
+	wear := metNum(t, ts1.URL, "chip_wear_max_pulses")
+	spares := metNum(t, ts1.URL, "chip_spares_used")
+	if wear <= 0 || spares <= 0 {
+		t.Fatalf("wear-heavy phase ended with wear=%v spares=%v", wear, spares)
+	}
+	var ready1 map[string]any
+	get(t, ts1.URL+"/readyz", &ready1)
+	if ready1["status"] != "degraded" {
+		t.Fatalf("server 1 readyz = %v, want degraded", ready1["status"])
+	}
+	// Wait for the async program write-through before "SIGTERM".
+	deadline := time.Now().Add(5 * time.Second)
+	for metNum(t, ts1.URL, "store_program_writes") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("program write-through never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := metNum(t, ts1.URL, "checkpoint_saves"); n != 1 {
+		t.Fatalf("checkpoint_saves = %v, want 1 (drain-time snapshot)", n)
+	}
+	ts1.Close()
+
+	// Warm restart: same state dir, same config, fresh process.
+	s2 := New(persistCfg(dir, seed))
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if n := metNum(t, ts2.URL, "checkpoint_restores"); n != 1 {
+		t.Fatalf("checkpoint_restores = %v, want 1", n)
+	}
+	// Before ANY pass: the node that died degraded is back degraded,
+	// with the wear and burned spares it died with.
+	var ready2 map[string]any
+	get(t, ts2.URL+"/readyz", &ready2)
+	if ready2["status"] != "degraded" {
+		t.Errorf("restarted readyz = %v, want degraded before any pass", ready2["status"])
+	}
+	if got := metNum(t, ts2.URL, "chip_wear_max_pulses"); got != wear {
+		t.Errorf("restored wear = %v, want %v", got, wear)
+	}
+	if got := metNum(t, ts2.URL, "chip_spares_used"); got != spares {
+		t.Errorf("restored spares = %v, want %v", got, spares)
+	}
+
+	// Zero recompiles: the same source is a program-store hit.
+	var comp2 CompileResponse
+	if code := post(t, ts2.URL+"/v1/compile", CompileRequest{Source: addSrc}, &comp2); code != 200 {
+		t.Fatalf("warm compile status %d", code)
+	}
+	if !comp2.Cached {
+		t.Error("warm restart recompiled a stored program")
+	}
+	if comp2.Program != comp.Program {
+		t.Errorf("fingerprint changed across restart: %s vs %s", comp2.Program, comp.Program)
+	}
+	if n := metNum(t, ts2.URL, "compiles"); n != 0 {
+		t.Errorf("compiles after warm restart = %v, want 0", n)
+	}
+	if n := metNum(t, ts2.URL, "store_program_hits"); n != 1 {
+		t.Errorf("store_program_hits = %v, want 1", n)
+	}
+
+	// The restored chip keeps aging from where it left off: one more
+	// pass must not reset wear below the restored value.
+	var run RunResponse
+	if code := post(t, ts2.URL+"/v1/run", RunRequest{Program: comp2.Program, Inputs: inputs, NoCoalesce: true}, &run); code != 200 {
+		t.Fatalf("warm run status %d", code)
+	}
+	for i, out := range run.Outputs {
+		if len(out) != 1 || out[0] != want[i] {
+			t.Fatalf("warm slot %d = %v, want [%d]", i, out, want[i])
+		}
+	}
+	if got := metNum(t, ts2.URL, "chip_wear_max_pulses"); got < wear {
+		t.Errorf("wear after warm pass = %v, below restored %v", got, wear)
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestStaleCheckpointIgnored: a checkpoint from a different fault
+// configuration must not seed the ledger.
+func TestStaleCheckpointIgnored(t *testing.T) {
+	dir := t.TempDir()
+	inputs, _ := faultBatch()
+	s1 := New(persistCfg(dir, 5))
+	ts1 := httptest.NewServer(s1)
+	var comp CompileResponse
+	post(t, ts1.URL+"/v1/compile", CompileRequest{Source: addSrc}, &comp)
+	post(t, ts1.URL+"/v1/run", RunRequest{Program: comp.Program, Inputs: inputs, NoCoalesce: true}, nil)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	cfg := persistCfg(dir, 99) // different defect universe: the state is stale
+	s2 := New(cfg)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if n := metNum(t, ts2.URL, "checkpoint_restores"); n != 0 {
+		t.Errorf("stale checkpoint restored (restores = %v)", n)
+	}
+	if n := metNum(t, ts2.URL, "checkpoint_stale"); n != 1 {
+		t.Errorf("checkpoint_stale = %v, want 1", n)
+	}
+	if n := metNum(t, ts2.URL, "chip_wear_max_pulses"); n != 0 {
+		t.Errorf("stale wear leaked into fresh ledger: %v", n)
+	}
+}
+
+// TestEvictionCancelsWriteThrough: evicting a program from the LRU
+// releases its in-flight store write — whatever the race outcome, no
+// temp file may remain and all write-throughs must resolve.
+func TestEvictionCancelsWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	cfg := persistCfg(dir, 1)
+	cfg.MaxPrograms = 1
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srcB := `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a - b; }`
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: addSrc}, nil); code != 200 {
+		t.Fatalf("compile A status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/compile", CompileRequest{Source: srcB}, nil); code != 200 {
+		t.Fatalf("compile B status %d", code)
+	}
+	if n := metNum(t, ts.URL, "cache_evictions"); n != 1 {
+		t.Fatalf("cache_evictions = %v, want 1", n)
+	}
+	// Both write-throughs must settle: landed, canceled or errored.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := metNum(t, ts.URL, "store_program_writes") +
+			metNum(t, ts.URL, "store_write_cancels") +
+			metNum(t, ts.URL, "store_write_errors")
+		if done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write-throughs never settled (done=%v)", done)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The satellite invariant: no orphaned temp files, however the
+	// eviction/write race resolved.
+	tmps, err := filepath.Glob(filepath.Join(dir, "programs", ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("eviction left temp files: %v", tmps)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreWriteBarredAfterEviction pins the program-side semantics:
+// once released, a write-through can no longer begin.
+func TestStoreWriteBarredAfterEviction(t *testing.T) {
+	p := &program{handle: "sha256:x"}
+	ctx, ok := p.beginStoreWrite()
+	if !ok || ctx.Err() != nil {
+		t.Fatal("first write must be admitted with a live context")
+	}
+	p.releaseStoreWrite()
+	if ctx.Err() == nil {
+		t.Error("release must cancel the in-flight context")
+	}
+	p.endStoreWrite()
+	if _, ok := p.beginStoreWrite(); ok {
+		t.Error("write admitted after eviction")
+	}
+}

@@ -53,6 +53,17 @@ type Config struct {
 	// PE dies mid-pass is replayed on a spare instead of failing the
 	// whole batch.
 	SparePEs int
+	// StateDir, when set, makes chip state durable (internal/store):
+	// compiled programs are written through to a content-addressed
+	// on-disk store and reloaded on cache misses, and lifetime chip
+	// state (wear, stuck cells, burned spares, remaps, PE health) is
+	// checkpointed and restored across restarts. Empty disables
+	// persistence (the default, and the pre-persistence behavior).
+	StateDir string
+	// SnapshotInterval is the period between chip-state checkpoints
+	// when StateDir is set (default 30s). Negative disables periodic
+	// snapshots; Drain still writes a final one.
+	SnapshotInterval time.Duration
 	// Logger receives one structured line per request (request id,
 	// status, per-phase durations) and drain progress. Default: discard.
 	Logger *slog.Logger
@@ -80,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.StateDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -96,6 +110,11 @@ type Server struct {
 	met     *metrics
 	log     *slog.Logger
 	runOpts []compile.RunOption
+
+	// persist is non-nil when Config.StateDir named a usable directory:
+	// the program store, the virtual-PE wear ledger and the checkpoint
+	// loop (persist.go).
+	persist *persistence
 
 	sem      chan struct{} // worker-pool slots for RunBatch passes
 	inflight sync.WaitGroup
@@ -137,6 +156,25 @@ func New(cfg Config) *Server {
 	}
 	if s.cfg.SparePEs > 0 {
 		s.runOpts = append(s.runOpts, compile.WithSparePEs(s.cfg.SparePEs))
+	}
+	if s.cfg.StateDir != "" {
+		pst, err := newPersistence(s.cfg.StateDir, s.cfg.Faults, s.met, s.log)
+		if err != nil {
+			// A server that can run but not persist is better than one
+			// that refuses to start: log loudly and serve memory-only.
+			s.log.Error("state dir unusable; persistence disabled", "dir", s.cfg.StateDir, "err", err)
+		} else {
+			s.persist = pst
+			if h := pst.healthSummary(); h.Total > 0 {
+				// A node that died degraded comes back degraded: /readyz
+				// reports the restored ledger's health before any pass runs.
+				s.lastHealth = &h
+				s.met.healthyPEFraction.Set(h.HealthyFraction())
+			}
+			if s.cfg.SnapshotInterval > 0 {
+				pst.startLoop(s.cfg.SnapshotInterval)
+			}
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/compile", s.handleCompile)
@@ -245,7 +283,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			}
 		})
 		if s.queued.Load() == 0 {
-			return nil
+			return s.finalSnapshot(ctx)
 		}
 		if time.Since(lastLog) >= time.Second {
 			logStats("draining")
@@ -257,6 +295,46 @@ func (s *Server) Drain(ctx context.Context) error {
 			return fmt.Errorf("serve: drain: %d slots still in flight (oldest request %v): %w",
 				slots, oldest.Round(time.Millisecond), ctx.Err())
 		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// finalSnapshot ends the checkpoint loop and writes the drain-time
+// checkpoint — the one SIGTERM lands on, taken after the queue emptied
+// so every completed pass's wear is in it.
+func (s *Server) finalSnapshot(ctx context.Context) error {
+	if s.persist == nil {
+		return nil
+	}
+	s.persist.stopLoop()
+	if err := s.persist.snapshot(ctx); err != nil {
+		return fmt.Errorf("serve: drain-time chip snapshot: %w", err)
+	}
+	s.log.Info("chip state checkpointed", "dir", s.cfg.StateDir)
+	return nil
+}
+
+// passOpts assembles the run options for one pass over program p and
+// returns the hook to call with the completed pass chip (nil when the
+// pass failed). With persistence active and a canonical-geometry
+// target, the pass leases virtual PE slots from the wear ledger: the
+// chip is built full-height (fixed physical geometry regardless of
+// batch size), pre-aged with the slots' accumulated state, and its
+// exported state folds back on finish. Exotic targets still run — they
+// just bypass the ledger.
+func (s *Server) passOpts(p *program, extra ...compile.RunOption) ([]compile.RunOption, func(*arch.Chip)) {
+	opts := append(append([]compile.RunOption{}, s.runOpts...), extra...)
+	if s.persist == nil || !s.persist.matches(p.ex.Target) {
+		return opts, func(*arch.Chip) {}
+	}
+	var lease *passLease
+	opts = append(opts, compile.WithFullRows(), compile.WithChipInit(func(chip *arch.Chip) error {
+		lease = s.persist.lease(chip.NumPEs())
+		return lease.init(chip)
+	}))
+	return opts, func(chip *arch.Chip) {
+		if lease != nil {
+			lease.finish(chip)
 		}
 	}
 }
@@ -287,8 +365,11 @@ var (
 )
 
 // compileProgram resolves (source, options) to a resident program,
-// compiling at most once per fingerprint. cached reports whether the
-// compile pipeline was skipped.
+// compiling at most once per fingerprint — and, with persistence, at
+// most once per fingerprint *ever*: a cache miss checks the on-disk
+// program store before running the pipeline, and a fresh compilation is
+// written through asynchronously. cached reports whether the compile
+// pipeline was skipped (resident entry or store hit).
 func (s *Server) compileProgram(ctx context.Context, src string, opts Options) (*program, bool, error) {
 	tgt, err := opts.Target()
 	if err != nil {
@@ -296,13 +377,26 @@ func (s *Server) compileProgram(ctx context.Context, src string, opts Options) (
 	}
 	handle := compile.Fingerprint(src, tgt)
 	p, created, evicted := s.cache.getOrCreate(handle, src, tgt, s)
-	if evicted > 0 {
-		s.met.cacheEvictions.Add(int64(evicted))
+	for _, ev := range evicted {
+		ev.releaseStoreWrite()
+	}
+	if len(evicted) > 0 {
+		s.met.cacheEvictions.Add(int64(len(evicted)))
 	}
 	if created {
 		s.met.cacheMisses.Add(1)
+		if s.persist != nil {
+			if ex, ok := s.persist.loadProgram(handle, src, tgt); ok {
+				s.cache.finish(p, ex, nil)
+				return p, true, nil
+			}
+		}
+		s.met.compiles.Add(1)
 		ex, err := compile.CompileSource(src, tgt)
 		s.cache.finish(p, ex, err)
+		if err == nil && s.persist != nil {
+			s.persist.writeThrough(p)
+		}
 		return p, false, err
 	}
 	s.met.cacheHits.Add(1)
@@ -363,6 +457,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("unknown program %s (it may have been evicted; POST /v1/compile again)", req.Program))
 			return
 		}
+		// A by-handle run is a cache hit too; the hit/miss ratio was
+		// blind to this (the most common) path.
+		s.met.cacheHits.Add(1)
 		stop := span.Time("compile")
 		select {
 		case <-p.ready:
@@ -460,16 +557,18 @@ func (s *Server) runTraced(ctx context.Context, w http.ResponseWriter, span *obs
 	stop()
 	defer func() { <-s.sem }()
 	runStart := time.Now()
-	opts := append(append([]compile.RunOption{}, s.runOpts...), compile.WithTrace())
+	opts, finishPass := s.passOpts(p, compile.WithTrace())
 	outs, chip, err := p.ex.RunBatchContext(ctx, req.Inputs, opts...)
 	runDur := time.Since(runStart)
 	span.Phase("run", runDur)
 	s.met.runNS.Add(runDur.Nanoseconds())
 	s.met.runHist.Observe(runDur.Nanoseconds())
 	if err != nil {
+		finishPass(nil)
 		s.writeError(w, "run", s.runStatus(w, err), err)
 		return
 	}
+	finishPass(chip)
 	rep := chip.Report()
 	s.met.searches.Add(rep.Searches)
 	s.met.writes.Add(rep.Writes)
@@ -524,14 +623,19 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 // metrics and remembers its PE health summary for /readyz. Each pass
 // runs on a fresh chip, so the per-chip fault counters add across
 // passes while the health summary (a property of the defect map the
-// seed reproduces every pass) is last-writer-wins.
+// seed reproduces every pass) is last-writer-wins. With persistence
+// the summary comes from the wear ledger instead — lifetime damage,
+// including restored and retired PEs, never a single pass's view.
 func (s *Server) observeHealth(rep arch.Report) {
 	s.met.faultDetected.Add(rep.Faults.Detected)
 	s.met.faultRepairs.Add(int64(rep.Faults.Repairs))
 	s.met.transientUpsets.Add(rep.Faults.TransientUpsets)
 	s.met.spareRetries.Add(rep.Retries)
-	s.met.healthyPEFraction.Set(rep.Health.HealthyFraction())
 	h := rep.Health
+	if s.persist != nil {
+		h = s.persist.healthSummary()
+	}
+	s.met.healthyPEFraction.Set(h.HealthyFraction())
 	s.healthMu.Lock()
 	s.lastHealth = &h
 	s.healthMu.Unlock()

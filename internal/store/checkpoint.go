@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/tcam"
+)
+
+// The chip-state checkpoint half: a single record holding the lifetime
+// state of every virtual PE slot serve has aged (tcam wear counters and
+// Stats.CellWrites, stuck-cell planes, burned spares and
+// logical→physical remaps, per-PE failed latches), plus the geometry
+// and fault configuration it is only valid for. Restore is verified:
+// geometry or fault-config drift makes the checkpoint stale — serve
+// starts fresh rather than aging a differently-shaped chip with it.
+
+// CheckpointVersion is the schema version of chip-state checkpoints.
+const CheckpointVersion = 1
+
+// Checkpoint is the serialized chip lifetime state.
+type Checkpoint struct {
+	// Geometry + fault model the per-PE states were produced under; a
+	// restore into any other configuration is rejected as stale.
+	Rows, Bits int
+	Monolithic bool
+	Faults     tcam.FaultConfig
+
+	// PEs are the virtual PE slots of serve's lifetime ledger, in slot
+	// order. Retired holds PEs that failed mid-pass and were swapped
+	// out for a spare — kept so restored health accounting still sees
+	// them.
+	PEs     []arch.PEState
+	Retired []arch.PEState
+
+	// Retries is the lifetime count of shards replayed on a spare;
+	// Snapshots counts how many checkpoints preceded this one.
+	Retries   int64
+	Snapshots uint64
+}
+
+// Compatible reports whether the checkpoint was produced under the
+// given geometry and fault configuration.
+func (cp *Checkpoint) Compatible(rows, bits int, monolithic bool, fc tcam.FaultConfig) bool {
+	return cp.Rows == rows && cp.Bits == bits && cp.Monolithic == monolithic && cp.Faults == fc
+}
+
+func (s *Store) checkpointPath() string {
+	return filepath.Join(s.chipDir(), "checkpoint")
+}
+
+// SaveCheckpoint atomically replaces the chip-state checkpoint.
+func (s *Store) SaveCheckpoint(ctx context.Context, cp *Checkpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return fmt.Errorf("store: encoding checkpoint: %w", err)
+	}
+	return s.writeAtomic(ctx, s.checkpointPath(), seal(kindChip, CheckpointVersion, buf.Bytes()))
+}
+
+// LoadCheckpoint reads and verifies the chip-state checkpoint. Returns
+// ErrNotFound when none exists and ErrCorrupt (after quarantining) when
+// verification or decoding fails — the caller starts with fresh chip
+// state, never partially restored state.
+func (s *Store) LoadCheckpoint() (*Checkpoint, error) {
+	path := s.checkpointPath()
+	payload, err := s.readVerified(path, kindChip, CheckpointVersion)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cp); err != nil {
+		return nil, s.quarantine(path, fmt.Errorf("decoding checkpoint: %w", err))
+	}
+	return &cp, nil
+}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hyperap/internal/compile"
+)
+
+// The program store half: compiled executables keyed by their
+// compile.Fingerprint ("sha256:<hex>"). The fingerprint covers the
+// source text and the canonical target options, so a stored program is
+// valid for exactly one (source, target) pair — which the caller holds
+// whenever it has a fingerprint, letting the codec rebuild the DFG from
+// source instead of serializing it (compile/persist.go).
+
+// ProgramVersion is the schema version of stored program records; bump
+// it when the compile.persistedExecutable payload changes shape. Old
+// versions are treated as stale (quarantined, recompiled) — a program
+// store is a cache of reproducible work, so forward migration would be
+// wasted complexity.
+const ProgramVersion = 1
+
+// programPath maps a fingerprint handle to its record path, rejecting
+// anything that is not a well-formed "sha256:<hex>" handle so a
+// hostile or buggy handle can never escape the programs directory.
+func (s *Store) programPath(handle string) (string, error) {
+	hex, ok := strings.CutPrefix(handle, "sha256:")
+	if !ok || hex == "" || len(hex) != 64 {
+		return "", fmt.Errorf("store: malformed program handle %q", handle)
+	}
+	for _, c := range hex {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("store: malformed program handle %q", handle)
+		}
+	}
+	return filepath.Join(s.programDir(), hex+".prog"), nil
+}
+
+// LoadProgram fetches and decodes the stored program for a fingerprint
+// handle. src and tgt must be the pair the fingerprint was computed
+// from. Returns ErrNotFound when no record exists and ErrCorrupt (after
+// quarantining) when the record or its payload fails verification —
+// both mean "recompile", never "crash" or "serve garbage".
+func (s *Store) LoadProgram(handle, src string, tgt compile.Target) (*compile.Executable, error) {
+	path, err := s.programPath(handle)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := s.readVerified(path, kindProgram, ProgramVersion)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := compile.DecodeExecutable(payload, src, tgt)
+	if err != nil {
+		// The envelope was intact but the payload does not decode to a
+		// program for this (source, target): a stale or mis-filed entry.
+		return nil, s.quarantine(path, err)
+	}
+	return ex, nil
+}
+
+// SaveProgram writes a compiled program through to disk under its
+// fingerprint handle. The context is honored mid-write: a canceled
+// write-through (program evicted before the write landed) removes its
+// temp file and leaves any previous record in place.
+func (s *Store) SaveProgram(ctx context.Context, handle string, ex *compile.Executable) error {
+	path, err := s.programPath(handle)
+	if err != nil {
+		return err
+	}
+	payload, err := compile.EncodeExecutable(ex)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(ctx, path, seal(kindProgram, ProgramVersion, payload))
+}
+
+// HasProgram reports whether an (unverified) record exists for the
+// handle — a cheap existence probe for tests and metrics.
+func (s *Store) HasProgram(handle string) bool {
+	path, err := s.programPath(handle)
+	if err != nil {
+		return false
+	}
+	_, statErr := os.Stat(path)
+	return statErr == nil
+}

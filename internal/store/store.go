@@ -1,0 +1,275 @@
+// Package store is the crash-safe persistence layer under hyperap-serve:
+// a content-addressed on-disk program store (compile once per
+// fingerprint, ever) and a chip-state checkpoint (wear counters, stuck
+// cells, burned spares, remaps and PE health survive restarts).
+//
+// Every record on disk is a checksummed envelope written atomically:
+//
+//	magic   [8]byte  "HYAPSTO1"
+//	kind    [4]byte  "PROG" | "CHIP"
+//	version uint32   schema version of the payload, little-endian
+//	length  uint64   payload byte count, little-endian
+//	sum     [32]byte SHA-256 of the payload
+//	payload [length]byte
+//
+// Writes go to a temp file in the same directory, are fsynced, and
+// rename into place — a crash leaves either the old record or the new
+// one, never a blend, on a POSIX filesystem. Reads verify the envelope
+// end to end; anything that fails (truncation, bit rot, a torn rename
+// on a weaker filesystem, a schema from the future) is quarantined by
+// renaming it to <name>.corrupt and reported as ErrCorrupt so the
+// caller falls back — to recompilation for programs, to fresh chip
+// state for checkpoints. The store never lets corrupt bytes reach a
+// decoder, and never deletes evidence.
+//
+// The crash-torture test drives the writer through the failAfter /
+// tornRename hooks below, simulating kills at every byte offset.
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	magic = "HYAPSTO1"
+
+	kindProgram = "PROG"
+	kindChip    = "CHIP"
+
+	headerLen = 8 + 4 + 4 + 8 + 32
+)
+
+var (
+	// ErrNotFound reports that no record exists under the key.
+	ErrNotFound = errors.New("store: not found")
+	// ErrCorrupt reports that a record existed but failed envelope
+	// verification; it has been quarantined (renamed to *.corrupt).
+	ErrCorrupt = errors.New("store: corrupt record quarantined")
+)
+
+// Store is a state directory holding the program store and the chip
+// checkpoint. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	// Test hooks for the crash-torture harness. failAfter >= 0 makes
+	// writeAtomic stop after that many payload-file bytes and return
+	// errSimulatedCrash *without cleaning up* — exactly what a kill
+	// mid-write leaves behind. tornRename additionally renames the
+	// partial temp file into place, modeling a filesystem whose rename
+	// is not atomic with respect to the data.
+	failAfter  int
+	tornRename bool
+}
+
+var errSimulatedCrash = errors.New("store: simulated crash")
+
+// Open creates (if needed) and opens a state directory. Orphaned temp
+// files from a previous crash are removed; quarantined *.corrupt files
+// are left in place as evidence.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, failAfter: -1}
+	for _, sub := range []string{s.programDir(), s.chipDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", sub, err)
+		}
+	}
+	s.sweepTemp()
+	return s, nil
+}
+
+// Dir returns the state directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) programDir() string { return filepath.Join(s.dir, "programs") }
+func (s *Store) chipDir() string    { return filepath.Join(s.dir, "chip") }
+
+const tempPrefix = ".tmp-"
+
+// sweepTemp removes temp files abandoned by a crashed writer. Safe by
+// construction: a temp file is never the authoritative copy of
+// anything (rename is the commit point).
+func (s *Store) sweepTemp() {
+	for _, dir := range []string{s.programDir(), s.chipDir()} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), tempPrefix) {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+}
+
+// TempFiles returns the in-flight temp files currently present under
+// the state directory (the eviction-cancel test asserts it is empty).
+func (s *Store) TempFiles() []string {
+	var out []string
+	for _, dir := range []string{s.programDir(), s.chipDir()} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), tempPrefix) {
+				out = append(out, filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// seal wraps a payload in the checksummed envelope.
+func seal(kind string, version uint32, payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, magic...)
+	out = append(out, kind...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// unseal verifies an envelope and returns its payload. Any structural
+// or checksum failure returns a descriptive error; the caller decides
+// whether to quarantine.
+func unseal(kind string, wantVersion uint32, data []byte) ([]byte, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("store: %d-byte record shorter than %d-byte header", len(data), headerLen)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", data[:8])
+	}
+	if string(data[8:12]) != kind {
+		return nil, fmt.Errorf("store: record kind %q, want %q", data[8:12], kind)
+	}
+	version := binary.LittleEndian.Uint32(data[12:16])
+	if version != wantVersion {
+		return nil, fmt.Errorf("store: record schema v%d, want v%d", version, wantVersion)
+	}
+	length := binary.LittleEndian.Uint64(data[16:24])
+	payload := data[headerLen:]
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), length)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[24:24+32]) {
+		return nil, errors.New("store: payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeAtomic commits data to path via temp-file + fsync + rename. The
+// context is checked between chunks so an in-flight write-through can
+// be canceled (programCache eviction); cancellation removes the temp
+// file. The failAfter/tornRename hooks simulate crashes and do NOT
+// clean up — that is the point.
+func (s *Store) writeAtomic(ctx context.Context, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+
+	const chunk = 64 << 10
+	written := 0
+	for written < len(data) {
+		if err := ctx.Err(); err != nil {
+			return cleanup(fmt.Errorf("store: write canceled: %w", err))
+		}
+		end := written + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if s.failAfter >= 0 && s.failAfter < end {
+			end = s.failAfter
+		}
+		if _, err := f.Write(data[written:end]); err != nil {
+			return cleanup(fmt.Errorf("store: writing %s: %w", tmp, err))
+		}
+		written = end
+		if s.failAfter >= 0 && written >= s.failAfter {
+			// Simulated kill: leave the partial temp file (and, in torn
+			// mode, rename it over the destination) exactly as a crash
+			// would.
+			f.Close()
+			if s.tornRename {
+				os.Rename(tmp, path)
+			}
+			return errSimulatedCrash
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("store: closing %s: %w", tmp, err))
+	}
+	if err := ctx.Err(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write canceled: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename itself is durable. Failure
+// is not fatal (some filesystems refuse directory fsync); the envelope
+// checksum still catches anything that did not survive.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// readVerified loads and verifies one record. A missing file is
+// ErrNotFound; a verification failure quarantines the file and returns
+// ErrCorrupt (wrapped with the cause).
+func (s *Store) readVerified(path, kind string, version uint32) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	payload, err := unseal(kind, version, data)
+	if err != nil {
+		return nil, s.quarantine(path, err)
+	}
+	return payload, nil
+}
+
+// quarantine renames a failed record to <path>.corrupt (overwriting any
+// earlier quarantined copy) so the slot is free for a rewrite while the
+// bad bytes remain inspectable.
+func (s *Store) quarantine(path string, cause error) error {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Quarantine is best-effort: even if the rename fails the caller
+		// still treats the record as corrupt and falls back.
+		return fmt.Errorf("%w (quarantine failed: %v): %v", ErrCorrupt, err, cause)
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, cause)
+}

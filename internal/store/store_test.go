@@ -1,0 +1,236 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyperap/internal/arch"
+	"hyperap/internal/bits"
+	"hyperap/internal/compile"
+	"hyperap/internal/tcam"
+)
+
+const addSrc = `unsigned int(6) main(unsigned int(5) a, unsigned int(5) b){ return a + b; }`
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// compiled memoizes one real compilation for the whole test binary.
+var compiled *compile.Executable
+
+func testExecutable(t *testing.T) (*compile.Executable, string) {
+	t.Helper()
+	tgt := compile.HyperTarget()
+	if compiled == nil {
+		ex, err := compile.CompileSource(addSrc, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled = ex
+	}
+	return compiled, compile.Fingerprint(addSrc, tgt)
+}
+
+// testCheckpoint builds a checkpoint with real aged-PE payload in it.
+func testCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	fc := tcam.FaultConfig{SpareRows: 2}
+	d := tcam.NewSeparatedWithFaults(8, 4, tcam.DefaultParams(), fc, 0)
+	for r := 0; r < 8; r++ {
+		for b := 0; b < 4; b++ {
+			if err := d.Load(r, b, bits.S1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return &Checkpoint{
+		Rows: 8, Bits: 4, Faults: fc,
+		PEs:     []arch.PEState{{Design: d.ExportState()}},
+		Retired: []arch.PEState{{Design: d.ExportState(), Failed: true}},
+		Retries: 3, Snapshots: 7,
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	s := openStore(t)
+	ex, handle := testExecutable(t)
+	if _, err := s.LoadProgram(handle, addSrc, ex.Target); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store load = %v, want ErrNotFound", err)
+	}
+	if err := s.SaveProgram(context.Background(), handle, ex); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasProgram(handle) {
+		t.Fatal("saved program not found")
+	}
+	got, err := s.LoadProgram(handle, addSrc, ex.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Prog, ex.Prog) || !reflect.DeepEqual(got.Inputs, ex.Inputs) {
+		t.Error("stored program did not round-trip")
+	}
+	// Overwrite is fine (same content, atomic replace).
+	if err := s.SaveProgram(context.Background(), handle, ex); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramHandleValidation(t *testing.T) {
+	s := openStore(t)
+	ex, _ := testExecutable(t)
+	for _, h := range []string{
+		"", "sha256:", "md5:abcd", "sha256:xyz",
+		"sha256:" + strings.Repeat("A", 64), // uppercase hex is not canonical
+		"sha256:../../../etc/passwd0123456789012345678901234567890123456789012",
+	} {
+		if err := s.SaveProgram(context.Background(), h, ex); err == nil {
+			t.Errorf("malformed handle %q accepted", h)
+		}
+		if s.HasProgram(h) {
+			t.Errorf("malformed handle %q reported present", h)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store load = %v, want ErrNotFound", err)
+	}
+	cp := testCheckpoint(t)
+	if err := s.SaveCheckpoint(context.Background(), cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Error("checkpoint did not round-trip")
+	}
+	if !got.Compatible(8, 4, false, cp.Faults) {
+		t.Error("checkpoint incompatible with its own geometry")
+	}
+	for _, bad := range []struct{ r, b int }{{16, 4}, {8, 8}} {
+		if got.Compatible(bad.r, bad.b, false, cp.Faults) {
+			t.Errorf("checkpoint compatible with wrong geometry %v", bad)
+		}
+	}
+	if got.Compatible(8, 4, true, cp.Faults) || got.Compatible(8, 4, false, tcam.FaultConfig{SpareRows: 3}) {
+		t.Error("checkpoint compatible with wrong design/fault config")
+	}
+}
+
+// TestCorruptionQuarantine: every corrupted byte range fails
+// verification, quarantines the record, and leaves the caller on the
+// fallback path (ErrCorrupt then ErrNotFound).
+func TestCorruptionQuarantine(t *testing.T) {
+	s := openStore(t)
+	cp := testCheckpoint(t)
+	if err := s.SaveCheckpoint(context.Background(), cp); err != nil {
+		t.Fatal(err)
+	}
+	path := s.checkpointPath()
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"magic":     func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"kind":      func(b []byte) []byte { copy(b[8:12], "PROG"); return b },
+		"version":   func(b []byte) []byte { b[12] = 99; return b },
+		"length":    func(b []byte) []byte { b[16] ^= 1; return b },
+		"sum":       func(b []byte) []byte { b[24] ^= 1; return b },
+		"payload":   func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)/3] },
+		"header":    func(b []byte) []byte { return b[:headerLen-1] },
+	} {
+		bad := mutate(append([]byte(nil), good...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s corruption: load = %v, want ErrCorrupt", name, err)
+		}
+		if _, err := os.Stat(path + ".corrupt"); err != nil {
+			t.Errorf("%s corruption: no quarantine file", name)
+		}
+		if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s corruption: post-quarantine load = %v, want ErrNotFound", name, err)
+		}
+	}
+	// A truncated gob inside a VALID envelope (envelope resealed around
+	// garbage) must also quarantine, via the decoder.
+	bad := seal(kindChip, CheckpointVersion, []byte("not a gob"))
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad gob in valid envelope: load = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWriteCancelRemovesTemp: a canceled write-through leaves no temp
+// file and does not touch the previous record.
+func TestWriteCancelRemovesTemp(t *testing.T) {
+	s := openStore(t)
+	cp := testCheckpoint(t)
+	if err := s.SaveCheckpoint(context.Background(), cp); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cp2 := testCheckpoint(t)
+	cp2.Retries = 999
+	if err := s.SaveCheckpoint(ctx, cp2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled save = %v, want context.Canceled", err)
+	}
+	if tmp := s.TempFiles(); len(tmp) != 0 {
+		t.Errorf("canceled write left temp files: %v", tmp)
+	}
+	got, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Retries != cp.Retries {
+		t.Error("canceled write replaced the previous record")
+	}
+}
+
+// TestOpenSweepsTemps: orphaned temp files from a crashed writer are
+// removed at Open; quarantined evidence is kept.
+func TestOpenSweepsTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(s.chipDir(), tempPrefix+"checkpoint-123")
+	evidence := filepath.Join(s.chipDir(), "checkpoint.corrupt")
+	for _, p := range []string{orphan, evidence} {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Error("orphaned temp file survived Open")
+	}
+	if _, err := os.Stat(evidence); err != nil {
+		t.Error("quarantined evidence removed by Open")
+	}
+}

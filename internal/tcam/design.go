@@ -90,6 +90,12 @@ type Design interface {
 	// Arrays exposes the underlying crossbars (2 for separated, 1 for
 	// monolithic) so callers can inspect per-array wear and faults.
 	Arrays() []*Crossbar
+	// ExportState snapshots the design's full lifetime state (planes,
+	// wear, stuck cells, repair remap) for checkpointing (state.go).
+	ExportState() DesignState
+	// ImportState restores a previously exported state into this design.
+	// Geometry and design kind must match; on error nothing is modified.
+	ImportState(DesignState) error
 }
 
 func stateCells(s bits.State) (t, f Resist) {

@@ -1,0 +1,424 @@
+package tcam
+
+import (
+	"fmt"
+
+	"hyperap/internal/bits"
+)
+
+// This file is the serialization boundary of the TCAM layer: everything
+// that makes chip state a *lifetime* property rather than a
+// process-lifetime one — per-cell wear counters, stuck-cell planes,
+// burned spares and the logical→physical remap — can be exported as
+// plain data and re-imported into a freshly constructed array. The store
+// package persists these structures; serve uses them both for durable
+// checkpoints and to pre-age the fresh chip each batch pass builds.
+//
+// What is deliberately NOT serialized: the per-crossbar math/rand stream
+// driving future fault draws. A restore reproduces the accumulated
+// damage exactly (wear, stuck cells, remaps, counters) but the fault
+// stream after the restore point continues from the fresh construction
+// seed — determinism of *future* faults across a restart is not a
+// checkpoint invariant, accumulated state is.
+
+// CrossbarState is the serializable lifetime state of one crossbar. All
+// planes are LSB-first uint64 words as produced by bits.Vec.Words.
+type CrossbarState struct {
+	Rows        int
+	Cols        int
+	LogicalRows int
+
+	Planes [][]uint64 // per-column programmed-LRS plane (len Cols)
+	Wear   []uint32   // per-cell programming-pulse counts, row-major
+
+	// Stuck planes are nil when the crossbar has never had a stuck cell
+	// (the healthy fast path stays plane-free after a restore too).
+	StuckH [][]uint64 // per-column stuck-at-HRS plane
+	StuckL [][]uint64 // per-column stuck-at-LRS plane
+
+	InjectedStuck   int
+	EnduranceFailed int
+	TransientUpsets int64
+
+	Stats Stats
+}
+
+// ExportState snapshots the crossbar's full state. The result shares no
+// memory with the crossbar.
+func (c *Crossbar) ExportState() CrossbarState {
+	st := CrossbarState{
+		Rows:            c.rows,
+		Cols:            c.cols,
+		LogicalRows:     c.logicalRows,
+		Wear:            append([]uint32(nil), c.wear...),
+		InjectedStuck:   c.injectedStuck,
+		EnduranceFailed: c.enduranceFailed,
+		TransientUpsets: c.transientUpsets,
+		Stats:           c.Stats,
+	}
+	st.Planes = make([][]uint64, c.cols)
+	for col, p := range c.planes {
+		st.Planes[col] = p.Words()
+	}
+	if c.stuckAny != nil {
+		st.StuckH = make([][]uint64, c.cols)
+		st.StuckL = make([][]uint64, c.cols)
+		for col := 0; col < c.cols; col++ {
+			st.StuckH[col] = c.stuckH[col].Words()
+			st.StuckL[col] = c.stuckL[col].Words()
+		}
+	}
+	return st
+}
+
+// validate checks st against the crossbar's geometry without mutating
+// anything, so a failed import leaves the crossbar untouched. It is a
+// complete dry run — plane word counts and stray bits included — which
+// lets the design-level imports validate everything first and then
+// apply without a failure path.
+func (c *Crossbar) validate(st CrossbarState) error {
+	if st.Rows != c.rows || st.Cols != c.cols {
+		return fmt.Errorf("tcam: state geometry %dx%d does not match crossbar %dx%d", st.Rows, st.Cols, c.rows, c.cols)
+	}
+	if st.LogicalRows != c.logicalRows {
+		return fmt.Errorf("tcam: state logical rows %d does not match crossbar %d", st.LogicalRows, c.logicalRows)
+	}
+	if len(st.Planes) != c.cols {
+		return fmt.Errorf("tcam: %d state planes for %d columns", len(st.Planes), c.cols)
+	}
+	if len(st.Wear) != len(c.wear) {
+		return fmt.Errorf("tcam: %d wear entries for %d cells", len(st.Wear), len(c.wear))
+	}
+	if (st.StuckH == nil) != (st.StuckL == nil) {
+		return fmt.Errorf("tcam: stuck planes half-present in state")
+	}
+	if st.StuckH != nil && (len(st.StuckH) != c.cols || len(st.StuckL) != c.cols) {
+		return fmt.Errorf("tcam: %d/%d stuck planes for %d columns", len(st.StuckH), len(st.StuckL), c.cols)
+	}
+	for name, planes := range map[string][][]uint64{"data": st.Planes, "stuckH": st.StuckH, "stuckL": st.StuckL} {
+		for col, p := range planes {
+			if _, err := bits.VecFromWords(c.rows, p); err != nil {
+				return fmt.Errorf("tcam: column %d %s plane: %w", col, name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ImportState overwrites the crossbar's state from a snapshot. Geometry
+// must match exactly; on error the crossbar is unchanged. The rng stream
+// is not part of the snapshot (see the file comment).
+func (c *Crossbar) ImportState(st CrossbarState) error {
+	if err := c.validate(st); err != nil {
+		return err
+	}
+	planes := make([]*bits.Vec, c.cols)
+	for col := range planes {
+		v, err := bits.VecFromWords(c.rows, st.Planes[col])
+		if err != nil {
+			return fmt.Errorf("tcam: column %d plane: %w", col, err)
+		}
+		planes[col] = v
+	}
+	var sh, sl, sa []*bits.Vec
+	if st.StuckH != nil {
+		sh = make([]*bits.Vec, c.cols)
+		sl = make([]*bits.Vec, c.cols)
+		sa = make([]*bits.Vec, c.cols)
+		for col := 0; col < c.cols; col++ {
+			h, err := bits.VecFromWords(c.rows, st.StuckH[col])
+			if err != nil {
+				return fmt.Errorf("tcam: column %d stuckH plane: %w", col, err)
+			}
+			l, err := bits.VecFromWords(c.rows, st.StuckL[col])
+			if err != nil {
+				return fmt.Errorf("tcam: column %d stuckL plane: %w", col, err)
+			}
+			a := h.Clone()
+			a.Or(l)
+			sh[col], sl[col], sa[col] = h, l, a
+		}
+	}
+	c.planes = planes
+	copy(c.wear, st.Wear)
+	c.stuckH, c.stuckL, c.stuckAny = sh, sl, sa
+	c.injectedStuck = st.InjectedStuck
+	c.enduranceFailed = st.EnduranceFailed
+	c.transientUpsets = st.TransientUpsets
+	c.Stats = st.Stats
+	return nil
+}
+
+// RepairSnapshot is the serializable repair state of one array design:
+// the logical→physical remap, the spare free-list position, and the
+// repair counters.
+type RepairSnapshot struct {
+	Logical   int
+	PhysRows  int
+	Remap     []int
+	NextSpare int
+
+	Detected     int64
+	Repairs      int
+	RepairPulses int64
+}
+
+func (rs *repairState) export() RepairSnapshot {
+	return RepairSnapshot{
+		Logical:      rs.logical,
+		PhysRows:     rs.physRows,
+		Remap:        append([]int(nil), rs.remap...),
+		NextSpare:    rs.nextSpare,
+		Detected:     rs.detected,
+		Repairs:      rs.repairs,
+		RepairPulses: rs.repairPulses,
+	}
+}
+
+func (rs *repairState) validate(s RepairSnapshot) error {
+	if s.Logical != rs.logical || s.PhysRows != rs.physRows {
+		return fmt.Errorf("tcam: repair geometry %d/%d does not match array %d/%d", s.Logical, s.PhysRows, rs.logical, rs.physRows)
+	}
+	if len(s.Remap) != rs.logical {
+		return fmt.Errorf("tcam: remap has %d entries for %d logical rows", len(s.Remap), rs.logical)
+	}
+	if s.NextSpare < rs.logical || s.NextSpare > s.PhysRows {
+		return fmt.Errorf("tcam: next spare %d out of range [%d,%d]", s.NextSpare, rs.logical, s.PhysRows)
+	}
+	seen := make(map[int]bool, len(s.Remap))
+	for r, p := range s.Remap {
+		if p < 0 || p >= s.PhysRows {
+			return fmt.Errorf("tcam: remap[%d]=%d out of %d physical rows", r, p, s.PhysRows)
+		}
+		if seen[p] {
+			return fmt.Errorf("tcam: remap maps two logical rows to physical row %d", p)
+		}
+		seen[p] = true
+		// A non-identity target must be a consumed spare.
+		if p != r && (p < rs.logical || p >= s.NextSpare) {
+			return fmt.Errorf("tcam: remap[%d]=%d is not a consumed spare", r, p)
+		}
+	}
+	return nil
+}
+
+func (rs *repairState) importSnapshot(s RepairSnapshot) error {
+	if err := rs.validate(s); err != nil {
+		return err
+	}
+	copy(rs.remap, s.Remap)
+	rs.nextSpare = s.NextSpare
+	rs.detected = s.Detected
+	rs.repairs = s.Repairs
+	rs.repairPulses = s.RepairPulses
+	rs.remapped = false
+	live := bits.NewVec(rs.physRows)
+	for r, p := range rs.remap {
+		live.Set(p, true)
+		if p != r {
+			rs.remapped = true
+		}
+	}
+	rs.live = live
+	return nil
+}
+
+// DesignState is the serializable lifetime state of one TCAM array
+// design: per-crossbar states plus the repair remap.
+type DesignState struct {
+	Separated bool
+	Arrays    []CrossbarState
+	Repair    RepairSnapshot
+}
+
+// ExportState snapshots the full design state.
+func (d *Separated) ExportState() DesignState {
+	return DesignState{
+		Separated: true,
+		Arrays:    []CrossbarState{d.a.ExportState(), d.b.ExportState()},
+		Repair:    d.rs.export(),
+	}
+}
+
+// ImportState restores a previously exported state; geometry (rows,
+// bits, spare provisioning, design kind) must match. On error nothing
+// is modified.
+func (d *Separated) ImportState(st DesignState) error {
+	if !st.Separated || len(st.Arrays) != 2 {
+		return fmt.Errorf("tcam: state is not a separated design (%d arrays)", len(st.Arrays))
+	}
+	if err := d.a.validate(st.Arrays[0]); err != nil {
+		return err
+	}
+	if err := d.b.validate(st.Arrays[1]); err != nil {
+		return err
+	}
+	if err := d.rs.validate(st.Repair); err != nil {
+		return err
+	}
+	// All validated: the individual imports below cannot fail.
+	mustImport(d.a, st.Arrays[0])
+	mustImport(d.b, st.Arrays[1])
+	mustImportRepair(d.rs, st.Repair)
+	return nil
+}
+
+// ExportState snapshots the full design state.
+func (d *Monolithic) ExportState() DesignState {
+	return DesignState{
+		Arrays: []CrossbarState{d.x.ExportState()},
+		Repair: d.rs.export(),
+	}
+}
+
+// ImportState restores a previously exported state (see
+// Separated.ImportState).
+func (d *Monolithic) ImportState(st DesignState) error {
+	if st.Separated || len(st.Arrays) != 1 {
+		return fmt.Errorf("tcam: state is not a monolithic design (%d arrays)", len(st.Arrays))
+	}
+	if err := d.x.validate(st.Arrays[0]); err != nil {
+		return err
+	}
+	if err := d.rs.validate(st.Repair); err != nil {
+		return err
+	}
+	mustImport(d.x, st.Arrays[0])
+	mustImportRepair(d.rs, st.Repair)
+	return nil
+}
+
+func mustImport(c *Crossbar, st CrossbarState) {
+	if err := c.ImportState(st); err != nil {
+		panic("tcam: validated state failed to import: " + err.Error())
+	}
+}
+
+func mustImportRepair(rs *repairState, s RepairSnapshot) {
+	if err := rs.importSnapshot(s); err != nil {
+		panic("tcam: validated repair state failed to import: " + err.Error())
+	}
+}
+
+// Degraded reports whether the state carries structural damage: a row
+// remapped off its identity slot, spares consumed, or stuck cells
+// beyond the crossbars' construction-time defect map cannot be told
+// apart here, so any consumed spare or non-identity remap counts. This
+// is the persistent signal behind "a node that died degraded comes back
+// degraded": it survives ClearActivity, unlike the per-pass counters.
+func (st *DesignState) Degraded() bool {
+	if st.Repair.NextSpare > st.Repair.Logical {
+		return true
+	}
+	for r, p := range st.Repair.Remap {
+		if p != r {
+			return true
+		}
+	}
+	for _, a := range st.Arrays {
+		if a.EnduranceFailed > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ClearData erases the programmed data planes (back to all-HRS, the
+// erased state every compiled program assumes) while keeping wear,
+// stuck cells, remaps and counters. Serve uses this to pre-age the
+// fresh chip each batch pass builds: the pass needs the damage, not the
+// previous pass's data.
+func (st *DesignState) ClearData() {
+	for _, a := range st.Arrays {
+		for _, p := range a.Planes {
+			for i := range p {
+				p[i] = 0
+			}
+		}
+	}
+}
+
+// ClearActivity zeroes the activity counters (Stats, upsets, verify /
+// repair counts) while keeping structural state. A pass chip seeded
+// with a cleared copy reports only its own pass's activity, so serve's
+// per-pass metrics are not inflated by history; AccumulateActivity adds
+// the history back when the pass's export is folded into the ledger.
+func (st *DesignState) ClearActivity() {
+	for i := range st.Arrays {
+		st.Arrays[i].Stats = Stats{}
+		st.Arrays[i].TransientUpsets = 0
+	}
+	st.Repair.Detected = 0
+	st.Repair.Repairs = 0
+	st.Repair.RepairPulses = 0
+}
+
+// AccumulateActivity adds prev's activity counters into st. Structural
+// state (planes, wear, stuck, remap) is already absolute in st — wear
+// was imported before the pass and only grew — so only the counters
+// ClearActivity zeroed need re-basing.
+func (st *DesignState) AccumulateActivity(prev *DesignState) {
+	n := len(st.Arrays)
+	if len(prev.Arrays) < n {
+		n = len(prev.Arrays)
+	}
+	for i := 0; i < n; i++ {
+		a, p := &st.Arrays[i], &prev.Arrays[i]
+		a.Stats.Searches += p.Stats.Searches
+		a.Stats.SearchedCells += p.Stats.SearchedCells
+		a.Stats.CellWrites += p.Stats.CellWrites
+		a.Stats.HalfSelected += p.Stats.HalfSelected
+		a.Stats.DisturbViolations += p.Stats.DisturbViolations
+		a.TransientUpsets += p.TransientUpsets
+	}
+	st.Repair.Detected += prev.Repair.Detected
+	st.Repair.Repairs += prev.Repair.Repairs
+	st.Repair.RepairPulses += prev.Repair.RepairPulses
+}
+
+// Clone returns a deep copy of the state.
+func (st *DesignState) Clone() DesignState {
+	c := DesignState{Separated: st.Separated, Repair: st.Repair}
+	c.Repair.Remap = append([]int(nil), st.Repair.Remap...)
+	c.Arrays = make([]CrossbarState, len(st.Arrays))
+	for i, a := range st.Arrays {
+		ca := a
+		ca.Wear = append([]uint32(nil), a.Wear...)
+		ca.Planes = clonePlanes(a.Planes)
+		ca.StuckH = clonePlanes(a.StuckH)
+		ca.StuckL = clonePlanes(a.StuckL)
+		c.Arrays[i] = ca
+	}
+	return c
+}
+
+func clonePlanes(ps [][]uint64) [][]uint64 {
+	if ps == nil {
+		return nil
+	}
+	out := make([][]uint64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]uint64(nil), p...)
+	}
+	return out
+}
+
+// MaxWear returns the highest per-cell programming-pulse count in the
+// state (any array, any cell, spares included).
+func (st *DesignState) MaxWear() uint32 {
+	var m uint32
+	for _, a := range st.Arrays {
+		for _, n := range a.Wear {
+			if n > m {
+				m = n
+			}
+		}
+	}
+	return m
+}
+
+// SparesUsed returns the number of consumed spare rows (including
+// burned ones).
+func (st *DesignState) SparesUsed() int {
+	return st.Repair.NextSpare - st.Repair.Logical
+}

@@ -1,0 +1,180 @@
+package tcam
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperap/internal/bits"
+)
+
+// ageDesign loads data, wears cells and forces one write-verify repair
+// so the exported state carries every kind of lifetime payload: data
+// planes, wear counters, a stuck cell, a consumed spare and a remap.
+func ageDesign(t *testing.T, d Design) {
+	t.Helper()
+	d.Arrays()[0].ForceStuck(2, 1, HRS)
+	for r := 0; r < 4; r++ {
+		for b := 0; b < 3; b++ {
+			if err := d.Load(r, b, bits.S1); err != nil {
+				t.Fatalf("load (%d,%d): %v", r, b, err)
+			}
+		}
+	}
+	sel := []bool{false, false, true, true}
+	if _, err := d.Write(1, bits.K0, sel); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d.FaultReport().Repairs < 1 {
+		t.Fatal("aging did not trigger a repair; the fixture drifted")
+	}
+}
+
+func TestDesignStateRoundTrip(t *testing.T) {
+	fc := FaultConfig{SpareRows: 2}
+	for _, tc := range []struct {
+		name string
+		mk   func() Design
+	}{
+		{"separated", func() Design { return NewSeparatedWithFaults(4, 3, DefaultParams(), fc, 0) }},
+		{"monolithic", func() Design { return NewMonolithicWithFaults(4, 3, DefaultParams(), fc, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := tc.mk()
+			ageDesign(t, src)
+			st := src.ExportState()
+			if !st.Degraded() {
+				t.Error("a repaired design must export a degraded state")
+			}
+
+			dst := tc.mk()
+			if err := dst.ImportState(st); err != nil {
+				t.Fatalf("import: %v", err)
+			}
+			if got := dst.ExportState(); !reflect.DeepEqual(got, st) {
+				t.Errorf("re-export differs from imported state:\n got %+v\nwant %+v", got, st)
+			}
+			// Behavioral equivalence, not just structural: same readback,
+			// same matches.
+			for r := 0; r < 4; r++ {
+				for b := 0; b < 3; b++ {
+					if got, want := dst.State(r, b), src.State(r, b); got != want {
+						t.Errorf("state(%d,%d) = %v, want %v", r, b, got, want)
+					}
+				}
+			}
+			keys := []bits.Key{bits.KDC, bits.K0, bits.KDC}
+			if got, want := dst.Search(keys), src.Search(keys); !reflect.DeepEqual(got, want) {
+				t.Errorf("search = %v, want %v", got, want)
+			}
+			if got, want := dst.FaultReport(), src.FaultReport(); got != want {
+				t.Errorf("fault report = %+v, want %+v", got, want)
+			}
+			if got, want := dst.WearReport(), src.WearReport(); got != want {
+				t.Errorf("wear report = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestDesignStateImportRejects(t *testing.T) {
+	fc := FaultConfig{SpareRows: 2}
+	src := NewSeparatedWithFaults(4, 3, DefaultParams(), fc, 0)
+	ageDesign(t, src)
+	st := src.ExportState()
+
+	// Wrong geometry, wrong spare provisioning, wrong design kind: all
+	// must reject and leave the target untouched.
+	for name, dst := range map[string]Design{
+		"rows":   NewSeparatedWithFaults(8, 3, DefaultParams(), fc, 0),
+		"bits":   NewSeparatedWithFaults(4, 2, DefaultParams(), fc, 0),
+		"spares": NewSeparatedWithFaults(4, 3, DefaultParams(), FaultConfig{SpareRows: 1}, 0),
+		"kind":   NewMonolithicWithFaults(4, 3, DefaultParams(), fc, 0),
+	} {
+		before := dst.ExportState()
+		if err := dst.ImportState(st); err == nil {
+			t.Errorf("%s mismatch imported without error", name)
+		}
+		if after := dst.ExportState(); !reflect.DeepEqual(before, after) {
+			t.Errorf("%s: failed import mutated the design", name)
+		}
+	}
+
+	// A corrupted plane (stray bits above the row count) must reject:
+	// corrupted vectors cannot round-trip silently.
+	bad := st.Clone()
+	bad.Arrays[0].Planes[0][0] |= 1 << 63 // rows=4+spares, well below 64
+	dst := NewSeparatedWithFaults(4, 3, DefaultParams(), fc, 0)
+	if err := dst.ImportState(bad); err == nil {
+		t.Error("stray plane bits imported without error")
+	}
+
+	// A remap pointing at an unconsumed spare is inconsistent.
+	bad = st.Clone()
+	bad.Repair.Remap[0] = bad.Repair.NextSpare
+	if err := dst.ImportState(bad); err == nil {
+		t.Error("remap to unconsumed spare imported without error")
+	}
+}
+
+func TestDesignStateClearAndAccumulate(t *testing.T) {
+	src := NewSeparatedWithFaults(4, 3, DefaultParams(), FaultConfig{SpareRows: 2}, 0)
+	ageDesign(t, src)
+	full := src.ExportState()
+
+	pass := full.Clone()
+	pass.ClearData()
+	pass.ClearActivity()
+	for _, a := range pass.Arrays {
+		for _, p := range a.Planes {
+			for _, w := range p {
+				if w != 0 {
+					t.Fatal("ClearData left programmed bits")
+				}
+			}
+		}
+		if a.Stats != (Stats{}) || a.TransientUpsets != 0 {
+			t.Fatal("ClearActivity left activity counters")
+		}
+	}
+	if pass.Repair.Detected != 0 || pass.Repair.Repairs != 0 || pass.Repair.RepairPulses != 0 {
+		t.Fatal("ClearActivity left repair counters")
+	}
+	// Structure survives clearing: that is the "restarts degraded"
+	// invariant.
+	if !pass.Degraded() {
+		t.Error("clearing activity must not clear structural degradation")
+	}
+	if pass.MaxWear() != full.MaxWear() || pass.SparesUsed() != full.SparesUsed() {
+		t.Error("clearing activity must not clear wear or consumed spares")
+	}
+
+	// Accumulate restores exactly the counters clearing removed.
+	pass.AccumulateActivity(&full)
+	for i := range pass.Arrays {
+		if pass.Arrays[i].Stats != full.Arrays[i].Stats {
+			t.Errorf("array %d stats = %+v, want %+v", i, pass.Arrays[i].Stats, full.Arrays[i].Stats)
+		}
+		if pass.Arrays[i].TransientUpsets != full.Arrays[i].TransientUpsets {
+			t.Errorf("array %d upsets differ after accumulate", i)
+		}
+	}
+	if pass.Repair.Detected != full.Repair.Detected || pass.Repair.Repairs != full.Repair.Repairs {
+		t.Errorf("repair counters = %+v, want %+v", pass.Repair, full.Repair)
+	}
+}
+
+func TestDesignStateCloneIsDeep(t *testing.T) {
+	src := NewSeparatedWithFaults(4, 3, DefaultParams(), FaultConfig{SpareRows: 2}, 0)
+	ageDesign(t, src)
+	st := src.ExportState()
+	cl := st.Clone()
+	cl.Arrays[0].Planes[0][0] ^= 1
+	cl.Arrays[0].Wear[0] += 7
+	cl.Repair.Remap[0] = 3
+	if reflect.DeepEqual(st, cl) {
+		t.Fatal("clone shares memory with the original")
+	}
+	if got := src.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Fatal("mutating a clone reached the design")
+	}
+}
