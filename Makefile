@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign crash-test
+.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign crash-test cluster-e2e
 
 build:
 	$(GO) build ./...
@@ -43,12 +43,22 @@ bench:
 
 # The persisted perf trajectory: measure ns/slot and slots/sec at 1/4/16
 # PEs (bit-plane core vs the retained per-cell electrical core) plus the
-# serve p50/p95/p99, and write the snapshot to $(BENCH_JSON) (a CI
-# artifact). Bump PR for each new snapshot.
-BENCH_JSON ?= BENCH_7.json
-PR ?= 7
+# serve p50/p95/p99 and the cluster 1-vs-3-worker comparison, and write
+# the snapshot to $(BENCH_JSON) (a CI artifact). Bump PR for each new
+# snapshot.
+BENCH_JSON ?= BENCH_8.json
+PR ?= 8
 bench-json:
 	$(GO) run ./cmd/hyperap-bench -perf-json $(BENCH_JSON) -pr $(PR)
+
+# The multi-node e2e smoke: build real hyperap-serve and hyperap-coord
+# binaries, run 3 workers + a coordinator as separate processes, drive
+# mixed-fingerprint load, SIGKILL one worker mid-stream, and require
+# zero wrong results with eventual 200s. Writes cluster-metrics.json
+# (a CI artifact) with the post-kill /cluster and /metrics views.
+cluster-e2e:
+	HYPERAP_CLUSTER_E2E=1 HYPERAP_CLUSTER_METRICS=$(CURDIR)/cluster-metrics.json \
+		$(GO) test -race -run TestClusterProcE2E -v ./internal/cluster/
 
 # The crash-safety gate for the durable state store: the torture sweep
 # kills the atomic writer at byte offsets across the whole record

@@ -1,0 +1,115 @@
+// Command hyperap-coord runs the cluster coordinator: a stateless HTTP
+// front end that routes POST /v1/run and /v1/compile over a
+// consistent-hash ring of hyperap-serve workers, keyed by program
+// fingerprint so each worker's compiled-program cache and micro-batching
+// coalescer stay hot for the programs it owns.
+//
+// Usage:
+//
+//	hyperap-coord -workers http://10.0.0.1:8763,http://10.0.0.2:8763,http://10.0.0.3:8763
+//	curl -s localhost:8764/v1/run -d '{"source":"...","inputs":[[3,4]]}'
+//	curl -s localhost:8764/cluster   # membership, ring shares, store fetch rate
+//
+// Membership is probe-driven: every worker's /readyz is polled on
+// -probe-interval; a degraded worker (spare rows or PEs consumed) keeps
+// serving at a ring weight scaled by its healthy-PE fraction, and a
+// worker that fails -fail-after consecutive probes is evicted and its
+// ring ranges reassigned. Independent of the probes, a forward that hits
+// a connection error, timeout, 429 or 5xx fails over to the next ring
+// replica (at most -attempts distinct workers); responses are fully
+// buffered before relay, so a worker dying mid-response becomes a
+// failover, never a corrupt client stream. SIGINT/SIGTERM drains:
+// new requests get 503 + jittered Retry-After while in-flight forwards
+// finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hyperap/internal/buildinfo"
+	"hyperap/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8764", "listen address")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (required)")
+	attempts := flag.Int("attempts", 3, "max distinct ring replicas tried per request")
+	timeout := flag.Duration("timeout", 60*time.Second, "end-to-end per-request budget across failovers")
+	attemptTimeout := flag.Duration("attempt-timeout", 20*time.Second, "budget for a single worker forward")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "worker /readyz probe period")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "one probe's round-trip budget")
+	failAfter := flag.Int("fail-after", 3, "consecutive probe failures before a worker is evicted from the ring")
+	vnodes := flag.Int("vnodes", 0, "ring positions per full-weight worker (0 = default 128)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight forwards on shutdown")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	version := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("hyperap-coord " + buildinfo.Get().String())
+		return
+	}
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("hyperap-coord: -log-format %q (want text or json)", *logFormat)
+	}
+
+	var urls []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("hyperap-coord: -workers is required (comma-separated base URLs)")
+	}
+
+	coord := cluster.New(cluster.Config{
+		Workers:        urls,
+		Attempts:       *attempts,
+		RequestTimeout: *timeout,
+		AttemptTimeout: *attemptTimeout,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailAfter:      *failAfter,
+		Vnodes:         *vnodes,
+		Logger:         logger,
+	})
+	hs := &http.Server{Addr: *addr, Handler: coord}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("hyperap-coord %s listening on %s, %d workers", buildinfo.Get().String(), *addr, len(urls))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("hyperap-coord: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("hyperap-coord: draining (up to %v)...", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := coord.Drain(dctx); err != nil {
+		log.Printf("hyperap-coord: %v", err)
+	}
+	hs.Shutdown(dctx)
+	fmt.Println("hyperap-coord: drained")
+}

@@ -38,9 +38,11 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served at -debug-addr only
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hyperap/internal/buildinfo"
 	"hyperap/internal/serve"
 	"hyperap/internal/tcam"
 )
@@ -66,7 +68,21 @@ func main() {
 	noRepair := flag.Bool("fault-no-repair", false, "detect faults but do not repair (write-verify errors fail the run)")
 	stateDir := flag.String("state-dir", "", "directory for durable state: on-disk program store + chip-state checkpoints (empty = no persistence)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "period between chip-state checkpoints when -state-dir is set (0 = default 30s, negative = drain-time only)")
+	peers := flag.String("peers", "", "comma-separated sibling worker base URLs: program-store misses fetch the compiled record from a peer before recompiling")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("hyperap-serve " + buildinfo.Get().String())
+		return
+	}
+
+	var peerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, strings.TrimRight(p, "/"))
+		}
+	}
 
 	var logger *slog.Logger
 	switch *logFormat {
@@ -98,6 +114,7 @@ func main() {
 		SparePEs:         *sparePEs,
 		StateDir:         *stateDir,
 		SnapshotInterval: *snapshotInterval,
+		Peers:            peerURLs,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperap/internal/cluster"
+	"hyperap/internal/serve"
+)
+
+// ClusterPerf compares coordinator-routed throughput on one worker vs
+// three (fingerprint affinity should let distinct programs run on
+// distinct nodes without cold caches), and measures failover
+// time-to-recovery: how long after a worker dies until the coordinator
+// answers a request for a program that worker owned.
+//
+// The workers run in-process and share this host's cores, so Scaling
+// measures routing overhead (≈1.0 means the ring adds nothing over a
+// single node on one machine), not multi-machine capacity.
+type ClusterPerf struct {
+	Programs     int     `json:"programs"`
+	Requests     int     `json:"requests"`
+	OneWorkerRPS float64 `json:"one_worker_rps"`
+	ThreeRPS     float64 `json:"three_worker_rps"`
+	Scaling      float64 `json:"scaling"`
+	FailoverMs   float64 `json:"failover_ms"`
+}
+
+// benchLateHandler lets the httptest listeners come up before the serve
+// instances exist, so each worker can be given its siblings' URLs as
+// store peers.
+type benchLateHandler struct{ h atomic.Value }
+
+func (l *benchLateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := l.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+type benchCluster struct {
+	workers []*serve.Server
+	tss     []*httptest.Server
+	urls    []string
+	coord   *cluster.Coordinator
+	cts     *httptest.Server
+}
+
+func newBenchCluster(n int) *benchCluster {
+	bc := &benchCluster{}
+	late := make([]*benchLateHandler, n)
+	for i := 0; i < n; i++ {
+		late[i] = &benchLateHandler{}
+		ts := httptest.NewServer(late[i])
+		bc.tss = append(bc.tss, ts)
+		bc.urls = append(bc.urls, ts.URL)
+	}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, u := range bc.urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		s := serve.New(serve.Config{CoalesceWindow: time.Millisecond, Peers: peers})
+		bc.workers = append(bc.workers, s)
+		late[i].h.Store(http.Handler(s))
+	}
+	bc.coord = cluster.New(cluster.Config{
+		Workers:       bc.urls,
+		ProbeInterval: 100 * time.Millisecond,
+		FailAfter:     2,
+	})
+	bc.cts = httptest.NewServer(bc.coord)
+	return bc
+}
+
+func (bc *benchCluster) close() {
+	bc.cts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	bc.coord.Drain(ctx)
+	for i, s := range bc.workers {
+		if s != nil {
+			s.Drain(ctx)
+		}
+		bc.tss[i].Close()
+	}
+}
+
+// clusterSources builds distinct-fingerprint adder programs so the ring
+// spreads them across workers.
+func clusterSources(n int) []string {
+	srcs := make([]string, n)
+	for i := range srcs {
+		w := 3 + i
+		srcs[i] = fmt.Sprintf(
+			"unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a + b; }",
+			w+1, w, w)
+	}
+	return srcs
+}
+
+// driveCluster pushes the mixed-program workload through the
+// coordinator and returns requests/sec.
+func driveCluster(url string, srcs []string, clients, requests int) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := c; r < requests; r += clients {
+				src := srcs[r%len(srcs)]
+				w := 3 + r%len(srcs)
+				mask := uint64(1)<<w - 1
+				inputs := [][]uint64{{uint64(r) & mask, uint64(2*r+1) & mask}}
+				if err := postRun(url+"/v1/run", serve.RunRequest{Source: src, Inputs: inputs}); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(requests) / elapsed.Seconds(), nil
+}
+
+// measureCluster runs the 1-vs-3-worker comparison and the failover
+// drill.
+func measureCluster() (*ClusterPerf, error) {
+	const (
+		programs = 6
+		clients  = 8
+		requests = 96
+	)
+	srcs := clusterSources(programs)
+
+	one := newBenchCluster(1)
+	// Warm the caches so both measurements compare steady-state routing,
+	// not compile time.
+	if _, err := driveCluster(one.cts.URL, srcs, clients, programs*2); err != nil {
+		one.close()
+		return nil, err
+	}
+	oneRPS, err := driveCluster(one.cts.URL, srcs, clients, requests)
+	one.close()
+	if err != nil {
+		return nil, err
+	}
+
+	three := newBenchCluster(3)
+	defer three.close()
+	if _, err := driveCluster(three.cts.URL, srcs, clients, programs*2); err != nil {
+		return nil, err
+	}
+	threeRPS, err := driveCluster(three.cts.URL, srcs, clients, requests)
+	if err != nil {
+		return nil, err
+	}
+
+	// Failover drill: kill worker 0 and time the coordinator's next
+	// successful answer for each program (in-request failover to the
+	// next ring replica, no probe round-trip required).
+	three.tss[0].CloseClientConnections()
+	three.tss[0].Close()
+	three.workers[0] = nil
+	t0 := time.Now()
+	deadline := t0.Add(20 * time.Second)
+	for _, src := range srcs {
+		w := 3 + 0
+		for {
+			err := postRun(three.cts.URL+"/v1/run", serve.RunRequest{Source: src, Inputs: [][]uint64{{1 & (1<<w - 1), 2}}})
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("bench: cluster never recovered after kill: %v", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	failover := time.Since(t0)
+
+	cp := &ClusterPerf{
+		Programs:     programs,
+		Requests:     requests,
+		OneWorkerRPS: oneRPS,
+		ThreeRPS:     threeRPS,
+		Scaling:      threeRPS / oneRPS,
+		FailoverMs:   float64(failover.Nanoseconds()) / 1e6,
+	}
+	return cp, nil
+}

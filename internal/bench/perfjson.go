@@ -38,6 +38,7 @@ type PerfReport struct {
 	Kernels    []KernelPerf `json:"kernels"`
 	Serve      ServePerf    `json:"serve"`
 	Startup    StartupPerf  `json:"startup"`
+	Cluster    ClusterPerf  `json:"cluster"`
 }
 
 // KernelPerf is one measured kernel configuration. A slot is one SIMD
@@ -124,6 +125,12 @@ func PerfJSON(pr int) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Startup = *st
+
+	cp, err := measureCluster()
+	if err != nil {
+		return nil, err
+	}
+	rep.Cluster = *cp
 	return rep, nil
 }
 

@@ -1,0 +1,71 @@
+// Package buildinfo identifies what binary is running: a version string
+// settable at link time plus whatever the Go toolchain embedded (VCS
+// revision, dirty flag, go version). Rolling cluster upgrades and bench
+// artifacts record it so "what ran" is never a guess — the coordinator
+// and every worker expose it on /version and print it for -version.
+package buildinfo
+
+import (
+	"encoding/json"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing build version. Override at link time:
+//
+//	go build -ldflags "-X hyperap/internal/buildinfo.Version=v1.2.3"
+//
+// The default marks an un-stamped developer build.
+var Version = "dev"
+
+// Info is the wire form of GET /version on hyperap-serve and
+// hyperap-coord, and the "build" block of bench artifacts.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"buildTime,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// Get assembles the build info for this binary. VCS fields are empty
+// when the binary was built outside a checkout (e.g. `go test`).
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.time":
+				info.Time = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// String renders the one-line `-version` output.
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if i.Dirty {
+			s += "-dirty"
+		}
+		s += ")"
+	}
+	return s + " " + i.GoVersion
+}
+
+// JSON renders the info as a JSON document (the /version body).
+func (i Info) JSON() []byte {
+	buf, _ := json.Marshal(i)
+	return append(buf, '\n')
+}

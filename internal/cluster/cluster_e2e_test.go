@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/serve"
+)
+
+// lateHandler lets an httptest server come up before its real handler
+// exists: the worker servers need each other's URLs as Peers, so the
+// listeners are created first and the serve.Server instances swapped in
+// after.
+type lateHandler struct{ h atomic.Value }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := l.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// addProgram is one distinct-fingerprint workload program: adders at
+// different widths compile to different programs (and hash to different
+// ring owners).
+type addProgram struct {
+	src   string
+	width int
+}
+
+func addPrograms(n int) []addProgram {
+	out := make([]addProgram, n)
+	for i := range out {
+		w := 3 + i
+		out[i] = addProgram{
+			src: fmt.Sprintf(
+				"unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a + b; }",
+				w+1, w, w),
+			width: w,
+		}
+	}
+	return out
+}
+
+func (p addProgram) inputs(seed int) [][]uint64 {
+	mask := uint64(1)<<p.width - 1
+	in := make([][]uint64, 4)
+	for i := range in {
+		in[i] = []uint64{uint64(seed+i) & mask, uint64(seed*3+i) & mask}
+	}
+	return in
+}
+
+func (p addProgram) expected(in [][]uint64) [][]uint64 {
+	mask := uint64(1)<<(p.width+1) - 1
+	out := make([][]uint64, len(in))
+	for i, row := range in {
+		out[i] = []uint64{(row[0] + row[1]) & mask}
+	}
+	return out
+}
+
+// testCluster is 3 workers (each with durable state and the other two
+// as store peers) behind one coordinator.
+type testCluster struct {
+	workers []*serve.Server
+	tss     []*httptest.Server
+	urls    []string
+	coord   *Coordinator
+	cts     *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	late := make([]*lateHandler, n)
+	for i := 0; i < n; i++ {
+		late[i] = &lateHandler{}
+		ts := httptest.NewServer(late[i])
+		tc.tss = append(tc.tss, ts)
+		tc.urls = append(tc.urls, ts.URL)
+	}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, u := range tc.urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		s := serve.New(serve.Config{
+			CoalesceWindow:   time.Millisecond,
+			StateDir:         t.TempDir(),
+			SnapshotInterval: -1,
+			Peers:            peers,
+		})
+		tc.workers = append(tc.workers, s)
+		late[i].h.Store(http.Handler(s))
+	}
+	tc.coord = New(Config{
+		Workers:        tc.urls,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		FailAfter:      2,
+		AttemptTimeout: 10 * time.Second,
+	})
+	tc.cts = httptest.NewServer(tc.coord)
+	return tc
+}
+
+func (tc *testCluster) close(t *testing.T) {
+	tc.cts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tc.coord.Drain(ctx)
+	for i, s := range tc.workers {
+		if s != nil {
+			s.Drain(ctx)
+		}
+		tc.tss[i].Close()
+	}
+}
+
+// postJSON posts a body and decodes the response; returns status.
+func postJSON(url string, req, into any) (int, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode == http.StatusOK && into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %q: %w", body, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// metric reads one numeric counter from an expvar-style /metrics body.
+func metric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	v, _ := m[name].(float64)
+	return v
+}
+
+// TestClusterE2E is the in-process acceptance gate for the distributed
+// layer: 3 durable workers behind a fingerprint-routing coordinator.
+// It pins (a) correctness of every routed response, (b) fingerprint
+// affinity — the cluster compiles each distinct program exactly once,
+// (c) the peer store fetch — a non-owner asked directly serves the
+// program without recompiling, and (d) failover — killing a worker
+// mid-load yields zero wrong results and eventual 200s for everything,
+// with the probes evicting the dead node from the ring.
+func TestClusterE2E(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	defer tc.close(t)
+	progs := addPrograms(6)
+
+	// Phase 1: mixed-fingerprint load through the coordinator.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(progs)*4)
+	for pi, p := range progs {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(p addProgram, seed int) {
+				defer wg.Done()
+				in := p.inputs(seed)
+				var rr serve.RunResponse
+				code, err := postJSON(tc.cts.URL+"/v1/run", serve.RunRequest{Source: p.src, Inputs: in}, &rr)
+				if err != nil || code != 200 {
+					errs <- fmt.Errorf("run status %d err %v", code, err)
+					return
+				}
+				if want := p.expected(in); !reflect.DeepEqual(rr.Outputs, want) {
+					errs <- fmt.Errorf("wrong result: got %v want %v", rr.Outputs, want)
+				}
+			}(p, pi*10+c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Fingerprint affinity: across the whole cluster each distinct
+	// program compiled exactly once (requests for one fingerprint always
+	// landed on its ring owner).
+	var compiles float64
+	for _, u := range tc.urls {
+		compiles += metric(t, u, "compiles")
+	}
+	if int(compiles) != len(progs) {
+		t.Fatalf("cluster ran %v compiles for %d distinct programs (affinity broken)", compiles, len(progs))
+	}
+
+	// Phase 2: peer store fetch. Ask a NON-owner worker directly for a
+	// program its sibling owns: it must answer correctly without
+	// compiling (it fetches the self-verifying record from the owner).
+	tgt, err := serve.Options{}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := progs[0]
+	owner := tc.coord.Pool().Ring().Owner(compile.Fingerprint(p0.src, tgt))
+	nonOwner := ""
+	for _, u := range tc.urls {
+		if u != owner {
+			nonOwner = u
+			break
+		}
+	}
+	peerHitsBefore := metric(t, nonOwner, "store_peer_hits")
+	in := p0.inputs(77)
+	var rr serve.RunResponse
+	code, err := postJSON(nonOwner+"/v1/run", serve.RunRequest{Source: p0.src, Inputs: in}, &rr)
+	if err != nil || code != 200 {
+		t.Fatalf("direct non-owner run: status %d err %v", code, err)
+	}
+	if want := p0.expected(in); !reflect.DeepEqual(rr.Outputs, want) {
+		t.Fatalf("peer-fetched program computed %v, want %v", rr.Outputs, want)
+	}
+	if got := metric(t, nonOwner, "store_peer_hits"); got != peerHitsBefore+1 {
+		t.Fatalf("store_peer_hits = %v, want %v (non-owner should have fetched, not compiled)", got, peerHitsBefore+1)
+	}
+	var compilesAfter float64
+	for _, u := range tc.urls {
+		compilesAfter += metric(t, u, "compiles")
+	}
+	if compilesAfter != compiles {
+		t.Fatalf("peer fetch recompiled: compiles %v → %v", compiles, compilesAfter)
+	}
+
+	// Phase 3: kill a worker mid-load. Every request must still end in a
+	// correct 200 (failover to the next replica; brief 503s are retried
+	// here like a real client would).
+	victimIdx := 0
+	for i, u := range tc.urls {
+		if u == owner {
+			victimIdx = i
+		}
+	}
+	stop := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadErrs := make(chan error, 64)
+	for c := 0; c < 4; c++ {
+		loadWG.Add(1)
+		go func(c int) {
+			defer loadWG.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := progs[(c+round)%len(progs)]
+				in := p.inputs(round)
+				want := p.expected(in)
+				deadline := time.Now().Add(20 * time.Second)
+				for {
+					var rr serve.RunResponse
+					code, err := postJSON(tc.cts.URL+"/v1/run", serve.RunRequest{Source: p.src, Inputs: in}, &rr)
+					if code == 200 && err == nil {
+						if !reflect.DeepEqual(rr.Outputs, want) {
+							loadErrs <- fmt.Errorf("WRONG RESULT after kill: got %v want %v", rr.Outputs, want)
+						}
+						break
+					}
+					if time.Now().After(deadline) {
+						loadErrs <- fmt.Errorf("request never succeeded: status %d err %v", code, err)
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(100 * time.Millisecond) // let the load get going
+	tc.tss[victimIdx].CloseClientConnections()
+	tc.tss[victimIdx].Close()
+	tc.workers[victimIdx] = nil // close(t) must not drain a dead server's listener
+
+	// Wait for the probes to evict the dead node from the ring.
+	evictDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if tc.coord.Pool().Ring().Owner(compile.Fingerprint(p0.src, tgt)) != owner {
+			break
+		}
+		if time.Now().After(evictDeadline) {
+			t.Fatal("dead worker never evicted from the ring")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // more post-eviction load
+	close(stop)
+	loadWG.Wait()
+	close(loadErrs)
+	for err := range loadErrs {
+		t.Fatal(err)
+	}
+
+	// The coordinator observed the failure: failovers happened, the node
+	// is marked down, and /readyz still reports ready with 2 live nodes.
+	if tc.coord.Metrics().failovers.Value() == 0 {
+		t.Error("no failovers recorded despite a killed worker")
+	}
+	var view struct {
+		Nodes []NodeView `json:"nodes"`
+	}
+	if code, err := getJSON(tc.cts.URL+"/cluster", &view); err != nil || code != 200 {
+		t.Fatalf("/cluster: status %d err %v", code, err)
+	}
+	down := 0
+	for _, nv := range view.Nodes {
+		if nv.State == "down" {
+			down++
+		}
+	}
+	if down != 1 {
+		t.Errorf("cluster view reports %d down nodes, want 1: %+v", down, view.Nodes)
+	}
+	var ready struct {
+		Status     string `json:"status"`
+		ReadyNodes int    `json:"readyNodes"`
+	}
+	if code, err := getJSON(tc.cts.URL+"/readyz", &ready); err != nil || code != 200 {
+		t.Fatalf("coordinator /readyz after kill: status %d err %v", code, err)
+	}
+	if ready.ReadyNodes != 2 {
+		t.Errorf("readyNodes = %d, want 2", ready.ReadyNodes)
+	}
+}
+
+func getJSON(url string, into any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && into != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(into)
+	}
+	return resp.StatusCode, nil
+}
+
+// TestCoordinatorVersionAndDrain covers the rolling-upgrade surface: the
+// /version endpoint answers with build info, and a draining coordinator
+// rejects new work with 503 + a jittered Retry-After in 1..3s.
+func TestCoordinatorVersionAndDrain(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	defer tc.close(t)
+
+	var v struct {
+		Version   string `json:"version"`
+		GoVersion string `json:"goVersion"`
+	}
+	if code, err := getJSON(tc.cts.URL+"/version", &v); err != nil || code != 200 {
+		t.Fatalf("/version: status %d err %v", code, err)
+	}
+	if v.Version == "" || v.GoVersion == "" {
+		t.Fatalf("empty version info: %+v", v)
+	}
+	// Workers answer /version too.
+	if code, err := getJSON(tc.urls[0]+"/version", &v); err != nil || code != 200 {
+		t.Fatalf("worker /version: status %d err %v", code, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tc.coord.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(serve.RunRequest{Source: addPrograms(1)[0].src, Inputs: [][]uint64{{1, 2}}})
+	resp, err := http.Post(tc.cts.URL+"/v1/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining coordinator answered %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra != "1" && ra != "2" && ra != "3" {
+		t.Fatalf("Retry-After = %q, want a jittered value in 1..3", ra)
+	}
+}

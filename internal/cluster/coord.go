@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperap/internal/buildinfo"
+	"hyperap/internal/compile"
+	"hyperap/internal/obs"
+	"hyperap/internal/serve"
+)
+
+// Config tunes the coordinator. The zero value means "use the default"
+// for every field except Workers, which is required.
+type Config struct {
+	// Workers are the worker base URLs; also their ring identities.
+	Workers []string
+	// Attempts bounds how many distinct ring replicas one request may
+	// try (default 3: the owner plus two failovers). Capped by the
+	// number of live nodes.
+	Attempts int
+	// RequestTimeout is the end-to-end budget for one client request
+	// across all failover attempts (default 60s).
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds a single forward so one hung worker cannot
+	// eat the whole request budget (default 20s).
+	AttemptTimeout time.Duration
+	// MaxBodyBytes bounds a request body (default 8 MiB, like serve).
+	MaxBodyBytes int64
+	// MaxResponseBytes bounds a buffered worker response (default 64
+	// MiB; traced runs are large). Responses are fully buffered before
+	// anything is written to the client so a mid-body worker death fails
+	// over instead of corrupting the client stream.
+	MaxResponseBytes int64
+	// ProbeInterval / ProbeTimeout / FailAfter / MinWeight / Vnodes
+	// configure the membership pool (see PoolConfig).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailAfter     int
+	MinWeight     float64
+	Vnodes        int
+	// Client is the forwarding HTTP client (default: dedicated client
+	// with per-host connection pooling; timeouts come from contexts).
+	Client *http.Client
+	// Logger receives request lines and membership transitions.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 20 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = 64 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	return c
+}
+
+// Coordinator is the hyperap-coord HTTP handler: it admits client
+// requests, derives the program fingerprint, and forwards each request
+// to the fingerprint's ring owner (failing over along the ring on worker
+// faults). It holds no simulator state of its own — workers answer,
+// the coordinator routes.
+//
+// Endpoints:
+//
+//	POST /v1/run       routed by fingerprint, failover on 429/5xx/timeouts
+//	POST /v1/compile   routed identically, so the owner's cache warms
+//	GET  /cluster      membership view + worker store-fetch rollup
+//	GET  /healthz      liveness (always 200; reports draining)
+//	GET  /readyz       503 draining or no live workers, else 200
+//	GET  /metrics      expvar-style JSON counters
+//	GET  /version      build info
+type Coordinator struct {
+	cfg  Config
+	pool *Pool
+	met  *Metrics
+	log  *slog.Logger
+	mux  *http.ServeMux
+
+	inflight sync.WaitGroup
+	draining atomic.Bool
+}
+
+// New builds a coordinator over the configured workers and starts the
+// health-probe loop. Call Drain then Close before process exit.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	met := NewMetrics()
+	c := &Coordinator{
+		cfg: cfg,
+		met: met,
+		log: cfg.Logger,
+		pool: NewPool(PoolConfig{
+			Workers:       cfg.Workers,
+			ProbeInterval: cfg.ProbeInterval,
+			ProbeTimeout:  cfg.ProbeTimeout,
+			FailAfter:     cfg.FailAfter,
+			MinWeight:     cfg.MinWeight,
+			Vnodes:        cfg.Vnodes,
+			Client:        cfg.Client,
+			Logger:        cfg.Logger,
+		}, met),
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/v1/run", c.handleProxy)
+	c.mux.HandleFunc("/v1/compile", c.handleProxy)
+	c.mux.HandleFunc("/cluster", c.handleCluster)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/version", c.handleVersion)
+	met.setReadyNodes(c.pool.readyCount())
+	c.pool.Start()
+	return c
+}
+
+// Pool exposes the membership pool (tests, the /cluster view).
+func (c *Coordinator) Pool() *Pool { return c.pool }
+
+// Metrics exposes the coordinator metric set.
+func (c *Coordinator) Metrics() *Metrics { return c.met }
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	r.Header.Set("X-Request-Id", id)
+	t0 := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	c.mux.ServeHTTP(sw, r)
+	c.met.requestHist.Observe(time.Since(t0).Nanoseconds())
+	c.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("latency", time.Since(t0)))
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Drain stops admitting new requests (503 + jittered Retry-After) and
+// waits for in-flight forwards to complete or the context to expire,
+// then stops the probe loop.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(done)
+	}()
+	defer c.pool.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain: forwards still in flight: %w", ctx.Err())
+	}
+}
+
+// routeView is the slice of a run/compile body the coordinator needs for
+// routing. The raw bytes are forwarded verbatim — the coordinator never
+// re-encodes a request, so worker-side validation (unknown fields, shape
+// errors) behaves exactly as it would against a worker directly.
+type routeView struct {
+	Program string        `json:"program"`
+	Source  string        `json:"source"`
+	Options serve.Options `json:"options"`
+}
+
+// routingKey derives the consistent-hash key: the program handle when
+// present (it IS the fingerprint), otherwise the fingerprint of the
+// inline source under its canonical target.
+func routingKey(body []byte) (string, error) {
+	var v routeView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return "", fmt.Errorf("bad request body: %w", err)
+	}
+	if v.Program != "" {
+		return v.Program, nil
+	}
+	if v.Source == "" {
+		return "", errors.New("program or source is required")
+	}
+	tgt, err := v.Options.Target()
+	if err != nil {
+		return "", err
+	}
+	return compile.Fingerprint(v.Source, tgt), nil
+}
+
+// failoverStatus reports whether a worker response should be retried on
+// the next ring replica: backpressure (429), a fault-window 503, or a
+// gateway-ish failure. 4xx validation errors and 404s are deterministic
+// — every replica would answer the same — and pass through.
+func failoverStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// handleProxy routes one POST /v1/run or /v1/compile along the key's
+// ring replicas with bounded failover.
+func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		c.writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if c.draining.Load() {
+		c.met.rejectedDraining.Add(1)
+		serve.JitteredRetryAfter(w.Header())
+		c.writeError(w, http.StatusServiceUnavailable, errors.New("coordinator is draining"))
+		return
+	}
+	c.inflight.Add(1)
+	defer c.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	key, err := routingKey(body)
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	replicas := c.pool.Ring().Lookup(key, c.cfg.Attempts)
+	if len(replicas) == 0 {
+		c.met.rejectedNoNodes.Add(1)
+		serve.JitteredRetryAfter(w.Header())
+		c.writeError(w, http.StatusServiceUnavailable, errors.New("no live worker nodes"))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+	var last *workerResponse
+	var lastErr error
+	for i, node := range replicas {
+		resp, err := c.forward(ctx, node, r, body)
+		latency := int64(-1)
+		if resp != nil {
+			latency = resp.latencyNS
+		}
+		failover := err != nil || failoverStatus(resp.status)
+		c.met.recordForward(node, latency, failover)
+		c.met.forwards.Add(1)
+		if !failover {
+			c.writeWorkerResponse(w, resp)
+			return
+		}
+		lastErr = err
+		if err == nil {
+			last = resp
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if i < len(replicas)-1 {
+			c.met.failovers.Add(1)
+			c.log.Warn("failing over to next ring replica",
+				"key", key, "node", node, "attempt", i+1,
+				"status", respStatus(resp), "err", errString(err))
+		}
+	}
+	// Every replica failed. Pass through the last worker verdict when
+	// one exists (it carries Retry-After semantics the client can use);
+	// otherwise answer 502 naming what was tried. Nothing partial was
+	// ever written, so the client sees one coherent failure.
+	c.met.exhausted.Add(1)
+	if last != nil {
+		c.writeWorkerResponse(w, last)
+		return
+	}
+	c.writeError(w, http.StatusBadGateway,
+		fmt.Errorf("all %d replicas failed for %s: %v", len(replicas), key, lastErr))
+}
+
+func respStatus(r *workerResponse) int {
+	if r == nil {
+		return 0
+	}
+	return r.status
+}
+
+// workerResponse is one fully buffered worker answer.
+type workerResponse struct {
+	status    int
+	header    http.Header
+	body      []byte
+	latencyNS int64
+}
+
+// forward sends one request to one worker and buffers the whole
+// response. A read error mid-body returns an error (and no response):
+// the caller fails over, and the client never sees partial bytes.
+func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request, body []byte) (*workerResponse, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	url := node + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+	t0 := time.Now()
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading worker response: %w", err)
+	}
+	if int64(len(buf)) > c.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("worker response exceeds %d bytes", c.cfg.MaxResponseBytes)
+	}
+	return &workerResponse{
+		status:    resp.StatusCode,
+		header:    resp.Header,
+		body:      buf,
+		latencyNS: time.Since(t0).Nanoseconds(),
+	}, nil
+}
+
+// writeWorkerResponse relays a buffered worker answer to the client,
+// preserving the headers that carry cross-layer meaning.
+func (c *Coordinator) writeWorkerResponse(w http.ResponseWriter, r *workerResponse) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := r.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(r.status)
+	w.Write(r.body)
+}
+
+// storeRollup aggregates the workers' program-store counters into the
+// cluster-wide fetch hit-rate: how often a node avoided recompiling by
+// hitting its disk store or fetching the record from a peer.
+type storeRollup struct {
+	Compiles   int64   `json:"compiles"`
+	StoreHits  int64   `json:"storeHits"`
+	PeerHits   int64   `json:"peerHits"`
+	PeerMisses int64   `json:"peerMisses"`
+	PeerErrors int64   `json:"peerErrors"`
+	FetchRate  float64 `json:"fetchHitRate"` // (storeHits+peerHits) / (storeHits+peerHits+compiles)
+}
+
+// scrapeStores polls every live worker's /metrics (best effort, bounded)
+// and sums the store counters. Only called on demand from GET /cluster.
+func (c *Coordinator) scrapeStores(ctx context.Context) storeRollup {
+	var mu sync.Mutex
+	var roll storeRollup
+	var wg sync.WaitGroup
+	for _, n := range c.pool.nodes {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, url+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if resp != nil {
+					resp.Body.Close()
+				}
+				return
+			}
+			defer resp.Body.Close()
+			var m map[string]any
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m); err != nil {
+				return
+			}
+			get := func(k string) int64 {
+				v, _ := m[k].(float64)
+				return int64(v)
+			}
+			mu.Lock()
+			roll.Compiles += get("compiles")
+			roll.StoreHits += get("store_program_hits")
+			roll.PeerHits += get("store_peer_hits")
+			roll.PeerMisses += get("store_peer_misses")
+			roll.PeerErrors += get("store_peer_errors")
+			mu.Unlock()
+		}(n.url)
+	}
+	wg.Wait()
+	if tot := roll.StoreHits + roll.PeerHits + roll.Compiles; tot > 0 {
+		roll.FetchRate = float64(roll.StoreHits+roll.PeerHits) / float64(tot)
+	}
+	return roll
+}
+
+// handleCluster renders the membership + routing view: per-node state,
+// weight, ring share and latency rollups, plus the cluster-wide program
+// store fetch rate scraped live from the workers.
+func (c *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":      c.pool.Views(),
+		"store":      c.scrapeStores(r.Context()),
+		"draining":   c.draining.Load(),
+		"attempts":   c.cfg.Attempts,
+		"readyNodes": c.met.readyNodes.Value(),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if c.draining.Load() {
+		body["status"] = "draining"
+	}
+	c.writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz: the coordinator is ready when it is not draining and at
+// least one worker is on the ring. Load balancers in front of several
+// coordinators should watch this.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := int(c.met.readyNodes.Value())
+	switch {
+	case c.draining.Load():
+		serve.JitteredRetryAfter(w.Header())
+		c.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case ready == 0:
+		serve.JitteredRetryAfter(w.Header())
+		c.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no live workers"})
+	default:
+		c.writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "readyNodes": ready})
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, c.met.root.String())
+	io.WriteString(w, "\n")
+}
+
+func (c *Coordinator) handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buildinfo.Get().JSON())
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, status int, err error) {
+	c.writeJSON(w, status, serve.ErrorResponse{Error: err.Error()})
+}

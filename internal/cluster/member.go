@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a worker's membership state as seen by the probe loop.
+type NodeState int
+
+const (
+	// NodeReady: /readyz answered 200 "ready"; full ring weight.
+	NodeReady NodeState = iota
+	// NodeDegraded: /readyz answered 200 "degraded"; ring weight scaled
+	// by the healthy-PE fraction (it still serves, preferring to keep
+	// its program cache warm, but sheds load toward healthier nodes).
+	NodeDegraded
+	// NodeDown: FailAfter consecutive probe failures (connection errors,
+	// non-200, or 503-draining); evicted from the ring, ranges
+	// reassigned, still probed for recovery.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeReady:
+		return "ready"
+	case NodeDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// node is one worker's live membership record.
+type node struct {
+	url string
+
+	mu              sync.Mutex
+	state           NodeState
+	weight          float64
+	healthyFraction float64
+	failures        int       // consecutive probe failures
+	lastProbe       time.Time // when the last probe completed
+	lastErr         string    // last probe failure, for the /cluster view
+}
+
+// PoolConfig configures the membership pool.
+type PoolConfig struct {
+	// Workers are the worker base URLs (e.g. "http://10.0.0.1:8763").
+	// The URL is also the node's ring identity.
+	Workers []string
+	// ProbeInterval is the health-probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz round trip (default 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures evict a node from
+	// the ring (default 3). Eviction is probe-driven; forwarding failures
+	// additionally fail over per request without waiting for the probes.
+	FailAfter int
+	// MinWeight floors a degraded node's ring weight (default 0.1) so a
+	// barely-alive node keeps its hottest ranges instead of flapping.
+	MinWeight float64
+	// Vnodes is the full-weight vnode count (default DefaultVnodes).
+	Vnodes int
+	// Client is the HTTP client used for probes (default: a dedicated
+	// client with sane connection reuse).
+	Client *http.Client
+	// Logger receives membership transitions. Default: discard.
+	Logger *slog.Logger
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = 0.1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	return c
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived
+// after go 1.22, the module's floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Pool maintains worker membership: it owns the ring, probes every
+// worker's /readyz on a fixed cadence, and translates the probe results
+// into ring weight (ready=1, degraded=healthy-PE fraction, down=off).
+type Pool struct {
+	cfg   PoolConfig
+	ring  *Ring
+	nodes map[string]*node
+	met   *Metrics
+	log   *slog.Logger
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewPool builds the pool and places every worker on the ring at full
+// weight (optimistic start: a dead worker costs one failover per request
+// until the probes evict it, which beats serving nothing while the first
+// probe round completes). Call Start to begin probing.
+func NewPool(cfg PoolConfig, met *Metrics) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Vnodes),
+		nodes: map[string]*node{},
+		met:   met,
+		log:   cfg.Logger,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, url := range cfg.Workers {
+		if _, dup := p.nodes[url]; dup {
+			continue
+		}
+		p.nodes[url] = &node{url: url, state: NodeReady, weight: 1, healthyFraction: 1}
+		p.ring.Set(url, 1)
+	}
+	return p
+}
+
+// Ring exposes the pool's ring for routing.
+func (p *Pool) Ring() *Ring { return p.ring }
+
+// Size returns the total number of configured workers (any state).
+func (p *Pool) Size() int { return len(p.nodes) }
+
+// Start launches the probe loop: one immediate round, then one round per
+// ProbeInterval. Stop halts it.
+func (p *Pool) Start() {
+	go func() {
+		defer close(p.done)
+		p.probeAll()
+		t := time.NewTicker(p.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop (idempotent).
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+	})
+}
+
+// probeAll probes every worker concurrently and applies the results.
+func (p *Pool) probeAll() {
+	var wg sync.WaitGroup
+	for _, n := range p.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			p.probe(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// readyzBody is the fraction of a worker /readyz response the pool reads.
+type readyzBody struct {
+	Status            string  `json:"status"`
+	HealthyPeFraction float64 `json:"healthyPeFraction"`
+}
+
+// probe runs one /readyz round trip and folds the outcome into the
+// node's state and ring weight.
+func (p *Pool) probe(n *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/readyz", nil)
+	if err != nil {
+		p.applyProbe(n, 0, 0, err)
+		return
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		p.applyProbe(n, 0, 0, err)
+		return
+	}
+	defer resp.Body.Close()
+	var body readyzBody
+	if decErr := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&body); decErr != nil && resp.StatusCode == http.StatusOK {
+		p.applyProbe(n, resp.StatusCode, 0, fmt.Errorf("bad /readyz body: %w", decErr))
+		return
+	}
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		p.applyProbe(n, resp.StatusCode, 0, fmt.Errorf("/readyz status %d (%s)", resp.StatusCode, body.Status))
+	case body.Status == "degraded":
+		frac := body.HealthyPeFraction
+		if frac <= 0 || frac > 1 {
+			frac = p.cfg.MinWeight
+		}
+		p.applyProbe(n, resp.StatusCode, frac, nil)
+	default:
+		p.applyProbe(n, resp.StatusCode, 1, nil)
+	}
+}
+
+// applyProbe updates one node after a probe. err != nil (or a non-200)
+// counts toward eviction; success resets the failure streak and restores
+// the node at the probed weight.
+func (p *Pool) applyProbe(n *node, status int, weight float64, err error) {
+	n.mu.Lock()
+	n.lastProbe = time.Now()
+	prev := n.state
+	if err != nil {
+		n.failures++
+		n.lastErr = err.Error()
+		p.met.probeFailures.Add(1)
+		if n.failures >= p.cfg.FailAfter && n.state != NodeDown {
+			n.state = NodeDown
+			n.weight = 0
+		}
+	} else {
+		n.failures = 0
+		n.lastErr = ""
+		n.healthyFraction = weight
+		if weight >= 1 {
+			n.state = NodeReady
+			n.weight = 1
+		} else {
+			n.state = NodeDegraded
+			if weight < p.cfg.MinWeight {
+				weight = p.cfg.MinWeight
+			}
+			n.weight = weight
+		}
+	}
+	state, w := n.state, n.weight
+	n.mu.Unlock()
+
+	if state != prev {
+		p.met.transitions.Add(1)
+		if state == NodeDown {
+			p.met.evictions.Add(1)
+		}
+		p.log.Info("cluster node transition",
+			"node", n.url, "from", prev.String(), "to", state.String(),
+			"weight", w, "probe_status", status,
+			"err", errString(err))
+	}
+	p.ring.Set(n.url, w)
+	p.met.setReadyNodes(p.readyCount())
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// readyCount counts nodes currently on the ring (ready or degraded).
+func (p *Pool) readyCount() int {
+	c := 0
+	for _, n := range p.nodes {
+		n.mu.Lock()
+		if n.state != NodeDown {
+			c++
+		}
+		n.mu.Unlock()
+	}
+	return c
+}
+
+// NodeView is one worker's row in the GET /cluster membership view.
+type NodeView struct {
+	URL             string  `json:"url"`
+	State           string  `json:"state"`
+	Weight          float64 `json:"weight"`
+	HealthyFraction float64 `json:"healthyPeFraction"`
+	Failures        int     `json:"consecutiveProbeFailures,omitempty"`
+	LastError       string  `json:"lastError,omitempty"`
+	RingShare       float64 `json:"ringShare"`
+	Vnodes          int     `json:"vnodes"`
+	Requests        int64   `json:"requests"`
+	Failovers       int64   `json:"failovers"`
+	LatencyP50Ms    float64 `json:"latencyP50Ms"`
+	LatencyP99Ms    float64 `json:"latencyP99Ms"`
+}
+
+// Views renders the membership table, sorted by URL for stable output.
+func (p *Pool) Views() []NodeView {
+	occ := p.ring.Occupancy()
+	vn := p.ring.Nodes()
+	out := make([]NodeView, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		n.mu.Lock()
+		v := NodeView{
+			URL:             n.url,
+			State:           n.state.String(),
+			Weight:          n.weight,
+			HealthyFraction: n.healthyFraction,
+			Failures:        n.failures,
+			LastError:       n.lastErr,
+			RingShare:       occ[n.url],
+			Vnodes:          vn[n.url],
+		}
+		n.mu.Unlock()
+		ns := p.met.nodeStats(n.url)
+		v.Requests = ns.requests.Value()
+		v.Failovers = ns.failovers.Value()
+		v.LatencyP50Ms = ns.latency.Quantile(0.50) / 1e6
+		v.LatencyP99Ms = ns.latency.Quantile(0.99) / 1e6
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

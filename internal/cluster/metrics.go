@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"expvar"
+	"sync"
+
+	"hyperap/internal/obs"
+)
+
+// Metrics is the coordinator's counter set: cluster-level rollups over
+// every forward, plus per-node request/failure/latency breakdowns. Like
+// the serve metrics, the vars live in a private expvar.Map so several
+// coordinators (tests) never collide; GET /metrics serialises the map.
+type Metrics struct {
+	root *expvar.Map
+
+	forwards         expvar.Int // run/compile requests forwarded to a worker
+	failovers        expvar.Int // forwards retried on the next ring replica
+	exhausted        expvar.Int // requests that ran out of replicas (502)
+	rejectedNoNodes  expvar.Int // requests with an empty ring (503)
+	rejectedDraining expvar.Int // requests rejected while draining (503)
+	probeFailures    expvar.Int // health probes that failed
+	evictions        expvar.Int // ready/degraded → down transitions
+	transitions      expvar.Int // any node state transition
+	readyNodes       expvar.Int // gauge: nodes currently on the ring
+
+	requestHist *obs.Histogram // end-to-end coordinator latency
+
+	// Per-node rollups, keyed by worker URL.
+	nodeRequests *expvar.Map // forwards that got an HTTP response
+	nodeFailures *expvar.Map // forwards that errored or returned a failover status
+
+	mu    sync.Mutex
+	nodes map[string]*nodeMetrics
+}
+
+// nodeMetrics is one worker's rollup.
+type nodeMetrics struct {
+	requests  expvar.Int
+	failovers expvar.Int
+	latency   *obs.Histogram
+}
+
+// NewMetrics builds the coordinator metric set.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		root:         new(expvar.Map).Init(),
+		requestHist:  obs.NewHistogram(),
+		nodeRequests: new(expvar.Map).Init(),
+		nodeFailures: new(expvar.Map).Init(),
+		nodes:        map[string]*nodeMetrics{},
+	}
+	m.root.Set("forwards", &m.forwards)
+	m.root.Set("failovers", &m.failovers)
+	m.root.Set("retries_exhausted", &m.exhausted)
+	m.root.Set("rejected_no_nodes", &m.rejectedNoNodes)
+	m.root.Set("rejected_draining", &m.rejectedDraining)
+	m.root.Set("probe_failures", &m.probeFailures)
+	m.root.Set("node_evictions", &m.evictions)
+	m.root.Set("node_transitions", &m.transitions)
+	m.root.Set("ready_nodes", &m.readyNodes)
+	m.root.Set("request_latency", expvar.Func(m.requestHist.Summary))
+	m.root.Set("node_requests", m.nodeRequests)
+	m.root.Set("node_failures", m.nodeFailures)
+	return m
+}
+
+// Root exposes the expvar map for GET /metrics.
+func (m *Metrics) Root() *expvar.Map { return m.root }
+
+func (m *Metrics) setReadyNodes(n int) { m.readyNodes.Set(int64(n)) }
+
+// nodeStats returns (creating on first use) one worker's rollup.
+func (m *Metrics) nodeStats(url string) *nodeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.nodes[url]
+	if !ok {
+		ns = &nodeMetrics{latency: obs.NewHistogram()}
+		m.nodes[url] = ns
+	}
+	return ns
+}
+
+// recordForward accounts one attempt against one worker: latencyNS < 0
+// means no response was obtained (connection error / timeout).
+func (m *Metrics) recordForward(url string, latencyNS int64, failedOver bool) {
+	ns := m.nodeStats(url)
+	if latencyNS >= 0 {
+		ns.requests.Add(1)
+		ns.latency.Observe(latencyNS)
+		m.nodeRequests.Add(url, 1)
+	}
+	if failedOver {
+		ns.failovers.Add(1)
+		m.nodeFailures.Add(url, 1)
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperap/internal/serve"
+)
+
+// TestClusterProcE2E is the multi-node smoke against real processes:
+// build the actual hyperap-serve and hyperap-coord binaries, run three
+// workers plus a coordinator, drive mixed-fingerprint load, SIGKILL one
+// worker mid-stream, and require zero wrong results with every request
+// eventually answered 200. The post-kill /cluster and /metrics views
+// plus the measured failover time-to-recovery are written to
+// $HYPERAP_CLUSTER_METRICS as a CI artifact.
+//
+// Gated behind HYPERAP_CLUSTER_E2E=1 (it builds binaries and runs
+// ~10s of wall clock); `make cluster-e2e` is the entry point.
+func TestClusterProcE2E(t *testing.T) {
+	if os.Getenv("HYPERAP_CLUSTER_E2E") == "" {
+		t.Skip("set HYPERAP_CLUSTER_E2E=1 (or run `make cluster-e2e`) to run the multi-process cluster smoke")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"hyperap-serve", "hyperap-coord"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Dir = "../.."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	// Three worker addresses plus the coordinator's, all on loopback.
+	addrs := make([]string, 4)
+	urls := make([]string, 4)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		urls[i] = "http://" + addrs[i]
+	}
+	workerURLs := urls[:3]
+
+	procs := make([]*exec.Cmd, 0, 4)
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		procs = append(procs, cmd)
+		return cmd
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	})
+
+	workers := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		var peers []string
+		for j, u := range workerURLs {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		workers[i] = start("hyperap-serve",
+			"-addr", addrs[i],
+			"-state-dir", t.TempDir(),
+			"-snapshot-interval=-1ns",
+			"-peers", strings.Join(peers, ","))
+	}
+	for _, u := range workerURLs {
+		waitReady(t, u)
+	}
+	start("hyperap-coord",
+		"-addr", addrs[3],
+		"-workers", strings.Join(workerURLs, ","),
+		"-probe-interval", "100ms",
+		"-fail-after", "2")
+	coordURL := urls[3]
+	waitReady(t, coordURL)
+
+	progs := addPrograms(6)
+
+	// Warm every program through the coordinator so the kill hits a
+	// cluster with hot caches and populated stores.
+	for pi, p := range progs {
+		in := p.inputs(pi)
+		var rr serve.RunResponse
+		code, err := postJSON(coordURL+"/v1/run", serve.RunRequest{Source: p.src, Inputs: in}, &rr)
+		if err != nil || code != 200 {
+			t.Fatalf("warmup %d: status %d err %v", pi, code, err)
+		}
+		if want := p.expected(in); !reflect.DeepEqual(rr.Outputs, want) {
+			t.Fatalf("warmup %d: got %v want %v", pi, rr.Outputs, want)
+		}
+	}
+
+	// Sustained mixed load; every completed request is either a correct
+	// 200 or a retried transient — never a wrong answer.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	loadErrs := make(chan error, 256)
+	var mu sync.Mutex
+	var firstOKAfterKill time.Time
+	var killedAt time.Time
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := progs[(c+round)%len(progs)]
+				in := p.inputs(round)
+				want := p.expected(in)
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					var rr serve.RunResponse
+					code, err := postJSON(coordURL+"/v1/run", serve.RunRequest{Source: p.src, Inputs: in}, &rr)
+					if code == 200 && err == nil {
+						if !reflect.DeepEqual(rr.Outputs, want) {
+							loadErrs <- fmt.Errorf("WRONG RESULT: got %v want %v", rr.Outputs, want)
+						}
+						mu.Lock()
+						if !killedAt.IsZero() && firstOKAfterKill.IsZero() {
+							firstOKAfterKill = time.Now()
+						}
+						mu.Unlock()
+						break
+					}
+					if time.Now().After(deadline) {
+						loadErrs <- fmt.Errorf("request never succeeded: status %d err %v", code, err)
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(300 * time.Millisecond) // load in flight
+	mu.Lock()
+	killedAt = time.Now()
+	mu.Unlock()
+	if err := workers[0].Process.Kill(); err != nil { // SIGKILL, no drain
+		t.Fatalf("killing worker 0: %v", err)
+	}
+	workers[0].Wait()
+
+	// Keep the load running long enough for probes to evict the dead
+	// node and for the survivors to absorb its ring ranges.
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+	close(loadErrs)
+	for err := range loadErrs {
+		t.Error(err)
+	}
+
+	mu.Lock()
+	ttr := firstOKAfterKill.Sub(killedAt)
+	mu.Unlock()
+	if firstOKAfterKill.IsZero() {
+		t.Fatal("no successful request observed after the kill")
+	}
+	t.Logf("failover time-to-recovery: %v", ttr)
+
+	// The coordinator now reports one node down and still serves.
+	var view map[string]any
+	if code, err := getJSON(coordURL+"/cluster", &view); err != nil || code != 200 {
+		t.Fatalf("/cluster: status %d err %v", code, err)
+	}
+	var met map[string]any
+	if code, err := getJSON(coordURL+"/metrics", &met); err != nil || code != 200 {
+		t.Fatalf("/metrics: status %d err %v", code, err)
+	}
+	if fo, _ := met["failovers"].(float64); fo == 0 {
+		t.Error("coordinator recorded no failovers despite a SIGKILLed worker")
+	}
+
+	if path := os.Getenv("HYPERAP_CLUSTER_METRICS"); path != "" {
+		artifact := map[string]any{
+			"schema":              "hyperap-cluster-smoke/v1",
+			"failover_ttr_ms":     float64(ttr.Nanoseconds()) / 1e6,
+			"cluster":             view,
+			"coordinator_metrics": met,
+		}
+		buf, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", path, err)
+		}
+		t.Logf("wrote cluster metrics artifact to %s", path)
+	}
+}
+
+// freePort grabs an ephemeral loopback port. The listener is closed
+// before the process binds it, so a collision is possible but wildly
+// unlikely within one test run.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// waitReady polls /readyz until the process answers 200.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,196 @@
+// Package cluster is the distributed layer above hyperap-serve: a
+// coordinator that routes run and compile requests over a consistent-hash
+// ring of worker nodes keyed by program fingerprint, so each worker's
+// compiled-program cache and micro-batching coalescer stay hot for the
+// programs it owns; node membership is maintained by periodic health
+// probes of the workers' /readyz endpoints (degraded nodes get
+// weight-reduced, failed nodes are evicted and their ring ranges
+// reassigned), and a failed forward falls over to the next ring replica
+// with bounded retries — a request is answered by a worker or fails
+// loudly, never silently wrong.
+//
+// Combined with the workers' peer store-fetch (internal/serve
+// Config.Peers), the cluster compiles each distinct program once, ever:
+// the fingerprint's ring owner compiles and writes through to its
+// content-addressed store, and any other node that is asked for the same
+// fingerprint fetches the self-verifying record instead of recompiling.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the number of ring positions a full-weight node
+// occupies. More vnodes smooth the key distribution (stddev of a node's
+// share shrinks like 1/sqrt(vnodes)) at O(vnodes·log) lookup cost.
+const DefaultVnodes = 128
+
+// Ring is a weighted consistent-hash ring. Keys (program fingerprints)
+// and node positions hash into the same 64-bit circle; a key belongs to
+// the first node position at or clockwise after it. Weights scale a
+// node's vnode count, so a degraded node keeps serving its hottest
+// ranges while shedding load, and removing a node moves only the keys it
+// owned (the minimal-movement property the ring tests pin).
+//
+// All methods are safe for concurrent use; Lookup is the hot path and
+// takes only a read lock.
+type Ring struct {
+	vnodes int // positions per unit of weight 1.0
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	nodes  map[string]int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given full-weight vnode count
+// (0 means DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]int{}}
+}
+
+// hash64 maps a string to a ring position. SHA-256 (truncated) rather
+// than a fast non-cryptographic hash: fingerprint keys are already
+// SHA-256 strings, and node names are attacker-ignorable, but the ring
+// tests demand a distribution good enough that balance bounds hold at
+// modest vnode counts, which fnv-style hashes fail on structured input
+// like "host:port#17".
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Set places a node on the ring with the given weight in [0,1]; weight 0
+// removes it. A fractional weight rounds to at least one vnode while
+// positive, so a heavily degraded node still owns its primary ranges
+// (keeping its cache warm) instead of flapping off the ring entirely.
+func (r *Ring) Set(node string, weight float64) {
+	n := 0
+	if weight > 0 {
+		n = int(weight*float64(r.vnodes) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		if n > r.vnodes {
+			n = r.vnodes
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] == n {
+		return
+	}
+	r.rebuildLocked(node, n)
+}
+
+// Remove takes a node off the ring entirely.
+func (r *Ring) Remove(node string) { r.Set(node, 0) }
+
+// rebuildLocked recomputes the point list after one node's vnode count
+// changed. Vnode hashes are pure functions of (node, index), so the
+// untouched nodes' positions are bit-identical across rebuilds — that,
+// not the rebuild strategy, is what guarantees minimal movement.
+func (r *Ring) rebuildLocked(node string, n int) {
+	if n == 0 {
+		delete(r.nodes, node)
+	} else {
+		r.nodes[node] = n
+	}
+	points := make([]ringPoint, 0, len(r.points)+n)
+	for nd, cnt := range r.nodes {
+		for i := 0; i < cnt; i++ {
+			points = append(points, ringPoint{hash: vnodeHash(nd, i), node: nd})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the node name so the
+		// ring order is deterministic across processes.
+		return points[i].node < points[j].node
+	})
+	r.points = points
+}
+
+func vnodeHash(node string, i int) uint64 {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(i))
+	return hash64(node + "#" + string(idx[:]))
+}
+
+// Lookup returns up to max distinct nodes responsible for the key, in
+// ring order: the owner first, then the failover replicas a coordinator
+// tries in sequence. Returns nil when the ring is empty.
+func (r *Ring) Lookup(key string, max int) []string {
+	h := hash64(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the primary node for a key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	nodes := r.Lookup(key, 1)
+	if len(nodes) == 0 {
+		return ""
+	}
+	return nodes[0]
+}
+
+// Nodes returns each member's current vnode count (a copy).
+func (r *Ring) Nodes() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.nodes))
+	for n, c := range r.nodes {
+		out[n] = c
+	}
+	return out
+}
+
+// Occupancy returns each node's share of the hash circle — the fraction
+// of key space it owns — for the ring-occupancy metric. Shares sum to 1
+// on a non-empty ring.
+func (r *Ring) Occupancy() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return out
+	}
+	// Arc before points[i] (wrapping) belongs to points[i].
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // uint64 wrap-around is exactly the circle arithmetic
+		out[p.node] += float64(arc) / (1 << 63) / 2
+		prev = p.hash
+	}
+	return out
+}

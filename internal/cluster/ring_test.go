@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates deterministic fingerprint-shaped keys.
+func ringKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", rng.Uint64())
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8763", i+1)
+	}
+	return nodes
+}
+
+// TestRingBalance pins the load-balance property: with the default vnode
+// count, every node's share of a large seeded key population stays
+// within a modest factor of the fair share, for several cluster sizes.
+func TestRingBalance(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(0)
+		nodes := ringNodes(n)
+		for _, nd := range nodes {
+			r.Set(nd, 1)
+		}
+		counts := map[string]int{}
+		for _, k := range ringKeys(keys, 42) {
+			owner := r.Owner(k)
+			if owner == "" {
+				t.Fatalf("n=%d: empty owner", n)
+			}
+			counts[owner]++
+		}
+		mean := float64(keys) / float64(n)
+		for nd, c := range counts {
+			ratio := float64(c) / mean
+			if ratio < 0.55 || ratio > 1.6 {
+				t.Errorf("n=%d: node %s owns %d keys (%.2fx fair share), outside [0.55, 1.6]",
+					n, nd, c, ratio)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		// Occupancy (arc shares) must agree with the sampled distribution
+		// and sum to 1.
+		sum := 0.0
+		for _, share := range r.Occupancy() {
+			sum += share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: occupancy sums to %v, want 1", n, sum)
+		}
+	}
+}
+
+// TestRingMinimalMovementJoin pins the defining consistent-hashing
+// property: adding a node moves keys only TO the new node (no key
+// shuffles between survivors), and the moved fraction is close to the
+// fair share 1/(n+1).
+func TestRingMinimalMovementJoin(t *testing.T) {
+	const n, keyCount = 4, 10000
+	r := NewRing(0)
+	for _, nd := range ringNodes(n) {
+		r.Set(nd, 1)
+	}
+	keys := ringKeys(keyCount, 7)
+	before := make(map[string]string, keyCount)
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	joined := "http://10.0.0.99:8763"
+	r.Set(joined, 1)
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != joined {
+			t.Fatalf("key %s moved %s → %s, not to the joining node", k, before[k], after)
+		}
+	}
+	fair := float64(keyCount) / float64(n+1)
+	if f := float64(moved); f < 0.5*fair || f > 1.7*fair {
+		t.Errorf("join moved %d keys, want near fair share %.0f", moved, fair)
+	}
+}
+
+// TestRingMinimalMovementLeave: removing a node moves only the keys it
+// owned; every other key keeps its owner.
+func TestRingMinimalMovementLeave(t *testing.T) {
+	const n, keyCount = 5, 10000
+	r := NewRing(0)
+	nodes := ringNodes(n)
+	for _, nd := range nodes {
+		r.Set(nd, 1)
+	}
+	keys := ringKeys(keyCount, 1234)
+	before := make(map[string]string, keyCount)
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	gone := nodes[2]
+	r.Remove(gone)
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == gone {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+		if before[k] != gone && after != before[k] {
+			t.Fatalf("key %s moved %s → %s though its owner stayed up", k, before[k], after)
+		}
+	}
+}
+
+// TestRingWeightReduction: halving a node's weight only moves keys away
+// from that node (its vnode positions are a pure function of index, so
+// survivors' arcs never shuffle among themselves), and its share drops
+// roughly proportionally.
+func TestRingWeightReduction(t *testing.T) {
+	const n, keyCount = 4, 12000
+	r := NewRing(0)
+	nodes := ringNodes(n)
+	for _, nd := range nodes {
+		r.Set(nd, 1)
+	}
+	keys := ringKeys(keyCount, 99)
+	before := make(map[string]string, keyCount)
+	degraded := nodes[1]
+	ownedBefore := 0
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+		if before[k] == degraded {
+			ownedBefore++
+		}
+	}
+
+	r.Set(degraded, 0.5)
+	ownedAfter := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == degraded {
+			ownedAfter++
+		}
+		if before[k] != degraded && after != before[k] {
+			t.Fatalf("key %s moved %s → %s when only %s was reweighted",
+				k, before[k], after, degraded)
+		}
+	}
+	if ownedAfter >= ownedBefore {
+		t.Fatalf("weight 0.5 did not shed load: %d → %d keys", ownedBefore, ownedAfter)
+	}
+	if ratio := float64(ownedAfter) / float64(ownedBefore); ratio < 0.25 || ratio > 0.8 {
+		t.Errorf("weight 0.5 kept %.2f of the node's keys, want roughly half", ratio)
+	}
+}
+
+// TestRingLookupReplicas: replica lists are distinct, start with the
+// owner, and are stable across calls.
+func TestRingLookupReplicas(t *testing.T) {
+	r := NewRing(0)
+	nodes := ringNodes(5)
+	for _, nd := range nodes {
+		r.Set(nd, 1)
+	}
+	for _, k := range ringKeys(200, 5) {
+		reps := r.Lookup(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("lookup returned %d replicas, want 3", len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("replica 0 %s is not the owner %s", reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, nd := range reps {
+			if seen[nd] {
+				t.Fatalf("duplicate replica %s for key %s", nd, k)
+			}
+			seen[nd] = true
+		}
+		again := r.Lookup(k, 3)
+		for i := range reps {
+			if reps[i] != again[i] {
+				t.Fatalf("lookup unstable for %s: %v vs %v", k, reps, again)
+			}
+		}
+	}
+	// Asking for more replicas than nodes returns every node once.
+	if got := len(r.Lookup("sha256:abc", 10)); got != 5 {
+		t.Fatalf("lookup(max=10) returned %d nodes, want 5", got)
+	}
+	// Empty ring returns nil.
+	empty := NewRing(0)
+	if empty.Lookup("k", 2) != nil {
+		t.Fatal("empty ring lookup should be nil")
+	}
+}

@@ -103,6 +103,19 @@ func (c *programCache) lookup(handle string) (*program, bool) {
 	return p, true
 }
 
+// peek returns the cached program without refreshing its LRU position
+// or counting a hit — for peer store serves, which are cross-node
+// bookkeeping, not client demand for this node's cache.
+func (c *programCache) peek(handle string) (*program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[handle]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*program), true
+}
+
 // getOrCreate returns the resident program for the fingerprint, or
 // inserts a new placeholder entry (evicting the LRU program beyond
 // capacity) that the caller must compile and publish with finish. created

@@ -66,6 +66,10 @@ type metrics struct {
 	storeWriteErrors     expvar.Int
 	storeWriteCancels    expvar.Int // write-throughs canceled by eviction
 	storeCorruptions     expvar.Int // records quarantined on read
+	storePeerHits        expvar.Int // misses answered by a peer's store record
+	storePeerMisses      expvar.Int // peer fan-outs that found no copy anywhere
+	storePeerErrors      expvar.Int // peer fetches that failed or failed verification
+	storeRecordsServed   expvar.Int // store records served to fetching peers
 	checkpointSaves      expvar.Int
 	checkpointSaveErrors expvar.Int
 	checkpointRestores   expvar.Int // checkpoints restored at startup (0 or 1)
@@ -124,6 +128,10 @@ func newMetrics() *metrics {
 	m.root.Set("store_write_errors", &m.storeWriteErrors)
 	m.root.Set("store_write_cancels", &m.storeWriteCancels)
 	m.root.Set("store_corruptions", &m.storeCorruptions)
+	m.root.Set("store_peer_hits", &m.storePeerHits)
+	m.root.Set("store_peer_misses", &m.storePeerMisses)
+	m.root.Set("store_peer_errors", &m.storePeerErrors)
+	m.root.Set("store_records_served", &m.storeRecordsServed)
 	m.root.Set("checkpoint_saves", &m.checkpointSaves)
 	m.root.Set("checkpoint_save_errors", &m.checkpointSaveErrors)
 	m.root.Set("checkpoint_restores", &m.checkpointRestores)

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/store"
+)
+
+// The cluster-shareable half of the program store. Each worker exposes
+// its compiled programs as raw self-verifying store records
+// (GET /v1/store/program), and a worker that misses both its cache and
+// its local disk store asks its peers for the record before running the
+// compile pipeline. The record's layered verification (envelope
+// checksum, schema version, canonical-target check, DFG cross-check
+// against the source the fingerprint covers) makes the exchange safe by
+// construction: a bad record from any peer degrades to a recompile,
+// never to a wrong program. Net effect across a fingerprint-routed
+// cluster: each distinct program compiles on exactly one node, ever.
+
+// JitteredRetryAfter sets a Retry-After header randomized over 1..3
+// seconds. Serve's backpressure (429) and fault-window (503) responses
+// use it so a cluster of coordinators and clients retrying against a
+// recovering worker spreads out instead of synchronizing into a retry
+// storm; the coordinator's own draining/empty-ring rejections reuse it.
+func JitteredRetryAfter(h http.Header) {
+	h.Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
+}
+
+// handleStoreProgram serves GET /v1/store/program?program=<handle>: the
+// raw store record for a fingerprint, as application/octet-stream. The
+// record comes from the local disk store when present, else is encoded
+// from the resident cache entry (covering the async write-through
+// window and store-less nodes). 404 means "I don't have it" — the
+// fetching peer compiles.
+func (s *Server) handleStoreProgram(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "store_program", http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	handle := r.URL.Query().Get("program")
+	if handle == "" {
+		s.writeError(w, "store_program", http.StatusBadRequest, errors.New("program query parameter is required"))
+		return
+	}
+	if s.persist != nil {
+		raw, err := s.persist.st.LoadProgramRecord(handle)
+		switch {
+		case err == nil:
+			s.serveRecord(w, raw)
+			return
+		case errors.Is(err, store.ErrCorrupt):
+			s.met.storeCorruptions.Add(1)
+			s.log.Warn("stored program quarantined during peer serve", "program", handle, "err", err)
+		case !errors.Is(err, store.ErrNotFound):
+			s.log.Warn("program store read failed during peer serve", "program", handle, "err", err)
+		}
+	}
+	// Not on disk (or no state dir): a resident, successfully compiled
+	// entry can still be served — encode it into the same record bytes.
+	if p, ok := s.cache.peek(handle); ok {
+		select {
+		case <-p.ready:
+			if p.err == nil {
+				if raw, err := store.EncodeProgramRecord(p.ex); err == nil {
+					s.serveRecord(w, raw)
+					return
+				}
+			}
+		default:
+			// Still compiling; the peer can compile concurrently (the
+			// fingerprint router makes this window rare) rather than
+			// block a cross-node request on our pipeline.
+		}
+	}
+	s.writeError(w, "store_program", http.StatusNotFound, errors.New("program record not available"))
+}
+
+func (s *Server) serveRecord(w http.ResponseWriter, raw []byte) {
+	s.met.recordResponse("store_program", http.StatusOK)
+	s.met.storeRecordsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
+}
+
+// fetchFromPeers asks each configured peer for the fingerprint's store
+// record, returning the first one that verifies and decodes for this
+// (source, target). Peers answer from disk or cache in microseconds, so
+// the fan-out is sequential with a short per-peer timeout — simple, and
+// a miss everywhere just means we compile like a standalone node.
+func (s *Server) fetchFromPeers(ctx context.Context, handle, src string, tgt compile.Target) (*compile.Executable, bool) {
+	for _, peer := range s.cfg.Peers {
+		if peer == "" {
+			continue
+		}
+		raw, status, err := s.fetchRecord(ctx, peer, handle)
+		switch {
+		case err != nil:
+			s.met.storePeerErrors.Add(1)
+			s.log.Warn("peer store fetch failed", "peer", peer, "program", handle, "err", err)
+			continue
+		case status == http.StatusNotFound:
+			continue
+		case status != http.StatusOK:
+			s.met.storePeerErrors.Add(1)
+			s.log.Warn("peer store fetch rejected", "peer", peer, "program", handle, "status", status)
+			continue
+		}
+		ex, err := store.DecodeProgramRecord(raw, src, tgt)
+		if err != nil {
+			// The record failed verification: wrong bytes from a buggy or
+			// stale peer. Never run it; try the next peer or compile.
+			s.met.storePeerErrors.Add(1)
+			s.log.Warn("peer store record failed verification; ignoring",
+				"peer", peer, "program", handle, "err", err)
+			continue
+		}
+		s.met.storePeerHits.Add(1)
+		return ex, true
+	}
+	s.met.storePeerMisses.Add(1)
+	return nil, false
+}
+
+// fetchRecord runs one bounded peer round trip.
+func (s *Server) fetchRecord(ctx context.Context, peer, handle string) ([]byte, int, error) {
+	fctx, cancel := context.WithTimeout(ctx, s.cfg.PeerFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet,
+		peer+"/v1/store/program?program="+handle, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, resp.StatusCode, nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, resp.StatusCode, nil
+}
+
+// peerClientFor builds the HTTP client used for peer store fetches.
+func peerClientFor(cfg Config) *http.Client {
+	if cfg.PeerClient != nil {
+		return cfg.PeerClient
+	}
+	return &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: 2},
+		Timeout:   2 * cfg.PeerFetchTimeout,
+	}
+}

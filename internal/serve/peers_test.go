@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPeerFetchRacesWriteThrough pins the shared-program-store contract
+// under concurrency (run with -race): a worker whose cache misses can
+// fetch the compiled record from a peer while its own async
+// write-through and LRU eviction churn underneath. The fetching worker
+// must never compile (the cluster compiles each fingerprint once,
+// ever), must never leave orphaned .tmp-* files in its store, and every
+// answer must be correct.
+func TestPeerFetchRacesWriteThrough(t *testing.T) {
+	progs := make([]string, 4)
+	for i := range progs {
+		w := 3 + i
+		progs[i] = fmt.Sprintf(
+			"unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a + b; }",
+			w+1, w, w)
+	}
+
+	// Worker A owns every program: compile them all up front so its
+	// store has the records.
+	a := New(Config{CoalesceWindow: time.Millisecond, StateDir: t.TempDir(), SnapshotInterval: -1})
+	ats := httptest.NewServer(a)
+	defer ats.Close()
+	for _, src := range progs {
+		var cr CompileResponse
+		if code := post(t, ats.URL+"/v1/compile", CompileRequest{Source: src}, &cr); code != 200 {
+			t.Fatalf("seed compile: status %d", code)
+		}
+	}
+
+	// Worker B: cache capacity 1 forces an eviction on almost every
+	// request, so peer fetches, the async write-through of the fetched
+	// record, and eviction-cancelled write-throughs all race.
+	bdir := t.TempDir()
+	b := New(Config{
+		MaxPrograms:      1,
+		CoalesceWindow:   time.Millisecond,
+		StateDir:         bdir,
+		SnapshotInterval: -1,
+		Peers:            []string{ats.URL},
+	})
+	bts := httptest.NewServer(b)
+	defer bts.Close()
+
+	const goroutines = 8
+	const rounds = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(progs)
+				width := 3 + i
+				mask := uint64(1)<<width - 1
+				in := [][]uint64{{uint64(g) & mask, uint64(r) & mask}}
+				want := [][]uint64{{(in[0][0] + in[0][1]) & (uint64(1)<<(width+1) - 1)}}
+				var rr RunResponse
+				code, err := postClient(bts.URL+"/v1/run", RunRequest{Source: progs[i], Inputs: in}, &rr)
+				if err != nil || code != 200 {
+					errs <- fmt.Errorf("g%d r%d: status %d err %v", g, r, code, err)
+					continue
+				}
+				if !reflect.DeepEqual(rr.Outputs, want) {
+					errs <- fmt.Errorf("g%d r%d: got %v want %v", g, r, rr.Outputs, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// B never ran the compile pipeline: every miss was answered by its
+	// own store (write-through of an earlier fetch) or by peer A.
+	if got := b.met.compiles.Value(); got != 0 {
+		t.Errorf("worker B compiled %d times; peer fetch should have made that 0", got)
+	}
+	if b.met.storePeerHits.Value() == 0 {
+		t.Error("worker B recorded no peer store hits")
+	}
+
+	// Drain B so in-flight write-throughs settle, then check its store
+	// directory for orphaned temp files (store.Open would sweep them on
+	// restart, so inspect the live directory instead of reopening).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("drain B: %v", err)
+	}
+	temps, err := filepath.Glob(filepath.Join(bdir, "*", ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moreTemps, err := filepath.Glob(filepath.Join(bdir, ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temps = append(temps, moreTemps...); len(temps) != 0 {
+		t.Errorf("orphaned temp files after drain: %v", temps)
+	}
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain A: %v", err)
+	}
+}

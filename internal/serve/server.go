@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hyperap/internal/arch"
+	"hyperap/internal/buildinfo"
 	"hyperap/internal/compile"
 	"hyperap/internal/obs"
 	"hyperap/internal/tcam"
@@ -64,6 +65,18 @@ type Config struct {
 	// when StateDir is set (default 30s). Negative disables periodic
 	// snapshots; Drain still writes a final one.
 	SnapshotInterval time.Duration
+	// Peers are sibling worker base URLs in the same cluster. On a
+	// program-cache miss that also misses the local disk store, the
+	// server asks each peer for the fingerprint's self-verifying store
+	// record before running the compile pipeline, so a fingerprint-routed
+	// cluster compiles each distinct program once, ever. Empty keeps the
+	// standalone behavior.
+	Peers []string
+	// PeerFetchTimeout bounds one peer store round trip (default 2s).
+	PeerFetchTimeout time.Duration
+	// PeerClient overrides the HTTP client used for peer fetches
+	// (tests; default: a small dedicated client).
+	PeerClient *http.Client
 	// Logger receives one structured line per request (request id,
 	// status, per-phase durations) and drain progress. Default: discard.
 	Logger *slog.Logger
@@ -94,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.StateDir != "" && c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 30 * time.Second
 	}
+	if c.PeerFetchTimeout <= 0 {
+		c.PeerFetchTimeout = 2 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -115,6 +131,10 @@ type Server struct {
 	// the program store, the virtual-PE wear ledger and the checkpoint
 	// loop (persist.go).
 	persist *persistence
+
+	// peerClient fetches program store records from cluster siblings
+	// (peers.go).
+	peerClient *http.Client
 
 	sem      chan struct{} // worker-pool slots for RunBatch passes
 	inflight sync.WaitGroup
@@ -176,14 +196,25 @@ func New(cfg Config) *Server {
 			}
 		}
 	}
+	s.peerClient = peerClientFor(s.cfg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/compile", s.handleCompile)
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("/v1/store/program", s.handleStoreProgram)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/version", s.handleVersion)
 	return s
+}
+
+// handleVersion reports the build that is running — what rolling
+// cluster upgrades and bench artifacts record.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.met.recordResponse("version", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buildinfo.Get().JSON())
 }
 
 // ServeHTTP wraps every endpoint in a request span: a request id (taken
@@ -391,6 +422,19 @@ func (s *Server) compileProgram(ctx context.Context, src string, opts Options) (
 				return p, true, nil
 			}
 		}
+		if len(s.cfg.Peers) > 0 {
+			// Miss on memory and disk: ask cluster siblings for the
+			// record before compiling. A verified peer record installs
+			// like a compile (including the local write-through), so a
+			// cluster compiles each fingerprint once globally.
+			if ex, ok := s.fetchFromPeers(ctx, handle, src, tgt); ok {
+				s.cache.finish(p, ex, nil)
+				if s.persist != nil {
+					s.persist.writeThrough(p)
+				}
+				return p, true, nil
+			}
+		}
 		s.met.compiles.Add(1)
 		ex, err := compile.CompileSource(src, tgt)
 		s.cache.finish(p, ex, err)
@@ -501,8 +545,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err := s.admitSlots(len(req.Inputs)); err != nil {
 		// Both rejection causes are transient (queue drains in
 		// milliseconds, drain hands off to a replacement): tell clients
-		// when to come back.
-		w.Header().Set("Retry-After", "1")
+		// when to come back, with jitter so a cluster of retrying
+		// coordinators does not synchronize against a recovering node.
+		JitteredRetryAfter(w.Header())
 		s.writeError(w, "run", rejectStatus(err), err)
 		return
 	}
@@ -674,7 +719,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		JitteredRetryAfter(w.Header())
 		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -753,7 +798,7 @@ func (s *Server) runStatus(w http.ResponseWriter, err error) int {
 	var tfe *tcam.FaultError
 	if errors.As(err, &afe) || errors.As(err, &tfe) {
 		s.met.faultErrors.Add(1)
-		w.Header().Set("Retry-After", "1")
+		JitteredRetryAfter(w.Header())
 		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -77,6 +78,56 @@ func (s *Store) SaveProgram(ctx context.Context, handle string, ex *compile.Exec
 		return err
 	}
 	return s.writeAtomic(ctx, path, seal(kindProgram, ProgramVersion, payload))
+}
+
+// LoadProgramRecord returns the raw sealed record bytes for a handle —
+// the unit of cluster store exchange. The envelope is verified before
+// serving (corrupt records are quarantined, never shipped to a peer);
+// the fetching side verifies again with DecodeProgramRecord, so a
+// record is checked at both ends of the wire.
+func (s *Store) LoadProgramRecord(handle string) ([]byte, error) {
+	path, err := s.programPath(handle)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	if _, err := unseal(kindProgram, ProgramVersion, data); err != nil {
+		return nil, s.quarantine(path, err)
+	}
+	return data, nil
+}
+
+// EncodeProgramRecord seals a compiled program into the same
+// self-verifying record bytes SaveProgram writes to disk, so a node can
+// serve a peer-fetch for a program that is resident in memory but whose
+// asynchronous write-through has not landed yet (or that it holds
+// without any state directory at all).
+func EncodeProgramRecord(ex *compile.Executable) ([]byte, error) {
+	payload, err := compile.EncodeExecutable(ex)
+	if err != nil {
+		return nil, err
+	}
+	return seal(kindProgram, ProgramVersion, payload), nil
+}
+
+// DecodeProgramRecord verifies a record fetched from a peer and decodes
+// it for the (source, target) pair the fingerprint was computed from.
+// The layered checks — envelope checksum, schema version, canonical
+// target options, DFG shape cross-check — mean a corrupt, stale or
+// mis-keyed record can never become a runnable program: any failure
+// sends the caller to the compiler instead.
+func DecodeProgramRecord(raw []byte, src string, tgt compile.Target) (*compile.Executable, error) {
+	payload, err := unseal(kindProgram, ProgramVersion, raw)
+	if err != nil {
+		return nil, err
+	}
+	return compile.DecodeExecutable(payload, src, tgt)
 }
 
 // HasProgram reports whether an (unverified) record exists for the
