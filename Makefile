@@ -46,18 +46,23 @@ bench:
 # serve p50/p95/p99 and the cluster 1-vs-3-worker comparison, and write
 # the snapshot to $(BENCH_JSON) (a CI artifact). Bump PR for each new
 # snapshot.
-BENCH_JSON ?= BENCH_8.json
-PR ?= 8
+BENCH_JSON ?= BENCH_9.json
+PR ?= 9
 bench-json:
 	$(GO) run ./cmd/hyperap-bench -perf-json $(BENCH_JSON) -pr $(PR)
 
 # The multi-node e2e smoke: build real hyperap-serve and hyperap-coord
 # binaries, run 3 workers + a coordinator as separate processes, drive
 # mixed-fingerprint load, SIGKILL one worker mid-stream, and require
-# zero wrong results with eventual 200s. Writes cluster-metrics.json
-# (a CI artifact) with the post-kill /cluster and /metrics views.
+# zero wrong results with eventual 200s. Also drives one ?trace=1
+# request end to end (the stitched Perfetto timeline must carry spans
+# from >= 2 process tracks; written to cluster-trace.json, a CI
+# artifact) and lints every binary's /metrics/prometheus exposition.
+# cluster-metrics.json (a CI artifact) keeps the post-kill /cluster and
+# /metrics views.
 cluster-e2e:
 	HYPERAP_CLUSTER_E2E=1 HYPERAP_CLUSTER_METRICS=$(CURDIR)/cluster-metrics.json \
+		HYPERAP_CLUSTER_TRACE=$(CURDIR)/cluster-trace.json \
 		$(GO) test -race -run TestClusterProcE2E -v ./internal/cluster/
 
 # The crash-safety gate for the durable state store: the torture sweep

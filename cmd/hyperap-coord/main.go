@@ -30,6 +30,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served at -debug-addr only
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +53,9 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "ring positions per full-weight worker (0 = default 128)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight forwards on shutdown")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6061; empty = disabled)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests without a Traceparent sampled into distributed traces (0..1)")
+	traceBuffer := flag.Int("trace-buffer", 0, "in-memory span ring capacity behind GET /v1/trace/{id} (0 = default 8192)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -81,17 +85,31 @@ func main() {
 	}
 
 	coord := cluster.New(cluster.Config{
-		Workers:        urls,
-		Attempts:       *attempts,
-		RequestTimeout: *timeout,
-		AttemptTimeout: *attemptTimeout,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		FailAfter:      *failAfter,
-		Vnodes:         *vnodes,
-		Logger:         logger,
+		Workers:          urls,
+		Attempts:         *attempts,
+		RequestTimeout:   *timeout,
+		AttemptTimeout:   *attemptTimeout,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		FailAfter:        *failAfter,
+		Vnodes:           *vnodes,
+		Logger:           logger,
+		TraceSampleRate:  *traceSample,
+		TraceBufferSpans: *traceBuffer,
 	})
 	hs := &http.Server{Addr: *addr, Handler: coord}
+
+	// The coordinator serves its own mux, so the pprof routes registered
+	// on http.DefaultServeMux are only reachable through the separate
+	// debug listener — never on the public address.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *debugAddr))
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

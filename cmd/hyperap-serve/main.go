@@ -69,6 +69,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for durable state: on-disk program store + chip-state checkpoints (empty = no persistence)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "period between chip-state checkpoints when -state-dir is set (0 = default 30s, negative = drain-time only)")
 	peers := flag.String("peers", "", "comma-separated sibling worker base URLs: program-store misses fetch the compiled record from a peer before recompiling")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests without a Traceparent sampled into distributed traces (0..1)")
+	traceBuffer := flag.Int("trace-buffer", 0, "in-memory span ring capacity behind GET /v1/trace/{id} (0 = default 8192)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -115,6 +117,8 @@ func main() {
 		StateDir:         *stateDir,
 		SnapshotInterval: *snapshotInterval,
 		Peers:            peerURLs,
+		TraceSampleRate:  *traceSample,
+		TraceBufferSpans: *traceBuffer,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

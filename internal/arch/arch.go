@@ -158,6 +158,11 @@ type Chip struct {
 	// instructions to observe execute.
 	Tracing bool
 
+	// TraceID, when non-empty, is the distributed trace id of the request
+	// that drove this pass (compile.WithTraceID); exporters carry it so a
+	// chip timeline can be joined to the cluster-level stitched trace.
+	TraceID string
+
 	instrSeq  int64        // instructions dispatched so far (event Seq)
 	chipTrace []TraceEvent // top-level controller events (serial-only ops)
 

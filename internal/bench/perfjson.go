@@ -39,6 +39,20 @@ type PerfReport struct {
 	Serve      ServePerf    `json:"serve"`
 	Startup    StartupPerf  `json:"startup"`
 	Cluster    ClusterPerf  `json:"cluster"`
+	Trace      TracePerf    `json:"trace_overhead"`
+}
+
+// TracePerf quantifies what distributed tracing costs the simulator hot
+// path: add8 ns/slot with sampling off (no trace options — the
+// production default, which must stay within noise of the untraced
+// trajectory) vs fully traced (compile.WithTrace plus a propagated
+// trace id, the ?trace=1 path, which pays per-PE event collection).
+type TracePerf struct {
+	PEs              int     `json:"pes"`
+	Slots            int     `json:"slots"`
+	OffNsPerSlot     float64 `json:"off_ns_per_slot"`
+	SampledNsPerSlot float64 `json:"sampled_ns_per_slot"`
+	OverheadFrac     float64 `json:"overhead_frac"` // (sampled-off)/off
 }
 
 // KernelPerf is one measured kernel configuration. A slot is one SIMD
@@ -131,7 +145,40 @@ func PerfJSON(pr int) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Cluster = *cp
+
+	tp, err := measureTraceOverhead(ex)
+	if err != nil {
+		return nil, err
+	}
+	rep.Trace = *tp
 	return rep, nil
+}
+
+// measureTraceOverhead runs the same add8 workload untraced and traced
+// on the largest scaling configuration.
+func measureTraceOverhead(ex *compile.Executable) (*TracePerf, error) {
+	pes := ScalingPEs[len(ScalingPEs)-1]
+	n := pes * tech.PERows
+	inputs := ScalingInputs(n)
+	off, err := measureRunBatch(ex, inputs)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := measureRunBatch(ex, inputs,
+		compile.WithTrace(), compile.WithTraceID("benchbenchbenchbenchbenchbench00"))
+	if err != nil {
+		return nil, err
+	}
+	tp := &TracePerf{
+		PEs:              pes,
+		Slots:            n,
+		OffNsPerSlot:     float64(off.Nanoseconds()) / float64(n),
+		SampledNsPerSlot: float64(sampled.Nanoseconds()) / float64(n),
+	}
+	if off > 0 {
+		tp.OverheadFrac = float64(sampled-off) / float64(off)
+	}
+	return tp, nil
 }
 
 // measureRunBatch times one full RunBatch workload, best of three runs.

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,16 @@ type Config struct {
 	Client *http.Client
 	// Logger receives request lines and membership transitions.
 	Logger *slog.Logger
+	// TraceSampleRate samples requests without an incoming Traceparent
+	// into the distributed trace ([0,1]; default 0 = only explicit
+	// ?trace=1 requests are traced).
+	TraceSampleRate float64
+	// TraceBufferSpans bounds the in-memory span ring served at
+	// GET /v1/trace/{trace-id} (default obs.DefaultSpanStoreCap).
+	TraceBufferSpans int
+	// ProcessName labels the coordinator's track in stitched timelines
+	// (default "hyperap-coord").
+	ProcessName string
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
+	}
+	if c.ProcessName == "" {
+		c.ProcessName = "hyperap-coord"
 	}
 	return c
 }
@@ -102,6 +117,11 @@ type Coordinator struct {
 	log  *slog.Logger
 	mux  *http.ServeMux
 
+	// spans is the coordinator's bounded span ring: the ingress, routing
+	// and per-attempt forward spans it contributes to stitched timelines
+	// (GET /v1/trace/{trace-id}).
+	spans *obs.SpanStore
+
 	inflight sync.WaitGroup
 	draining atomic.Bool
 }
@@ -126,13 +146,16 @@ func New(cfg Config) *Coordinator {
 			Logger:        cfg.Logger,
 		}, met),
 	}
+	c.spans = obs.NewSpanStore(cfg.ProcessName, cfg.TraceBufferSpans)
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/v1/run", c.handleProxy)
 	c.mux.HandleFunc("/v1/compile", c.handleProxy)
 	c.mux.HandleFunc("/cluster", c.handleCluster)
+	c.mux.HandleFunc("/v1/trace/", c.handleTrace)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/readyz", c.handleReadyz)
 	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/metrics/prometheus", c.handleMetricsProm)
 	c.mux.HandleFunc("/version", c.handleVersion)
 	met.setReadyNodes(c.pool.readyCount())
 	c.pool.Start()
@@ -145,6 +168,11 @@ func (c *Coordinator) Pool() *Pool { return c.pool }
 // Metrics exposes the coordinator metric set.
 func (c *Coordinator) Metrics() *Metrics { return c.met }
 
+// ServeHTTP is the coordinator's ingress middleware: request id, trace
+// context (an incoming Traceparent is honored, otherwise a new trace
+// starts here — the usual case, the coordinator being the cluster's
+// front door), latency accounting, and the span export that makes the
+// coordinator's half of every stitched timeline.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Request-Id")
 	if id == "" {
@@ -152,16 +180,37 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-Id", id)
 	r.Header.Set("X-Request-Id", id)
-	t0 := time.Now()
+	tc, parent := c.traceContext(r)
+	w.Header().Set("Traceparent", tc.Traceparent())
+	span := obs.StartSpan(id)
+	ctx := obs.WithSpan(r.Context(), span)
+	ctx = obs.WithTraceContext(ctx, tc)
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	c.mux.ServeHTTP(sw, r)
-	c.met.requestHist.Observe(time.Since(t0).Nanoseconds())
+	c.mux.ServeHTTP(sw, r.WithContext(ctx))
+	c.met.requestHist.Observe(time.Since(span.Start).Nanoseconds())
+	c.met.recordResponse(sw.status)
+	if tc.Sampled {
+		c.spans.Add(span.Export(tc, parent, r.Method+" "+r.URL.Path)...)
+	}
 	c.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("id", id),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.status),
-		slog.Duration("latency", time.Since(t0)))
+		slog.String("trace_id", tc.TraceID),
+		slog.Duration("latency", time.Since(span.Start)))
+}
+
+// traceContext resolves the request's trace identity (the coordinator
+// analog of serve's: honor an incoming header, else start a trace,
+// sampled on explicit ?trace=1 or the configured rate).
+func (c *Coordinator) traceContext(r *http.Request) (tc obs.TraceContext, parent string) {
+	if up, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+		return up.Child(), up.SpanID
+	}
+	sampled := r.URL.Query().Get("trace") == "1" ||
+		(c.cfg.TraceSampleRate > 0 && rand.Float64() < c.cfg.TraceSampleRate)
+	return obs.NewTraceContext(sampled), ""
 }
 
 type statusWriter struct {
@@ -201,27 +250,30 @@ type routeView struct {
 	Program string        `json:"program"`
 	Source  string        `json:"source"`
 	Options serve.Options `json:"options"`
+	// Inputs is decoded shallowly (raw slots, never the values) so the
+	// hot-program table can account slot counts per fingerprint.
+	Inputs []json.RawMessage `json:"inputs"`
 }
 
 // routingKey derives the consistent-hash key: the program handle when
 // present (it IS the fingerprint), otherwise the fingerprint of the
 // inline source under its canonical target.
-func routingKey(body []byte) (string, error) {
+func routingKey(body []byte) (string, int, error) {
 	var v routeView
 	if err := json.Unmarshal(body, &v); err != nil {
-		return "", fmt.Errorf("bad request body: %w", err)
+		return "", 0, fmt.Errorf("bad request body: %w", err)
 	}
 	if v.Program != "" {
-		return v.Program, nil
+		return v.Program, len(v.Inputs), nil
 	}
 	if v.Source == "" {
-		return "", errors.New("program or source is required")
+		return "", 0, errors.New("program or source is required")
 	}
 	tgt, err := v.Options.Target()
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
-	return compile.Fingerprint(v.Source, tgt), nil
+	return compile.Fingerprint(v.Source, tgt), len(v.Inputs), nil
 }
 
 // failoverStatus reports whether a worker response should be retried on
@@ -255,17 +307,23 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	c.inflight.Add(1)
 	defer c.inflight.Done()
 
+	span := obs.SpanFrom(r.Context())
+	tc := obs.TraceContextFrom(r.Context())
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
 		c.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 		return
 	}
-	key, err := routingKey(body)
+	routeStart := time.Now()
+	key, slots, err := routingKey(body)
 	if err != nil {
 		c.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	replicas := c.pool.Ring().Lookup(key, c.cfg.Attempts)
+	span.PhaseFull("route", routeStart, time.Since(routeStart), "", "",
+		map[string]string{"key": key, "replicas": strconv.Itoa(len(replicas))})
 	if len(replicas) == 0 {
 		c.met.rejectedNoNodes.Add(1)
 		serve.JitteredRetryAfter(w.Header())
@@ -277,8 +335,18 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var last *workerResponse
 	var lastErr error
+	var attempted []string
 	for i, node := range replicas {
-		resp, err := c.forward(ctx, node, r, body)
+		// Every attempt gets its own pre-assigned forward span id, sent to
+		// the worker as its Traceparent parent — so a failover's retries
+		// show up as sibling forward spans, each with the worker-side
+		// timeline hanging underneath it.
+		fwdTC := tc.Child()
+		fwdStart := time.Now()
+		resp, err := c.forward(ctx, node, r, body, fwdTC.Traceparent())
+		span.PhaseFull("forward", fwdStart, time.Since(fwdStart), "", fwdTC.SpanID,
+			map[string]string{"node": node, "attempt": strconv.Itoa(i + 1), "status": strconv.Itoa(respStatus(resp))})
+		attempted = append(attempted, node)
 		latency := int64(-1)
 		if resp != nil {
 			latency = resp.latencyNS
@@ -287,6 +355,11 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 		c.met.recordForward(node, latency, failover)
 		c.met.forwards.Add(1)
 		if !failover {
+			c.met.hot.Record(key, slots, time.Since(span.Start).Nanoseconds())
+			if c.shouldStitch(r, tc, resp) {
+				c.writeStitched(ctx, w, r, tc, span, resp, attempted)
+				return
+			}
 			c.writeWorkerResponse(w, resp)
 			return
 		}
@@ -335,7 +408,7 @@ type workerResponse struct {
 // forward sends one request to one worker and buffers the whole
 // response. A read error mid-body returns an error (and no response):
 // the caller fails over, and the client never sees partial bytes.
-func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request, body []byte) (*workerResponse, error) {
+func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request, body []byte, traceparent string) (*workerResponse, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	url := node + r.URL.Path
@@ -348,6 +421,7 @@ func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request,
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+	req.Header.Set("Traceparent", traceparent)
 	t0 := time.Now()
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"expvar"
 	"sync"
+	"time"
 
 	"hyperap/internal/obs"
 )
@@ -32,6 +33,14 @@ type Metrics struct {
 
 	mu    sync.Mutex
 	nodes map[string]*nodeMetrics
+
+	// Cluster-observability layer (DESIGN.md §14): rolling request/error
+	// rates, the hot-program table keyed by routing fingerprint, and the
+	// Prometheus-format registry behind GET /metrics/prometheus.
+	reqWindow *obs.RateWindow
+	errWindow *obs.RateWindow
+	hot       *obs.HotPrograms
+	prom      *obs.PromRegistry
 }
 
 // nodeMetrics is one worker's rollup.
@@ -62,7 +71,51 @@ func NewMetrics() *Metrics {
 	m.root.Set("request_latency", expvar.Func(m.requestHist.Summary))
 	m.root.Set("node_requests", m.nodeRequests)
 	m.root.Set("node_failures", m.nodeFailures)
+	m.reqWindow = obs.NewRateWindow(5*time.Minute, 5*time.Second)
+	m.errWindow = obs.NewRateWindow(5*time.Minute, 5*time.Second)
+	m.hot = obs.NewHotPrograms(0, 0)
+	m.prom = m.buildPromRegistry("hyperap_coord_")
 	return m
+}
+
+// buildPromRegistry renders the coordinator counters as Prometheus
+// families (naming per DESIGN.md §14): the expvar ints walked with
+// ready_nodes declared as a gauge, the per-node maps re-registered with
+// a "node" label, the latency histogram natively, plus the rolling
+// rates and the hot-program (routing-fingerprint) table.
+func (m *Metrics) buildPromRegistry(prefix string) *obs.PromRegistry {
+	reg := obs.NewPromRegistry()
+	gauges := map[string]bool{"ready_nodes": true}
+	skip := map[string]bool{"node_requests": true, "node_failures": true}
+	reg.RegisterExpvarMap(prefix, m.root, gauges, skip)
+	nodeVec := func(src *expvar.Map) func() []obs.PromSample {
+		return func() []obs.PromSample {
+			var out []obs.PromSample
+			src.Do(func(kv expvar.KeyValue) {
+				if iv, ok := kv.Value.(*expvar.Int); ok {
+					out = append(out, obs.PromSample{
+						Labels: []obs.PromLabel{{Key: "node", Value: kv.Key}},
+						Value:  float64(iv.Value()),
+					})
+				}
+			})
+			return out
+		}
+	}
+	reg.CounterVec(prefix+"node_requests_total", "forwards answered per worker node", nodeVec(m.nodeRequests))
+	reg.CounterVec(prefix+"node_failures_total", "forwards failed-over per worker node", nodeVec(m.nodeFailures))
+	reg.Histogram(prefix+"request_duration_ns", "end-to-end coordinator latency per request (ns)", m.requestHist)
+	obs.RegisterRatesAndHot(reg, prefix, m.reqWindow, m.errWindow, m.hot, 10)
+	return reg
+}
+
+// recordResponse feeds one finished client request into the rolling rate
+// windows (errors = 5xx).
+func (m *Metrics) recordResponse(status int) {
+	m.reqWindow.Add(1)
+	if status >= 500 {
+		m.errWindow.Add(1)
+	}
 }
 
 // Root exposes the expvar map for GET /metrics.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"hyperap/internal/obs"
 	"hyperap/internal/serve"
 )
 
@@ -108,6 +110,77 @@ func TestClusterProcE2E(t *testing.T) {
 		}
 		if want := p.expected(in); !reflect.DeepEqual(rr.Outputs, want) {
 			t.Fatalf("warmup %d: got %v want %v", pi, rr.Outputs, want)
+		}
+	}
+
+	// One traced request through the live cluster: the response must
+	// embed ONE stitched Perfetto document whose slices span at least two
+	// process tracks (coordinator ingress/route/forward + the owning
+	// worker's queue/run/chip spans), joined by the trace id the
+	// coordinator echoed in its Traceparent header. The document is
+	// written to $HYPERAP_CLUSTER_TRACE as a CI artifact.
+	{
+		p := progs[0]
+		in := p.inputs(99)
+		body, _ := json.Marshal(serve.RunRequest{Source: p.src, Inputs: in})
+		resp, err := http.Post(coordURL+"/v1/run?trace=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("traced run: %v", err)
+		}
+		htc, okTP := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+		var rr serve.RunResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || decErr != nil {
+			t.Fatalf("traced run: status %d decode err %v", resp.StatusCode, decErr)
+		}
+		if !okTP {
+			t.Fatalf("traced run: unparseable Traceparent %q", resp.Header.Get("Traceparent"))
+		}
+		if want := p.expected(in); !reflect.DeepEqual(rr.Outputs, want) {
+			t.Fatalf("traced run: got %v want %v", rr.Outputs, want)
+		}
+		meta, slices, other := decodeChrome(t, rr.Trace)
+		if got, _ := other["traceId"].(string); got != htc.TraceID {
+			t.Fatalf("stitched traceId %q != header trace id %q", got, htc.TraceID)
+		}
+		if len(meta) < 2 {
+			t.Fatalf("stitched trace has %d process tracks, want >= 2: %v", len(meta), meta)
+		}
+		if len(slices) < 5 {
+			t.Fatalf("stitched trace has only %d slices", len(slices))
+		}
+		if path := os.Getenv("HYPERAP_CLUSTER_TRACE"); path != "" {
+			if err := os.WriteFile(path, append(rr.Trace, '\n'), 0o644); err != nil {
+				t.Fatalf("writing %s: %v", path, err)
+			}
+			t.Logf("wrote stitched cluster trace artifact to %s (%d tracks, %d slices)",
+				path, len(meta), len(slices))
+		}
+	}
+
+	// Every binary's Prometheus exposition — each worker, the
+	// coordinator, and the coordinator's federated view — must parse
+	// under the text exposition grammar.
+	targets := []string{
+		coordURL + "/metrics/prometheus",
+		coordURL + "/metrics/prometheus?federate=1",
+	}
+	for _, u := range workerURLs {
+		targets = append(targets, u+"/metrics/prometheus")
+	}
+	for _, target := range targets {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatalf("scrape %s: %v", target, err)
+		}
+		raw, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || readErr != nil {
+			t.Fatalf("scrape %s: status %d err %v", target, resp.StatusCode, readErr)
+		}
+		if err := obs.LintPromText(bytes.NewReader(raw)); err != nil {
+			t.Fatalf("exposition from %s fails lint: %v", target, err)
 		}
 	}
 

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hyperap/internal/obs"
+	"hyperap/internal/serve"
+)
+
+// This file is the coordinator's timeline stitcher: it gathers the
+// per-process span sets of one trace (its own span store plus every
+// worker's GET /v1/trace/{id}) and renders them as a single Perfetto
+// document. A client run with ?trace=1 gets the stitched timeline
+// embedded in the RunResponse's trace field — one curl, one JSON, the
+// whole cluster's view of the request. It also hosts the federated
+// Prometheus scrape (GET /metrics/prometheus?federate=1).
+
+// shouldStitch reports whether this successful proxy response is a
+// traced run whose embedded trace should be replaced with the stitched
+// cluster timeline.
+func (c *Coordinator) shouldStitch(r *http.Request, tc obs.TraceContext, resp *workerResponse) bool {
+	return tc.Sampled && resp.status == http.StatusOK &&
+		r.URL.Path == "/v1/run" && r.URL.Query().Get("trace") == "1"
+}
+
+// writeStitched relays a traced run response with its trace field
+// replaced by the stitched cluster timeline. Any stitching failure
+// degrades to the worker's own (chip-level) trace rather than failing a
+// request that already succeeded.
+func (c *Coordinator) writeStitched(ctx context.Context, w http.ResponseWriter, r *http.Request,
+	tc obs.TraceContext, span *obs.Span, resp *workerResponse, attempted []string) {
+	var run serve.RunResponse
+	if err := json.Unmarshal(resp.body, &run); err != nil {
+		c.log.Warn("stitch: undecodable run response; relaying as-is", "err", err)
+		c.writeWorkerResponse(w, resp)
+		return
+	}
+	procs := []obs.ProcessSpans{{
+		Process: c.cfg.ProcessName,
+		Spans:   span.Export(tc, "", r.Method+" "+r.URL.Path),
+	}}
+	procs = append(procs, c.gatherWorkerSpans(ctx, tc.TraceID, attempted)...)
+	stitched, err := obs.StitchChromeTrace(tc.TraceID, procs)
+	if err != nil {
+		c.log.Warn("stitch: render failed; relaying as-is", "err", err)
+		c.writeWorkerResponse(w, resp)
+		return
+	}
+	run.Trace = stitched
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	json.NewEncoder(w).Encode(run)
+}
+
+// gatherWorkerSpans fetches one trace's spans from each attempted worker
+// node. A worker exports its spans only after its response bytes are
+// written, so the first fetch can race the export — each node is retried
+// briefly until it returns spans (a node that was attempted must have
+// recorded at least the request's root span).
+func (c *Coordinator) gatherWorkerSpans(ctx context.Context, traceID string, nodes []string) []obs.ProcessSpans {
+	var procs []obs.ProcessSpans
+	for _, node := range nodes {
+		var dump obs.TraceDump
+		for try := 0; try < 10; try++ {
+			d, err := c.fetchTraceDump(ctx, node, traceID)
+			if err == nil && len(d.Spans) > 0 {
+				dump = d
+				break
+			}
+			select {
+			case <-ctx.Done():
+				try = 10
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		if len(dump.Spans) == 0 {
+			continue
+		}
+		// The node URL disambiguates workers sharing a process name.
+		procs = append(procs, obs.ProcessSpans{
+			Process: dump.Process + " " + node,
+			Spans:   dump.Spans,
+		})
+	}
+	return procs
+}
+
+// fetchTraceDump does one GET /v1/trace/{id} round trip to one worker.
+func (c *Coordinator) fetchTraceDump(ctx context.Context, node, traceID string) (obs.TraceDump, error) {
+	fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, node+"/v1/trace/"+traceID, nil)
+	if err != nil {
+		return obs.TraceDump{}, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return obs.TraceDump{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.TraceDump{}, fmt.Errorf("worker trace fetch: %s", resp.Status)
+	}
+	var dump obs.TraceDump
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&dump); err != nil {
+		return obs.TraceDump{}, err
+	}
+	return dump, nil
+}
+
+// handleTrace serves one trace from the coordinator's own span store
+// (GET /v1/trace/{id}), or — with ?stitch=1 — gathers every live
+// worker's spans for the trace and renders the stitched Perfetto
+// timeline after the fact.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		c.writeError(w, http.StatusBadRequest, errors.New("GET /v1/trace/{trace-id}"))
+		return
+	}
+	if r.URL.Query().Get("stitch") != "1" {
+		c.writeJSON(w, http.StatusOK, c.spans.Dump(id))
+		return
+	}
+	procs := []obs.ProcessSpans{{Process: c.cfg.ProcessName, Spans: c.spans.ByTrace(id)}}
+	var nodes []string
+	for _, n := range c.pool.nodes {
+		nodes = append(nodes, n.url)
+	}
+	procs = append(procs, c.gatherWorkerSpans(r.Context(), id, nodes)...)
+	stitched, err := obs.StitchChromeTrace(id, procs)
+	if err != nil {
+		c.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(stitched)
+}
+
+// handleMetricsProm serves the coordinator's Prometheus exposition; with
+// ?federate=1 it appends every worker's /metrics/prometheus below its
+// own, each worker sample stamped with a node="<url>" label and repeated
+// HELP/TYPE comments deduplicated, so one scrape target covers the whole
+// cluster.
+func (c *Coordinator) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.prom.WriteText(w)
+	if r.URL.Query().Get("federate") != "1" {
+		return
+	}
+	seenFamily := map[string]bool{}
+	for _, n := range c.pool.nodes {
+		c.federateNode(r.Context(), w, n.url, seenFamily)
+	}
+}
+
+// federateNode streams one worker's exposition into the response,
+// injecting the node label line by line.
+func (c *Coordinator) federateNode(ctx context.Context, w io.Writer, node string, seenFamily map[string]bool) {
+	fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, node+"/metrics/prometheus", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 8<<20))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			// Keep each family's HELP/TYPE once across all workers (a
+			// duplicate TYPE is a grammar violation).
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key := fields[1] + " " + fields[2]
+				if seenFamily[key] {
+					continue
+				}
+				seenFamily[key] = true
+			}
+			fmt.Fprintln(w, line)
+			continue
+		}
+		if trimmed == "" {
+			continue
+		}
+		fmt.Fprintln(w, obs.InjectPromLabel(line, "node", node))
+	}
+}

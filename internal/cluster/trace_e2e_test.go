@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperap/internal/obs"
+	"hyperap/internal/serve"
+)
+
+// recordingWorker is a stub worker that records the observability
+// headers of every /v1/run attempt it receives and answers with a fixed
+// status. It always reports ready so the pool keeps it on the ring.
+type recordingWorker struct {
+	status int // answer for /v1/run
+
+	mu       sync.Mutex
+	requests []recordedAttempt
+}
+
+type recordedAttempt struct {
+	requestID   string
+	traceparent string
+}
+
+func (rw *recordingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/run" {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ready"}`)
+		return
+	}
+	rw.mu.Lock()
+	rw.requests = append(rw.requests, recordedAttempt{
+		requestID:   r.Header.Get("X-Request-Id"),
+		traceparent: r.Header.Get("Traceparent"),
+	})
+	rw.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rw.status)
+	if rw.status == http.StatusOK {
+		io.WriteString(w, `{"program":"stub","outputs":[[1]]}`)
+		return
+	}
+	io.WriteString(w, `{"error":"stub failure"}`)
+}
+
+func (rw *recordingWorker) attempts() []recordedAttempt {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return append([]recordedAttempt(nil), rw.requests...)
+}
+
+// TestFailoverResendsObservabilityHeaders is the failover header
+// regression test: when the ring owner answers a failover status and the
+// request retries on the next replica, every attempt must carry the SAME
+// X-Request-Id (one client request, one id) and a Traceparent on every
+// attempt — same trace id, but a DIFFERENT span id per attempt, so each
+// retry hangs under its own forward span in the stitched timeline.
+func TestFailoverResendsObservabilityHeaders(t *testing.T) {
+	failing := &recordingWorker{status: http.StatusServiceUnavailable}
+	healthy := &recordingWorker{status: http.StatusOK}
+	tsFail := httptest.NewServer(failing)
+	defer tsFail.Close()
+	tsOK := httptest.NewServer(healthy)
+	defer tsOK.Close()
+
+	c := New(Config{
+		Workers:       []string{tsFail.URL, tsOK.URL},
+		Attempts:      2,
+		ProbeInterval: time.Hour, // nodes start ready; keep probes out of the way
+	})
+	defer c.Drain(t.Context())
+	cts := httptest.NewServer(c)
+	defer cts.Close()
+
+	// Pick a program handle whose ring owner is the failing worker so the
+	// request is guaranteed to fail over.
+	key := ""
+	for i := 0; i < 256; i++ {
+		cand := fmt.Sprintf("prog-%d", i)
+		reps := c.Pool().Ring().Lookup(cand, 2)
+		if len(reps) == 2 && reps[0] == tsFail.URL {
+			key = cand
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no candidate key routed to the failing worker first")
+	}
+
+	body, _ := json.Marshal(map[string]any{"program": key, "inputs": [][]uint64{{1, 2}}})
+	resp, err := http.Post(cts.URL+"/v1/run?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after failover", resp.StatusCode)
+	}
+
+	fAtt, hAtt := failing.attempts(), healthy.attempts()
+	if len(fAtt) != 1 || len(hAtt) != 1 {
+		t.Fatalf("attempts: failing=%d healthy=%d, want 1 and 1", len(fAtt), len(hAtt))
+	}
+	first, second := fAtt[0], hAtt[0]
+	if first.requestID == "" {
+		t.Fatal("first attempt carried no X-Request-Id")
+	}
+	if first.requestID != second.requestID {
+		t.Fatalf("X-Request-Id changed across failover: %q then %q", first.requestID, second.requestID)
+	}
+	tc1, ok1 := obs.ParseTraceparent(first.traceparent)
+	tc2, ok2 := obs.ParseTraceparent(second.traceparent)
+	if !ok1 || !ok2 {
+		t.Fatalf("unparseable Traceparent: %q / %q", first.traceparent, second.traceparent)
+	}
+	if tc1.TraceID != tc2.TraceID {
+		t.Fatalf("trace id changed across failover: %s then %s", tc1.TraceID, tc2.TraceID)
+	}
+	if tc1.SpanID == tc2.SpanID {
+		t.Fatalf("both attempts reused span id %s; want a fresh forward span per attempt", tc1.SpanID)
+	}
+	if !tc1.Sampled || !tc2.Sampled {
+		t.Fatal("?trace=1 attempts must be marked sampled in the Traceparent")
+	}
+	// The coordinator echoes the id and trace back to the client too.
+	if got := resp.Header.Get("X-Request-Id"); got != first.requestID {
+		t.Fatalf("client saw X-Request-Id %q, workers saw %q", got, first.requestID)
+	}
+	if rtc, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); !ok || rtc.TraceID != tc1.TraceID {
+		t.Fatalf("client Traceparent %q does not carry trace %s", resp.Header.Get("Traceparent"), tc1.TraceID)
+	}
+}
+
+// chromeEvent is the slice of a Chrome trace event the tests inspect.
+type chromeEvent struct {
+	Ph   string            `json:"ph"`
+	Name string            `json:"name"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+	OtherData   map[string]any    `json:"otherData"`
+}
+
+// decodeChrome splits a stitched document into metadata and slice
+// events (metadata args are objects, so events are decoded individually).
+func decodeChrome(t *testing.T, raw []byte) (meta map[int]string, slices []chromeEvent, other map[string]any) {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stitched trace is not valid JSON: %v", err)
+	}
+	meta = map[int]string{}
+	for _, rawEv := range doc.TraceEvents {
+		var head struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal(rawEv, &head); err != nil {
+			t.Fatalf("bad trace event %s: %v", rawEv, err)
+		}
+		if head.Ph == "M" {
+			if head.Name == "process_name" {
+				name, _ := head.Args["name"].(string)
+				meta[head.Pid] = name
+			}
+			continue
+		}
+		var ev chromeEvent
+		if err := json.Unmarshal(rawEv, &ev); err != nil {
+			t.Fatalf("bad slice event %s: %v", rawEv, err)
+		}
+		slices = append(slices, ev)
+	}
+	return meta, slices, doc.OtherData
+}
+
+// TestClusterStitchedTraceE2E drives a traced run through coordinator +
+// two workers and checks the acceptance shape of the stitched timeline:
+// ONE valid Chrome/Perfetto JSON document whose slices span at least two
+// process tracks (coordinator ingress/route/forward + worker
+// queue/run/chip), all joined by one trace id, children nested within
+// their parents' bounds.
+func TestClusterStitchedTraceE2E(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	defer tc.close(t)
+
+	p := addPrograms(1)[0]
+	in := p.inputs(5)
+	body, _ := json.Marshal(serve.RunRequest{Source: p.src, Inputs: in})
+	resp, err := http.Post(tc.cts.URL+"/v1/run?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run status = %d: %s", resp.StatusCode, b)
+	}
+	headerTC, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("coordinator response Traceparent %q unparseable", resp.Header.Get("Traceparent"))
+	}
+
+	var run serve.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	if want := p.expected(in); !equalOutputs(run.Outputs, want) {
+		t.Fatalf("outputs = %v, want %v (stitching must not corrupt the result)", run.Outputs, want)
+	}
+	if len(run.Trace) == 0 {
+		t.Fatal("traced run returned no trace document")
+	}
+
+	meta, slices, other := decodeChrome(t, run.Trace)
+	if got, _ := other["traceId"].(string); got != headerTC.TraceID {
+		t.Fatalf("stitched traceId = %q, want header trace id %q", got, headerTC.TraceID)
+	}
+	if meta[1] != "hyperap-coord" {
+		t.Fatalf("pid 1 = %q, want the coordinator track first", meta[1])
+	}
+	if len(meta) < 2 {
+		t.Fatalf("stitched trace has %d process tracks, want >= 2 (coordinator + worker): %v", len(meta), meta)
+	}
+	workerPids := map[int]bool{}
+	for pid, name := range meta {
+		if pid != 1 {
+			workerPids[pid] = true
+			if !strings.HasPrefix(name, "hyperap-serve") {
+				t.Fatalf("worker track pid %d named %q, want hyperap-serve + node URL", pid, name)
+			}
+		}
+	}
+
+	// Required span names on each side of the hop.
+	coordNames := map[string]bool{}
+	workerNames := map[string]bool{}
+	for _, ev := range slices {
+		if ev.Pid == 1 {
+			coordNames[ev.Name] = true
+		} else {
+			workerNames[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"POST /v1/run", "route", "forward"} {
+		if !coordNames[want] {
+			t.Fatalf("coordinator track missing %q span; has %v", want, coordNames)
+		}
+	}
+	// A traced run flushes through its own pass (no coalesce span).
+	for _, want := range []string{"queue_wait", "run", "compile"} {
+		if !workerNames[want] {
+			t.Fatalf("worker track missing %q span; has %v", want, workerNames)
+		}
+	}
+	hasChip := false
+	for name := range workerNames {
+		if strings.HasPrefix(name, "chip pe") {
+			hasChip = true
+		}
+	}
+	if !hasChip {
+		t.Fatalf("worker track has no per-PE chip span; has %v", workerNames)
+	}
+
+	// Every child slice must sit inside its parent's bounds — including
+	// the cross-process edge (worker root under the coordinator's forward
+	// span), which the stitcher clamps.
+	byID := map[string]chromeEvent{}
+	for _, ev := range slices {
+		if id := ev.Args["spanId"]; id != "" {
+			byID[id] = ev
+		}
+	}
+	crossEdges := 0
+	for _, ev := range slices {
+		parent, ok := byID[ev.Args["parentId"]]
+		if !ok {
+			continue
+		}
+		if ev.Pid != parent.Pid {
+			crossEdges++
+		}
+		if ev.Ts < parent.Ts || ev.Ts+ev.Dur > parent.Ts+parent.Dur {
+			t.Fatalf("span %q [%f,%f] escapes parent %q [%f,%f]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, parent.Name, parent.Ts, parent.Ts+parent.Dur)
+		}
+	}
+	if crossEdges == 0 {
+		t.Fatal("no cross-process parent edge: worker spans are not stitched under the coordinator's forward span")
+	}
+
+	// The same timeline must be reconstructable after the fact from the
+	// coordinator's GET /v1/trace/{id}?stitch=1.
+	post, err := http.Get(tc.cts.URL + "/v1/trace/" + headerTC.TraceID + "?stitch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("post-hoc stitch status = %d", post.StatusCode)
+	}
+	raw, err := io.ReadAll(post.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, slices2, other2 := decodeChrome(t, raw)
+	if got, _ := other2["traceId"].(string); got != headerTC.TraceID {
+		t.Fatalf("post-hoc traceId = %q, want %q", got, headerTC.TraceID)
+	}
+	if len(meta2) < 2 || len(slices2) < len(slices) {
+		t.Fatalf("post-hoc stitch lost spans: %d tracks / %d slices, embedded had %d tracks / %d slices",
+			len(meta2), len(slices2), len(meta), len(slices))
+	}
+}
+
+func equalOutputs(got, want [][]uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestClusterPrometheusE2E scrapes /metrics/prometheus on a worker and
+// on the coordinator (plain and federated) after real traffic, and runs
+// every exposition through the grammar linter.
+func TestClusterPrometheusE2E(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	defer tc.close(t)
+
+	for i, p := range addPrograms(3) {
+		body, _ := json.Marshal(serve.RunRequest{Source: p.src, Inputs: p.inputs(i + 1)})
+		resp, err := http.Post(tc.cts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d status = %d", i, resp.StatusCode)
+		}
+	}
+
+	scrape := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %s status = %d", url, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("scrape %s content type = %q", url, ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.LintPromText(bytes.NewReader(raw)); err != nil {
+			t.Fatalf("exposition from %s fails lint: %v", url, err)
+		}
+		return string(raw)
+	}
+
+	worker := scrape(tc.urls[0] + "/metrics/prometheus")
+	for _, want := range []string{
+		"# TYPE hyperap_request_duration_ns histogram",
+		"hyperap_request_duration_ns_bucket{le=\"+Inf\"}",
+		"hyperap_requests_total{endpoint=\"run\",status=\"200\"}",
+		"# TYPE hyperap_hot_program_runs gauge",
+		"hyperap_request_rate_1m",
+	} {
+		if !strings.Contains(worker, want) {
+			t.Fatalf("worker exposition missing %q", want)
+		}
+	}
+
+	coord := scrape(tc.cts.URL + "/metrics/prometheus")
+	for _, want := range []string{
+		"# TYPE hyperap_coord_request_duration_ns histogram",
+		"hyperap_coord_forwards_total",
+		"hyperap_coord_node_requests_total{node=",
+		"# TYPE hyperap_coord_hot_program_runs gauge",
+		"hyperap_coord_hot_program_runs{fingerprint=",
+	} {
+		if !strings.Contains(coord, want) {
+			t.Fatalf("coordinator exposition missing %q", want)
+		}
+	}
+
+	fed := scrape(tc.cts.URL + "/metrics/prometheus?federate=1")
+	if !strings.Contains(fed, "hyperap_requests_total{endpoint=\"run\",status=\"200\",node=\"") {
+		t.Fatal("federated exposition carries no node-labelled worker samples")
+	}
+	if strings.Count(fed, "# TYPE hyperap_request_duration_ns histogram") != 1 {
+		t.Fatal("federated exposition must declare each family's TYPE exactly once")
+	}
+}

@@ -55,6 +55,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	workers      int
 	trace        bool
+	traceID      string
 	faults       tcam.FaultConfig
 	sparePEs     int
 	scalarSearch bool
@@ -73,6 +74,13 @@ func WithParallelism(n int) RunOption {
 // obs.ChromeTrace). Tracing stays on the concurrent execution path.
 func WithTrace() RunOption {
 	return func(c *runConfig) { c.trace = true }
+}
+
+// WithTraceID stamps the chip with the distributed trace id of the
+// request that drove the pass, so a chip-level Perfetto export and the
+// cluster's stitched timeline can be correlated (obs.TraceMeta.TraceID).
+func WithTraceID(id string) RunOption {
+	return func(c *runConfig) { c.traceID = id }
 }
 
 // WithFaults activates the RRAM fault model on the chip RunBatch builds:
@@ -277,6 +285,7 @@ func (ex *Executable) RunBatchContext(ctx context.Context, inputs [][]uint64, op
 	}
 	chip := ex.newShardedChip(shards, rows, cfg)
 	chip.Tracing = cfg.trace
+	chip.TraceID = cfg.traceID
 	if cfg.chipInit != nil {
 		if err := cfg.chipInit(chip); err != nil {
 			return nil, nil, err

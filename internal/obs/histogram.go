@@ -84,6 +84,33 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
+// Buckets returns an atomic-per-bucket snapshot of the bucket counts.
+// Concurrent Observes may straddle the copy (an observation appearing in
+// count but not yet in its bucket, or vice versa), so exposition code
+// derives totals from this snapshot rather than mixing it with Count.
+func (h *Histogram) Buckets() [NumBuckets]int64 {
+	var out [NumBuckets]int64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Reset zeroes the histogram for window rotation. Reset racing Observe
+// is safe (all fields are atomics) but not linearizable: an in-flight
+// observation may survive partially (e.g. counted in sum but not count).
+// Rolling-window rotation tolerates that — the next window's data
+// dominates within one rotation period.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -146,3 +146,93 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Errorf("max quantile = %g, want %d", mx, goroutines*per-1)
 	}
 }
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("after Reset: count=%d sum=%d, want 0/0", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.95); q != 0 {
+		t.Fatalf("quantile after Reset = %g, want 0", q)
+	}
+	var total int64
+	for _, c := range h.Buckets() {
+		total += c
+	}
+	if total != 0 {
+		t.Fatalf("buckets after Reset sum to %d, want 0", total)
+	}
+	// The histogram must be fully reusable.
+	h.Observe(7)
+	if h.Count() != 1 || h.Quantile(1) != 7 {
+		t.Fatalf("post-Reset reuse: count=%d max=%g", h.Count(), h.Quantile(1))
+	}
+}
+
+// TestHistogramConcurrentReset mixes writers, quantile readers, bucket
+// snapshots and window-style Reset rotation — the access pattern of the
+// rolling rate windows and the Prometheus scraper. Run under -race by
+// make check; the assertions only require self-consistency (no negative
+// or wildly out-of-range values), not linearizable counts.
+func TestHistogramConcurrentReset(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	writersDone := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20_000; i++ {
+				h.Observe(int64(i%1_000_000 + 1))
+			}
+		}(g)
+	}
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() { // scraper
+		defer scrape.Done()
+		for {
+			select {
+			case <-writersDone:
+				return
+			default:
+			}
+			if q := h.Quantile(0.95); q < 0 || q > 1_000_001 {
+				t.Errorf("quantile out of range under rotation: %g", q)
+				return
+			}
+			b := h.Buckets()
+			var total int64
+			for _, c := range b {
+				total += c
+			}
+			if total < 0 {
+				t.Errorf("bucket total negative: %d", total)
+				return
+			}
+		}
+	}()
+	go func() { // rotator: reset windows while writers run
+		for {
+			select {
+			case <-writersDone:
+				return
+			default:
+			}
+			time.Sleep(200 * time.Microsecond)
+			h.Reset()
+		}
+	}()
+	wg.Wait()
+	close(writersDone)
+	scrape.Wait()
+	h.Reset()
+	h.Observe(42)
+	if h.Count() != 1 || h.Quantile(1) != 42 {
+		t.Fatalf("histogram unusable after rotation storm: count=%d max=%g", h.Count(), h.Quantile(1))
+	}
+}

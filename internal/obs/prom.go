@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is a dependency-free Prometheus text-exposition layer: the
+// expvar counters the servers already keep, re-rendered in the format
+// every standard scraper ingests (exposition format 0.0.4), with the
+// log-bucketed obs.Histogram exported as native _bucket/_sum/_count
+// series. Naming conventions (DESIGN.md §14): everything is prefixed per
+// binary (hyperap_ for serve, hyperap_coord_ for the coordinator),
+// counters end in _total, histograms keep their nanosecond unit in the
+// name (_ns).
+
+// PromLabel is one label pair of a sample.
+type PromLabel struct{ Key, Value string }
+
+// PromSample is one sample of a metric family: a value under an
+// optional label set.
+type PromSample struct {
+	Labels []PromLabel
+	Value  float64
+}
+
+type promFamily struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	collect func() []PromSample
+	hist    func() *Histogram
+}
+
+// PromRegistry is an ordered set of metric families rendered on demand;
+// every family reads its current value through a callback at scrape
+// time, so the registry holds no state of its own and never needs
+// per-observation bookkeeping on the hot path.
+type PromRegistry struct {
+	mu       sync.Mutex
+	families []*promFamily
+	byName   map[string]*promFamily
+}
+
+// NewPromRegistry builds an empty registry.
+func NewPromRegistry() *PromRegistry {
+	return &PromRegistry{byName: map[string]*promFamily{}}
+}
+
+func (r *PromRegistry) add(f *promFamily) {
+	if !validPromName(f.name) {
+		panic(fmt.Sprintf("obs: invalid prometheus metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate prometheus metric name %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers a single-sample counter family.
+func (r *PromRegistry) Counter(name, help string, fn func() float64) {
+	r.add(&promFamily{name: name, help: help, typ: "counter",
+		collect: func() []PromSample { return []PromSample{{Value: fn()}} }})
+}
+
+// Gauge registers a single-sample gauge family.
+func (r *PromRegistry) Gauge(name, help string, fn func() float64) {
+	r.add(&promFamily{name: name, help: help, typ: "gauge",
+		collect: func() []PromSample { return []PromSample{{Value: fn()}} }})
+}
+
+// CounterVec registers a labeled counter family; fn returns the current
+// sample set on every scrape.
+func (r *PromRegistry) CounterVec(name, help string, fn func() []PromSample) {
+	r.add(&promFamily{name: name, help: help, typ: "counter", collect: fn})
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *PromRegistry) GaugeVec(name, help string, fn func() []PromSample) {
+	r.add(&promFamily{name: name, help: help, typ: "gauge", collect: fn})
+}
+
+// Histogram registers an obs.Histogram as a native Prometheus histogram:
+// its power-of-two buckets become cumulative _bucket series with `le`
+// upper bounds, plus _sum and _count.
+func (r *PromRegistry) Histogram(name, help string, h *Histogram) {
+	r.add(&promFamily{name: name, help: help, typ: "histogram", hist: func() *Histogram { return h }})
+}
+
+// RegisterExpvarMap walks an expvar map and registers every entry under
+// prefix: Ints become counters (name + "_total") unless named in gauges,
+// Floats become gauges, nested Maps become labeled counter families
+// (label "key"), and Func entries (the JSON histogram summaries) are
+// skipped — callers register the underlying histograms natively. Names
+// in skip are left out entirely (for entries that get a hand-built
+// family with better labels).
+func (r *PromRegistry) RegisterExpvarMap(prefix string, m *expvar.Map, gauges, skip map[string]bool) {
+	m.Do(func(kv expvar.KeyValue) {
+		name := kv.Key
+		if skip[name] || !validPromName(prefix+name) {
+			return
+		}
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			if gauges[name] {
+				r.Gauge(prefix+name, "expvar gauge "+name, func() float64 { return float64(v.Value()) })
+			} else {
+				r.Counter(prefix+name+"_total", "expvar counter "+name, func() float64 { return float64(v.Value()) })
+			}
+		case *expvar.Float:
+			r.Gauge(prefix+name, "expvar gauge "+name, func() float64 { return v.Value() })
+		case *expvar.Map:
+			r.CounterVec(prefix+name+"_total", "expvar map "+name, func() []PromSample {
+				var out []PromSample
+				v.Do(func(ekv expvar.KeyValue) {
+					if iv, ok := ekv.Value.(*expvar.Int); ok {
+						out = append(out, PromSample{
+							Labels: []PromLabel{{"key", ekv.Key}},
+							Value:  float64(iv.Value()),
+						})
+					}
+				})
+				return out
+			})
+		}
+	})
+}
+
+// WriteText renders every family in exposition format 0.0.4.
+func (r *PromRegistry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*promFamily(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		if f.typ == "histogram" {
+			if err := writeHistogram(w, f.name, f.hist()); err != nil {
+				return err
+			}
+			continue
+		}
+		samples := f.collect()
+		// Stable output: scrapes diff cleanly and tests can substring.
+		sort.SliceStable(samples, func(i, j int) bool {
+			return renderLabels(samples[i].Labels) < renderLabels(samples[j].Labels)
+		})
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.Labels), formatPromValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ServeHTTP serves the exposition text (GET /metrics/prometheus).
+func (r *PromRegistry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteText(w)
+}
+
+// writeHistogram renders one histogram: cumulative buckets for every
+// non-empty power-of-two bucket (a 64-bucket flat dump would be mostly
+// zeros), always closing with +Inf, then _sum and _count. The bucket
+// snapshot is taken first so count == the +Inf bucket even under
+// concurrent writers.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	counts := h.Buckets()
+	var cum, total int64
+	for _, c := range counts {
+		total += c
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpperBound(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, total); err != nil {
+		return err
+	}
+	return nil
+}
+
+func renderLabels(labels []PromLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=\"" + escapeLabelValue(l.Value) + "\""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validPromName reports whether name matches the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectPromLabel rewrites one exposition sample line to carry an extra
+// label (the coordinator's scrape federation stamps each worker's series
+// with node="<url>"). Comment and blank lines pass through unchanged.
+func InjectPromLabel(line, key, value string) string {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return line
+	}
+	pair := key + "=\"" + escapeLabelValue(value) + "\""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return line
+		}
+		if strings.TrimSpace(line[i+1:j]) == "" {
+			return line[:i+1] + pair + line[j:]
+		}
+		return line[:j] + "," + pair + line[j:]
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line
+	}
+	return line[:i] + "{" + pair + "}" + line[i:]
+}
+
+// RegisterRatesAndHot registers the rolling request/error-rate gauges
+// and the top-K hot-program gauge families on a registry — the shared
+// shape of the serve and coordinator observability surfaces.
+func RegisterRatesAndHot(reg *PromRegistry, prefix string, reqW, errW *RateWindow, hot *HotPrograms, topK int) {
+	reg.Gauge(prefix+"request_rate_1m", "requests per second over the last minute",
+		func() float64 { return reqW.Rate(time.Minute) })
+	reg.Gauge(prefix+"request_rate_5m", "requests per second over the last five minutes",
+		func() float64 { return reqW.Rate(5 * time.Minute) })
+	reg.Gauge(prefix+"error_rate_1m", "5xx responses per second over the last minute",
+		func() float64 { return errW.Rate(time.Minute) })
+	reg.Gauge(prefix+"error_rate_5m", "5xx responses per second over the last five minutes",
+		func() float64 { return errW.Rate(5 * time.Minute) })
+	reg.GaugeVec(prefix+"hot_program_runs", "runs per hot program (rolling, top-K)", func() []PromSample {
+		return HotProgramSamples(hot.TopK(topK), func(p HotProgram) float64 { return float64(p.Runs) })
+	})
+	reg.GaugeVec(prefix+"hot_program_slots", "input slots per hot program (rolling, top-K)", func() []PromSample {
+		return HotProgramSamples(hot.TopK(topK), func(p HotProgram) float64 { return float64(p.Slots) })
+	})
+	reg.GaugeVec(prefix+"hot_program_p95_ns", "p95 request latency per hot program (ns)", func() []PromSample {
+		return HotProgramSamples(hot.TopK(topK), func(p HotProgram) float64 { return p.P95NS })
+	})
+}

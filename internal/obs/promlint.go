@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintPromText validates a Prometheus text-exposition document against
+// the 0.0.4 grammar plus the histogram invariants scrapers rely on:
+//
+//   - every line is a # HELP / # TYPE comment, a sample, or blank;
+//   - metric and label names match their grammars, label values are
+//     properly quoted, sample values parse as floats (incl. +Inf/NaN);
+//   - at most one TYPE per family, declared before its samples, with a
+//     known type;
+//   - a histogram family has _bucket samples with non-decreasing `le`
+//     bounds and non-decreasing cumulative counts per label set, ends
+//     with le="+Inf", and its _count equals the +Inf bucket.
+//
+// It is the promtext gate in CI (internal/obs/promlint_test.go and the
+// cluster e2e) — a dependency-free stand-in for promtool check metrics.
+func LintPromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	types := map[string]string{} // family → declared type
+	sampled := map[string]bool{} // family → sample seen
+	type histState struct {
+		lastLE  float64
+		lastCum float64
+		infCum  float64
+		sawInf  bool
+	}
+	hists := map[string]*histState{} // family+labelsig → bucket state
+	counts := map[string]float64{}   // family+labelsig → _count value
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(trimmed)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !validPromName(fields[2]) {
+					return fmt.Errorf("line %d: malformed HELP comment", lineNo)
+				}
+			case "TYPE":
+				if len(fields) != 4 || !validPromName(fields[2]) {
+					return fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(trimmed)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := histFamily(name, types)
+		sampled[family] = true
+		sampled[name] = true
+		if types[family] == "histogram" {
+			sig := family + labelSignature(labels, "le")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s without an le label", lineNo, name)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %w", lineNo, le, err)
+					}
+				}
+				st := hists[sig]
+				if st == nil {
+					st = &histState{lastLE: math.Inf(-1)}
+					hists[sig] = st
+				}
+				if bound < st.lastLE {
+					return fmt.Errorf("line %d: %s le %q out of order", lineNo, name, le)
+				}
+				if value < st.lastCum {
+					return fmt.Errorf("line %d: %s cumulative count decreased", lineNo, name)
+				}
+				st.lastLE, st.lastCum = bound, value
+				if le == "+Inf" {
+					st.sawInf, st.infCum = true, value
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[sig] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for sig, st := range hists {
+		if !st.sawInf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", sig)
+		}
+		if c, ok := counts[sig]; ok && c != st.infCum {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", sig, c, st.infCum)
+		}
+	}
+	return nil
+}
+
+// histFamily strips a histogram-series suffix when the base family is
+// declared as a histogram, so _bucket/_sum/_count samples attach to it.
+func histFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// labelSignature renders a label set minus one key, for grouping the
+// bucket series of one histogram child.
+func labelSignature(labels map[string]string, except string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != except {
+			keys = append(keys, k)
+		}
+	}
+	sortStrings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString("," + k + "=" + labels[k])
+	}
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// parsePromSample parses `name[{labels}] value [timestamp]`.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			key := strings.TrimSpace(rest[:eq])
+			if !validLabelName(key) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", key)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, "\"") {
+				return "", nil, 0, fmt.Errorf("label %s value not quoted", key)
+			}
+			val, n, verr := scanQuoted(rest)
+			if verr != nil {
+				return "", nil, 0, verr
+			}
+			labels[key] = val
+			rest = rest[n:]
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q needs `value [timestamp]`", line)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// scanQuoted reads a double-quoted, backslash-escaped string at the
+// start of s, returning the unescaped value and bytes consumed.
+func scanQuoted(s string) (string, int, error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+			}
+		case '"':
+			return sb.String(), i + 1, nil
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPromRegistryPassesLint is the promtext gate: a registry exercising
+// every family kind — expvar-walked counters, labeled vecs, gauges and a
+// native histogram — must render text that satisfies the exposition
+// grammar and histogram invariants. The cluster e2e runs the same linter
+// against the live /metrics/prometheus endpoints.
+func TestPromRegistryPassesLint(t *testing.T) {
+	reg := NewPromRegistry()
+	m := new(expvar.Map).Init()
+	m.Add("cache_hits", 17)
+	m.AddFloat("healthy_pe_fraction", 0.96)
+	sub := new(expvar.Map).Init()
+	sub.Add("run 200", 5)
+	sub.Add("run 503", 1)
+	m.Set("requests_by_status", sub)
+	reg.RegisterExpvarMap("hyperap_", m, map[string]bool{}, map[string]bool{})
+
+	reg.Gauge("hyperap_request_rate_1m", "requests per second over the last minute", func() float64 { return 3.5 })
+	reg.GaugeVec("hyperap_hot_program_runs", "runs per hot program", func() []PromSample {
+		return []PromSample{
+			{Labels: []PromLabel{{"fingerprint", "ab\"cd\\ef"}}, Value: 12},
+			{Labels: []PromLabel{{"fingerprint", "012345"}}, Value: 40},
+		}
+	})
+
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	reg.Histogram("hyperap_request_duration_ns", "request latency", h)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := LintPromText(strings.NewReader(text)); err != nil {
+		t.Fatalf("registry output fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE hyperap_cache_hits_total counter",
+		"hyperap_cache_hits_total 17",
+		"hyperap_requests_by_status_total{key=\"run 200\"} 5",
+		"# TYPE hyperap_request_duration_ns histogram",
+		"hyperap_request_duration_ns_bucket{le=\"+Inf\"} 1000",
+		"hyperap_request_duration_ns_count 1000",
+		"hyperap_hot_program_runs{fingerprint=\"ab\\\"cd\\\\ef\"} 12",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestLintRejectsBadDocs(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":  "0bad_name 1\n",
+		"unquoted label":   "m{l=v} 1\n",
+		"bad value":        "m notafloat\n",
+		"unknown type":     "# TYPE m widget\n",
+		"type after use":   "m 1\n# TYPE m counter\n",
+		"duplicate type":   "# TYPE m counter\n# TYPE m counter\n",
+		"le out of order":  "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"cum decreases":    "# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_bucket{le=\"10\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"missing inf":      "# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_count 3\n",
+		"count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n",
+		"dangling escape":  "m{l=\"x\\\n",
+		"unterminated set": "m{l=\"x\" 1\n",
+	}
+	for name, doc := range cases {
+		if err := LintPromText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: lint accepted\n%s", name, doc)
+		}
+	}
+}
+
+func TestLintAcceptsEdgeCases(t *testing.T) {
+	doc := strings.Join([]string{
+		"# plain comment, not HELP/TYPE",
+		"",
+		"# HELP m a help string with spaces",
+		"# TYPE m counter",
+		"m 1",
+		"with_timestamp 2 1712345678901",
+		"infinite +Inf",
+		"not_a_number NaN",
+		"labeled{a=\"x\",b=\"esc\\\"aped\"} 3.5",
+		// Two histogram children split by an extra label: per-child
+		// invariants must be tracked separately.
+		"# TYPE h histogram",
+		"h_bucket{node=\"a\",le=\"1\"} 1",
+		"h_bucket{node=\"a\",le=\"+Inf\"} 2",
+		"h_count{node=\"a\"} 2",
+		"h_bucket{node=\"b\",le=\"1\"} 5",
+		"h_bucket{node=\"b\",le=\"+Inf\"} 9",
+		"h_count{node=\"b\"} 9",
+	}, "\n") + "\n"
+	if err := LintPromText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("edge-case doc rejected: %v", err)
+	}
+}
+
+func TestInjectPromLabel(t *testing.T) {
+	cases := [][2]string{
+		{"m 1", "m{node=\"http://a\"} 1"},
+		{"m{k=\"v\"} 2", "m{k=\"v\",node=\"http://a\"} 2"},
+		{"m{} 3", "m{node=\"http://a\"} 3"},
+		{"# HELP m x", "# HELP m x"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := InjectPromLabel(c[0], "node", "http://a"); got != c[1] {
+			t.Errorf("InjectPromLabel(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+	// Injected output must still lint.
+	doc := "# TYPE m counter\n" + InjectPromLabel("m 1", "node", "http://a\\b") + "\n"
+	if err := LintPromText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("injected line fails lint: %v\n%s", err, doc)
+	}
+}
+
+func TestPromRegistryDuplicatePanics(t *testing.T) {
+	reg := NewPromRegistry()
+	reg.Counter("dup_total", "", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family name must panic")
+		}
+	}()
+	reg.Counter("dup_total", "", func() float64 { return 0 })
+}
+
+func TestHistogramExpositionSnapshotConsistent(t *testing.T) {
+	// _count must equal the +Inf bucket even while writers race the
+	// scrape (the lint's strictest invariant).
+	h := NewHistogram()
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Observe(12345)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := writeHistogram(&buf, "race_hist", h); err != nil {
+			t.Fatal(err)
+		}
+		doc := "# TYPE race_hist histogram\n" + buf.String()
+		if err := LintPromText(strings.NewReader(doc)); err != nil {
+			t.Fatalf("scrape %d fails lint under concurrent writes: %v\n%s", i, err, doc)
+		}
+	}
+	close(done)
+}

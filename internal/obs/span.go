@@ -21,10 +21,12 @@ func NewRequestID() string {
 }
 
 // Span is one request's phase-timing record: a request id, a start time
-// and an ordered list of named phase durations (compile, coalesce,
-// queue_wait, run, fanout, ...). Methods are nil-safe so code paths
-// without an active span need no guards, and mutation is locked so a
-// handler and the coalescer goroutine may both record phases.
+// and an ordered list of named phases (compile, coalesce, queue_wait,
+// run, fanout, ...), each with its wall-clock start so the record
+// doubles as a set of child spans for the distributed trace (Export).
+// Methods are nil-safe so code paths without an active span need no
+// guards, and mutation is locked so a handler and the coalescer
+// goroutine may both record phases.
 type Span struct {
 	ID    string
 	Start time.Time
@@ -34,8 +36,16 @@ type Span struct {
 }
 
 type phase struct {
-	name string
-	dur  time.Duration
+	name  string
+	start time.Time
+	dur   time.Duration
+	// parent names an earlier phase this one nests under ("" = the
+	// request span itself); spanID pre-assigns the exported span id
+	// (cross-process parenting needs the id before the remote side
+	// records); attrs ride into the exported span.
+	parent string
+	spanID string
+	attrs  map[string]string
 }
 
 // StartSpan begins a span now.
@@ -43,13 +53,32 @@ func StartSpan(id string) *Span {
 	return &Span{ID: id, Start: time.Now()}
 }
 
-// Phase records a named phase duration.
+// Phase records a named phase that just elapsed (start = now - d).
 func (s *Span) Phase(name string, d time.Duration) {
+	s.PhaseAt(name, time.Now().Add(-d), d)
+}
+
+// PhaseAt records a named phase with an explicit wall-clock start.
+func (s *Span) PhaseAt(name string, start time.Time, d time.Duration) {
+	s.record(phase{name: name, start: start, dur: d})
+}
+
+// PhaseFull records a phase with full control: an optional parent phase
+// name (the most recent phase with that name becomes the exported
+// parent), an optional pre-assigned span id, and attributes.
+func (s *Span) PhaseFull(name string, start time.Time, d time.Duration, parent, spanID string, attrs map[string]string) {
+	s.record(phase{name: name, start: start, dur: d, parent: parent, spanID: spanID, attrs: attrs})
+}
+
+func (s *Span) record(p phase) {
 	if s == nil {
 		return
 	}
+	if p.dur < 0 {
+		p.dur = 0
+	}
 	s.mu.Lock()
-	s.phases = append(s.phases, phase{name, d})
+	s.phases = append(s.phases, p)
 	s.mu.Unlock()
 }
 
@@ -60,7 +89,7 @@ func (s *Span) Time(name string) func() {
 		return func() {}
 	}
 	start := time.Now()
-	return func() { s.Phase(name, time.Since(start)) }
+	return func() { s.PhaseAt(name, start, time.Since(start)) }
 }
 
 // Attrs renders the span for slog: the request id, the elapsed total and
@@ -80,6 +109,55 @@ func (s *Span) Attrs() []slog.Attr {
 		slog.Duration("total", time.Since(s.Start)),
 		slog.Group("phases", ph...),
 	}
+}
+
+// Export renders the span as distributed-trace spans: one root span
+// named name (span id tc.SpanID, parent parent — the upstream caller's
+// span id, empty at the trace root) covering Start..now, plus one child
+// span per recorded phase. A phase with a parent name nests under the
+// most recent earlier phase of that name; others hang off the root.
+func (s *Span) Export(tc TraceContext, parent, name string) []RSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	phases := append([]phase(nil), s.phases...)
+	s.mu.Unlock()
+	root := RSpan{
+		TraceID:     tc.TraceID,
+		SpanID:      tc.SpanID,
+		Parent:      parent,
+		Name:        name,
+		StartUnixNS: s.Start.UnixNano(),
+		DurNS:       time.Since(s.Start).Nanoseconds(),
+		Attrs:       map[string]string{"req_id": s.ID},
+	}
+	out := make([]RSpan, 0, len(phases)+1)
+	out = append(out, root)
+	lastByName := map[string]string{} // phase name → exported span id
+	for _, p := range phases {
+		id := p.spanID
+		if id == "" {
+			id = NewSpanID()
+		}
+		par := tc.SpanID
+		if p.parent != "" {
+			if pid, ok := lastByName[p.parent]; ok {
+				par = pid
+			}
+		}
+		out = append(out, RSpan{
+			TraceID:     tc.TraceID,
+			SpanID:      id,
+			Parent:      par,
+			Name:        p.name,
+			StartUnixNS: p.start.UnixNano(),
+			DurNS:       p.dur.Nanoseconds(),
+			Attrs:       p.attrs,
+		})
+		lastByName[p.name] = id
+	}
+	return out
 }
 
 type spanKey struct{}

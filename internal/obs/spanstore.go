@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RSpan is one recorded span: the wall-clock interval a named piece of a
+// request spent in one process, tied into its distributed trace by
+// (TraceID, SpanID, Parent). Every process in the cluster records RSpans
+// into a bounded SpanStore and serves them at GET /v1/trace/{trace-id};
+// the coordinator stitches the per-process sets into a single Perfetto
+// timeline.
+type RSpan struct {
+	TraceID     string            `json:"traceId"`
+	SpanID      string            `json:"spanId"`
+	Parent      string            `json:"parentId,omitempty"`
+	Name        string            `json:"name"`
+	StartUnixNS int64             `json:"startUnixNs"`
+	DurNS       int64             `json:"durNs"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanStore is a bounded in-memory ring buffer of recorded spans. When
+// the buffer is full the oldest spans are overwritten (recent traces are
+// the ones being debugged; a store can never grow without bound on a
+// long-lived server). All methods are safe for concurrent use.
+type SpanStore struct {
+	process string
+
+	mu      sync.Mutex
+	buf     []RSpan
+	head    int // next write position
+	n       int // live spans (== len(buf) once wrapped)
+	dropped int64
+}
+
+// DefaultSpanStoreCap is the default ring capacity (spans, not traces).
+const DefaultSpanStoreCap = 8192
+
+// NewSpanStore builds a store identified by a process name (what the
+// stitched timeline labels this node's track). capacity <= 0 uses the
+// default.
+func NewSpanStore(process string, capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanStoreCap
+	}
+	return &SpanStore{process: process, buf: make([]RSpan, capacity)}
+}
+
+// Process returns the store's process label.
+func (st *SpanStore) Process() string { return st.process }
+
+// Add records spans, overwriting the oldest entries when full.
+func (st *SpanStore) Add(spans ...RSpan) {
+	st.mu.Lock()
+	for _, sp := range spans {
+		if st.n == len(st.buf) {
+			st.dropped++
+		} else {
+			st.n++
+		}
+		st.buf[st.head] = sp
+		st.head = (st.head + 1) % len(st.buf)
+	}
+	st.mu.Unlock()
+}
+
+// ByTrace returns every live span of one trace, ordered by start time.
+func (st *SpanStore) ByTrace(traceID string) []RSpan {
+	st.mu.Lock()
+	var out []RSpan
+	start := (st.head - st.n + len(st.buf)) % len(st.buf)
+	for i := 0; i < st.n; i++ {
+		sp := st.buf[(start+i)%len(st.buf)]
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	st.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartUnixNS < out[j].StartUnixNS })
+	return out
+}
+
+// Stats reports the live span count and how many spans eviction has
+// overwritten since startup.
+func (st *SpanStore) Stats() (live int, dropped int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n, st.dropped
+}
+
+// TraceDump is the GET /v1/trace/{id} response body: one process's spans
+// for one trace.
+type TraceDump struct {
+	TraceID string  `json:"traceId"`
+	Process string  `json:"process"`
+	Spans   []RSpan `json:"spans"`
+}
+
+// Dump renders one trace's spans for the /v1/trace endpoint.
+func (st *SpanStore) Dump(traceID string) TraceDump {
+	spans := st.ByTrace(traceID)
+	if spans == nil {
+		spans = []RSpan{}
+	}
+	return TraceDump{TraceID: traceID, Process: st.process, Spans: spans}
+}
+
+// ProcessSpans is one node's contribution to a stitched timeline.
+type ProcessSpans struct {
+	Process string  `json:"process"`
+	Spans   []RSpan `json:"spans"`
+}
+
+// StitchChromeTrace renders the per-process span sets of one trace as a
+// single Chrome trace-event JSON document loadable at ui.perfetto.dev:
+// one process track per node (in the order given — put the coordinator
+// first), spans as complete ("X") slices on wall-clock time normalized
+// to the earliest span, with span/parent ids and attributes in the
+// args. Within a process, overlapping sibling spans (e.g. the per-PE
+// chip spans under one run span) are spread across thread tracks so
+// every slice nests visually inside its container.
+func StitchChromeTrace(traceID string, procs []ProcessSpans) ([]byte, error) {
+	procs = clampToParents(procs)
+	var t0 int64 = -1
+	total := 0
+	for _, p := range procs {
+		total += len(p.Spans)
+		for _, sp := range p.Spans {
+			if t0 < 0 || sp.StartUnixNS < t0 {
+				t0 = sp.StartUnixNS
+			}
+		}
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	var out []map[string]any
+	for pi, p := range procs {
+		pid := pi + 1
+		out = append(out, map[string]any{
+			"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+			"args": map[string]any{"name": p.Process},
+		})
+		spans := append([]RSpan(nil), p.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].StartUnixNS != spans[j].StartUnixNS {
+				return spans[i].StartUnixNS < spans[j].StartUnixNS
+			}
+			// Longer span first so a child sharing its parent's start
+			// lands above it on the same track.
+			return spans[i].DurNS > spans[j].DurNS
+		})
+		tids := assignTracks(spans)
+		named := map[int]bool{}
+		for si, sp := range spans {
+			tid := tids[si]
+			if !named[tid] {
+				named[tid] = true
+				out = append(out, map[string]any{
+					"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+					"args": map[string]any{"name": fmt.Sprintf("track %d", tid)},
+				})
+			}
+			args := map[string]any{"spanId": sp.SpanID}
+			if sp.Parent != "" {
+				args["parentId"] = sp.Parent
+			}
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			out = append(out, map[string]any{
+				"ph": "X", "name": sp.Name, "cat": "span",
+				"pid": pid, "tid": tid,
+				"ts":   float64(sp.StartUnixNS-t0) / 1e3,
+				"dur":  float64(sp.DurNS) / 1e3,
+				"args": args,
+			})
+		}
+	}
+	return json.MarshalIndent(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"traceId":    traceID,
+			"spanCount":  total,
+			"processes":  len(procs),
+			"exportedBy": "hyperap internal/obs stitcher",
+			"openWith":   "https://ui.perfetto.dev",
+		},
+	}, "", " ")
+}
+
+// clampToParents fits every span inside its parent's interval without
+// mutating the caller's slices. Spans arrive from independent processes
+// whose exports race the parent's completion (a worker writes its
+// response bytes — ending the coordinator's forward span — before it
+// exports its own root span), so a child can overhang its parent by the
+// export latency. The flame view needs strict nesting, so the stitcher
+// trims children to their parents rather than asking every process for
+// a synchronized clock.
+func clampToParents(procs []ProcessSpans) []ProcessSpans {
+	out := make([]ProcessSpans, len(procs))
+	index := map[string]*RSpan{}
+	for i, p := range procs {
+		out[i] = ProcessSpans{Process: p.Process, Spans: append([]RSpan(nil), p.Spans...)}
+		for j := range out[i].Spans {
+			sp := &out[i].Spans[j]
+			if sp.SpanID != "" {
+				index[sp.SpanID] = sp
+			}
+		}
+	}
+	children := map[string][]*RSpan{}
+	var roots []*RSpan
+	for i := range out {
+		for j := range out[i].Spans {
+			sp := &out[i].Spans[j]
+			if sp.Parent != "" && index[sp.Parent] != nil && index[sp.Parent] != sp {
+				children[sp.Parent] = append(children[sp.Parent], sp)
+				continue
+			}
+			roots = append(roots, sp)
+		}
+	}
+	visited := map[*RSpan]bool{}
+	var clamp func(parent *RSpan)
+	clamp = func(parent *RSpan) {
+		if visited[parent] {
+			return // malformed parent cycle; stop rather than recurse forever
+		}
+		visited[parent] = true
+		pEnd := parent.StartUnixNS + parent.DurNS
+		for _, ch := range children[parent.SpanID] {
+			if ch.StartUnixNS < parent.StartUnixNS {
+				ch.StartUnixNS = parent.StartUnixNS
+			}
+			if end := ch.StartUnixNS + ch.DurNS; end > pEnd {
+				ch.DurNS = pEnd - ch.StartUnixNS
+				if ch.DurNS < 0 {
+					ch.DurNS = 0
+				}
+			}
+			clamp(ch)
+		}
+	}
+	for _, r := range roots {
+		clamp(r)
+	}
+	return out
+}
+
+// assignTracks places start-sorted spans onto thread tracks so that any
+// two spans sharing a track strictly nest (child inside parent) or are
+// disjoint in time — the invariant Chrome's flame view needs to render
+// "X" slices as a stack. Each span takes the lowest track whose current
+// innermost open span contains it (or has ended).
+func assignTracks(spans []RSpan) []int {
+	type open struct{ end int64 }
+	var tracks [][]open // per track: stack of open spans
+	tids := make([]int, len(spans))
+	for i, sp := range spans {
+		start, end := sp.StartUnixNS, sp.StartUnixNS+sp.DurNS
+		placed := false
+		for t := range tracks {
+			stack := tracks[t]
+			// Pop spans that ended at or before this start.
+			for len(stack) > 0 && stack[len(stack)-1].end <= start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 || stack[len(stack)-1].end >= end {
+				tracks[t] = append(stack, open{end})
+				tids[i] = t + 1
+				placed = true
+				break
+			}
+			tracks[t] = stack
+		}
+		if !placed {
+			tracks = append(tracks, []open{{end}})
+			tids[i] = len(tracks)
+		}
+	}
+	return tids
+}

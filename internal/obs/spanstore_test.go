@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanStoreByTrace(t *testing.T) {
+	st := NewSpanStore("worker-1", 16)
+	st.Add(
+		RSpan{TraceID: "t1", SpanID: "b", StartUnixNS: 200},
+		RSpan{TraceID: "t2", SpanID: "x", StartUnixNS: 50},
+		RSpan{TraceID: "t1", SpanID: "a", StartUnixNS: 100},
+	)
+	got := st.ByTrace("t1")
+	if len(got) != 2 || got[0].SpanID != "a" || got[1].SpanID != "b" {
+		t.Fatalf("ByTrace(t1) = %+v, want [a b] sorted by start", got)
+	}
+	if st.ByTrace("missing") != nil {
+		t.Error("unknown trace must return nil")
+	}
+}
+
+func TestSpanStoreEviction(t *testing.T) {
+	st := NewSpanStore("w", 4)
+	for i := 0; i < 10; i++ {
+		st.Add(RSpan{TraceID: "t", SpanID: fmt.Sprintf("s%d", i), StartUnixNS: int64(i)})
+	}
+	live, dropped := st.Stats()
+	if live != 4 || dropped != 6 {
+		t.Fatalf("stats = live %d dropped %d, want 4/6", live, dropped)
+	}
+	got := st.ByTrace("t")
+	if len(got) != 4 || got[0].SpanID != "s6" || got[3].SpanID != "s9" {
+		t.Fatalf("survivors = %+v, want the 4 newest (s6..s9)", got)
+	}
+}
+
+func TestSpanStoreDumpEmpty(t *testing.T) {
+	st := NewSpanStore("w", 4)
+	d := st.Dump("none")
+	if d.Spans == nil || len(d.Spans) != 0 {
+		t.Fatalf("empty dump must carry [], got %#v", d.Spans)
+	}
+	if d.Process != "w" || d.TraceID != "none" {
+		t.Fatalf("dump identity wrong: %+v", d)
+	}
+}
+
+func TestSpanStoreConcurrent(t *testing.T) {
+	st := NewSpanStore("w", 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st.Add(RSpan{TraceID: "t", SpanID: fmt.Sprintf("%d-%d", g, i)})
+				if i%32 == 0 {
+					_ = st.ByTrace("t")
+					_, _ = st.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	live, dropped := st.Stats()
+	if live != 128 || live+int(dropped) != 8*200 {
+		t.Fatalf("live %d dropped %d, want 128 live and no lost adds", live, dropped)
+	}
+}
+
+func TestStitchChromeTrace(t *testing.T) {
+	base := time.Now().UnixNano()
+	procs := []ProcessSpans{
+		{Process: "coordinator", Spans: []RSpan{
+			{TraceID: "t", SpanID: "root", Name: "proxy", StartUnixNS: base, DurNS: 1_000_000},
+			{TraceID: "t", SpanID: "fwd", Parent: "root", Name: "forward", StartUnixNS: base + 100_000, DurNS: 800_000},
+		}},
+		{Process: "worker http://a", Spans: []RSpan{
+			{TraceID: "t", SpanID: "run", Parent: "fwd", Name: "run", StartUnixNS: base + 200_000, DurNS: 500_000},
+		}},
+	}
+	raw, err := StitchChromeTrace("t", procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Pid  int            `json:"pid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stitched output is not valid JSON: %v", err)
+	}
+	if doc.OtherData["traceId"] != "t" {
+		t.Errorf("otherData.traceId = %v", doc.OtherData["traceId"])
+	}
+	procNames := map[string]int{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procNames[ev.Args["name"].(string)] = ev.Pid
+			}
+		case "X":
+			slices++
+			if ev.Ts < 0 {
+				t.Errorf("slice %q has negative ts %v (normalization broken)", ev.Name, ev.Ts)
+			}
+		}
+	}
+	if len(procNames) != 2 {
+		t.Fatalf("process tracks = %v, want coordinator + worker", procNames)
+	}
+	if procNames["coordinator"] != 1 {
+		t.Errorf("coordinator must be pid 1 (first listed), got %d", procNames["coordinator"])
+	}
+	if slices != 3 {
+		t.Errorf("slices = %d, want 3", slices)
+	}
+}
+
+func TestAssignTracksNestingAndOverlap(t *testing.T) {
+	// parent [0,100], child [10,50] nests; siblings [10,50] and [40,90]
+	// overlap without nesting so they must land on different tracks.
+	spans := []RSpan{
+		{SpanID: "parent", StartUnixNS: 0, DurNS: 100},
+		{SpanID: "child", StartUnixNS: 10, DurNS: 40},
+		{SpanID: "overlap", StartUnixNS: 40, DurNS: 50},
+	}
+	tids := assignTracks(spans)
+	if tids[0] != tids[1] {
+		t.Errorf("nested child must share parent's track: %v", tids)
+	}
+	if tids[2] == tids[1] {
+		t.Errorf("overlapping sibling must not share the child's track: %v", tids)
+	}
+
+	// Disjoint spans reuse a track.
+	seq := []RSpan{
+		{SpanID: "a", StartUnixNS: 0, DurNS: 10},
+		{SpanID: "b", StartUnixNS: 20, DurNS: 10},
+	}
+	tids = assignTracks(seq)
+	if tids[0] != tids[1] {
+		t.Errorf("disjoint spans should reuse track 1: %v", tids)
+	}
+}
+
+func TestSpanExport(t *testing.T) {
+	tc := NewTraceContext(true)
+	sp := StartSpan("req-1")
+	start := time.Now().Add(-10 * time.Millisecond)
+	sp.PhaseAt("queue_wait", start, 2*time.Millisecond)
+	sp.PhaseFull("run", start.Add(2*time.Millisecond), 5*time.Millisecond, "", "feedfeedfeedfeed", nil)
+	sp.PhaseFull("chip pe0", start.Add(2*time.Millisecond), 4*time.Millisecond, "run", "", map[string]string{"pe": "0"})
+	spans := sp.Export(tc, "upstream", "worker run")
+	if len(spans) != 4 {
+		t.Fatalf("exported %d spans, want root + 3 phases", len(spans))
+	}
+	root := spans[0]
+	if root.SpanID != tc.SpanID || root.Parent != "upstream" || root.Name != "worker run" {
+		t.Fatalf("root wrong: %+v", root)
+	}
+	byName := map[string]RSpan{}
+	for _, s := range spans[1:] {
+		byName[s.Name] = s
+		if s.TraceID != tc.TraceID {
+			t.Errorf("span %q trace id %q", s.Name, s.TraceID)
+		}
+	}
+	if byName["queue_wait"].Parent != root.SpanID {
+		t.Errorf("queue_wait parent = %q, want root", byName["queue_wait"].Parent)
+	}
+	if byName["run"].SpanID != "feedfeedfeedfeed" {
+		t.Errorf("pre-assigned span id lost: %q", byName["run"].SpanID)
+	}
+	if byName["chip pe0"].Parent != "feedfeedfeedfeed" {
+		t.Errorf("chip span parent = %q, want the run span", byName["chip pe0"].Parent)
+	}
+	if byName["chip pe0"].Attrs["pe"] != "0" {
+		t.Errorf("attrs lost: %+v", byName["chip pe0"].Attrs)
+	}
+}
+
+// TestClampToParents: a child span exported by another process can
+// overhang its parent (the worker exports after the coordinator's
+// forward span closed); the stitcher must trim it into the parent's
+// bounds so the flame view nests strictly, without touching the input.
+func TestClampToParents(t *testing.T) {
+	in := []ProcessSpans{
+		{Process: "coord", Spans: []RSpan{
+			{TraceID: "t", SpanID: "root", Name: "ingress", StartUnixNS: 1000, DurNS: 1000},
+			{TraceID: "t", SpanID: "fwd", Parent: "root", Name: "forward", StartUnixNS: 1100, DurNS: 800},
+		}},
+		{Process: "worker", Spans: []RSpan{
+			// Starts before and ends after the forward span.
+			{TraceID: "t", SpanID: "wrk", Parent: "fwd", Name: "run", StartUnixNS: 1050, DurNS: 1000},
+			// Nested under the worker root; must be clamped transitively.
+			{TraceID: "t", SpanID: "chip", Parent: "wrk", Name: "chip pe0", StartUnixNS: 1060, DurNS: 2000},
+			// Orphan parent: left alone.
+			{TraceID: "t", SpanID: "lost", Parent: "nowhere", Name: "orphan", StartUnixNS: 1, DurNS: 9999},
+		}},
+	}
+	out := clampToParents(in)
+	find := func(procs []ProcessSpans, id string) RSpan {
+		for _, p := range procs {
+			for _, s := range p.Spans {
+				if s.SpanID == id {
+					return s
+				}
+			}
+		}
+		t.Fatalf("span %s missing", id)
+		return RSpan{}
+	}
+	wrk := find(out, "wrk")
+	if wrk.StartUnixNS != 1100 || wrk.StartUnixNS+wrk.DurNS != 1900 {
+		t.Fatalf("worker root not clamped to forward [1100,1900]: [%d,%d]", wrk.StartUnixNS, wrk.StartUnixNS+wrk.DurNS)
+	}
+	chip := find(out, "chip")
+	if chip.StartUnixNS < wrk.StartUnixNS || chip.StartUnixNS+chip.DurNS > wrk.StartUnixNS+wrk.DurNS {
+		t.Fatalf("chip span escapes clamped parent: [%d,%d]", chip.StartUnixNS, chip.StartUnixNS+chip.DurNS)
+	}
+	if lost := find(out, "lost"); lost.StartUnixNS != 1 || lost.DurNS != 9999 {
+		t.Fatalf("orphan span was clamped: %+v", lost)
+	}
+	// The caller's slices are untouched.
+	if orig := find(in, "wrk"); orig.StartUnixNS != 1050 || orig.DurNS != 1000 {
+		t.Fatalf("clampToParents mutated its input: %+v", orig)
+	}
+}

@@ -15,6 +15,9 @@ type TraceMeta struct {
 	// CyclePeriodNS converts simulated cycles to trace time (0 = 1 ns
 	// per cycle).
 	CyclePeriodNS float64
+	// TraceID ties the chip timeline to its distributed trace (empty when
+	// the run was not traced end to end).
+	TraceID string
 }
 
 // ChromeTrace renders simulator trace events as Chrome trace-event JSON
@@ -92,16 +95,20 @@ func ChromeTrace(events []arch.TraceEvent, meta TraceMeta) ([]byte, error) {
 			})
 		}
 	}
+	other := map[string]any{
+		"program":         meta.Program,
+		"cyclePeriod_ns":  period,
+		"timeUnit":        "simulated cycles scaled by cyclePeriod_ns",
+		"exportedBy":      "hyperap internal/obs",
+		"openWith":        "https://ui.perfetto.dev",
+		"traceEventCount": len(events),
+	}
+	if meta.TraceID != "" {
+		other["traceId"] = meta.TraceID
+	}
 	return json.MarshalIndent(map[string]any{
 		"traceEvents":     out,
 		"displayTimeUnit": "ns",
-		"otherData": map[string]any{
-			"program":         meta.Program,
-			"cyclePeriod_ns":  period,
-			"timeUnit":        "simulated cycles scaled by cyclePeriod_ns",
-			"exportedBy":      "hyperap internal/obs",
-			"openWith":        "https://ui.perfetto.dev",
-			"traceEventCount": len(events),
-		},
+		"otherData":       other,
 	}, "", " ")
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceContext is the distributed trace identity carried on every hop of
+// a cluster request, in the W3C trace-context style: a 16-byte trace id
+// shared by every span of the request, the 8-byte id of the current span
+// (the parent of whatever the receiving process records), and the
+// sampled flag that decides whether processes record spans at all.
+//
+// The wire form is the traceparent header,
+//
+//	Traceparent: 00-<32 hex trace-id>-<16 hex span-id>-<01|00>
+//
+// set by the coordinator on ingress (or accepted from the client) and
+// re-sent on every forward attempt, so a failover retry stays inside the
+// same trace.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex characters
+	SpanID  string // 16 lowercase hex characters
+	Sampled bool
+}
+
+// NewSpanID returns a fresh 16-hex-character span identifier.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000000000ff"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceContext starts a new trace with a fresh trace id and root span
+// id.
+func NewTraceContext(sampled bool) TraceContext {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return TraceContext{TraceID: strings.Repeat("0", 31) + "1", SpanID: NewSpanID(), Sampled: sampled}
+	}
+	return TraceContext{TraceID: hex.EncodeToString(b[:]), SpanID: NewSpanID(), Sampled: sampled}
+}
+
+// Valid reports whether the context carries a well-formed, non-zero
+// trace id and span id.
+func (tc TraceContext) Valid() bool {
+	return isHex(tc.TraceID, 32) && isHex(tc.SpanID, 16) &&
+		tc.TraceID != strings.Repeat("0", 32) && tc.SpanID != strings.Repeat("0", 16)
+}
+
+// Child returns a context for a new span inside the same trace: fresh
+// span id, inherited trace id and sampled flag. The parent relationship
+// (this context's span id) is the caller's to record.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID(), Sampled: tc.Sampled}
+}
+
+// Traceparent renders the header value ("00-<trace>-<span>-<flags>").
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header. Unknown versions are
+// accepted as long as the field shape matches (per the W3C forward-
+// compatibility rule); malformed or all-zero ids return ok=false so the
+// receiver starts a fresh trace instead of propagating garbage.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || !isHex(parts[0], 2) || parts[0] == "ff" {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+	if !tc.Valid() || !isHex(parts[3], 2) {
+		return TraceContext{}, false
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return TraceContext{}, false
+	}
+	tc.Sampled = flags[0]&1 == 1
+	return tc, true
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext attaches the trace context to a request context.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the context's trace context, or a zero (not
+// Valid, not Sampled) value.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceContextValid(t *testing.T) {
+	tc := NewTraceContext(true)
+	if !tc.Valid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("id lengths: trace %d span %d", len(tc.TraceID), len(tc.SpanID))
+	}
+	if !tc.Sampled {
+		t.Error("sampled flag lost")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		tc := NewTraceContext(sampled)
+		h := tc.Traceparent()
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) failed", h)
+		}
+		if got != tc {
+			t.Errorf("round trip: got %+v want %+v", got, tc)
+		}
+	}
+}
+
+func TestTraceparentFormat(t *testing.T) {
+	tc := TraceContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8), Sampled: true}
+	want := "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+	if got := tc.Traceparent(); got != want {
+		t.Errorf("Traceparent() = %q, want %q", got, want)
+	}
+	tc.Sampled = false
+	if got := tc.Traceparent(); !strings.HasSuffix(got, "-00") {
+		t.Errorf("unsampled flags = %q, want -00 suffix", got)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("control header rejected: %q", valid)
+	}
+	bad := []string{
+		"",
+		"00-short-" + strings.Repeat("cd", 8) + "-01",
+		"00-" + strings.Repeat("ab", 16) + "-short-01",
+		"00-" + strings.Repeat("zz", 16) + "-" + strings.Repeat("cd", 8) + "-01", // non-hex
+		"00-" + strings.Repeat("00", 16) + "-" + strings.Repeat("cd", 8) + "-01", // zero trace id
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("00", 8) + "-01", // zero span id
+		"ff-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01", // forbidden version
+		"00" + strings.Repeat("ab", 16) + strings.Repeat("cd", 8) + "01",         // no dashes
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Unknown (non-ff) versions parse per W3C forward compatibility.
+	h := "01-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01"
+	tc, ok := ParseTraceparent(h)
+	if !ok || !tc.Sampled {
+		t.Fatalf("future version rejected: %q -> %+v ok=%v", h, tc, ok)
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	tc := NewTraceContext(true)
+	c := tc.Child()
+	if c.TraceID != tc.TraceID || c.Sampled != tc.Sampled {
+		t.Errorf("child changed trace identity: %+v vs %+v", c, tc)
+	}
+	if c.SpanID == tc.SpanID {
+		t.Error("child must get a fresh span id")
+	}
+	if !c.Valid() {
+		t.Errorf("child invalid: %+v", c)
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	tc := NewTraceContext(true)
+	ctx := WithTraceContext(context.Background(), tc)
+	if got := TraceContextFrom(ctx); got != tc {
+		t.Errorf("TraceContextFrom = %+v, want %+v", got, tc)
+	}
+	if got := TraceContextFrom(context.Background()); got.Valid() {
+		t.Error("bare context must carry no valid trace context")
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RateWindow counts events into a ring of fixed-width time slots so the
+// recent rate (requests/sec over the last 1m or 5m) can be read at any
+// moment without a background goroutine. Slots are reclaimed lazily: a
+// writer landing on a slot whose epoch is stale zeroes it first, so an
+// idle window decays to zero as soon as someone reads it. All operations
+// are atomic — any number of writers may Add while scrapes Read.
+type RateWindow struct {
+	step  time.Duration
+	slots []rateSlot
+	now   func() time.Time
+}
+
+type rateSlot struct {
+	epoch atomic.Int64 // slot index this bucket currently represents
+	count atomic.Int64
+}
+
+// NewRateWindow builds a window able to answer rates over any interval
+// up to span, with step-sized slots (e.g. span 5m, step 5s). step <= 0
+// defaults to 5s; span is rounded up to a whole number of steps.
+func NewRateWindow(span, step time.Duration) *RateWindow {
+	if step <= 0 {
+		step = 5 * time.Second
+	}
+	n := int((span + step - 1) / step)
+	if n < 1 {
+		n = 1
+	}
+	// One extra slot so the oldest full slot of a span-wide read is not
+	// the one the current instant is about to overwrite.
+	return &RateWindow{step: step, slots: make([]rateSlot, n+1), now: time.Now}
+}
+
+func (w *RateWindow) index(t time.Time) int64 { return t.UnixNano() / int64(w.step) }
+
+// Add records n events now.
+func (w *RateWindow) Add(n int64) {
+	idx := w.index(w.now())
+	s := &w.slots[int(idx%int64(len(w.slots)))]
+	for {
+		e := s.epoch.Load()
+		if e == idx {
+			break
+		}
+		if s.epoch.CompareAndSwap(e, idx) {
+			s.count.Store(0)
+			break
+		}
+	}
+	s.count.Add(n)
+}
+
+// Total sums the events recorded over the trailing window (including the
+// current partial slot). Windows longer than the ring span are clamped.
+func (w *RateWindow) Total(window time.Duration) int64 {
+	cur := w.index(w.now())
+	n := int64((window + w.step - 1) / w.step)
+	if n > int64(len(w.slots)-1) {
+		n = int64(len(w.slots) - 1)
+	}
+	var sum int64
+	for i := range w.slots {
+		s := &w.slots[i]
+		if e := s.epoch.Load(); e > cur-n && e <= cur {
+			sum += s.count.Load()
+		}
+	}
+	return sum
+}
+
+// Rate returns events per second over the trailing window.
+func (w *RateWindow) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(w.Total(window)) / window.Seconds()
+}
+
+// HotProgram is one row of the top-K hot-program table.
+type HotProgram struct {
+	Fingerprint string
+	Runs        int64
+	Slots       int64
+	P95NS       float64
+}
+
+// HotPrograms tracks per-fingerprint run activity — runs, slots and a
+// latency histogram — over a rolling window, bounding its memory by
+// evicting the coldest fingerprint when the table is full. It is what
+// makes routing skew and cache churn visible: the top-K table is
+// exported as a labeled Prometheus gauge family.
+//
+// Rolling semantics: every rotatePeriod, counts are halved and the
+// latency histograms Reset (exponential decay rather than a hard
+// tumbling window, so a steady hot program never blinks out of the
+// table). Rotation happens lazily inside Record/TopK — no background
+// goroutine.
+type HotPrograms struct {
+	mu         sync.Mutex
+	max        int
+	rotate     time.Duration
+	lastRotate time.Time
+	progs      map[string]*hotProg
+	now        func() time.Time
+}
+
+type hotProg struct {
+	runs  int64
+	slots int64
+	hist  *Histogram
+}
+
+// NewHotPrograms builds a table bounded to max fingerprints (<= 0:
+// default 256) rotating every rotatePeriod (<= 0: default 5m).
+func NewHotPrograms(max int, rotatePeriod time.Duration) *HotPrograms {
+	if max <= 0 {
+		max = 256
+	}
+	if rotatePeriod <= 0 {
+		rotatePeriod = 5 * time.Minute
+	}
+	return &HotPrograms{
+		max:        max,
+		rotate:     rotatePeriod,
+		lastRotate: time.Now(),
+		progs:      map[string]*hotProg{},
+		now:        time.Now,
+	}
+}
+
+// Record accounts one run of fingerprint fp carrying slots input slots,
+// answered in latNS nanoseconds.
+func (h *HotPrograms) Record(fp string, slots int, latNS int64) {
+	h.mu.Lock()
+	h.maybeRotateLocked()
+	p := h.progs[fp]
+	if p == nil {
+		if len(h.progs) >= h.max {
+			h.evictColdestLocked()
+		}
+		p = &hotProg{hist: NewHistogram()}
+		h.progs[fp] = p
+	}
+	p.runs++
+	p.slots += int64(slots)
+	hist := p.hist
+	h.mu.Unlock()
+	// Observe outside the table lock; the histogram is internally atomic.
+	hist.Observe(latNS)
+}
+
+func (h *HotPrograms) maybeRotateLocked() {
+	now := h.now()
+	if now.Sub(h.lastRotate) < h.rotate {
+		return
+	}
+	h.lastRotate = now
+	for fp, p := range h.progs {
+		p.runs /= 2
+		p.slots /= 2
+		if p.runs == 0 {
+			delete(h.progs, fp)
+			continue
+		}
+		p.hist.Reset()
+	}
+}
+
+func (h *HotPrograms) evictColdestLocked() {
+	var coldest string
+	var min int64 = -1
+	for fp, p := range h.progs {
+		if min < 0 || p.runs < min {
+			min, coldest = p.runs, fp
+		}
+	}
+	if coldest != "" {
+		delete(h.progs, coldest)
+	}
+}
+
+// TopK returns the k hottest programs by run count, descending (ties
+// broken by fingerprint for stable scrape output).
+func (h *HotPrograms) TopK(k int) []HotProgram {
+	h.mu.Lock()
+	h.maybeRotateLocked()
+	out := make([]HotProgram, 0, len(h.progs))
+	for fp, p := range h.progs {
+		out = append(out, HotProgram{
+			Fingerprint: fp,
+			Runs:        p.runs,
+			Slots:       p.slots,
+			P95NS:       p.hist.Quantile(0.95),
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// HotProgramSamples renders the top-K table as labeled samples for one
+// of the hot-program gauge families; field selects runs/slots/p95.
+func HotProgramSamples(table []HotProgram, field func(HotProgram) float64) []PromSample {
+	out := make([]PromSample, len(table))
+	for i, p := range table {
+		out[i] = PromSample{
+			Labels: []PromLabel{{"fingerprint", p.Fingerprint}},
+			Value:  field(p),
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually for deterministic window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestRateWindowTotalsAndExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewRateWindow(time.Minute, time.Second)
+	w.now = clk.now
+
+	w.Add(10)
+	clk.advance(30 * time.Second)
+	w.Add(5)
+	if got := w.Total(time.Minute); got != 15 {
+		t.Fatalf("Total(1m) = %d, want 15", got)
+	}
+	if got := w.Total(10 * time.Second); got != 5 {
+		t.Fatalf("Total(10s) = %d, want only the recent 5", got)
+	}
+	// After the window passes, the old slot must not count.
+	clk.advance(45 * time.Second)
+	if got := w.Total(time.Minute); got != 5 {
+		t.Fatalf("Total(1m) after expiry = %d, want 5", got)
+	}
+	clk.advance(2 * time.Minute)
+	if got := w.Total(time.Minute); got != 0 {
+		t.Fatalf("idle window = %d, want 0", got)
+	}
+}
+
+func TestRateWindowRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	w := NewRateWindow(time.Minute, time.Second)
+	w.now = clk.now
+	w.Add(120)
+	if got := w.Rate(time.Minute); got != 2 {
+		t.Fatalf("Rate(1m) = %g, want 2/s", got)
+	}
+	if got := w.Rate(0); got != 0 {
+		t.Fatalf("Rate(0) = %g, want 0", got)
+	}
+}
+
+func TestRateWindowSlotReuse(t *testing.T) {
+	// Wrapping the ring must zero stale slots, not resurrect them.
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	w := NewRateWindow(4*time.Second, time.Second)
+	w.now = clk.now
+	w.Add(100)
+	// Advance exactly one ring length: the writer lands on the same
+	// physical slot and must reset it.
+	clk.advance(time.Duration(len(w.slots)) * time.Second)
+	w.Add(1)
+	if got := w.Total(4 * time.Second); got != 1 {
+		t.Fatalf("after wrap Total = %d, want 1 (stale slot resurrected)", got)
+	}
+}
+
+func TestRateWindowConcurrent(t *testing.T) {
+	w := NewRateWindow(time.Minute, time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Add(1)
+				if i%100 == 0 {
+					_ = w.Rate(time.Minute)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Total(time.Minute); got != 8000 {
+		t.Fatalf("concurrent Total = %d, want 8000", got)
+	}
+}
+
+func TestHotProgramsTopK(t *testing.T) {
+	h := NewHotPrograms(16, time.Hour)
+	for i := 0; i < 5; i++ {
+		h.Record("hot", 64, 1000)
+	}
+	h.Record("warm", 8, 2000)
+	h.Record("warm", 8, 2000)
+	h.Record("cold", 1, 500)
+
+	top := h.TopK(2)
+	if len(top) != 2 || top[0].Fingerprint != "hot" || top[1].Fingerprint != "warm" {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+	if top[0].Runs != 5 || top[0].Slots != 320 {
+		t.Errorf("hot row = %+v, want 5 runs / 320 slots", top[0])
+	}
+	if top[0].P95NS <= 0 {
+		t.Errorf("p95 = %g, want > 0", top[0].P95NS)
+	}
+	if all := h.TopK(0); len(all) != 3 {
+		t.Errorf("TopK(0) = %d rows, want all 3", len(all))
+	}
+}
+
+func TestHotProgramsEviction(t *testing.T) {
+	h := NewHotPrograms(3, time.Hour)
+	h.Record("a", 1, 1)
+	h.Record("a", 1, 1)
+	h.Record("b", 1, 1)
+	h.Record("b", 1, 1)
+	h.Record("c", 1, 1) // coldest
+	h.Record("d", 1, 1) // table full: evicts c
+	top := h.TopK(0)
+	if len(top) != 3 {
+		t.Fatalf("table size = %d, want bounded at 3", len(top))
+	}
+	for _, p := range top {
+		if p.Fingerprint == "c" {
+			t.Fatalf("coldest survived eviction: %+v", top)
+		}
+	}
+}
+
+func TestHotProgramsRotation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	h := NewHotPrograms(16, time.Minute)
+	h.now = clk.now
+	h.lastRotate = clk.now()
+	for i := 0; i < 8; i++ {
+		h.Record("steady", 4, 1000)
+	}
+	h.Record("oneshot", 4, 1000)
+
+	clk.advance(2 * time.Minute)
+	top := h.TopK(0)
+	if len(top) != 1 || top[0].Fingerprint != "steady" {
+		t.Fatalf("after rotation = %+v, want only steady (oneshot decayed out)", top)
+	}
+	if top[0].Runs != 4 {
+		t.Errorf("steady runs = %d, want halved to 4", top[0].Runs)
+	}
+	if top[0].P95NS != 0 {
+		t.Errorf("p95 after Reset = %g, want 0 (histogram cleared)", top[0].P95NS)
+	}
+}
+
+func TestHotProgramsConcurrent(t *testing.T) {
+	h := NewHotPrograms(32, 10*time.Millisecond) // rotate aggressively mid-test
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Record(fmt.Sprintf("fp%d", i%40), 8, int64(i))
+				if i%64 == 0 {
+					_ = h.TopK(10)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if top := h.TopK(10); len(top) > 10 {
+		t.Fatalf("TopK(10) returned %d rows", len(top))
+	}
+}

@@ -3,7 +3,9 @@ package serve
 import (
 	"expvar"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"hyperap/internal/obs"
 )
@@ -83,7 +85,18 @@ type metrics struct {
 	mu               sync.Mutex
 	maxBatchRequests expvar.Int // high-water requests per pass
 	maxBatchSlots    expvar.Int // high-water slot occupancy per pass
+
+	// Cluster-observability layer (DESIGN.md §14): rolling request/error
+	// rate windows, the per-fingerprint hot-program table, and the
+	// Prometheus-format view of everything above (GET /metrics/prometheus).
+	reqWindow *obs.RateWindow
+	errWindow *obs.RateWindow
+	hot       *obs.HotPrograms
+	prom      *obs.PromRegistry
 }
+
+// hotProgramTopK bounds the hot-program gauge families per scrape.
+const hotProgramTopK = 10
 
 func newMetrics() *metrics {
 	m := &metrics{
@@ -139,7 +152,66 @@ func newMetrics() *metrics {
 	m.root.Set("chip_wear_max_pulses", &m.chipWearMaxPulses)
 	m.root.Set("chip_spares_used", &m.chipSparesUsed)
 	m.root.Set("chip_retired_pes", &m.chipRetiredPEs)
+	m.reqWindow = obs.NewRateWindow(5*time.Minute, 5*time.Second)
+	m.errWindow = obs.NewRateWindow(5*time.Minute, 5*time.Second)
+	m.hot = obs.NewHotPrograms(0, 0)
+	m.prom = buildPromRegistry("hyperap_", m.root, m)
 	return m
+}
+
+// buildPromRegistry renders the expvar counter set above as Prometheus
+// families plus the observability extras that have no expvar form: the
+// native histogram series, the rolling 1m/5m rates and the top-K
+// hot-program table. prefix distinguishes binaries (hyperap_ here,
+// hyperap_coord_ on the coordinator). The expvar ints whose value can go
+// down (or is a level, not an accumulation) are declared as gauges; the
+// requests and batch_occupancy maps are skipped and re-registered by
+// hand with real label names instead of the generic "key".
+func buildPromRegistry(prefix string, root *expvar.Map, m *metrics) *obs.PromRegistry {
+	reg := obs.NewPromRegistry()
+	gauges := map[string]bool{
+		"queue_depth_slots":    true,
+		"healthy_pe_fraction":  true,
+		"batch_max_requests":   true,
+		"batch_max_slots":      true,
+		"chip_wear_max_pulses": true,
+		"chip_spares_used":     true,
+		"chip_retired_pes":     true,
+	}
+	skip := map[string]bool{"requests": true, "batch_occupancy": true}
+	reg.RegisterExpvarMap(prefix, root, gauges, skip)
+	reg.CounterVec(prefix+"requests_total", "HTTP responses by endpoint and status", func() []obs.PromSample {
+		var out []obs.PromSample
+		m.requests.Do(func(kv expvar.KeyValue) {
+			iv, ok := kv.Value.(*expvar.Int)
+			endpoint, status, found := strings.Cut(kv.Key, " ")
+			if !ok || !found {
+				return
+			}
+			out = append(out, obs.PromSample{
+				Labels: []obs.PromLabel{{Key: "endpoint", Value: endpoint}, {Key: "status", Value: status}},
+				Value:  float64(iv.Value()),
+			})
+		})
+		return out
+	})
+	reg.CounterVec(prefix+"batch_occupancy_total", "coalescer flushes by requests-per-pass bucket", func() []obs.PromSample {
+		var out []obs.PromSample
+		m.occupancy.Do(func(kv expvar.KeyValue) {
+			if iv, ok := kv.Value.(*expvar.Int); ok {
+				out = append(out, obs.PromSample{
+					Labels: []obs.PromLabel{{Key: "bucket", Value: kv.Key}},
+					Value:  float64(iv.Value()),
+				})
+			}
+		})
+		return out
+	})
+	reg.Histogram(prefix+"queue_wait_duration_ns", "submit-to-pass-start wait per request (ns)", m.queueWaitHist)
+	reg.Histogram(prefix+"run_duration_ns", "RunBatch wall time per pass (ns)", m.runHist)
+	reg.Histogram(prefix+"request_duration_ns", "end-to-end HTTP latency per request (ns)", m.requestHist)
+	obs.RegisterRatesAndHot(reg, prefix, m.reqWindow, m.errWindow, m.hot, hotProgramTopK)
+	return reg
 }
 
 // occupancyBucket buckets a pass by how many requests it carried.
@@ -175,7 +247,12 @@ func (m *metrics) recordFlush(requests, slots int) {
 	m.mu.Unlock()
 }
 
-// recordResponse counts one HTTP response by endpoint and status code.
+// recordResponse counts one HTTP response by endpoint and status code,
+// and feeds the rolling request/error rate windows (errors = 5xx).
 func (m *metrics) recordResponse(endpoint string, status int) {
 	m.requests.Add(fmt.Sprintf("%s %d", endpoint, status), 1)
+	m.reqWindow.Add(1)
+	if status >= 500 {
+		m.errWindow.Add(1)
+	}
 }

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +83,17 @@ type Config struct {
 	// Logger receives one structured line per request (request id,
 	// status, per-phase durations) and drain progress. Default: discard.
 	Logger *slog.Logger
+	// TraceSampleRate samples requests without an incoming Traceparent
+	// into the span store ([0,1]; default 0 = only explicit ?trace=1 or
+	// upstream-sampled requests record spans, keeping the hot path free
+	// of tracing cost).
+	TraceSampleRate float64
+	// TraceBufferSpans bounds the in-memory span ring served at
+	// GET /v1/trace/{trace-id} (default obs.DefaultSpanStoreCap).
+	TraceBufferSpans int
+	// ProcessName labels this node's track in stitched cluster timelines
+	// (default "hyperap-serve").
+	ProcessName string
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.ProcessName == "" {
+		c.ProcessName = "hyperap-serve"
+	}
 	return c
 }
 
@@ -126,6 +143,10 @@ type Server struct {
 	met     *metrics
 	log     *slog.Logger
 	runOpts []compile.RunOption
+
+	// spans is the bounded ring of recorded trace spans this process
+	// contributes to stitched cluster timelines (GET /v1/trace/{id}).
+	spans *obs.SpanStore
 
 	// persist is non-nil when Config.StateDir named a usable directory:
 	// the program store, the virtual-PE wear ledger and the checkpoint
@@ -166,6 +187,7 @@ func New(cfg Config) *Server {
 		reqStarts: map[uint64]time.Time{},
 	}
 	s.log = s.cfg.Logger
+	s.spans = obs.NewSpanStore(s.cfg.ProcessName, s.cfg.TraceBufferSpans)
 	s.cache = newProgramCache(s.cfg.MaxPrograms)
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	if s.cfg.Parallelism > 0 {
@@ -202,9 +224,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("/v1/store/program", s.handleStoreProgram)
+	s.mux.HandleFunc("/v1/trace/", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prometheus", s.handleMetricsProm)
 	s.mux.HandleFunc("/version", s.handleVersion)
 	return s
 }
@@ -220,24 +244,74 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP wraps every endpoint in a request span: a request id (taken
 // from X-Request-Id or generated), the end-to-end latency histogram, and
 // one structured log line carrying the id, status and per-phase
-// durations recorded by the handler.
+// durations recorded by the handler. When the request carries a sampled
+// Traceparent (or sampling turns on locally) the span and its phases are
+// exported into the span store under that trace, parented on the
+// caller's span — the worker half of the cluster's stitched timeline.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Request-Id")
 	if id == "" {
 		id = obs.NewRequestID()
 	}
 	span := obs.StartSpan(id)
+	tc, parent := s.traceContext(r)
 	w.Header().Set("X-Request-Id", id)
+	w.Header().Set("Traceparent", tc.Traceparent())
+	ctx := obs.WithSpan(r.Context(), span)
+	ctx = obs.WithTraceContext(ctx, tc)
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), span)))
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
 	total := time.Since(span.Start)
 	s.met.requestHist.Observe(total.Nanoseconds())
+	if tc.Sampled {
+		s.spans.Add(span.Export(tc, parent, r.Method+" "+r.URL.Path)...)
+	}
 	attrs := append([]slog.Attr{
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.status),
+		slog.String("trace_id", tc.TraceID),
 	}, span.Attrs()...)
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
+// traceContext resolves the request's trace identity: an incoming
+// Traceparent is honored (its span id becomes the exported parent and
+// its sampled flag decides recording — the coordinator already made the
+// sampling decision); otherwise a fresh trace starts here, sampled when
+// the caller asked for a trace explicitly (?trace=1) or the configured
+// sample rate fires. With sampling off and no header, the only cost on
+// the hot path is generating ids nothing will record.
+func (s *Server) traceContext(r *http.Request) (tc obs.TraceContext, parent string) {
+	if up, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+		return up.Child(), up.SpanID
+	}
+	sampled := r.URL.Query().Get("trace") == "1" ||
+		(s.cfg.TraceSampleRate > 0 && rand.Float64() < s.cfg.TraceSampleRate)
+	return obs.NewTraceContext(sampled), ""
+}
+
+// handleTrace serves one trace's spans from this process's span store:
+// GET /v1/trace/{trace-id}. The coordinator calls this on every worker
+// to stitch the cluster-wide timeline; it is also directly curl-able.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "trace", http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeError(w, "trace", http.StatusBadRequest, errors.New("GET /v1/trace/{trace-id}"))
+		return
+	}
+	s.writeJSON(w, "trace", http.StatusOK, s.spans.Dump(id))
+}
+
+// handleMetricsProm serves the Prometheus text exposition
+// (GET /metrics/prometheus); /metrics keeps the expvar JSON form.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	s.met.recordResponse("metrics_prometheus", http.StatusOK)
+	s.met.prom.ServeHTTP(w, r)
 }
 
 // statusWriter captures the response status for the request log.
@@ -575,11 +649,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// Span phases from the pass the slots rode in: window wait in the
 	// coalescer, worker-pool wait, the shared RunBatch, and the fan-out
-	// back to this handler.
-	span.Phase("coalesce", wtr.dispatched.Sub(wtr.enq))
-	span.Phase("queue_wait", wtr.passStart.Sub(wtr.dispatched))
-	span.Phase("run", wtr.runDur)
-	span.Phase("fanout", time.Since(wtr.passStart.Add(wtr.runDur)))
+	// back to this handler — each with its true wall-clock start so the
+	// exported spans line up on stitched timelines.
+	span.PhaseAt("coalesce", wtr.enq, wtr.dispatched.Sub(wtr.enq))
+	span.PhaseAt("queue_wait", wtr.dispatched, wtr.passStart.Sub(wtr.dispatched))
+	span.PhaseAt("run", wtr.passStart, wtr.runDur)
+	runEnd := wtr.passStart.Add(wtr.runDur)
+	span.PhaseAt("fanout", runEnd, time.Since(runEnd))
+	s.met.hot.Record(p.handle, len(req.Inputs), time.Since(span.Start).Nanoseconds())
 	s.writeJSON(w, "run", http.StatusOK, RunResponse{
 		Program:     p.handle,
 		OutputNames: componentNames(p.ex.Outputs),
@@ -601,11 +678,16 @@ func (s *Server) runTraced(ctx context.Context, w http.ResponseWriter, span *obs
 	s.sem <- struct{}{}
 	stop()
 	defer func() { <-s.sem }()
+	tc := obs.TraceContextFrom(ctx)
 	runStart := time.Now()
-	opts, finishPass := s.passOpts(p, compile.WithTrace())
+	extra := []compile.RunOption{compile.WithTrace()}
+	if tc.Valid() {
+		extra = append(extra, compile.WithTraceID(tc.TraceID))
+	}
+	opts, finishPass := s.passOpts(p, extra...)
 	outs, chip, err := p.ex.RunBatchContext(ctx, req.Inputs, opts...)
 	runDur := time.Since(runStart)
-	span.Phase("run", runDur)
+	span.PhaseAt("run", runStart, runDur)
 	s.met.runNS.Add(runDur.Nanoseconds())
 	s.met.runHist.Observe(runDur.Nanoseconds())
 	if err != nil {
@@ -619,10 +701,15 @@ func (s *Server) runTraced(ctx context.Context, w http.ResponseWriter, span *obs
 	s.met.writes.Add(rep.Writes)
 	s.met.energyJ.Add(rep.Energy.TotalJ())
 	s.met.recordFlush(1, slots)
+	s.met.hot.Record(p.handle, slots, time.Since(span.Start).Nanoseconds())
 	s.observeHealth(rep)
+	if tc.Sampled {
+		s.chipSpans(span, chip, runStart, runDur)
+	}
 	trace, err := obs.ChromeTrace(chip.TraceEvents(), obs.TraceMeta{
 		Program:       p.handle,
 		CyclePeriodNS: p.ex.Target.Tech.CyclePeriodNS(),
+		TraceID:       chip.TraceID,
 	})
 	if err != nil {
 		s.writeError(w, "run", http.StatusInternalServerError, err)
@@ -635,6 +722,60 @@ func (s *Server) runTraced(ctx context.Context, w http.ResponseWriter, span *obs
 		Report:      passReport(chip, rep, slots, 1),
 		Trace:       trace,
 	})
+}
+
+// maxChipSpans bounds how many per-PE spans one traced pass contributes
+// to the distributed trace (the full instruction stream stays in the
+// chip-level Perfetto export; these spans are the cluster-timeline
+// summary).
+const maxChipSpans = 32
+
+// chipSpans derives one child span per PE from the traced pass's event
+// stream and nests them under the handler's "run" phase. Simulated
+// cycles are scaled onto the pass's wall-clock interval (every PE span
+// starts at runStart and covers its share of the critical path), so
+// children always fit inside the run span on the stitched timeline.
+func (s *Server) chipSpans(span *obs.Span, chip *arch.Chip, runStart time.Time, runDur time.Duration) {
+	type peAgg struct {
+		cum    int64
+		instrs int64
+	}
+	perPE := map[int]*peAgg{}
+	var order []int
+	var maxCum int64
+	for _, ev := range chip.TraceEvents() {
+		if ev.PE < 0 {
+			continue
+		}
+		a := perPE[ev.PE]
+		if a == nil {
+			a = &peAgg{}
+			perPE[ev.PE] = a
+			order = append(order, ev.PE)
+		}
+		if ev.CumCycles > a.cum {
+			a.cum = ev.CumCycles
+		}
+		a.instrs++
+		if ev.CumCycles > maxCum {
+			maxCum = ev.CumCycles
+		}
+	}
+	if maxCum == 0 {
+		return
+	}
+	if len(order) > maxChipSpans {
+		order = order[:maxChipSpans]
+	}
+	for _, pe := range order {
+		a := perPE[pe]
+		dur := time.Duration(float64(runDur) * float64(a.cum) / float64(maxCum))
+		span.PhaseFull(fmt.Sprintf("chip pe%d", pe), runStart, dur, "run", "", map[string]string{
+			"pe":     strconv.Itoa(pe),
+			"cycles": strconv.FormatInt(a.cum, 10),
+			"instrs": strconv.FormatInt(a.instrs, 10),
+		})
+	}
 }
 
 func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
