@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign crash-test cluster-e2e
+.PHONY: build test vet staticcheck race race-short check bench bench-json cover trace-demo fuzz fault-campaign crash-test cluster-e2e chaos-e2e
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,8 @@ bench:
 # serve p50/p95/p99 and the cluster 1-vs-3-worker comparison, and write
 # the snapshot to $(BENCH_JSON) (a CI artifact). Bump PR for each new
 # snapshot.
-BENCH_JSON ?= BENCH_9.json
-PR ?= 9
+BENCH_JSON ?= BENCH_10.json
+PR ?= 10
 bench-json:
 	$(GO) run ./cmd/hyperap-bench -perf-json $(BENCH_JSON) -pr $(PR)
 
@@ -64,6 +64,18 @@ cluster-e2e:
 	HYPERAP_CLUSTER_E2E=1 HYPERAP_CLUSTER_METRICS=$(CURDIR)/cluster-metrics.json \
 		HYPERAP_CLUSTER_TRACE=$(CURDIR)/cluster-trace.json \
 		$(GO) test -race -run TestClusterProcE2E -v ./internal/cluster/
+
+# The deterministic chaos campaign (DESIGN.md §15): for each seed, a
+# real 3-worker cluster behind fault-injecting proxies (latency spikes,
+# TCP resets, blackholes, slow-loris bodies, truncated responses,
+# bit-flipped payloads) is driven with verifiable load. The bar: zero
+# wrong results, zero requests outliving the propagated deadline plus
+# grace, and at least one breaker open→half-open→closed recovery.
+# chaos-report.json is the CI artifact; a failing seed reproduces with
+# CHAOS_SEED=<n> go run ./cmd/hyperap-chaos.
+CHAOS_SEEDS ?= 1,2,3,4,5
+chaos-e2e:
+	$(GO) run ./cmd/hyperap-chaos -seeds $(CHAOS_SEEDS) -json chaos-report.json
 
 # The crash-safety gate for the durable state store: the torture sweep
 # kills the atomic writer at byte offsets across the whole record

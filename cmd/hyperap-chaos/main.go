@@ -1,0 +1,141 @@
+// Command hyperap-chaos runs the deterministic chaos campaign
+// (DESIGN.md §15): for each seed it stands up a real multi-worker
+// cluster with a fault-injecting proxy in front of every worker, drives
+// verifiable load through the coordinator, and holds the resilience
+// layers to the acceptance bar — zero wrong results, zero requests
+// outliving their propagated deadline plus grace, and at least one full
+// circuit-breaker open→half-open→closed recovery observed.
+//
+// Usage:
+//
+//	hyperap-chaos -seeds 1,2,3,4,5 -json chaos-report.json
+//	CHAOS_SEED=17 hyperap-chaos        # reproduce one failing seed exactly
+//
+// Every fault is drawn from a pure function of (seed, worker, request
+// index), so a failing seed replays bit-for-bit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyperap/internal/buildinfo"
+	"hyperap/internal/chaos"
+)
+
+func main() {
+	seedsFlag := flag.String("seeds", "1,2,3,4,5", "comma-separated campaign seeds (CHAOS_SEED env overrides with a single seed)")
+	workers := flag.Int("workers", 3, "workers per cluster")
+	requests := flag.Int("requests", 120, "requests per seed")
+	concurrency := flag.Int("concurrency", 4, "client goroutines")
+	programs := flag.Int("programs", 4, "distinct programs cycled through")
+	hedge := flag.Bool("hedge", true, "enable hedged requests on the coordinator under test")
+	timeout := flag.Duration("timeout", 8*time.Second, "coordinator end-to-end request budget")
+	attemptTimeout := flag.Duration("attempt-timeout", time.Second, "single worker-forward budget")
+	grace := flag.Duration("grace", 2*time.Second, "patience past the budget before a request counts as hung")
+	jsonPath := flag.String("json", "", "write the campaign report to this file (e.g. chaos-report.json)")
+	version := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("hyperap-chaos " + buildinfo.Get().String())
+		return
+	}
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		log.Fatalf("hyperap-chaos: %v", err)
+	}
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			log.Fatalf("hyperap-chaos: CHAOS_SEED=%q: %v", env, err)
+		}
+		seeds = []int64{n}
+		log.Printf("hyperap-chaos: CHAOS_SEED=%d overrides -seeds", n)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	start := time.Now()
+	rep, err := chaos.RunCampaign(chaos.CampaignConfig{
+		Seeds:          seeds,
+		Workers:        *workers,
+		Requests:       *requests,
+		Concurrency:    *concurrency,
+		Programs:       *programs,
+		Hedge:          *hedge,
+		RequestTimeout: *timeout,
+		AttemptTimeout: *attemptTimeout,
+		HungGrace:      *grace,
+		Logger:         logger,
+	})
+	if err != nil {
+		log.Fatalf("hyperap-chaos: %v", err)
+	}
+
+	for _, s := range rep.Seeds {
+		fmt.Printf("seed %-4d  ok=%-4d wrong=%-3d hung=%-3d rejected=%-3d faults=%-3d trips=%-2d cycles=%-2d hedges=%-3d p99=%.1fms  (%.1fs)\n",
+			s.Seed, s.OK, s.Wrong, s.Hung, s.Rejected, faultTotal(s.Faults),
+			s.BreakerTrips, s.BreakerCycles, s.Hedges, s.P99NS/1e6, float64(s.ElapsedMS)/1e3)
+	}
+	fmt.Printf("campaign: %d seeds, %d requests in %.1fs — wrong=%d hung=%d breakerCycleSeen=%v\n",
+		len(rep.Seeds), rep.Requests, time.Since(start).Seconds(), rep.Wrong, rep.Hung, rep.CycleSeen)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("hyperap-chaos: marshal report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("hyperap-chaos: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if !rep.Passed() {
+		for _, s := range rep.Seeds {
+			if s.Wrong > 0 || s.Hung > 0 {
+				fmt.Printf("reproduce: CHAOS_SEED=%d go run ./cmd/hyperap-chaos\n", s.Seed)
+			}
+		}
+		if !rep.CycleSeen {
+			fmt.Println("FAIL: no breaker open→half-open→closed cycle observed")
+		}
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return out, nil
+}
+
+func faultTotal(m map[string]int64) int64 {
+	var t int64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

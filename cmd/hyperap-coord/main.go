@@ -51,6 +51,12 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "one probe's round-trip budget")
 	failAfter := flag.Int("fail-after", 3, "consecutive probe failures before a worker is evicted from the ring")
 	vnodes := flag.Int("vnodes", 0, "ring positions per full-weight worker (0 = default 128)")
+	retryBudget := flag.Int("retry-budget", 0, "total worker forwards per request across failovers, Retry-After retries and hedges (0 = attempts+1)")
+	hedge := flag.Bool("hedge", false, "hedge idempotent /v1/run requests: fire a second attempt at the next replica when the owner is slow")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge stagger (0 = derive from live p95 forward latency)")
+	breakerOpenTimeout := flag.Duration("breaker-open-timeout", 0, "how long an open per-worker circuit breaker waits before a half-open trial (0 = default 2s)")
+	breakerConsecutive := flag.Int("breaker-consecutive", 0, "consecutive forward failures that open a worker's breaker (0 = default 5)")
+	breakerRate := flag.Float64("breaker-rate", 0, "failure-rate over the recent-outcome window that opens a breaker (0 = default 0.5)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight forwards on shutdown")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	debugAddr := flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6061; empty = disabled)")
@@ -85,17 +91,23 @@ func main() {
 	}
 
 	coord := cluster.New(cluster.Config{
-		Workers:          urls,
-		Attempts:         *attempts,
-		RequestTimeout:   *timeout,
-		AttemptTimeout:   *attemptTimeout,
-		ProbeInterval:    *probeInterval,
-		ProbeTimeout:     *probeTimeout,
-		FailAfter:        *failAfter,
-		Vnodes:           *vnodes,
-		Logger:           logger,
-		TraceSampleRate:  *traceSample,
-		TraceBufferSpans: *traceBuffer,
+		Workers:            urls,
+		Attempts:           *attempts,
+		RequestTimeout:     *timeout,
+		AttemptTimeout:     *attemptTimeout,
+		ProbeInterval:      *probeInterval,
+		ProbeTimeout:       *probeTimeout,
+		FailAfter:          *failAfter,
+		Vnodes:             *vnodes,
+		RetryBudget:        *retryBudget,
+		Hedge:              *hedge,
+		HedgeDelay:         *hedgeDelay,
+		BreakerOpenTimeout: *breakerOpenTimeout,
+		BreakerConsecutive: *breakerConsecutive,
+		BreakerFailureRate: *breakerRate,
+		Logger:             logger,
+		TraceSampleRate:    *traceSample,
+		TraceBufferSpans:   *traceBuffer,
 	})
 	hs := &http.Server{Addr: *addr, Handler: coord}
 

@@ -58,6 +58,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent RunBatch passes (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "per-pass shard worker pool, as hyperap-run -parallel (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
+	deadlineGrace := flag.Duration("deadline-grace", 0, "clock-skew allowance added to a propagated X-Hyperap-Deadline header before it shortens the local deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight work on shutdown")
 	faultRate := flag.Float64("fault-rate", 0, "per-cell stuck-at defect probability (0 = fault-free)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault model")
@@ -103,6 +104,7 @@ func main() {
 		MaxQueueSlots:  *queueSlots,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
+		DeadlineGrace:  *deadlineGrace,
 		Parallelism:    *parallel,
 		Logger:         logger,
 		Faults: tcam.FaultConfig{

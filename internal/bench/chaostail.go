@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hyperap/internal/chaos"
+)
+
+// ChaosTailPerf measures what hedged requests buy under injected tail
+// latency: the same seeded latency-spike schedule (no errors, no
+// storms) is run through a real 3-worker cluster twice — hedging off,
+// then on — and the coordinator's end-to-end p99 is compared. With a
+// 10% chance of a 50–100ms spike on any worker forward and a 10ms
+// hedge stagger, an unhedged request eats the spike while a hedged one
+// escapes to a replica after 10ms.
+type ChaosTailPerf struct {
+	Requests      int     `json:"requests_per_arm"`
+	SpikeProb     float64 `json:"spike_prob"`
+	SpikeMinMs    float64 `json:"spike_min_ms"`
+	SpikeMaxMs    float64 `json:"spike_max_ms"`
+	UnhedgedP50Ms float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedP50Ms   float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	P99Speedup    float64 `json:"p99_speedup"` // unhedged/hedged
+}
+
+const (
+	chaosTailSpikeProb = 0.10
+	chaosTailSpikeMin  = 50 * time.Millisecond
+	chaosTailSpikeMax  = 100 * time.Millisecond
+)
+
+// measureChaosTail runs both arms on the same seed so the spike
+// schedule is identical request-for-request; only the hedging differs.
+func measureChaosTail() (*ChaosTailPerf, error) {
+	arm := func(hedge bool) (*chaos.SeedResult, error) {
+		rep, err := chaos.RunCampaign(chaos.CampaignConfig{
+			Seeds:          []int64{1},
+			Workers:        3,
+			Requests:       150,
+			Concurrency:    4,
+			Programs:       3,
+			Warmup:         24,
+			Hedge:          hedge,
+			HedgeDelay:     10 * time.Millisecond,
+			RequestTimeout: 8 * time.Second,
+			AttemptTimeout: 2 * time.Second,
+			Schedule: func(seed int64, salt string) chaos.Schedule {
+				return chaos.LatencyOnly(seed, salt, chaosTailSpikeProb, chaosTailSpikeMin, chaosTailSpikeMax)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := rep.Seeds[0]
+		if res.Wrong != 0 || res.Hung != 0 {
+			return nil, fmt.Errorf("bench: chaos tail arm (hedge=%v): wrong=%d hung=%d", hedge, res.Wrong, res.Hung)
+		}
+		return &res, nil
+	}
+	unhedged, err := arm(false)
+	if err != nil {
+		return nil, err
+	}
+	hedged, err := arm(true)
+	if err != nil {
+		return nil, err
+	}
+	ct := &ChaosTailPerf{
+		Requests:      unhedged.Requests,
+		SpikeProb:     chaosTailSpikeProb,
+		SpikeMinMs:    float64(chaosTailSpikeMin.Nanoseconds()) / 1e6,
+		SpikeMaxMs:    float64(chaosTailSpikeMax.Nanoseconds()) / 1e6,
+		UnhedgedP50Ms: unhedged.P50NS / 1e6,
+		UnhedgedP99Ms: unhedged.P99NS / 1e6,
+		HedgedP50Ms:   hedged.P50NS / 1e6,
+		HedgedP99Ms:   hedged.P99NS / 1e6,
+		Hedges:        hedged.Hedges,
+		HedgeWins:     hedged.HedgeWins,
+	}
+	if hedged.P99NS > 0 {
+		ct.P99Speedup = unhedged.P99NS / hedged.P99NS
+	}
+	return ct, nil
+}

@@ -31,15 +31,16 @@ const PerfSchema = "hyperap-perf/v1"
 
 // PerfReport is the BENCH_<pr>.json document.
 type PerfReport struct {
-	Schema     string       `json:"schema"`
-	PR         int          `json:"pr"`
-	GoVersion  string       `json:"go"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Kernels    []KernelPerf `json:"kernels"`
-	Serve      ServePerf    `json:"serve"`
-	Startup    StartupPerf  `json:"startup"`
-	Cluster    ClusterPerf  `json:"cluster"`
-	Trace      TracePerf    `json:"trace_overhead"`
+	Schema     string        `json:"schema"`
+	PR         int           `json:"pr"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Kernels    []KernelPerf  `json:"kernels"`
+	Serve      ServePerf     `json:"serve"`
+	Startup    StartupPerf   `json:"startup"`
+	Cluster    ClusterPerf   `json:"cluster"`
+	Trace      TracePerf     `json:"trace_overhead"`
+	ChaosTail  ChaosTailPerf `json:"chaos_tail"`
 }
 
 // TracePerf quantifies what distributed tracing costs the simulator hot
@@ -151,6 +152,12 @@ func PerfJSON(pr int) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Trace = *tp
+
+	ct, err := measureChaosTail()
+	if err != nil {
+		return nil, err
+	}
+	rep.ChaosTail = *ct
 	return rep, nil
 }
 

@@ -1,0 +1,455 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hyperap/internal/cluster"
+	"hyperap/internal/serve"
+)
+
+// CampaignConfig tunes one chaos campaign: for each seed, a fresh
+// 3-worker cluster is stood up with a fault-injecting proxy in front of
+// every worker, hammered with verifiable run requests, and torn down.
+type CampaignConfig struct {
+	// Seeds are the chaos schedules to run (one cluster each). Required.
+	Seeds []int64
+	// Workers per cluster (default 3).
+	Workers int
+	// Requests per seed (default 120).
+	Requests int
+	// Concurrency is the number of client goroutines (default 4).
+	Concurrency int
+	// Programs is how many distinct adder programs the load cycles
+	// through (default 4) — distinct fingerprints, distinct ring owners.
+	Programs int
+	// Warmup requests are sent sequentially before the measured load and
+	// excluded from every stat (default 0). Benchmarks use this to get
+	// first-touch compiles out of the latency tail.
+	Warmup int
+	// Hedge enables hedged requests on the coordinator under test;
+	// HedgeDelay overrides the stagger (0 = p95-derived).
+	Hedge      bool
+	HedgeDelay time.Duration
+	// RequestTimeout is the coordinator's end-to-end budget (default 8s);
+	// AttemptTimeout bounds one worker forward (default 1s).
+	RequestTimeout time.Duration
+	AttemptTimeout time.Duration
+	// HungGrace on top of RequestTimeout is the client's patience: any
+	// request still unanswered past RequestTimeout+HungGrace counts as
+	// hung — the failure mode the whole campaign exists to rule out.
+	HungGrace time.Duration
+	// Schedule builds each proxy's schedule (default Default). The salt
+	// passed in is the worker's stable name ("w0", "w1", ...).
+	Schedule func(seed int64, salt string) Schedule
+	// Logger receives per-seed progress lines (default: discard).
+	Logger *slog.Logger
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Requests <= 0 {
+		c.Requests = 120
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.Programs <= 0 {
+		c.Programs = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 8 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.HungGrace <= 0 {
+		c.HungGrace = 2 * time.Second
+	}
+	if c.Schedule == nil {
+		c.Schedule = Default
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// SeedResult is one seed's outcome. Wrong and Hung must both be zero
+// for the campaign to pass: a 5xx inside the deadline is an honest
+// failure, but a 200 with bad outputs or a request that outlives its
+// propagated deadline is a resilience bug.
+type SeedResult struct {
+	Seed     int64 `json:"seed"`
+	Requests int   `json:"requests"`
+	OK       int   `json:"ok"`
+	Wrong    int   `json:"wrong"`
+	Hung     int   `json:"hung"`
+	Rejected int   `json:"rejected"` // honest 5xx within the deadline
+
+	Faults        map[string]int64 `json:"faults"` // injected, by kind, summed over proxies
+	BreakerTrips  int64            `json:"breakerTrips"`
+	BreakerCycles int64            `json:"breakerCycles"`
+	Hedges        int64            `json:"hedges"`
+	HedgeWins     int64            `json:"hedgeWins"`
+	Failovers     int64            `json:"failovers"`
+	ChecksumFails int64            `json:"checksumFailures"`
+	P50NS         float64          `json:"p50Ns"`
+	P99NS         float64          `json:"p99Ns"`
+	ElapsedMS     int64            `json:"elapsedMs"`
+}
+
+// Report is the campaign rollup written to chaos-report.json.
+type Report struct {
+	Seeds     []SeedResult `json:"seeds"`
+	Requests  int          `json:"requests"`
+	Wrong     int          `json:"wrong"`
+	Hung      int          `json:"hung"`
+	CycleSeen bool         `json:"breakerCycleSeen"` // ≥1 open→half-open→closed recovery observed
+	Hedge     bool         `json:"hedge"`
+}
+
+// Passed reports whether the campaign met the acceptance bar: zero
+// wrong results, zero hung requests, and at least one full breaker
+// recovery cycle observed somewhere in the run.
+func (r *Report) Passed() bool {
+	return r.Wrong == 0 && r.Hung == 0 && r.CycleSeen
+}
+
+// RunCampaign executes every seed sequentially and aggregates.
+func RunCampaign(cfg CampaignConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("chaos: no seeds")
+	}
+	rep := &Report{Hedge: cfg.Hedge}
+	for _, seed := range cfg.Seeds {
+		res, err := runSeed(cfg, seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		rep.Seeds = append(rep.Seeds, *res)
+		rep.Requests += res.Requests
+		rep.Wrong += res.Wrong
+		rep.Hung += res.Hung
+		if res.BreakerCycles > 0 {
+			rep.CycleSeen = true
+		}
+		cfg.Logger.Info("chaos seed done",
+			"seed", seed, "ok", res.OK, "wrong", res.Wrong, "hung", res.Hung,
+			"rejected", res.Rejected, "trips", res.BreakerTrips, "cycles", res.BreakerCycles)
+	}
+	return rep, nil
+}
+
+// seedCluster is one seed's cluster under test: workers on real
+// listeners, a chaos proxy in front of each, and a coordinator that
+// only knows the proxy URLs.
+type seedCluster struct {
+	workers []*serve.Server
+	wsrvs   []*http.Server
+	proxies []*Proxy
+	coord   *cluster.Coordinator
+	csrv    *http.Server
+	curl    string
+}
+
+func startSeedCluster(cfg CampaignConfig, seed int64) (*seedCluster, error) {
+	sc := &seedCluster{}
+	for i := 0; i < cfg.Workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sc.close()
+			return nil, err
+		}
+		s := serve.New(serve.Config{
+			CoalesceWindow:   time.Millisecond,
+			RequestTimeout:   cfg.RequestTimeout,
+			SnapshotInterval: -1,
+		})
+		hs := &http.Server{Handler: s}
+		go hs.Serve(ln)
+		sc.workers = append(sc.workers, s)
+		sc.wsrvs = append(sc.wsrvs, hs)
+		px, err := NewProxy("http://"+ln.Addr().String(), cfg.Schedule(seed, fmt.Sprintf("w%d", i)))
+		if err != nil {
+			sc.close()
+			return nil, err
+		}
+		sc.proxies = append(sc.proxies, px)
+	}
+	urls := make([]string, len(sc.proxies))
+	for i, px := range sc.proxies {
+		urls[i] = px.URL()
+	}
+	sc.coord = cluster.New(cluster.Config{
+		Workers:            urls,
+		ProbeInterval:      25 * time.Millisecond,
+		ProbeTimeout:       time.Second,
+		FailAfter:          3,
+		RequestTimeout:     cfg.RequestTimeout,
+		AttemptTimeout:     cfg.AttemptTimeout,
+		Hedge:              cfg.Hedge,
+		HedgeDelay:         cfg.HedgeDelay,
+		BreakerOpenTimeout: 300 * time.Millisecond,
+		BreakerConsecutive: 3,
+	})
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sc.close()
+		return nil, err
+	}
+	sc.csrv = &http.Server{Handler: sc.coord}
+	go sc.csrv.Serve(cln)
+	sc.curl = "http://" + cln.Addr().String()
+	return sc, nil
+}
+
+func (sc *seedCluster) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if sc.csrv != nil {
+		sc.csrv.Close()
+	}
+	if sc.coord != nil {
+		sc.coord.Drain(ctx)
+	}
+	for _, px := range sc.proxies {
+		px.Close()
+	}
+	for _, hs := range sc.wsrvs {
+		hs.Close()
+	}
+	for _, s := range sc.workers {
+		s.Drain(ctx)
+	}
+}
+
+// adder is the verifiable workload: width-w addition, whose expected
+// outputs the campaign computes independently of the cluster.
+type adder struct{ width int }
+
+func campaignPrograms(n int) []adder {
+	out := make([]adder, n)
+	for i := range out {
+		out[i] = adder{width: 3 + i}
+	}
+	return out
+}
+
+func (a adder) source() string {
+	return fmt.Sprintf(
+		"unsigned int(%d) main(unsigned int(%d) a, unsigned int(%d) b){ return a + b; }",
+		a.width+1, a.width, a.width)
+}
+
+func (a adder) inputs(i int) [][]uint64 {
+	mask := uint64(1)<<a.width - 1
+	rows := make([][]uint64, 4)
+	for r := range rows {
+		rows[r] = []uint64{uint64(i*5+r) & mask, uint64(i*3+2*r+1) & mask}
+	}
+	return rows
+}
+
+func (a adder) expected(in [][]uint64) [][]uint64 {
+	mask := uint64(1)<<(a.width+1) - 1
+	out := make([][]uint64, len(in))
+	for i, row := range in {
+		out[i] = []uint64{(row[0] + row[1]) & mask}
+	}
+	return out
+}
+
+func runSeed(cfg CampaignConfig, seed int64) (*SeedResult, error) {
+	sc, err := startSeedCluster(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.close()
+
+	progs := campaignPrograms(cfg.Programs)
+	client := &http.Client{Timeout: cfg.RequestTimeout + cfg.HungGrace}
+	res := &SeedResult{Seed: seed, Requests: cfg.Requests, Faults: map[string]int64{}}
+
+	// Warmup (uncounted): get first-touch compiles and connection setup
+	// out of the measured tail. Chaos faults still apply — warmup is
+	// about cache state, not a fault holiday.
+	for i := 0; i < cfg.Warmup; i++ {
+		p := progs[i%len(progs)]
+		oneRequest(client, sc.curl, p, p.inputs(1_000_000+i), cfg.RequestTimeout+cfg.HungGrace)
+	}
+	start := time.Now()
+
+	var durations []time.Duration
+	classify := func(o outcome, took time.Duration) {
+		durations = append(durations, took)
+		switch o {
+		case outcomeOK:
+			res.OK++
+		case outcomeWrong:
+			res.Wrong++
+		case outcomeHung:
+			res.Hung++
+		case outcomeRejected:
+			res.Rejected++
+		}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.Requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for g := 0; g < cfg.Concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := progs[i%len(progs)]
+				in := p.inputs(i)
+				o, took := oneRequest(client, sc.curl, p, in, cfg.RequestTimeout+cfg.HungGrace)
+				mu.Lock()
+				classify(o, took)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Recovery drive: a tripped breaker must be observed healing, not
+	// just tripping — the open→half-open→closed cycle is part of the
+	// acceptance bar. The fixed-count loop often finishes while breakers
+	// are still open (rejections resolve instantly, so the request budget
+	// drains fast mid-storm), so keep nudging gentle load until a cycle
+	// completes or a hard cap expires. Each nudge is a real classified
+	// request; half-open trials fire as the open timeouts lapse.
+	met := sc.coord.Metrics()
+	if expvarInt64(met.Root(), "breaker_trips") > 0 {
+		hardCap := time.Now().Add(15 * time.Second)
+		for i := cfg.Requests; expvarInt64(met.Root(), "breaker_cycles") == 0 && time.Now().Before(hardCap); i++ {
+			p := progs[i%len(progs)]
+			o, took := oneRequest(client, sc.curl, p, p.inputs(i), cfg.RequestTimeout+cfg.HungGrace)
+			classify(o, took)
+			res.Requests++
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	res.ElapsedMS = time.Since(start).Milliseconds()
+
+	for _, px := range sc.proxies {
+		for k, v := range px.Counts() {
+			if k != "none" {
+				res.Faults[k] += v
+			}
+		}
+	}
+	res.BreakerTrips = expvarInt64(met.Root(), "breaker_trips")
+	res.BreakerCycles = expvarInt64(met.Root(), "breaker_cycles")
+	res.Hedges = expvarInt64(met.Root(), "hedges")
+	res.HedgeWins = expvarInt64(met.Root(), "hedge_wins")
+	res.Failovers = expvarInt64(met.Root(), "failovers")
+	res.ChecksumFails = expvarInt64(met.Root(), "checksum_failures")
+	// Latency quantiles are measured client-side over the counted
+	// requests only, so warmup and recovery-phase pacing never skew them.
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	res.P50NS = quantileNS(durations, 0.50)
+	res.P99NS = quantileNS(durations, 0.99)
+	return res, nil
+}
+
+// quantileNS reads quantile q off a sorted duration slice.
+func quantileNS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds())
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeWrong
+	outcomeHung
+	outcomeRejected
+)
+
+// oneRequest sends one verifiable run and classifies the result,
+// returning the classification and the request's wall-clock duration.
+// The wall-clock check is belt-and-braces on top of the client timeout:
+// however the request failed, taking longer than budget+grace is a
+// hang, the one unforgivable outcome.
+func oneRequest(client *http.Client, base string, p adder, in [][]uint64, hungAfter time.Duration) (outcome, time.Duration) {
+	body, _ := json.Marshal(serve.RunRequest{Source: p.source(), Inputs: in})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	took := time.Since(t0)
+	if err != nil {
+		if took >= hungAfter {
+			return outcomeHung, took
+		}
+		// Client-side transport error inside the budget: the coordinator
+		// never answers with garbage, so treat as an honest rejection.
+		return outcomeRejected, took
+	}
+	defer resp.Body.Close()
+	raw, rerr := io.ReadAll(resp.Body)
+	if took = time.Since(t0); took >= hungAfter {
+		return outcomeHung, took
+	}
+	if rerr != nil {
+		return outcomeRejected, took
+	}
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return outcomeRejected, took
+		}
+		return outcomeWrong, took // 4xx on a well-formed request: a routing/validation bug
+	}
+	var rr serve.RunResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return outcomeWrong, took
+	}
+	want := p.expected(in)
+	if len(rr.Outputs) != len(want) {
+		return outcomeWrong, took
+	}
+	for i := range want {
+		if len(rr.Outputs[i]) != len(want[i]) || rr.Outputs[i][0] != want[i][0] {
+			return outcomeWrong, took
+		}
+	}
+	return outcomeOK, took
+}
+
+// expvarInt64 reads an int-valued expvar (plain Int or Func) off a map.
+func expvarInt64(m *expvar.Map, key string) int64 {
+	switch v := m.Get(key).(type) {
+	case *expvar.Int:
+		return v.Value()
+	case expvar.Func:
+		if n, ok := v().(int64); ok {
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMiniCampaign runs one short seeded campaign against a real
+// 2-worker cluster: the full acceptance bar (zero wrong, zero hung) at
+// CI-friendly scale. The full 5-seed campaign lives behind
+// `make chaos-e2e` / cmd/hyperap-chaos.
+func TestMiniCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is slow")
+	}
+	rep, err := RunCampaign(CampaignConfig{
+		Seeds:          []int64{1},
+		Workers:        2,
+		Requests:       30,
+		Concurrency:    3,
+		Programs:       2,
+		RequestTimeout: 6 * time.Second,
+		AttemptTimeout: time.Second,
+		HungGrace:      2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Seeds[0]
+	t.Logf("seed %d: ok=%d wrong=%d hung=%d rejected=%d faults=%v trips=%d cycles=%d failovers=%d checksum=%d",
+		res.Seed, res.OK, res.Wrong, res.Hung, res.Rejected, res.Faults,
+		res.BreakerTrips, res.BreakerCycles, res.Failovers, res.ChecksumFails)
+	if res.Wrong != 0 {
+		t.Errorf("wrong results = %d, want 0", res.Wrong)
+	}
+	if res.Hung != 0 {
+		t.Errorf("hung requests = %d, want 0", res.Hung)
+	}
+	if res.OK == 0 {
+		t.Error("no request succeeded at all; the chaos level should leave most requests intact")
+	}
+	var injected int64
+	for _, v := range res.Faults {
+		injected += v
+	}
+	if injected == 0 {
+		t.Error("no faults injected; the campaign tested nothing")
+	}
+}

@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	s := Default(42, "w0")
+	for n := uint64(0); n < 200; n++ {
+		a, b := s.ForIndex(n), s.ForIndex(n)
+		if a != b {
+			t.Fatalf("index %d: two draws differ: %+v vs %+v", n, a, b)
+		}
+	}
+	// Different salts must draw independent sequences (same seed).
+	other := Default(42, "w1")
+	same := 0
+	for n := uint64(0); n < 400; n++ {
+		if s.ForIndex(n).Kind == other.ForIndex(n).Kind {
+			same++
+		}
+	}
+	if same == 400 {
+		t.Fatal("salts w0 and w1 drew identical fault sequences")
+	}
+	// The storm window forces resets.
+	for n := s.StormStart; n < s.StormStart+s.StormLen; n++ {
+		if f := s.ForIndex(n); f.Kind != Reset {
+			t.Fatalf("storm index %d drew %v, want reset", n, f.Kind)
+		}
+	}
+}
+
+func TestScheduleProbabilities(t *testing.T) {
+	s := Schedule{Seed: 7, Salt: "p", PLatency: 0.2, PReset: 0.1,
+		LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond}
+	const draws = 20000
+	counts := map[Kind]int{}
+	for n := uint64(0); n < draws; n++ {
+		f := s.ForIndex(n)
+		counts[f.Kind]++
+		if f.Kind == Latency && (f.Latency < s.LatencyMin || f.Latency > s.LatencyMax) {
+			t.Fatalf("latency draw %v outside [%v, %v]", f.Latency, s.LatencyMin, s.LatencyMax)
+		}
+	}
+	within := func(kind Kind, want float64) {
+		got := float64(counts[kind]) / draws
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("%v fraction = %.3f, want %.2f ± 0.03", kind, got, want)
+		}
+	}
+	within(Latency, 0.2)
+	within(Reset, 0.1)
+	within(None, 0.7)
+}
+
+// uniform builds a schedule that applies exactly one fault kind to
+// every request.
+func uniform(k Kind) Schedule {
+	s := Schedule{Seed: 1, Salt: "t",
+		LatencyMin: 30 * time.Millisecond, LatencyMax: 30 * time.Millisecond,
+		SlowLorisDur: 80 * time.Millisecond, MaxStall: 60 * time.Millisecond,
+		Exempt: map[string]bool{"/readyz": true}}
+	switch k {
+	case Latency:
+		s.PLatency = 1
+	case Reset:
+		s.PReset = 1
+	case Blackhole:
+		s.PBlackhole = 1
+	case SlowLoris:
+		s.PSlowLoris = 1
+	case Truncate:
+		s.PTruncate = 1
+	case BitFlip:
+		s.PBitFlip = 1
+	}
+	return s
+}
+
+func chaosProxyFor(t *testing.T, k Kind) (*Proxy, string) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "the quick brown fox jumps over the lazy dog")
+	}))
+	t.Cleanup(backend.Close)
+	px, err := NewProxy(backend.URL, uniform(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return px, "the quick brown fox jumps over the lazy dog"
+}
+
+func TestProxyPassthroughAndExempt(t *testing.T) {
+	px, want := chaosProxyFor(t, None)
+	for _, path := range []string{"/anything", "/readyz"} {
+		resp, err := http.Get(px.URL() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != want {
+			t.Fatalf("%s: body %q, want %q", path, body, want)
+		}
+	}
+	// The exempt path must not have consumed a schedule index.
+	if n := px.n.Load(); n != 1 {
+		t.Fatalf("index counter = %d after 1 non-exempt + 1 exempt request, want 1", n)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	px, _ := chaosProxyFor(t, Reset)
+	_, err := http.Get(px.URL() + "/x")
+	if err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	if c := px.Counts()["reset"]; c != 1 {
+		t.Fatalf("reset count = %d, want 1", c)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	px, want := chaosProxyFor(t, Latency)
+	t0 := time.Now()
+	resp, err := http.Get(px.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if took := time.Since(t0); took < 30*time.Millisecond {
+		t.Fatalf("latency fault took %v, want >= 30ms", took)
+	}
+	if string(body) != want {
+		t.Fatalf("body %q corrupted by latency fault", body)
+	}
+}
+
+func TestProxyBlackholeCapped(t *testing.T) {
+	px, _ := chaosProxyFor(t, Blackhole)
+	t0 := time.Now()
+	_, err := http.Get(px.URL() + "/x")
+	took := time.Since(t0)
+	if err == nil {
+		t.Fatal("blackhole produced a response")
+	}
+	if took < 50*time.Millisecond || took > 3*time.Second {
+		t.Fatalf("blackhole stalled %v, want ~MaxStall (60ms)", took)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	px, want := chaosProxyFor(t, Truncate)
+	resp, err := http.Get(px.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && len(body) == len(want) {
+		t.Fatalf("truncate fault delivered the whole body (%d bytes)", len(body))
+	}
+}
+
+func TestProxyBitFlip(t *testing.T) {
+	px, want := chaosProxyFor(t, BitFlip)
+	resp, err := http.Get(px.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != len(want) {
+		t.Fatalf("bit flip changed length: %d vs %d", len(body), len(want))
+	}
+	diffBits := 0
+	for i := range body {
+		for b := body[i] ^ want[i]; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("bit flip changed %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestProxySlowLorisCompletes(t *testing.T) {
+	px, want := chaosProxyFor(t, SlowLoris)
+	t0 := time.Now()
+	resp, err := http.Get(px.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(body) != want {
+		t.Fatalf("slow-loris corrupted the body: %q", body)
+	}
+	if took := time.Since(t0); took < 40*time.Millisecond {
+		t.Fatalf("slow-loris finished in %v, want >= ~SlowLorisDur/2", took)
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload-payload-payload")
+	}))
+	defer backend.Close()
+
+	get := func(k Kind) (string, error) {
+		tr := &Transport{Sched: uniform(k)}
+		client := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	if _, err := get(Reset); err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("reset: err = %v, want connection reset", err)
+	}
+	if body, err := get(None); err != nil || body != "payload-payload-payload" {
+		t.Fatalf("none: %q, %v", body, err)
+	}
+	if body, err := get(BitFlip); err != nil || body == "payload-payload-payload" {
+		t.Fatalf("bitflip: body unchanged (%q, %v)", body, err)
+	}
+	if body, err := get(Truncate); err == nil && len(body) == len("payload-payload-payload") {
+		t.Fatal("truncate: full body delivered")
+	}
+}
+
+func TestListenerResets(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &Listener{Listener: ln, Sched: uniform(Reset)}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})}
+	go srv.Serve(cl)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + ln.Addr().String()); err == nil {
+		t.Fatal("listener with all-reset schedule served a request")
+	}
+	if cl.Resets() == 0 {
+		t.Fatal("no resets recorded")
+	}
+}

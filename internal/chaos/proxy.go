@@ -1,0 +1,448 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting HTTP man-in-the-middle: it listens on a
+// loopback port, forwards every request to the target worker, and
+// applies the Schedule's drawn fault for each non-exempt request. The
+// campaign places one Proxy in front of each worker and points the
+// coordinator at the proxies, so every coordinator→worker forward
+// crosses the fault injector while the workers themselves stay honest.
+type Proxy struct {
+	sched  Schedule
+	target string
+	client *http.Client
+
+	srv *http.Server
+	ln  net.Listener
+	url string
+
+	n      atomic.Uint64 // non-exempt request index (the Schedule's domain)
+	counts [len(kindNames)]atomic.Int64
+}
+
+// NewProxy starts a proxy in front of target (a base URL such as
+// "http://127.0.0.1:4417"). Close releases the listener.
+func NewProxy(target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		sched:  sched,
+		target: target,
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		ln:     ln,
+		url:    "http://" + ln.Addr().String(),
+	}
+	p.srv = &http.Server{Handler: p}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL is the proxy's base URL (what the coordinator should dial).
+func (p *Proxy) URL() string { return p.url }
+
+// Target is the wrapped worker's base URL.
+func (p *Proxy) Target() string { return p.target }
+
+// Close shuts the listener down and closes idle upstream connections.
+func (p *Proxy) Close() error {
+	err := p.srv.Close()
+	p.client.CloseIdleConnections()
+	return err
+}
+
+// Counts reports how many faults of each kind this proxy injected
+// (including "none" for untouched non-exempt requests).
+func (p *Proxy) Counts() map[string]int64 {
+	out := make(map[string]int64, len(kindNames))
+	for i := range p.counts {
+		if v := p.counts[i].Load(); v != 0 {
+			out[kindNames[i]] = v
+		}
+	}
+	return out
+}
+
+// Injected is the total number of non-none faults applied.
+func (p *Proxy) Injected() int64 {
+	var total int64
+	for i := range p.counts {
+		if Kind(i) != None {
+			total += p.counts[i].Load()
+		}
+	}
+	return total
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.sched.Exempt[r.URL.Path] {
+		p.forward(w, r, Fault{})
+		return
+	}
+	f := p.sched.ForIndex(p.n.Add(1) - 1)
+	p.counts[f.Kind].Add(1)
+	switch f.Kind {
+	case Reset:
+		p.reset(w)
+	case Blackhole:
+		p.blackhole(w, r)
+	default:
+		p.forward(w, r, f)
+	}
+}
+
+// reset hijacks the client connection and closes it with linger 0 so
+// the peer sees a TCP RST (connection reset), not a clean EOF.
+func (p *Proxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Should not happen for an HTTP/1 server; degrade to a 502.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// blackhole swallows the request: no bytes flow either way until the
+// caller gives up or MaxStall elapses, then the connection is reset.
+// The cap guarantees an injected fault can never outlive the victim's
+// own attempt timeout by much — chaos must not hang the harness itself.
+func (p *Proxy) blackhole(w http.ResponseWriter, r *http.Request) {
+	stall := p.sched.MaxStall
+	if stall <= 0 {
+		stall = 2 * time.Second
+	}
+	t := time.NewTimer(stall)
+	defer t.Stop()
+	select {
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+	p.reset(w)
+}
+
+// forward relays the request upstream and the response back, applying
+// any latency/slow-loris/truncate/bit-flip fault on the way.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, f Fault) {
+	ctx := r.Context()
+	if f.Kind == Latency {
+		t := time.NewTimer(f.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			p.reset(w)
+			return
+		case <-t.C:
+		}
+	}
+
+	url := p.target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// Upstream actually failed; surface it as a reset so the
+		// coordinator exercises the same connection-error path.
+		p.reset(w)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.reset(w)
+		return
+	}
+
+	switch f.Kind {
+	case BitFlip:
+		if len(body) > 0 {
+			bit := f.BitPos % uint64(len(body)*8)
+			body[bit/8] ^= 1 << (bit % 8)
+		}
+		p.relay(w, resp, body)
+	case Truncate:
+		p.truncate(w, resp, body)
+	case SlowLoris:
+		p.slowLoris(w, ctx, resp, body)
+	default:
+		p.relay(w, resp, body)
+	}
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func (p *Proxy) relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// truncate advertises the full body length but sends only half, then
+// closes the connection: the reader sees an unexpected EOF mid-body.
+// Hijacked so the HTTP layer cannot "fix" the framing for us.
+func (p *Proxy) truncate(w http.ResponseWriter, resp *http.Response, body []byte) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		p.relay(w, resp, body)
+		return
+	}
+	conn, bw, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(bw, "HTTP/1.1 %d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	resp.Header.Write(bw)
+	fmt.Fprintf(bw, "Content-Length: %d\r\n\r\n", len(body))
+	bw.Write(body[:len(body)/2])
+	bw.Flush()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+}
+
+// slowLoris dribbles the body out in chunks across SlowLorisDur. The
+// body does arrive whole eventually — the fault under test is whether
+// the reader's deadline machinery tolerates a peer that is technically
+// alive but pathologically slow.
+func (p *Proxy) slowLoris(w http.ResponseWriter, ctx context.Context, resp *http.Response, body []byte) {
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	dur := p.sched.SlowLorisDur
+	if dur <= 0 {
+		dur = 250 * time.Millisecond
+	}
+	const chunks = 8
+	step := dur / chunks
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(body)/chunks, (i+1)*len(body)/chunks
+		if _, err := w.Write(body[lo:hi]); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		if i < chunks-1 {
+			t := time.NewTimer(step)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// Transport wraps an http.RoundTripper with the same fault model, for
+// tests that want client-side injection without a real proxy hop.
+// Reset and Blackhole surface as transport errors; SlowLoris wraps the
+// response body in a throttled reader; Truncate cuts it short.
+type Transport struct {
+	Base  http.RoundTripper
+	Sched Schedule
+
+	n      atomic.Uint64
+	counts [len(kindNames)]atomic.Int64
+}
+
+// Counts mirrors Proxy.Counts for the transport injector.
+func (t *Transport) Counts() map[string]int64 {
+	out := make(map[string]int64, len(kindNames))
+	for i := range t.counts {
+		if v := t.counts[i].Load(); v != 0 {
+			out[kindNames[i]] = v
+		}
+	}
+	return out
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Sched.Exempt[req.URL.Path] {
+		return t.base().RoundTrip(req)
+	}
+	f := t.Sched.ForIndex(t.n.Add(1) - 1)
+	t.counts[f.Kind].Add(1)
+	ctx := req.Context()
+	switch f.Kind {
+	case Reset:
+		return nil, fmt.Errorf("chaos: %w", errReset)
+	case Blackhole:
+		stall := t.Sched.MaxStall
+		if stall <= 0 {
+			stall = 2 * time.Second
+		}
+		tm := time.NewTimer(stall)
+		defer tm.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tm.C:
+			return nil, fmt.Errorf("chaos: blackhole: %w", errReset)
+		}
+	case Latency:
+		tm := time.NewTimer(f.Latency)
+		select {
+		case <-ctx.Done():
+			tm.Stop()
+			return nil, ctx.Err()
+		case <-tm.C:
+		}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case BitFlip:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			bit := f.BitPos % uint64(len(body)*8)
+			body[bit/8] ^= 1 << (bit % 8)
+		}
+		resp.Body = io.NopCloser(newByteReader(body))
+	case Truncate:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(&truncatedReader{data: body[:len(body)/2]})
+	case SlowLoris:
+		dur := t.Sched.SlowLorisDur
+		if dur <= 0 {
+			dur = 250 * time.Millisecond
+		}
+		resp.Body = &slowBody{inner: resp.Body, step: dur / 8, ctx: ctx}
+	}
+	return resp, nil
+}
+
+var errReset = &net.OpError{Op: "read", Net: "tcp", Err: fmt.Errorf("connection reset by chaos")}
+
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// truncatedReader yields its data then an unexpected EOF, modeling a
+// connection cut mid-body.
+type truncatedReader struct{ data []byte }
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// slowBody throttles reads: one small chunk per step.
+type slowBody struct {
+	inner io.ReadCloser
+	step  time.Duration
+	ctx   context.Context
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	t := time.NewTimer(s.step)
+	select {
+	case <-s.ctx.Done():
+		t.Stop()
+		return 0, s.ctx.Err()
+	case <-t.C:
+	}
+	if len(p) > 64 {
+		p = p[:64]
+	}
+	return s.inner.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.inner.Close() }
+
+// Listener wraps a net.Listener, resetting a scheduled fraction of
+// accepted connections before the server ever sees them (accept-queue
+// chaos). Only Reset is meaningful at this layer; richer faults need
+// the HTTP-aware Proxy.
+type Listener struct {
+	net.Listener
+	Sched Schedule
+
+	n      atomic.Uint64
+	resets atomic.Int64
+}
+
+// Resets reports how many connections were killed at accept time.
+func (l *Listener) Resets() int64 { return l.resets.Load() }
+
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		f := l.Sched.ForIndex(l.n.Add(1) - 1)
+		if f.Kind != Reset && f.Kind != Blackhole {
+			return conn, nil
+		}
+		l.resets.Add(1)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		conn.Close()
+	}
+}

@@ -1,0 +1,186 @@
+// Package chaos is the deterministic fault-injection layer used to
+// harden the cluster (DESIGN.md §15). A Schedule maps a (seed, salt,
+// request-index) triple to a fault decision with no other state, so a
+// failing chaos campaign is reproducible bit-for-bit from its seed:
+// the same seed always yields the same fault sequence on each proxy.
+//
+// Three injection points wrap the same Schedule:
+//
+//	Proxy     an HTTP man-in-the-middle between coordinator and worker
+//	Transport an http.RoundTripper wrapper (client-side injection)
+//	Listener  a net.Listener wrapper (accept-time connection resets)
+package chaos
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	None      Kind = iota // forward untouched
+	Latency               // delay the forward by a drawn duration
+	Reset                 // TCP RST before any response bytes
+	Blackhole             // accept, then stall silently (capped) and RST
+	SlowLoris             // dribble the response body over SlowLorisDur
+	Truncate              // advertise the full Content-Length, send half
+	BitFlip               // flip one payload bit after worker checksumming
+)
+
+var kindNames = [...]string{"none", "latency", "reset", "blackhole", "slowloris", "truncate", "bitflip"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Fault is one request's drawn fate.
+type Fault struct {
+	Kind    Kind
+	Latency time.Duration // populated for Kind == Latency
+	BitPos  uint64        // populated for Kind == BitFlip (body-relative, modulo length)
+}
+
+// Schedule is a pure function from request index to Fault. Probabilities
+// are independent per request except inside the storm window, where
+// every request is reset — the storm is what reliably trips a circuit
+// breaker mid-campaign so its recovery cycle is exercised too.
+type Schedule struct {
+	Seed int64
+	// Salt disambiguates proxies sharing a seed (conventionally the
+	// worker name); two proxies with different salts draw independent
+	// fault sequences from the same campaign seed.
+	Salt string
+
+	PLatency   float64
+	PReset     float64
+	PBlackhole float64
+	PSlowLoris float64
+	PTruncate  float64
+	PBitFlip   float64
+
+	LatencyMin   time.Duration
+	LatencyMax   time.Duration
+	SlowLorisDur time.Duration
+	// MaxStall caps a blackhole so an injected fault can never hold a
+	// connection longer than the victim's own attempt timeout should.
+	MaxStall time.Duration
+
+	// [StormStart, StormStart+StormLen) is the forced-reset window in
+	// request-index space; StormLen == 0 disables it.
+	StormStart uint64
+	StormLen   uint64
+
+	// Exempt paths are forwarded untouched and do not consume a request
+	// index (health probes must see the true worker state, or chaos
+	// would test the membership prober instead of the request path).
+	Exempt map[string]bool
+}
+
+// Default is the canonical campaign schedule for one proxy: ~20% of
+// requests faulted, plus a short reset storm at a seed-drawn index.
+// The storm is sized to trip a breaker (3 consecutive resets at the
+// campaign's BreakerConsecutive=3) and then be burned through by a
+// couple of half-open trials, so the recovery cycle is reachable within
+// one seed; storm starts are spread over [12, 60) so three proxies
+// sharing a seed rarely storm at the same moment.
+func Default(seed int64, salt string) Schedule {
+	r := newRng(seed, salt, 1<<62) // schedule-level draws, outside the per-request index space
+	return Schedule{
+		Seed:         seed,
+		Salt:         salt,
+		PLatency:     0.10,
+		PReset:       0.04,
+		PBlackhole:   0.02,
+		PSlowLoris:   0.02,
+		PTruncate:    0.02,
+		PBitFlip:     0.02,
+		LatencyMin:   10 * time.Millisecond,
+		LatencyMax:   120 * time.Millisecond,
+		SlowLorisDur: 250 * time.Millisecond,
+		MaxStall:     2 * time.Second,
+		StormStart:   12 + r.next()%48,
+		StormLen:     5,
+		Exempt:       map[string]bool{"/readyz": true, "/healthz": true, "/metrics": true},
+	}
+}
+
+// LatencyOnly is the benchmark schedule: a pure latency-spike injector
+// (no errors, no storm) at the given probability, for measuring how
+// hedged requests cut the tail (BENCH chaos_tail section).
+func LatencyOnly(seed int64, salt string, p float64, min, max time.Duration) Schedule {
+	return Schedule{
+		Seed:       seed,
+		Salt:       salt,
+		PLatency:   p,
+		LatencyMin: min,
+		LatencyMax: max,
+		Exempt:     map[string]bool{"/readyz": true, "/healthz": true, "/metrics": true},
+	}
+}
+
+// ForIndex draws request n's fault. Pure: same (Seed, Salt, n) in, same
+// Fault out, independent of call order or wall clock.
+func (s Schedule) ForIndex(n uint64) Fault {
+	if s.StormLen > 0 && n >= s.StormStart && n < s.StormStart+s.StormLen {
+		return Fault{Kind: Reset}
+	}
+	r := newRng(s.Seed, s.Salt, n)
+	u := r.float()
+	cum := 0.0
+	pick := func(p float64) bool {
+		cum += p
+		return u < cum
+	}
+	switch {
+	case pick(s.PLatency):
+		span := s.LatencyMax - s.LatencyMin
+		d := s.LatencyMin
+		if span > 0 {
+			d += time.Duration(r.float() * float64(span))
+		}
+		return Fault{Kind: Latency, Latency: d}
+	case pick(s.PReset):
+		return Fault{Kind: Reset}
+	case pick(s.PBlackhole):
+		return Fault{Kind: Blackhole}
+	case pick(s.PSlowLoris):
+		return Fault{Kind: SlowLoris}
+	case pick(s.PTruncate):
+		return Fault{Kind: Truncate}
+	case pick(s.PBitFlip):
+		return Fault{Kind: BitFlip, BitPos: r.next()}
+	}
+	return Fault{Kind: None}
+}
+
+// rng is a splitmix64 stream keyed by (seed, salt, index): cheap,
+// stateless across requests, and stable across Go versions — unlike
+// math/rand, whose stream is not part of any compatibility promise.
+type rng struct{ s uint64 }
+
+func newRng(seed int64, salt string, n uint64) *rng {
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	r := &rng{s: uint64(seed) ^ h.Sum64() ^ (n * 0x9E3779B97F4A7C15)}
+	r.next() // decorrelate nearby indices
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine
+// (DESIGN.md §15). A closed breaker passes traffic and watches outcomes;
+// too many failures open it, which short-circuits the worker out of the
+// candidate list without spending an attempt; after OpenTimeout one trial
+// request probes the worker (half-open), and its outcome decides between
+// closing again and re-opening.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breakerConfig tunes one worker's breaker. The zero value is unusable;
+// use defaultBreakerConfig (or the coordinator Config knobs) instead.
+type breakerConfig struct {
+	// ConsecutiveFailures opens the breaker after this many failures in a
+	// row, regardless of the overall rate — the fast path for a worker
+	// that just died.
+	ConsecutiveFailures int
+	// FailureRate opens the breaker when the failure fraction over the
+	// last windowSize outcomes reaches this threshold (with at least
+	// MinSamples outcomes observed) — the slow path for a worker that is
+	// sick, not dead.
+	FailureRate float64
+	MinSamples  int
+	// OpenTimeout is how long an open breaker blocks traffic before
+	// letting one half-open trial through.
+	OpenTimeout time.Duration
+
+	// now is injectable for fake-clock tests; nil means time.Now.
+	now func() time.Time
+}
+
+func defaultBreakerConfig() breakerConfig {
+	return breakerConfig{
+		ConsecutiveFailures: 5,
+		FailureRate:         0.5,
+		MinSamples:          10,
+		OpenTimeout:         2 * time.Second,
+	}
+}
+
+// breakerWindow is the rolling-outcome ring size for the rate trigger.
+const breakerWindow = 32
+
+// breaker is one worker's circuit breaker. All methods are safe for
+// concurrent use; the state machine is small enough that a plain mutex
+// beats cleverness.
+type breaker struct {
+	cfg breakerConfig
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int                 // failures in a row
+	outcomes    [breakerWindow]bool // ring of recent outcomes, true = failure
+	outcomeN    int                 // total outcomes recorded (ring fill + position)
+	openedAt    time.Time
+	trialOut    bool  // half-open: the single trial slot is taken
+	trips       int64 // closed→open transitions
+	cycles      int64 // half-open→closed transitions (full recovery cycles)
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.ConsecutiveFailures <= 0 {
+		cfg.ConsecutiveFailures = defaultBreakerConfig().ConsecutiveFailures
+	}
+	if cfg.FailureRate <= 0 {
+		cfg.FailureRate = defaultBreakerConfig().FailureRate
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = defaultBreakerConfig().MinSamples
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = defaultBreakerConfig().OpenTimeout
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may be sent to this worker right now.
+// An open breaker whose timeout has elapsed transitions to half-open and
+// admits exactly one trial; further callers are blocked until the trial
+// resolves (OnSuccess / OnFailure / OnCancel).
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialOut = true
+		return true
+	case breakerHalfOpen:
+		if b.trialOut {
+			return false
+		}
+		b.trialOut = true
+		return true
+	}
+	return false
+}
+
+// OnSuccess records a successful outcome. In half-open it closes the
+// breaker (one full recovery cycle); in closed it resets the consecutive
+// counter and feeds the rate window.
+func (b *breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerClosed
+		b.trialOut = false
+		b.consecutive = 0
+		b.outcomeN = 0
+		b.cycles++
+	case breakerClosed:
+		b.consecutive = 0
+		b.record(false)
+	}
+}
+
+// OnFailure records a failed outcome. In half-open the trial failed, so
+// the breaker re-opens for another full timeout; in closed it may trip
+// either the consecutive or the rate trigger.
+func (b *breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.openLocked()
+	case breakerClosed:
+		b.consecutive++
+		b.record(true)
+		if b.consecutive >= b.cfg.ConsecutiveFailures || b.rateTrippedLocked() {
+			b.openLocked()
+		}
+	}
+}
+
+// OnCancel releases a half-open trial slot without judging the worker:
+// the attempt was abandoned (hedge loser, caller deadline) so its outcome
+// says nothing about worker health.
+func (b *breaker) OnCancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.trialOut = false
+	}
+}
+
+// State returns the current state, advancing open→half-open is NOT done
+// here (only Allow takes that edge) so the metric view matches what
+// traffic actually experienced.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counts returns (trips, cycles): closed→open transitions and completed
+// half-open→closed recoveries.
+func (b *breaker) Counts() (int64, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.cycles
+}
+
+func (b *breaker) openLocked() {
+	b.state = breakerOpen
+	b.openedAt = b.cfg.now()
+	b.trialOut = false
+	b.consecutive = 0
+	b.outcomeN = 0
+	b.trips++
+}
+
+func (b *breaker) record(failed bool) {
+	b.outcomes[b.outcomeN%breakerWindow] = failed
+	b.outcomeN++
+}
+
+func (b *breaker) rateTrippedLocked() bool {
+	n := b.outcomeN
+	if n > breakerWindow {
+		n = breakerWindow
+	}
+	if b.outcomeN < b.cfg.MinSamples {
+		return false
+	}
+	failures := 0
+	for i := 0; i < n; i++ {
+		if b.outcomes[i] {
+			failures++
+		}
+	}
+	return float64(failures)/float64(n) >= b.cfg.FailureRate
+}
+
+// breakerSet is the coordinator's per-worker breaker table, keyed by
+// worker URL. Workers appear lazily on first use so membership changes
+// need no coordination with the breaker layer.
+type breakerSet struct {
+	cfg breakerConfig
+	mu  sync.Mutex
+	m   map[string]*breaker
+}
+
+func newBreakerSet(cfg breakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg, m: make(map[string]*breaker)}
+}
+
+func (s *breakerSet) get(url string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[url]
+	if !ok {
+		b = newBreaker(s.cfg)
+		s.m[url] = b
+	}
+	return b
+}
+
+// each visits every breaker (for metric scrapes).
+func (s *breakerSet) each(fn func(url string, b *breaker)) {
+	s.mu.Lock()
+	urls := make([]string, 0, len(s.m))
+	bs := make([]*breaker, 0, len(s.m))
+	for u, b := range s.m {
+		urls = append(urls, u)
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for i := range urls {
+		fn(urls[i], bs[i])
+	}
+}

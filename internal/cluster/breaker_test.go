@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock) *breaker {
+	cfg := defaultBreakerConfig()
+	cfg.ConsecutiveFailures = 3
+	cfg.OpenTimeout = time.Second
+	cfg.now = clk.now
+	return newBreaker(cfg)
+}
+
+func TestBreakerConsecutiveTrip(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker blocked request %d", i)
+		}
+		b.OnFailure()
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted a request before its timeout")
+	}
+	if trips, _ := b.Counts(); trips != 1 {
+		t.Errorf("trips = %d, want 1", trips)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	// Alternating failures never reach the consecutive threshold of 3,
+	// and 6 outcomes stay below the rate trigger's MinSamples of 10.
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+		b.OnFailure()
+		b.OnSuccess()
+	}
+	if b.State() != breakerClosed {
+		t.Fatalf("state = %v, want closed (consecutive count must reset on success)", b.State())
+	}
+}
+
+func TestBreakerRateTrip(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := defaultBreakerConfig()
+	cfg.ConsecutiveFailures = 100 // out of the way; only the rate can trip
+	cfg.FailureRate = 0.5
+	cfg.MinSamples = 10
+	cfg.now = clk.now
+	b := newBreaker(cfg)
+	// 5 successes, then failures. At 10 samples the window holds 5/10
+	// failures = exactly the 0.5 threshold.
+	for i := 0; i < 5; i++ {
+		b.OnSuccess()
+	}
+	for i := 0; i < 4; i++ {
+		b.OnFailure()
+		if b.State() != breakerClosed {
+			t.Fatalf("tripped early at failure %d", i)
+		}
+	}
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state after 5/10 failures = %v, want open (rate trigger)", b.State())
+	}
+}
+
+// TestBreakerHalfOpenCycle drives the full open → half-open → closed
+// recovery cycle on a fake clock, including the single-trial admission
+// rule while half-open.
+func TestBreakerHalfOpenCycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request immediately")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request 1ms before its timeout")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the half-open trial after its timeout")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one trial at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.OnSuccess()
+	if b.State() != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.State())
+	}
+	trips, cycles := b.Counts()
+	if trips != 1 || cycles != 1 {
+		t.Errorf("trips, cycles = %d, %d; want 1, 1", trips, cycles)
+	}
+	if !b.Allow() {
+		t.Error("recovered breaker blocked traffic")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed trial re-opens the breaker
+// for another full timeout.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no half-open trial admitted")
+	}
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("re-opened breaker admitted a request before a fresh timeout")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Error("re-opened breaker never admitted the next trial")
+	}
+	if trips, _ := b.Counts(); trips != 2 {
+		t.Errorf("trips = %d, want 2", trips)
+	}
+}
+
+// TestBreakerCancelReleasesTrial: an abandoned half-open trial (hedge
+// loser, caller gone) releases the slot without judging the worker.
+func TestBreakerCancelReleasesTrial(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no half-open trial admitted")
+	}
+	b.OnCancel()
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state after canceled trial = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Error("canceled trial did not release the half-open slot")
+	}
+}

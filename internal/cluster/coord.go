@@ -65,6 +65,29 @@ type Config struct {
 	// ProcessName labels the coordinator's track in stitched timelines
 	// (default "hyperap-coord").
 	ProcessName string
+
+	// RetryBudget bounds total worker forwards one client request may
+	// spend across failovers, same-worker Retry-After retries and hedges
+	// (default Attempts+1: the replica walk plus one courtesy retry).
+	RetryBudget int
+	// Hedge enables hedged requests for idempotent POST /v1/run: when
+	// the owner has not answered within HedgeDelay, a second attempt
+	// fires at the next replica and the first response wins (the loser
+	// is canceled). Runs are deterministic, so duplicates are safe.
+	Hedge bool
+	// HedgeDelay is the hedge stagger; 0 derives it from the live p95
+	// forward latency (clamped to [5ms, 1s], 25ms before data exists).
+	HedgeDelay time.Duration
+	// BreakerOpenTimeout / BreakerConsecutive / BreakerFailureRate tune
+	// the per-worker circuit breakers (defaults 2s / 5 / 0.5; see
+	// DESIGN.md §15).
+	BreakerOpenTimeout time.Duration
+	BreakerConsecutive int
+	BreakerFailureRate float64
+
+	// sleep is the relay's injectable wait (fake-clock tests); nil means
+	// a real timer bounded by the context.
+	sleep func(context.Context, time.Duration) error
 }
 
 func (c Config) withDefaults() Config {
@@ -92,7 +115,25 @@ func (c Config) withDefaults() Config {
 	if c.ProcessName == "" {
 		c.ProcessName = "hyperap-coord"
 	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = c.Attempts + 1
+	}
 	return c
+}
+
+// breakerSettings folds the Config knobs into a breakerConfig.
+func (c Config) breakerSettings() breakerConfig {
+	cfg := defaultBreakerConfig()
+	if c.BreakerOpenTimeout > 0 {
+		cfg.OpenTimeout = c.BreakerOpenTimeout
+	}
+	if c.BreakerConsecutive > 0 {
+		cfg.ConsecutiveFailures = c.BreakerConsecutive
+	}
+	if c.BreakerFailureRate > 0 {
+		cfg.FailureRate = c.BreakerFailureRate
+	}
+	return cfg
 }
 
 // Coordinator is the hyperap-coord HTTP handler: it admits client
@@ -111,11 +152,12 @@ func (c Config) withDefaults() Config {
 //	GET  /metrics      expvar-style JSON counters
 //	GET  /version      build info
 type Coordinator struct {
-	cfg  Config
-	pool *Pool
-	met  *Metrics
-	log  *slog.Logger
-	mux  *http.ServeMux
+	cfg      Config
+	pool     *Pool
+	met      *Metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+	breakers *breakerSet
 
 	// spans is the coordinator's bounded span ring: the ingress, routing
 	// and per-attempt forward spans it contributes to stitched timelines
@@ -146,6 +188,8 @@ func New(cfg Config) *Coordinator {
 			Logger:        cfg.Logger,
 		}, met),
 	}
+	c.breakers = newBreakerSet(cfg.breakerSettings())
+	met.registerBreakers(c.breakers)
 	c.spans = obs.NewSpanStore(cfg.ProcessName, cfg.TraceBufferSpans)
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/v1/run", c.handleProxy)
@@ -308,7 +352,6 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	defer c.inflight.Done()
 
 	span := obs.SpanFrom(r.Context())
-	tc := obs.TraceContextFrom(r.Context())
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
@@ -331,63 +374,15 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	// The client may itself carry a propagated deadline (a coordinator
+	// behind another relay); intersect it with the local request budget.
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if hd, ok := serve.ParseDeadline(r.Header); ok && hd.Before(deadline) {
+		deadline = hd
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
-	var last *workerResponse
-	var lastErr error
-	var attempted []string
-	for i, node := range replicas {
-		// Every attempt gets its own pre-assigned forward span id, sent to
-		// the worker as its Traceparent parent — so a failover's retries
-		// show up as sibling forward spans, each with the worker-side
-		// timeline hanging underneath it.
-		fwdTC := tc.Child()
-		fwdStart := time.Now()
-		resp, err := c.forward(ctx, node, r, body, fwdTC.Traceparent())
-		span.PhaseFull("forward", fwdStart, time.Since(fwdStart), "", fwdTC.SpanID,
-			map[string]string{"node": node, "attempt": strconv.Itoa(i + 1), "status": strconv.Itoa(respStatus(resp))})
-		attempted = append(attempted, node)
-		latency := int64(-1)
-		if resp != nil {
-			latency = resp.latencyNS
-		}
-		failover := err != nil || failoverStatus(resp.status)
-		c.met.recordForward(node, latency, failover)
-		c.met.forwards.Add(1)
-		if !failover {
-			c.met.hot.Record(key, slots, time.Since(span.Start).Nanoseconds())
-			if c.shouldStitch(r, tc, resp) {
-				c.writeStitched(ctx, w, r, tc, span, resp, attempted)
-				return
-			}
-			c.writeWorkerResponse(w, resp)
-			return
-		}
-		lastErr = err
-		if err == nil {
-			last = resp
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		if i < len(replicas)-1 {
-			c.met.failovers.Add(1)
-			c.log.Warn("failing over to next ring replica",
-				"key", key, "node", node, "attempt", i+1,
-				"status", respStatus(resp), "err", errString(err))
-		}
-	}
-	// Every replica failed. Pass through the last worker verdict when
-	// one exists (it carries Retry-After semantics the client can use);
-	// otherwise answer 502 naming what was tried. Nothing partial was
-	// ever written, so the client sees one coherent failure.
-	c.met.exhausted.Add(1)
-	if last != nil {
-		c.writeWorkerResponse(w, last)
-		return
-	}
-	c.writeError(w, http.StatusBadGateway,
-		fmt.Errorf("all %d replicas failed for %s: %v", len(replicas), key, lastErr))
+	c.relay(ctx, w, r, body, key, slots, replicas)
 }
 
 func respStatus(r *workerResponse) int {
@@ -422,6 +417,12 @@ func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request,
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
 	req.Header.Set("Traceparent", traceparent)
+	// Propagate the end-to-end deadline (the request context's, which is
+	// the client budget intersected with ours) so the worker can shed
+	// work this caller will never collect (DESIGN.md §15).
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(serve.DeadlineHeader, serve.FormatDeadline(dl))
+	}
 	t0 := time.Now()
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
@@ -446,7 +447,7 @@ func (c *Coordinator) forward(ctx context.Context, node string, r *http.Request,
 // writeWorkerResponse relays a buffered worker answer to the client,
 // preserving the headers that carry cross-layer meaning.
 func (c *Coordinator) writeWorkerResponse(w http.ResponseWriter, r *workerResponse) {
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", serve.ChecksumHeader} {
 		if v := r.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

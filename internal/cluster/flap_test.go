@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRingWeightMonotonicity pins the weight→vnode contract the flapping
+// pool depends on: vnode counts are monotonic in weight, a positive
+// weight always keeps at least one vnode (no flapping off the ring), and
+// the union of owned ranges is always the whole circle — no key is ever
+// lost, whatever the weights.
+func TestRingWeightMonotonicity(t *testing.T) {
+	r := NewRing(64)
+	r.Set("a", 1)
+	r.Set("b", 1)
+	r.Set("c", 1)
+
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	coverAll := func(when string) {
+		t.Helper()
+		for _, k := range keys {
+			if r.Owner(k) == "" {
+				t.Fatalf("%s: key %q has no owner (lost vnode range)", when, k)
+			}
+		}
+	}
+	coverAll("full weights")
+
+	prev := r.Nodes()["b"]
+	for _, w := range []float64{0.9, 0.7, 0.5, 0.3, 0.1, 0.05, 0.01} {
+		r.Set("b", w)
+		cur := r.Nodes()["b"]
+		if cur > prev {
+			t.Fatalf("weight %v: vnodes rose %d → %d (not monotonic)", w, prev, cur)
+		}
+		if cur < 1 {
+			t.Fatalf("weight %v: node b dropped to %d vnodes; positive weight must keep >= 1", w, cur)
+		}
+		coverAll(fmt.Sprintf("weight %v", w))
+		prev = cur
+	}
+	// Weight back up: counts must rise monotonically too.
+	for _, w := range []float64{0.2, 0.5, 0.8, 1} {
+		r.Set("b", w)
+		cur := r.Nodes()["b"]
+		if cur < prev {
+			t.Fatalf("weight %v: vnodes fell %d → %d while weight rose", w, prev, cur)
+		}
+		coverAll(fmt.Sprintf("recovery weight %v", w))
+		prev = cur
+	}
+	// Full removal and return: the remaining nodes cover everything, and
+	// the returning node's positions are bit-identical to its originals
+	// (minimal movement).
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("b")
+	if _, still := r.Nodes()["b"]; still {
+		t.Fatal("removed node still on the ring")
+	}
+	coverAll("after removal")
+	for _, k := range keys {
+		if o := r.Owner(k); o == "b" {
+			t.Fatalf("key %q still owned by removed node", k)
+		} else if before[k] != "b" && o != before[k] {
+			t.Fatalf("key %q moved %s → %s though its owner never left", k, before[k], o)
+		}
+	}
+	r.Set("b", 1)
+	for _, k := range keys {
+		if o := r.Owner(k); o != before[k] {
+			t.Fatalf("key %q settled on %s, want its original owner %s after b returned", k, o, before[k])
+		}
+	}
+}
+
+// flapReadyz scripts a worker's /readyz through rapid
+// ready→degraded→dead transitions.
+type flapReadyz struct {
+	phase atomic.Int64 // 0 ready, 1 degraded, 2 dead (500)
+}
+
+func (f *flapReadyz) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/readyz" {
+		http.NotFound(w, r)
+		return
+	}
+	switch f.phase.Load() % 3 {
+	case 0:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "ready", "healthyPeFraction": 1.0})
+	case 1:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "degraded", "healthyPeFraction": 0.4})
+	default:
+		http.Error(w, "dying", http.StatusInternalServerError)
+	}
+}
+
+// TestMembershipFlapping (run under -race): drive one worker through
+// rapid ready↔degraded↔evicted transitions while concurrent Lookups
+// hammer the ring. Invariants: lookups never return zero nodes (the two
+// stable workers are always on the ring), the flapping node's weight
+// stays in [0,1] with vnodes within its full-weight cap, and when the
+// storm ends the node settles back to ready at full weight.
+func TestMembershipFlapping(t *testing.T) {
+	flapper := &flapReadyz{}
+	fts := httptest.NewServer(flapper)
+	defer fts.Close()
+	stable := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"status": "ready", "healthyPeFraction": 1.0})
+		}))
+	}
+	s1, s2 := stable(), stable()
+	defer s1.Close()
+	defer s2.Close()
+
+	met := NewMetrics()
+	pool := NewPool(PoolConfig{
+		Workers:       []string{fts.URL, s1.URL, s2.URL},
+		ProbeInterval: 2 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+		Vnodes:        32,
+	}, met)
+	pool.Start()
+	defer pool.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	// Concurrent lookups racing the probe-driven rebuilds.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := pool.Ring().Lookup(fmt.Sprintf("key-%d-%d", g, i), 3)
+				if len(got) == 0 {
+					select {
+					case errs <- fmt.Errorf("lookup returned no nodes mid-flap"):
+					default:
+					}
+					return
+				}
+				vn := pool.Ring().Nodes()
+				if c := vn[fts.URL]; c < 0 || c > 32 {
+					select {
+					case errs <- fmt.Errorf("flapping node has %d vnodes, cap 32", c):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	// The flapping storm is state-driven, not time-driven: each phase
+	// holds until the probes have demonstrably folded it into the ring,
+	// so every cycle is a full ready→down→degraded→ready transition
+	// regardless of scheduler jitter under -race.
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s; vnodes = %v", desc, pool.Ring().Nodes())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		flapper.phase.Store(2) // 500s: FailAfter=2 probes evict
+		waitFor("eviction", func() bool { return pool.Ring().Nodes()[fts.URL] == 0 })
+		flapper.phase.Store(1) // degraded at 0.4 health
+		waitFor("degraded readmission", func() bool {
+			c := pool.Ring().Nodes()[fts.URL]
+			return c > 0 && c < 32
+		})
+		flapper.phase.Store(0) // healthy again
+		waitFor("full-weight recovery", func() bool { return pool.Ring().Nodes()[fts.URL] == 32 })
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := met.evictions.Value(); got < 3 {
+		t.Errorf("evictions = %d, want >= 3 (one per storm cycle)", got)
+	}
+	if got := pool.readyCount(); got != 3 {
+		t.Fatalf("readyCount = %d after recovery, want 3", got)
+	}
+	if met.transitions.Value() < 3 {
+		t.Errorf("transitions = %d; the flap should have produced several", met.transitions.Value())
+	}
+	// No key ranges lost after the storm: every key owned, and the three
+	// nodes all hold their configured vnode counts.
+	vn := pool.Ring().Nodes()
+	for _, u := range []string{fts.URL, s1.URL, s2.URL} {
+		if vn[u] != 32 {
+			t.Errorf("node %s has %d vnodes after recovery, want 32", u, vn[u])
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if pool.Ring().Owner(fmt.Sprintf("post-%d", i)) == "" {
+			t.Fatalf("key post-%d lost after flap storm", i)
+		}
+	}
+}

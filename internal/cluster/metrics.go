@@ -25,7 +25,15 @@ type Metrics struct {
 	transitions      expvar.Int // any node state transition
 	readyNodes       expvar.Int // gauge: nodes currently on the ring
 
+	// Resilience-layer counters (DESIGN.md §15).
+	breakerShortCircuits expvar.Int // candidates skipped: breaker open
+	retryAfterHonored    expvar.Int // same-worker retries after a Retry-After wait
+	hedges               expvar.Int // hedge attempts fired
+	hedgeWins            expvar.Int // requests answered by the hedge attempt
+	checksumFailures     expvar.Int // worker bodies failing checksum (failover)
+
 	requestHist *obs.Histogram // end-to-end coordinator latency
+	forwardHist *obs.Histogram // per-attempt forward latency (hedge delay source)
 
 	// Per-node rollups, keyed by worker URL.
 	nodeRequests *expvar.Map // forwards that got an HTTP response
@@ -55,6 +63,7 @@ func NewMetrics() *Metrics {
 	m := &Metrics{
 		root:         new(expvar.Map).Init(),
 		requestHist:  obs.NewHistogram(),
+		forwardHist:  obs.NewHistogram(),
 		nodeRequests: new(expvar.Map).Init(),
 		nodeFailures: new(expvar.Map).Init(),
 		nodes:        map[string]*nodeMetrics{},
@@ -68,7 +77,13 @@ func NewMetrics() *Metrics {
 	m.root.Set("node_evictions", &m.evictions)
 	m.root.Set("node_transitions", &m.transitions)
 	m.root.Set("ready_nodes", &m.readyNodes)
+	m.root.Set("breaker_short_circuits", &m.breakerShortCircuits)
+	m.root.Set("retry_after_honored", &m.retryAfterHonored)
+	m.root.Set("hedges", &m.hedges)
+	m.root.Set("hedge_wins", &m.hedgeWins)
+	m.root.Set("checksum_failures", &m.checksumFailures)
 	m.root.Set("request_latency", expvar.Func(m.requestHist.Summary))
+	m.root.Set("forward_latency", expvar.Func(m.forwardHist.Summary))
 	m.root.Set("node_requests", m.nodeRequests)
 	m.root.Set("node_failures", m.nodeFailures)
 	m.reqWindow = obs.NewRateWindow(5*time.Minute, 5*time.Second)
@@ -105,8 +120,77 @@ func (m *Metrics) buildPromRegistry(prefix string) *obs.PromRegistry {
 	reg.CounterVec(prefix+"node_requests_total", "forwards answered per worker node", nodeVec(m.nodeRequests))
 	reg.CounterVec(prefix+"node_failures_total", "forwards failed-over per worker node", nodeVec(m.nodeFailures))
 	reg.Histogram(prefix+"request_duration_ns", "end-to-end coordinator latency per request (ns)", m.requestHist)
+	reg.Histogram(prefix+"forward_duration_ns", "single-attempt worker forward latency (ns)", m.forwardHist)
 	obs.RegisterRatesAndHot(reg, prefix, m.reqWindow, m.errWindow, m.hot, 10)
 	return reg
+}
+
+// registerBreakers wires the per-worker breaker table into the metric
+// views: expvar totals for trips/cycles, a count of currently-open
+// breakers, and a per-node Prometheus state gauge (0 closed, 1 open,
+// 2 half-open) plus trip/cycle counter families.
+func (m *Metrics) registerBreakers(set *breakerSet) {
+	sumCounts := func(cycles bool) int64 {
+		var total int64
+		set.each(func(_ string, b *breaker) {
+			trips, cyc := b.Counts()
+			if cycles {
+				total += cyc
+			} else {
+				total += trips
+			}
+		})
+		return total
+	}
+	m.root.Set("breaker_trips", expvar.Func(func() any { return sumCounts(false) }))
+	m.root.Set("breaker_cycles", expvar.Func(func() any { return sumCounts(true) }))
+	m.root.Set("breaker_open", expvar.Func(func() any {
+		var open int64
+		set.each(func(_ string, b *breaker) {
+			if b.State() != breakerClosed {
+				open++
+			}
+		})
+		return open
+	}))
+	m.prom.GaugeVec("hyperap_coord_breaker_state", "per-worker breaker state (0 closed, 1 open, 2 half-open)", func() []obs.PromSample {
+		var out []obs.PromSample
+		set.each(func(url string, b *breaker) {
+			out = append(out, obs.PromSample{
+				Labels: []obs.PromLabel{{Key: "node", Value: url}},
+				Value:  float64(b.State()),
+			})
+		})
+		return out
+	})
+	m.prom.CounterVec("hyperap_coord_breaker_trips_total", "closed-to-open breaker transitions per worker", func() []obs.PromSample {
+		var out []obs.PromSample
+		set.each(func(url string, b *breaker) {
+			trips, _ := b.Counts()
+			out = append(out, obs.PromSample{
+				Labels: []obs.PromLabel{{Key: "node", Value: url}},
+				Value:  float64(trips),
+			})
+		})
+		return out
+	})
+	m.prom.CounterVec("hyperap_coord_breaker_cycles_total", "completed open-to-half-open-to-closed recoveries per worker", func() []obs.PromSample {
+		var out []obs.PromSample
+		set.each(func(url string, b *breaker) {
+			_, cycles := b.Counts()
+			out = append(out, obs.PromSample{
+				Labels: []obs.PromLabel{{Key: "node", Value: url}},
+				Value:  float64(cycles),
+			})
+		})
+		return out
+	})
+}
+
+// RequestLatencyQuantile exposes the end-to-end request latency
+// histogram's quantiles in nanoseconds (bench and hedge-delay probes).
+func (m *Metrics) RequestLatencyQuantile(q float64) float64 {
+	return m.requestHist.Quantile(q)
 }
 
 // recordResponse feeds one finished client request into the rolling rate
@@ -142,6 +226,7 @@ func (m *Metrics) recordForward(url string, latencyNS int64, failedOver bool) {
 	if latencyNS >= 0 {
 		ns.requests.Add(1)
 		ns.latency.Observe(latencyNS)
+		m.forwardHist.Observe(latencyNS)
 		m.nodeRequests.Add(url, 1)
 	}
 	if failedOver {

@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hyperap/internal/obs"
+	"hyperap/internal/serve"
+)
+
+// relay is the hardened attempt loop behind handleProxy (DESIGN.md §15):
+// it spends a bounded retry budget across the key's ring replicas,
+// skipping workers whose circuit breaker is open, honoring Retry-After
+// hints with a same-worker retry, spacing failovers with jittered
+// exponential backoff, optionally hedging idempotent requests, and
+// verifying the content checksum on every buffered worker body so a
+// corrupted relay becomes a failover — never a client-visible answer.
+
+// backoff bounds for spacing failover attempts.
+const (
+	backoffBase = 5 * time.Millisecond
+	backoffCap  = 250 * time.Millisecond
+)
+
+// hedgeDelay bounds when deriving the stagger from the live forward
+// latency histogram.
+const (
+	hedgeDelayMin      = 5 * time.Millisecond
+	hedgeDelayMax      = time.Second
+	hedgeDelayFallback = 25 * time.Millisecond
+)
+
+// relayOutcome is one resolved attempt (or hedge race) result.
+type relayOutcome struct {
+	node string
+	resp *workerResponse // nil on transport error
+	err  error
+}
+
+// failover reports whether this outcome should move on to another
+// replica rather than answer the client.
+func (o relayOutcome) failover() bool {
+	return o.err != nil || failoverStatus(o.resp.status)
+}
+
+// relayState carries one client request through the attempt loop. The
+// mutex covers the fields hedged attempts mutate concurrently (budget,
+// attempted); everything else is touched only from the loop goroutine.
+type relayState struct {
+	c    *Coordinator
+	r    *http.Request
+	body []byte
+	tc   obs.TraceContext
+	span *obs.Span
+
+	mu        sync.Mutex
+	budget    int      // forwards remaining
+	attempted []string // node URLs tried, in order (for stitched timelines)
+
+	retried map[string]bool
+	last    *workerResponse // last failover-status worker verdict
+	lastErr error
+}
+
+// spend consumes one unit of budget and registers the attempt,
+// returning its 1-based ordinal.
+func (st *relayState) spend(node string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.budget--
+	st.attempted = append(st.attempted, node)
+	return len(st.attempted)
+}
+
+func (st *relayState) budgetLeft() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.budget
+}
+
+func (st *relayState) attemptedNodes() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.attempted...)
+}
+
+// relay runs the loop. On success the worker response is written (via
+// the stitch path when sampled); on exhaustion the last worker verdict
+// or a 502 is written. It always writes exactly one response.
+func (c *Coordinator) relay(ctx context.Context, w http.ResponseWriter, r *http.Request, body []byte, key string, slots int, replicas []string) {
+	span := obs.SpanFrom(ctx)
+	tc := obs.TraceContextFrom(ctx)
+	st := &relayState{
+		c:       c,
+		r:       r,
+		body:    body,
+		tc:      tc,
+		span:    span,
+		budget:  c.cfg.RetryBudget,
+		retried: map[string]bool{},
+	}
+	hedgeOK := c.cfg.Hedge && r.URL.Path == "/v1/run"
+	for i := 0; i < len(replicas); i++ {
+		node := replicas[i]
+		if st.budgetLeft() <= 0 {
+			break
+		}
+		if !c.breakers.get(node).Allow() {
+			c.met.breakerShortCircuits.Add(1)
+			continue
+		}
+		var out relayOutcome
+		hedged := false
+		if hedgeOK && st.budgetLeft() >= 2 {
+			if spare, ok := c.hedgeCandidate(replicas[i+1:]); ok {
+				out = st.hedgedAttempt(ctx, node, spare)
+				hedged = true
+				if out.node == spare {
+					// The hedge spare answered; skip it when the ring
+					// loop reaches its slot.
+					replicas = skipNode(replicas, i+1, spare)
+				}
+			}
+		}
+		if !hedged {
+			out = st.attempt(ctx, node)
+		}
+		if !out.failover() {
+			c.finishRelay(ctx, w, r, out.resp, key, slots, st.attemptedNodes())
+			return
+		}
+		st.noteFailure(out)
+		if ctx.Err() != nil {
+			break
+		}
+		// A worker that said "try me again in a moment" (429/503 with
+		// Retry-After) gets one same-worker retry when the wait fits the
+		// remaining deadline — backpressure is transient and ring-local,
+		// so the same worker is often the cheapest next answer.
+		if wait, ok := retryAfterWait(out); ok && st.budgetLeft() > 0 && !st.retried[out.node] && waitFits(ctx, wait) {
+			st.retried[out.node] = true
+			if c.sleep(ctx, wait) != nil {
+				break
+			}
+			c.met.retryAfterHonored.Add(1)
+			out = st.attempt(ctx, out.node)
+			if !out.failover() {
+				c.finishRelay(ctx, w, r, out.resp, key, slots, st.attemptedNodes())
+				return
+			}
+			st.noteFailure(out)
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		if i < len(replicas)-1 && st.budgetLeft() > 0 {
+			c.met.failovers.Add(1)
+			c.log.Warn("failing over to next ring replica",
+				"key", key, "node", out.node, "attempt", len(st.attemptedNodes()),
+				"status", respStatus(out.resp), "err", errString(out.err))
+			if c.sleep(ctx, jitteredBackoff(len(st.attemptedNodes()))) != nil {
+				break
+			}
+		}
+	}
+	// Budget or replicas exhausted. Pass through the last worker verdict
+	// when one exists (it carries Retry-After semantics the client can
+	// use); otherwise answer 502 naming what was tried. Nothing partial
+	// was ever written, so the client sees one coherent failure.
+	c.met.exhausted.Add(1)
+	if st.last != nil {
+		c.writeWorkerResponse(w, st.last)
+		return
+	}
+	c.writeError(w, http.StatusBadGateway,
+		fmt.Errorf("all %d attempts failed for %s: %v", len(st.attemptedNodes()), key, st.lastErr))
+}
+
+// finishRelay writes a successful worker response (stitched when the
+// request is sampled) and feeds the hot-program table.
+func (c *Coordinator) finishRelay(ctx context.Context, w http.ResponseWriter, r *http.Request, resp *workerResponse, key string, slots int, attempted []string) {
+	span := obs.SpanFrom(ctx)
+	tc := obs.TraceContextFrom(ctx)
+	c.met.hot.Record(key, slots, time.Since(span.Start).Nanoseconds())
+	if c.shouldStitch(r, tc, resp) {
+		c.writeStitched(ctx, w, r, tc, span, resp, attempted)
+		return
+	}
+	c.writeWorkerResponse(w, resp)
+}
+
+// attempt forwards once to one worker, spending budget, recording the
+// span/metrics and settling the worker's breaker.
+func (st *relayState) attempt(ctx context.Context, node string) relayOutcome {
+	c := st.c
+	attemptNo := st.spend(node)
+	fwdTC := st.tc.Child()
+	fwdStart := time.Now()
+	resp, err := c.forward(ctx, node, st.r, st.body, fwdTC.Traceparent())
+	if resp != nil && err == nil {
+		if sum := resp.header.Get(serve.ChecksumHeader); sum != "" && !serve.VerifyChecksum(sum, resp.body) {
+			c.met.checksumFailures.Add(1)
+			err = fmt.Errorf("worker %s: response checksum mismatch", node)
+			resp = nil
+		}
+	}
+	st.span.PhaseFull("forward", fwdStart, time.Since(fwdStart), "", fwdTC.SpanID,
+		map[string]string{"node": node, "attempt": strconv.Itoa(attemptNo), "status": strconv.Itoa(respStatus(resp))})
+	out := relayOutcome{node: node, resp: resp, err: err}
+	latency := int64(-1)
+	if resp != nil {
+		latency = resp.latencyNS
+	}
+	c.met.recordForward(node, latency, out.failover())
+	c.met.forwards.Add(1)
+	br := c.breakers.get(node)
+	if out.failover() {
+		// A canceled attempt says nothing about the worker: don't let a
+		// client hanging up (or a hedge loser) trip its breaker.
+		if err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil) {
+			br.OnCancel()
+		} else {
+			br.OnFailure()
+		}
+	} else {
+		br.OnSuccess()
+	}
+	return out
+}
+
+// hedgedAttempt races the primary worker against one spare: the spare's
+// attempt fires after the hedge delay unless the primary resolves first,
+// and the loser's forward is canceled. Only idempotent requests
+// (/v1/run) are hedged — a run computes the same outputs everywhere.
+func (st *relayState) hedgedAttempt(ctx context.Context, primary, spare string) relayOutcome {
+	c := st.c
+	hctx, cancelHedge := context.WithCancel(ctx)
+	results := make(chan relayOutcome, 2)
+	launch := func(node string) {
+		results <- st.attempt(hctx, node)
+	}
+	go launch(primary)
+	delay := c.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var first relayOutcome
+	select {
+	case first = <-results:
+		cancelHedge()
+		return first
+	case <-timer.C:
+	}
+	// Primary is slow: fire the hedge and take whichever resolves first
+	// without a failover verdict.
+	c.met.hedges.Add(1)
+	go launch(spare)
+	first = <-results
+	if !first.failover() {
+		// Cancel the loser and wait for it to resolve before returning:
+		// the relay must not leave an attempt mutating state (or a test
+		// server handling a request) behind its back.
+		cancelHedge()
+		<-results
+		if first.node == spare {
+			c.met.hedgeWins.Add(1)
+		}
+		return first
+	}
+	second := <-results
+	cancelHedge()
+	if !second.failover() {
+		if second.node == spare {
+			c.met.hedgeWins.Add(1)
+		}
+		return second
+	}
+	// Both failed: prefer the outcome with a worker verdict for the
+	// client pass-through.
+	if first.resp == nil && second.resp != nil {
+		return second
+	}
+	return first
+}
+
+// hedgeCandidate picks the first spare replica whose breaker admits
+// traffic.
+func (c *Coordinator) hedgeCandidate(spares []string) (string, bool) {
+	for _, node := range spares {
+		if c.breakers.get(node).Allow() {
+			return node, true
+		}
+	}
+	return "", false
+}
+
+// hedgeDelay resolves the hedge stagger: the configured delay, or the
+// live p95 forward latency clamped to sane bounds (falling back to a
+// fixed stagger before the histogram has data).
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	p95 := time.Duration(c.met.forwardHist.Quantile(0.95))
+	if p95 <= 0 {
+		return hedgeDelayFallback
+	}
+	if p95 < hedgeDelayMin {
+		return hedgeDelayMin
+	}
+	if p95 > hedgeDelayMax {
+		return hedgeDelayMax
+	}
+	return p95
+}
+
+// noteFailure keeps the best failure verdict for the exhausted path.
+func (st *relayState) noteFailure(out relayOutcome) {
+	st.lastErr = out.err
+	if out.err == nil && out.resp != nil {
+		st.last = out.resp
+	}
+}
+
+// skipNode removes the first occurrence of node at or after index from,
+// so a spare consumed by a hedge is not retried by the ring loop.
+func skipNode(replicas []string, from int, node string) []string {
+	for i := from; i < len(replicas); i++ {
+		if replicas[i] == node {
+			out := make([]string, 0, len(replicas)-1)
+			out = append(out, replicas[:i]...)
+			return append(out, replicas[i+1:]...)
+		}
+	}
+	return replicas
+}
+
+// retryAfterWait extracts a worker's Retry-After hint (seconds form)
+// from a 429/503 outcome.
+func retryAfterWait(out relayOutcome) (time.Duration, bool) {
+	if out.resp == nil {
+		return 0, false
+	}
+	if out.resp.status != http.StatusTooManyRequests && out.resp.status != http.StatusServiceUnavailable {
+		return 0, false
+	}
+	v := out.resp.header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// waitFits reports whether sleeping wait still leaves time to actually
+// retry before the request deadline.
+func waitFits(ctx context.Context, wait time.Duration) bool {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return time.Until(dl) > wait+10*time.Millisecond
+}
+
+// jitteredBackoff spaces failover attempt n (1-based) with full jitter:
+// uniform in (0, min(cap, base·2^(n-1))]. Spacing retries avoids
+// synchronized retry storms against a recovering cluster.
+func jitteredBackoff(attempt int) time.Duration {
+	max := backoffBase << (attempt - 1)
+	if max > backoffCap || max <= 0 {
+		max = backoffCap
+	}
+	return time.Duration(rand.Int63n(int64(max))) + time.Nanosecond
+}
+
+// sleep waits d or until the context ends, through the injectable clock
+// (fake-clock tests replace it).
+func (c *Coordinator) sleep(ctx context.Context, d time.Duration) error {
+	if c.cfg.sleep != nil {
+		return c.cfg.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

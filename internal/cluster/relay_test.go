@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperap/internal/compile"
+	"hyperap/internal/serve"
+)
+
+// fakeWorker is a scripted worker: it answers /readyz like a healthy
+// serve node and delegates /v1/run and /v1/compile to a swappable
+// handler, so relay tests can stage exact failure sequences without
+// real simulator passes.
+type fakeWorker struct {
+	ts *httptest.Server
+	h  atomic.Value // func(w http.ResponseWriter, r *http.Request)
+
+	mu   sync.Mutex
+	hits int
+}
+
+func newFakeWorker(t *testing.T, handler http.HandlerFunc) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{}
+	fw.h.Store(handler)
+	fw.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ready","healthyPEFraction":1}`)
+			return
+		}
+		fw.mu.Lock()
+		fw.hits++
+		fw.mu.Unlock()
+		fw.h.Load().(http.HandlerFunc)(w, r)
+	}))
+	t.Cleanup(fw.ts.Close)
+	return fw
+}
+
+func (fw *fakeWorker) hitCount() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.hits
+}
+
+// okRun answers any run with a fixed correct-looking body, checksummed.
+func okRun(w http.ResponseWriter, r *http.Request) {
+	writeChecksummed(w, http.StatusOK, serve.RunResponse{Outputs: [][]uint64{{7}}})
+}
+
+func writeChecksummed(w http.ResponseWriter, status int, v any) {
+	buf, _ := json.Marshal(v)
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(serve.ChecksumHeader, serve.BodyChecksum(buf))
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// newRelayCoord builds a coordinator over the fake workers with fast
+// probes and test-friendly timeouts; mutate cfg first via tweak.
+func newRelayCoord(t *testing.T, workers []*fakeWorker, tweak func(*Config)) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, fw := range workers {
+		urls[i] = fw.ts.URL
+	}
+	cfg := Config{
+		Workers:        urls,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		FailAfter:      100, // probes must not evict; these tests exercise the relay, not membership
+		AttemptTimeout: 5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c := New(cfg)
+	ts := httptest.NewServer(c)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		c.Drain(ctx)
+	})
+	return c, ts
+}
+
+func runBody() serve.RunRequest {
+	return serve.RunRequest{Source: addPrograms(1)[0].src, Inputs: [][]uint64{{1, 2}}}
+}
+
+// programOwnedBy picks a program whose ring owner is the given worker,
+// making replica order deterministic despite random listen ports.
+func programOwnedBy(t *testing.T, c *Coordinator, url string) addProgram {
+	t.Helper()
+	tgt, err := serve.Options{}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range addPrograms(32) {
+		if c.Pool().Ring().Owner(compile.Fingerprint(p.src, tgt)) == url {
+			return p
+		}
+	}
+	t.Fatal("no program out of 32 hashes to the target worker (ring broken?)")
+	return addProgram{}
+}
+
+// TestRelayRetryAfterHonored: a worker that answers 429 with Retry-After
+// gets one same-worker retry after the advertised wait (measured through
+// the injected fake sleep), rather than an immediate failover.
+func TestRelayRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	fw := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			writeChecksummed(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "queue full"})
+			return
+		}
+		okRun(w, r)
+	})
+	var slept []time.Duration
+	var mu sync.Mutex
+	c, ts := newRelayCoord(t, []*fakeWorker{fw}, func(cfg *Config) {
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		}
+	})
+	var rr serve.RunResponse
+	code, err := postJSON(ts.URL+"/v1/run", runBody(), &rr)
+	if err != nil || code != 200 {
+		t.Fatalf("run: status %d err %v", code, err)
+	}
+	if got := fw.hitCount(); got != 2 {
+		t.Fatalf("worker hit %d times, want 2 (initial + honored retry)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("relay slept %v, want exactly [2s] from Retry-After", slept)
+	}
+	if got := c.Metrics().retryAfterHonored.Value(); got != 1 {
+		t.Errorf("retry_after_honored = %d, want 1", got)
+	}
+}
+
+// TestRelayRetryAfterSkippedWhenTooLong: a Retry-After that cannot fit
+// the remaining request deadline is not slept on — the relay fails over
+// (here: exhausts) instead of hanging until the deadline.
+func TestRelayRetryAfterSkippedWhenTooLong(t *testing.T) {
+	fw := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		writeChecksummed(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "draining"})
+	})
+	var slept atomic.Int64
+	_, ts := newRelayCoord(t, []*fakeWorker{fw}, func(cfg *Config) {
+		cfg.RequestTimeout = 2 * time.Second
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			slept.Add(int64(d))
+			return nil
+		}
+	})
+	code, err := postJSON(ts.URL+"/v1/run", runBody(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the worker's 503 passed through", code)
+	}
+	if fw.hitCount() != 1 {
+		t.Fatalf("worker hit %d times, want 1 (no same-worker retry on an unaffordable wait)", fw.hitCount())
+	}
+	if got := time.Duration(slept.Load()); got >= time.Hour {
+		t.Fatalf("relay slept %v on an unaffordable Retry-After", got)
+	}
+}
+
+// TestRelayChecksumMismatchFailsOver: a worker whose response body does
+// not match its announced checksum is treated as a transport failure —
+// the corrupted body is never relayed, the request fails over.
+func TestRelayChecksumMismatchFailsOver(t *testing.T) {
+	corrupt := func(w http.ResponseWriter, r *http.Request) {
+		buf, _ := json.Marshal(serve.RunResponse{Outputs: [][]uint64{{999}}})
+		buf = append(buf, '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(serve.ChecksumHeader, serve.BodyChecksum(buf))
+		// Flip a bit after checksumming: the wire view no longer matches.
+		buf[10] ^= 0x01
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf)
+	}
+	// The corrupting worker owns the routed key (program chosen below),
+	// the clean worker is the failover replica: the first attempt must
+	// fail checksum verification and the clean replica's body answers.
+	bad := newFakeWorker(t, corrupt)
+	good := newFakeWorker(t, okRun)
+	c, ts := newRelayCoord(t, []*fakeWorker{bad, good}, nil)
+	prog := programOwnedBy(t, c, bad.ts.URL)
+	var rr serve.RunResponse
+	code, err := postJSON(ts.URL+"/v1/run", serve.RunRequest{Source: prog.src, Inputs: prog.inputs(1)}, &rr)
+	if err != nil || code != 200 {
+		t.Fatalf("run: status %d err %v", code, err)
+	}
+	if bad.hitCount() == 0 {
+		t.Fatal("corrupting owner was never attempted")
+	}
+	if len(rr.Outputs) != 1 || rr.Outputs[0][0] != 7 {
+		t.Fatalf("outputs = %v; a corrupted body leaked through (or the clean retry was skipped)", rr.Outputs)
+	}
+	if got := c.Metrics().checksumFailures.Value(); got < 1 {
+		t.Errorf("checksum_failures = %d, want >= 1", got)
+	}
+}
+
+// TestRelayPropagatesDeadline: every forward carries X-Hyperap-Deadline
+// derived from the coordinator's request budget.
+func TestRelayPropagatesDeadline(t *testing.T) {
+	var gotDeadline atomic.Value
+	fw := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		gotDeadline.Store(r.Header.Get(serve.DeadlineHeader))
+		okRun(w, r)
+	})
+	_, ts := newRelayCoord(t, []*fakeWorker{fw}, func(cfg *Config) {
+		cfg.RequestTimeout = 7 * time.Second
+	})
+	before := time.Now()
+	code, err := postJSON(ts.URL+"/v1/run", runBody(), nil)
+	if err != nil || code != 200 {
+		t.Fatalf("run: status %d err %v", code, err)
+	}
+	v, _ := gotDeadline.Load().(string)
+	if v == "" {
+		t.Fatal("forward carried no deadline header")
+	}
+	h := http.Header{}
+	h.Set(serve.DeadlineHeader, v)
+	dl, ok := serve.ParseDeadline(h)
+	if !ok {
+		t.Fatalf("unparseable deadline header %q", v)
+	}
+	if until := dl.Sub(before); until <= 0 || until > 8*time.Second {
+		t.Fatalf("propagated deadline %v from request start, want ~7s", until)
+	}
+}
+
+// TestRelayBreakerShortCircuits: consecutive failures trip a worker's
+// breaker, after which the relay stops spending attempts on it entirely.
+func TestRelayBreakerShortCircuits(t *testing.T) {
+	bad := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		writeChecksummed(w, http.StatusBadGateway, serve.ErrorResponse{Error: "boom"})
+	})
+	good := newFakeWorker(t, okRun)
+	c, ts := newRelayCoord(t, []*fakeWorker{bad, good}, func(cfg *Config) {
+		cfg.BreakerConsecutive = 2
+		cfg.BreakerOpenTimeout = time.Hour
+		cfg.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	})
+	// Route a program the failing worker owns, so every request attempts
+	// it first — until its breaker opens and short-circuits it out.
+	prog := programOwnedBy(t, c, bad.ts.URL)
+	for i := 0; i < 6; i++ {
+		var rr serve.RunResponse
+		code, err := postJSON(ts.URL+"/v1/run", serve.RunRequest{Source: prog.src, Inputs: prog.inputs(i)}, &rr)
+		if err != nil || code != 200 {
+			t.Fatalf("run %d: status %d err %v", i, code, err)
+		}
+	}
+	hits := bad.hitCount()
+	if hits != 2 {
+		t.Fatalf("tripped worker was hit %d times, want exactly 2 (breaker must short-circuit after the trip)", hits)
+	}
+	if got := c.Metrics().breakerShortCircuits.Value(); got == 0 {
+		t.Error("breaker never short-circuited a candidate")
+	}
+	if trips, _ := c.breakers.get(bad.ts.URL).Counts(); trips != 1 {
+		t.Errorf("bad worker breaker trips = %d, want 1", trips)
+	}
+}
+
+// TestRelayHedgeWins: with hedging on and a primary that stalls past the
+// hedge delay, the spare's response answers the client and the hedge-win
+// counter moves. The stalled primary's attempt is canceled, not awaited.
+func TestRelayHedgeWins(t *testing.T) {
+	release := make(chan struct{})
+	var slowHits atomic.Int64
+	slow := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		slowHits.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+			return
+		}
+		okRun(w, r)
+	})
+	fast := newFakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		writeChecksummed(w, http.StatusOK, serve.RunResponse{Outputs: [][]uint64{{42}}})
+	})
+	defer close(release)
+	c, ts := newRelayCoord(t, []*fakeWorker{slow, fast}, func(cfg *Config) {
+		cfg.Hedge = true
+		cfg.HedgeDelay = 30 * time.Millisecond
+	})
+	// Ring ownership depends on the workers' random ports, so pick a
+	// program whose owner IS the slow worker — then the hedge race is
+	// guaranteed, not probabilistic.
+	tgt, err := serve.Options{}.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog addProgram
+	found := false
+	for _, p := range addPrograms(32) {
+		if c.Pool().Ring().Owner(compile.Fingerprint(p.src, tgt)) == slow.ts.URL {
+			prog, found = p, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no program out of 32 hashes to the slow worker (ring broken?)")
+	}
+	start := time.Now()
+	var rr serve.RunResponse
+	code, err := postJSON(ts.URL+"/v1/run", serve.RunRequest{Source: prog.src, Inputs: prog.inputs(1)}, &rr)
+	if err != nil || code != 200 {
+		t.Fatalf("run: status %d err %v", code, err)
+	}
+	if slowHits.Load() == 0 {
+		t.Fatal("slow worker (the ring owner) was never attempted")
+	}
+	if len(rr.Outputs) != 1 || rr.Outputs[0][0] != 42 {
+		t.Fatalf("outputs = %v, want the spare's {42}", rr.Outputs)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("hedged request took %v; it waited for the stalled primary", took)
+	}
+	if got := c.Metrics().hedges.Value(); got < 1 {
+		t.Fatalf("hedges = %d, want >= 1", got)
+	}
+	if got := c.Metrics().hedgeWins.Value(); got < 1 {
+		t.Fatalf("hedge_wins = %d, want >= 1", got)
+	}
+}

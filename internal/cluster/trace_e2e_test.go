@@ -392,17 +392,29 @@ func TestClusterPrometheusE2E(t *testing.T) {
 		return string(raw)
 	}
 
-	worker := scrape(tc.urls[0] + "/metrics/prometheus")
-	for _, want := range []string{
-		"# TYPE hyperap_request_duration_ns histogram",
-		"hyperap_request_duration_ns_bucket{le=\"+Inf\"}",
-		"hyperap_requests_total{endpoint=\"run\",status=\"200\"}",
-		"# TYPE hyperap_hot_program_runs gauge",
-		"hyperap_request_rate_1m",
-	} {
-		if !strings.Contains(worker, want) {
-			t.Fatalf("worker exposition missing %q", want)
+	// Ring placement depends on the workers' (random) listen ports, so
+	// any single worker may own none of the three programs: scrape every
+	// worker, require the structural families on each and the run-200
+	// series on at least one.
+	sawRun := false
+	for wi, u := range tc.urls {
+		worker := scrape(u + "/metrics/prometheus")
+		for _, want := range []string{
+			"# TYPE hyperap_request_duration_ns histogram",
+			"hyperap_request_duration_ns_bucket{le=\"+Inf\"}",
+			"# TYPE hyperap_hot_program_runs gauge",
+			"hyperap_request_rate_1m",
+		} {
+			if !strings.Contains(worker, want) {
+				t.Fatalf("worker %d exposition missing %q", wi, want)
+			}
 		}
+		if strings.Contains(worker, "hyperap_requests_total{endpoint=\"run\",status=\"200\"}") {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Fatal("no worker exposition carries the run-200 series")
 	}
 
 	coord := scrape(tc.cts.URL + "/metrics/prometheus")

@@ -14,6 +14,13 @@ type waiter struct {
 	inputs [][]uint64
 	enq    time.Time
 
+	// deadline is the request's effective deadline (local timeout
+	// intersected with any propagated X-Hyperap-Deadline). A waiter whose
+	// deadline has already passed when its batch reaches the runner is
+	// shed before the pass executes: the caller stopped listening, so
+	// computing its slice would only burn PE time.
+	deadline time.Time
+
 	// Phase timestamps for the request span: when the batch left the
 	// coalescer, when its pass began executing (worker-pool slot
 	// acquired) and how long the RunBatch call took. Written by the
@@ -78,6 +85,27 @@ func (c *coalescer) flushNow() {
 	}
 }
 
+// abandon removes a still-queued waiter from the pending batch, returning
+// whether the waiter was found (and therefore its queue slots are now the
+// caller's to release). A waiter whose batch already dispatched is not
+// found: the running pass owns its slots and releases them on completion.
+func (c *coalescer) abandon(w *waiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, pw := range c.pend {
+		if pw == w {
+			c.pend = append(c.pend[:i], c.pend[i+1:]...)
+			c.slots -= len(w.inputs)
+			if len(c.pend) == 0 && c.timer != nil {
+				c.timer.Stop()
+				c.timer = nil
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // takeLocked detaches the pending batch and disarms the window timer.
 func (c *coalescer) takeLocked() ([]*waiter, int) {
 	batch, slots := c.pend, c.slots
@@ -113,6 +141,26 @@ func (c *coalescer) dispatch(batch []*waiter, slots int) {
 func (c *coalescer) runPass(batch []*waiter, slots int) {
 	met := c.s.met
 	start := time.Now()
+	// Shed waiters whose deadline already passed: their caller has (or is
+	// about to) stop listening, so executing their slice would waste PE
+	// time the live requests in this pass could use. The shed waiter's
+	// handler observes ctx.Done() and writes its own 504; closing done
+	// with a deadline error keeps the accounting correct either way.
+	live := batch[:0]
+	for _, w := range batch {
+		if !w.deadline.IsZero() && !start.Before(w.deadline) {
+			slots -= len(w.inputs)
+			met.deadlineShed.Add(1)
+			w.err = context.DeadlineExceeded
+			close(w.done)
+			continue
+		}
+		live = append(live, w)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	for _, w := range batch {
 		w.passStart = start
 		wait := start.Sub(w.enq).Nanoseconds()

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postDeadline is post with an X-Hyperap-Deadline header attached.
+func postDeadline(t *testing.T, url string, deadline time.Time, body, into any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, FormatDeadline(deadline))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	body := []byte(`{"outputs":[[3]]}` + "\n")
+	sum := BodyChecksum(body)
+	if !VerifyChecksum(sum, body) {
+		t.Fatalf("checksum %q does not verify its own body", sum)
+	}
+	corrupt := bytes.Clone(body)
+	corrupt[3] ^= 0x20
+	if VerifyChecksum(sum, corrupt) {
+		t.Error("corrupted body verified")
+	}
+	// Unknown schemes verify trivially (forward compatibility).
+	if !VerifyChecksum("sha999=deadbeef", body) {
+		t.Error("unknown checksum scheme must not fail verification")
+	}
+}
+
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	want := time.Unix(0, 1754600000123456789)
+	h := http.Header{}
+	h.Set(DeadlineHeader, FormatDeadline(want))
+	got, ok := ParseDeadline(h)
+	if !ok || !got.Equal(want) {
+		t.Fatalf("ParseDeadline = %v, %v; want %v, true", got, ok, want)
+	}
+	for _, bad := range []string{"", "soon", "-5", "0"} {
+		h.Set(DeadlineHeader, bad)
+		if _, ok := ParseDeadline(h); ok {
+			t.Errorf("ParseDeadline accepted %q", bad)
+		}
+	}
+}
+
+// TestResponsesCarryChecksum: every JSON response announces a crc32c of
+// its exact body bytes, so relays can detect wire corruption.
+func TestResponsesCarryChecksum(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	buf, _ := json.Marshal(RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sum := resp.Header.Get(ChecksumHeader)
+	if sum == "" {
+		t.Fatal("run response missing checksum header")
+	}
+	if !VerifyChecksum(sum, body.Bytes()) {
+		t.Fatalf("checksum %q does not match body %q", sum, body.String())
+	}
+}
+
+// TestDeadlineHeaderShortensTimeout: a propagated deadline tighter than
+// the server's own request timeout wins, so a doomed request parked
+// behind a long coalescing window 504s at the propagated deadline rather
+// than the local one.
+func TestDeadlineHeaderShortensTimeout(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Hour, RequestTimeout: time.Hour})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	start := time.Now()
+	var errResp ErrorResponse
+	code := postDeadline(t, ts.URL+"/v1/run", start.Add(50*time.Millisecond),
+		RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}}}, &errResp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%v), want 504", code, errResp)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("request took %v; the propagated deadline did not shorten the hour-long timeout", elapsed)
+	}
+	if got := s.met.deadlinePropagated.Value(); got != 1 {
+		t.Errorf("deadline_propagated = %d, want 1", got)
+	}
+}
+
+// TestCoalescerShedsExpiredWaiters drives a pass whose batch holds one
+// expired and one live waiter: the expired one is shed (no outputs, a
+// deadline error) while the live one completes normally.
+func TestCoalescerShedsExpiredWaiters(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Hour})
+	p, _, err := s.compileProgram(context.Background(), addSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired := &waiter{
+		inputs:   [][]uint64{{1, 2}},
+		enq:      time.Now(),
+		deadline: time.Now().Add(-time.Second),
+		done:     make(chan struct{}),
+	}
+	live := &waiter{
+		inputs:   [][]uint64{{3, 4}},
+		enq:      time.Now(),
+		deadline: time.Now().Add(time.Minute),
+		done:     make(chan struct{}),
+	}
+	if err := s.admitSlots(2); err != nil {
+		t.Fatal(err)
+	}
+	p.co.submit(expired, false)
+	p.co.submit(live, false)
+	p.co.flushNow()
+	<-expired.done
+	<-live.done
+	if !errors.Is(expired.err, context.DeadlineExceeded) {
+		t.Errorf("expired waiter err = %v, want DeadlineExceeded", expired.err)
+	}
+	if live.err != nil || len(live.outs) != 1 || live.outs[0][0] != 7 {
+		t.Errorf("live waiter: err=%v outs=%v, want [[7]]", live.err, live.outs)
+	}
+	if got := s.met.deadlineShed.Value(); got != 1 {
+		t.Errorf("deadline_shed = %d, want 1", got)
+	}
+}
+
+// TestCanceledRequestFreesSlots (run under -race): a client that
+// disconnects while its request is still parked in the coalescer must
+// give its slot budget back immediately — the queue must not stay
+// poisoned by departed callers.
+func TestCanceledRequestFreesSlots(t *testing.T) {
+	s := New(Config{CoalesceWindow: time.Hour, MaxQueueSlots: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	buf, _ := json.Marshal(RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait for all four slots to be admitted and parked, then hang up.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.queued.Load() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("run never admitted (queued=%d)", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+	for s.queued.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots never released after cancel (queued=%d)", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.met.canceledInQueue.Value(); got != 1 {
+		t.Errorf("canceled_in_queue = %d, want 1", got)
+	}
+	// The freed budget must be reusable: the same four slots again.
+	var run RunResponse
+	if code := post(t, ts.URL+"/v1/run",
+		RunRequest{Source: addSrc, Inputs: [][]uint64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}, NoCoalesce: true}, &run); code != 200 {
+		t.Fatalf("post-cancel run status %d", code)
+	}
+	if len(run.Outputs) != 4 || run.Outputs[0][0] != 3 {
+		t.Errorf("post-cancel outputs %v", run.Outputs)
+	}
+}

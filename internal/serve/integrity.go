@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the wire-integrity contract between the coordinator and
+// its workers (DESIGN.md §15): an end-to-end deadline header so doomed
+// work is shed as early as possible, and a cheap content checksum on
+// relayed bodies so a payload corrupted anywhere on the wire (or by a
+// chaos proxy in tests) is detected and converted into a failover —
+// never returned to a client as a plausible-looking answer.
+
+const (
+	// DeadlineHeader carries the request's absolute deadline as unix
+	// nanoseconds. The coordinator derives it from its own request
+	// context on every forward; a worker intersects it with its local
+	// request timeout, so the whole retry tree shares one end-to-end
+	// budget and nobody computes past the moment the client stops
+	// listening.
+	DeadlineHeader = "X-Hyperap-Deadline"
+
+	// ChecksumHeader carries a CRC32-Castagnoli checksum of the exact
+	// response body bytes, formatted by BodyChecksum. The coordinator
+	// verifies it after buffering a worker response and treats a mismatch
+	// like a transport error (failover), so a corrupted relay can cost a
+	// retry but never a wrong result.
+	ChecksumHeader = "X-Hyperap-Checksum"
+)
+
+// castagnoli is the CRC32c table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BodyChecksum renders the checksum-header value for a body.
+func BodyChecksum(body []byte) string {
+	return fmt.Sprintf("crc32c=%08x", crc32.Checksum(body, castagnoli))
+}
+
+// VerifyChecksum checks a body against a checksum-header value. An
+// unknown scheme verifies trivially (forward compatibility: an old
+// coordinator must not fail over on a header a newer worker added).
+func VerifyChecksum(value string, body []byte) bool {
+	var sum uint32
+	if _, err := fmt.Sscanf(value, "crc32c=%08x", &sum); err != nil {
+		return true
+	}
+	return crc32.Checksum(body, castagnoli) == sum
+}
+
+// FormatDeadline renders an absolute deadline for DeadlineHeader.
+func FormatDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// ParseDeadline extracts the propagated absolute deadline from a request
+// header set (ok=false when absent or malformed — a bad header is
+// ignored, not an error: deadline propagation is an optimization, and
+// the local request timeout still bounds the work).
+func ParseDeadline(h http.Header) (time.Time, bool) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ns <= 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}

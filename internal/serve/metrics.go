@@ -34,6 +34,14 @@ type metrics struct {
 	queueWaitNS     expvar.Int // total submit→flush wait
 	runNS           expvar.Int // total RunBatch wall time
 
+	// Deadline-propagation accounting (DESIGN.md §15): requests that
+	// arrived with an X-Hyperap-Deadline header, waiters the coalescer
+	// shed because their deadline expired before dispatch, and requests
+	// whose caller vanished while still queued (slots reclaimed).
+	deadlinePropagated expvar.Int
+	deadlineShed       expvar.Int
+	canceledInQueue    expvar.Int
+
 	// Log-bucketed latency histograms (internal/obs): the percentile
 	// views of the totals above, plus end-to-end request latency. The
 	// totals stay for rate computation; the histograms carry
@@ -119,6 +127,9 @@ func newMetrics() *metrics {
 	m.root.Set("rejected_queue_full", &m.rejectedQueueFull)
 	m.root.Set("rejected_draining", &m.rejectedDraining)
 	m.root.Set("queue_depth_slots", &m.queueDepthSlots)
+	m.root.Set("deadline_propagated", &m.deadlinePropagated)
+	m.root.Set("deadline_shed", &m.deadlineShed)
+	m.root.Set("canceled_in_queue", &m.canceledInQueue)
 	m.root.Set("queue_wait_ns", &m.queueWaitNS)
 	m.root.Set("run_ns", &m.runNS)
 	m.root.Set("queue_wait", expvar.Func(m.queueWaitHist.Summary))

@@ -44,6 +44,12 @@ type Config struct {
 	// RequestTimeout is the per-request deadline; a run that cannot
 	// complete in time returns 504 (default 60s).
 	RequestTimeout time.Duration
+	// DeadlineGrace is added to a propagated X-Hyperap-Deadline before it
+	// tightens the local request deadline, absorbing clock skew between
+	// the coordinator and this worker (default 0: same-host clusters and
+	// NTP-disciplined fleets need none). The local RequestTimeout still
+	// applies regardless.
+	DeadlineGrace time.Duration
 	// Parallelism is passed to RunBatch as WithParallelism for the
 	// intra-pass shard pool (default 0 = GOMAXPROCS).
 	Parallelism int
@@ -325,6 +331,22 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// requestCtx derives a handler context from the local request timeout
+// intersected with the propagated X-Hyperap-Deadline (plus the
+// configured grace): when the coordinator's client has a tighter budget
+// than this worker's default, work doomed to be discarded upstream is
+// cancelled — and shed from the coalescer — as early as possible.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	deadline := time.Now().Add(s.cfg.RequestTimeout)
+	if hd, ok := ParseDeadline(r.Header); ok {
+		s.met.deadlinePropagated.Add(1)
+		if hd = hd.Add(s.cfg.DeadlineGrace); hd.Before(deadline) {
+			deadline = hd
+		}
+	}
+	return context.WithDeadline(r.Context(), deadline)
+}
+
 // trackRequest registers an admitted run request for drain reporting;
 // the returned func unregisters it.
 func (s *Server) trackRequest() func() {
@@ -527,7 +549,7 @@ func (s *Server) compileProgram(ctx context.Context, src string, opts Options) (
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	var req CompileRequest
 	if !s.decode(w, r, "compile", &req, http.MethodPost) {
@@ -555,7 +577,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	span := obs.SpanFrom(ctx)
 	var req RunRequest
@@ -634,12 +656,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wtr := &waiter{inputs: req.Inputs, enq: time.Now(), done: make(chan struct{})}
+	wtr.deadline, _ = ctx.Deadline()
 	p.co.submit(wtr, req.NoCoalesce)
 	select {
 	case <-wtr.done:
 	case <-ctx.Done():
-		// The pass still completes for the other coalesced requests; this
-		// caller just stops waiting for its slice.
+		// The caller is gone (client disconnect) or out of budget. If the
+		// waiter is still parked in the coalescer, pull it out and free its
+		// slot budget right now — its work would be discarded anyway. If
+		// its pass already dispatched, the pass completes for the other
+		// coalesced requests and releases the slots itself.
+		if p.co.abandon(wtr) {
+			s.releaseSlots(len(req.Inputs))
+			s.met.canceledInQueue.Add(1)
+		}
 		s.writeError(w, "run", http.StatusGatewayTimeout, ctx.Err())
 		return
 	}
@@ -901,9 +931,21 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, endpoint string,
 
 func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any) {
 	s.met.recordResponse(endpoint, status)
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// Wire types always marshal; guard anyway so a future type error
+		// is a 500, not a panic.
+		s.met.recordResponse(endpoint, http.StatusInternalServerError)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	// Checksum the exact body bytes so the coordinator (or any relay) can
+	// prove the payload crossed the wire intact; see integrity.go.
+	w.Header().Set(ChecksumHeader, BodyChecksum(buf))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
